@@ -1,0 +1,49 @@
+# Convenience targets for the pbio-go reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench figures examples outputs clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure of the paper plus the extension tables.
+figures:
+	$(GO) run ./cmd/wireperf
+	$(GO) run ./cmd/wireperf -gencost
+	$(GO) run ./cmd/wireperf -nested
+	$(GO) run ./cmd/wireperf -homo
+	$(GO) run ./cmd/wireperf -wire
+	$(GO) run ./cmd/wireperf -xmlrt
+	$(GO) run ./cmd/wireperf -pairs
+	$(GO) run ./cmd/wireperf -live
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/visualization
+	$(GO) run ./examples/evolution
+	$(GO) run ./examples/heterogeneous
+	$(GO) run ./examples/brokered
+
+# The artifact files the exercise asks for.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,128 @@
+package repro_test
+
+// testing.B benchmarks, one (group) per table/figure of the paper's
+// evaluation.  `go test -bench=. -benchmem` reports every leg the figures
+// are built from; `go run ./cmd/wireperf` composes the same measurements
+// into the paper's tables with the modelled network.  Sub-benchmark names
+// carry the figure, system and message size:
+//
+//	BenchmarkFig2_SenderEncode/MPICH/100Kb
+//	BenchmarkFig4_Decode/PBIO-DCG/1Kb
+//	...
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// fixtures are shared across benchmarks (building the 100Kb pair is
+// expensive enough to matter).
+var fixtures = func() []*bench.Ops {
+	sizes := bench.Sizes()
+	out := make([]*bench.Ops, len(sizes))
+	for i, s := range sizes {
+		out[i] = bench.MustOps(bench.MustPair(s, bench.MixedSchema))
+	}
+	return out
+}()
+
+func runSized(b *testing.B, fn func(o *bench.Ops) func()) {
+	for _, o := range fixtures {
+		op := fn(o)
+		b.Run(o.Pair.Size.Label, func(b *testing.B) {
+			b.SetBytes(int64(o.Pair.X86Fmt.Size))
+			op() // warm-up outside the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+	}
+}
+
+// BenchmarkFig1_MPIRoundtripLegs measures the four CPU legs of the MPICH
+// roundtrip in Figure 1 (the two network legs are modelled, not
+// measured; see internal/netsim).
+func BenchmarkFig1_MPIRoundtripLegs(b *testing.B) {
+	b.Run("sparc-encode", func(b *testing.B) { runSized(b, (*bench.Ops).MPIEncode) })
+	b.Run("x86-decode", func(b *testing.B) { runSized(b, (*bench.Ops).MPIDecodeX86) })
+	b.Run("x86-encode", func(b *testing.B) { runSized(b, (*bench.Ops).MPIEncodeX86) })
+	b.Run("sparc-decode", func(b *testing.B) { runSized(b, (*bench.Ops).MPIDecode) })
+}
+
+// BenchmarkFig2_SenderEncode measures sender-side encoding for the four
+// systems of Figure 2.
+func BenchmarkFig2_SenderEncode(b *testing.B) {
+	b.Run("XML", func(b *testing.B) { runSized(b, (*bench.Ops).XMLEncode) })
+	b.Run("MPICH", func(b *testing.B) { runSized(b, (*bench.Ops).MPIEncode) })
+	b.Run("CORBA", func(b *testing.B) { runSized(b, (*bench.Ops).CORBAEncode) })
+	b.Run("PBIO", func(b *testing.B) { runSized(b, (*bench.Ops).PBIOEncode) })
+}
+
+// BenchmarkFig3_ReceiverDecode measures receiver-side decoding
+// (heterogeneous, interpreted converters) for the four systems of
+// Figure 3.
+func BenchmarkFig3_ReceiverDecode(b *testing.B) {
+	b.Run("XML", func(b *testing.B) { runSized(b, (*bench.Ops).XMLDecode) })
+	b.Run("MPICH", func(b *testing.B) { runSized(b, (*bench.Ops).MPIDecode) })
+	b.Run("CORBA", func(b *testing.B) { runSized(b, (*bench.Ops).CORBADecode) })
+	b.Run("PBIO-interp", func(b *testing.B) { runSized(b, (*bench.Ops).PBIOInterpDecode) })
+}
+
+// BenchmarkFig4_Decode compares interpreted and generated conversion
+// (Figure 4).
+func BenchmarkFig4_Decode(b *testing.B) {
+	b.Run("MPICH", func(b *testing.B) { runSized(b, (*bench.Ops).MPIDecode) })
+	b.Run("PBIO-interp", func(b *testing.B) { runSized(b, (*bench.Ops).PBIOInterpDecode) })
+	b.Run("PBIO-DCG", func(b *testing.B) { runSized(b, (*bench.Ops).PBIODCGDecode) })
+}
+
+// BenchmarkFig5_RoundtripLegs measures the PBIO legs of Figure 5's
+// roundtrip comparison (the MPICH legs are BenchmarkFig1's).
+func BenchmarkFig5_RoundtripLegs(b *testing.B) {
+	b.Run("pbio-encode", func(b *testing.B) { runSized(b, (*bench.Ops).PBIOEncode) })
+	b.Run("pbio-x86-decode", func(b *testing.B) { runSized(b, (*bench.Ops).PBIODCGDecodeX86) })
+	b.Run("pbio-sparc-decode", func(b *testing.B) { runSized(b, (*bench.Ops).PBIODCGDecode) })
+}
+
+// BenchmarkFig6_HeterogeneousExtension measures heterogeneous receives
+// with and without an unexpected leading field (Figure 6: the mismatch
+// costs nothing, conversion already relocates fields).
+func BenchmarkFig6_HeterogeneousExtension(b *testing.B) {
+	b.Run("matched", func(b *testing.B) { runSized(b, (*bench.Ops).PBIODCGDecode) })
+	b.Run("mismatched", func(b *testing.B) {
+		for _, s := range bench.Sizes() {
+			op := bench.NewHeteroExt(s).HeteroMismatchedDecode()
+			b.Run(s.Label, func(b *testing.B) {
+				b.SetBytes(int64(s.Target))
+				op()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					op()
+				}
+			})
+		}
+	})
+}
+
+// BenchmarkFig7_HomogeneousExtension measures homogeneous receives with
+// matching layouts (no conversion) and with the unexpected-field mismatch
+// (field relocation ~ memcpy), Figure 7.
+func BenchmarkFig7_HomogeneousExtension(b *testing.B) {
+	b.Run("matched", func(b *testing.B) { runSized(b, (*bench.Ops).PBIOHomogeneousDecode) })
+	b.Run("mismatched", func(b *testing.B) {
+		for _, s := range bench.Sizes() {
+			op := bench.NewHeteroExt(s).HomoMismatchedDecode()
+			b.Run(s.Label, func(b *testing.B) {
+				b.SetBytes(int64(s.Target))
+				op()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					op()
+				}
+			})
+		}
+	})
+	b.Run("memcpy-ref", func(b *testing.B) { runSized(b, (*bench.Ops).Memcpy) })
+}

@@ -1,0 +1,34 @@
+// Command pbio-fmtd runs a PBIO format server: a daemon that assigns
+// content-addressed global IDs to record formats and serves their
+// descriptions back to any component that encounters an unknown ID.
+//
+// With a format server, PBIO streams (connections or files) carry only an
+// 8-byte format reference instead of full meta-information, and format
+// identity is shared across every producer and consumer in a deployment:
+//
+//	pbio-fmtd -listen 127.0.0.1:7847 &
+//	# then, in applications:
+//	ctx, _ := pbio.NewContext(pbio.WithFormatServer("127.0.0.1:7847"))
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/fmtserver"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7847", "address to listen on")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("pbio-fmtd: %v", err)
+	}
+	fmt.Printf("pbio-fmtd: serving formats on %s\n", ln.Addr())
+	srv := fmtserver.NewServer()
+	log.Fatal(srv.Serve(ln))
+}

@@ -1,0 +1,110 @@
+// Command wireperf regenerates the evaluation tables of "Efficient Wire
+// Formats for High Performance Computing" (SC 2000): Figures 1-7 and the
+// headline claims, using the mixed-field workload at the paper's four
+// message sizes.
+//
+// Usage:
+//
+//	wireperf            # run everything
+//	wireperf -fig 4     # one figure
+//	wireperf -claims    # headline ratios only
+//	wireperf -sizes     # show the workload sizes and layouts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/abi"
+	"repro/internal/bench"
+	"repro/internal/wire"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one figure (1-7); 0 runs all")
+	claims := flag.Bool("claims", false, "compute the headline claims only")
+	sizes := flag.Bool("sizes", false, "print the workload sizes and record layouts")
+	gencost := flag.Bool("gencost", false, "DCG generation cost vs per-record saving")
+	nested := flag.Bool("nested", false, "nested (array-of-structs) vs flat decode costs")
+	homo := flag.Bool("homo", false, "homogeneous-exchange decode comparison")
+	wires := flag.Bool("wire", false, "wire bytes per record across systems")
+	xmlrt := flag.Bool("xmlrt", false, "the roundtrip Figure 5 omitted: XML vs PBIO")
+	pairs := flag.Bool("pairs", false, "conversion cost across architecture pairs")
+	live := flag.Bool("live", false, "actual roundtrips over TCP loopback (no model)")
+	flag.Parse()
+
+	switch {
+	case *sizes:
+		printSizes()
+		return
+	case *wires:
+		bench.WireSizes().Fprint(os.Stdout)
+		return
+	case *gencost:
+		bench.GenCost().Fprint(os.Stdout)
+		return
+	case *nested:
+		bench.Nested().Fprint(os.Stdout)
+		return
+	case *homo:
+		bench.Homo().Fprint(os.Stdout)
+		return
+	case *xmlrt:
+		bench.XMLRoundTrip().Fprint(os.Stdout)
+		return
+	case *pairs:
+		bench.Pairs().Fprint(os.Stdout)
+		return
+	case *live:
+		bench.LiveRoundTrip().Fprint(os.Stdout)
+		return
+	}
+
+	figures := map[int]func() *bench.Table{
+		1: bench.Fig1, 2: bench.Fig2, 3: bench.Fig3, 4: bench.Fig4,
+		5: bench.Fig5, 6: bench.Fig6, 7: bench.Fig7,
+	}
+
+	switch {
+	case *claims:
+		bench.Claims().Fprint(os.Stdout)
+	case *fig != 0:
+		fn, ok := figures[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wireperf: no figure %d (have 1-7)\n", *fig)
+			os.Exit(2)
+		}
+		fn().Fprint(os.Stdout)
+	default:
+		for i := 1; i <= 7; i++ {
+			figures[i]().Fprint(os.Stdout)
+		}
+		bench.Claims().Fprint(os.Stdout)
+	}
+}
+
+func printSizes() {
+	t := &bench.Table{
+		Title:  "Workload: mixed-field record (paper section 4.1)",
+		Header: []string{"size", "values[]", "sparc bytes", "x86 bytes", "XDR bytes"},
+	}
+	for _, s := range bench.Sizes() {
+		p := bench.MustPair(s, bench.MixedSchema)
+		o := bench.MustOps(p)
+		t.AddRow(s.Label,
+			fmt.Sprint(s.N),
+			fmt.Sprint(p.SparcFmt.Size),
+			fmt.Sprint(p.X86Fmt.Size),
+			fmt.Sprint(o.MPIPackedSize()))
+	}
+	t.Fprint(os.Stdout)
+
+	fmt.Println("\nRecord layouts at 100b:")
+	s := bench.Sizes()[0]
+	for _, a := range []abi.Arch{abi.SparcV8, abi.X86} {
+		a := a
+		f := wire.MustLayout(bench.MixedSchema(s.N), &a)
+		fmt.Print(f.String())
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is the root of a Go reproduction of "Efficient Wire
+// Formats for High Performance Computing" (Bustamante, Eisenhauer,
+// Schwan, Widener — SC 2000).
+//
+// The public library lives in package repro/pbio; the substrates it is
+// built on live under internal/ (see DESIGN.md for the inventory); the
+// experiment harness is internal/bench with the wireperf command; and the
+// testing.B benchmarks regenerating the paper's figures are in
+// bench_test.go alongside this file.
+package repro

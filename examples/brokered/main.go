@@ -1,0 +1,130 @@
+// Brokered: the deployment pattern of the group's DataExchange system
+// (the paper's reference [6]) — a simulation publishes through a relay,
+// and monitoring clients on different architectures subscribe without the
+// simulation knowing or caring.
+//
+// Everything runs in one process over TCP loopback:
+//
+//	simulation (sparc-v9-64) --> relay --> monitor A (x86)
+//	                                  \--> monitor B (mips-o32)
+//
+// The relay forwards frames verbatim: with NDR there is nothing to
+// re-encode, so interposing a broker costs no marshalling anywhere.
+//
+// Run:
+//
+//	go run ./examples/brokered
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/relay"
+	"repro/pbio"
+)
+
+func main() {
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	broker := relay.NewServer()
+	go func() { _ = broker.ServeProducers(pln) }()
+	go func() { _ = broker.ServeConsumers(cln) }()
+
+	const records = 4
+	var wg sync.WaitGroup
+	for _, arch := range []string{"x86", "mips-o32"} {
+		wg.Add(1)
+		go func(arch string) {
+			defer wg.Done()
+			if err := monitor(cln.Addr().String(), arch, records); err != nil {
+				log.Printf("monitor %s: %v", arch, err)
+			}
+		}(arch)
+	}
+
+	if err := simulate(pln.Addr().String(), records); err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+
+	frames, bytes := broker.Stats()
+	fmt.Printf("relay forwarded %d frames, %d payload bytes, 0 records re-encoded\n",
+		frames, bytes)
+}
+
+func stateFields() []pbio.FieldSpec {
+	return []pbio.FieldSpec{
+		pbio.F("step", pbio.Int),
+		pbio.F("residual", pbio.Double),
+		pbio.Array("hist", pbio.Double, 6),
+	}
+}
+
+func simulate(addr string, n int) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	ctx, err := pbio.NewContext(pbio.WithArch("sparc-v9-64"))
+	if err != nil {
+		return err
+	}
+	f, err := ctx.Register("solver_state", stateFields()...)
+	if err != nil {
+		return err
+	}
+	w := ctx.NewWriter(conn)
+	for i := 0; i < n; i++ {
+		rec := f.NewRecord()
+		rec.MustSetInt("step", 0, int64(i))
+		rec.MustSetFloat("residual", 0, 1/float64(i+1))
+		for j := 0; j < 6; j++ {
+			rec.MustSetFloat("hist", j, float64(i*6+j))
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func monitor(addr, arch string, n int) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	ctx, err := pbio.NewContext(pbio.WithArch(arch))
+	if err != nil {
+		return err
+	}
+	f, err := ctx.Register("solver_state", stateFields()...)
+	if err != nil {
+		return err
+	}
+	r := ctx.NewReader(conn)
+	for i := 0; i < n; i++ {
+		m, err := r.Read()
+		if err != nil {
+			return err
+		}
+		rec, err := m.Decode(f)
+		if err != nil {
+			return err
+		}
+		step, _ := rec.Int("step", 0)
+		res, _ := rec.Float("residual", 0)
+		fmt.Printf("monitor[%s]: step=%d residual=%.3f\n", arch, step, res)
+	}
+	return nil
+}

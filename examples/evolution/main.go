@@ -1,0 +1,192 @@
+// Evolution: the paper's type-extension scenario (§4.4) — an application
+// evolves, its messages grow new fields, and deployed components that
+// were never updated keep working, because PBIO matches fields by name
+// and ignores fields it does not expect.
+//
+// Three components share one stream:
+//
+//   - a v2 producer whose "job_status" records carry two fields that v1
+//     never had (gpu_util, added at the FRONT — the paper's worst case —
+//     and node_count at the end);
+//   - a v1 consumer compiled against the original schema;
+//   - a v2 consumer that sees the new fields.
+//
+// For contrast, the same evolution breaks an MPI-style exchange outright:
+// the demo shows the type-signature error an MPI receiver raises.
+//
+// Run:
+//
+//	go run ./examples/evolution
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	"repro/internal/abi"
+	"repro/internal/mpi"
+	"repro/internal/native"
+	"repro/internal/wire"
+	"repro/pbio"
+)
+
+func main() {
+	var stream bytes.Buffer
+	produceV2(&stream)
+
+	fmt.Println("--- v1 consumer (never upgraded) ---")
+	replay := bytes.NewReader(stream.Bytes())
+	if err := consumeV1(replay); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- v2 consumer ---")
+	replay = bytes.NewReader(stream.Bytes())
+	if err := consumeV2(replay); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- the same evolution under MPI ---")
+	mpiContrast()
+}
+
+func v1Fields() []pbio.FieldSpec {
+	return []pbio.FieldSpec{
+		pbio.F("job_id", pbio.Int),
+		pbio.F("progress", pbio.Double),
+		{Name: "owner", Type: pbio.Char, Count: 12},
+	}
+}
+
+func v2Fields() []pbio.FieldSpec {
+	return append(append(
+		[]pbio.FieldSpec{pbio.F("gpu_util", pbio.Double)}, // new, worst-case position
+		v1Fields()...),
+		pbio.F("node_count", pbio.Int)) // new, appended (the paper's advice)
+}
+
+func produceV2(out io.Writer) {
+	ctx, err := pbio.NewContext(pbio.WithArch("sparc-v8"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := ctx.Register("job_status", v2Fields()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := ctx.NewWriter(out)
+	for i, owner := range []string{"ada", "grace"} {
+		rec := f.NewRecord()
+		rec.MustSetFloat("gpu_util", 0, 0.9-0.1*float64(i))
+		rec.MustSetInt("job_id", 0, int64(1000+i))
+		rec.MustSetFloat("progress", 0, 0.25+0.5*float64(i))
+		rec.MustSetString("owner", owner)
+		rec.MustSetInt("node_count", 0, int64(64<<i))
+		if err := w.Write(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func consumeV1(in io.Reader) error {
+	ctx, err := pbio.NewContext(pbio.WithArch("x86"))
+	if err != nil {
+		return err
+	}
+	f, err := ctx.Register("job_status", v1Fields()...)
+	if err != nil {
+		return err
+	}
+	r := ctx.NewReader(in)
+	for {
+		m, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		rec, err := m.Decode(f) // the two unknown fields are simply ignored
+		if err != nil {
+			return err
+		}
+		id, _ := rec.Int("job_id", 0)
+		p, _ := rec.Float("progress", 0)
+		owner, _ := rec.String("owner")
+		fmt.Printf("job %d by %s: %.0f%% done (v1 view: new fields invisible)\n", id, owner, 100*p)
+	}
+}
+
+func consumeV2(in io.Reader) error {
+	ctx, err := pbio.NewContext(pbio.WithArch("x86"))
+	if err != nil {
+		return err
+	}
+	f, err := ctx.Register("job_status", v2Fields()...)
+	if err != nil {
+		return err
+	}
+	r := ctx.NewReader(in)
+	for {
+		m, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		rec, err := m.Decode(f)
+		if err != nil {
+			return err
+		}
+		id, _ := rec.Int("job_id", 0)
+		p, _ := rec.Float("progress", 0)
+		owner, _ := rec.String("owner")
+		gpu, _ := rec.Float("gpu_util", 0)
+		nodes, _ := rec.Int("node_count", 0)
+		fmt.Printf("job %d by %s: %.0f%% done, gpu %.0f%%, %d nodes\n",
+			id, owner, 100*p, 100*gpu, nodes)
+	}
+}
+
+// mpiContrast shows the failure mode the paper attributes to MPI: the
+// evolved sender's datatype no longer matches the old receiver's, and
+// the exchange is invalidated.
+func mpiContrast() {
+	oldSchema := &wire.Schema{Name: "job_status", Fields: []wire.FieldSpec{
+		{Name: "job_id", Type: abi.Int, Count: 1},
+		{Name: "progress", Type: abi.Double, Count: 1},
+		{Name: "owner", Type: abi.Char, Count: 12},
+	}}
+	newSchema := &wire.Schema{Name: "job_status", Fields: append(
+		[]wire.FieldSpec{{Name: "gpu_util", Type: abi.Double, Count: 1}},
+		oldSchema.Fields...)}
+
+	sendFmt := wire.MustLayout(newSchema, &abi.SparcV8)
+	recvFmt := wire.MustLayout(oldSchema, &abi.X86)
+	sendDT, err := mpi.FromFormat(&abi.SparcV8, sendFmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recvDT, err := mpi.FromFormat(&abi.X86, recvFmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sendDT.Commit()
+	recvDT.Commit()
+
+	var buf bytes.Buffer
+	comm := mpi.NewComm(&buf, &buf, mpi.ModeXDR)
+	src := native.New(sendFmt)
+	if err := comm.Send(src.Buf, sendDT); err != nil {
+		log.Fatal(err)
+	}
+	dst := native.New(recvFmt)
+	if err := comm.Recv(dst.Buf, recvDT); err != nil {
+		fmt.Println("MPI receiver:", err)
+	} else {
+		fmt.Println("unexpected: MPI accepted mismatched types")
+	}
+}

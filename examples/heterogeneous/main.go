@@ -1,0 +1,165 @@
+// Heterogeneous: a full client/server exchange over real TCP loopback
+// between two simulated architectures, using the Go-struct reflection
+// binding.
+//
+// A "SPARC v9 64-bit" server (big-endian, LP64) streams solver states to
+// an "x86" client (little-endian, ILP32).  Every multi-byte field is
+// byte-swapped, longs narrow from 8 to 4 bytes, and every offset moves —
+// yet both sides just work with Go structs.  The reply path is
+// homogeneous (x86 -> x86) to show the zero-copy view on the way back.
+//
+// Run:
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+
+	"repro/pbio"
+)
+
+// SolverState is the message both sides share — as a Go struct, not a
+// wire contract: each side lays it out per its own architecture.
+type SolverState struct {
+	Step      int32
+	SimTime   float64
+	Residual  float64
+	Converged int32     // 0/1 flag
+	Mesh      string    `pbio:"mesh,size=16"`
+	U         []float64 `pbio:"u,size=8"`
+}
+
+// Ack is the client's reply.
+type Ack struct {
+	Step    int32
+	Renders int32
+}
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- server(ln) }()
+
+	if err := client(ln.Addr().String()); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+func server(ln net.Listener) error {
+	conn, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	ctx, err := pbio.NewContext(pbio.WithArch("sparc-v9-64"))
+	if err != nil {
+		return err
+	}
+	state, err := ctx.RegisterStruct("solver_state", SolverState{})
+	if err != nil {
+		return err
+	}
+	ackFmt, err := ctx.RegisterStruct("ack", Ack{})
+	if err != nil {
+		return err
+	}
+
+	w := ctx.NewWriter(conn)
+	r := ctx.NewReader(conn)
+	for step := int32(0); step < 3; step++ {
+		s := SolverState{
+			Step:     step,
+			SimTime:  0.002 * float64(step),
+			Residual: 1.0 / float64(step*step+1),
+			Mesh:     "wing-coarse",
+			U:        []float64{1, 2, 4, 8, 16, 32, 64, 128},
+		}
+		if step == 2 {
+			s.Converged = 1
+		}
+		rec, err := state.Marshal(&s)
+		if err != nil {
+			return err
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+
+		m, err := r.Read()
+		if err != nil {
+			return err
+		}
+		var ack Ack
+		if err := m.DecodeStruct(ackFmt, &ack); err != nil {
+			return err
+		}
+		fmt.Printf("server: client rendered step %d (%d frames)\n", ack.Step, ack.Renders)
+	}
+	return nil
+}
+
+func client(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	ctx, err := pbio.NewContext(pbio.WithArch("x86"))
+	if err != nil {
+		return err
+	}
+	state, err := ctx.RegisterStruct("solver_state", SolverState{})
+	if err != nil {
+		return err
+	}
+	ackFmt, err := ctx.RegisterStruct("ack", Ack{})
+	if err != nil {
+		return err
+	}
+
+	r := ctx.NewReader(conn)
+	w := ctx.NewWriter(conn)
+	for {
+		m, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("client: %d-byte %s record from the wire (our native size %d)\n",
+			m.WireSize(), m.FormatName(), state.Size())
+
+		var s SolverState
+		if err := m.DecodeStruct(state, &s); err != nil {
+			return err
+		}
+		fmt.Printf("client: step=%d t=%.4f residual=%.4f mesh=%s u[7]=%.0f converged=%d\n",
+			s.Step, s.SimTime, s.Residual, s.Mesh, s.U[7], s.Converged)
+
+		ack, err := ackFmt.Marshal(Ack{Step: s.Step, Renders: s.Step + 1})
+		if err != nil {
+			return err
+		}
+		if err := w.Write(ack); err != nil {
+			return err
+		}
+		if s.Converged == 1 {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Quickstart: register a format, write a record, read it back.
+//
+// This example runs writer and reader in one process over an in-memory
+// pipe, with the writer simulating a big-endian SPARC machine and the
+// reader a little-endian x86 machine — so the exchange crosses byte
+// orders and struct layouts, and PBIO's receiver-side generated
+// conversion does real work.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+
+	"repro/pbio"
+)
+
+func main() {
+	// The two "machines".
+	writerSide, readerSide := net.Pipe()
+
+	go writer(writerSide)
+
+	if err := reader(readerSide); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writer(conn io.WriteCloser) {
+	defer conn.Close()
+
+	// A context pinned to the sender's (simulated) architecture.
+	ctx, err := pbio.NewContext(pbio.WithArch("sparc-v8"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Writers describe the records they write: names, types, sizes.
+	sample, err := ctx.Register("sample",
+		pbio.F("step", pbio.Int),
+		pbio.F("energy", pbio.Double),
+		pbio.Array("tag", pbio.Char, 8),
+		pbio.Array("u", pbio.Double, 4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := ctx.NewWriter(conn)
+	for step := 0; step < 3; step++ {
+		rec := sample.NewRecord()
+		rec.MustSetInt("step", 0, int64(step))
+		rec.MustSetFloat("energy", 0, 100.5-float64(step))
+		rec.MustSetString("tag", fmt.Sprintf("it-%d", step))
+		for i := 0; i < 4; i++ {
+			rec.MustSetFloat("u", i, float64(step)+float64(i)/4)
+		}
+		// NDR: this writes the record's native bytes — no encoding.
+		if err := w.Write(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func reader(conn io.ReadCloser) error {
+	defer conn.Close()
+
+	ctx, err := pbio.NewContext(pbio.WithArch("x86"))
+	if err != nil {
+		return err
+	}
+	// Readers describe the records they expect.  Matching is by field
+	// name; layout differences are converted away.
+	sample, err := ctx.Register("sample",
+		pbio.F("step", pbio.Int),
+		pbio.F("energy", pbio.Double),
+		pbio.Array("tag", pbio.Char, 8),
+		pbio.Array("u", pbio.Double, 4),
+	)
+	if err != nil {
+		return err
+	}
+
+	r := ctx.NewReader(conn)
+	for {
+		m, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		rec, err := m.Decode(sample)
+		if err != nil {
+			return err
+		}
+		step, _ := rec.Int("step", 0)
+		energy, _ := rec.Float("energy", 0)
+		tag, _ := rec.String("tag")
+		fmt.Printf("step=%d energy=%.2f tag=%s u=[", step, energy, tag)
+		for i := 0; i < 4; i++ {
+			v, _ := rec.Float("u", i)
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%.2f", v)
+		}
+		fmt.Println("]")
+	}
+}

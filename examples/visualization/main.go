@@ -1,0 +1,177 @@
+// Visualization: the paper's motivating scenario (§1) — an online
+// monitor attaches to a running simulation's output stream with NO
+// a-priori knowledge of the message formats, discovers them from the
+// in-band meta-information, and computes on the fields it finds.
+//
+// The simulation streams two record types (a mesh-patch update and a
+// heartbeat).  The monitor:
+//
+//  1. inspects each incoming format (PBIO reflection),
+//  2. decides at run time which fields to visualize (any double array
+//     plus any timestamp-like scalar), and
+//  3. renders a crude ASCII sparkline per patch.
+//
+// Run:
+//
+//	go run ./examples/visualization
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+
+	"repro/pbio"
+)
+
+func main() {
+	simSide, monSide := net.Pipe()
+	go simulation(simSide)
+	if err := monitor(monSide); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// simulation is the HPC application: it knows its formats, the monitor
+// does not.
+func simulation(conn io.WriteCloser) {
+	defer conn.Close()
+	ctx, err := pbio.NewContext(pbio.WithArch("sparc-v9-64"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	patch, err := ctx.Register("mesh_patch",
+		pbio.F("patch_id", pbio.Int),
+		pbio.F("sim_time", pbio.Double),
+		pbio.F("iteration", pbio.Long),
+		pbio.Array("temperature", pbio.Double, 24),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heartbeat, err := ctx.Register("heartbeat",
+		pbio.F("wall_seconds", pbio.Double),
+		pbio.Array("phase", pbio.Char, 12),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := ctx.NewWriter(conn)
+	for it := 0; it < 3; it++ {
+		for id := 0; id < 2; id++ {
+			rec := patch.NewRecord()
+			rec.MustSetInt("patch_id", 0, int64(id))
+			rec.MustSetFloat("sim_time", 0, 0.01*float64(it))
+			rec.MustSetInt("iteration", 0, int64(it))
+			for i := 0; i < 24; i++ {
+				x := float64(i)/4 + float64(it) + float64(id)*2
+				rec.MustSetFloat("temperature", i, 300+25*math.Sin(x))
+			}
+			if err := w.Write(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		hb := heartbeat.NewRecord()
+		hb.MustSetFloat("wall_seconds", 0, 1.5*float64(it))
+		hb.MustSetString("phase", "advancing")
+		if err := w.Write(hb); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// monitor knows nothing about the simulation's formats in advance.
+func monitor(conn io.ReadCloser) error {
+	defer conn.Close()
+	ctx, err := pbio.NewContext(pbio.WithArch("x86-64"))
+	if err != nil {
+		return err
+	}
+	r := ctx.NewReader(conn)
+
+	// Formats we have reconstructed from incoming meta-information.
+	known := map[string]*pbio.Format{}
+
+	for {
+		m, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+
+		f, ok := known[m.FormatName()]
+		if !ok {
+			// First sight of this format: inspect it and build a local
+			// equivalent on our own architecture — pure reflection, no
+			// shared headers, no recompilation.
+			fmt.Printf("monitor: discovered format %q with fields:", m.FormatName())
+			specs := make([]pbio.FieldSpec, 0, len(m.Fields()))
+			for _, fi := range m.Fields() {
+				fmt.Printf(" %s(%s)", fi.Name, fi.Type)
+				specs = append(specs, fi.Spec())
+			}
+			fmt.Println()
+			if f, err = ctx.Register(m.FormatName(), specs...); err != nil {
+				return err
+			}
+			known[m.FormatName()] = f
+		}
+
+		rec, err := m.Decode(f)
+		if err != nil {
+			return err
+		}
+
+		// Run-time decision: visualize any double array we can find,
+		// labelled by whatever scalar fields accompany it.
+		var series []float64
+		label := m.FormatName()
+		for _, fi := range m.Fields() {
+			switch {
+			case fi.Type == pbio.Double && fi.Count > 1:
+				series = series[:0]
+				for i := 0; i < fi.Count; i++ {
+					v, _ := rec.Float(fi.Name, i)
+					series = append(series, v)
+				}
+			case fi.Type == pbio.Double && fi.Count == 1:
+				v, _ := rec.Float(fi.Name, 0)
+				label += fmt.Sprintf(" %s=%.3f", fi.Name, v)
+			case fi.Type == pbio.Int || fi.Type == pbio.Long:
+				v, _ := rec.Int(fi.Name, 0)
+				label += fmt.Sprintf(" %s=%d", fi.Name, v)
+			case fi.Type == pbio.Char:
+				s, _ := rec.String(fi.Name)
+				label += fmt.Sprintf(" %s=%q", fi.Name, s)
+			}
+		}
+		if len(series) > 0 {
+			fmt.Printf("%-55s %s\n", label, sparkline(series))
+		} else {
+			fmt.Println(label)
+		}
+	}
+}
+
+// sparkline renders values as a coarse ASCII intensity strip.
+func sparkline(v []float64) string {
+	ramp := []byte(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	out := make([]byte, len(v))
+	for i, x := range v {
+		idx := 0
+		if hi > lo {
+			idx = int((x - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		out[i] = ramp[idx]
+	}
+	return "|" + string(out) + "|"
+}

@@ -1,0 +1,262 @@
+// Package abi models the data-representation properties of machine
+// architectures: byte order, C basic-type sizes and alignment rules, and
+// the C struct layout algorithm.
+//
+// The paper this repository reproduces ("Efficient Wire Formats for High
+// Performance Computing", SC 2000) measures exchanges between real Sparc
+// and x86 hosts whose compilers lay structures out differently.  Go offers
+// no control over struct layout, so "native" records in this codebase are
+// byte buffers laid out according to one of these architecture models.
+// Everything the paper measures — byte-swapping, offset relocation, type
+// size conversion, alignment padding — is a function of the layouts alone,
+// which this package reproduces exactly.
+package abi
+
+import "fmt"
+
+// Endian identifies a byte order.  It is a plain enum rather than
+// binary.ByteOrder so that it can be carried inside wire meta-information.
+type Endian uint8
+
+const (
+	// LittleEndian stores the least significant byte first.
+	LittleEndian Endian = iota
+	// BigEndian stores the most significant byte first.
+	BigEndian
+)
+
+// String returns "little" or "big".
+func (e Endian) String() string {
+	if e == BigEndian {
+		return "big"
+	}
+	return "little"
+}
+
+// Arch describes the data representation of a machine architecture as seen
+// by a C compiler: the size and alignment of every basic type, the byte
+// order, and the pointer width.  All sizes and alignments are in bytes.
+type Arch struct {
+	Name  string
+	Order Endian
+
+	// Sizes of the C basic types.
+	CharSize     int
+	ShortSize    int
+	IntSize      int
+	LongSize     int
+	LongLongSize int
+	FloatSize    int
+	DoubleSize   int
+	PointerSize  int
+
+	// Alignment requirements of the C basic types.
+	CharAlign     int
+	ShortAlign    int
+	IntAlign      int
+	LongAlign     int
+	LongLongAlign int
+	FloatAlign    int
+	DoubleAlign   int
+	PointerAlign  int
+}
+
+// Predefined architecture models.  Sizes and alignments follow the System V
+// psABI documents for each platform.  SparcV8 and X86 are the two sides of
+// the paper's heterogeneous experiments (Sun Ultra 30 running 32-bit
+// Solaris 7, and a Pentium II).  The others are the platforms the paper's
+// Vcode port targets (§4.3) plus the "future work" platforms (§5),
+// included so that layout and conversion logic is exercised across the
+// same spread of representations.
+var (
+	// SparcV8 is 32-bit SPARC: big-endian, ILP32, 8-byte aligned doubles.
+	SparcV8 = Arch{
+		Name: "sparc-v8", Order: BigEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 4, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 4,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 4, LongLongAlign: 8,
+		FloatAlign: 4, DoubleAlign: 8, PointerAlign: 4,
+	}
+
+	// SparcV9 is the 32-bit ABI on 64-bit SPARC hardware (as run by
+	// Solaris 7 in 32-bit mode): identical data layout to v8.
+	SparcV9 = Arch{
+		Name: "sparc-v9", Order: BigEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 4, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 4,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 4, LongLongAlign: 8,
+		FloatAlign: 4, DoubleAlign: 8, PointerAlign: 4,
+	}
+
+	// SparcV9x64 is 64-bit SPARC (LP64): longs and pointers widen to 8
+	// bytes.  Exchanges with ILP32 peers exercise the paper's
+	// "differences in sizes of data types (e.g. long and int)" case.
+	SparcV9x64 = Arch{
+		Name: "sparc-v9-64", Order: BigEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 8, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 8,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 8, LongLongAlign: 8,
+		FloatAlign: 4, DoubleAlign: 8, PointerAlign: 8,
+	}
+
+	// X86 is 32-bit x86 (the paper's Pentium II side): little-endian,
+	// ILP32, and — crucially for layout mismatches — doubles align to
+	// only 4 bytes under the System V i386 ABI.
+	X86 = Arch{
+		Name: "x86", Order: LittleEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 4, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 4,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 4, LongLongAlign: 4,
+		FloatAlign: 4, DoubleAlign: 4, PointerAlign: 4,
+	}
+
+	// X86x64 is x86-64 (LP64), little-endian with natural alignment.
+	X86x64 = Arch{
+		Name: "x86-64", Order: LittleEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 8, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 8,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 8, LongLongAlign: 8,
+		FloatAlign: 4, DoubleAlign: 8, PointerAlign: 8,
+	}
+
+	// MIPSo32 is the old 32-bit MIPS ABI: big-endian ILP32 with natural
+	// alignment (8-byte doubles).
+	MIPSo32 = Arch{
+		Name: "mips-o32", Order: BigEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 4, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 4,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 4, LongLongAlign: 8,
+		FloatAlign: 4, DoubleAlign: 8, PointerAlign: 4,
+	}
+
+	// MIPSn64 is the new 64-bit MIPS ABI (LP64, big-endian).
+	MIPSn64 = Arch{
+		Name: "mips-n64", Order: BigEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 8, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 8,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 8, LongLongAlign: 8,
+		FloatAlign: 4, DoubleAlign: 8, PointerAlign: 8,
+	}
+
+	// Alpha is DEC Alpha: little-endian LP64.
+	Alpha = Arch{
+		Name: "alpha", Order: LittleEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 8, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 8,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 8, LongLongAlign: 8,
+		FloatAlign: 4, DoubleAlign: 8, PointerAlign: 8,
+	}
+
+	// StrongARM is the paper's future-work ARM target: little-endian
+	// ILP32 with natural alignment (8-byte aligned doubles under AAPCS).
+	StrongARM = Arch{
+		Name: "strongarm", Order: LittleEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 4, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 4,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 4, LongLongAlign: 8,
+		FloatAlign: 4, DoubleAlign: 8, PointerAlign: 4,
+	}
+
+	// I960 is the Intel i960 (the paper's other future-work target):
+	// little-endian ILP32, 4-byte aligned doubles like i386.
+	I960 = Arch{
+		Name: "i960", Order: LittleEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 4, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 4,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 4, LongLongAlign: 4,
+		FloatAlign: 4, DoubleAlign: 4, PointerAlign: 4,
+	}
+
+	// PPC32 is 32-bit PowerPC (System V ABI): big-endian ILP32 with
+	// natural alignment — the other big HPC architecture of the paper's
+	// era (IBM SP, early Macs).
+	PPC32 = Arch{
+		Name: "ppc32", Order: BigEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 4, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 4,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 4, LongLongAlign: 8,
+		FloatAlign: 4, DoubleAlign: 8, PointerAlign: 4,
+	}
+
+	// PPC64 is 64-bit PowerPC (LP64, big-endian).
+	PPC64 = Arch{
+		Name: "ppc64", Order: BigEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 8, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 8,
+		CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 8, LongLongAlign: 8,
+		FloatAlign: 4, DoubleAlign: 8, PointerAlign: 8,
+	}
+)
+
+// All lists every predefined architecture model.
+var All = []Arch{
+	SparcV8, SparcV9, SparcV9x64, X86, X86x64,
+	MIPSo32, MIPSn64, Alpha, StrongARM, I960,
+	PPC32, PPC64,
+}
+
+// ByName returns the predefined architecture with the given name.
+func ByName(name string) (Arch, error) {
+	for _, a := range All {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Arch{}, fmt.Errorf("abi: unknown architecture %q", name)
+}
+
+// Validate reports whether the architecture description is internally
+// consistent: every size and alignment positive, alignments powers of two
+// no larger than the corresponding size's natural bound.
+func (a *Arch) Validate() error {
+	type sa struct {
+		what        string
+		size, align int
+	}
+	checks := []sa{
+		{"char", a.CharSize, a.CharAlign},
+		{"short", a.ShortSize, a.ShortAlign},
+		{"int", a.IntSize, a.IntAlign},
+		{"long", a.LongSize, a.LongAlign},
+		{"long long", a.LongLongSize, a.LongLongAlign},
+		{"float", a.FloatSize, a.FloatAlign},
+		{"double", a.DoubleSize, a.DoubleAlign},
+		{"pointer", a.PointerSize, a.PointerAlign},
+	}
+	for _, c := range checks {
+		if c.size <= 0 {
+			return fmt.Errorf("abi: %s: %s size %d not positive", a.Name, c.what, c.size)
+		}
+		if c.align <= 0 || c.align&(c.align-1) != 0 {
+			return fmt.Errorf("abi: %s: %s alignment %d not a positive power of two", a.Name, c.what, c.align)
+		}
+		if c.align > c.size {
+			return fmt.Errorf("abi: %s: %s alignment %d exceeds size %d", a.Name, c.what, c.align, c.size)
+		}
+	}
+	if a.Order != BigEndian && a.Order != LittleEndian {
+		return fmt.Errorf("abi: %s: invalid byte order %d", a.Name, a.Order)
+	}
+	return nil
+}
+
+// MaxAlign returns the strictest alignment requirement of any basic type,
+// which bounds structure alignment.
+func (a *Arch) MaxAlign() int {
+	m := a.CharAlign
+	for _, v := range []int{
+		a.ShortAlign, a.IntAlign, a.LongAlign, a.LongLongAlign,
+		a.FloatAlign, a.DoubleAlign, a.PointerAlign,
+	} {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Align rounds off up to the next multiple of align (align must be a
+// positive power of two).
+func Align(off, align int) int {
+	return (off + align - 1) &^ (align - 1)
+}

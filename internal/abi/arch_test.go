@@ -1,0 +1,155 @@
+package abi
+
+import "testing"
+
+func TestAllArchesValidate(t *testing.T) {
+	for _, a := range All {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			if err := a.Validate(); err != nil {
+				t.Fatalf("Validate() = %v", err)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All {
+		got, err := ByName(a.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", a.Name, err)
+		}
+		if got.Name != a.Name {
+			t.Fatalf("ByName(%q).Name = %q", a.Name, got.Name)
+		}
+	}
+	if _, err := ByName("vax"); err == nil {
+		t.Fatal("ByName(vax) succeeded, want error")
+	}
+}
+
+func TestValidateRejectsBadArch(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Arch)
+	}{
+		{"zero size", func(a *Arch) { a.IntSize = 0 }},
+		{"negative size", func(a *Arch) { a.LongSize = -4 }},
+		{"zero align", func(a *Arch) { a.DoubleAlign = 0 }},
+		{"non power of two align", func(a *Arch) { a.DoubleAlign = 3 }},
+		{"align exceeds size", func(a *Arch) { a.ShortAlign = 4 }},
+		{"bad byte order", func(a *Arch) { a.Order = Endian(9) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := X86 // copy
+			tt.mut(&a)
+			if err := a.Validate(); err == nil {
+				t.Fatalf("Validate() accepted %s", tt.name)
+			}
+		})
+	}
+}
+
+func TestArchPairDiffersInLayoutDrivers(t *testing.T) {
+	// The paper's heterogeneous pair must disagree on byte order and on
+	// double alignment, or the experiments degenerate.
+	if SparcV8.Order == X86.Order {
+		t.Error("sparc-v8 and x86 have the same byte order")
+	}
+	if SparcV8.DoubleAlign == X86.DoubleAlign {
+		t.Error("sparc-v8 and x86 have the same double alignment")
+	}
+	// LP64 vs ILP32 long size difference (type-size conversion driver).
+	if SparcV9x64.LongSize == SparcV8.LongSize {
+		t.Error("sparc-v9-64 and sparc-v8 have the same long size")
+	}
+}
+
+func TestSizeOfAlignOf(t *testing.T) {
+	a := SparcV8
+	cases := []struct {
+		t           CType
+		size, align int
+	}{
+		{Char, 1, 1},
+		{Short, 2, 2},
+		{UShort, 2, 2},
+		{Int, 4, 4},
+		{UInt, 4, 4},
+		{Long, 4, 4},
+		{ULong, 4, 4},
+		{LongLong, 8, 8},
+		{Float, 4, 4},
+		{Double, 8, 8},
+	}
+	for _, c := range cases {
+		if got := a.SizeOf(c.t); got != c.size {
+			t.Errorf("SizeOf(%v) = %d, want %d", c.t, got, c.size)
+		}
+		if got := a.AlignOf(c.t); got != c.align {
+			t.Errorf("AlignOf(%v) = %d, want %d", c.t, got, c.align)
+		}
+	}
+	// x86 i386 ABI packs doubles to 4-byte alignment.
+	if got := X86.AlignOf(Double); got != 4 {
+		t.Errorf("x86 AlignOf(Double) = %d, want 4", got)
+	}
+}
+
+func TestMaxAlign(t *testing.T) {
+	if got := SparcV8.MaxAlign(); got != 8 {
+		t.Errorf("sparc-v8 MaxAlign = %d, want 8", got)
+	}
+	if got := X86.MaxAlign(); got != 4 {
+		t.Errorf("x86 MaxAlign = %d, want 4", got)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	cases := []struct{ off, align, want int }{
+		{0, 1, 0}, {0, 8, 0}, {1, 1, 1}, {1, 2, 2},
+		{3, 4, 4}, {4, 4, 4}, {5, 4, 8}, {9, 8, 16}, {17, 16, 32},
+	}
+	for _, c := range cases {
+		if got := Align(c.off, c.align); got != c.want {
+			t.Errorf("Align(%d, %d) = %d, want %d", c.off, c.align, got, c.want)
+		}
+	}
+}
+
+func TestCTypePredicates(t *testing.T) {
+	for _, ct := range []CType{Short, Int, Long, LongLong} {
+		if !ct.Signed() || !ct.Integer() {
+			t.Errorf("%v should be signed integer", ct)
+		}
+	}
+	for _, ct := range []CType{UShort, UInt, ULong} {
+		if ct.Signed() || !ct.Integer() {
+			t.Errorf("%v should be unsigned integer", ct)
+		}
+	}
+	for _, ct := range []CType{Float, Double} {
+		if !ct.Floating() || ct.Integer() || ct.Signed() {
+			t.Errorf("%v should be floating only", ct)
+		}
+	}
+	if Char.Integer() || Char.Floating() || Char.Signed() {
+		t.Error("Char should be none of integer/floating/signed")
+	}
+	if !Char.Valid() || CType(200).Valid() {
+		t.Error("Valid() misclassifies")
+	}
+}
+
+func TestCTypeString(t *testing.T) {
+	if Long.String() != "long" {
+		t.Errorf("Long.String() = %q", Long.String())
+	}
+	if CType(200).String() == "" {
+		t.Error("invalid CType String() empty")
+	}
+	if BigEndian.String() != "big" || LittleEndian.String() != "little" {
+		t.Error("Endian.String() wrong")
+	}
+}

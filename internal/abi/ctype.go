@@ -1,0 +1,127 @@
+package abi
+
+import "fmt"
+
+// CType identifies an abstract C basic type.  Record schemas are declared
+// in terms of CTypes; an Arch resolves each to a concrete size and
+// alignment, which is how the same logical record acquires different
+// layouts on different machines.
+type CType uint8
+
+const (
+	// Char is a one-byte character.  Arrays of Char model C char[]
+	// tags and fixed strings.
+	Char CType = iota
+	// Short is a C short (signed).
+	Short
+	// Int is a C int (signed).
+	Int
+	// Long is a C long (signed); its size differs across ABIs (4 on
+	// ILP32, 8 on LP64) — one of the mismatches PBIO converts.
+	Long
+	// LongLong is a C long long (signed, 8 bytes everywhere modelled).
+	LongLong
+	// UShort is an unsigned short.
+	UShort
+	// UInt is an unsigned int.
+	UInt
+	// ULong is an unsigned long.
+	ULong
+	// ULongLong is a C unsigned long long (8 bytes everywhere modelled).
+	ULongLong
+	// Float is a C float (IEEE 754 single).
+	Float
+	// Double is a C double (IEEE 754 double).
+	Double
+	numCTypes
+)
+
+var ctypeNames = [...]string{
+	Char:      "char",
+	Short:     "short",
+	Int:       "int",
+	Long:      "long",
+	LongLong:  "long long",
+	UShort:    "unsigned short",
+	UInt:      "unsigned int",
+	ULong:     "unsigned long",
+	ULongLong: "unsigned long long",
+	Float:     "float",
+	Double:    "double",
+}
+
+// String returns the C spelling of the type.
+func (t CType) String() string {
+	if int(t) < len(ctypeNames) {
+		return ctypeNames[t]
+	}
+	return fmt.Sprintf("ctype(%d)", uint8(t))
+}
+
+// Valid reports whether t is a defined CType.
+func (t CType) Valid() bool { return t < numCTypes }
+
+// Signed reports whether the type is a signed integer type.
+func (t CType) Signed() bool {
+	switch t {
+	case Short, Int, Long, LongLong:
+		return true
+	}
+	return false
+}
+
+// Integer reports whether the type is any integer type (signed or
+// unsigned, excluding char).
+func (t CType) Integer() bool {
+	switch t {
+	case Short, Int, Long, LongLong, UShort, UInt, ULong, ULongLong:
+		return true
+	}
+	return false
+}
+
+// Floating reports whether the type is a floating-point type.
+func (t CType) Floating() bool { return t == Float || t == Double }
+
+// SizeOf returns the size in bytes of the type under this architecture.
+func (a *Arch) SizeOf(t CType) int {
+	switch t {
+	case Char:
+		return a.CharSize
+	case Short, UShort:
+		return a.ShortSize
+	case Int, UInt:
+		return a.IntSize
+	case Long, ULong:
+		return a.LongSize
+	case LongLong, ULongLong:
+		return a.LongLongSize
+	case Float:
+		return a.FloatSize
+	case Double:
+		return a.DoubleSize
+	}
+	panic(fmt.Sprintf("abi: SizeOf(%v): unknown type", t))
+}
+
+// AlignOf returns the alignment requirement in bytes of the type under
+// this architecture.
+func (a *Arch) AlignOf(t CType) int {
+	switch t {
+	case Char:
+		return a.CharAlign
+	case Short, UShort:
+		return a.ShortAlign
+	case Int, UInt:
+		return a.IntAlign
+	case Long, ULong:
+		return a.LongAlign
+	case LongLong, ULongLong:
+		return a.LongLongAlign
+	case Float:
+		return a.FloatAlign
+	case Double:
+		return a.DoubleAlign
+	}
+	panic(fmt.Sprintf("abi: AlignOf(%v): unknown type", t))
+}

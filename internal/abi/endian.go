@@ -1,0 +1,170 @@
+package abi
+
+// Endian load/store helpers.  These are the primitive accessors used by
+// every codec in the repository to read and write multi-byte values in a
+// specific byte order.  They intentionally mirror encoding/binary's
+// ByteOrder methods but dispatch on the abi.Endian enum so that byte order
+// can travel inside wire meta-information as a single byte.
+
+// Uint16 reads a 16-bit value from b in byte order e.
+func (e Endian) Uint16(b []byte) uint16 {
+	_ = b[1]
+	if e == BigEndian {
+		return uint16(b[0])<<8 | uint16(b[1])
+	}
+	return uint16(b[1])<<8 | uint16(b[0])
+}
+
+// PutUint16 writes a 16-bit value to b in byte order e.
+func (e Endian) PutUint16(b []byte, v uint16) {
+	_ = b[1]
+	if e == BigEndian {
+		b[0] = byte(v >> 8)
+		b[1] = byte(v)
+	} else {
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+	}
+}
+
+// Uint32 reads a 32-bit value from b in byte order e.
+func (e Endian) Uint32(b []byte) uint32 {
+	_ = b[3]
+	if e == BigEndian {
+		return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	}
+	return uint32(b[3])<<24 | uint32(b[2])<<16 | uint32(b[1])<<8 | uint32(b[0])
+}
+
+// PutUint32 writes a 32-bit value to b in byte order e.
+func (e Endian) PutUint32(b []byte, v uint32) {
+	_ = b[3]
+	if e == BigEndian {
+		b[0] = byte(v >> 24)
+		b[1] = byte(v >> 16)
+		b[2] = byte(v >> 8)
+		b[3] = byte(v)
+	} else {
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+	}
+}
+
+// Uint64 reads a 64-bit value from b in byte order e.
+func (e Endian) Uint64(b []byte) uint64 {
+	_ = b[7]
+	if e == BigEndian {
+		return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+			uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	}
+	return uint64(b[7])<<56 | uint64(b[6])<<48 | uint64(b[5])<<40 | uint64(b[4])<<32 |
+		uint64(b[3])<<24 | uint64(b[2])<<16 | uint64(b[1])<<8 | uint64(b[0])
+}
+
+// PutUint64 writes a 64-bit value to b in byte order e.
+func (e Endian) PutUint64(b []byte, v uint64) {
+	_ = b[7]
+	if e == BigEndian {
+		b[0] = byte(v >> 56)
+		b[1] = byte(v >> 48)
+		b[2] = byte(v >> 40)
+		b[3] = byte(v >> 32)
+		b[4] = byte(v >> 24)
+		b[5] = byte(v >> 16)
+		b[6] = byte(v >> 8)
+		b[7] = byte(v)
+	} else {
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+		b[4] = byte(v >> 32)
+		b[5] = byte(v >> 40)
+		b[6] = byte(v >> 48)
+		b[7] = byte(v >> 56)
+	}
+}
+
+// Uint reads an unsigned integer of the given width (1, 2, 4 or 8 bytes).
+func (e Endian) Uint(b []byte, width int) uint64 {
+	switch width {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(e.Uint16(b))
+	case 4:
+		return uint64(e.Uint32(b))
+	case 8:
+		return e.Uint64(b)
+	}
+	panic("abi: Uint: invalid width")
+}
+
+// PutUint writes an unsigned integer of the given width (1, 2, 4 or 8
+// bytes).  Values wider than the destination are truncated, matching C
+// integer narrowing.
+func (e Endian) PutUint(b []byte, width int, v uint64) {
+	switch width {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		e.PutUint16(b, uint16(v))
+	case 4:
+		e.PutUint32(b, uint32(v))
+	case 8:
+		e.PutUint64(b, v)
+	default:
+		panic("abi: PutUint: invalid width")
+	}
+}
+
+// Int reads a signed integer of the given width, sign-extending to 64
+// bits.
+func (e Endian) Int(b []byte, width int) int64 {
+	u := e.Uint(b, width)
+	shift := uint(64 - 8*width)
+	return int64(u<<shift) >> shift
+}
+
+// PutInt writes a signed integer of the given width (two's complement,
+// truncating like a C narrowing conversion).
+func (e Endian) PutInt(b []byte, width int, v int64) {
+	e.PutUint(b, width, uint64(v))
+}
+
+// Swap16 reverses the bytes of a 16-bit value in place.
+func Swap16(b []byte) {
+	b[0], b[1] = b[1], b[0]
+}
+
+// Swap32 reverses the bytes of a 32-bit value in place.
+func Swap32(b []byte) {
+	b[0], b[3] = b[3], b[0]
+	b[1], b[2] = b[2], b[1]
+}
+
+// Swap64 reverses the bytes of a 64-bit value in place.
+func Swap64(b []byte) {
+	b[0], b[7] = b[7], b[0]
+	b[1], b[6] = b[6], b[1]
+	b[2], b[5] = b[5], b[2]
+	b[3], b[4] = b[4], b[3]
+}
+
+// Swap reverses the bytes of a value of the given width in place.  Width 1
+// is a no-op.
+func Swap(b []byte, width int) {
+	switch width {
+	case 1:
+	case 2:
+		Swap16(b)
+	case 4:
+		Swap32(b)
+	case 8:
+		Swap64(b)
+	default:
+		panic("abi: Swap: invalid width")
+	}
+}

@@ -1,0 +1,161 @@
+package abi
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEndianMatchesEncodingBinary(t *testing.T) {
+	// Our Endian helpers must agree exactly with the stdlib byte orders.
+	vals64 := []uint64{0, 1, 0x1122334455667788, ^uint64(0), 1 << 63}
+	buf := make([]byte, 8)
+	ref := make([]byte, 8)
+	for _, v := range vals64 {
+		BigEndian.PutUint64(buf, v)
+		binary.BigEndian.PutUint64(ref, v)
+		if string(buf) != string(ref) {
+			t.Errorf("BigEndian.PutUint64(%#x) = % x, want % x", v, buf, ref)
+		}
+		if got := BigEndian.Uint64(buf); got != v {
+			t.Errorf("BigEndian.Uint64 roundtrip = %#x, want %#x", got, v)
+		}
+		LittleEndian.PutUint64(buf, v)
+		binary.LittleEndian.PutUint64(ref, v)
+		if string(buf) != string(ref) {
+			t.Errorf("LittleEndian.PutUint64(%#x) = % x, want % x", v, buf, ref)
+		}
+		if got := LittleEndian.Uint64(buf); got != v {
+			t.Errorf("LittleEndian.Uint64 roundtrip = %#x, want %#x", got, v)
+		}
+	}
+	for _, v := range []uint32{0, 1, 0xdeadbeef, ^uint32(0)} {
+		BigEndian.PutUint32(buf, v)
+		binary.BigEndian.PutUint32(ref, v)
+		if string(buf[:4]) != string(ref[:4]) {
+			t.Errorf("BigEndian.PutUint32(%#x) mismatch", v)
+		}
+		if BigEndian.Uint32(buf) != v || func() uint32 { LittleEndian.PutUint32(buf, v); return LittleEndian.Uint32(buf) }() != v {
+			t.Errorf("Uint32 roundtrip failed for %#x", v)
+		}
+	}
+	for _, v := range []uint16{0, 1, 0xbeef, ^uint16(0)} {
+		BigEndian.PutUint16(buf, v)
+		binary.BigEndian.PutUint16(ref, v)
+		if string(buf[:2]) != string(ref[:2]) {
+			t.Errorf("BigEndian.PutUint16(%#x) mismatch", v)
+		}
+	}
+}
+
+func TestUintWidths(t *testing.T) {
+	buf := make([]byte, 8)
+	for _, e := range []Endian{BigEndian, LittleEndian} {
+		for _, width := range []int{1, 2, 4, 8} {
+			var v uint64 = 0xf7
+			if width > 1 {
+				v = 0xf7e6d5c4b3a29180 >> uint(64-8*width)
+			}
+			e.PutUint(buf, width, v)
+			if got := e.Uint(buf, width); got != v {
+				t.Errorf("%v width %d: Uint = %#x, want %#x", e, width, got, v)
+			}
+		}
+	}
+}
+
+func TestIntSignExtension(t *testing.T) {
+	buf := make([]byte, 8)
+	cases := []struct {
+		v     int64
+		width int
+	}{
+		{-1, 1}, {-1, 2}, {-1, 4}, {-1, 8},
+		{-128, 1}, {127, 1},
+		{-32768, 2}, {32767, 2},
+		{-2147483648, 4}, {2147483647, 4},
+		{-9e18, 8}, {9e18, 8},
+		{0, 4}, {42, 2},
+	}
+	for _, e := range []Endian{BigEndian, LittleEndian} {
+		for _, c := range cases {
+			e.PutInt(buf, c.width, c.v)
+			if got := e.Int(buf, c.width); got != c.v {
+				t.Errorf("%v: Int width %d roundtrip = %d, want %d", e, c.width, got, c.v)
+			}
+		}
+	}
+}
+
+func TestIntTruncation(t *testing.T) {
+	// Writing a wide value into a narrow slot truncates like C.
+	buf := make([]byte, 8)
+	BigEndian.PutInt(buf, 4, 0x1_0000_0001)
+	if got := BigEndian.Int(buf, 4); got != 1 {
+		t.Errorf("truncated write = %d, want 1", got)
+	}
+	BigEndian.PutInt(buf, 2, -65537) // 0xFFFF_FFFF_FFFE_FFFF -> 0xFFFF = -1
+	if got := BigEndian.Int(buf, 2); got != -1 {
+		t.Errorf("truncated negative = %d, want -1", got)
+	}
+}
+
+func TestSwapInvolution(t *testing.T) {
+	// Swapping twice must restore the original (property, quick-checked).
+	f := func(b [8]byte, w uint8) bool {
+		width := []int{1, 2, 4, 8}[int(w)%4]
+		orig := b
+		Swap(b[:width], width)
+		Swap(b[:width], width)
+		return b == orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapConvertsEndianness(t *testing.T) {
+	// Property: writing big-endian then swapping yields the little-endian
+	// encoding, for every width.
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 8)
+	ref := make([]byte, 8)
+	for i := 0; i < 1000; i++ {
+		v := rng.Uint64()
+		for _, width := range []int{2, 4, 8} {
+			vv := v >> uint(64-8*width)
+			BigEndian.PutUint(buf, width, vv)
+			Swap(buf[:width], width)
+			LittleEndian.PutUint(ref, width, vv)
+			if string(buf[:width]) != string(ref[:width]) {
+				t.Fatalf("width %d: swap(BE(%#x)) = % x, want % x", width, vv, buf[:width], ref[:width])
+			}
+		}
+	}
+}
+
+func TestSwapPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Swap(width=3) did not panic")
+		}
+	}()
+	Swap(make([]byte, 3), 3)
+}
+
+func TestUintPanicsOnBadWidth(t *testing.T) {
+	for _, fn := range []func(){
+		func() { BigEndian.Uint(make([]byte, 8), 3) },
+		func() { BigEndian.PutUint(make([]byte, 8), 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad width did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

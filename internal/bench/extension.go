@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/convert"
+	"repro/internal/dcg"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// HeteroExt is the type-extension fixture: the sender has evolved and its
+// records carry an unexpected field at the front (the paper's worst case,
+// shifting every expected field's offset).  It measures two receives of
+// such records against the unchanged expected format:
+//
+//   - heterogeneous (x86 evolved sender -> sparc receiver): conversion was
+//     already relocating fields, so the mismatch is free (Figure 6);
+//   - homogeneous (sparc evolved sender -> sparc receiver): the normally
+//     free receive now needs field relocation ~ memcpy (Figure 7).
+type HeteroExt struct {
+	heteroProg *dcg.Program
+	homoProg   *dcg.Program
+	heteroWire []byte // evolved record from the x86 sender
+	homoWire   []byte // evolved record from the sparc sender
+	dst        *native.Record
+	homoDst    []byte // in-place receive buffer (refreshed per call)
+	homoSafe   bool
+}
+
+// NewHeteroExt builds the fixture for one message size.
+func NewHeteroExt(s Size) *HeteroExt {
+	extSchema := ExtendedMixedSchema(s.N)
+	baseSchema := MixedSchema(s.N)
+
+	wireX86 := wire.MustLayout(extSchema, &abi.X86)
+	wireSparc := wire.MustLayout(extSchema, &abi.SparcV8)
+	nativeSparc := wire.MustLayout(baseSchema, &abi.SparcV8)
+
+	e := &HeteroExt{dst: native.New(nativeSparc)}
+
+	recX := native.New(wireX86)
+	native.FillDeterministic(recX, int64(s.Target))
+	e.heteroWire = recX.Buf
+
+	recS := native.New(wireSparc)
+	native.FillDeterministic(recS, int64(s.Target))
+	e.homoWire = recS.Buf
+	e.homoDst = append([]byte(nil), recS.Buf...)
+
+	planH, err := convert.NewPlan(wireX86, nativeSparc)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	if e.heteroProg, err = dcg.Compile(planH); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	planM, err := convert.NewPlan(wireSparc, nativeSparc)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	e.homoSafe = planM.InPlace
+	if e.homoProg, err = dcg.Compile(planM); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return e
+}
+
+// HeteroMismatchedDecode converts the evolved x86 record into the
+// unchanged sparc format (generated conversion).
+func (e *HeteroExt) HeteroMismatchedDecode() func() {
+	return func() {
+		if err := e.heteroProg.Convert(e.dst.Buf, e.heteroWire); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// HomoMismatchedDecode relocates the evolved sparc record's fields into
+// the unchanged sparc format, in the receive buffer when the plan allows
+// (PBIO reuses the receive buffer).
+func (e *HeteroExt) HomoMismatchedDecode() func() {
+	if e.homoSafe {
+		return func() {
+			// In-place: the conversion only moves fields downward, so
+			// re-running on the converted buffer is still a valid
+			// measurement of the same move pattern.
+			if err := e.homoProg.Convert(e.homoDst, e.homoDst); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return func() {
+		if err := e.homoProg.Convert(e.dst.Buf, e.homoWire); err != nil {
+			panic(err)
+		}
+	}
+}

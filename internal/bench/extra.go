@@ -1,0 +1,361 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/convert"
+	"repro/internal/dcg"
+	"repro/internal/iiop"
+	"repro/internal/mpi"
+	"repro/internal/native"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+	"repro/internal/xmlwire"
+)
+
+// Extension experiments beyond the paper's figures.
+
+// GenCost regenerates the dynamic-code-generation amortization argument
+// (paper §3, citing [6]): the one-time cost of generating a conversion
+// routine against the per-record saving it buys, and the break-even
+// record count.
+func GenCost() *Table {
+	t := &Table{
+		Title:  "Extension: conversion-routine generation cost vs per-record saving",
+		Note:   "break-even = generation cost / (interpreted - generated per-record time)",
+		Header: []string{"size", "plan+compile", "interp/rec", "DCG/rec", "saving/rec", "break-even"},
+	}
+	for _, s := range Sizes() {
+		p := MustPair(s, MixedSchema)
+		gen := Measure(func() {
+			plan, err := convert.NewPlan(p.X86Fmt, p.SparcFmt)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := dcg.Compile(plan); err != nil {
+				panic(err)
+			}
+		})
+		o := MustOps(p)
+		interp := Measure(o.PBIOInterpDecode())
+		gend := Measure(o.PBIODCGDecode())
+		saving := interp - gend
+		breakEven := "n/a"
+		if saving > 0 {
+			breakEven = fmt.Sprintf("%.1f recs", float64(gen)/float64(saving))
+		}
+		t.AddRow(s.Label, FmtDuration(gen), FmtDuration(interp), FmtDuration(gend),
+			FmtDuration(saving), breakEven)
+	}
+	return t
+}
+
+// Homo quantifies the paper's §4.3 parenthetical: "On an exchange
+// between homogeneous architectures, PBIO and MPI would have
+// substantially lower costs, while XML's costs would remain unchanged."
+// Receiver-side decode, x86 -> x86.
+func Homo() *Table {
+	t := &Table{
+		Title:  "Extension: receiver decode on a homogeneous exchange (x86 -> x86)",
+		Note:   "MPI uses its raw (no-conversion) mode; PBIO uses the record in place",
+		Header: []string{"size", "XML", "MPICH-raw", "CORBA", "PBIO"},
+	}
+	for _, s := range Sizes() {
+		f := wire.MustLayout(MixedSchema(s.N), &abi.X86)
+		src := native.New(f)
+		native.FillDeterministic(src, int64(s.Target))
+
+		// XML image and decoder.
+		xe := xmlwireEncoder(src)
+		xdec := xmlwireDecoder(f)
+		xmlT := Measure(func() {
+			if _, err := xdec.DecodeRecord(xe); err != nil {
+				panic(err)
+			}
+		})
+
+		// MPI raw mode.
+		dt, err := mpi.FromFormat(&abi.X86, f)
+		if err != nil {
+			panic(err)
+		}
+		dt.Commit()
+		packed, err := dt.Pack(nil, src.Buf, mpi.ModeRaw)
+		if err != nil {
+			panic(err)
+		}
+		dst := native.New(f)
+		mpiT := Measure(func() {
+			if err := dt.Unpack(dst.Buf, packed, mpi.ModeRaw); err != nil {
+				panic(err)
+			}
+		})
+
+		// CORBA: same byte order, still copies out of the packed stream.
+		ce := iiop.NewEncoder(f.Order, nil)
+		if err := iiop.MarshalRecord(ce, src); err != nil {
+			panic(err)
+		}
+		body := append([]byte(nil), ce.Bytes()...)
+		corbaT := Measure(func() {
+			if err := iiop.UnmarshalRecord(iiop.NewDecoder(f.Order, body), dst); err != nil {
+				panic(err)
+			}
+		})
+
+		// PBIO: identical layouts, record used in place.
+		plan, err := convert.NewPlan(f, f)
+		if err != nil {
+			panic(err)
+		}
+		prog, err := dcg.Compile(plan)
+		if err != nil {
+			panic(err)
+		}
+		recvBuf := append([]byte(nil), src.Buf...)
+		pbioT := Measure(func() {
+			if err := prog.Convert(recvBuf, recvBuf); err != nil {
+				panic(err)
+			}
+		})
+
+		t.AddRow(s.Label, FmtDuration(xmlT), FmtDuration(mpiT),
+			FmtDuration(corbaT), FmtDuration(pbioT))
+	}
+	return t
+}
+
+// XMLRoundTrip composes the roundtrip the paper left off Figure 5 "to
+// keep the figure to a reasonable scale": XML vs PBIO, with CPU legs
+// scaled to the paper's machines and network legs from the link model —
+// XML pays both conversion AND a larger wire image.
+func XMLRoundTrip() *Table {
+	t := &Table{
+		Title: "Extension: the roundtrip Figure 5 omitted — XML vs PBIO-DCG",
+		Note:  "CPU legs scaled to the paper's machines; XML's network legs carry the expanded text",
+		Header: []string{"size", "system", "A enc", "net", "B dec", "B enc", "net", "A dec",
+			"total", "vs PBIO"},
+	}
+	ops := allOps()
+	type legs struct {
+		xEnc, xDec, pEnc, pDecX, pDecS time.Duration
+		mEncS, mEncX                   time.Duration
+	}
+	measured := make([]legs, len(ops))
+	for i, o := range ops {
+		measured[i] = legs{
+			xEnc: Measure(o.XMLEncode()), xDec: Measure(o.XMLDecode()),
+			pEnc: Measure(o.PBIOEncode()), pDecX: Measure(o.PBIODCGDecodeX86()),
+			pDecS: Measure(o.PBIODCGDecode()),
+			mEncS: Measure(o.MPIEncode()), mEncX: Measure(o.MPIEncodeX86()),
+		}
+	}
+	big := measured[len(measured)-1]
+	cpuS, cpuX := CalibrateCPUsFrom(big.mEncS, big.mEncX)
+	for i, o := range ops {
+		m := measured[i]
+		xN := o.XMLWireSize()
+		// XML decode measured on the "sparc" side; approximate the x86
+		// side with the same host time scaled by the x86 model.
+		xrt := netsim.NewRoundTrip(linkModel,
+			cpuS.Time(m.xEnc), cpuX.Time(m.xDec), cpuX.Time(m.xEnc), cpuS.Time(m.xDec),
+			xN, xN)
+		prt := netsim.NewRoundTrip(linkModel,
+			cpuS.Time(m.pEnc), cpuX.Time(m.pDecX), cpuS.Time(m.pEnc), cpuS.Time(m.pDecS),
+			o.PBIOWireSize(), o.PBIOWireSize())
+		t.AddRow(o.Pair.Size.Label, "PBIO-DCG",
+			FmtDuration(prt.Legs[0].Time), FmtDuration(prt.Legs[1].Time),
+			FmtDuration(prt.Legs[2].Time), FmtDuration(prt.Legs[3].Time),
+			FmtDuration(prt.Legs[4].Time), FmtDuration(prt.Legs[5].Time),
+			FmtDuration(prt.Total()), "100%")
+		t.AddRow("", "XML",
+			FmtDuration(xrt.Legs[0].Time), FmtDuration(xrt.Legs[1].Time),
+			FmtDuration(xrt.Legs[2].Time), FmtDuration(xrt.Legs[3].Time),
+			FmtDuration(xrt.Legs[4].Time), FmtDuration(xrt.Legs[5].Time),
+			FmtDuration(xrt.Total()),
+			fmt.Sprintf("%.0f%%", 100*float64(xrt.Total())/float64(prt.Total())))
+	}
+	return t
+}
+
+// Pairs measures generated-conversion decode cost across representative
+// architecture pairs at the 10Kb size, classifying what each pair's
+// conversion actually does.
+func Pairs() *Table {
+	t := &Table{
+		Title:  "Extension: generated conversion across architecture pairs (10Kb record)",
+		Note:   "noop = identical layouts (zero work); others per the dominant operation",
+		Header: []string{"wire arch", "native arch", "work", "time", "GB/s"},
+	}
+	pairs := []struct {
+		from, to abi.Arch
+		work     string
+	}{
+		{abi.X86, abi.X86, "noop (same machine)"},
+		{abi.SparcV8, abi.MIPSo32, "noop (same layout rules)"},
+		{abi.SparcV8, abi.PPC32, "noop (same layout rules)"},
+		{abi.Alpha, abi.X86x64, "noop (same layout rules)"},
+		{abi.SparcV8, abi.X86, "swap + move"},
+		{abi.X86, abi.SparcV8, "swap + move"},
+		{abi.SparcV9x64, abi.X86, "swap + move + narrow"},
+		{abi.X86, abi.MIPSn64, "swap + move + widen"},
+		{abi.PPC64, abi.SparcV8, "move + narrow (both BE)"},
+	}
+	s := Sizes()[2] // 10Kb
+	for _, pr := range pairs {
+		pr := pr
+		wf := wire.MustLayout(MixedSchema(s.N), &pr.from)
+		nf := wire.MustLayout(MixedSchema(s.N), &pr.to)
+		plan, err := convert.NewPlan(wf, nf)
+		if err != nil {
+			panic(err)
+		}
+		prog, err := dcg.Compile(plan)
+		if err != nil {
+			panic(err)
+		}
+		src := native.New(wf)
+		native.FillDeterministic(src, 1)
+		dst := native.New(nf)
+		d := Measure(func() {
+			if err := prog.Convert(dst.Buf, src.Buf); err != nil {
+				panic(err)
+			}
+		})
+		gbps := float64(nf.Size) / d.Seconds() / 1e9
+		t.AddRow(pr.from.Name, pr.to.Name, pr.work, FmtDuration(d),
+			fmt.Sprintf("%.1f", gbps))
+	}
+	return t
+}
+
+// WireSizes compares bytes-on-the-wire per record across the systems —
+// the "compactness of wire formats" axis the paper's conclusions call
+// out.  NDR trades some size (native padding travels) for zero encode
+// cost; XML pays its expansion factor on every record.
+func WireSizes() *Table {
+	t := &Table{
+		Title:  "Extension: wire bytes per record (sparc-v8 sender)",
+		Note:   "PBIO = native record + frame header (one-time meta excluded); MPI/CORBA packed; XML text",
+		Header: []string{"size", "native", "PBIO", "MPI-XDR", "CORBA-CDR", "XML", "XML/native"},
+	}
+	for _, s := range Sizes() {
+		o := MustOps(MustPair(s, MixedSchema))
+		nativeSize := o.Pair.SparcFmt.Size
+		t.AddRow(s.Label,
+			fmt.Sprint(nativeSize),
+			fmt.Sprint(o.PBIOWireSize()),
+			fmt.Sprint(o.MPIPackedSize()),
+			fmt.Sprint(o.CDRWireSize()),
+			fmt.Sprint(o.XMLWireSize()),
+			fmt.Sprintf("%.1fx", float64(o.XMLWireSize())/float64(nativeSize)))
+	}
+	return t
+}
+
+// xmlwireEncoder returns the XML image of a record.
+func xmlwireEncoder(rec *native.Record) []byte {
+	e := xmlwire.NewEncoder(nil)
+	if err := e.EncodeRecord(rec); err != nil {
+		panic(err)
+	}
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// xmlwireDecoder returns a reusable decoder for the format.
+func xmlwireDecoder(f *wire.Format) *xmlwire.Decoder {
+	return xmlwire.NewDecoder(f)
+}
+
+// nestedSchema builds an array-of-structures workload (n particles).
+func nestedSchema(n int) *wire.Schema {
+	return &wire.Schema{
+		Name: "particles",
+		Fields: []wire.FieldSpec{
+			{Name: "step", Type: abi.Int, Count: 1},
+			{Name: "p", Count: n, Sub: &wire.Schema{
+				Name: "particle",
+				Fields: []wire.FieldSpec{
+					{Name: "id", Type: abi.Int, Count: 1},
+					{Name: "pos", Count: 1, Sub: &wire.Schema{
+						Name: "vec3",
+						Fields: []wire.FieldSpec{
+							{Name: "x", Type: abi.Double, Count: 1},
+							{Name: "y", Type: abi.Double, Count: 1},
+							{Name: "z", Type: abi.Double, Count: 1},
+						},
+					}},
+					{Name: "charge", Type: abi.Float, Count: 1},
+				},
+			}},
+		},
+	}
+}
+
+// Nested measures heterogeneous decode costs for array-of-structures
+// records (nested subtypes, converted via generated subroutines) against
+// flat records of the same byte volume — quantifying the cost of the
+// paper's "complex subtypes" support.
+func Nested() *Table {
+	t := &Table{
+		Title:  "Extension: nested (array-of-structs) vs flat records, heterogeneous decode",
+		Note:   "sparc-v8 wire -> x86 native; same data volume per row",
+		Header: []string{"particles", "bytes", "interp-AoS", "DCG-AoS", "DCG-flat", "AoS/flat"},
+	}
+	for _, n := range []int{10, 100, 1000} {
+		wf := wire.MustLayout(nestedSchema(n), &abi.SparcV8)
+		nf := wire.MustLayout(nestedSchema(n), &abi.X86)
+		plan, err := convert.NewPlan(wf, nf)
+		if err != nil {
+			panic(err)
+		}
+		prog, err := dcg.Compile(plan)
+		if err != nil {
+			panic(err)
+		}
+		src := native.New(wf)
+		native.FillDeterministic(src, int64(n))
+		dst := native.New(nf)
+		interpT := Measure(func() {
+			if err := convert.NewInterp(plan).Convert(dst.Buf, src.Buf); err != nil {
+				panic(err)
+			}
+		})
+		dcgT := Measure(func() {
+			if err := prog.Convert(dst.Buf, src.Buf); err != nil {
+				panic(err)
+			}
+		})
+
+		// Flat record of roughly the same byte volume: the mixed schema
+		// scaled to match.
+		flatN := (wf.Size - 48) / 8
+		if flatN < 1 {
+			flatN = 1
+		}
+		fwf := wire.MustLayout(MixedSchema(flatN), &abi.SparcV8)
+		fnf := wire.MustLayout(MixedSchema(flatN), &abi.X86)
+		fplan, err := convert.NewPlan(fwf, fnf)
+		if err != nil {
+			panic(err)
+		}
+		fprog, err := dcg.Compile(fplan)
+		if err != nil {
+			panic(err)
+		}
+		fsrc := native.New(fwf)
+		native.FillDeterministic(fsrc, int64(n))
+		fdst := native.New(fnf)
+		flatT := Measure(func() {
+			if err := fprog.Convert(fdst.Buf, fsrc.Buf); err != nil {
+				panic(err)
+			}
+		})
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(wf.Size),
+			FmtDuration(interpT), FmtDuration(dcgT), FmtDuration(flatT),
+			fmt.Sprintf("%.1fx", float64(dcgT)/float64(flatT)))
+	}
+	return t
+}

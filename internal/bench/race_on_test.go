@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation distorts relative costs, so timing-shape assertions are
+// skipped under -race.
+const raceEnabled = true

@@ -1,0 +1,139 @@
+package bench
+
+// Shape tests: assert the paper's qualitative findings — orderings and
+// rough ratios — as regression guards.  Absolute times vary with the
+// host; these relations should not.
+
+import (
+	"testing"
+	"time"
+)
+
+// measureAll returns the ops and key measured legs at the given size.
+func fixtureAt(t *testing.T, label string) *Ops {
+	t.Helper()
+	for _, s := range Sizes() {
+		if s.Label == label {
+			return MustOps(MustPair(s, MixedSchema))
+		}
+	}
+	t.Fatalf("no size %q", label)
+	return nil
+}
+
+// ratio returns a/b, guarding divide-by-zero.
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func TestShapePBIOEncodeFlat(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing-based shape test (skipped under -short and -race)")
+	}
+	// Figure 2's central claim: PBIO sender cost is O(1) in message
+	// size.  100Kb encode must cost within 10x of 100b encode (in
+	// practice it is ~1x; the bound only guards pathological regressions
+	// while tolerating timer noise).
+	small := Measure(fixtureAt(t, "100b").PBIOEncode())
+	big := Measure(fixtureAt(t, "100Kb").PBIOEncode())
+	if r := ratio(big, small); r > 10 {
+		t.Errorf("PBIO encode grew %0.1fx from 100b to 100Kb; should be ~flat", r)
+	}
+	// ... while MPICH encode grows with size (>= 100x across 1000x data).
+	mSmall := Measure(fixtureAt(t, "100b").MPIEncode())
+	mBig := Measure(fixtureAt(t, "100Kb").MPIEncode())
+	if r := ratio(mBig, mSmall); r < 100 {
+		t.Errorf("MPICH encode grew only %0.1fx from 100b to 100Kb; expected linear growth", r)
+	}
+}
+
+func TestShapeSenderOrdering(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing-based shape test (skipped under -short and -race)")
+	}
+	// Figure 2 at 100Kb: XML >> {MPICH, CORBA} >> PBIO.
+	o := fixtureAt(t, "100Kb")
+	xml := Measure(o.XMLEncode())
+	mpi := Measure(o.MPIEncode())
+	corba := Measure(o.CORBAEncode())
+	pbio := Measure(o.PBIOEncode())
+	if xml < 3*mpi || xml < 3*corba {
+		t.Errorf("XML encode (%v) not clearly above MPICH (%v) / CORBA (%v)", xml, mpi, corba)
+	}
+	if mpi < 100*pbio || corba < 100*pbio {
+		t.Errorf("PBIO encode (%v) not orders below MPICH (%v) / CORBA (%v)", pbio, mpi, corba)
+	}
+}
+
+func TestShapeReceiverOrdering(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing-based shape test (skipped under -short and -race)")
+	}
+	// Figures 3 and 4 at 100Kb: XML >> MPICH >= PBIO-interp > PBIO-DCG.
+	o := fixtureAt(t, "100Kb")
+	xml := Measure(o.XMLDecode())
+	mpi := Measure(o.MPIDecode())
+	interp := Measure(o.PBIOInterpDecode())
+	dcgT := Measure(o.PBIODCGDecode())
+	if xml < 3*mpi {
+		t.Errorf("XML decode (%v) not clearly above MPICH (%v)", xml, mpi)
+	}
+	if interp > mpi*12/10 {
+		t.Errorf("PBIO-interp (%v) above MPICH (%v); paper has it at or below", interp, mpi)
+	}
+	if dcgT*2 > interp {
+		t.Errorf("DCG decode (%v) not at least 2x faster than interpreted (%v)", dcgT, interp)
+	}
+}
+
+func TestShapeHomogeneousMatchedNearZero(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing-based shape test (skipped under -short and -race)")
+	}
+	// Figure 7: matched homogeneous receive does no per-byte work — its
+	// cost must not scale with record size and must sit far below the
+	// mismatched relocation.
+	small := Measure(fixtureAt(t, "100b").PBIOHomogeneousDecode())
+	big := Measure(fixtureAt(t, "100Kb").PBIOHomogeneousDecode())
+	if r := ratio(big, small); r > 10 {
+		t.Errorf("matched homogeneous receive grew %0.1fx with size; should be O(1)", r)
+	}
+	mismatch := Measure(NewHeteroExt(Sizes()[3]).HomoMismatchedDecode())
+	if big*10 > mismatch {
+		t.Errorf("matched receive (%v) not far below mismatched relocation (%v)", big, mismatch)
+	}
+}
+
+func TestShapeExtensionFreeHeterogeneous(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing-based shape test (skipped under -short and -race)")
+	}
+	// Figure 6: the unexpected field must cost (almost) nothing on a
+	// heterogeneous receive.  Allow 40% slack for timer noise.
+	s := Sizes()[3]
+	matched := Measure(MustOps(MustPair(s, MixedSchema)).PBIODCGDecode())
+	mism := Measure(NewHeteroExt(s).HeteroMismatchedDecode())
+	if r := ratio(mism, matched); r > 1.4 {
+		t.Errorf("unexpected field cost %.2fx on heterogeneous receive; paper: no effect", r)
+	}
+}
+
+func TestShapeXMLWireExpansion(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing-based shape test (skipped under -short and -race)")
+	}
+	// XML documents must be substantially larger than the binary record.
+	o := fixtureAt(t, "10Kb")
+	if o.XMLWireSize() < o.Pair.X86Fmt.Size*3/2 {
+		t.Errorf("XML wire size %d not substantially above binary %d",
+			o.XMLWireSize(), o.Pair.X86Fmt.Size)
+	}
+	// And PBIO's wire size is the native record plus a constant header.
+	if o.PBIOWireSize()-o.Pair.SparcFmt.Size > 64 {
+		t.Errorf("PBIO wire overhead %d bytes; should be a small constant",
+			o.PBIOWireSize()-o.Pair.SparcFmt.Size)
+	}
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Measure returns the per-call duration of fn, adaptively choosing an
+// iteration count so the measurement window is long enough to be stable.
+// fn runs at least once before timing starts (warm-up: caches, lazy
+// initialization, generated code).
+func Measure(fn func()) time.Duration {
+	fn() // warm-up
+	const window = 10 * time.Millisecond
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= window {
+			return elapsed / time.Duration(iters)
+		}
+		// Scale the iteration count toward the window, at least doubling.
+		next := iters * 2
+		if elapsed > 0 {
+			if est := int(float64(iters) * 1.2 * float64(window) / float64(elapsed)); est > next {
+				next = est
+			}
+		}
+		iters = next
+	}
+}
+
+// FmtDuration renders a duration in the paper's style: milliseconds with
+// enough significant digits for sub-microsecond values.
+func FmtDuration(d time.Duration) string {
+	ms := float64(d) / float64(time.Millisecond)
+	switch {
+	case ms >= 100:
+		return fmt.Sprintf("%.1fms", ms)
+	case ms >= 1:
+		return fmt.Sprintf("%.2fms", ms)
+	case ms >= 0.001:
+		return fmt.Sprintf("%.4fms", ms)
+	default:
+		return fmt.Sprintf("%.6fms", ms)
+	}
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		fmt.Fprintln(w, "  "+b.String())
+	}
+	printRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}

@@ -1,0 +1,158 @@
+// Package bench is the experiment harness: it builds the paper's
+// mixed-field workload at the paper's four message sizes, times each
+// system's encode and decode paths, and regenerates every figure of the
+// evaluation section as a printed table.
+//
+// Measurement philosophy (see DESIGN.md §2): encode/decode legs are
+// measured on the host; network legs are modelled with the link the paper
+// itself reports, because a single machine has no 100 Mbps Ethernet
+// between two dedicated hosts.  Reported *shapes* — orderings, ratios,
+// crossovers — are the reproduction target, not absolute microseconds.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/mpi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// MixedSchema returns the paper's mixed-field record shape with an
+// n-element double array: integers, a double timestamp, a long, a char
+// tag, a float and an int, followed by the bulk payload.  This mirrors
+// the records "from a real mechanical engineering application" (§4.1).
+func MixedSchema(n int) *wire.Schema {
+	return &wire.Schema{
+		Name: "mixed",
+		Fields: []wire.FieldSpec{
+			{Name: "node", Type: abi.Int, Count: 1},
+			{Name: "timestamp", Type: abi.Double, Count: 1},
+			{Name: "iter", Type: abi.Long, Count: 1},
+			{Name: "tag", Type: abi.Char, Count: 16},
+			{Name: "residual", Type: abi.Float, Count: 1},
+			{Name: "flags", Type: abi.UInt, Count: 1},
+			{Name: "values", Type: abi.Double, Count: n},
+		},
+	}
+}
+
+// ExtendedMixedSchema is MixedSchema with an unexpected field prepended —
+// the paper's worst-case type-extension probe (§4.4): the new field
+// shifts the offset of every expected field.
+func ExtendedMixedSchema(n int) *wire.Schema {
+	base := MixedSchema(n)
+	base.Fields = append([]wire.FieldSpec{
+		{Name: "new_diag", Type: abi.Double, Count: 1},
+	}, base.Fields...)
+	return base
+}
+
+// AppendedMixedSchema is MixedSchema with the unexpected field appended
+// at the end — the placement the paper recommends to evolving
+// applications (§4.4), which leaves every expected offset unchanged.
+func AppendedMixedSchema(n int) *wire.Schema {
+	base := MixedSchema(n)
+	base.Fields = append(base.Fields, wire.FieldSpec{
+		Name: "new_diag", Type: abi.Double, Count: 1,
+	})
+	return base
+}
+
+// Size is one of the paper's four message sizes.
+type Size struct {
+	Label  string
+	Target int // target binary record size in bytes
+	N      int // values[] element count achieving ~Target on x86
+}
+
+// Sizes returns the paper's four sizes (100 b, 1 Kb, 10 Kb, 100 Kb),
+// with array lengths chosen so the x86 record lands on the target.
+func Sizes() []Size {
+	targets := []struct {
+		label string
+		bytes int
+	}{
+		{"100b", 100}, {"1Kb", 1000}, {"10Kb", 10 * 1000}, {"100Kb", 100 * 1000},
+	}
+	sizes := make([]Size, len(targets))
+	for i, t := range targets {
+		n := solveN(t.bytes)
+		sizes[i] = Size{Label: t.label, Target: t.bytes, N: n}
+	}
+	return sizes
+}
+
+// solveN finds the values[] length whose x86 record size is closest to
+// the target.
+func solveN(target int) int {
+	base := wire.MustLayout(MixedSchema(1), &abi.X86)
+	perElem := 8
+	fixed := base.Size - perElem
+	n := (target - fixed) / perElem
+	if n < 1 {
+		n = 1
+	}
+	// Check the neighbor for a closer fit.
+	best, bestDiff := n, diff(fixed+n*perElem, target)
+	if d := diff(fixed+(n+1)*perElem, target); d < bestDiff {
+		best = n + 1
+	}
+	return best
+}
+
+func diff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Pair holds everything both sides of one heterogeneous exchange need for
+// one message size: formats, filled records and MPI datatypes for the
+// writer ("sparc", the paper's Sun Ultra 30) and reader ("x86", the
+// Pentium II).
+type Pair struct {
+	Size Size
+
+	SparcFmt, X86Fmt *wire.Format
+	SparcRec, X86Rec *native.Record
+	SparcDT, X86DT   *mpi.Datatype
+}
+
+// NewPair builds the fixtures for one message size.  The schema function
+// lets callers swap in ExtendedMixedSchema for type-extension probes.
+func NewPair(s Size, schema func(int) *wire.Schema) (*Pair, error) {
+	p := &Pair{Size: s}
+	sch := schema(s.N)
+	var err error
+	if p.SparcFmt, err = wire.Layout(sch, &abi.SparcV8); err != nil {
+		return nil, err
+	}
+	if p.X86Fmt, err = wire.Layout(sch, &abi.X86); err != nil {
+		return nil, err
+	}
+	p.SparcRec = native.New(p.SparcFmt)
+	p.X86Rec = native.New(p.X86Fmt)
+	native.FillDeterministic(p.SparcRec, int64(s.Target))
+	native.FillDeterministic(p.X86Rec, int64(s.Target))
+	if p.SparcDT, err = mpi.FromFormat(&abi.SparcV8, p.SparcFmt); err != nil {
+		return nil, err
+	}
+	p.SparcDT.Commit()
+	if p.X86DT, err = mpi.FromFormat(&abi.X86, p.X86Fmt); err != nil {
+		return nil, err
+	}
+	p.X86DT.Commit()
+	return p, nil
+}
+
+// MustPair is NewPair that panics on error.
+func MustPair(s Size, schema func(int) *wire.Schema) *Pair {
+	p, err := NewPair(s, schema)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return p
+}

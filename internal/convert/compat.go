@@ -1,0 +1,135 @@
+package convert
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Compatibility assessment.
+//
+// PBIO's by-name matching silently tolerates format differences: extra
+// wire fields are ignored, missing fields zeroed, and size differences
+// converted (possibly narrowing).  Applications deciding at run time
+// whether to accept an incoming format — the reflection workflows of
+// §4.4 — need those consequences spelled out before decoding.
+
+// Compat describes what converting wireFmt records into an expected
+// format would preserve, drop, or risk.
+type Compat struct {
+	// Exact is true when the layouts are identical (zero-copy receive).
+	Exact bool
+	// Lossless is true when every expected field is present and no
+	// conversion can lose information.
+	Lossless bool
+	// Converted lists matched fields needing representation changes
+	// (byte order, offset, or size), with a description each.
+	Converted []string
+	// Narrowed lists matched fields whose destination is narrower than
+	// the wire value (possible truncation / precision loss).
+	Narrowed []string
+	// Truncated lists matched array fields with fewer destination
+	// elements than the wire carries.
+	Truncated []string
+	// Missing lists expected fields absent from the wire (zero-filled).
+	Missing []string
+	// Ignored lists wire fields with no expected counterpart.
+	Ignored []string
+}
+
+// Assess computes the compatibility report for converting wireFmt records
+// into expected records.
+func Assess(wireFmt, expected *wire.Format) (*Compat, error) {
+	if err := wireFmt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := expected.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compat{Lossless: true}
+	if wire.SameLayout(wireFmt, expected) {
+		c.Exact = true
+		return c, nil
+	}
+	assessInto(c, wireFmt, expected, "")
+	return c, nil
+}
+
+func assessInto(c *Compat, wireFmt, expected *wire.Format, prefix string) {
+	m := wire.Match(wireFmt, expected)
+	for _, fm := range m.Matches {
+		name := prefix + fm.Expected.Name
+		if fm.Wire == nil {
+			c.Missing = append(c.Missing, name)
+			c.Lossless = false
+			continue
+		}
+		wf, ef := fm.Wire, fm.Expected
+		if wf.IsStruct() != ef.IsStruct() {
+			// NewPlan would reject this pairing outright.
+			c.Ignored = append(c.Ignored, name+" (structure mismatch)")
+			c.Lossless = false
+			continue
+		}
+		if wf.IsStruct() {
+			if ef.Count < wf.Count {
+				c.Truncated = append(c.Truncated,
+					fmt.Sprintf("%s (%d of %d elements)", name, ef.Count, wf.Count))
+				c.Lossless = false
+			}
+			assessInto(c, wf.Sub, ef.Sub, name+".")
+			continue
+		}
+		if ef.Count < wf.Count {
+			c.Truncated = append(c.Truncated,
+				fmt.Sprintf("%s (%d of %d elements)", name, ef.Count, wf.Count))
+			c.Lossless = false
+		}
+		var changes []string
+		if wireFmt.Order != expected.Order && wf.Size > 1 {
+			changes = append(changes, "byte order")
+		}
+		if wf.Offset != ef.Offset {
+			changes = append(changes, "offset")
+		}
+		if wf.Size != ef.Size {
+			changes = append(changes, fmt.Sprintf("size %d->%d", wf.Size, ef.Size))
+			if ef.Size < wf.Size {
+				c.Narrowed = append(c.Narrowed, name)
+				c.Lossless = false
+			}
+		}
+		if len(changes) > 0 {
+			c.Converted = append(c.Converted, name+" ("+strings.Join(changes, ", ")+")")
+		}
+	}
+	for _, f := range m.Unexpected {
+		c.Ignored = append(c.Ignored, prefix+f.Name)
+	}
+}
+
+// String renders the report for humans.
+func (c *Compat) String() string {
+	if c.Exact {
+		return "exact layout match: records usable directly from the receive buffer"
+	}
+	var b strings.Builder
+	if c.Lossless {
+		b.WriteString("convertible without loss")
+	} else {
+		b.WriteString("convertible WITH caveats")
+	}
+	section := func(title string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "\n  %s: %s", title, strings.Join(items, ", "))
+	}
+	section("converted", c.Converted)
+	section("narrowed (possible data loss)", c.Narrowed)
+	section("truncated arrays", c.Truncated)
+	section("missing (zero-filled)", c.Missing)
+	section("ignored wire fields", c.Ignored)
+	return b.String()
+}

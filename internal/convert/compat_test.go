@@ -1,0 +1,163 @@
+package convert
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/wire"
+)
+
+func TestAssessExact(t *testing.T) {
+	a := wire.MustLayout(mixedSchema(), &abi.X86)
+	b := wire.MustLayout(mixedSchema(), &abi.X86)
+	c, err := Assess(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Exact || !c.Lossless {
+		t.Errorf("identical layouts: %+v", c)
+	}
+	if !strings.Contains(c.String(), "exact") {
+		t.Errorf("String: %s", c)
+	}
+}
+
+func TestAssessHeterogeneousLossless(t *testing.T) {
+	w := wire.MustLayout(mixedSchema(), &abi.SparcV8)
+	e := wire.MustLayout(mixedSchema(), &abi.X86)
+	c, err := Assess(w, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Exact {
+		t.Error("sparc->x86 reported exact")
+	}
+	if !c.Lossless {
+		t.Errorf("same schema ILP32<->ILP32 should be lossless: %s", c)
+	}
+	if len(c.Converted) == 0 {
+		t.Error("no conversions reported for a heterogeneous pair")
+	}
+	// Byte order change must be mentioned for multi-byte fields.
+	found := false
+	for _, s := range c.Converted {
+		if strings.Contains(s, "byte order") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("byte order change unreported: %v", c.Converted)
+	}
+}
+
+func TestAssessNarrowing(t *testing.T) {
+	s := &wire.Schema{Name: "l", Fields: []wire.FieldSpec{{Name: "x", Type: abi.Long, Count: 1}}}
+	w := wire.MustLayout(s, &abi.SparcV9x64) // 8-byte long
+	e := wire.MustLayout(s, &abi.X86)        // 4-byte long
+	c, err := Assess(w, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lossless {
+		t.Error("8->4 byte long reported lossless")
+	}
+	if len(c.Narrowed) != 1 || c.Narrowed[0] != "x" {
+		t.Errorf("Narrowed = %v", c.Narrowed)
+	}
+	// Widening the other way is lossless.
+	c2, err := Assess(e, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Lossless {
+		t.Errorf("4->8 byte long not lossless: %s", c2)
+	}
+}
+
+func TestAssessMissingAndIgnored(t *testing.T) {
+	base := mixedSchema()
+	sub := &wire.Schema{Name: base.Name, Fields: base.Fields[:3]}
+	ext := &wire.Schema{Name: base.Name, Fields: append(
+		[]wire.FieldSpec{{Name: "extra", Type: abi.Int, Count: 1}}, base.Fields...)}
+
+	// Wire missing fields the receiver expects.
+	c, err := Assess(wire.MustLayout(sub, &abi.X86), wire.MustLayout(base, &abi.X86))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lossless || len(c.Missing) != len(base.Fields)-3 {
+		t.Errorf("missing fields: %+v", c)
+	}
+
+	// Wire carrying fields the receiver ignores: still lossless for the
+	// receiver's data.
+	c2, err := Assess(wire.MustLayout(ext, &abi.X86), wire.MustLayout(base, &abi.X86))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Ignored) != 1 || c2.Ignored[0] != "extra" {
+		t.Errorf("Ignored = %v", c2.Ignored)
+	}
+	if !c2.Lossless {
+		t.Errorf("extension should be lossless for the receiver: %s", c2)
+	}
+}
+
+func TestAssessArrayTruncation(t *testing.T) {
+	s8 := &wire.Schema{Name: "a", Fields: []wire.FieldSpec{{Name: "v", Type: abi.Int, Count: 8}}}
+	s4 := &wire.Schema{Name: "a", Fields: []wire.FieldSpec{{Name: "v", Type: abi.Int, Count: 4}}}
+	c, err := Assess(wire.MustLayout(s8, &abi.X86), wire.MustLayout(s4, &abi.X86))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lossless || len(c.Truncated) != 1 {
+		t.Errorf("truncation unreported: %+v", c)
+	}
+}
+
+func TestAssessNestedRecursion(t *testing.T) {
+	w := wire.MustLayout(particleSchema(2), &abi.SparcV9x64)
+	e := wire.MustLayout(particleSchema(2), &abi.X86)
+	c, err := Assess(w, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// iter is a Long: 8 -> 4 narrows... particleSchema has no long; but
+	// nested fields must appear with dotted names in Converted.
+	foundNested := false
+	for _, s := range c.Converted {
+		if strings.HasPrefix(s, "p.pos.") || strings.HasPrefix(s, "hdr.") {
+			foundNested = true
+		}
+	}
+	if !foundNested {
+		t.Errorf("nested conversions unreported: %v", c.Converted)
+	}
+}
+
+func TestAssessStructureMismatch(t *testing.T) {
+	w := wire.MustLayout(&wire.Schema{Name: "r", Fields: []wire.FieldSpec{
+		{Name: "v", Type: abi.Double, Count: 1}}}, &abi.X86)
+	e := wire.MustLayout(&wire.Schema{Name: "r", Fields: []wire.FieldSpec{
+		{Name: "v", Count: 1, Sub: &wire.Schema{Name: "s", Fields: []wire.FieldSpec{
+			{Name: "a", Type: abi.Double, Count: 1}}}}}}, &abi.X86)
+	c, err := Assess(w, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lossless {
+		t.Error("structure mismatch reported lossless")
+	}
+}
+
+func TestAssessRejectsInvalid(t *testing.T) {
+	good := wire.MustLayout(mixedSchema(), &abi.X86)
+	bad := &wire.Format{}
+	if _, err := Assess(bad, good); err == nil {
+		t.Error("invalid wire format accepted")
+	}
+	if _, err := Assess(good, bad); err == nil {
+		t.Error("invalid expected format accepted")
+	}
+}

@@ -1,0 +1,345 @@
+package convert
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func mixedSchema() *wire.Schema {
+	return &wire.Schema{
+		Name: "mixed",
+		Fields: []wire.FieldSpec{
+			{Name: "node", Type: abi.Int, Count: 1},
+			{Name: "timestamp", Type: abi.Double, Count: 1},
+			{Name: "iter", Type: abi.Long, Count: 1},
+			{Name: "tag", Type: abi.Char, Count: 16},
+			{Name: "residual", Type: abi.Float, Count: 1},
+			{Name: "flags", Type: abi.UInt, Count: 1},
+			{Name: "values", Type: abi.Double, Count: 8},
+		},
+	}
+}
+
+// convertVia builds a plan, converts src into a fresh native record, and
+// returns it.
+func convertVia(t *testing.T, src *native.Record, expected *wire.Format) *native.Record {
+	t.Helper()
+	p, err := NewPlan(src.Format, expected)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	dst := native.New(expected)
+	if err := NewInterp(p).Convert(dst.Buf, src.Buf); err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	return dst
+}
+
+func TestHeterogeneousConversionPreservesValues(t *testing.T) {
+	// The paper's canonical exchange: sparc (big-endian, 8-aligned
+	// doubles) -> x86 (little-endian, 4-aligned doubles).  Byte order
+	// AND offsets differ.
+	pairs := []struct{ from, to abi.Arch }{
+		{abi.SparcV8, abi.X86},
+		{abi.X86, abi.SparcV8},
+		{abi.SparcV9x64, abi.X86},   // LP64 -> ILP32: long narrows
+		{abi.X86, abi.SparcV9x64},   // ILP32 -> LP64: long widens
+		{abi.Alpha, abi.MIPSo32},    // LE LP64 -> BE ILP32
+		{abi.MIPSn64, abi.I960},     // BE LP64 -> LE ILP32 packed doubles
+		{abi.SparcV8, abi.SparcV8},  // homogeneous
+		{abi.StrongARM, abi.X86x64}, // LE ILP32 -> LE LP64 (no swap, move+widen)
+	}
+	for _, pr := range pairs {
+		pr := pr
+		t.Run(pr.from.Name+"->"+pr.to.Name, func(t *testing.T) {
+			src := native.New(wire.MustLayout(mixedSchema(), &pr.from))
+			native.FillDeterministic(src, 77)
+			dst := convertVia(t, src, wire.MustLayout(mixedSchema(), &pr.to))
+			if diff := native.SemanticEqual(src, dst); diff != "" {
+				t.Errorf("conversion lost data: %s", diff)
+			}
+		})
+	}
+}
+
+func TestNoOpPlanForIdenticalLayouts(t *testing.T) {
+	a := wire.MustLayout(mixedSchema(), &abi.SparcV8)
+	b := wire.MustLayout(mixedSchema(), &abi.SparcV8)
+	p, err := NewPlan(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.NoOp || !p.InPlace {
+		t.Errorf("identical layouts: NoOp=%v InPlace=%v, want true, true", p.NoOp, p.InPlace)
+	}
+	// Convert with distinct buffers copies; with the same buffer it is a
+	// true no-op.
+	src := native.New(a)
+	native.FillDeterministic(src, 5)
+	dst := native.New(b)
+	if err := NewInterp(p).Convert(dst.Buf, src.Buf); err != nil {
+		t.Fatal(err)
+	}
+	if diff := native.SemanticEqual(src, dst); diff != "" {
+		t.Error(diff)
+	}
+	if err := NewInterp(p).Convert(src.Buf, src.Buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignedNarrowingAndWidening(t *testing.T) {
+	s := &wire.Schema{Name: "l", Fields: []wire.FieldSpec{
+		{Name: "x", Type: abi.Long, Count: 1},
+		{Name: "u", Type: abi.ULong, Count: 1},
+	}}
+	wide := wire.MustLayout(s, &abi.SparcV9x64) // 8-byte longs, BE
+	narrow := wire.MustLayout(s, &abi.X86)      // 4-byte longs, LE
+
+	// Widening preserves sign.
+	src := native.New(narrow)
+	src.MustSetInt("x", 0, -42)
+	src.MustSetInt("u", 0, 0xFFFF0001)
+	dst := convertVia(t, src, wide)
+	if v, _ := dst.Int("x", 0); v != -42 {
+		t.Errorf("widened signed = %d, want -42", v)
+	}
+	if v, _ := dst.Int("u", 0); v != 0xFFFF0001 {
+		t.Errorf("widened unsigned = %#x, want 0xFFFF0001 (no sign extension)", v)
+	}
+
+	// Narrowing truncates like C.
+	src2 := native.New(wide)
+	src2.MustSetInt("x", 0, -42)
+	src2.MustSetInt("u", 0, 0x1_0000_0007)
+	dst2 := convertVia(t, src2, narrow)
+	if v, _ := dst2.Int("x", 0); v != -42 {
+		t.Errorf("narrowed signed = %d, want -42", v)
+	}
+	if v, _ := dst2.Int("u", 0); v != 7 {
+		t.Errorf("narrowed unsigned = %d, want 7", v)
+	}
+}
+
+func TestFloatWidthConversion(t *testing.T) {
+	// A float field on the wire feeding a double field (and vice versa):
+	// PBIO supports basic-size changes for floats too.
+	sFloat := &wire.Schema{Name: "f", Fields: []wire.FieldSpec{{Name: "v", Type: abi.Float, Count: 3}}}
+	sDouble := &wire.Schema{Name: "f", Fields: []wire.FieldSpec{{Name: "v", Type: abi.Double, Count: 3}}}
+	src := native.New(wire.MustLayout(sFloat, &abi.SparcV8))
+	for i, v := range []float64{1.5, -2.25, 1024} {
+		src.MustSetFloat("v", i, v)
+	}
+	dst := convertVia(t, src, wire.MustLayout(sDouble, &abi.X86))
+	for i, want := range []float64{1.5, -2.25, 1024} {
+		if got, _ := dst.Float("v", i); got != want {
+			t.Errorf("v[%d] = %v, want %v", i, got, want)
+		}
+	}
+	// And back down.
+	back := convertVia(t, dst, wire.MustLayout(sFloat, &abi.X86))
+	for i, want := range []float64{1.5, -2.25, 1024} {
+		if got, _ := back.Float("v", i); got != want {
+			t.Errorf("narrowed v[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestUnexpectedFieldIgnored(t *testing.T) {
+	// Type extension: wire carries an extra leading field (the paper's
+	// worst case).  The receiver's plan skips it; all expected fields
+	// convert correctly.
+	base := mixedSchema()
+	ext := &wire.Schema{Name: base.Name, Fields: append(
+		[]wire.FieldSpec{{Name: "new_field", Type: abi.Double, Count: 2}}, base.Fields...)}
+	src := native.New(wire.MustLayout(ext, &abi.SparcV8))
+	native.FillDeterministic(src, 9)
+	p, err := NewPlan(src.Format, wire.MustLayout(base, &abi.X86))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ignored != 1 {
+		t.Errorf("Ignored = %d, want 1", p.Ignored)
+	}
+	dst := native.New(p.Native)
+	if err := NewInterp(p).Convert(dst.Buf, src.Buf); err != nil {
+		t.Fatal(err)
+	}
+	if diff := native.SemanticEqual(dst, src); diff != "" {
+		t.Errorf("expected fields corrupted: %s", diff)
+	}
+}
+
+func TestMissingFieldZeroFilled(t *testing.T) {
+	base := mixedSchema()
+	// Wire omits "values" and "flags".
+	sub := &wire.Schema{Name: base.Name, Fields: base.Fields[:5]}
+	src := native.New(wire.MustLayout(sub, &abi.SparcV8))
+	native.FillDeterministic(src, 3)
+	p, err := NewPlan(src.Format, wire.MustLayout(base, &abi.X86))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Missing != 2 {
+		t.Errorf("Missing = %d, want 2", p.Missing)
+	}
+	dst := native.New(p.Native)
+	// Pre-dirty the destination to prove zeroing happens.
+	for i := range dst.Buf {
+		dst.Buf[i] = 0xAA
+	}
+	if err := NewInterp(p).Convert(dst.Buf, src.Buf); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.Int("flags", 0); v != 0 {
+		t.Errorf("missing flags = %d, want 0", v)
+	}
+	for i := 0; i < 8; i++ {
+		if v, _ := dst.Float("values", i); v != 0 {
+			t.Errorf("missing values[%d] = %v, want 0", i, v)
+		}
+	}
+	if diff := native.SemanticEqual(src, dst); diff != "" {
+		t.Errorf("present fields corrupted: %s", diff)
+	}
+}
+
+func TestCountMismatchTruncatesAndZeroPads(t *testing.T) {
+	s4 := &wire.Schema{Name: "a", Fields: []wire.FieldSpec{{Name: "v", Type: abi.Int, Count: 4}}}
+	s8 := &wire.Schema{Name: "a", Fields: []wire.FieldSpec{{Name: "v", Type: abi.Int, Count: 8}}}
+	src := native.New(wire.MustLayout(s4, &abi.SparcV8))
+	for i := 0; i < 4; i++ {
+		src.MustSetInt("v", i, int64(i+1))
+	}
+	dst := convertVia(t, src, wire.MustLayout(s8, &abi.X86))
+	for i := 0; i < 4; i++ {
+		if v, _ := dst.Int("v", i); v != int64(i+1) {
+			t.Errorf("v[%d] = %d", i, v)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if v, _ := dst.Int("v", i); v != 0 {
+			t.Errorf("tail v[%d] = %d, want 0", i, v)
+		}
+	}
+	// Shrinking keeps the prefix.
+	src8 := native.New(wire.MustLayout(s8, &abi.X86))
+	for i := 0; i < 8; i++ {
+		src8.MustSetInt("v", i, int64(10+i))
+	}
+	dst4 := convertVia(t, src8, wire.MustLayout(s4, &abi.SparcV8))
+	for i := 0; i < 4; i++ {
+		if v, _ := dst4.Int("v", i); v != int64(10+i) {
+			t.Errorf("shrunk v[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCharArrayLengthMismatch(t *testing.T) {
+	s8 := &wire.Schema{Name: "t", Fields: []wire.FieldSpec{{Name: "tag", Type: abi.Char, Count: 8}}}
+	s16 := &wire.Schema{Name: "t", Fields: []wire.FieldSpec{{Name: "tag", Type: abi.Char, Count: 16}}}
+	src := native.New(wire.MustLayout(s8, &abi.SparcV8))
+	src.MustSetString("tag", "abcdefgh") // fills all 8, no NUL
+	dst := convertVia(t, src, wire.MustLayout(s16, &abi.X86))
+	if got, _ := dst.String("tag"); got != "abcdefgh" {
+		t.Errorf("widened tag = %q", got)
+	}
+}
+
+func TestInPlaceConversion(t *testing.T) {
+	// Homogeneous byte order, wire record longer than native (extra
+	// leading field): dst offsets all <= src offsets, so the plan is
+	// in-place safe — PBIO's "reuse the receive buffer" case.
+	base := mixedSchema()
+	ext := &wire.Schema{Name: base.Name, Fields: append(
+		[]wire.FieldSpec{{Name: "hdr", Type: abi.Double, Count: 1}}, base.Fields...)}
+	wireF := wire.MustLayout(ext, &abi.X86)
+	natF := wire.MustLayout(base, &abi.X86)
+	p, err := NewPlan(wireF, natF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.InPlace {
+		t.Fatalf("plan not in-place safe:\n%s", p)
+	}
+	src := native.New(wireF)
+	native.FillDeterministic(src, 21)
+	ref := src.Clone()
+	// Convert within the same buffer.
+	if err := NewInterp(p).Convert(src.Buf, src.Buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := native.View(natF, src.Buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := native.SemanticEqual(got, ref); diff != "" {
+		t.Errorf("in-place conversion corrupted data: %s", diff)
+	}
+}
+
+func TestInPlaceUnsafeDetected(t *testing.T) {
+	// Wire record SMALLER than native (widening longs) forces dst
+	// offsets past src offsets: must not claim in-place safety.
+	s := &wire.Schema{Name: "w", Fields: []wire.FieldSpec{
+		{Name: "a", Type: abi.Long, Count: 4},
+		{Name: "b", Type: abi.Long, Count: 4},
+	}}
+	wireF := wire.MustLayout(s, &abi.X86)       // 4-byte longs
+	natF := wire.MustLayout(s, &abi.SparcV9x64) // 8-byte longs
+	p, err := NewPlan(wireF, natF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InPlace {
+		t.Error("widening plan incorrectly marked in-place safe")
+	}
+}
+
+func TestConvertBufferSizeChecks(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.SparcV8)
+	g := wire.MustLayout(mixedSchema(), &abi.X86)
+	p, _ := NewPlan(f, g)
+	it := NewInterp(p)
+	if err := it.Convert(make([]byte, g.Size), make([]byte, f.Size-1)); err == nil {
+		t.Error("short source accepted")
+	}
+	if err := it.Convert(make([]byte, g.Size-1), make([]byte, f.Size)); err == nil {
+		t.Error("short destination accepted")
+	}
+}
+
+func TestNewPlanRejectsInvalidFormats(t *testing.T) {
+	good := wire.MustLayout(mixedSchema(), &abi.X86)
+	bad := &wire.Format{Name: "", Size: 4}
+	if _, err := NewPlan(bad, good); err == nil {
+		t.Error("invalid wire format accepted")
+	}
+	if _, err := NewPlan(good, bad); err == nil {
+		t.Error("invalid native format accepted")
+	}
+}
+
+func TestPlanStringAndOpKindString(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.SparcV8)
+	g := wire.MustLayout(mixedSchema(), &abi.X86)
+	p, _ := NewPlan(f, g)
+	if p.String() == "" {
+		t.Error("empty plan string")
+	}
+	pn, _ := NewPlan(f, wire.MustLayout(mixedSchema(), &abi.SparcV8))
+	if pn.String() == "" {
+		t.Error("empty no-op plan string")
+	}
+	for k := OpCopy; k <= OpZero; k++ {
+		if k.String() == "" {
+			t.Errorf("OpKind(%d).String() empty", k)
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Error("invalid OpKind String empty")
+	}
+}

@@ -1,0 +1,141 @@
+package convert
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// one lays out a single-field schema.
+func one(t abi.CType, count int, arch *abi.Arch) *wire.Format {
+	return wire.MustLayout(&wire.Schema{
+		Name:   "one",
+		Fields: []wire.FieldSpec{{Name: "v", Type: t, Count: count}},
+	}, arch)
+}
+
+// TestCrossTypeConversionMatrix documents which same-name cross-type
+// conversions PBIO performs and which it rejects: integer<->integer (any
+// widths, any signedness) and float<->float convert; char<->char copies;
+// anything crossing the integer/float/char class boundary is rejected at
+// plan time.
+func TestCrossTypeConversionMatrix(t *testing.T) {
+	ints := []abi.CType{abi.Short, abi.Int, abi.Long, abi.LongLong, abi.UShort, abi.UInt, abi.ULong, abi.ULongLong}
+	floats := []abi.CType{abi.Float, abi.Double}
+	class := func(ct abi.CType) string {
+		switch {
+		case ct == abi.Char:
+			return "char"
+		case ct.Floating():
+			return "float"
+		default:
+			return "int"
+		}
+	}
+	all := append(append([]abi.CType{abi.Char}, ints...), floats...)
+	for _, from := range all {
+		for _, to := range all {
+			from, to := from, to
+			w := one(from, 1, &abi.SparcV8)
+			e := one(to, 1, &abi.X86)
+			p, err := NewPlan(w, e)
+			sameClass := class(from) == class(to) ||
+				(class(from) == "char" && class(to) == "int") ||
+				(class(from) == "int" && class(to) == "char")
+			if sameClass && err != nil {
+				t.Errorf("%v -> %v: rejected: %v", from, to, err)
+				continue
+			}
+			if !sameClass {
+				if err == nil {
+					t.Errorf("%v -> %v: cross-class conversion accepted", from, to)
+				}
+				continue
+			}
+			// Execute with a value representable in both.
+			src := native.New(w)
+			dst := native.New(e)
+			if class(from) == "float" {
+				src.MustSetFloat("v", 0, 2.5)
+				if err := NewInterp(p).Convert(dst.Buf, src.Buf); err != nil {
+					t.Fatalf("%v -> %v: %v", from, to, err)
+				}
+				if got, _ := dst.Float("v", 0); got != 2.5 {
+					t.Errorf("%v -> %v: value %v, want 2.5", from, to, got)
+				}
+			} else {
+				src.MustSetInt("v", 0, 21)
+				if err := NewInterp(p).Convert(dst.Buf, src.Buf); err != nil {
+					t.Fatalf("%v -> %v: %v", from, to, err)
+				}
+				if got, _ := dst.Int("v", 0); got != 21 {
+					t.Errorf("%v -> %v: value %v, want 21", from, to, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSignednessChange documents the C-like semantics of converting a
+// signed wire field into an unsigned native field and vice versa: the
+// two's-complement bit pattern is extended per the WIRE type's
+// signedness, then truncated to the destination width.
+func TestSignednessChange(t *testing.T) {
+	// Signed -1 (4 bytes) into unsigned 8 bytes: sign-extends, then the
+	// unsigned read yields 0xFFFFFFFFFFFFFFFF (as C would).
+	w := one(abi.Int, 1, &abi.X86)
+	e := one(abi.ULongLong, 1, &abi.X86)
+	p, err := NewPlan(w, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := native.New(w)
+	src.MustSetInt("v", 0, -1)
+	dst := native.New(e)
+	if err := NewInterp(p).Convert(dst.Buf, src.Buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := dst.Int("v", 0); got != -1 { // reads back the full pattern
+		t.Errorf("signed -1 -> unsigned 64: pattern %#x", uint64(got))
+	}
+
+	// Unsigned 0xFFFFFFFF (4 bytes) into signed 8 bytes: zero-extends.
+	w2 := one(abi.UInt, 1, &abi.X86)
+	e2 := one(abi.LongLong, 1, &abi.X86)
+	p2, err := NewPlan(w2, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := native.New(w2)
+	src2.MustSetInt("v", 0, -1) // stores 0xFFFFFFFF
+	dst2 := native.New(e2)
+	if err := NewInterp(p2).Convert(dst2.Buf, src2.Buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := dst2.Int("v", 0); got != 0xFFFFFFFF {
+		t.Errorf("unsigned 0xFFFFFFFF -> signed 64 = %d, want %d", got, int64(0xFFFFFFFF))
+	}
+}
+
+// TestCharToIntConversion: char arrays match integer fields of size 1
+// semantics — PBIO treats char as a 1-byte integer for conversion
+// purposes, so a char field can feed a wider integer.
+func TestCharToIntConversion(t *testing.T) {
+	w := one(abi.Char, 1, &abi.SparcV8)
+	e := one(abi.Int, 1, &abi.X86)
+	p, err := NewPlan(w, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := native.New(w)
+	src.MustSetInt("v", 0, 65)
+	dst := native.New(e)
+	if err := NewInterp(p).Convert(dst.Buf, src.Buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := dst.Int("v", 0); got != 65 {
+		t.Errorf("char 65 -> int = %d", got)
+	}
+}

@@ -1,0 +1,191 @@
+package convert
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func particleSchema(n int) *wire.Schema {
+	return &wire.Schema{
+		Name: "particles",
+		Fields: []wire.FieldSpec{
+			{Name: "hdr", Count: 1, Sub: &wire.Schema{
+				Name: "header",
+				Fields: []wire.FieldSpec{
+					{Name: "step", Type: abi.Int, Count: 1},
+					{Name: "t", Type: abi.Double, Count: 1},
+					{Name: "label", Type: abi.Char, Count: 8},
+				},
+			}},
+			{Name: "count", Type: abi.Int, Count: 1},
+			{Name: "p", Count: n, Sub: &wire.Schema{
+				Name: "particle",
+				Fields: []wire.FieldSpec{
+					{Name: "id", Type: abi.Int, Count: 1},
+					{Name: "pos", Count: 1, Sub: &wire.Schema{
+						Name: "vec3",
+						Fields: []wire.FieldSpec{
+							{Name: "x", Type: abi.Double, Count: 1},
+							{Name: "y", Type: abi.Double, Count: 1},
+							{Name: "z", Type: abi.Double, Count: 1},
+						},
+					}},
+					{Name: "charge", Type: abi.Float, Count: 1},
+				},
+			}},
+		},
+	}
+}
+
+func TestNestedConversionPreservesValues(t *testing.T) {
+	pairs := []struct{ from, to abi.Arch }{
+		{abi.SparcV8, abi.X86},
+		{abi.X86, abi.SparcV8},
+		{abi.SparcV9x64, abi.X86},
+		{abi.Alpha, abi.MIPSo32},
+		{abi.X86, abi.X86},
+	}
+	for _, pr := range pairs {
+		pr := pr
+		t.Run(pr.from.Name+"->"+pr.to.Name, func(t *testing.T) {
+			src := native.New(wire.MustLayout(particleSchema(5), &pr.from))
+			native.FillDeterministic(src, 99)
+			p, err := NewPlan(src.Format, wire.MustLayout(particleSchema(5), &pr.to))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := native.New(p.Native)
+			if err := NewInterp(p).Convert(dst.Buf, src.Buf); err != nil {
+				t.Fatal(err)
+			}
+			if diff := native.SemanticEqual(src, dst); diff != "" {
+				t.Errorf("nested conversion lost data: %s", diff)
+			}
+		})
+	}
+}
+
+func TestNestedPlanUsesSubPlans(t *testing.T) {
+	w := wire.MustLayout(particleSchema(3), &abi.SparcV8)
+	n := wire.MustLayout(particleSchema(3), &abi.X86)
+	p, err := NewPlan(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range p.Ops {
+		if p.Ops[i].Kind == OpStruct {
+			found = true
+			if p.Ops[i].Sub == nil {
+				t.Fatal("OpStruct without sub-plan")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("heterogeneous nested plan has no struct ops:\n%s", p)
+	}
+}
+
+func TestNestedHomogeneousDegeneratesToCopy(t *testing.T) {
+	// Same arch both sides, but an extra top-level field forces a
+	// non-NoOp plan; the nested fields must become plain copies, not
+	// struct sub-plans.
+	base := particleSchema(3)
+	ext := &wire.Schema{Name: base.Name, Fields: append(
+		[]wire.FieldSpec{{Name: "extra", Type: abi.Int, Count: 1}}, base.Fields...)}
+	w := wire.MustLayout(ext, &abi.X86)
+	n := wire.MustLayout(base, &abi.X86)
+	p, err := NewPlan(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Ops {
+		if p.Ops[i].Kind == OpStruct {
+			t.Errorf("identical nested layout planned as struct op, want copy:\n%s", p)
+		}
+	}
+}
+
+func TestNestedStructVsBasicMismatchRejected(t *testing.T) {
+	w := wire.MustLayout(&wire.Schema{Name: "r", Fields: []wire.FieldSpec{
+		{Name: "v", Type: abi.Double, Count: 1},
+	}}, &abi.X86)
+	n := wire.MustLayout(&wire.Schema{Name: "r", Fields: []wire.FieldSpec{
+		{Name: "v", Count: 1, Sub: &wire.Schema{Name: "s", Fields: []wire.FieldSpec{
+			{Name: "a", Type: abi.Double, Count: 1},
+		}}},
+	}}, &abi.X86)
+	if _, err := NewPlan(w, n); err == nil {
+		t.Error("basic -> struct conversion accepted")
+	}
+	if _, err := NewPlan(n, w); err == nil {
+		t.Error("struct -> basic conversion accepted")
+	}
+}
+
+func TestNestedCountMismatch(t *testing.T) {
+	// Wire has 2 particles, receiver expects 4: extra two zero-filled.
+	w := wire.MustLayout(particleSchema(2), &abi.SparcV8)
+	n := wire.MustLayout(particleSchema(4), &abi.X86)
+	src := native.New(w)
+	native.FillDeterministic(src, 7)
+	p, err := NewPlan(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := native.New(n)
+	for i := range dst.Buf {
+		dst.Buf[i] = 0xEE
+	}
+	if err := NewInterp(p).Convert(dst.Buf, src.Buf); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		sa := src.MustSub("p", e)
+		sb := dst.MustSub("p", e)
+		if diff := native.SemanticEqual(sa, sb); diff != "" {
+			t.Errorf("particle %d: %s", e, diff)
+		}
+	}
+	for e := 2; e < 4; e++ {
+		sub := dst.MustSub("p", e)
+		if v, _ := sub.Float("pos", 0); v != 0 {
+			// pos is a struct; Float on it errors — check id instead.
+			_ = v
+		}
+		if id, _ := sub.Int("id", 0); id != 0 {
+			t.Errorf("zero-filled particle %d has id %d", e, id)
+		}
+	}
+}
+
+func TestNestedInPlaceIdentity(t *testing.T) {
+	// Homogeneous wire with a trailing extra field: every expected field
+	// (including nested ones) sits at its own offset -> in-place safe.
+	base := particleSchema(2)
+	ext := &wire.Schema{Name: base.Name, Fields: append(
+		append([]wire.FieldSpec{}, base.Fields...),
+		wire.FieldSpec{Name: "extra", Type: abi.Int, Count: 1})}
+	w := wire.MustLayout(ext, &abi.X86)
+	n := wire.MustLayout(base, &abi.X86)
+	p, err := NewPlan(w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.InPlace {
+		t.Fatalf("appended-field nested plan not in-place safe:\n%s", p)
+	}
+	src := native.New(w)
+	native.FillDeterministic(src, 3)
+	ref := src.Clone()
+	if err := NewInterp(p).Convert(src.Buf, src.Buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := native.View(n, src.Buf)
+	if diff := native.SemanticEqual(got, ref); diff != "" {
+		t.Errorf("in-place nested conversion corrupted: %s", diff)
+	}
+}

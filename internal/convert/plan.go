@@ -1,0 +1,252 @@
+// Package convert plans and executes translations between a wire format
+// (the sender's native layout, arrived on the wire under NDR) and the
+// receiver's expected native format.
+//
+// A Plan is computed once per (wire format, expected format) pair: fields
+// are matched by name and each match is classified into the cheapest
+// sufficient operation — raw copy, byte-swap, integer size conversion,
+// float width conversion, char copy, or zero-fill.  The Plan is then
+// executed either by the table-driven interpreter in this package (the
+// paper's "interpreted conversion", §4.3) or compiled into a specialized
+// program by package dcg (the paper's dynamic-code-generation path).
+package convert
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/wire"
+)
+
+// OpKind classifies the work needed for one matched field.
+type OpKind uint8
+
+const (
+	// OpCopy copies bytes unchanged: identical element size and byte
+	// order (or single-byte elements).
+	OpCopy OpKind = iota
+	// OpSwap copies elements of equal size, reversing byte order.
+	OpSwap
+	// OpIntCvt converts integer elements whose sizes differ
+	// (sign/zero-extending or truncating), possibly across byte orders.
+	OpIntCvt
+	// OpFloatCvt converts between float32 and float64 elements,
+	// possibly across byte orders.
+	OpFloatCvt
+	// OpZero zero-fills a destination field with no wire counterpart.
+	OpZero
+	// OpStruct converts nested structure elements through a sub-plan —
+	// the paper's "call subroutines to convert complex subtypes" (§3).
+	OpStruct
+)
+
+var opKindNames = [...]string{
+	OpCopy: "copy", OpSwap: "swap", OpIntCvt: "intcvt",
+	OpFloatCvt: "floatcvt", OpZero: "zero", OpStruct: "struct",
+}
+
+// String names the op kind.
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("opkind(%d)", uint8(k))
+}
+
+// Op is one planned field conversion.
+type Op struct {
+	Kind             OpKind
+	SrcOff, DstOff   int        // byte offsets in the wire / native records
+	SrcSize, DstSize int        // element sizes (for OpStruct: the strides)
+	Count            int        // elements converted
+	TailZero         int        // destination bytes to zero after Count elements
+	SrcOrder         abi.Endian // byte order of the wire elements
+	DstOrder         abi.Endian // byte order of the native elements
+	Signed           bool       // integer conversions: sign- vs zero-extend
+	Sub              *Plan      // OpStruct: converts one element
+}
+
+// srcLen returns the number of source bytes the op reads.
+func (o *Op) srcLen() int { return o.SrcSize * o.Count }
+
+// dstLen returns the number of destination bytes the op writes, including
+// the zeroed tail.
+func (o *Op) dstLen() int { return o.DstSize*o.Count + o.TailZero }
+
+// Plan is a compiled-once description of the conversion from one wire
+// format to one expected native format.
+type Plan struct {
+	Wire    *wire.Format
+	Native  *wire.Format
+	Ops     []Op
+	NoOp    bool // layouts identical: data usable straight from the buffer
+	InPlace bool // safe to run with dst and src aliasing the same buffer
+	Missing int  // expected fields absent from the wire (zero-filled)
+	Ignored int  // wire fields with no expected counterpart (type extension)
+}
+
+// NewPlan matches wireFmt against expected by field name and plans the
+// per-field conversions.
+func NewPlan(wireFmt, expected *wire.Format) (*Plan, error) {
+	if err := wireFmt.Validate(); err != nil {
+		return nil, fmt.Errorf("convert: wire format: %w", err)
+	}
+	if err := expected.Validate(); err != nil {
+		return nil, fmt.Errorf("convert: expected format: %w", err)
+	}
+	p := &Plan{Wire: wireFmt, Native: expected}
+	if wire.SameLayout(wireFmt, expected) {
+		p.NoOp = true
+		p.InPlace = true
+		return p, nil
+	}
+	m := wire.Match(wireFmt, expected)
+	p.Missing = m.Missing
+	p.Ignored = len(m.Unexpected)
+	p.Ops = make([]Op, 0, len(m.Matches))
+	for _, fm := range m.Matches {
+		op, err := planField(fm)
+		if err != nil {
+			return nil, err
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	p.finishOps()
+	p.InPlace = inPlaceSafe(p.Ops)
+	return p, nil
+}
+
+// planField classifies the conversion for one matched field.
+func planField(fm wire.FieldMatch) (Op, error) {
+	ef := fm.Expected
+	if fm.Wire == nil {
+		return Op{
+			Kind:   OpZero,
+			DstOff: ef.Offset,
+			// Represent the whole field as tail.
+			DstSize:  ef.Size,
+			TailZero: ef.ByteLen(),
+		}, nil
+	}
+	wf := fm.Wire
+	op := Op{
+		SrcOff: wf.Offset, DstOff: ef.Offset,
+		SrcSize: wf.Size, DstSize: ef.Size,
+		Signed: wf.Type.Signed(),
+	}
+	// Element count: convert the overlap, zero any destination tail.
+	op.Count = wf.Count
+	if ef.Count < op.Count {
+		op.Count = ef.Count
+	}
+	op.TailZero = (ef.Count - op.Count) * ef.Size
+
+	switch {
+	case wf.IsStruct() != ef.IsStruct():
+		return Op{}, fmt.Errorf("convert: field %q: structure on only one side", ef.Name)
+	case wf.IsStruct():
+		sub, err := NewPlan(wf.Sub, ef.Sub)
+		if err != nil {
+			return Op{}, fmt.Errorf("convert: field %q: %w", ef.Name, err)
+		}
+		if sub.NoOp {
+			// Identical nested layouts degenerate to a block copy.
+			op.Kind = OpCopy
+			return op, nil
+		}
+		op.Kind = OpStruct
+		op.Sub = sub
+		return op, nil
+	case wf.Type == abi.Char && ef.Type == abi.Char:
+		op.Kind = OpCopy
+		// Char arrays copy the byte overlap; sizes are 1.
+		return op, nil
+	case wf.Type.Floating() && ef.Type.Floating():
+		if wf.Size == ef.Size {
+			op.Kind = OpSwap // resolved to copy below if orders agree
+		} else {
+			op.Kind = OpFloatCvt
+		}
+	case (wf.Type.Integer() || wf.Type == abi.Char) && (ef.Type.Integer() || ef.Type == abi.Char):
+		if wf.Size == ef.Size {
+			op.Kind = OpSwap
+		} else {
+			op.Kind = OpIntCvt
+		}
+	default:
+		return Op{}, fmt.Errorf("convert: field %q: cannot convert %v to %v",
+			ef.Name, wf.Type, ef.Type)
+	}
+	return op, nil
+}
+
+// finishOp resolves Swap to Copy when byte orders agree and records the
+// orders.  Split from planField so NewPlan can set orders centrally.
+func (p *Plan) finishOps() {
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		op.SrcOrder = p.Wire.Order
+		op.DstOrder = p.Native.Order
+		if op.Kind == OpSwap && (op.SrcOrder == op.DstOrder || op.SrcSize == 1) {
+			op.Kind = OpCopy
+		}
+	}
+}
+
+// inPlaceSafe reports whether executing the ops with destination and
+// source aliasing the same buffer preserves correctness.  Ops run in
+// order; each op reads a full source element before writing the
+// destination element.  Safety requires that (a) within an op, the
+// destination never overtakes unread source bytes — guaranteed when
+// DstOff <= SrcOff and DstSize <= SrcSize — and (b) no op's destination
+// range overlaps a *later* op's source range.
+func inPlaceSafe(ops []Op) bool {
+	for i := range ops {
+		o := &ops[i]
+		if o.Kind == OpZero {
+			// Zero-fill writes only; treat like any writer for (b).
+		} else {
+			d0, d1 := o.DstOff, o.DstOff+o.dstLen()
+			s0, s1 := o.SrcOff, o.SrcOff+o.srcLen()
+			overlaps := d0 < s1 && s0 < d1
+			if o.Kind == OpStruct {
+				// A sub-plan's internal moves are only provably safe
+				// in place when each element converts exactly onto
+				// itself and the sub-plan is itself in-place safe.
+				if overlaps && !(o.DstOff == o.SrcOff && o.DstSize == o.SrcSize && o.Sub.InPlace) {
+					return false
+				}
+			} else if overlaps && (o.DstOff > o.SrcOff || o.DstSize > o.SrcSize) {
+				return false
+			}
+		}
+		for j := i + 1; j < len(ops); j++ {
+			l := &ops[j]
+			if l.Kind == OpZero {
+				continue
+			}
+			d0, d1 := ops[i].DstOff, ops[i].DstOff+ops[i].dstLen()
+			s0, s1 := l.SrcOff, l.SrcOff+l.srcLen()
+			if d0 < s1 && s0 < d1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the plan for debugging and the pbio-dump tool.
+func (p *Plan) String() string {
+	if p.NoOp {
+		return fmt.Sprintf("plan %q -> %q: identical layout (no-op)", p.Wire.Name, p.Native.Name)
+	}
+	s := fmt.Sprintf("plan %q (%s) -> %q (%s): %d ops, %d missing, %d ignored, inplace=%v\n",
+		p.Wire.Name, p.Wire.Arch, p.Native.Name, p.Native.Arch,
+		len(p.Ops), p.Missing, p.Ignored, p.InPlace)
+	for i := range p.Ops {
+		o := &p.Ops[i]
+		s += fmt.Sprintf("  %-8s src@%d(%d) -> dst@%d(%d) x%d tail %d\n",
+			o.Kind, o.SrcOff, o.SrcSize, o.DstOff, o.DstSize, o.Count, o.TailZero)
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+package dcg
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/convert"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// benchSchema is a 10Kb-class mixed record.
+func benchSchema() *wire.Schema {
+	s := mixedSchema()
+	s.Fields[len(s.Fields)-1].Count = 1245
+	return s
+}
+
+func BenchmarkCompile(b *testing.B) {
+	wf := wire.MustLayout(benchSchema(), &abi.SparcV8)
+	nf := wire.MustLayout(benchSchema(), &abi.X86)
+	plan, err := convert.NewPlan(wf, nf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvertPairs measures the generated conversion across
+// representative architecture pairs: swap-dominated, move-dominated,
+// size-converting, and no-op.
+func BenchmarkConvertPairs(b *testing.B) {
+	pairs := []struct {
+		name     string
+		from, to abi.Arch
+	}{
+		{"swap/sparc-to-x86", abi.SparcV8, abi.X86},
+		{"move-only/sparc-to-mips", abi.SparcV8, abi.MIPSo32}, // same order+layout: noop
+		{"resize/sparcv9-64-to-x86", abi.SparcV9x64, abi.X86},
+		{"swap+widen/x86-to-mips-n64", abi.X86, abi.MIPSn64},
+		{"noop/x86-to-x86", abi.X86, abi.X86},
+	}
+	for _, pr := range pairs {
+		pr := pr
+		b.Run(pr.name, func(b *testing.B) {
+			wf := wire.MustLayout(benchSchema(), &pr.from)
+			nf := wire.MustLayout(benchSchema(), &pr.to)
+			plan, err := convert.NewPlan(wf, nf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := Compile(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := native.New(wf)
+			native.FillDeterministic(src, 1)
+			dst := native.New(nf)
+			b.SetBytes(int64(nf.Size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := prog.Convert(dst.Buf, src.Buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConvertNested measures the subroutine-call path on an
+// array-of-structures record.
+func BenchmarkConvertNested(b *testing.B) {
+	wf := wire.MustLayout(particleSchema(250), &abi.SparcV8)
+	nf := wire.MustLayout(particleSchema(250), &abi.X86)
+	plan, err := convert.NewPlan(wf, nf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := Compile(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := native.New(wf)
+	native.FillDeterministic(src, 1)
+	dst := native.New(nf)
+	b.SetBytes(int64(nf.Size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := prog.Convert(dst.Buf, src.Buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package dcg
+
+import (
+	"sync"
+
+	"repro/internal/convert"
+	"repro/internal/wire"
+)
+
+// Cache memoizes compiled conversion programs per (wire format, native
+// format) layout pair.  PBIO generates a conversion routine once, "as soon
+// as the wire format is known", and reuses it for every subsequent record
+// of that format; the cache provides the same amortization.
+//
+// A Cache is safe for concurrent use.
+type Cache struct {
+	mu    sync.RWMutex
+	progs map[cacheKey]*Program
+}
+
+type cacheKey struct {
+	wire, native string
+}
+
+// NewCache returns an empty program cache.
+func NewCache() *Cache {
+	return &Cache{progs: make(map[cacheKey]*Program)}
+}
+
+// Get returns a compiled program converting wireFmt records into expected
+// records, compiling it on first use.
+func (c *Cache) Get(wireFmt, expected *wire.Format) (*Program, error) {
+	key := cacheKey{wireFmt.Fingerprint(), expected.Fingerprint()}
+	c.mu.RLock()
+	prog := c.progs[key]
+	c.mu.RUnlock()
+	if prog != nil {
+		return prog, nil
+	}
+	plan, err := convert.NewPlan(wireFmt, expected)
+	if err != nil {
+		return nil, err
+	}
+	prog, err = Compile(plan)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	// Another goroutine may have won the race; keep the first program so
+	// callers share one instance.
+	if existing, ok := c.progs[key]; ok {
+		prog = existing
+	} else {
+		c.progs[key] = prog
+	}
+	c.mu.Unlock()
+	return prog, nil
+}
+
+// Len returns the number of cached programs.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.progs)
+}

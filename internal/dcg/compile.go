@@ -1,0 +1,336 @@
+package dcg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/convert"
+)
+
+// step is one compiled conversion step.  dst and src are whole record
+// buffers; all offsets are baked into the closure.
+type step func(dst, src []byte)
+
+// Program is a compiled conversion routine: the run-time-generated
+// counterpart of the interpreted converter.  A Program is immutable and
+// safe for concurrent use.
+type Program struct {
+	plan  *convert.Plan
+	code  []Instr // optimized instruction stream (for inspection)
+	steps []step
+	noop  bool
+}
+
+// Compile plans, emits, optimizes and lowers a conversion program for the
+// given plan.  This is the "one-time cost of generating binary code" the
+// paper amortizes across records.
+func Compile(p *convert.Plan) (*Program, error) {
+	return compile(p, true)
+}
+
+// CompileUnoptimized lowers the raw instruction stream without the
+// peephole pass.  It exists for the coalescing ablation benchmark; use
+// Compile everywhere else.
+func CompileUnoptimized(p *convert.Plan) (*Program, error) {
+	return compile(p, false)
+}
+
+func compile(p *convert.Plan, optimize bool) (*Program, error) {
+	code, err := Emit(p)
+	if err != nil {
+		return nil, err
+	}
+	if optimize {
+		code = Optimize(code)
+	}
+	prog := &Program{plan: p, code: code, noop: p.NoOp}
+	prog.steps = make([]step, 0, len(code))
+	for _, in := range code {
+		s, err := lower(in)
+		if err != nil {
+			return nil, err
+		}
+		prog.steps = append(prog.steps, s)
+	}
+	return prog, nil
+}
+
+// Plan returns the plan the program was compiled from.
+func (p *Program) Plan() *convert.Plan { return p.plan }
+
+// Code returns the optimized instruction stream (for tests, dumps and the
+// ablation benchmarks).
+func (p *Program) Code() []Instr { return p.code }
+
+// Convert runs the compiled routine: one wire record in src is converted
+// into the receiver's native layout in dst.  dst and src may alias only
+// when the plan is in-place safe.
+func (p *Program) Convert(dst, src []byte) error {
+	if len(src) < p.plan.Wire.Size {
+		return fmt.Errorf("dcg: source %d bytes, wire format needs %d", len(src), p.plan.Wire.Size)
+	}
+	if len(dst) < p.plan.Native.Size {
+		return fmt.Errorf("dcg: destination %d bytes, native format needs %d", len(dst), p.plan.Native.Size)
+	}
+	if p.noop {
+		if &dst[0] != &src[0] {
+			copy(dst[:p.plan.Native.Size], src[:p.plan.Wire.Size])
+		}
+		return nil
+	}
+	for _, s := range p.steps {
+		s(dst, src)
+	}
+	return nil
+}
+
+// lower compiles one instruction into a specialized closure.
+func lower(in Instr) (step, error) {
+	switch in.Op {
+	case IMovBlk:
+		d, s, n := in.Dst, in.Src, in.Len
+		if d == s {
+			// Identity move: a no-op whenever the conversion runs in
+			// place (PBIO's receive-buffer reuse).  This is what makes
+			// the paper's §4.4 advice — append new fields at the END of
+			// evolving formats — nearly free for old receivers: every
+			// expected field stays at its offset.
+			return func(dst, src []byte) {
+				if &dst[0] == &src[0] {
+					return
+				}
+				copy(dst[d:d+n], src[s:s+n])
+			}, nil
+		}
+		return func(dst, src []byte) {
+			copy(dst[d:d+n], src[s:s+n])
+		}, nil
+
+	case ISwap:
+		return lowerSwap(in)
+
+	case ICvtInt:
+		return lowerCvtInt(in)
+
+	case ICvtFloat:
+		return lowerCvtFloat(in)
+
+	case IZero:
+		d, n := in.Dst, in.Len
+		return func(dst, src []byte) {
+			b := dst[d : d+n]
+			for i := range b {
+				b[i] = 0
+			}
+		}, nil
+
+	case ICall:
+		// Compile the subroutine body once; the loop re-bases the
+		// buffers per element and runs the compiled steps.
+		sub := make([]step, 0, len(in.Sub))
+		for _, si := range in.Sub {
+			s, err := lower(si)
+			if err != nil {
+				return nil, err
+			}
+			sub = append(sub, s)
+		}
+		d, s, n := in.Dst, in.Src, in.Count
+		ds, ss := in.DstW, in.SrcW
+		return func(dst, src []byte) {
+			for e := 0; e < n; e++ {
+				db := dst[d+e*ds : d+(e+1)*ds]
+				sb := src[s+e*ss : s+(e+1)*ss]
+				for _, st := range sub {
+					st(db, sb)
+				}
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("dcg: cannot lower %v", in.Op)
+}
+
+// lowerSwap produces a fixed-width byte-reversing copy loop.  The
+// binary.BigEndian/LittleEndian calls are compiler intrinsics, so each
+// element is a single load, byte-swap and store — the same code a native
+// code generator would emit.
+func lowerSwap(in Instr) (step, error) {
+	d, s, n := in.Dst, in.Src, in.Count
+	switch in.Width {
+	case 2:
+		return func(dst, src []byte) {
+			for i := 0; i < n; i++ {
+				v := binary.BigEndian.Uint16(src[s+2*i:])
+				binary.LittleEndian.PutUint16(dst[d+2*i:], v)
+			}
+		}, nil
+	case 4:
+		return func(dst, src []byte) {
+			for i := 0; i < n; i++ {
+				v := binary.BigEndian.Uint32(src[s+4*i:])
+				binary.LittleEndian.PutUint32(dst[d+4*i:], v)
+			}
+		}, nil
+	case 8:
+		return func(dst, src []byte) {
+			for i := 0; i < n; i++ {
+				v := binary.BigEndian.Uint64(src[s+8*i:])
+				binary.LittleEndian.PutUint64(dst[d+8*i:], v)
+			}
+		}, nil
+	case 1:
+		// Width-1 swap degenerates to a copy.
+		return func(dst, src []byte) {
+			copy(dst[d:d+n], src[s:s+n])
+		}, nil
+	}
+	return nil, fmt.Errorf("dcg: swap width %d", in.Width)
+}
+
+// load and store function types used by the generic convert fallbacks.
+type loadFn func([]byte) uint64
+type storeFn func([]byte, uint64)
+
+func loader(width int, big bool, signed bool) (loadFn, error) {
+	switch {
+	case width == 1 && signed:
+		return func(b []byte) uint64 { return uint64(int64(int8(b[0]))) }, nil
+	case width == 1:
+		return func(b []byte) uint64 { return uint64(b[0]) }, nil
+	case width == 2 && big && signed:
+		return func(b []byte) uint64 { return uint64(int64(int16(binary.BigEndian.Uint16(b)))) }, nil
+	case width == 2 && big:
+		return func(b []byte) uint64 { return uint64(binary.BigEndian.Uint16(b)) }, nil
+	case width == 2 && signed:
+		return func(b []byte) uint64 { return uint64(int64(int16(binary.LittleEndian.Uint16(b)))) }, nil
+	case width == 2:
+		return func(b []byte) uint64 { return uint64(binary.LittleEndian.Uint16(b)) }, nil
+	case width == 4 && big && signed:
+		return func(b []byte) uint64 { return uint64(int64(int32(binary.BigEndian.Uint32(b)))) }, nil
+	case width == 4 && big:
+		return func(b []byte) uint64 { return uint64(binary.BigEndian.Uint32(b)) }, nil
+	case width == 4 && signed:
+		return func(b []byte) uint64 { return uint64(int64(int32(binary.LittleEndian.Uint32(b)))) }, nil
+	case width == 4:
+		return func(b []byte) uint64 { return uint64(binary.LittleEndian.Uint32(b)) }, nil
+	case width == 8 && big:
+		return func(b []byte) uint64 { return binary.BigEndian.Uint64(b) }, nil
+	case width == 8:
+		return func(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }, nil
+	}
+	return nil, fmt.Errorf("dcg: integer load width %d", width)
+}
+
+func storer(width int, big bool) (storeFn, error) {
+	switch {
+	case width == 1:
+		return func(b []byte, v uint64) { b[0] = byte(v) }, nil
+	case width == 2 && big:
+		return func(b []byte, v uint64) { binary.BigEndian.PutUint16(b, uint16(v)) }, nil
+	case width == 2:
+		return func(b []byte, v uint64) { binary.LittleEndian.PutUint16(b, uint16(v)) }, nil
+	case width == 4 && big:
+		return func(b []byte, v uint64) { binary.BigEndian.PutUint32(b, uint32(v)) }, nil
+	case width == 4:
+		return func(b []byte, v uint64) { binary.LittleEndian.PutUint32(b, uint32(v)) }, nil
+	case width == 8 && big:
+		return func(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }, nil
+	case width == 8:
+		return func(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }, nil
+	}
+	return nil, fmt.Errorf("dcg: integer store width %d", width)
+}
+
+// lowerCvtInt produces an integer size/order conversion loop.  The common
+// ILP32↔LP64 cases (4↔8) are emitted as fully specialized loops; other
+// width pairs fall back to a load/store composition chosen once at
+// compile time.
+func lowerCvtInt(in Instr) (step, error) {
+	d, s, n := in.Dst, in.Src, in.Count
+	sw, dw := in.SrcW, in.DstW
+
+	// Fully specialized hot paths: 4 -> 8 and 8 -> 4.
+	switch {
+	case sw == 4 && dw == 8 && in.Signed && in.SrcBig && !in.DstBig:
+		return func(dst, src []byte) {
+			for i := 0; i < n; i++ {
+				v := int64(int32(binary.BigEndian.Uint32(src[s+4*i:])))
+				binary.LittleEndian.PutUint64(dst[d+8*i:], uint64(v))
+			}
+		}, nil
+	case sw == 4 && dw == 8 && in.Signed && !in.SrcBig && in.DstBig:
+		return func(dst, src []byte) {
+			for i := 0; i < n; i++ {
+				v := int64(int32(binary.LittleEndian.Uint32(src[s+4*i:])))
+				binary.BigEndian.PutUint64(dst[d+8*i:], uint64(v))
+			}
+		}, nil
+	case sw == 8 && dw == 4 && in.SrcBig && !in.DstBig:
+		return func(dst, src []byte) {
+			for i := 0; i < n; i++ {
+				v := binary.BigEndian.Uint64(src[s+8*i:])
+				binary.LittleEndian.PutUint32(dst[d+4*i:], uint32(v))
+			}
+		}, nil
+	case sw == 8 && dw == 4 && !in.SrcBig && in.DstBig:
+		return func(dst, src []byte) {
+			for i := 0; i < n; i++ {
+				v := binary.LittleEndian.Uint64(src[s+8*i:])
+				binary.BigEndian.PutUint32(dst[d+4*i:], uint32(v))
+			}
+		}, nil
+	}
+
+	ld, err := loader(sw, in.SrcBig, in.Signed)
+	if err != nil {
+		return nil, err
+	}
+	st, err := storer(dw, in.DstBig)
+	if err != nil {
+		return nil, err
+	}
+	return func(dst, src []byte) {
+		for i := 0; i < n; i++ {
+			st(dst[d+dw*i:], ld(src[s+sw*i:]))
+		}
+	}, nil
+}
+
+// lowerCvtFloat produces a float width conversion loop (4 ↔ 8 bytes).
+func lowerCvtFloat(in Instr) (step, error) {
+	d, s, n := in.Dst, in.Src, in.Count
+	switch {
+	case in.SrcW == 4 && in.DstW == 8:
+		ld, err := loader(4, in.SrcBig, false)
+		if err != nil {
+			return nil, err
+		}
+		st, err := storer(8, in.DstBig)
+		if err != nil {
+			return nil, err
+		}
+		return func(dst, src []byte) {
+			for i := 0; i < n; i++ {
+				f := float64(math.Float32frombits(uint32(ld(src[s+4*i:]))))
+				st(dst[d+8*i:], math.Float64bits(f))
+			}
+		}, nil
+	case in.SrcW == 8 && in.DstW == 4:
+		ld, err := loader(8, in.SrcBig, false)
+		if err != nil {
+			return nil, err
+		}
+		st, err := storer(4, in.DstBig)
+		if err != nil {
+			return nil, err
+		}
+		return func(dst, src []byte) {
+			for i := 0; i < n; i++ {
+				f := float32(math.Float64frombits(ld(src[s+8*i:])))
+				st(dst[d+4*i:], uint64(math.Float32bits(f)))
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("dcg: float convert %d -> %d", in.SrcW, in.DstW)
+}

@@ -1,0 +1,112 @@
+// Package dcg is this repository's analogue of Vcode, the dynamic code
+// generation system PBIO uses to turn format-conversion plans into fast
+// customized routines at run time (§4.3 of the paper).
+//
+// The Go standard library cannot emit native machine code, so the
+// pipeline is reproduced one level up: a conversion plan is lowered to a
+// stream of virtual-RISC instructions (the Vcode role), a peephole
+// optimizer coalesces and fuses them, and a run-time compiler lowers each
+// instruction to a closure specialized with compile-time constants —
+// straight-line copies, fixed-width swap loops, concrete convert loops —
+// executed with no per-field or per-element interpretive dispatch.  What
+// the paper measures is the gap between a table-driven interpreter and a
+// once-generated specialized routine; that gap is exactly what this
+// package recreates.
+package dcg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpCode is a virtual-RISC conversion instruction opcode.
+type OpCode uint8
+
+const (
+	// IMovBlk copies Len bytes from Src to Dst unchanged.
+	IMovBlk OpCode = iota
+	// ISwap copies Count elements of Width bytes from Src to Dst,
+	// reversing the bytes of each element.
+	ISwap
+	// ICvtInt converts Count integer elements from SrcW bytes (byte
+	// order SrcBig) to DstW bytes (byte order DstBig), sign-extending
+	// when Signed.
+	ICvtInt
+	// ICvtFloat converts Count IEEE-754 elements between widths 4 and 8.
+	ICvtFloat
+	// IZero clears Len bytes at Dst.
+	IZero
+	// ICall converts Count nested-structure elements by running the Sub
+	// instruction stream once per element, with source stride SrcW and
+	// destination stride DstW — the generated-code equivalent of the
+	// paper's "call subroutines to convert complex subtypes".
+	ICall
+)
+
+var opNames = [...]string{
+	IMovBlk: "movblk", ISwap: "swap", ICvtInt: "cvti",
+	ICvtFloat: "cvtf", IZero: "zero", ICall: "call",
+}
+
+// String names the opcode.
+func (o OpCode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one virtual instruction.  Field use depends on the opcode; see
+// the opcode docs.
+type Instr struct {
+	Op         OpCode
+	Dst, Src   int // byte offsets in the destination / source records
+	Len        int // IMovBlk, IZero: byte length
+	Count      int // element count for ISwap/ICvtInt/ICvtFloat
+	Width      int // ISwap: element width
+	SrcW, DstW int // ICvt*: element widths
+	Signed     bool
+	SrcBig     bool    // source elements are big-endian
+	DstBig     bool    // destination elements are big-endian
+	Sub        []Instr // ICall: the per-element subroutine body
+}
+
+// String renders the instruction in a readable assembly-like form.
+func (in Instr) String() string {
+	switch in.Op {
+	case IMovBlk:
+		return fmt.Sprintf("movblk  d+%d, s+%d, %d", in.Dst, in.Src, in.Len)
+	case ISwap:
+		return fmt.Sprintf("swap%d   d+%d, s+%d, x%d", in.Width, in.Dst, in.Src, in.Count)
+	case ICvtInt:
+		sign := "u"
+		if in.Signed {
+			sign = "s"
+		}
+		return fmt.Sprintf("cvti.%s%d.%d d+%d, s+%d, x%d", sign, in.SrcW, in.DstW, in.Dst, in.Src, in.Count)
+	case ICvtFloat:
+		return fmt.Sprintf("cvtf.%d.%d d+%d, s+%d, x%d", in.SrcW, in.DstW, in.Dst, in.Src, in.Count)
+	case IZero:
+		return fmt.Sprintf("zero    d+%d, %d", in.Dst, in.Len)
+	case ICall:
+		return fmt.Sprintf("call    d+%d(+%d), s+%d(+%d), x%d, %d instrs",
+			in.Dst, in.DstW, in.Src, in.SrcW, in.Count, len(in.Sub))
+	}
+	return fmt.Sprintf("?%d", in.Op)
+}
+
+// Disassemble renders an instruction stream, indenting subroutine bodies.
+func Disassemble(code []Instr) string {
+	var b strings.Builder
+	disassemble(&b, code, "")
+	return b.String()
+}
+
+func disassemble(b *strings.Builder, code []Instr, indent string) {
+	for i, in := range code {
+		fmt.Fprintf(b, "%s%3d: %s\n", indent, i, in.String())
+		if in.Op == ICall {
+			disassemble(b, in.Sub, indent+"     ")
+		}
+	}
+}

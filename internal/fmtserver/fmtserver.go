@@ -1,0 +1,284 @@
+// Package fmtserver implements PBIO's format server: a network service
+// that assigns globally-meaningful identifiers to format descriptions and
+// serves them back on demand.
+//
+// The transport layer can carry full meta-information in-band (its
+// default), but in the deployed PBIO system a format server let many
+// writers and readers share format identity across independent
+// connections and files: a writer registers its format once and tags
+// records with a small ID; any reader resolves an unknown ID with one
+// round trip and caches the result forever.
+//
+// IDs here are content-addressed — the truncated SHA-256 of the format's
+// canonical meta encoding — so registration is idempotent, identical
+// layouts registered by different writers collide to the same ID by
+// construction, and IDs are valid across server restarts.
+//
+// Wire protocol (TCP; all integers big-endian):
+//
+//	request:  u8 op, u32 payload length, payload
+//	  op 1 (register): payload = meta block
+//	  op 2 (lookup):   payload = 8-byte format ID
+//	response: u8 status, u32 payload length, payload
+//	  status 0 (ok):     register -> 8-byte ID; lookup -> meta block
+//	  status 1 (error):  payload = ASCII message
+package fmtserver
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Op codes.
+const (
+	opRegister = 1
+	opLookup   = 2
+)
+
+// Status codes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// maxPayload bounds request/response payloads.
+const maxPayload = 1 << 20
+
+// FormatID is a global, content-addressed format identifier.
+type FormatID uint64
+
+// IDOf computes the content-addressed ID of a format.
+func IDOf(f *wire.Format) FormatID {
+	sum := sha256.Sum256(wire.EncodeMeta(f))
+	return FormatID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// ErrUnknownFormat is returned by lookups of unregistered IDs.
+var ErrUnknownFormat = errors.New("fmtserver: unknown format ID")
+
+// Server is a format server instance.  Serve may be called on multiple
+// listeners; the store is shared and safe for concurrent use.
+type Server struct {
+	mu      sync.RWMutex
+	formats map[FormatID][]byte // ID -> canonical meta encoding
+}
+
+// NewServer returns an empty format server.
+func NewServer() *Server {
+	return &Server{formats: make(map[FormatID][]byte)}
+}
+
+// Len returns the number of registered formats.
+func (s *Server) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.formats)
+}
+
+// Serve accepts and serves connections until the listener is closed.
+// It always returns a non-nil error (the accept error that stopped it).
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var hdr [5]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // client went away
+		}
+		op := hdr[0]
+		n := int(binary.BigEndian.Uint32(hdr[1:]))
+		if n < 0 || n > maxPayload {
+			writeResp(conn, statusErr, []byte("payload too large"))
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		if err := s.handle(conn, op, payload); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(conn net.Conn, op byte, payload []byte) error {
+	switch op {
+	case opRegister:
+		f, _, err := wire.DecodeMeta(payload)
+		if err != nil {
+			return writeResp(conn, statusErr, []byte(err.Error()))
+		}
+		// Store the canonical re-encoding, not the client's bytes, so
+		// the ID always matches the stored content.
+		canonical := wire.EncodeMeta(f)
+		id := IDOf(f)
+		s.mu.Lock()
+		s.formats[id] = canonical
+		s.mu.Unlock()
+		var idBuf [8]byte
+		binary.BigEndian.PutUint64(idBuf[:], uint64(id))
+		return writeResp(conn, statusOK, idBuf[:])
+	case opLookup:
+		if len(payload) != 8 {
+			return writeResp(conn, statusErr, []byte("lookup payload must be 8 bytes"))
+		}
+		id := FormatID(binary.BigEndian.Uint64(payload))
+		s.mu.RLock()
+		meta, ok := s.formats[id]
+		s.mu.RUnlock()
+		if !ok {
+			return writeResp(conn, statusErr, []byte(ErrUnknownFormat.Error()))
+		}
+		return writeResp(conn, statusOK, meta)
+	default:
+		return writeResp(conn, statusErr, []byte(fmt.Sprintf("unknown op %d", op)))
+	}
+}
+
+func writeResp(w io.Writer, status byte, payload []byte) error {
+	hdr := [5]byte{status}
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Client talks to a format server and caches results.  A Client is safe
+// for concurrent use; requests are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+
+	cacheMu sync.RWMutex
+	byID    map[FormatID]*wire.Format
+	ids     map[string]FormatID // fingerprint -> ID
+}
+
+// Dial connects to a format server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fmtserver: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		byID: make(map[FormatID]*wire.Format),
+		ids:  make(map[string]FormatID),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Register registers a format and returns its global ID.  Results are
+// cached; re-registering a known layout makes no network round trip.
+func (c *Client) Register(f *wire.Format) (FormatID, error) {
+	fp := f.Fingerprint()
+	c.cacheMu.RLock()
+	id, ok := c.ids[fp]
+	c.cacheMu.RUnlock()
+	if ok {
+		return id, nil
+	}
+	status, payload, err := c.roundTrip(opRegister, wire.EncodeMeta(f))
+	if err != nil {
+		return 0, err
+	}
+	if status != statusOK {
+		return 0, fmt.Errorf("fmtserver: register: %s", payload)
+	}
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("fmtserver: register: bad response length %d", len(payload))
+	}
+	id = FormatID(binary.BigEndian.Uint64(payload))
+	c.cacheMu.Lock()
+	c.ids[fp] = id
+	c.byID[id] = f
+	c.cacheMu.Unlock()
+	return id, nil
+}
+
+// Lookup resolves a format ID, consulting the local cache first.
+func (c *Client) Lookup(id FormatID) (*wire.Format, error) {
+	c.cacheMu.RLock()
+	f, ok := c.byID[id]
+	c.cacheMu.RUnlock()
+	if ok {
+		return f, nil
+	}
+	var idBuf [8]byte
+	binary.BigEndian.PutUint64(idBuf[:], uint64(id))
+	status, payload, err := c.roundTrip(opLookup, idBuf[:])
+	if err != nil {
+		return nil, err
+	}
+	if status != statusOK {
+		if string(payload) == ErrUnknownFormat.Error() {
+			return nil, ErrUnknownFormat
+		}
+		return nil, fmt.Errorf("fmtserver: lookup: %s", payload)
+	}
+	f, _, err = wire.DecodeMeta(payload)
+	if err != nil {
+		return nil, err
+	}
+	// Defend against a corrupt or lying server: the content address of
+	// what we received must be the ID we asked for.
+	if IDOf(f) != id {
+		return nil, fmt.Errorf("fmtserver: lookup: content hash mismatch for ID %#x", uint64(id))
+	}
+	c.cacheMu.Lock()
+	c.byID[id] = f
+	c.ids[f.Fingerprint()] = id
+	c.cacheMu.Unlock()
+	return f, nil
+}
+
+func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [5]byte
+	hdr[0] = op
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := c.conn.Write(hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("fmtserver: send: %w", err)
+	}
+	if _, err := c.conn.Write(payload); err != nil {
+		return 0, nil, fmt.Errorf("fmtserver: send: %w", err)
+	}
+	if _, err := io.ReadFull(c.conn, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("fmtserver: recv: %w", err)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if n < 0 || n > maxPayload {
+		return 0, nil, fmt.Errorf("fmtserver: recv: payload %d out of range", n)
+	}
+	resp := make([]byte, n)
+	if _, err := io.ReadFull(c.conn, resp); err != nil {
+		return 0, nil, fmt.Errorf("fmtserver: recv: %w", err)
+	}
+	return hdr[0], resp, nil
+}

@@ -1,0 +1,231 @@
+package fmtserver
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/wire"
+)
+
+func testSchema() *wire.Schema {
+	return &wire.Schema{
+		Name: "sample",
+		Fields: []wire.FieldSpec{
+			{Name: "a", Type: abi.Int, Count: 1},
+			{Name: "b", Type: abi.Double, Count: 4},
+			{Name: "s", Count: 1, Sub: &wire.Schema{
+				Name: "inner",
+				Fields: []wire.FieldSpec{
+					{Name: "x", Type: abi.Long, Count: 1},
+				},
+			}},
+		},
+	}
+}
+
+// startServer runs a server on a loopback listener and returns its
+// address plus a shutdown func.
+func startServer(t *testing.T) (*Server, string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	s := NewServer()
+	go func() { _ = s.Serve(ln) }()
+	return s, ln.Addr().String(), func() { ln.Close() }
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	s, addr, stop := startServer(t)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	f := wire.MustLayout(testSchema(), &abi.SparcV8)
+	id, err := c.Register(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != IDOf(f) {
+		t.Errorf("server ID %#x != content address %#x", uint64(id), uint64(IDOf(f)))
+	}
+	if s.Len() != 1 {
+		t.Errorf("server has %d formats, want 1", s.Len())
+	}
+
+	// A second, fresh client resolves the ID.
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, err := c2.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.SameLayout(f, got) {
+		t.Error("looked-up format layout differs")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	s, addr, stop := startServer(t)
+	defer stop()
+	c, _ := Dial(addr)
+	defer c.Close()
+	f1 := wire.MustLayout(testSchema(), &abi.SparcV8)
+	f2 := wire.MustLayout(testSchema(), &abi.SparcV8)
+	id1, err := c.Register(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c.Register(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Errorf("identical layouts got IDs %#x and %#x", uint64(id1), uint64(id2))
+	}
+	if s.Len() != 1 {
+		t.Errorf("server stored %d formats, want 1", s.Len())
+	}
+	// A different layout gets a different ID.
+	f3 := wire.MustLayout(testSchema(), &abi.X86)
+	id3, err := c.Register(f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id1 {
+		t.Error("different layout, same ID")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+	c, _ := Dial(addr)
+	defer c.Close()
+	if _, err := c.Lookup(FormatID(0xdeadbeef)); err != ErrUnknownFormat {
+		t.Errorf("Lookup(unknown) = %v, want ErrUnknownFormat", err)
+	}
+}
+
+func TestClientCaching(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+	c, _ := Dial(addr)
+	f := wire.MustLayout(testSchema(), &abi.SparcV8)
+	id, err := c.Register(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sever the connection; cached operations must still succeed.
+	c.conn.Close()
+	if _, err := c.Register(f); err != nil {
+		t.Errorf("cached Register hit the network: %v", err)
+	}
+	if _, err := c.Lookup(id); err != nil {
+		t.Errorf("cached Lookup hit the network: %v", err)
+	}
+	// Uncached operations now fail cleanly.
+	other := wire.MustLayout(testSchema(), &abi.X86)
+	if _, err := c.Register(other); err == nil {
+		t.Error("Register over dead connection succeeded")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, addr, stop := startServer(t)
+	defer stop()
+	var wg sync.WaitGroup
+	arches := []abi.Arch{abi.SparcV8, abi.X86, abi.SparcV9x64, abi.Alpha}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				f := wire.MustLayout(testSchema(), &arches[(g+i)%len(arches)])
+				id, err := c.Register(f)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := c.Lookup(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !wire.SameLayout(f, got) {
+					t.Error("layout mismatch")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// v8 and v9 layouts coincide; expect <= 4 distinct and >= 3.
+	if s.Len() < 3 || s.Len() > 4 {
+		t.Errorf("server stored %d formats", s.Len())
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewClient(conn)
+	// Bad op through a raw round trip.
+	status, payload, err := c.roundTrip(99, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != statusErr {
+		t.Errorf("bad op: status %d, payload %q", status, payload)
+	}
+	// Register with a corrupt meta block.
+	status, _, err = c.roundTrip(opRegister, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != statusErr {
+		t.Error("corrupt meta accepted")
+	}
+	// Lookup with a short payload.
+	status, _, err = c.roundTrip(opLookup, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != statusErr {
+		t.Error("short lookup accepted")
+	}
+}
+
+func TestIDOfStableAndDiscriminating(t *testing.T) {
+	a := wire.MustLayout(testSchema(), &abi.SparcV8)
+	b := wire.MustLayout(testSchema(), &abi.SparcV8)
+	if IDOf(a) != IDOf(b) {
+		t.Error("same layout, different IDs")
+	}
+	c := wire.MustLayout(testSchema(), &abi.X86)
+	if IDOf(a) == IDOf(c) {
+		t.Error("different layout, same ID")
+	}
+}

@@ -1,0 +1,121 @@
+package fmtserver
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/wire"
+)
+
+// garbageServer accepts one connection and answers every request with the
+// canned response bytes.
+func garbageServer(t *testing.T, response []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					// Read a request header + payload, then reply with
+					// garbage.
+					var hdr [5]byte
+					if _, err := io.ReadFull(c, hdr[:]); err != nil {
+						return
+					}
+					n := int(binary.BigEndian.Uint32(hdr[1:]))
+					if n > len(buf) {
+						buf = make([]byte, n)
+					}
+					if _, err := io.ReadFull(c, buf[:n]); err != nil {
+						return
+					}
+					if _, err := c.Write(response); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func respond(status byte, payload []byte) []byte {
+	out := make([]byte, 5+len(payload))
+	out[0] = status
+	binary.BigEndian.PutUint32(out[1:], uint32(len(payload)))
+	copy(out[5:], payload)
+	return out
+}
+
+func TestClientSurvivesGarbageResponses(t *testing.T) {
+	f := wire.MustLayout(testSchema(), &abi.SparcV8)
+	cases := []struct {
+		name string
+		resp []byte
+	}{
+		{"empty ok register", respond(statusOK, nil)},              // wrong length for an ID
+		{"error status", respond(statusErr, []byte("nope"))},       // server-side error
+		{"truncated header", []byte{0}},                            // connection starves
+		{"oversized payload", []byte{0, 0xFF, 0xFF, 0xFF, 0xFF}},   // length bomb
+		{"ok with junk meta", respond(statusOK, []byte("<<junk"))}, // undecodable meta on lookup
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			addr := garbageServer(t, c.resp)
+			client, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			// Deadline so a starving response fails rather than hangs.
+			client.conn.SetDeadline(time.Now().Add(500 * time.Millisecond))
+			if _, err := client.Register(f); err == nil {
+				t.Error("Register accepted a garbage response")
+			}
+			c2, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c2.Close()
+			c2.conn.SetDeadline(time.Now().Add(500 * time.Millisecond))
+			if _, err := c2.Lookup(FormatID(42)); err == nil {
+				t.Error("Lookup accepted a garbage response")
+			}
+		})
+	}
+}
+
+func TestClientLookupRejectsContentMismatch(t *testing.T) {
+	// A lying server returns a VALID meta block that does not hash to
+	// the requested ID; the client must refuse it.
+	f := wire.MustLayout(testSchema(), &abi.SparcV8)
+	addr := garbageServer(t, respond(statusOK, wire.EncodeMeta(f)))
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	wrongID := IDOf(f) + 1
+	if _, err := client.Lookup(wrongID); err == nil {
+		t.Error("client accepted a format whose content hash mismatches the ID")
+	}
+	// Asking for the RIGHT id succeeds.
+	if got, err := client.Lookup(IDOf(f)); err != nil || !wire.SameLayout(got, f) {
+		t.Errorf("honest lookup failed: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package iiop
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func benchRecord(b *testing.B, arch *abi.Arch) *native.Record {
+	b.Helper()
+	s := mixedSchema()
+	s.Fields[len(s.Fields)-1].Count = 1245 // ~10Kb
+	rec := native.New(wire.MustLayout(s, arch))
+	native.FillDeterministic(rec, 3)
+	return rec
+}
+
+func BenchmarkMarshalRecord(b *testing.B) {
+	rec := benchRecord(b, &abi.SparcV8)
+	e := NewEncoder(rec.Format.Order, make([]byte, 0, BodySize(rec.Format)+64))
+	b.SetBytes(int64(rec.Format.Size))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		if err := MarshalRecord(e, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalRecord(b *testing.B) {
+	src := benchRecord(b, &abi.X86)
+	e := NewEncoder(src.Format.Order, nil)
+	if err := MarshalRecord(e, src); err != nil {
+		b.Fatal(err)
+	}
+	body := append([]byte(nil), e.Bytes()...)
+	dst := benchRecord(b, &abi.SparcV8)
+	b.SetBytes(int64(dst.Format.Size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := UnmarshalRecord(NewDecoder(src.Format.Order, body), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package iiop implements a CORBA-style baseline: CDR (Common Data
+// Representation) marshalling with GIOP-lite framing.
+//
+// CDR is the paper's example of a "reader-makes-right" wire format: the
+// sender writes multi-byte values in its own byte order and flags that
+// order in the message header, so homogeneous exchanges skip byte
+// swapping.  But CDR is still a *packed* format — primitives are aligned
+// within the stream, not at the native struct offsets — so both sender
+// and receiver must copy every field between the stream and the padded
+// native layout.  That copy, which NDR eliminates, is why CORBA's costs
+// sit near MPI's in Figures 2 and 3 despite the byte-order cleverness.
+//
+// Wire sizes follow the IDL contract, fixed across architectures
+// (char 1, short 2, long 4, long long 8, float 4, double 8); the
+// abstract Long travels as an 8-byte quantity so LP64 values survive.
+package iiop
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+)
+
+// wireSize returns the IDL-fixed on-the-wire size for a basic type.
+func wireSize(t abi.CType) int {
+	switch t {
+	case abi.Char:
+		return 1
+	case abi.Short, abi.UShort:
+		return 2
+	case abi.Int, abi.UInt, abi.Float:
+		return 4
+	case abi.Long, abi.ULong, abi.LongLong, abi.ULongLong, abi.Double:
+		return 8
+	}
+	panic(fmt.Sprintf("iiop: wireSize(%v)", t))
+}
+
+// Encoder writes CDR-encoded primitives with in-stream alignment in a
+// chosen byte order.
+type Encoder struct {
+	buf   []byte
+	order abi.Endian
+}
+
+// NewEncoder returns an encoder writing in the given (sender-native) byte
+// order, optionally reusing buf's storage.
+func NewEncoder(order abi.Endian, buf []byte) *Encoder {
+	return &Encoder{buf: buf[:0], order: order}
+}
+
+// Bytes returns the encoded stream.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder, keeping storage.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Order returns the encoder's byte order.
+func (e *Encoder) Order() abi.Endian { return e.order }
+
+// align pads the stream so the next value starts at a multiple of n
+// relative to the stream start (CDR §15.3).
+func (e *Encoder) align(n int) {
+	for len(e.buf)%n != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutPrim appends one primitive of the given wire width, aligning first.
+func (e *Encoder) PutPrim(width int, v uint64) {
+	e.align(width)
+	switch width {
+	case 1:
+		e.buf = append(e.buf, byte(v))
+	case 2:
+		e.buf = append(e.buf, 0, 0)
+		e.order.PutUint16(e.buf[len(e.buf)-2:], uint16(v))
+	case 4:
+		e.buf = append(e.buf, 0, 0, 0, 0)
+		e.order.PutUint32(e.buf[len(e.buf)-4:], uint32(v))
+	case 8:
+		e.buf = append(e.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+		e.order.PutUint64(e.buf[len(e.buf)-8:], v)
+	default:
+		panic("iiop: PutPrim width")
+	}
+}
+
+// PutBytes appends raw bytes (char arrays / octets, alignment 1).
+func (e *Encoder) PutBytes(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
+// Decoder reads CDR-encoded primitives, converting byte order
+// reader-makes-right style.
+type Decoder struct {
+	buf   []byte
+	order abi.Endian // the SENDER's byte order, from the GIOP flags
+	pos   int
+}
+
+// NewDecoder returns a decoder over b whose values were written in the
+// given sender byte order.
+func NewDecoder(senderOrder abi.Endian, b []byte) *Decoder {
+	return &Decoder{buf: b, order: senderOrder}
+}
+
+// Remaining returns the unread byte count.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+func (d *Decoder) align(n int) {
+	for d.pos%n != 0 {
+		d.pos++
+	}
+}
+
+// Prim reads one primitive of the given wire width (aligned), returning
+// the value zero-extended to 64 bits in host form.
+func (d *Decoder) Prim(width int) (uint64, error) {
+	d.align(width)
+	if d.pos+width > len(d.buf) {
+		return 0, fmt.Errorf("iiop: need %d bytes at %d, have %d", width, d.pos, len(d.buf)-d.pos)
+	}
+	v := d.order.Uint(d.buf[d.pos:], width)
+	d.pos += width
+	return v, nil
+}
+
+// Bytes reads n raw bytes.
+func (d *Decoder) Bytes(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.buf) {
+		return nil, fmt.Errorf("iiop: need %d bytes at %d, have %d", n, d.pos, len(d.buf)-d.pos)
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}

@@ -1,0 +1,105 @@
+package iiop
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// GIOP-lite framing: a 12-byte header modelled on GIOP 1.0 —
+//
+//	bytes 0..3  magic "GIOP"
+//	byte  4     major version (1)
+//	byte  5     minor version (0)
+//	byte  6     flags; bit 0 set = little-endian body and length
+//	byte  7     message type (0 = request carrying one record body)
+//	bytes 8..11 body length, in the byte order indicated by the flags
+//
+// The endianness flag is the "reader-makes-right" handshake: receivers
+// learn the sender's byte order from the header rather than converting to
+// a canonical order.
+
+var giopMagic = [4]byte{'G', 'I', 'O', 'P'}
+
+const giopHeaderSize = 12
+
+// Conn exchanges single-record GIOP-lite messages over a duplex stream.
+type Conn struct {
+	w io.Writer
+	r io.Reader
+
+	enc     *Encoder
+	hdr     [giopHeaderSize]byte
+	recvBuf []byte
+}
+
+// NewConn returns a connection wrapping the given stream pair.
+func NewConn(w io.Writer, r io.Reader) *Conn {
+	return &Conn{w: w, r: r}
+}
+
+// Send marshals the record in its native byte order and transmits it.
+func (c *Conn) Send(rec *native.Record) error {
+	if c.enc == nil || c.enc.Order() != rec.Format.Order {
+		c.enc = NewEncoder(rec.Format.Order, nil)
+	}
+	c.enc.Reset()
+	if err := MarshalRecord(c.enc, rec); err != nil {
+		return err
+	}
+	body := c.enc.Bytes()
+
+	copy(c.hdr[0:4], giopMagic[:])
+	c.hdr[4], c.hdr[5] = 1, 0
+	var flags byte
+	if rec.Format.Order == abi.LittleEndian {
+		flags |= 1
+	}
+	c.hdr[6] = flags
+	c.hdr[7] = 0
+	rec.Format.Order.PutUint32(c.hdr[8:12], uint32(len(body)))
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
+		return fmt.Errorf("iiop: send header: %w", err)
+	}
+	if _, err := c.w.Write(body); err != nil {
+		return fmt.Errorf("iiop: send body: %w", err)
+	}
+	return nil
+}
+
+// Recv receives one message into a record of the given (receiver-native)
+// format, converting byte order only if the sender's differs.
+func (c *Conn) Recv(expected *wire.Format) (*native.Record, error) {
+	if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
+		return nil, fmt.Errorf("iiop: recv header: %w", err)
+	}
+	if [4]byte(c.hdr[0:4]) != giopMagic {
+		return nil, fmt.Errorf("iiop: bad magic % x", c.hdr[0:4])
+	}
+	if c.hdr[4] != 1 {
+		return nil, fmt.Errorf("iiop: unsupported GIOP version %d.%d", c.hdr[4], c.hdr[5])
+	}
+	senderOrder := abi.BigEndian
+	if c.hdr[6]&1 != 0 {
+		senderOrder = abi.LittleEndian
+	}
+	n := int(senderOrder.Uint32(c.hdr[8:12]))
+	if want := BodySize(expected); n != want {
+		return nil, fmt.Errorf("iiop: body %d bytes, IDL expects %d", n, want)
+	}
+	if cap(c.recvBuf) < n {
+		c.recvBuf = make([]byte, n)
+	}
+	c.recvBuf = c.recvBuf[:n]
+	if _, err := io.ReadFull(c.r, c.recvBuf); err != nil {
+		return nil, fmt.Errorf("iiop: recv body: %w", err)
+	}
+	rec := native.New(expected)
+	if err := UnmarshalRecord(NewDecoder(senderOrder, c.recvBuf), rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

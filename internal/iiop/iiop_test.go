@@ -1,0 +1,233 @@
+package iiop
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func mixedSchema() *wire.Schema {
+	return &wire.Schema{
+		Name: "mixed",
+		Fields: []wire.FieldSpec{
+			{Name: "node", Type: abi.Int, Count: 1},
+			{Name: "timestamp", Type: abi.Double, Count: 1},
+			{Name: "iter", Type: abi.Long, Count: 1},
+			{Name: "tag", Type: abi.Char, Count: 16},
+			{Name: "residual", Type: abi.Float, Count: 1},
+			{Name: "flags", Type: abi.UInt, Count: 1},
+			{Name: "values", Type: abi.Double, Count: 8},
+		},
+	}
+}
+
+func TestMarshalUnmarshalAcrossArches(t *testing.T) {
+	pairs := []struct{ from, to abi.Arch }{
+		{abi.SparcV8, abi.X86},
+		{abi.X86, abi.SparcV8},
+		{abi.SparcV8, abi.SparcV8},
+		{abi.X86, abi.X86},
+		{abi.SparcV9x64, abi.X86},
+		{abi.X86, abi.SparcV9x64},
+		{abi.Alpha, abi.MIPSo32},
+	}
+	for _, pr := range pairs {
+		pr := pr
+		t.Run(pr.from.Name+"->"+pr.to.Name, func(t *testing.T) {
+			src := native.New(wire.MustLayout(mixedSchema(), &pr.from))
+			native.FillDeterministic(src, 7)
+			e := NewEncoder(src.Format.Order, nil)
+			if err := MarshalRecord(e, src); err != nil {
+				t.Fatal(err)
+			}
+			if e.Len() != BodySize(src.Format) {
+				t.Errorf("body %d bytes, BodySize predicts %d", e.Len(), BodySize(src.Format))
+			}
+			dst := native.New(wire.MustLayout(mixedSchema(), &pr.to))
+			if err := UnmarshalRecord(NewDecoder(src.Format.Order, e.Bytes()), dst); err != nil {
+				t.Fatal(err)
+			}
+			if diff := native.SemanticEqual(src, dst); diff != "" {
+				t.Errorf("CDR round trip lost data: %s", diff)
+			}
+		})
+	}
+}
+
+func TestBodySizeIndependentOfArch(t *testing.T) {
+	// The IDL fixes the wire layout: every architecture must produce the
+	// same body size for the same schema.
+	want := BodySize(wire.MustLayout(mixedSchema(), &abi.SparcV8))
+	for _, a := range abi.All {
+		a := a
+		if got := BodySize(wire.MustLayout(mixedSchema(), &a)); got != want {
+			t.Errorf("%s: BodySize = %d, want %d", a.Name, got, want)
+		}
+	}
+}
+
+func TestReaderMakesRightSkipsSwaps(t *testing.T) {
+	// Between same-order machines the body must carry the sender's bytes
+	// verbatim for a pure-double field (no canonicalization).
+	s := &wire.Schema{Name: "d", Fields: []wire.FieldSpec{{Name: "v", Type: abi.Double, Count: 2}}}
+	src := native.New(wire.MustLayout(s, &abi.X86))
+	src.MustSetFloat("v", 0, 1.25)
+	src.MustSetFloat("v", 1, -8.5)
+	e := NewEncoder(src.Format.Order, nil)
+	if err := MarshalRecord(e, src); err != nil {
+		t.Fatal(err)
+	}
+	// The record has no padding, so the body must equal the native image.
+	if string(e.Bytes()) != string(src.Buf) {
+		t.Errorf("homogeneous body differs from native image:\n% x\n% x", e.Bytes(), src.Buf)
+	}
+}
+
+func TestCDRStreamAlignment(t *testing.T) {
+	// A char forces the following double to be aligned in-stream.
+	s := &wire.Schema{Name: "a", Fields: []wire.FieldSpec{
+		{Name: "c", Type: abi.Char, Count: 1},
+		{Name: "d", Type: abi.Double, Count: 1},
+	}}
+	if got := BodySize(wire.MustLayout(s, &abi.X86)); got != 16 {
+		t.Errorf("BodySize = %d, want 16 (1 + 7 pad + 8)", got)
+	}
+	src := native.New(wire.MustLayout(s, &abi.X86))
+	src.MustSetString("c", "z")
+	src.MustSetFloat("d", 0, 2.5)
+	e := NewEncoder(src.Format.Order, nil)
+	if err := MarshalRecord(e, src); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 16 {
+		t.Errorf("encoded %d bytes, want 16", e.Len())
+	}
+	dst := native.New(wire.MustLayout(s, &abi.SparcV8))
+	if err := UnmarshalRecord(NewDecoder(src.Format.Order, e.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	if diff := native.SemanticEqual(src, dst); diff != "" {
+		t.Error(diff)
+	}
+}
+
+func TestMarshalOrderMismatchRejected(t *testing.T) {
+	src := native.New(wire.MustLayout(mixedSchema(), &abi.SparcV8))
+	e := NewEncoder(abi.LittleEndian, nil)
+	if err := MarshalRecord(e, src); err == nil {
+		t.Error("encoder/record order mismatch accepted")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	src := native.New(wire.MustLayout(mixedSchema(), &abi.SparcV8))
+	native.FillDeterministic(src, 3)
+	e := NewEncoder(src.Format.Order, nil)
+	if err := MarshalRecord(e, src); err != nil {
+		t.Fatal(err)
+	}
+	body := e.Bytes()
+	dst := native.New(wire.MustLayout(mixedSchema(), &abi.X86))
+	for _, cut := range []int{0, 1, len(body) / 2, len(body) - 1} {
+		if err := UnmarshalRecord(NewDecoder(src.Format.Order, body[:cut]), dst); err == nil {
+			t.Errorf("truncation to %d accepted", cut)
+		}
+	}
+}
+
+func TestGIOPConnExchange(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	src := native.New(wire.MustLayout(mixedSchema(), &abi.SparcV8))
+	native.FillDeterministic(src, 17)
+
+	sender := NewConn(a, a)
+	receiver := NewConn(b, b)
+
+	errc := make(chan error, 1)
+	go func() { errc <- sender.Send(src) }()
+	got, err := receiver.Recv(wire.MustLayout(mixedSchema(), &abi.X86))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if diff := native.SemanticEqual(src, got); diff != "" {
+		t.Errorf("GIOP exchange lost data: %s", diff)
+	}
+}
+
+func TestGIOPLittleEndianFlag(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	src := native.New(wire.MustLayout(mixedSchema(), &abi.X86))
+	native.FillDeterministic(src, 29)
+	go func() { _ = NewConn(a, a).Send(src) }()
+	got, err := NewConn(b, b).Recv(wire.MustLayout(mixedSchema(), &abi.SparcV8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := native.SemanticEqual(src, got); diff != "" {
+		t.Errorf("LE->BE exchange lost data: %s", diff)
+	}
+}
+
+func TestGIOPRejectsBadHeader(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		_, _ = a.Write([]byte{'N', 'O', 'P', 'E', 1, 0, 0, 0, 0, 0, 0, 0})
+	}()
+	if _, err := NewConn(b, b).Recv(wire.MustLayout(mixedSchema(), &abi.X86)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	go func() {
+		_, _ = a.Write([]byte{'G', 'I', 'O', 'P', 9, 0, 0, 0, 0, 0, 0, 0})
+	}()
+	if _, err := NewConn(b, b).Recv(wire.MustLayout(mixedSchema(), &abi.X86)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestGIOPRejectsWrongBodySize(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	hdr := []byte{'G', 'I', 'O', 'P', 1, 0, 0, 0, 0, 0, 0, 5}
+	go func() { _, _ = a.Write(hdr) }()
+	if _, err := NewConn(b, b).Recv(wire.MustLayout(mixedSchema(), &abi.X86)); err == nil {
+		t.Error("wrong body size accepted")
+	}
+}
+
+func TestEncoderPrimsAndDecoder(t *testing.T) {
+	e := NewEncoder(abi.BigEndian, nil)
+	e.PutPrim(1, 0xAB)
+	e.PutPrim(2, 0x0102)
+	e.PutPrim(4, 0x03040506)
+	e.PutPrim(8, 0x0708090A0B0C0D0E)
+	d := NewDecoder(abi.BigEndian, e.Bytes())
+	for _, c := range []struct {
+		w    int
+		want uint64
+	}{{1, 0xAB}, {2, 0x0102}, {4, 0x03040506}, {8, 0x0708090A0B0C0D0E}} {
+		v, err := d.Prim(c.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != c.want {
+			t.Errorf("Prim(%d) = %#x, want %#x", c.w, v, c.want)
+		}
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+}

@@ -1,0 +1,78 @@
+package iiop
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func particleSchema(n int) *wire.Schema {
+	return &wire.Schema{
+		Name: "particles",
+		Fields: []wire.FieldSpec{
+			{Name: "hdr", Count: 1, Sub: &wire.Schema{
+				Name: "header",
+				Fields: []wire.FieldSpec{
+					{Name: "step", Type: abi.Int, Count: 1},
+					{Name: "label", Type: abi.Char, Count: 8},
+				},
+			}},
+			{Name: "p", Count: n, Sub: &wire.Schema{
+				Name: "particle",
+				Fields: []wire.FieldSpec{
+					{Name: "id", Type: abi.Int, Count: 1},
+					{Name: "pos", Count: 1, Sub: &wire.Schema{
+						Name: "vec3",
+						Fields: []wire.FieldSpec{
+							{Name: "x", Type: abi.Double, Count: 1},
+							{Name: "y", Type: abi.Double, Count: 1},
+							{Name: "z", Type: abi.Double, Count: 1},
+						},
+					}},
+					{Name: "charge", Type: abi.Float, Count: 1},
+				},
+			}},
+		},
+	}
+}
+
+func TestNestedCDRRoundTrip(t *testing.T) {
+	pairs := []struct{ from, to abi.Arch }{
+		{abi.SparcV8, abi.X86},
+		{abi.X86, abi.SparcV8},
+		{abi.SparcV9x64, abi.I960},
+	}
+	for _, pr := range pairs {
+		pr := pr
+		t.Run(pr.from.Name+"->"+pr.to.Name, func(t *testing.T) {
+			src := native.New(wire.MustLayout(particleSchema(3), &pr.from))
+			native.FillDeterministic(src, 12)
+			e := NewEncoder(src.Format.Order, nil)
+			if err := MarshalRecord(e, src); err != nil {
+				t.Fatal(err)
+			}
+			if e.Len() != BodySize(src.Format) {
+				t.Errorf("body %d, BodySize predicts %d", e.Len(), BodySize(src.Format))
+			}
+			dst := native.New(wire.MustLayout(particleSchema(3), &pr.to))
+			if err := UnmarshalRecord(NewDecoder(src.Format.Order, e.Bytes()), dst); err != nil {
+				t.Fatal(err)
+			}
+			if diff := native.SemanticEqual(src, dst); diff != "" {
+				t.Errorf("nested CDR round trip lost data: %s", diff)
+			}
+		})
+	}
+}
+
+func TestNestedBodySizeArchIndependent(t *testing.T) {
+	want := BodySize(wire.MustLayout(particleSchema(2), &abi.SparcV8))
+	for _, a := range abi.All {
+		a := a
+		if got := BodySize(wire.MustLayout(particleSchema(2), &a)); got != want {
+			t.Errorf("%s: BodySize = %d, want %d", a.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package iiop
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// Record marshalling.  Sender and receiver share the IDL — the abstract
+// field sequence (names, types, counts).  Marshalling walks the sender's
+// native record field by field, copying each element into the packed,
+// stream-aligned CDR body; unmarshalling reverses into the receiver's
+// native layout.  Both directions pay the data movement the paper
+// attributes to packed wire formats, even on homogeneous pairs.
+
+// MarshalRecord encodes the record's fields, in format order, as a CDR
+// body in the record's native byte order (no swapping on the sender —
+// reader makes right).
+func MarshalRecord(e *Encoder, rec *native.Record) error {
+	if e.Order() != rec.Format.Order {
+		return fmt.Errorf("iiop: encoder order %v, record order %v", e.Order(), rec.Format.Order)
+	}
+	return marshalFields(e, rec.Format, rec.Buf, 0)
+}
+
+// marshalFields encodes the fields of fmt read from buf at base,
+// recursing into nested structures (CDR structs are their members in
+// sequence, each aligned in the stream).
+func marshalFields(e *Encoder, format *wire.Format, buf []byte, base int) error {
+	order := format.Order
+	for i := range format.Fields {
+		f := &format.Fields[i]
+		if f.IsStruct() {
+			for el := 0; el < f.Count; el++ {
+				if err := marshalFields(e, f.Sub, buf, base+f.Offset+el*f.Size); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		off := base + f.Offset
+		ws := wireSize(f.Type)
+		switch {
+		case f.Type == abi.Char:
+			e.PutBytes(buf[off : off+f.Count])
+		case f.Type == abi.Float:
+			for el := 0; el < f.Count; el++ {
+				e.PutPrim(4, uint64(order.Uint32(buf[off+4*el:])))
+			}
+		case f.Type == abi.Double:
+			for el := 0; el < f.Count; el++ {
+				e.PutPrim(8, order.Uint64(buf[off+8*el:]))
+			}
+		case f.Type.Signed():
+			for el := 0; el < f.Count; el++ {
+				v := order.Int(buf[off+f.Size*el:], f.Size)
+				e.PutPrim(ws, uint64(v))
+			}
+		default: // unsigned integers
+			for el := 0; el < f.Count; el++ {
+				v := order.Uint(buf[off+f.Size*el:], f.Size)
+				e.PutPrim(ws, v)
+			}
+		}
+	}
+	return nil
+}
+
+// UnmarshalRecord decodes a CDR body (written per the same IDL) into the
+// receiver's native record layout, swapping byte order only if the
+// sender's differs (reader makes right).
+func UnmarshalRecord(d *Decoder, rec *native.Record) error {
+	return unmarshalFields(d, rec.Format, rec.Buf, 0)
+}
+
+func unmarshalFields(d *Decoder, format *wire.Format, buf []byte, base int) error {
+	order := format.Order
+	for i := range format.Fields {
+		f := &format.Fields[i]
+		if f.IsStruct() {
+			for el := 0; el < f.Count; el++ {
+				if err := unmarshalFields(d, f.Sub, buf, base+f.Offset+el*f.Size); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		off := base + f.Offset
+		ws := wireSize(f.Type)
+		switch {
+		case f.Type == abi.Char:
+			b, err := d.Bytes(f.Count)
+			if err != nil {
+				return err
+			}
+			copy(buf[off:], b)
+		case f.Type == abi.Float:
+			for el := 0; el < f.Count; el++ {
+				v, err := d.Prim(4)
+				if err != nil {
+					return err
+				}
+				order.PutUint32(buf[off+4*el:], uint32(v))
+			}
+		case f.Type == abi.Double:
+			for el := 0; el < f.Count; el++ {
+				v, err := d.Prim(8)
+				if err != nil {
+					return err
+				}
+				order.PutUint64(buf[off+8*el:], v)
+			}
+		case f.Type.Signed():
+			for el := 0; el < f.Count; el++ {
+				v, err := d.Prim(ws)
+				if err != nil {
+					return err
+				}
+				// Sign-extend from the wire width, then store at the
+				// native width.
+				shift := uint(64 - 8*ws)
+				sv := int64(v<<shift) >> shift
+				order.PutInt(buf[off+f.Size*el:], f.Size, sv)
+			}
+		default:
+			for el := 0; el < f.Count; el++ {
+				v, err := d.Prim(ws)
+				if err != nil {
+					return err
+				}
+				order.PutUint(buf[off+f.Size*el:], f.Size, v)
+			}
+		}
+	}
+	return nil
+}
+
+// BodySize returns the CDR body size for one record of the given format
+// (depends only on the IDL, not the architecture).
+func BodySize(f *wire.Format) int {
+	return bodySizeFrom(f, 0)
+}
+
+func bodySizeFrom(f *wire.Format, n int) int {
+	for i := range f.Fields {
+		fl := &f.Fields[i]
+		if fl.IsStruct() {
+			for el := 0; el < fl.Count; el++ {
+				n = bodySizeFrom(fl.Sub, n)
+			}
+			continue
+		}
+		if fl.Type == abi.Char {
+			n += fl.Count
+			continue
+		}
+		ws := wireSize(fl.Type)
+		n = (n + ws - 1) &^ (ws - 1) // stream alignment
+		n += ws * fl.Count
+	}
+	return n
+}

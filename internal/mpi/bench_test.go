@@ -1,0 +1,69 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func benchFixture(b *testing.B) (*Datatype, *native.Record, []byte) {
+	b.Helper()
+	s := mixedSchema()
+	s.Fields[len(s.Fields)-1].Count = 1245 // ~10Kb
+	f := wire.MustLayout(s, &abi.SparcV8)
+	dt, err := FromFormat(&abi.SparcV8, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dt.Commit()
+	rec := native.New(f)
+	native.FillDeterministic(rec, 3)
+	packed, err := dt.Pack(nil, rec.Buf, ModeXDR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dt, rec, packed
+}
+
+func BenchmarkPackXDR(b *testing.B) {
+	dt, rec, packed := benchFixture(b)
+	buf := make([]byte, 0, len(packed))
+	b.SetBytes(int64(len(rec.Buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := dt.Pack(buf[:0], rec.Buf, ModeXDR)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+func BenchmarkUnpackXDR(b *testing.B) {
+	dt, rec, packed := benchFixture(b)
+	dst := make([]byte, len(rec.Buf))
+	b.SetBytes(int64(len(rec.Buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dt.Unpack(dst, packed, ModeXDR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackRaw(b *testing.B) {
+	dt, rec, _ := benchFixture(b)
+	buf := make([]byte, 0, dt.Size())
+	b.SetBytes(int64(len(rec.Buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := dt.Pack(buf[:0], rec.Buf, ModeRaw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}

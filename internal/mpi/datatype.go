@@ -1,0 +1,265 @@
+// Package mpi implements an MPI-like message-passing baseline: derived
+// datatypes described by typemaps, interpreted pack/unpack through a
+// packed common wire format (XDR, as MPICH's heterogeneous mode used),
+// and point-to-point send/receive with strict a-priori type agreement.
+//
+// This is the paper's principal comparison system.  Its cost structure is
+// what matters: senders gather and convert field by field into a
+// contiguous buffer ("encode"), receivers convert and scatter field by
+// field into a separate user buffer ("decode"), and any disagreement in
+// message content between the communicating peers is an error — there is
+// no run-time format discovery and no type extension.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/wire"
+)
+
+// block is one flattened typemap entry: Count elements of a basic type at
+// byte displacement Disp in the user buffer.
+type block struct {
+	Type  abi.CType
+	Disp  int
+	Count int
+	Size  int // element size under the datatype's architecture
+}
+
+// Datatype describes the memory layout of a message buffer, in the manner
+// of MPI derived datatypes.  A Datatype is built by the constructors
+// below, must be committed before use in communication, and is tied to the
+// architecture whose sizes and alignments it was built with.
+type Datatype struct {
+	arch      abi.Arch
+	blocks    []block
+	extent    int
+	committed bool
+}
+
+// NewBasic returns a datatype of count elements of the given basic type,
+// laid out contiguously from displacement 0 (like MPI_Type_contiguous over
+// a basic type).
+func NewBasic(arch *abi.Arch, t abi.CType, count int) (*Datatype, error) {
+	if !t.Valid() {
+		return nil, fmt.Errorf("mpi: invalid basic type")
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("mpi: count %d", count)
+	}
+	size := arch.SizeOf(t)
+	return &Datatype{
+		arch:   *arch,
+		blocks: []block{{Type: t, Disp: 0, Count: count, Size: size}},
+		extent: size * count,
+	}, nil
+}
+
+// NewStruct builds a struct datatype from parallel slices of basic types,
+// element counts and byte displacements (like MPI_Type_create_struct with
+// basic constituents).  Displacements are the caller's responsibility, as
+// in MPI, and normally come from the C compiler's layout of the struct.
+func NewStruct(arch *abi.Arch, types []abi.CType, counts, disps []int) (*Datatype, error) {
+	if len(types) == 0 || len(types) != len(counts) || len(types) != len(disps) {
+		return nil, fmt.Errorf("mpi: struct arrays mismatched: %d/%d/%d",
+			len(types), len(counts), len(disps))
+	}
+	dt := &Datatype{arch: *arch}
+	for i, t := range types {
+		if !t.Valid() {
+			return nil, fmt.Errorf("mpi: entry %d: invalid type", i)
+		}
+		if counts[i] <= 0 {
+			return nil, fmt.Errorf("mpi: entry %d: count %d", i, counts[i])
+		}
+		if disps[i] < 0 {
+			return nil, fmt.Errorf("mpi: entry %d: displacement %d", i, disps[i])
+		}
+		size := arch.SizeOf(t)
+		dt.blocks = append(dt.blocks, block{Type: t, Disp: disps[i], Count: counts[i], Size: size})
+		if end := disps[i] + size*counts[i]; end > dt.extent {
+			dt.extent = end
+		}
+	}
+	// MPI struct extent rounds up to the strictest member alignment
+	// (upper bound marker), matching the C compiler's trailing padding.
+	maxAlign := 1
+	for _, t := range types {
+		if a := arch.AlignOf(t); a > maxAlign {
+			maxAlign = a
+		}
+	}
+	dt.extent = abi.Align(dt.extent, maxAlign)
+	return dt, nil
+}
+
+// FromFormat builds the struct datatype corresponding to a laid-out record
+// format — the datatype an MPI application mirroring that C struct would
+// construct by hand.  Nested structures are flattened into their basic
+// constituents at absolute displacements, as MPI typemaps require.
+func FromFormat(arch *abi.Arch, f *wire.Format) (*Datatype, error) {
+	flat := f.Flatten()
+	types := make([]abi.CType, len(flat.Fields))
+	counts := make([]int, len(flat.Fields))
+	disps := make([]int, len(flat.Fields))
+	for i := range flat.Fields {
+		types[i] = flat.Fields[i].Type
+		counts[i] = flat.Fields[i].Count
+		disps[i] = flat.Fields[i].Offset
+	}
+	dt, err := NewStruct(arch, types, counts, disps)
+	if err != nil {
+		return nil, err
+	}
+	if dt.extent > f.Size {
+		return nil, fmt.Errorf("mpi: datatype extent %d exceeds format size %d", dt.extent, f.Size)
+	}
+	// Nested trailing padding can push the record beyond what the basic
+	// members imply; adopt the format's full extent (an explicit upper
+	// bound, as MPI_Type_create_resized would set).
+	dt.extent = f.Size
+	return dt, nil
+}
+
+// Vector builds a strided datatype: count blocks of blocklen elements of
+// base type t, with a stride of stride elements between block starts
+// (like MPI_Type_vector).  Used for sub-array and column exchanges.
+func Vector(arch *abi.Arch, t abi.CType, count, blocklen, stride int) (*Datatype, error) {
+	if count <= 0 || blocklen <= 0 || stride < blocklen {
+		return nil, fmt.Errorf("mpi: vector count=%d blocklen=%d stride=%d", count, blocklen, stride)
+	}
+	size := arch.SizeOf(t)
+	dt := &Datatype{arch: *arch}
+	for b := 0; b < count; b++ {
+		dt.blocks = append(dt.blocks, block{
+			Type: t, Disp: b * stride * size, Count: blocklen, Size: size,
+		})
+	}
+	dt.extent = ((count-1)*stride + blocklen) * size
+	return dt, nil
+}
+
+// Contiguous builds a datatype of count copies of base laid end to end,
+// each at a multiple of base's extent (MPI_Type_contiguous over a derived
+// type).
+func Contiguous(count int, base *Datatype) (*Datatype, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("mpi: contiguous count %d", count)
+	}
+	dt := &Datatype{arch: base.arch}
+	for c := 0; c < count; c++ {
+		off := c * base.extent
+		for _, b := range base.blocks {
+			nb := b
+			nb.Disp += off
+			dt.blocks = append(dt.blocks, nb)
+		}
+	}
+	dt.extent = count * base.extent
+	return dt, nil
+}
+
+// Indexed builds a datatype of blocks of varying element counts at
+// varying element displacements (MPI_Type_indexed): block i consists of
+// blocklens[i] elements of t starting disps[i] elements from the buffer
+// start.
+func Indexed(arch *abi.Arch, t abi.CType, blocklens, disps []int) (*Datatype, error) {
+	if !t.Valid() {
+		return nil, fmt.Errorf("mpi: invalid basic type")
+	}
+	if len(blocklens) == 0 || len(blocklens) != len(disps) {
+		return nil, fmt.Errorf("mpi: indexed arrays mismatched: %d/%d", len(blocklens), len(disps))
+	}
+	size := arch.SizeOf(t)
+	dt := &Datatype{arch: *arch}
+	for i := range blocklens {
+		if blocklens[i] <= 0 {
+			return nil, fmt.Errorf("mpi: indexed block %d: length %d", i, blocklens[i])
+		}
+		if disps[i] < 0 {
+			return nil, fmt.Errorf("mpi: indexed block %d: displacement %d", i, disps[i])
+		}
+		dt.blocks = append(dt.blocks, block{
+			Type: t, Disp: disps[i] * size, Count: blocklens[i], Size: size,
+		})
+		if end := (disps[i] + blocklens[i]) * size; end > dt.extent {
+			dt.extent = end
+		}
+	}
+	return dt, nil
+}
+
+// HVector builds a strided datatype with the stride given in BYTES
+// (MPI_Type_create_hvector): count blocks of blocklen elements of t,
+// block starts strideBytes apart.
+func HVector(arch *abi.Arch, t abi.CType, count, blocklen, strideBytes int) (*Datatype, error) {
+	if !t.Valid() {
+		return nil, fmt.Errorf("mpi: invalid basic type")
+	}
+	size := arch.SizeOf(t)
+	if count <= 0 || blocklen <= 0 || strideBytes < blocklen*size {
+		return nil, fmt.Errorf("mpi: hvector count=%d blocklen=%d stride=%dB", count, blocklen, strideBytes)
+	}
+	dt := &Datatype{arch: *arch}
+	for b := 0; b < count; b++ {
+		dt.blocks = append(dt.blocks, block{
+			Type: t, Disp: b * strideBytes, Count: blocklen, Size: size,
+		})
+	}
+	dt.extent = (count-1)*strideBytes + blocklen*size
+	return dt, nil
+}
+
+// Commit finalizes the datatype for communication, like MPI_Type_commit.
+func (d *Datatype) Commit() *Datatype {
+	d.committed = true
+	return d
+}
+
+// Committed reports whether Commit has been called.
+func (d *Datatype) Committed() bool { return d.committed }
+
+// Extent returns the span of the described memory region in bytes,
+// including alignment gaps.
+func (d *Datatype) Extent() int { return d.extent }
+
+// Size returns the number of data bytes described (sum of element sizes,
+// excluding gaps), like MPI_Type_size.
+func (d *Datatype) Size() int {
+	n := 0
+	for _, b := range d.blocks {
+		n += b.Size * b.Count
+	}
+	return n
+}
+
+// PackedSize returns the number of bytes one record occupies in the given
+// wire mode.
+func (d *Datatype) PackedSize(mode Mode) int {
+	switch mode {
+	case ModeRaw:
+		return d.Size()
+	case ModeXDR:
+		n := 0
+		for _, b := range d.blocks {
+			n += xdrBlockSize(b)
+		}
+		return n
+	}
+	panic("mpi: unknown mode")
+}
+
+// Signature returns the type signature — the sequence of (basic type,
+// count) pairs with sizes and displacements erased.  MPI requires sender
+// and receiver signatures to match exactly; Comm enforces this, modelling
+// the paper's point that "any variation in message content invalidates
+// communication".
+func (d *Datatype) Signature() string {
+	sig := make([]byte, 0, 8*len(d.blocks))
+	for _, b := range d.blocks {
+		sig = append(sig, byte(b.Type),
+			byte(b.Count>>24), byte(b.Count>>16), byte(b.Count>>8), byte(b.Count))
+	}
+	return string(sig)
+}

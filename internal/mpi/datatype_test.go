@@ -1,0 +1,200 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func TestContiguousOfStruct(t *testing.T) {
+	// An array of struct records, as MPI applications send batches:
+	// contiguous(3, struct) ≡ the AoS layout.
+	f := wire.MustLayout(mixedSchema(), &abi.SparcV8)
+	base, err := FromFormat(&abi.SparcV8, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := Contiguous(3, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt.Commit()
+	if dt.Extent() != 3*f.Size {
+		t.Errorf("extent = %d, want %d", dt.Extent(), 3*f.Size)
+	}
+	if dt.Size() != 3*base.Size() {
+		t.Errorf("size = %d, want %d", dt.Size(), 3*base.Size())
+	}
+
+	// Build three records back to back and round trip them.
+	buf := make([]byte, dt.Extent())
+	for i := 0; i < 3; i++ {
+		rec, err := native.View(f, buf[i*f.Size:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		native.FillDeterministic(rec, int64(i+1))
+	}
+	packed, err := dt.Pack(nil, buf, ModeXDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Receive on x86 with the mirrored datatype.
+	fx := wire.MustLayout(mixedSchema(), &abi.X86)
+	basex, err := FromFormat(&abi.X86, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtx, err := Contiguous(3, basex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtx.Commit()
+	if dt.Signature() != dtx.Signature() {
+		t.Fatal("contiguous signatures differ")
+	}
+	out := make([]byte, dtx.Extent())
+	if err := dtx.Unpack(out, packed, ModeXDR); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		src, _ := native.View(f, buf[i*f.Size:])
+		dst, _ := native.View(fx, out[i*fx.Size:])
+		if diff := native.SemanticEqual(src, dst); diff != "" {
+			t.Errorf("record %d: %s", i, diff)
+		}
+	}
+}
+
+func TestContiguousValidation(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.X86)
+	base, _ := FromFormat(&abi.X86, f)
+	if _, err := Contiguous(0, base); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	// Gather elements 0-1 and 5-7 of a double array (boundary exchange
+	// pattern).
+	dt, err := Indexed(&abi.X86, abi.Double, []int{2, 3}, []int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt.Commit()
+	if dt.Size() != 5*8 {
+		t.Errorf("size = %d, want 40", dt.Size())
+	}
+	if dt.Extent() != 8*8 {
+		t.Errorf("extent = %d, want 64", dt.Extent())
+	}
+	buf := make([]byte, dt.Extent())
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	packed, err := dt.Pack(nil, buf, ModeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != 40 {
+		t.Fatalf("packed %d bytes", len(packed))
+	}
+	out := make([]byte, dt.Extent())
+	if err := dt.Unpack(out, packed, ModeRaw); err != nil {
+		t.Fatal(err)
+	}
+	for _, rng := range [][2]int{{0, 16}, {40, 64}} {
+		for i := rng[0]; i < rng[1]; i++ {
+			if out[i] != buf[i] {
+				t.Fatalf("byte %d: %d != %d", i, out[i], buf[i])
+			}
+		}
+	}
+	// Untouched gap stays zero.
+	for i := 16; i < 40; i++ {
+		if out[i] != 0 {
+			t.Fatalf("gap byte %d written: %d", i, out[i])
+		}
+	}
+}
+
+func TestIndexedValidation(t *testing.T) {
+	a := &abi.X86
+	if _, err := Indexed(a, abi.CType(99), []int{1}, []int{0}); err == nil {
+		t.Error("bad type accepted")
+	}
+	if _, err := Indexed(a, abi.Int, []int{1, 2}, []int{0}); err == nil {
+		t.Error("mismatched arrays accepted")
+	}
+	if _, err := Indexed(a, abi.Int, []int{0}, []int{0}); err == nil {
+		t.Error("zero block length accepted")
+	}
+	if _, err := Indexed(a, abi.Int, []int{1}, []int{-1}); err == nil {
+		t.Error("negative displacement accepted")
+	}
+	if _, err := Indexed(a, abi.Int, nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestHVector(t *testing.T) {
+	// 4 rows of 2 floats from rows strided 32 bytes apart (a matrix
+	// column block).
+	dt, err := HVector(&abi.X86, abi.Float, 4, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt.Commit()
+	if dt.Size() != 4*2*4 {
+		t.Errorf("size = %d", dt.Size())
+	}
+	if dt.Extent() != 3*32+8 {
+		t.Errorf("extent = %d, want %d", dt.Extent(), 3*32+8)
+	}
+	buf := make([]byte, dt.Extent())
+	for i := range buf {
+		buf[i] = byte(i * 3)
+	}
+	packed, err := dt.Pack(nil, buf, ModeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, dt.Extent())
+	if err := dt.Unpack(out, packed, ModeRaw); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		for i := 0; i < 8; i++ {
+			if out[b*32+i] != buf[b*32+i] {
+				t.Fatalf("block %d byte %d differs", b, i)
+			}
+		}
+	}
+	if _, err := HVector(&abi.X86, abi.Float, 2, 4, 8); err == nil {
+		t.Error("overlapping stride accepted")
+	}
+	if _, err := HVector(&abi.X86, abi.CType(99), 1, 1, 8); err == nil {
+		t.Error("bad type accepted")
+	}
+}
+
+func TestDatatypeAccessors(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.X86)
+	dt, _ := FromFormat(&abi.X86, f)
+	if dt.Committed() {
+		t.Error("fresh datatype reports committed")
+	}
+	dt.Commit()
+	if !dt.Committed() {
+		t.Error("Commit did not stick")
+	}
+	if dt.PackedSize(ModeRaw) != dt.Size() {
+		t.Error("raw packed size != data size")
+	}
+	if dt.PackedSize(ModeXDR) < dt.Size() {
+		t.Error("XDR packed size below data size (shorts widen)")
+	}
+}

@@ -1,0 +1,313 @@
+package mpi
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func mixedSchema() *wire.Schema {
+	return &wire.Schema{
+		Name: "mixed",
+		Fields: []wire.FieldSpec{
+			{Name: "node", Type: abi.Int, Count: 1},
+			{Name: "timestamp", Type: abi.Double, Count: 1},
+			{Name: "iter", Type: abi.Long, Count: 1},
+			{Name: "tag", Type: abi.Char, Count: 16},
+			{Name: "residual", Type: abi.Float, Count: 1},
+			{Name: "flags", Type: abi.UInt, Count: 1},
+			{Name: "values", Type: abi.Double, Count: 8},
+		},
+	}
+}
+
+func dtFor(t *testing.T, arch *abi.Arch) (*Datatype, *wire.Format) {
+	t.Helper()
+	f := wire.MustLayout(mixedSchema(), arch)
+	dt, err := FromFormat(arch, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dt.Commit(), f
+}
+
+func TestPackUnpackRawHomogeneous(t *testing.T) {
+	dt, f := dtFor(t, &abi.SparcV8)
+	src := native.New(f)
+	native.FillDeterministic(src, 11)
+	packed, err := dt.Pack(nil, src.Buf, ModeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != dt.Size() {
+		t.Errorf("packed %d bytes, want %d (gaps removed)", len(packed), dt.Size())
+	}
+	if dt.Size() >= f.Size {
+		t.Errorf("packed size %d should be below native size %d (sparc has padding)", dt.Size(), f.Size)
+	}
+	dst := native.New(f)
+	if err := dt.Unpack(dst.Buf, packed, ModeRaw); err != nil {
+		t.Fatal(err)
+	}
+	if diff := native.SemanticEqual(src, dst); diff != "" {
+		t.Errorf("raw round trip lost data: %s", diff)
+	}
+}
+
+func TestPackUnpackXDRHeterogeneous(t *testing.T) {
+	pairs := []struct{ from, to abi.Arch }{
+		{abi.SparcV8, abi.X86},
+		{abi.X86, abi.SparcV8},
+		{abi.SparcV9x64, abi.X86},
+		{abi.X86, abi.SparcV9x64},
+		{abi.Alpha, abi.MIPSo32},
+	}
+	for _, pr := range pairs {
+		pr := pr
+		t.Run(pr.from.Name+"->"+pr.to.Name, func(t *testing.T) {
+			sdt, sf := dtFor(t, &pr.from)
+			rdt, rf := dtFor(t, &pr.to)
+			if sdt.Signature() != rdt.Signature() {
+				t.Fatal("signatures differ for same logical struct")
+			}
+			src := native.New(sf)
+			native.FillDeterministic(src, 23)
+			packed, err := sdt.Pack(nil, src.Buf, ModeXDR)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(packed) != sdt.PackedSize(ModeXDR) || len(packed) != rdt.PackedSize(ModeXDR) {
+				t.Errorf("packed %d, sender predicts %d, receiver predicts %d",
+					len(packed), sdt.PackedSize(ModeXDR), rdt.PackedSize(ModeXDR))
+			}
+			dst := native.New(rf)
+			if err := rdt.Unpack(dst.Buf, packed, ModeXDR); err != nil {
+				t.Fatal(err)
+			}
+			if diff := native.SemanticEqual(src, dst); diff != "" {
+				t.Errorf("XDR round trip lost data: %s", diff)
+			}
+		})
+	}
+}
+
+func TestCommSendRecv(t *testing.T) {
+	// Full exchange over an in-memory connection, sparc -> x86 with XDR.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	sdt, sf := dtFor(t, &abi.SparcV8)
+	rdt, rf := dtFor(t, &abi.X86)
+	src := native.New(sf)
+	native.FillDeterministic(src, 99)
+	dst := native.New(rf)
+
+	sender := NewComm(a, a, ModeXDR)
+	receiver := NewComm(b, b, ModeXDR)
+
+	errc := make(chan error, 1)
+	go func() { errc <- sender.Send(src.Buf, sdt) }()
+	if err := receiver.Recv(dst.Buf, rdt); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if diff := native.SemanticEqual(src, dst); diff != "" {
+		t.Errorf("exchange lost data: %s", diff)
+	}
+}
+
+func TestCommRejectsSignatureMismatch(t *testing.T) {
+	// The paper: any variation in message content invalidates MPI
+	// communication.  An evolved sender with an extra field must be
+	// rejected by an old receiver.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	base := mixedSchema()
+	ext := &wire.Schema{Name: base.Name, Fields: append(
+		[]wire.FieldSpec{{Name: "new_field", Type: abi.Int, Count: 1}}, base.Fields...)}
+	sf := wire.MustLayout(ext, &abi.SparcV8)
+	sdt, err := FromFormat(&abi.SparcV8, sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdt.Commit()
+	rdt, rf := dtFor(t, &abi.X86)
+
+	src := native.New(sf)
+	native.FillDeterministic(src, 1)
+	dst := native.New(rf)
+
+	sender := NewComm(a, a, ModeXDR)
+	receiver := NewComm(b, b, ModeXDR)
+	go func() { _ = sender.Send(src.Buf, sdt) }()
+	if err := receiver.Recv(dst.Buf, rdt); err == nil {
+		t.Fatal("receiver accepted a message with a different type signature")
+	}
+}
+
+func TestCommRejectsModeMismatch(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sdt, sf := dtFor(t, &abi.X86)
+	rdt, rf := dtFor(t, &abi.X86)
+	src := native.New(sf)
+	dst := native.New(rf)
+	go func() { _ = NewComm(a, a, ModeRaw).Send(src.Buf, sdt) }()
+	if err := NewComm(b, b, ModeXDR).Recv(dst.Buf, rdt); err == nil {
+		t.Fatal("mode mismatch accepted")
+	}
+}
+
+func TestUncommittedDatatypeRejected(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.X86)
+	dt, err := FromFormat(&abi.X86, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dt.Pack(nil, make([]byte, f.Size), ModeRaw); err == nil {
+		t.Error("Pack with uncommitted datatype accepted")
+	}
+	if err := dt.Unpack(make([]byte, f.Size), nil, ModeRaw); err == nil {
+		t.Error("Unpack with uncommitted datatype accepted")
+	}
+}
+
+func TestPackShortBufferRejected(t *testing.T) {
+	dt, f := dtFor(t, &abi.X86)
+	if _, err := dt.Pack(nil, make([]byte, f.Size-1), ModeRaw); err == nil {
+		t.Error("short pack buffer accepted")
+	}
+	if err := dt.Unpack(make([]byte, f.Size-1), make([]byte, dt.Size()), ModeRaw); err == nil {
+		t.Error("short unpack buffer accepted")
+	}
+}
+
+func TestUnpackTruncatedPayload(t *testing.T) {
+	dt, f := dtFor(t, &abi.SparcV8)
+	src := native.New(f)
+	native.FillDeterministic(src, 2)
+	for _, mode := range []Mode{ModeRaw, ModeXDR} {
+		packed, err := dt.Pack(nil, src.Buf, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := native.New(f)
+		if err := dt.Unpack(dst.Buf, packed[:len(packed)/2], mode); err == nil {
+			t.Errorf("mode %v: truncated payload accepted", mode)
+		}
+	}
+}
+
+func TestNewStructValidation(t *testing.T) {
+	a := &abi.X86
+	if _, err := NewStruct(a, nil, nil, nil); err == nil {
+		t.Error("empty struct accepted")
+	}
+	if _, err := NewStruct(a, []abi.CType{abi.Int}, []int{1}, nil); err == nil {
+		t.Error("mismatched arrays accepted")
+	}
+	if _, err := NewStruct(a, []abi.CType{abi.CType(99)}, []int{1}, []int{0}); err == nil {
+		t.Error("invalid type accepted")
+	}
+	if _, err := NewStruct(a, []abi.CType{abi.Int}, []int{0}, []int{0}); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := NewStruct(a, []abi.CType{abi.Int}, []int{1}, []int{-4}); err == nil {
+		t.Error("negative displacement accepted")
+	}
+}
+
+func TestNewBasicAndVector(t *testing.T) {
+	dt, err := NewBasic(&abi.X86, abi.Double, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Extent() != 80 || dt.Size() != 80 {
+		t.Errorf("basic extent/size = %d/%d, want 80/80", dt.Extent(), dt.Size())
+	}
+	if _, err := NewBasic(&abi.X86, abi.Int, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := NewBasic(&abi.X86, abi.CType(99), 1); err == nil {
+		t.Error("bad type accepted")
+	}
+
+	// Vector: 3 blocks of 2 doubles, stride 4 elements.
+	v, err := Vector(&abi.X86, abi.Double, 3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 3*2*8 {
+		t.Errorf("vector size = %d, want 48", v.Size())
+	}
+	if v.Extent() != ((3-1)*4+2)*8 {
+		t.Errorf("vector extent = %d, want %d", v.Extent(), ((3-1)*4+2)*8)
+	}
+	v.Commit()
+	// Pack a strided matrix column and unpack it back.
+	src := make([]byte, v.Extent())
+	for i := range src {
+		src[i] = byte(i)
+	}
+	packed, err := v.Pack(nil, src, ModeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != v.Size() {
+		t.Errorf("packed %d, want %d", len(packed), v.Size())
+	}
+	dst := make([]byte, v.Extent())
+	if err := v.Unpack(dst, packed, ModeRaw); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 3; b++ {
+		off := b * 4 * 8
+		for i := 0; i < 16; i++ {
+			if dst[off+i] != src[off+i] {
+				t.Fatalf("block %d byte %d: %d != %d", b, i, dst[off+i], src[off+i])
+			}
+		}
+	}
+	if _, err := Vector(&abi.X86, abi.Double, 1, 4, 2); err == nil {
+		t.Error("stride < blocklen accepted")
+	}
+}
+
+func TestFromFormatExtentMatches(t *testing.T) {
+	for _, a := range abi.All {
+		a := a
+		f := wire.MustLayout(mixedSchema(), &a)
+		dt, err := FromFormat(&a, f)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if dt.Extent() != f.Size {
+			t.Errorf("%s: extent %d != format size %d", a.Name, dt.Extent(), f.Size)
+		}
+	}
+}
+
+func TestSignatureIgnoresLayout(t *testing.T) {
+	// Same logical struct on different arches: same signature.
+	s, _ := dtFor(t, &abi.SparcV8)
+	x, _ := dtFor(t, &abi.X86)
+	w, _ := dtFor(t, &abi.SparcV9x64)
+	if s.Signature() != x.Signature() || s.Signature() != w.Signature() {
+		t.Error("signatures differ across arches for the same logical type")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeRaw.String() != "raw" || ModeXDR.String() != "xdr" {
+		t.Error("Mode.String wrong")
+	}
+}

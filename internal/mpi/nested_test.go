@@ -1,0 +1,102 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func particleSchema(n int) *wire.Schema {
+	return &wire.Schema{
+		Name: "particles",
+		Fields: []wire.FieldSpec{
+			{Name: "hdr", Count: 1, Sub: &wire.Schema{
+				Name: "header",
+				Fields: []wire.FieldSpec{
+					{Name: "step", Type: abi.Int, Count: 1},
+					{Name: "t", Type: abi.Double, Count: 1},
+					{Name: "label", Type: abi.Char, Count: 8},
+				},
+			}},
+			{Name: "p", Count: n, Sub: &wire.Schema{
+				Name: "particle",
+				Fields: []wire.FieldSpec{
+					{Name: "id", Type: abi.Int, Count: 1},
+					{Name: "pos", Count: 1, Sub: &wire.Schema{
+						Name: "vec3",
+						Fields: []wire.FieldSpec{
+							{Name: "x", Type: abi.Double, Count: 1},
+							{Name: "y", Type: abi.Double, Count: 1},
+							{Name: "z", Type: abi.Double, Count: 1},
+						},
+					}},
+					{Name: "charge", Type: abi.Float, Count: 1},
+				},
+			}},
+		},
+	}
+}
+
+func TestNestedFromFormatRoundTrip(t *testing.T) {
+	pairs := []struct{ from, to abi.Arch }{
+		{abi.SparcV8, abi.X86},
+		{abi.X86, abi.SparcV9x64},
+		{abi.MIPSo32, abi.Alpha},
+	}
+	for _, pr := range pairs {
+		pr := pr
+		t.Run(pr.from.Name+"->"+pr.to.Name, func(t *testing.T) {
+			sf := wire.MustLayout(particleSchema(3), &pr.from)
+			rf := wire.MustLayout(particleSchema(3), &pr.to)
+			sdt, err := FromFormat(&pr.from, sf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rdt, err := FromFormat(&pr.to, rf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sdt.Signature() != rdt.Signature() {
+				t.Fatal("nested signatures differ for same logical struct")
+			}
+			if sdt.Extent() != sf.Size || rdt.Extent() != rf.Size {
+				t.Errorf("extents %d/%d, formats %d/%d",
+					sdt.Extent(), rdt.Extent(), sf.Size, rf.Size)
+			}
+			sdt.Commit()
+			rdt.Commit()
+			src := native.New(sf)
+			native.FillDeterministic(src, 61)
+			packed, err := sdt.Pack(nil, src.Buf, ModeXDR)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := native.New(rf)
+			if err := rdt.Unpack(dst.Buf, packed, ModeXDR); err != nil {
+				t.Fatal(err)
+			}
+			if diff := native.SemanticEqual(src, dst); diff != "" {
+				t.Errorf("nested MPI round trip lost data: %s", diff)
+			}
+		})
+	}
+}
+
+func TestNestedPackedSizeGapsRemoved(t *testing.T) {
+	// Packed raw size must equal the sum of basic bytes, dropping the
+	// alignment gaps inside and between nested structs.
+	f := wire.MustLayout(particleSchema(2), &abi.SparcV8)
+	dt, err := FromFormat(&abi.SparcV8, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header: 4+8+8 = 20; particle: 4 + 24 + 4 = 32; total 20 + 2*32 = 84.
+	if got := dt.Size(); got != 84 {
+		t.Errorf("data size = %d, want 84", got)
+	}
+	if dt.Size() >= f.Size {
+		t.Errorf("packed size %d not below padded native %d", dt.Size(), f.Size)
+	}
+}

@@ -1,0 +1,215 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/abi"
+	"repro/internal/xdr"
+)
+
+// Mode selects the common wire format for a communicator.
+type Mode uint8
+
+const (
+	// ModeRaw packs data bytes contiguously in the sender's byte order
+	// with gaps removed — MPICH's homogeneous-network behaviour.  Both
+	// ends still pay the gather/scatter copies.
+	ModeRaw Mode = iota
+	// ModeXDR converts every element to XDR on pack and back on unpack —
+	// the heterogeneous-network behaviour the paper benchmarks.
+	ModeXDR
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeXDR {
+		return "xdr"
+	}
+	return "raw"
+}
+
+// xdrWireWide reports whether the basic type travels as an 8-byte XDR
+// quantity.  The wire width depends on the abstract type, not the local
+// size, so that an LP64 sender and an ILP32 receiver (whose longs differ
+// in size but whose type signatures match) agree on the stream layout.
+// Long always travels as an XDR hyper for exactly this reason.
+func xdrWireWide(t abi.CType) bool {
+	switch t {
+	case abi.Long, abi.ULong, abi.LongLong, abi.ULongLong, abi.Double:
+		return true
+	}
+	return false
+}
+
+func xdrBlockSize(b block) int {
+	if b.Type == abi.Char {
+		return xdr.EncodedSize(1, b.Count, true)
+	}
+	es := 4
+	if xdrWireWide(b.Type) {
+		es = 8
+	}
+	return xdr.EncodedSize(es, b.Count, false)
+}
+
+// Pack encodes one record from the user buffer into the packed wire
+// representation, appending to dst, and returns the extended slice.  This
+// is the sender-side "encode" cost in the paper's Figure 1: an interpreted
+// walk of the typemap, gathering (and in XDR mode converting) every
+// element into a contiguous buffer.
+func (d *Datatype) Pack(dst []byte, src []byte, mode Mode) ([]byte, error) {
+	if !d.committed {
+		return nil, fmt.Errorf("mpi: datatype not committed")
+	}
+	if len(src) < d.extent {
+		return nil, fmt.Errorf("mpi: buffer %d bytes, datatype extent %d", len(src), d.extent)
+	}
+	order := d.arch.Order
+	switch mode {
+	case ModeRaw:
+		for _, b := range d.blocks {
+			dst = append(dst, src[b.Disp:b.Disp+b.Size*b.Count]...)
+		}
+		return dst, nil
+	case ModeXDR:
+		e := xdr.NewEncoder(dst[len(dst):])
+		for _, b := range d.blocks {
+			if err := packBlockXDR(e, b, src, order); err != nil {
+				return nil, err
+			}
+		}
+		return append(dst, e.Bytes()...), nil
+	}
+	return nil, fmt.Errorf("mpi: unknown mode %d", mode)
+}
+
+func packBlockXDR(e *xdr.Encoder, b block, src []byte, order abi.Endian) error {
+	switch {
+	case b.Type == abi.Char:
+		e.PutOpaque(src[b.Disp : b.Disp+b.Count])
+	case b.Type == abi.Float:
+		for i := 0; i < b.Count; i++ {
+			bits := order.Uint32(src[b.Disp+4*i:])
+			e.PutFloat32(math.Float32frombits(bits))
+		}
+	case b.Type == abi.Double:
+		for i := 0; i < b.Count; i++ {
+			bits := order.Uint64(src[b.Disp+8*i:])
+			e.PutFloat64(math.Float64frombits(bits))
+		}
+	case b.Type.Integer():
+		wide := xdrWireWide(b.Type)
+		for i := 0; i < b.Count; i++ {
+			p := src[b.Disp+b.Size*i:]
+			if b.Type.Signed() {
+				v := order.Int(p, b.Size)
+				if wide {
+					e.PutInt64(v)
+				} else {
+					e.PutInt32(int32(v))
+				}
+			} else {
+				v := order.Uint(p, b.Size)
+				if wide {
+					e.PutUint64(v)
+				} else {
+					e.PutUint32(uint32(v))
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("mpi: cannot pack type %v", b.Type)
+	}
+	return nil
+}
+
+// Unpack decodes one packed record from src into the user buffer dst —
+// the receiver-side "decode" cost.  As the paper notes of MPICH, the
+// unpacked message lands in a buffer separate from the receive buffer;
+// dst here is the user's buffer, distinct from src.
+func (d *Datatype) Unpack(dst []byte, src []byte, mode Mode) error {
+	if !d.committed {
+		return fmt.Errorf("mpi: datatype not committed")
+	}
+	if len(dst) < d.extent {
+		return fmt.Errorf("mpi: buffer %d bytes, datatype extent %d", len(dst), d.extent)
+	}
+	order := d.arch.Order
+	switch mode {
+	case ModeRaw:
+		pos := 0
+		for _, b := range d.blocks {
+			n := b.Size * b.Count
+			if pos+n > len(src) {
+				return fmt.Errorf("mpi: packed data truncated at block %d", b.Disp)
+			}
+			copy(dst[b.Disp:b.Disp+n], src[pos:pos+n])
+			pos += n
+		}
+		return nil
+	case ModeXDR:
+		dec := xdr.NewDecoder(src)
+		for _, b := range d.blocks {
+			if err := unpackBlockXDR(dec, b, dst, order); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("mpi: unknown mode %d", mode)
+}
+
+func unpackBlockXDR(dec *xdr.Decoder, b block, dst []byte, order abi.Endian) error {
+	switch {
+	case b.Type == abi.Char:
+		data, err := dec.Opaque(b.Count)
+		if err != nil {
+			return err
+		}
+		copy(dst[b.Disp:], data)
+	case b.Type == abi.Float:
+		for i := 0; i < b.Count; i++ {
+			v, err := dec.Float32()
+			if err != nil {
+				return err
+			}
+			order.PutUint32(dst[b.Disp+4*i:], math.Float32bits(v))
+		}
+	case b.Type == abi.Double:
+		for i := 0; i < b.Count; i++ {
+			v, err := dec.Float64()
+			if err != nil {
+				return err
+			}
+			order.PutUint64(dst[b.Disp+8*i:], math.Float64bits(v))
+		}
+	case b.Type.Integer():
+		wide := xdrWireWide(b.Type)
+		for i := 0; i < b.Count; i++ {
+			p := dst[b.Disp+b.Size*i:]
+			if wide {
+				v, err := dec.Int64()
+				if err != nil {
+					return err
+				}
+				order.PutInt(p, b.Size, v)
+			} else if b.Type.Signed() {
+				v, err := dec.Int32()
+				if err != nil {
+					return err
+				}
+				order.PutInt(p, b.Size, int64(v))
+			} else {
+				v, err := dec.Uint32()
+				if err != nil {
+					return err
+				}
+				order.PutUint(p, b.Size, uint64(v))
+			}
+		}
+	default:
+		return fmt.Errorf("mpi: cannot unpack type %v", b.Type)
+	}
+	return nil
+}

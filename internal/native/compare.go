@@ -1,0 +1,119 @@
+package native
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/abi"
+)
+
+// FillDeterministic populates every field of the record with values
+// derived from seed — distinct per field and element, and representable in
+// the field's type so that value-level comparisons across layouts are
+// exact.  Used by conversion tests and benchmarks to build "application
+// data" on the sending side.
+func FillDeterministic(r *Record, seed int64) {
+	for i := range r.Format.Fields {
+		f := &r.Format.Fields[i]
+		switch {
+		case f.IsStruct():
+			for e := 0; e < f.Count; e++ {
+				sub, err := r.Sub(f.Name, e)
+				if err != nil {
+					panic(err)
+				}
+				FillDeterministic(sub, seed+int64(i*131+e*17)+1)
+			}
+		case f.Type == abi.Char:
+			s := fmt.Sprintf("s%d-%s", seed, f.Name)
+			r.MustSetString(f.Name, s)
+		case f.Type == abi.Float:
+			for e := 0; e < f.Count; e++ {
+				// Small integers scaled: exactly representable in
+				// float32 and float64 alike, so width conversions are
+				// lossless.
+				v := float64((seed+int64(i*31+e))%4096) * 0.5
+				r.MustSetFloat(f.Name, e, v)
+			}
+		case f.Type == abi.Double:
+			for e := 0; e < f.Count; e++ {
+				// Full-precision doubles, as simulation output carries;
+				// exercises realistic text lengths in the XML baseline.
+				v := 0.1234567890123456 * float64((seed+int64(i*31+e))%4096+1)
+				r.MustSetFloat(f.Name, e, v)
+			}
+		default:
+			for e := 0; e < f.Count; e++ {
+				v := (seed + int64(i*131+e*7)) % 30000
+				if !f.Type.Signed() && v < 0 {
+					v = -v
+				}
+				r.MustSetInt(f.Name, e, v)
+			}
+		}
+	}
+}
+
+// SemanticEqual reports whether two records carry the same field values,
+// comparing by field name and value rather than by bytes, so records in
+// different layouts (byte order, offsets, sizes) can be checked for
+// conversion fidelity.  Fields present in only one record are ignored;
+// comparison runs over the intersection.  It returns a description of the
+// first difference found, or "" if equal.
+func SemanticEqual(a, b *Record) string {
+	for i := range a.Format.Fields {
+		fa := &a.Format.Fields[i]
+		fb := b.Format.FieldByName(fa.Name)
+		if fb == nil {
+			continue
+		}
+		n := fa.Count
+		if fb.Count < n {
+			n = fb.Count
+		}
+		switch {
+		case fa.IsStruct() != fb.IsStruct():
+			return fmt.Sprintf("field %q: structure on only one side", fa.Name)
+		case fa.IsStruct():
+			for e := 0; e < n; e++ {
+				sa, erra := a.Sub(fa.Name, e)
+				sb, errb := b.Sub(fa.Name, e)
+				if erra != nil || errb != nil {
+					return fmt.Sprintf("field %q[%d]: %v / %v", fa.Name, e, erra, errb)
+				}
+				if diff := SemanticEqual(sa, sb); diff != "" {
+					return fmt.Sprintf("field %q[%d]: %s", fa.Name, e, diff)
+				}
+			}
+		case fa.Type == abi.Char:
+			sa, _ := a.String(fa.Name)
+			sb, _ := b.String(fa.Name)
+			if sa != sb {
+				return fmt.Sprintf("field %q: %q != %q", fa.Name, sa, sb)
+			}
+		case fa.Type.Floating():
+			for e := 0; e < n; e++ {
+				va, erra := a.Float(fa.Name, e)
+				vb, errb := b.Float(fa.Name, e)
+				if erra != nil || errb != nil {
+					return fmt.Sprintf("field %q[%d]: %v / %v", fa.Name, e, erra, errb)
+				}
+				if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+					return fmt.Sprintf("field %q[%d]: %v != %v", fa.Name, e, va, vb)
+				}
+			}
+		default:
+			for e := 0; e < n; e++ {
+				va, erra := a.Int(fa.Name, e)
+				vb, errb := b.Int(fa.Name, e)
+				if erra != nil || errb != nil {
+					return fmt.Sprintf("field %q[%d]: %v / %v", fa.Name, e, erra, errb)
+				}
+				if va != vb {
+					return fmt.Sprintf("field %q[%d]: %d != %d", fa.Name, e, va, vb)
+				}
+			}
+		}
+	}
+	return ""
+}

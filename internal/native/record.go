@@ -1,0 +1,240 @@
+// Package native represents records as raw byte images in a specific
+// architecture's layout — the "natural form in which data is maintained by
+// the sender" that NDR puts on the wire unmodified.
+//
+// A Record pairs a byte buffer with the wire.Format describing it.  Typed
+// accessors read and write fields honoring the format's byte order,
+// element sizes and offsets, so tests and applications can build a record
+// exactly as a C program on that architecture would hold it in memory.
+package native
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/abi"
+	"repro/internal/wire"
+)
+
+// Record is a native record image: Buf holds exactly Format.Size bytes laid
+// out according to Format.
+type Record struct {
+	Format *wire.Format
+	Buf    []byte
+}
+
+// New allocates a zeroed record of the given format.
+func New(f *wire.Format) *Record {
+	return &Record{Format: f, Buf: make([]byte, f.Size)}
+}
+
+// View wraps an existing buffer (for example a receive buffer) as a record
+// without copying.  The buffer must be at least f.Size bytes.
+func View(f *wire.Format, buf []byte) (*Record, error) {
+	if len(buf) < f.Size {
+		return nil, fmt.Errorf("native: buffer of %d bytes too small for %d-byte format %q",
+			len(buf), f.Size, f.Name)
+	}
+	return &Record{Format: f, Buf: buf[:f.Size]}, nil
+}
+
+// Clone returns a deep copy of the record.
+func (r *Record) Clone() *Record {
+	buf := make([]byte, len(r.Buf))
+	copy(buf, r.Buf)
+	return &Record{Format: r.Format, Buf: buf}
+}
+
+func (r *Record) field(name string) (*wire.Field, error) {
+	f := r.Format.FieldByName(name)
+	if f == nil {
+		return nil, fmt.Errorf("native: format %q has no field %q", r.Format.Name, name)
+	}
+	return f, nil
+}
+
+func (r *Record) elem(f *wire.Field, i int) ([]byte, error) {
+	if i < 0 || i >= f.Count {
+		return nil, fmt.Errorf("native: index %d out of range for field %q[%d]", i, f.Name, f.Count)
+	}
+	off := f.Offset + i*f.Size
+	return r.Buf[off : off+f.Size], nil
+}
+
+// SetInt stores a signed integer into element i of the named field,
+// truncating to the field's element size as a C assignment would.
+func (r *Record) SetInt(name string, i int, v int64) error {
+	f, err := r.field(name)
+	if err != nil {
+		return err
+	}
+	if f.IsStruct() || (!f.Type.Integer() && f.Type != abi.Char) {
+		return fmt.Errorf("native: field %q is not an integer field", name)
+	}
+	b, err := r.elem(f, i)
+	if err != nil {
+		return err
+	}
+	r.Format.Order.PutInt(b, f.Size, v)
+	return nil
+}
+
+// Int loads element i of the named integer field, sign-extending signed
+// types and zero-extending unsigned ones.
+func (r *Record) Int(name string, i int) (int64, error) {
+	f, err := r.field(name)
+	if err != nil {
+		return 0, err
+	}
+	if f.IsStruct() || (!f.Type.Integer() && f.Type != abi.Char) {
+		return 0, fmt.Errorf("native: field %q is not an integer field", name)
+	}
+	b, err := r.elem(f, i)
+	if err != nil {
+		return 0, err
+	}
+	if f.Type.Signed() {
+		return r.Format.Order.Int(b, f.Size), nil
+	}
+	return int64(r.Format.Order.Uint(b, f.Size)), nil
+}
+
+// SetFloat stores a floating-point value into element i of the named
+// field (narrowing to float32 for 4-byte fields).
+func (r *Record) SetFloat(name string, i int, v float64) error {
+	f, err := r.field(name)
+	if err != nil {
+		return err
+	}
+	if f.IsStruct() || !f.Type.Floating() {
+		return fmt.Errorf("native: field %q is not a floating-point field", name)
+	}
+	b, err := r.elem(f, i)
+	if err != nil {
+		return err
+	}
+	switch f.Size {
+	case 4:
+		r.Format.Order.PutUint32(b, math.Float32bits(float32(v)))
+	case 8:
+		r.Format.Order.PutUint64(b, math.Float64bits(v))
+	default:
+		return fmt.Errorf("native: field %q has float size %d", name, f.Size)
+	}
+	return nil
+}
+
+// Float loads element i of the named floating-point field.
+func (r *Record) Float(name string, i int) (float64, error) {
+	f, err := r.field(name)
+	if err != nil {
+		return 0, err
+	}
+	if f.IsStruct() || !f.Type.Floating() {
+		return 0, fmt.Errorf("native: field %q is not a floating-point field", name)
+	}
+	b, err := r.elem(f, i)
+	if err != nil {
+		return 0, err
+	}
+	switch f.Size {
+	case 4:
+		return float64(math.Float32frombits(r.Format.Order.Uint32(b))), nil
+	case 8:
+		return math.Float64frombits(r.Format.Order.Uint64(b)), nil
+	}
+	return 0, fmt.Errorf("native: field %q has float size %d", name, f.Size)
+}
+
+// SetString stores s into a char-array field, NUL-padding (and silently
+// truncating) to the field length, C-style.
+func (r *Record) SetString(name, s string) error {
+	f, err := r.field(name)
+	if err != nil {
+		return err
+	}
+	if f.IsStruct() || f.Type != abi.Char {
+		return fmt.Errorf("native: field %q is not a char field", name)
+	}
+	dst := r.Buf[f.Offset : f.Offset+f.Count]
+	n := copy(dst, s)
+	for ; n < len(dst); n++ {
+		dst[n] = 0
+	}
+	return nil
+}
+
+// String loads a char-array field as a string, stopping at the first NUL.
+func (r *Record) String(name string) (string, error) {
+	f, err := r.field(name)
+	if err != nil {
+		return "", err
+	}
+	if f.IsStruct() || f.Type != abi.Char {
+		return "", fmt.Errorf("native: field %q is not a char field", name)
+	}
+	b := r.Buf[f.Offset : f.Offset+f.Count]
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i]), nil
+		}
+	}
+	return string(b), nil
+}
+
+// Sub returns element i of a nested-structure field as a Record view
+// aliasing this record's buffer: reads and writes through it access the
+// containing record directly.
+func (r *Record) Sub(name string, i int) (*Record, error) {
+	f, err := r.field(name)
+	if err != nil {
+		return nil, err
+	}
+	if !f.IsStruct() {
+		return nil, fmt.Errorf("native: field %q is %v, not a structure", name, f.Type)
+	}
+	if i < 0 || i >= f.Count {
+		return nil, fmt.Errorf("native: index %d out of range for field %q[%d]", i, f.Name, f.Count)
+	}
+	off := f.Offset + i*f.Size
+	return &Record{Format: f.Sub, Buf: r.Buf[off : off+f.Size]}, nil
+}
+
+// MustSub is Sub that panics on error.
+func (r *Record) MustSub(name string, i int) *Record {
+	s, err := r.Sub(name, i)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Bytes returns the raw field bytes (aliasing the record buffer).
+func (r *Record) Bytes(name string) ([]byte, error) {
+	f, err := r.field(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Buf[f.Offset:f.End()], nil
+}
+
+// MustSetInt is SetInt that panics on error, for test/benchmark fixtures.
+func (r *Record) MustSetInt(name string, i int, v int64) {
+	if err := r.SetInt(name, i, v); err != nil {
+		panic(err)
+	}
+}
+
+// MustSetFloat is SetFloat that panics on error.
+func (r *Record) MustSetFloat(name string, i int, v float64) {
+	if err := r.SetFloat(name, i, v); err != nil {
+		panic(err)
+	}
+}
+
+// MustSetString is SetString that panics on error.
+func (r *Record) MustSetString(name, s string) {
+	if err := r.SetString(name, s); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,244 @@
+package native
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/wire"
+)
+
+func mixedSchema() *wire.Schema {
+	return &wire.Schema{
+		Name: "mixed",
+		Fields: []wire.FieldSpec{
+			{Name: "node", Type: abi.Int, Count: 1},
+			{Name: "timestamp", Type: abi.Double, Count: 1},
+			{Name: "iter", Type: abi.Long, Count: 1},
+			{Name: "tag", Type: abi.Char, Count: 16},
+			{Name: "residual", Type: abi.Float, Count: 1},
+			{Name: "count", Type: abi.UInt, Count: 1},
+			{Name: "values", Type: abi.Double, Count: 4},
+		},
+	}
+}
+
+func TestIntRoundTripAllArches(t *testing.T) {
+	for _, a := range abi.All {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			r := New(wire.MustLayout(mixedSchema(), &a))
+			for _, v := range []int64{0, 1, -1, 12345, -30000} {
+				if err := r.SetInt("iter", 0, v); err != nil {
+					t.Fatalf("SetInt: %v", err)
+				}
+				got, err := r.Int("iter", 0)
+				if err != nil {
+					t.Fatalf("Int: %v", err)
+				}
+				if got != v {
+					t.Errorf("iter = %d, want %d", got, v)
+				}
+			}
+		})
+	}
+}
+
+func TestUnsignedDoesNotSignExtend(t *testing.T) {
+	r := New(wire.MustLayout(mixedSchema(), &abi.SparcV8))
+	r.MustSetInt("count", 0, -1) // stored as 0xFFFFFFFF
+	got, _ := r.Int("count", 0)
+	if got != 0xFFFFFFFF {
+		t.Errorf("unsigned read = %d, want %d", got, int64(0xFFFFFFFF))
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	r := New(wire.MustLayout(mixedSchema(), &abi.X86))
+	r.MustSetFloat("timestamp", 0, 3.14159)
+	if got, _ := r.Float("timestamp", 0); got != 3.14159 {
+		t.Errorf("timestamp = %v", got)
+	}
+	// float32 narrowing: 1.5 is exact.
+	r.MustSetFloat("residual", 0, 1.5)
+	if got, _ := r.Float("residual", 0); got != 1.5 {
+		t.Errorf("residual = %v", got)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	r := New(wire.MustLayout(mixedSchema(), &abi.SparcV8))
+	r.MustSetString("tag", "hello")
+	if got, _ := r.String("tag"); got != "hello" {
+		t.Errorf("tag = %q", got)
+	}
+	// Truncation at field length.
+	r.MustSetString("tag", "0123456789abcdefOVERFLOW")
+	if got, _ := r.String("tag"); got != "0123456789abcdef" {
+		t.Errorf("truncated tag = %q", got)
+	}
+	// Re-setting a shorter string clears the remainder.
+	r.MustSetString("tag", "xy")
+	if got, _ := r.String("tag"); got != "xy" {
+		t.Errorf("short tag = %q", got)
+	}
+}
+
+func TestArrayElements(t *testing.T) {
+	r := New(wire.MustLayout(mixedSchema(), &abi.SparcV8))
+	for i := 0; i < 4; i++ {
+		r.MustSetFloat("values", i, float64(i)*2.5)
+	}
+	for i := 0; i < 4; i++ {
+		if got, _ := r.Float("values", i); got != float64(i)*2.5 {
+			t.Errorf("values[%d] = %v, want %v", i, got, float64(i)*2.5)
+		}
+	}
+	if _, err := r.Float("values", 4); err == nil {
+		t.Error("out-of-range element read accepted")
+	}
+	if err := r.SetFloat("values", -1, 0); err == nil {
+		t.Error("negative element write accepted")
+	}
+}
+
+func TestTypeMismatchErrors(t *testing.T) {
+	r := New(wire.MustLayout(mixedSchema(), &abi.X86))
+	if err := r.SetInt("timestamp", 0, 1); err == nil {
+		t.Error("SetInt on double accepted")
+	}
+	if _, err := r.Int("timestamp", 0); err == nil {
+		t.Error("Int on double accepted")
+	}
+	if err := r.SetFloat("node", 0, 1); err == nil {
+		t.Error("SetFloat on int accepted")
+	}
+	if _, err := r.Float("node", 0); err == nil {
+		t.Error("Float on int accepted")
+	}
+	if err := r.SetString("node", "x"); err == nil {
+		t.Error("SetString on int accepted")
+	}
+	if _, err := r.String("node"); err == nil {
+		t.Error("String on int accepted")
+	}
+	if _, err := r.Int("nosuch", 0); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestByteOrderInBuffer(t *testing.T) {
+	// The big-endian record must hold big-endian bytes at the field
+	// offset — this is what actually goes on the wire.
+	f := wire.MustLayout(mixedSchema(), &abi.SparcV8)
+	r := New(f)
+	r.MustSetInt("node", 0, 0x01020304)
+	off := f.FieldByName("node").Offset
+	want := []byte{1, 2, 3, 4}
+	for i, b := range want {
+		if r.Buf[off+i] != b {
+			t.Fatalf("big-endian bytes = % x, want % x", r.Buf[off:off+4], want)
+		}
+	}
+	fle := wire.MustLayout(mixedSchema(), &abi.X86)
+	rle := New(fle)
+	rle.MustSetInt("node", 0, 0x01020304)
+	offle := fle.FieldByName("node").Offset
+	wantle := []byte{4, 3, 2, 1}
+	for i, b := range wantle {
+		if rle.Buf[offle+i] != b {
+			t.Fatalf("little-endian bytes = % x, want % x", rle.Buf[offle:offle+4], wantle)
+		}
+	}
+}
+
+func TestView(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.X86)
+	buf := make([]byte, f.Size+10)
+	r, err := View(f, buf)
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	r.MustSetInt("node", 0, 42)
+	if buf[f.FieldByName("node").Offset] != 42 {
+		t.Error("View does not alias the buffer")
+	}
+	if _, err := View(f, make([]byte, f.Size-1)); err == nil {
+		t.Error("View accepted short buffer")
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := New(wire.MustLayout(mixedSchema(), &abi.X86))
+	r.MustSetInt("node", 0, 7)
+	c := r.Clone()
+	c.MustSetInt("node", 0, 9)
+	if got, _ := r.Int("node", 0); got != 7 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.X86)
+	r := New(f)
+	b, err := r.Bytes("values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 32 {
+		t.Errorf("Bytes(values) len = %d, want 32", len(b))
+	}
+	if _, err := r.Bytes("nosuch"); err == nil {
+		t.Error("Bytes of unknown field accepted")
+	}
+}
+
+func TestFillDeterministicAndSemanticEqual(t *testing.T) {
+	fa := wire.MustLayout(mixedSchema(), &abi.SparcV8)
+	fb := wire.MustLayout(mixedSchema(), &abi.X86)
+	a := New(fa)
+	b := New(fb)
+	FillDeterministic(a, 42)
+	FillDeterministic(b, 42)
+	// Same seed, different layouts: values must compare equal.
+	if diff := SemanticEqual(a, b); diff != "" {
+		t.Errorf("same-seed records differ: %s", diff)
+	}
+	FillDeterministic(b, 43)
+	if diff := SemanticEqual(a, b); diff == "" {
+		t.Error("different-seed records compare equal")
+	}
+}
+
+func TestSemanticEqualIgnoresExtraFields(t *testing.T) {
+	s := mixedSchema()
+	ext := &wire.Schema{Name: s.Name, Fields: append([]wire.FieldSpec{
+		{Name: "extra", Type: abi.Int, Count: 1}}, s.Fields...)}
+	a := New(wire.MustLayout(s, &abi.X86))
+	b := New(wire.MustLayout(ext, &abi.X86))
+	FillDeterministic(a, 1)
+	for i := range a.Format.Fields {
+		f := &a.Format.Fields[i]
+		copy(b.Buf[b.Format.FieldByName(f.Name).Offset:], a.Buf[f.Offset:f.End()])
+	}
+	if diff := SemanticEqual(a, b); diff != "" {
+		t.Errorf("intersection differs: %s", diff)
+	}
+}
+
+func TestMustSettersPanic(t *testing.T) {
+	r := New(wire.MustLayout(mixedSchema(), &abi.X86))
+	for name, fn := range map[string]func(){
+		"MustSetInt":    func() { r.MustSetInt("nosuch", 0, 1) },
+		"MustSetFloat":  func() { r.MustSetFloat("nosuch", 0, 1) },
+		"MustSetString": func() { r.MustSetString("nosuch", "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on unknown field did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

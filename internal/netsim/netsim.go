@@ -1,0 +1,179 @@
+// Package netsim models network transfer costs so that roundtrip
+// experiments can be composed deterministically.
+//
+// The paper measures on 100 Mbps Ethernet between two dedicated hosts;
+// this repository runs on one machine, where real loopback times reflect
+// nothing the paper studies.  Encode and decode legs are therefore
+// *measured* on the host, and network legs are *modelled*, calibrated to
+// the per-size network times the paper itself reports in Figure 1 — the
+// composition preserves the breakdown structure (which legs dominate,
+// where the crossovers fall) that Figures 1 and 5 are about.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Link is an analytic latency + bandwidth model: transfer time is
+// Latency + bytes/Bandwidth.
+type Link struct {
+	Latency   time.Duration
+	Bandwidth float64 // bytes per second
+}
+
+// TransferTime returns the modelled one-way time for a message of n bytes.
+func (l Link) TransferTime(n int) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	return l.Latency + time.Duration(float64(n)/l.Bandwidth*float64(time.Second))
+}
+
+// Ethernet100 is a nominal 100 Mbps Ethernet link with typical late-1990s
+// switch+stack latency, for analytic experiments.
+var Ethernet100 = Link{
+	Latency:   200 * time.Microsecond,
+	Bandwidth: 100e6 / 8 * 0.7, // 70% of nominal: TCP/IP + framing overhead
+}
+
+// Calibrated is a piecewise-linear model through measured (size, time)
+// points, interpolating between them and extrapolating from the end
+// segments.  It reproduces a measured link exactly at the calibration
+// points.
+type Calibrated struct {
+	points []Point
+}
+
+// Point is one calibration measurement.
+type Point struct {
+	Bytes int
+	Time  time.Duration
+}
+
+// NewCalibrated builds a piecewise model from at least two points.
+func NewCalibrated(points []Point) (*Calibrated, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("netsim: need at least 2 calibration points, got %d", len(points))
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Bytes < ps[j].Bytes })
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Bytes == ps[i-1].Bytes {
+			return nil, fmt.Errorf("netsim: duplicate calibration size %d", ps[i].Bytes)
+		}
+		if ps[i].Time < ps[i-1].Time {
+			return nil, fmt.Errorf("netsim: time not monotonic at %d bytes", ps[i].Bytes)
+		}
+	}
+	return &Calibrated{points: ps}, nil
+}
+
+// TransferTime interpolates the one-way transfer time for n bytes.
+func (c *Calibrated) TransferTime(n int) time.Duration {
+	ps := c.points
+	// Find the segment [i, i+1] bracketing n, clamping to end segments
+	// for extrapolation.
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Bytes >= n }) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ps)-1 {
+		i = len(ps) - 2
+	}
+	a, b := ps[i], ps[i+1]
+	frac := float64(n-a.Bytes) / float64(b.Bytes-a.Bytes)
+	d := time.Duration(float64(a.Time) + frac*float64(b.Time-a.Time))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// PaperEthernet is calibrated to the network legs the paper reports in
+// Figure 1 for the MPICH exchange (one-way, per binary payload size).
+var PaperEthernet = mustCalibrated([]Point{
+	{100, 227 * time.Microsecond},
+	{1000, 345 * time.Microsecond},
+	{10 * 1000, 1940 * time.Microsecond},
+	{100 * 1000, 15390 * time.Microsecond},
+})
+
+func mustCalibrated(points []Point) *Calibrated {
+	c, err := NewCalibrated(points)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Network abstracts the two models.
+type Network interface {
+	TransferTime(bytes int) time.Duration
+}
+
+// CPU is a relative-speed machine model: durations measured on the host
+// are scaled by Scale to estimate the modelled machine's time.  The
+// paper's hosts (a 247 MHz UltraSPARC II and a 450 MHz Pentium II) are
+// two orders of magnitude slower than a current core on this code, so
+// composing raw host CPU legs with the paper's network legs would
+// misrepresent every breakdown; scaling restores the paper's CPU:network
+// balance.  Scale is calibrated from a single anchor measurement (see
+// bench.CalibrateCPUs), not fitted per experiment.
+type CPU struct {
+	Name  string
+	Scale float64
+}
+
+// Time scales a host-measured duration to the modelled machine.
+func (c CPU) Time(host time.Duration) time.Duration {
+	return time.Duration(float64(host) * c.Scale)
+}
+
+// Leg is one labelled component of a roundtrip.
+type Leg struct {
+	Name string
+	Time time.Duration
+}
+
+// RoundTrip composes a full message roundtrip from its six legs, in the
+// layout of the paper's Figure 1 / Figure 5 bars.
+type RoundTrip struct {
+	Legs [6]Leg // A-encode, A->B net, B-decode, B-encode, B->A net, A-decode
+}
+
+// NewRoundTrip builds a roundtrip breakdown.  encA/decB describe the
+// forward message of fwdBytes on the wire; encB/decA the reply of
+// rplBytes.
+func NewRoundTrip(net Network, encA, decB, encB, decA time.Duration, fwdBytes, rplBytes int) RoundTrip {
+	return RoundTrip{Legs: [6]Leg{
+		{"A encode", encA},
+		{"network", net.TransferTime(fwdBytes)},
+		{"B decode", decB},
+		{"B encode", encB},
+		{"network", net.TransferTime(rplBytes)},
+		{"A decode", decA},
+	}}
+}
+
+// Total returns the summed roundtrip time.
+func (r RoundTrip) Total() time.Duration {
+	var t time.Duration
+	for _, l := range r.Legs {
+		t += l.Time
+	}
+	return t
+}
+
+// EncodeDecodeShare returns the fraction of the total spent in encode and
+// decode legs (the paper: "typically 66% of the total cost").
+func (r RoundTrip) EncodeDecodeShare() float64 {
+	total := r.Total()
+	if total == 0 {
+		return 0
+	}
+	ed := r.Legs[0].Time + r.Legs[2].Time + r.Legs[3].Time + r.Legs[5].Time
+	return float64(ed) / float64(total)
+}

@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{Latency: time.Millisecond, Bandwidth: 1e6}
+	if got := l.TransferTime(0); got != time.Millisecond {
+		t.Errorf("empty transfer = %v, want 1ms", got)
+	}
+	if got := l.TransferTime(1e6); got != time.Millisecond+time.Second {
+		t.Errorf("1MB transfer = %v, want 1.001s", got)
+	}
+	if got := l.TransferTime(-5); got != time.Millisecond {
+		t.Errorf("negative size = %v, want latency only", got)
+	}
+}
+
+func TestCalibratedExactAtPoints(t *testing.T) {
+	// The paper model must reproduce Figure 1's network legs exactly.
+	cases := []struct {
+		bytes int
+		want  time.Duration
+	}{
+		{100, 227 * time.Microsecond},
+		{1000, 345 * time.Microsecond},
+		{10000, 1940 * time.Microsecond},
+		{100000, 15390 * time.Microsecond},
+	}
+	for _, c := range cases {
+		if got := PaperEthernet.TransferTime(c.bytes); got != c.want {
+			t.Errorf("TransferTime(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestCalibratedInterpolation(t *testing.T) {
+	c, err := NewCalibrated([]Point{
+		{0, 0},
+		{100, 100 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TransferTime(50); got != 50*time.Microsecond {
+		t.Errorf("midpoint = %v, want 50µs", got)
+	}
+	// Extrapolation continues the end segment.
+	if got := c.TransferTime(200); got != 200*time.Microsecond {
+		t.Errorf("extrapolated = %v, want 200µs", got)
+	}
+	// Monotonic over a sweep.
+	prev := time.Duration(-1)
+	for n := 0; n <= 120000; n += 997 {
+		d := PaperEthernet.TransferTime(n)
+		if d < prev {
+			t.Fatalf("non-monotonic at %d bytes: %v < %v", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestCalibratedBelowFirstPointClamped(t *testing.T) {
+	if got := PaperEthernet.TransferTime(0); got < 0 {
+		t.Errorf("TransferTime(0) = %v, negative", got)
+	}
+}
+
+func TestNewCalibratedValidation(t *testing.T) {
+	if _, err := NewCalibrated([]Point{{1, 1}}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := NewCalibrated([]Point{{1, 1}, {1, 2}}); err == nil {
+		t.Error("duplicate sizes accepted")
+	}
+	if _, err := NewCalibrated([]Point{{1, 5}, {2, 3}}); err == nil {
+		t.Error("non-monotonic times accepted")
+	}
+	// Unsorted input is fine.
+	c, err := NewCalibrated([]Point{{100, 10 * time.Microsecond}, {10, time.Microsecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TransferTime(10); got != time.Microsecond {
+		t.Errorf("unsorted calibration broken: %v", got)
+	}
+}
+
+func TestRoundTripComposition(t *testing.T) {
+	rt := NewRoundTrip(PaperEthernet,
+		13310*time.Microsecond, // sparc encode (paper 100Kb MPICH)
+		11630*time.Microsecond, // i86 decode
+		8950*time.Microsecond,  // i86 encode
+		15410*time.Microsecond, // sparc decode
+		100000, 100000)
+	total := rt.Total()
+	// Paper reports 80.09ms for the MPICH 100Kb roundtrip.
+	want := 80 * time.Millisecond
+	if total < want-2*time.Millisecond || total > want+2*time.Millisecond {
+		t.Errorf("composed roundtrip = %v, want ~%v", total, want)
+	}
+	// Encode+decode must be roughly the paper's 66%.
+	share := rt.EncodeDecodeShare()
+	if share < 0.55 || share < 0 || share > 0.75 {
+		t.Errorf("encode/decode share = %.2f, want ~0.61", share)
+	}
+}
+
+func TestEncodeDecodeShareZeroTotal(t *testing.T) {
+	var rt RoundTrip
+	if rt.EncodeDecodeShare() != 0 {
+		t.Error("zero roundtrip share != 0")
+	}
+}
+
+func TestEthernet100Sane(t *testing.T) {
+	// 100KB at 100 Mbps nominal is ~8ms; with overhead, 8-20ms.
+	d := Ethernet100.TransferTime(100000)
+	if d < 8*time.Millisecond || d > 25*time.Millisecond {
+		t.Errorf("Ethernet100 100KB = %v, outside sanity band", d)
+	}
+}

@@ -1,0 +1,110 @@
+package relay
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/pbio"
+)
+
+// BenchmarkRelayFanOut measures per-record fan-out latency through the
+// relay: one 10Kb-class record published, decoded by two consumers on a
+// different (simulated) architecture, per iteration.  Pacing on consumer
+// acknowledgment keeps the producer inside the relay's per-consumer
+// queue bound (slow consumers are dropped by policy, not buffered
+// without limit).
+func BenchmarkRelayFanOut(b *testing.B) {
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Skipf("no loopback listener: %v", err)
+	}
+	defer pln.Close()
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Skipf("no loopback listener: %v", err)
+	}
+	defer cln.Close()
+	s := NewServer()
+	go func() { _ = s.ServeProducers(pln) }()
+	go func() { _ = s.ServeConsumers(cln) }()
+	defer s.Close()
+
+	fields := []pbio.FieldSpec{
+		pbio.F("seq", pbio.Int),
+		pbio.Array("values", pbio.Double, 1245),
+	}
+
+	const consumers = 2
+	acks := make(chan struct{}, consumers*4)
+	ready := make(chan struct{}, consumers)
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", cln.Addr().String())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer conn.Close()
+			ctx, err := pbio.NewContext(pbio.WithArch("x86"))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			f, err := ctx.Register("r", fields...)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ready <- struct{}{}
+			r := ctx.NewReader(conn)
+			out := f.NewRecord()
+			for i := 0; i < b.N; i++ {
+				m, err := r.Read()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := m.DecodeInto(f, out); err != nil {
+					b.Error(err)
+					return
+				}
+				acks <- struct{}{}
+			}
+		}()
+	}
+	for c := 0; c < consumers; c++ {
+		<-ready
+	}
+
+	conn, err := net.Dial("tcp", pln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	ctx, err := pbio.NewContext(pbio.WithArch("sparc-v8"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := ctx.Register("r", fields...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := ctx.NewWriter(conn)
+	rec := f.NewRecord()
+	b.SetBytes(int64(f.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.MustSetInt("seq", 0, int64(i))
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+		for c := 0; c < consumers; c++ {
+			<-acks
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,257 @@
+// Package relay implements a PBIO stream broker in the spirit of the
+// group's DataExchange system (the paper's reference [6]): producers
+// publish record streams, consumers subscribe, and the relay fans every
+// record out to all subscribers.
+//
+// The relay is where NDR's design pays off architecturally: because
+// records travel in the sender's native layout with self-contained
+// meta-information, the relay forwards *frames* — it never decodes,
+// converts, or re-encodes a record, regardless of how many architectures
+// are publishing.  A fixed-wire-format broker would at minimum re-frame,
+// and an XML or object broker would re-serialize.
+//
+// What the relay must manage is format identity: producers assign their
+// own small format IDs per connection, so the relay renumbers formats
+// into a shared space (deduplicating identical layouts via the registry)
+// and replays the relevant meta frames to late-joining consumers before
+// their first data frame.
+package relay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Server is a relay instance.
+type Server struct {
+	mu        sync.Mutex
+	formats   *wire.Registry    // relay-wide format space
+	metaBytes map[uint32][]byte // relay ID -> canonical meta frame payload
+	metaOrder []uint32          // relay IDs in first-seen order (for replay)
+	consumers map[*consumer]bool
+	closed    bool
+
+	// Stats, for tests and monitoring.
+	producedFrames int
+	forwardedBytes int
+}
+
+// consumer is one subscriber connection.
+type consumer struct {
+	ch   chan transport.Frame // payloads owned by the frame
+	conn net.Conn
+}
+
+// consumerQueue bounds per-consumer buffering; a consumer that falls this
+// far behind is dropped rather than stalling the producers.
+const consumerQueue = 256
+
+// NewServer returns an empty relay.
+func NewServer() *Server {
+	return &Server{
+		formats:   wire.NewRegistry(),
+		metaBytes: make(map[uint32][]byte),
+		consumers: make(map[*consumer]bool),
+	}
+}
+
+// ServeProducers accepts producer connections until the listener closes.
+func (s *Server) ServeProducers(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveProducer(conn)
+	}
+}
+
+// ServeConsumers accepts consumer connections until the listener closes.
+func (s *Server) ServeConsumers(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConsumer(conn)
+	}
+}
+
+// serveProducer reads frames from one producer, renumbers format IDs into
+// the relay space, and broadcasts.
+func (s *Server) serveProducer(conn net.Conn) {
+	defer conn.Close()
+	local := make(map[uint32]uint32) // producer's ID -> relay ID
+	var buf []byte
+	for {
+		f, nbuf, err := transport.ReadFrame(conn, buf)
+		buf = nbuf
+		if err != nil {
+			return // EOF or protocol error: drop the producer
+		}
+		switch f.Kind {
+		case transport.FrameMeta:
+			format, _, err := wire.DecodeMeta(f.Payload)
+			if err != nil {
+				return
+			}
+			relayID, added, err := s.registerFormat(format)
+			if err != nil {
+				return
+			}
+			local[f.FormatID] = relayID
+			if added {
+				s.broadcastMeta(relayID)
+			}
+		case transport.FrameData:
+			relayID, ok := local[f.FormatID]
+			if !ok {
+				return // data before meta: protocol violation
+			}
+			// The read buffer is reused per frame; broadcast an owned
+			// copy shared by all consumers.
+			payload := append([]byte(nil), f.Payload...)
+			s.broadcast(transport.Frame{
+				Kind: transport.FrameData, FormatID: relayID, Payload: payload,
+			})
+		default:
+			// Format-server references would need a resolver here;
+			// producers must use in-band meta with a relay.
+			return
+		}
+	}
+}
+
+// registerFormat adds a format to the relay space, recording its meta
+// frame for replay.
+func (s *Server) registerFormat(f *wire.Format) (uint32, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, added, err := s.formats.Register(f)
+	if err != nil {
+		return 0, false, err
+	}
+	if added {
+		s.metaBytes[id] = wire.EncodeMeta(f)
+		s.metaOrder = append(s.metaOrder, id)
+	}
+	return id, added, nil
+}
+
+// broadcastMeta sends a newly-registered format's meta to current
+// consumers (late joiners get it from the replay in serveConsumer).
+func (s *Server) broadcastMeta(relayID uint32) {
+	s.mu.Lock()
+	payload := s.metaBytes[relayID]
+	s.mu.Unlock()
+	s.broadcast(transport.Frame{
+		Kind: transport.FrameMeta, FormatID: relayID, Payload: payload,
+	})
+}
+
+// broadcast enqueues a frame for every consumer, dropping consumers whose
+// queues are full.
+func (s *Server) broadcast(f transport.Frame) {
+	s.mu.Lock()
+	s.producedFrames++
+	s.forwardedBytes += len(f.Payload) * len(s.consumers)
+	var drop []*consumer
+	for c := range s.consumers {
+		select {
+		case c.ch <- f:
+		default:
+			drop = append(drop, c)
+		}
+	}
+	for _, c := range drop {
+		delete(s.consumers, c)
+		close(c.ch)
+	}
+	s.mu.Unlock()
+}
+
+// serveConsumer replays known formats, then streams broadcast frames.
+func (s *Server) serveConsumer(conn net.Conn) {
+	c := &consumer{ch: make(chan transport.Frame, consumerQueue), conn: conn}
+
+	// Snapshot known formats and register for new frames atomically, so
+	// no meta or data frame is missed or duplicated.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	replay := make([]transport.Frame, 0, len(s.metaOrder))
+	for _, id := range s.metaOrder {
+		replay = append(replay, transport.Frame{
+			Kind: transport.FrameMeta, FormatID: id, Payload: s.metaBytes[id],
+		})
+	}
+	s.consumers[c] = true
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		if s.consumers[c] {
+			delete(s.consumers, c)
+			close(c.ch)
+		}
+		s.mu.Unlock()
+		conn.Close()
+		// Drain so a concurrent broadcast never blocks on us.
+		for range c.ch {
+		}
+	}()
+
+	for _, f := range replay {
+		if err := transport.WriteFrame(conn, f); err != nil {
+			return
+		}
+	}
+	for f := range c.ch {
+		if err := transport.WriteFrame(conn, f); err != nil {
+			return
+		}
+	}
+}
+
+// Stats returns the number of frames broadcast and total payload bytes
+// forwarded (payload size × consumers at broadcast time).
+func (s *Server) Stats() (frames, bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.producedFrames, s.forwardedBytes
+}
+
+// Formats returns the number of distinct formats the relay has seen.
+func (s *Server) Formats() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.formats.Len()
+}
+
+// Close drops all consumers and refuses new ones.  Producer goroutines
+// exit when their connections close (the caller closes the listeners).
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for c := range s.consumers {
+		delete(s.consumers, c)
+		close(c.ch)
+	}
+}
+
+// Serve runs both listeners and blocks until either fails.
+func (s *Server) Serve(producers, consumers net.Listener) error {
+	errc := make(chan error, 2)
+	go func() { errc <- s.ServeProducers(producers) }()
+	go func() { errc <- s.ServeConsumers(consumers) }()
+	err := <-errc
+	return fmt.Errorf("relay: %w", err)
+}

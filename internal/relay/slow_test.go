@@ -1,0 +1,92 @@
+package relay
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/pbio"
+)
+
+// TestRelayDropsSlowConsumer: a consumer that never reads must be dropped
+// once its queue fills, without stalling the producer or other consumers.
+func TestRelayDropsSlowConsumer(t *testing.T) {
+	_, prodAddr, consAddr := startRelay(t)
+
+	// The stuck consumer connects and never reads.
+	stuck, err := net.Dial("tcp", consAddr)
+	if err != nil {
+		t.Skipf("no loopback: %v", err)
+	}
+	defer stuck.Close()
+
+	// A healthy consumer keeps up.
+	healthy := make(chan []int64, 1)
+	go func() { healthy <- consume(t, consAddr, "x86", 4) }()
+	time.Sleep(100 * time.Millisecond)
+
+	conn, err := net.Dial("tcp", prodAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx, f := producerCtx(t, "sparc-v8")
+	w := ctx.NewWriter(conn)
+
+	// Publish far beyond the per-consumer queue bound.  Records are
+	// ~100 bytes; TCP buffering absorbs a few hundred for the stuck
+	// consumer, but the relay queue (256) overflows long before the
+	// publish count does.
+	total := consumerQueue * 8
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			rec := f.NewRecord()
+			rec.MustSetInt("seq", 0, int64(i%4))
+			rec.MustSetFloat("v", 0, float64(i%4)*0.5)
+			if err := w.Write(rec); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("producer: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("producer stalled behind a stuck consumer")
+	}
+	// The healthy consumer got its records despite the stuck peer.
+	select {
+	case seqs := <-healthy:
+		if len(seqs) != 4 {
+			t.Errorf("healthy consumer saw %d records", len(seqs))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("healthy consumer starved")
+	}
+}
+
+// TestRelayConsumerAfterClose: consumers connecting to a closed relay are
+// rejected cleanly.
+func TestRelayConsumerAfterClose(t *testing.T) {
+	s, _, consAddr := startRelay(t)
+	s.Close()
+	conn, err := net.Dial("tcp", consAddr)
+	if err != nil {
+		t.Skipf("no loopback: %v", err)
+	}
+	defer conn.Close()
+	ctx, err := pbio.NewContext(pbio.WithArch("x86"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ctx.NewReader(conn).Read(); err == nil {
+		t.Error("read from closed relay succeeded")
+	}
+}

@@ -1,0 +1,305 @@
+// Package transport frames PBIO messages over a byte stream and carries
+// format meta-information in-band: the first record of each format is
+// preceded by a meta message binding a small format ID to the sender's
+// full format description.  This plays the role of PBIO's format server
+// without a third party — receivers learn every format they need from the
+// stream itself, which is what lets components "join ongoing
+// communications" with no a-priori knowledge.
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/wire"
+)
+
+// Frame kinds on the wire.
+const (
+	// FrameMeta carries a meta-encoded format description.
+	FrameMeta = 1
+	// FrameData carries one record in the sender's native layout.
+	FrameData = 2
+	// FrameMetaRef carries an 8-byte global format ID (format-server
+	// mode).
+	FrameMetaRef = 3
+
+	msgMeta    = FrameMeta
+	msgData    = FrameData
+	msgMetaRef = FrameMetaRef
+)
+
+// Frame is one raw protocol frame.  Relays and other intermediaries can
+// forward frames without interpreting record contents — with NDR there is
+// nothing to re-encode.
+type Frame struct {
+	Kind     byte
+	FormatID uint32
+	Payload  []byte
+}
+
+// ReadFrame reads one frame, reusing buf for the payload when it is large
+// enough.  It returns the frame and the (possibly grown) buffer.  io.EOF
+// is returned untouched at a clean frame boundary.
+func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, buf, io.EOF
+		}
+		return Frame{}, buf, fmt.Errorf("transport: read header: %w", err)
+	}
+	if uint16(hdr[0])<<8|uint16(hdr[1]) != frameMagic {
+		return Frame{}, buf, fmt.Errorf("transport: bad frame magic %#x%02x", hdr[0], hdr[1])
+	}
+	f := Frame{Kind: hdr[2]}
+	f.FormatID = uint32(hdr[3])<<24 | uint32(hdr[4])<<16 | uint32(hdr[5])<<8 | uint32(hdr[6])
+	n := int(uint32(hdr[7])<<24 | uint32(hdr[8])<<16 | uint32(hdr[9])<<8 | uint32(hdr[10]))
+	if n < 0 || n > maxPayload {
+		return Frame{}, buf, fmt.Errorf("transport: frame payload %d out of range", n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, buf, fmt.Errorf("transport: read payload: %w", err)
+	}
+	f.Payload = buf
+	return f, buf, nil
+}
+
+// WriteFrame writes one frame.  Header and payload go out as a vectored
+// write (one writev syscall on a net.Conn), as PBIO did — the sender
+// never copies the record to build a contiguous message.
+func WriteFrame(w io.Writer, f Frame) error {
+	var hdr [frameHeaderSize]byte
+	putHeader(hdr[:], f.Kind, f.FormatID, len(f.Payload))
+	bufs := net.Buffers{hdr[:], f.Payload}
+	if _, err := bufs.WriteTo(w); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	return nil
+}
+
+const (
+	frameMagic      = 0x5042 // "PB"
+	frameHeaderSize = 2 + 1 + 4 + 4
+
+	// maxPayload bounds frame payloads to guard against corrupt or
+	// hostile length fields.
+	maxPayload = 1 << 28
+)
+
+func putHeader(hdr []byte, kind byte, id uint32, n int) {
+	hdr[0] = byte(frameMagic >> 8)
+	hdr[1] = byte(frameMagic & 0xff)
+	hdr[2] = kind
+	hdr[3] = byte(id >> 24)
+	hdr[4] = byte(id >> 16)
+	hdr[5] = byte(id >> 8)
+	hdr[6] = byte(id)
+	hdr[7] = byte(n >> 24)
+	hdr[8] = byte(n >> 16)
+	hdr[9] = byte(n >> 8)
+	hdr[10] = byte(n)
+}
+
+// Writer sends records over a stream.  It is not safe for concurrent use.
+type Writer struct {
+	w    io.Writer
+	reg  *wire.Registry
+	sent map[uint32]bool         // format IDs whose meta has been transmitted
+	ids  map[*wire.Format]uint32 // fast path: formats already registered
+	hdr  [frameHeaderSize]byte
+	meta []byte // reused meta encoding buffer
+	bufs net.Buffers
+
+	// registrar, when set, switches the writer to format-server mode:
+	// instead of full in-band meta, the first record of each format is
+	// preceded by an 8-byte global format ID obtained from the registrar
+	// (see internal/fmtserver).
+	registrar func(*wire.Format) (uint64, error)
+}
+
+// SetRegistrar switches the writer to format-server mode.  Must be called
+// before the first WriteRecord.
+func (t *Writer) SetRegistrar(fn func(*wire.Format) (uint64, error)) { t.registrar = fn }
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{
+		w:    w,
+		reg:  wire.NewRegistry(),
+		sent: make(map[uint32]bool),
+		ids:  make(map[*wire.Format]uint32),
+	}
+}
+
+// WriteRecord transmits one record: data must be the record's native
+// image, exactly f.Size bytes.  The format's meta-information is sent
+// automatically before its first record.  This is the entire sender-side
+// cost of NDR: no encoding, no copying — the native bytes are handed to
+// the stream as-is.
+func (t *Writer) WriteRecord(f *wire.Format, data []byte) error {
+	if len(data) != f.Size {
+		return fmt.Errorf("transport: record %d bytes, format %q is %d", len(data), f.Name, f.Size)
+	}
+	id, known := t.ids[f]
+	if !known {
+		var err error
+		if id, _, err = t.reg.Register(f); err != nil {
+			return err
+		}
+		t.ids[f] = id
+	}
+	if !t.sent[id] {
+		if t.registrar != nil {
+			gid, err := t.registrar(f)
+			if err != nil {
+				return fmt.Errorf("transport: registering format %q: %w", f.Name, err)
+			}
+			var ref [8]byte
+			ref[0], ref[1], ref[2], ref[3] = byte(gid>>56), byte(gid>>48), byte(gid>>40), byte(gid>>32)
+			ref[4], ref[5], ref[6], ref[7] = byte(gid>>24), byte(gid>>16), byte(gid>>8), byte(gid)
+			putHeader(t.hdr[:], msgMetaRef, id, len(ref))
+			if _, err := t.w.Write(t.hdr[:]); err != nil {
+				return fmt.Errorf("transport: write meta ref header: %w", err)
+			}
+			if _, err := t.w.Write(ref[:]); err != nil {
+				return fmt.Errorf("transport: write meta ref: %w", err)
+			}
+		} else {
+			t.meta = wire.AppendMeta(t.meta[:0], f)
+			putHeader(t.hdr[:], msgMeta, id, len(t.meta))
+			if _, err := t.w.Write(t.hdr[:]); err != nil {
+				return fmt.Errorf("transport: write meta header: %w", err)
+			}
+			if _, err := t.w.Write(t.meta); err != nil {
+				return fmt.Errorf("transport: write meta: %w", err)
+			}
+		}
+		t.sent[id] = true
+	}
+	putHeader(t.hdr[:], msgData, id, len(data))
+	// Reuse the vectored-write slice: WriteTo consumes it, so rebuild
+	// from capacity each call (no per-record allocation).
+	t.bufs = append(t.bufs[:0], t.hdr[:], data)
+	if _, err := t.bufs.WriteTo(t.w); err != nil {
+		return fmt.Errorf("transport: write data: %w", err)
+	}
+	return nil
+}
+
+// WireSize returns the number of bytes WriteRecord moves for a record of
+// format f, excluding the one-time meta message: header plus the native
+// record image.
+func WireSize(f *wire.Format) int { return frameHeaderSize + f.Size }
+
+// Message is one received record: the sender's format description and the
+// record bytes in the sender's native layout.
+//
+// Data aliases the Reader's internal receive buffer and is valid only
+// until the next ReadMessage call — exactly the lifetime of a receive
+// buffer.  Receivers that convert (or use) the record before reading the
+// next message never copy; others must.
+type Message struct {
+	FormatID uint32
+	Format   *wire.Format
+	Data     []byte
+}
+
+// Reader receives records from a stream.  It is not safe for concurrent
+// use.
+type Reader struct {
+	r       io.Reader
+	formats *wire.Registry
+	hdr     [frameHeaderSize]byte
+	buf     []byte
+
+	// resolver, when set, resolves global format IDs arriving in
+	// meta-reference messages (format-server mode).
+	resolver func(uint64) (*wire.Format, error)
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, formats: wire.NewRegistry()}
+}
+
+// SetResolver equips the reader to resolve global format IDs via a format
+// server (see internal/fmtserver).  Streams written in format-server mode
+// cannot be read without one.
+func (t *Reader) SetResolver(fn func(uint64) (*wire.Format, error)) { t.resolver = fn }
+
+// ReadMessage returns the next data message, transparently consuming any
+// meta messages that precede it.
+func (t *Reader) ReadMessage() (*Message, error) {
+	for {
+		if _, err := io.ReadFull(t.r, t.hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("transport: read header: %w", err)
+		}
+		if uint16(t.hdr[0])<<8|uint16(t.hdr[1]) != frameMagic {
+			return nil, fmt.Errorf("transport: bad frame magic %#x%02x", t.hdr[0], t.hdr[1])
+		}
+		kind := t.hdr[2]
+		id := uint32(t.hdr[3])<<24 | uint32(t.hdr[4])<<16 | uint32(t.hdr[5])<<8 | uint32(t.hdr[6])
+		n := int(uint32(t.hdr[7])<<24 | uint32(t.hdr[8])<<16 | uint32(t.hdr[9])<<8 | uint32(t.hdr[10]))
+		if n < 0 || n > maxPayload {
+			return nil, fmt.Errorf("transport: frame payload %d out of range", n)
+		}
+		if cap(t.buf) < n {
+			t.buf = make([]byte, n)
+		}
+		t.buf = t.buf[:n]
+		if _, err := io.ReadFull(t.r, t.buf); err != nil {
+			return nil, fmt.Errorf("transport: read payload: %w", err)
+		}
+		switch kind {
+		case msgMeta:
+			f, _, err := wire.DecodeMeta(t.buf)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.formats.Bind(id, f); err != nil {
+				return nil, err
+			}
+		case msgMetaRef:
+			if t.resolver == nil {
+				return nil, fmt.Errorf("transport: stream uses a format server but no resolver is configured")
+			}
+			if n != 8 {
+				return nil, fmt.Errorf("transport: meta reference payload %d bytes, want 8", n)
+			}
+			gid := uint64(t.buf[0])<<56 | uint64(t.buf[1])<<48 | uint64(t.buf[2])<<40 | uint64(t.buf[3])<<32 |
+				uint64(t.buf[4])<<24 | uint64(t.buf[5])<<16 | uint64(t.buf[6])<<8 | uint64(t.buf[7])
+			f, err := t.resolver(gid)
+			if err != nil {
+				return nil, fmt.Errorf("transport: resolving format %#x: %w", gid, err)
+			}
+			if err := t.formats.Bind(id, f); err != nil {
+				return nil, err
+			}
+		case msgData:
+			f := t.formats.Lookup(id)
+			if f == nil {
+				return nil, fmt.Errorf("transport: data for unknown format ID %d", id)
+			}
+			if n != f.Size {
+				return nil, fmt.Errorf("transport: record %d bytes, format %q is %d", n, f.Name, f.Size)
+			}
+			return &Message{FormatID: id, Format: f, Data: t.buf}, nil
+		default:
+			return nil, fmt.Errorf("transport: unknown message kind %d", kind)
+		}
+	}
+}
+
+// Formats exposes the formats learned from the stream so far (PBIO's
+// reflection support: "message formats can be inspected before the
+// message is received").
+func (t *Reader) Formats() *wire.Registry { return t.formats }

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+)
+
+func BenchmarkLayout(b *testing.B) {
+	s := testSchema()
+	for i := 0; i < b.N; i++ {
+		if _, err := Layout(s, &abi.SparcV8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeMeta(b *testing.B) {
+	f := MustLayout(testSchema(), &abi.SparcV8)
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendMeta(buf[:0], f)
+	}
+}
+
+func BenchmarkDecodeMeta(b *testing.B) {
+	enc := EncodeMeta(MustLayout(testSchema(), &abi.SparcV8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeMeta(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	w := MustLayout(testSchema(), &abi.SparcV8)
+	e := MustLayout(testSchema(), &abi.X86)
+	for i := 0; i < b.N; i++ {
+		if m := Match(w, e); !m.Exact() {
+			b.Fatal("match failed")
+		}
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	f := MustLayout(testSchema(), &abi.SparcV8)
+	for i := 0; i < b.N; i++ {
+		if f.Fingerprint() == "" {
+			b.Fatal("empty fingerprint")
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// testSchema is the shape of the paper's mixed-field record (ints, longs,
+// a double timestamp, a char tag, floats and a double array).
+func testSchema() *Schema {
+	return &Schema{
+		Name: "mixed",
+		Fields: []FieldSpec{
+			{Name: "node", Type: abi.Int, Count: 1},
+			{Name: "timestamp", Type: abi.Double, Count: 1},
+			{Name: "iter", Type: abi.Long, Count: 1},
+			{Name: "tag", Type: abi.Char, Count: 16},
+			{Name: "residual", Type: abi.Float, Count: 1},
+			{Name: "flags", Type: abi.Int, Count: 1},
+			{Name: "values", Type: abi.Double, Count: 4},
+		},
+	}
+}
+
+func TestLayoutSparcV8(t *testing.T) {
+	// Hand-computed System V layout for sparc-v8 (doubles align 8):
+	// node@0(4) pad(4) timestamp@8(8) iter@16(4) tag@20(16) residual@36(4)
+	// flags@40(4) pad(4->48? no: values needs align 8) values@48(32)
+	// size = 80 (already multiple of max align 8).
+	f := MustLayout(testSchema(), &abi.SparcV8)
+	wantOffsets := map[string]int{
+		"node": 0, "timestamp": 8, "iter": 16, "tag": 20,
+		"residual": 36, "flags": 40, "values": 48,
+	}
+	for name, want := range wantOffsets {
+		fl := f.FieldByName(name)
+		if fl == nil {
+			t.Fatalf("field %q missing", name)
+		}
+		if fl.Offset != want {
+			t.Errorf("sparc-v8 %s offset = %d, want %d", name, fl.Offset, want)
+		}
+	}
+	if f.Size != 80 {
+		t.Errorf("sparc-v8 size = %d, want 80", f.Size)
+	}
+	if f.Order != abi.BigEndian {
+		t.Errorf("sparc-v8 order = %v, want big", f.Order)
+	}
+}
+
+func TestLayoutX86(t *testing.T) {
+	// x86 (i386 ABI): doubles align 4, so there is NO padding after node.
+	// node@0(4) timestamp@4(8) iter@12(4) tag@16(16) residual@32(4)
+	// flags@36(4) values@40(32) size=72 (max align 4, 72 % 4 == 0).
+	f := MustLayout(testSchema(), &abi.X86)
+	wantOffsets := map[string]int{
+		"node": 0, "timestamp": 4, "iter": 12, "tag": 16,
+		"residual": 32, "flags": 36, "values": 40,
+	}
+	for name, want := range wantOffsets {
+		fl := f.FieldByName(name)
+		if fl.Offset != want {
+			t.Errorf("x86 %s offset = %d, want %d", name, fl.Offset, want)
+		}
+	}
+	if f.Size != 72 {
+		t.Errorf("x86 size = %d, want 72", f.Size)
+	}
+	if f.Order != abi.LittleEndian {
+		t.Errorf("x86 order = %v, want little", f.Order)
+	}
+}
+
+func TestLayoutLP64LongWidens(t *testing.T) {
+	s := &Schema{Name: "longs", Fields: []FieldSpec{
+		{Name: "a", Type: abi.Long, Count: 1},
+		{Name: "b", Type: abi.Long, Count: 1},
+	}}
+	f32 := MustLayout(s, &abi.SparcV8)
+	f64 := MustLayout(s, &abi.SparcV9x64)
+	if f32.FieldByName("a").Size != 4 || f64.FieldByName("a").Size != 8 {
+		t.Errorf("long sizes: v8=%d v9-64=%d, want 4 and 8",
+			f32.FieldByName("a").Size, f64.FieldByName("a").Size)
+	}
+	if f32.Size != 8 || f64.Size != 16 {
+		t.Errorf("record sizes: v8=%d v9-64=%d, want 8 and 16", f32.Size, f64.Size)
+	}
+}
+
+func TestLayoutTrailingPadding(t *testing.T) {
+	// struct { double d; char c; } must be padded to 16 on 8-align-double
+	// arches and to 12 on x86.
+	s := &Schema{Name: "pad", Fields: []FieldSpec{
+		{Name: "d", Type: abi.Double, Count: 1},
+		{Name: "c", Type: abi.Char, Count: 1},
+	}}
+	if f := MustLayout(s, &abi.SparcV8); f.Size != 16 {
+		t.Errorf("sparc-v8 size = %d, want 16", f.Size)
+	}
+	if f := MustLayout(s, &abi.X86); f.Size != 12 {
+		t.Errorf("x86 size = %d, want 12", f.Size)
+	}
+}
+
+func TestLayoutAllArchesValidate(t *testing.T) {
+	s := testSchema()
+	for _, a := range abi.All {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			f, err := Layout(s, &a)
+			if err != nil {
+				t.Fatalf("Layout: %v", err)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("laid-out format invalid: %v", err)
+			}
+			// Every field in bounds and aligned per the arch.
+			for i := range f.Fields {
+				fl := &f.Fields[i]
+				if fl.Offset%a.AlignOf(fl.Type) != 0 {
+					t.Errorf("%s: field %q offset %d violates %d-alignment",
+						a.Name, fl.Name, fl.Offset, a.AlignOf(fl.Type))
+				}
+			}
+		})
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	bad := []Schema{
+		{Name: "", Fields: []FieldSpec{{Name: "a", Type: abi.Int, Count: 1}}},
+		{Name: "x", Fields: nil},
+		{Name: "x", Fields: []FieldSpec{{Name: "", Type: abi.Int, Count: 1}}},
+		{Name: "x", Fields: []FieldSpec{{Name: "a", Type: abi.Int, Count: 1}, {Name: "a", Type: abi.Int, Count: 1}}},
+		{Name: "x", Fields: []FieldSpec{{Name: "a", Type: abi.CType(99), Count: 1}}},
+		{Name: "x", Fields: []FieldSpec{{Name: "a", Type: abi.Int, Count: 0}}},
+		{Name: "x", Fields: []FieldSpec{{Name: "a<b", Type: abi.Int, Count: 1}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate() accepted invalid schema", i)
+		}
+	}
+	if err := testSchema().Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+}
+
+func TestFormatValidateRejectsCorrupt(t *testing.T) {
+	good := MustLayout(testSchema(), &abi.X86)
+	mutations := []struct {
+		name string
+		mut  func(*Format)
+	}{
+		{"empty name", func(f *Format) { f.Name = "" }},
+		{"zero size", func(f *Format) { f.Size = 0 }},
+		{"no fields", func(f *Format) { f.Fields = nil }},
+		{"field out of bounds", func(f *Format) { f.Fields[len(f.Fields)-1].Offset = f.Size }},
+		{"negative offset", func(f *Format) { f.Fields[0].Offset = -1 }},
+		{"overlap", func(f *Format) { f.Fields[1].Offset = f.Fields[0].Offset }},
+		{"duplicate names", func(f *Format) { f.Fields[1].Name = f.Fields[0].Name }},
+		{"bad elem size", func(f *Format) { f.Fields[0].Size = 3 }},
+		{"zero count", func(f *Format) { f.Fields[0].Count = 0 }},
+		{"bad type", func(f *Format) { f.Fields[0].Type = abi.CType(77) }},
+		{"bad order", func(f *Format) { f.Order = abi.Endian(5) }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			f := *good
+			f.Fields = append([]Field(nil), good.Fields...)
+			m.mut(&f)
+			if err := f.Validate(); err == nil {
+				t.Errorf("Validate() accepted format with %s", m.name)
+			}
+		})
+	}
+}
+
+func TestSameLayout(t *testing.T) {
+	a := MustLayout(testSchema(), &abi.SparcV8)
+	b := MustLayout(testSchema(), &abi.SparcV8)
+	if !SameLayout(a, b) {
+		t.Error("identical layouts reported different")
+	}
+	c := MustLayout(testSchema(), &abi.X86)
+	if SameLayout(a, c) {
+		t.Error("sparc and x86 layouts reported same")
+	}
+	// MIPSo32 has the same sizes/alignments/order as sparc-v8, so the
+	// layouts are byte-identical even though the arch differs — that is
+	// the point: only layout matters.
+	d := MustLayout(testSchema(), &abi.MIPSo32)
+	if !SameLayout(a, d) {
+		t.Error("sparc-v8 and mips-o32 layouts should be identical")
+	}
+}
+
+func TestFingerprintDistinguishesLayouts(t *testing.T) {
+	a := MustLayout(testSchema(), &abi.SparcV8)
+	b := MustLayout(testSchema(), &abi.X86)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different layouts share a fingerprint")
+	}
+	c := MustLayout(testSchema(), &abi.SparcV8)
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Error("identical layouts have different fingerprints")
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := testSchema()
+	f := MustLayout(s, &abi.SparcV8)
+	s2 := f.Schema()
+	if len(s2.Fields) != len(s.Fields) {
+		t.Fatalf("Schema() dropped fields: %d vs %d", len(s2.Fields), len(s.Fields))
+	}
+	for i := range s.Fields {
+		if s.Fields[i] != s2.Fields[i] {
+			t.Errorf("field %d: %+v != %+v", i, s.Fields[i], s2.Fields[i])
+		}
+	}
+	// Re-laying out the recovered schema gives the same format.
+	f2 := MustLayout(s2, &abi.SparcV8)
+	if !SameLayout(f, f2) {
+		t.Error("relayout of recovered schema differs")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	f := MustLayout(testSchema(), &abi.X86)
+	s := f.String()
+	for _, want := range []string{"mixed", "x86", "little-endian", "timestamp", "count 16"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFieldHelpers(t *testing.T) {
+	f := Field{Name: "v", Type: abi.Double, Count: 4, Size: 8, Offset: 16}
+	if f.ByteLen() != 32 {
+		t.Errorf("ByteLen = %d, want 32", f.ByteLen())
+	}
+	if f.End() != 48 {
+		t.Errorf("End = %d, want 48", f.End())
+	}
+}
+
+func TestFieldByNameMissing(t *testing.T) {
+	f := MustLayout(testSchema(), &abi.X86)
+	if f.FieldByName("nope") != nil {
+		t.Error("FieldByName(nope) != nil")
+	}
+}

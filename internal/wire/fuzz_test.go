@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// FuzzDecodeMeta: DecodeMeta must never panic, and anything it accepts
+// must validate and re-encode to something it accepts again.
+func FuzzDecodeMeta(f *testing.F) {
+	for _, a := range []abi.Arch{abi.SparcV8, abi.X86, abi.SparcV9x64} {
+		a := a
+		f.Add(EncodeMeta(MustLayout(testSchema(), &a)))
+	}
+	// A nested seed.
+	nested := &Schema{Name: "n", Fields: []FieldSpec{
+		{Name: "s", Count: 2, Sub: &Schema{Name: "i", Fields: []FieldSpec{
+			{Name: "x", Type: abi.Double, Count: 3},
+		}}},
+	}}
+	f.Add(EncodeMeta(MustLayout(nested, &abi.PPC64)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, n, err := DecodeMeta(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("accepted invalid format: %v", verr)
+		}
+		re := EncodeMeta(got)
+		got2, _, err := DecodeMeta(re)
+		if err != nil {
+			t.Fatalf("re-encode does not decode: %v", err)
+		}
+		if !SameLayout(got, got2) {
+			t.Fatal("re-encode round trip changed layout")
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// TestLayoutInvariants checks the C struct layout algorithm's invariants
+// over random schemas and every architecture model:
+//
+//  1. every field offset satisfies its type's alignment;
+//  2. fields are non-overlapping and in declaration order;
+//  3. the record size is a multiple of the strictest member alignment
+//     and large enough for the last field;
+//  4. re-laying-out the recovered schema reproduces the same layout
+//     (layout is a pure function of schema and arch);
+//  5. meta encoding round-trips the layout exactly.
+func TestLayoutInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(8128))
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	for i := 0; i < iters; i++ {
+		s := RandomSchema(rng, "r", 10, 2)
+		for _, a := range abi.All {
+			a := a
+			f, err := Layout(s, &a)
+			if err != nil {
+				t.Fatalf("iter %d %s: %v", i, a.Name, err)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("iter %d %s: invalid layout: %v", i, a.Name, err)
+			}
+			checkAlignment(t, f, &a)
+
+			prev := 0
+			for j := range f.Fields {
+				fl := &f.Fields[j]
+				if fl.Offset < prev {
+					t.Fatalf("iter %d %s: field %q out of order", i, a.Name, fl.Name)
+				}
+				prev = fl.End()
+			}
+			if f.Size < prev {
+				t.Fatalf("iter %d %s: size %d below last field end %d", i, a.Name, f.Size, prev)
+			}
+
+			f2, err := Layout(f.Schema(), &a)
+			if err != nil {
+				t.Fatalf("iter %d %s: relayout: %v", i, a.Name, err)
+			}
+			if !SameLayout(f, f2) {
+				t.Fatalf("iter %d %s: relayout differs", i, a.Name)
+			}
+
+			enc := EncodeMeta(f)
+			got, _, err := DecodeMeta(enc)
+			if err != nil {
+				t.Fatalf("iter %d %s: meta: %v", i, a.Name, err)
+			}
+			if !SameLayout(f, got) {
+				t.Fatalf("iter %d %s: meta round trip differs", i, a.Name)
+			}
+		}
+	}
+}
+
+// checkAlignment verifies every (possibly nested) field's alignment.
+func checkAlignment(t *testing.T, f *Format, a *abi.Arch) {
+	t.Helper()
+	for i := range f.Fields {
+		fl := &f.Fields[i]
+		if fl.IsStruct() {
+			// Nested struct elements are aligned to the strictest
+			// member; verify recursively relative to element starts.
+			checkAlignment(t, fl.Sub, a)
+			continue
+		}
+		if fl.Offset%a.AlignOf(fl.Type) != 0 {
+			t.Fatalf("%s: field %q at offset %d violates %d-byte alignment",
+				a.Name, fl.Name, fl.Offset, a.AlignOf(fl.Type))
+		}
+	}
+}
+
+// TestFlattenInvariants: flattening preserves size, covers every basic
+// byte exactly once, and produces valid formats, over random schemas.
+func TestFlattenInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		s := RandomSchema(rng, "r", 8, 2)
+		f := MustLayout(s, &abi.PPC32)
+		flat := f.Flatten()
+		if flat.Size != f.Size {
+			t.Fatalf("iter %d: flatten changed size", i)
+		}
+		if err := flat.Validate(); err != nil {
+			t.Fatalf("iter %d: flattened invalid: %v", i, err)
+		}
+		// Total data bytes match (padding aside, both describe the same
+		// basic fields).
+		if dataBytes(f) != flatDataBytes(flat) {
+			t.Fatalf("iter %d: data bytes %d != %d", i, dataBytes(f), flatDataBytes(flat))
+		}
+	}
+}
+
+func dataBytes(f *Format) int {
+	n := 0
+	for i := range f.Fields {
+		fl := &f.Fields[i]
+		if fl.IsStruct() {
+			n += fl.Count * dataBytes(fl.Sub)
+		} else {
+			n += fl.ByteLen()
+		}
+	}
+	return n
+}
+
+func flatDataBytes(f *Format) int {
+	n := 0
+	for i := range f.Fields {
+		n += f.Fields[i].ByteLen()
+	}
+	return n
+}

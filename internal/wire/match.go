@@ -1,0 +1,61 @@
+package wire
+
+// Field matching.
+//
+// PBIO establishes correspondence between incoming (wire) and expected
+// (native) records purely by field name: "with no weight placed on size
+// or ordering in the record" (§3).  This is the mechanism behind both of
+// the paper's flexibility features — type extension (unexpected incoming
+// fields are ignored) and tolerance of reordering/resizing.
+
+// FieldMatch pairs one expected field with its source in the wire format.
+// Wire == nil means the wire record carries no field of that name; the
+// receiver's field is zero-filled.
+type FieldMatch struct {
+	Expected *Field
+	Wire     *Field // nil if missing from the wire format
+}
+
+// MatchResult summarizes matching a wire format against an expected
+// format.
+type MatchResult struct {
+	Matches []FieldMatch // one entry per expected field, in expected order
+	// Unexpected lists wire fields with no counterpart in the expected
+	// format (the "new fields added by an evolved sender" case); they
+	// are skipped by conversion.
+	Unexpected []*Field
+	// Missing counts expected fields absent from the wire.
+	Missing int
+}
+
+// Match computes the by-name correspondence from wireFmt to expected.
+func Match(wireFmt, expected *Format) *MatchResult {
+	byName := make(map[string]*Field, len(wireFmt.Fields))
+	for i := range wireFmt.Fields {
+		byName[wireFmt.Fields[i].Name] = &wireFmt.Fields[i]
+	}
+	res := &MatchResult{Matches: make([]FieldMatch, len(expected.Fields))}
+	used := make(map[string]bool, len(expected.Fields))
+	for i := range expected.Fields {
+		ef := &expected.Fields[i]
+		wf := byName[ef.Name] // nil if absent
+		if wf != nil {
+			used[ef.Name] = true
+		} else {
+			res.Missing++
+		}
+		res.Matches[i] = FieldMatch{Expected: ef, Wire: wf}
+	}
+	for i := range wireFmt.Fields {
+		if !used[wireFmt.Fields[i].Name] {
+			res.Unexpected = append(res.Unexpected, &wireFmt.Fields[i])
+		}
+	}
+	return res
+}
+
+// Exact reports whether every expected field was found and no unexpected
+// fields were present.
+func (m *MatchResult) Exact() bool {
+	return m.Missing == 0 && len(m.Unexpected) == 0
+}

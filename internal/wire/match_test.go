@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+)
+
+func TestMatchExact(t *testing.T) {
+	w := MustLayout(testSchema(), &abi.SparcV8)
+	e := MustLayout(testSchema(), &abi.X86)
+	m := Match(w, e)
+	if !m.Exact() {
+		t.Fatalf("same schema should match exactly: missing=%d unexpected=%d",
+			m.Missing, len(m.Unexpected))
+	}
+	for _, fm := range m.Matches {
+		if fm.Wire == nil {
+			t.Errorf("field %q unmatched", fm.Expected.Name)
+		} else if fm.Wire.Name != fm.Expected.Name {
+			t.Errorf("field %q matched to %q", fm.Expected.Name, fm.Wire.Name)
+		}
+	}
+}
+
+func TestMatchIgnoresOrder(t *testing.T) {
+	// Reverse the wire field order; matching is by name only.
+	s := testSchema()
+	rev := &Schema{Name: s.Name}
+	for i := len(s.Fields) - 1; i >= 0; i-- {
+		rev.Fields = append(rev.Fields, s.Fields[i])
+	}
+	w := MustLayout(rev, &abi.SparcV8)
+	e := MustLayout(s, &abi.X86)
+	m := Match(w, e)
+	if !m.Exact() {
+		t.Fatal("reordered fields should still match exactly")
+	}
+}
+
+func TestMatchUnexpectedField(t *testing.T) {
+	// The paper's type-extension case: sender adds a field the receiver
+	// does not expect.  The receiver must match all its fields and list
+	// the extra one as unexpected.
+	s := testSchema()
+	ext := &Schema{Name: s.Name}
+	ext.Fields = append([]FieldSpec{{Name: "added", Type: abi.Int, Count: 1}}, s.Fields...)
+	w := MustLayout(ext, &abi.SparcV8)
+	e := MustLayout(s, &abi.X86)
+	m := Match(w, e)
+	if m.Missing != 0 {
+		t.Errorf("missing = %d, want 0", m.Missing)
+	}
+	if len(m.Unexpected) != 1 || m.Unexpected[0].Name != "added" {
+		t.Errorf("unexpected = %v, want [added]", m.Unexpected)
+	}
+}
+
+func TestMatchMissingField(t *testing.T) {
+	// Receiver expects a field the sender does not provide.
+	s := testSchema()
+	w := MustLayout(&Schema{Name: s.Name, Fields: s.Fields[:3]}, &abi.SparcV8)
+	e := MustLayout(s, &abi.X86)
+	m := Match(w, e)
+	if m.Missing != len(s.Fields)-3 {
+		t.Errorf("missing = %d, want %d", m.Missing, len(s.Fields)-3)
+	}
+	for _, fm := range m.Matches[3:] {
+		if fm.Wire != nil {
+			t.Errorf("field %q should be unmatched", fm.Expected.Name)
+		}
+	}
+}
+
+func TestMatchTypeAndSizeDifferencesStillMatch(t *testing.T) {
+	// A long on LP64 (8 bytes) still matches a long on ILP32 (4 bytes):
+	// name is the sole criterion, conversion handles the size change.
+	s := &Schema{Name: "l", Fields: []FieldSpec{{Name: "x", Type: abi.Long, Count: 1}}}
+	w := MustLayout(s, &abi.SparcV9x64)
+	e := MustLayout(s, &abi.X86)
+	m := Match(w, e)
+	if !m.Exact() {
+		t.Fatal("size-differing same-name fields must match")
+	}
+	if m.Matches[0].Wire.Size != 8 || m.Matches[0].Expected.Size != 4 {
+		t.Errorf("sizes: wire=%d expected=%d, want 8 and 4",
+			m.Matches[0].Wire.Size, m.Matches[0].Expected.Size)
+	}
+}

@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+)
+
+// Meta-information encoding.
+//
+// PBIO transmits the sender's format description ahead of the first record
+// of each format, so that a receiver with no a-priori knowledge can
+// interpret (and convert) the sender's native bytes.  This file defines
+// the canonical binary encoding of a Format.  The encoding itself is
+// always big-endian ("network order") regardless of the described format's
+// byte order — the meta block is tiny and decoded once per format, so its
+// own representation is irrelevant to performance.
+//
+// Layout:
+//
+//	u8      version (metaVersion)
+//	u8      byte order of the described format (abi.Endian)
+//	u32     total record size
+//	str     format name
+//	str     architecture name
+//	u32     field count
+//	field*  each: str name, u8 kind, u8 elem size, u32 count, u32 offset
+//	        kind 0xFF marks a nested structure field; elem size is 0 and
+//	        a sub-block follows: u32 size, str name, u32 field count,
+//	        field* (recursively, same field encoding)
+//
+// where str is u16 length followed by raw bytes.
+
+const metaVersion = 2
+
+// metaKindStruct marks a nested-structure field in the kind byte.
+const metaKindStruct = 0xFF
+
+// maxMetaFields bounds the field count accepted from the wire, guarding
+// against corrupt or hostile meta blocks.
+const maxMetaFields = 1 << 16
+
+// maxMetaString bounds the length of names accepted from the wire.
+const maxMetaString = 1 << 12
+
+// AppendMeta appends the canonical encoding of f to dst and returns the
+// extended slice.
+func AppendMeta(dst []byte, f *Format) []byte {
+	dst = append(dst, metaVersion, byte(f.Order))
+	dst = appendU32(dst, uint32(f.Size))
+	dst = appendStr(dst, f.Name)
+	dst = appendStr(dst, f.Arch)
+	return appendFields(dst, f)
+}
+
+func appendFields(dst []byte, f *Format) []byte {
+	dst = appendU32(dst, uint32(len(f.Fields)))
+	for i := range f.Fields {
+		fl := &f.Fields[i]
+		dst = appendStr(dst, fl.Name)
+		if fl.IsStruct() {
+			dst = append(dst, metaKindStruct, 0)
+			dst = appendU32(dst, uint32(fl.Count))
+			dst = appendU32(dst, uint32(fl.Offset))
+			dst = appendU32(dst, uint32(fl.Sub.Size))
+			dst = appendStr(dst, fl.Sub.Name)
+			dst = appendFields(dst, fl.Sub)
+		} else {
+			dst = append(dst, byte(fl.Type), byte(fl.Size))
+			dst = appendU32(dst, uint32(fl.Count))
+			dst = appendU32(dst, uint32(fl.Offset))
+		}
+	}
+	return dst
+}
+
+// EncodeMeta returns the canonical encoding of f.
+func EncodeMeta(f *Format) []byte {
+	return AppendMeta(make([]byte, 0, 64+32*len(f.Fields)), f)
+}
+
+// DecodeMeta parses a format description from b, returning the format and
+// the number of bytes consumed.  The returned format is validated.
+func DecodeMeta(b []byte) (*Format, int, error) {
+	d := metaDecoder{buf: b}
+	ver := d.u8()
+	if d.err == nil && ver != metaVersion {
+		return nil, 0, fmt.Errorf("wire: meta version %d not supported", ver)
+	}
+	f := &Format{}
+	f.Order = abi.Endian(d.u8())
+	f.Size = int(d.u32())
+	f.Name = d.str()
+	f.Arch = d.str()
+	d.fields(f, 0)
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("wire: decoding meta: %w", d.err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("wire: meta describes invalid format: %w", err)
+	}
+	return f, d.pos, nil
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendStr(dst []byte, s string) []byte {
+	if len(s) > maxMetaString {
+		s = s[:maxMetaString]
+	}
+	dst = append(dst, byte(len(s)>>8), byte(len(s)))
+	return append(dst, s...)
+}
+
+// metaDecoder is a cursor over a meta block with sticky error handling.
+type metaDecoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// fields decodes a field list (recursively for nested structures) into f.
+func (d *metaDecoder) fields(f *Format, depth int) {
+	if depth > maxNesting {
+		if d.err == nil {
+			d.err = fmt.Errorf("nested deeper than %d", maxNesting)
+		}
+		return
+	}
+	n := d.u32()
+	if d.err != nil {
+		return
+	}
+	if n > maxMetaFields {
+		d.err = fmt.Errorf("meta declares %d fields", n)
+		return
+	}
+	f.Fields = make([]Field, n)
+	for i := range f.Fields {
+		fl := &f.Fields[i]
+		fl.Name = d.str()
+		kind := d.u8()
+		size := int(d.u8())
+		fl.Count = int(d.u32())
+		fl.Offset = int(d.u32())
+		if d.err != nil {
+			return
+		}
+		if kind == metaKindStruct {
+			sub := &Format{Order: f.Order, Arch: f.Arch}
+			sub.Size = int(d.u32())
+			sub.Name = d.str()
+			d.fields(sub, depth+1)
+			if d.err != nil {
+				return
+			}
+			fl.Sub = sub
+			fl.Size = sub.Size
+		} else {
+			fl.Type = abi.CType(kind)
+			fl.Size = size
+		}
+	}
+}
+
+func (d *metaDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated at byte %d", d.pos)
+	}
+}
+
+func (d *metaDecoder) u8() byte {
+	if d.err != nil || d.pos+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *metaDecoder) u16() uint16 {
+	if d.err != nil || d.pos+2 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := uint16(d.buf[d.pos])<<8 | uint16(d.buf[d.pos+1])
+	d.pos += 2
+	return v
+}
+
+func (d *metaDecoder) u32() uint32 {
+	if d.err != nil || d.pos+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.pos:]
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	d.pos += 4
+	return v
+}
+
+func (d *metaDecoder) str() string {
+	n := int(d.u16())
+	if d.err != nil {
+		return ""
+	}
+	if n > maxMetaString || d.pos+n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}

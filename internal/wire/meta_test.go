@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/abi"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	for _, a := range abi.All {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			f := MustLayout(testSchema(), &a)
+			enc := EncodeMeta(f)
+			got, n, err := DecodeMeta(enc)
+			if err != nil {
+				t.Fatalf("DecodeMeta: %v", err)
+			}
+			if n != len(enc) {
+				t.Errorf("consumed %d of %d bytes", n, len(enc))
+			}
+			if !SameLayout(f, got) {
+				t.Errorf("round-tripped format differs:\n%s\nvs\n%s", f, got)
+			}
+			if got.Name != f.Name || got.Arch != f.Arch {
+				t.Errorf("names lost: %q/%q vs %q/%q", got.Name, got.Arch, f.Name, f.Arch)
+			}
+		})
+	}
+}
+
+func TestMetaRoundTripWithTrailingData(t *testing.T) {
+	f := MustLayout(testSchema(), &abi.SparcV8)
+	enc := append(EncodeMeta(f), 0xde, 0xad, 0xbe, 0xef)
+	got, n, err := DecodeMeta(enc)
+	if err != nil {
+		t.Fatalf("DecodeMeta with trailing data: %v", err)
+	}
+	if n != len(enc)-4 {
+		t.Errorf("consumed %d, want %d", n, len(enc)-4)
+	}
+	if !SameLayout(f, got) {
+		t.Error("format differs")
+	}
+}
+
+func TestMetaTruncation(t *testing.T) {
+	// Every strict prefix of a valid meta block must fail cleanly, never
+	// panic.
+	f := MustLayout(testSchema(), &abi.X86)
+	enc := EncodeMeta(f)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeMeta(enc[:i]); err == nil {
+			t.Errorf("DecodeMeta accepted truncation to %d bytes", i)
+		}
+	}
+}
+
+func TestMetaRejectsBadVersion(t *testing.T) {
+	f := MustLayout(testSchema(), &abi.X86)
+	enc := EncodeMeta(f)
+	enc[0] = 99
+	if _, _, err := DecodeMeta(enc); err == nil {
+		t.Error("accepted bad version")
+	}
+}
+
+func TestMetaRejectsCorruptFieldData(t *testing.T) {
+	f := MustLayout(testSchema(), &abi.X86)
+	// Corrupt the encoded size so a field lands out of bounds.
+	enc := EncodeMeta(f)
+	enc[2], enc[3], enc[4], enc[5] = 0, 0, 0, 1 // record size = 1
+	if _, _, err := DecodeMeta(enc); err == nil {
+		t.Error("accepted meta with fields outside record")
+	}
+}
+
+func TestMetaRejectsHugeFieldCount(t *testing.T) {
+	f := MustLayout(testSchema(), &abi.X86)
+	enc := EncodeMeta(f)
+	// Field count is a u32 right after version+order+size+two strings.
+	// Locate it by re-encoding with a recognizable layout: rather than
+	// byte surgery, build a decoder-level attack: huge declared count with
+	// a short buffer must error, not allocate 4 GiB.
+	pos := 1 + 1 + 4 + 2 + len(f.Name) + 2 + len(f.Arch)
+	enc[pos], enc[pos+1], enc[pos+2], enc[pos+3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := DecodeMeta(enc); err == nil {
+		t.Error("accepted meta with 4 billion fields")
+	}
+}
+
+func TestMetaFuzzNoPanic(t *testing.T) {
+	// Property: DecodeMeta never panics on arbitrary bytes.
+	fn := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("DecodeMeta panicked on % x: %v", b, r)
+			}
+		}()
+		_, _, _ = DecodeMeta(b)
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetaMutationFuzzNoPanic(t *testing.T) {
+	// Mutate single bytes of a valid encoding: decode must never panic
+	// and anything accepted must validate.
+	f := MustLayout(testSchema(), &abi.SparcV8)
+	enc := EncodeMeta(f)
+	for i := 0; i < len(enc); i++ {
+		for _, v := range []byte{0x00, 0x01, 0x7f, 0x80, 0xff} {
+			mut := append([]byte(nil), enc...)
+			mut[i] = v
+			got, _, err := DecodeMeta(mut)
+			if err == nil {
+				if verr := got.Validate(); verr != nil {
+					t.Fatalf("mutation at %d accepted an invalid format: %v", i, verr)
+				}
+			}
+		}
+	}
+}
+
+func TestAppendMetaAppends(t *testing.T) {
+	f := MustLayout(testSchema(), &abi.X86)
+	prefix := []byte{1, 2, 3}
+	out := AppendMeta(prefix, f)
+	if string(out[:3]) != string(prefix) {
+		t.Error("AppendMeta clobbered prefix")
+	}
+	if _, _, err := DecodeMeta(out[3:]); err != nil {
+		t.Errorf("appended meta does not decode: %v", err)
+	}
+}

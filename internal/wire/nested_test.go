@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// particleSchema is a nested workload: a header struct plus an array of
+// particle structs (the classic AoS pattern in simulation codes).
+func particleSchema(n int) *Schema {
+	return &Schema{
+		Name: "particles",
+		Fields: []FieldSpec{
+			{Name: "hdr", Count: 1, Sub: &Schema{
+				Name: "header",
+				Fields: []FieldSpec{
+					{Name: "step", Type: abi.Int, Count: 1},
+					{Name: "t", Type: abi.Double, Count: 1},
+					{Name: "label", Type: abi.Char, Count: 8},
+				},
+			}},
+			{Name: "count", Type: abi.Int, Count: 1},
+			{Name: "p", Count: n, Sub: &Schema{
+				Name: "particle",
+				Fields: []FieldSpec{
+					{Name: "id", Type: abi.Int, Count: 1},
+					{Name: "pos", Count: 1, Sub: &Schema{
+						Name: "vec3",
+						Fields: []FieldSpec{
+							{Name: "x", Type: abi.Double, Count: 1},
+							{Name: "y", Type: abi.Double, Count: 1},
+							{Name: "z", Type: abi.Double, Count: 1},
+						},
+					}},
+					{Name: "charge", Type: abi.Float, Count: 1},
+				},
+			}},
+		},
+	}
+}
+
+func TestNestedLayout(t *testing.T) {
+	// sparc-v8: header{int@0 pad t@8 label@16[8]} size 24 align 8.
+	// particle{id@0 pad pos@8{x,y,z}=24 charge@32 pad} size 40 align 8.
+	f := MustLayout(particleSchema(3), &abi.SparcV8)
+	hdr := f.FieldByName("hdr")
+	if hdr == nil || !hdr.IsStruct() {
+		t.Fatal("hdr not a struct field")
+	}
+	if hdr.Size != 24 {
+		t.Errorf("hdr size = %d, want 24", hdr.Size)
+	}
+	p := f.FieldByName("p")
+	if p.Size != 40 {
+		t.Errorf("particle size = %d, want 40", p.Size)
+	}
+	if p.Sub.FieldByName("pos").Offset != 8 {
+		t.Errorf("pos offset = %d, want 8", p.Sub.FieldByName("pos").Offset)
+	}
+	// hdr@0(24), count@24(4), p aligned to 8 -> 32, 3*40=120 -> size 152.
+	if p.Offset != 32 || f.Size != 152 {
+		t.Errorf("p offset/record size = %d/%d, want 32/152", p.Offset, f.Size)
+	}
+
+	// x86 (4-byte double alignment): header{int@0 t@4 label@12[8]} = 20.
+	fx := MustLayout(particleSchema(3), &abi.X86)
+	if fx.FieldByName("hdr").Size != 20 {
+		t.Errorf("x86 hdr size = %d, want 20", fx.FieldByName("hdr").Size)
+	}
+	if fx.Size >= f.Size {
+		t.Errorf("x86 record %d not smaller than sparc %d", fx.Size, f.Size)
+	}
+}
+
+func TestNestedValidate(t *testing.T) {
+	f := MustLayout(particleSchema(2), &abi.SparcV8)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("valid nested format rejected: %v", err)
+	}
+	// Corrupt the nested size.
+	f.Fields[0].Size = 8
+	if err := f.Validate(); err == nil {
+		t.Error("struct field size != sub size accepted")
+	}
+}
+
+func TestNestedValidateDepthBound(t *testing.T) {
+	// Build a schema nested beyond maxNesting.
+	s := &Schema{Name: "leaf", Fields: []FieldSpec{{Name: "v", Type: abi.Int, Count: 1}}}
+	for i := 0; i < maxNesting+2; i++ {
+		s = &Schema{Name: "w", Fields: []FieldSpec{{Name: "inner", Count: 1, Sub: s}}}
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("over-deep schema accepted")
+	}
+}
+
+func TestNestedMetaRoundTrip(t *testing.T) {
+	for _, a := range []abi.Arch{abi.SparcV8, abi.X86, abi.SparcV9x64} {
+		a := a
+		f := MustLayout(particleSchema(4), &a)
+		enc := EncodeMeta(f)
+		got, n, err := DecodeMeta(enc)
+		if err != nil {
+			t.Fatalf("%s: DecodeMeta: %v", a.Name, err)
+		}
+		if n != len(enc) {
+			t.Errorf("%s: consumed %d of %d", a.Name, n, len(enc))
+		}
+		if !SameLayout(f, got) {
+			t.Errorf("%s: nested layout lost in meta round trip:\n%s\nvs\n%s", a.Name, f, got)
+		}
+		if got.FieldByName("p").Sub.FieldByName("pos").Sub == nil {
+			t.Errorf("%s: doubly-nested struct lost", a.Name)
+		}
+	}
+}
+
+func TestNestedMetaTruncation(t *testing.T) {
+	f := MustLayout(particleSchema(2), &abi.X86)
+	enc := EncodeMeta(f)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeMeta(enc[:i]); err == nil {
+			t.Fatalf("accepted truncation to %d bytes", i)
+		}
+	}
+}
+
+func TestNestedSameLayoutAndFingerprint(t *testing.T) {
+	a := MustLayout(particleSchema(2), &abi.SparcV8)
+	b := MustLayout(particleSchema(2), &abi.SparcV8)
+	c := MustLayout(particleSchema(2), &abi.X86)
+	if !SameLayout(a, b) {
+		t.Error("identical nested layouts differ")
+	}
+	if SameLayout(a, c) {
+		t.Error("different nested layouts equal")
+	}
+	if a.Fingerprint() != b.Fingerprint() || a.Fingerprint() == c.Fingerprint() {
+		t.Error("nested fingerprints wrong")
+	}
+	// A nested-layout difference alone must change the fingerprint.
+	d := MustLayout(particleSchema(2), &abi.SparcV8)
+	d.Fields[2].Sub.Fields[0].Offset += 0 // no change: sanity
+	if a.Fingerprint() != d.Fingerprint() {
+		t.Error("fingerprint unstable")
+	}
+}
+
+func TestNestedSchemaRoundTrip(t *testing.T) {
+	f := MustLayout(particleSchema(2), &abi.SparcV8)
+	s2 := f.Schema()
+	f2 := MustLayout(s2, &abi.SparcV8)
+	if !SameLayout(f, f2) {
+		t.Error("Schema() round trip lost nested structure")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	f := MustLayout(particleSchema(2), &abi.SparcV8)
+	flat := f.Flatten()
+	if err := flat.Validate(); err != nil {
+		t.Fatalf("flattened format invalid: %v", err)
+	}
+	if flat.Size != f.Size {
+		t.Errorf("flatten changed size: %d vs %d", flat.Size, f.Size)
+	}
+	for _, fl := range flat.Fields {
+		if fl.IsStruct() {
+			t.Errorf("flattened format still has struct field %q", fl.Name)
+		}
+	}
+	// Check a known absolute offset: p[1].pos.y = p.Offset + 1*40 + 8 + 8.
+	want := f.FieldByName("p").Offset + 40 + 8 + 8
+	got := flat.FieldByName("p.1.pos.y")
+	if got == nil {
+		names := make([]string, len(flat.Fields))
+		for i := range flat.Fields {
+			names[i] = flat.Fields[i].Name
+		}
+		t.Fatalf("p.1.pos.y missing; have %v", names)
+	}
+	if got.Offset != want {
+		t.Errorf("p.1.pos.y offset = %d, want %d", got.Offset, want)
+	}
+}
+
+func TestNestedString(t *testing.T) {
+	f := MustLayout(particleSchema(1), &abi.SparcV8)
+	s := f.String()
+	for _, want := range []string{"struct header", "struct vec3", "  x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNestedMatch(t *testing.T) {
+	w := MustLayout(particleSchema(2), &abi.SparcV8)
+	e := MustLayout(particleSchema(2), &abi.X86)
+	m := Match(w, e)
+	if !m.Exact() {
+		t.Error("same nested schema should match exactly")
+	}
+}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/abi"
+)
+
+// RandomSchema generates a pseudo-random record schema for property-based
+// tests: random basic types, scalar/array counts, and (up to the given
+// depth) nested structures.  The same seed yields the same schema.
+func RandomSchema(rng *rand.Rand, name string, maxFields, maxDepth int) *Schema {
+	if maxFields < 1 {
+		maxFields = 1
+	}
+	n := 1 + rng.Intn(maxFields)
+	s := &Schema{Name: name, Fields: make([]FieldSpec, n)}
+	basics := []abi.CType{
+		abi.Char, abi.Short, abi.Int, abi.Long, abi.LongLong,
+		abi.UShort, abi.UInt, abi.ULong, abi.ULongLong,
+		abi.Float, abi.Double,
+	}
+	for i := range s.Fields {
+		fname := fmt.Sprintf("f%d", i)
+		count := 1
+		switch rng.Intn(4) {
+		case 0:
+			count = 1 + rng.Intn(8)
+		case 1:
+			count = 1 + rng.Intn(64)
+		}
+		if maxDepth > 0 && rng.Intn(5) == 0 {
+			s.Fields[i] = FieldSpec{
+				Name:  fname,
+				Count: 1 + rng.Intn(4),
+				Sub:   RandomSchema(rng, name+"_"+fname, maxFields/2+1, maxDepth-1),
+			}
+			continue
+		}
+		ct := basics[rng.Intn(len(basics))]
+		if ct == abi.Char && count == 1 && rng.Intn(2) == 0 {
+			count = 1 + rng.Intn(16) // char arrays are the common case
+		}
+		s.Fields[i] = FieldSpec{Name: fname, Type: ct, Count: count}
+	}
+	return s
+}
+
+// MutateSchema returns a copy of s with a random evolution applied — the
+// kinds of change the paper's type-extension discussion covers: a field
+// added (front, middle or back), a field removed, or fields reordered.
+// The returned schema always differs from the input and remains valid.
+func MutateSchema(rng *rand.Rand, s *Schema) *Schema {
+	out := &Schema{Name: s.Name, Fields: append([]FieldSpec(nil), s.Fields...)}
+	switch rng.Intn(3) {
+	case 0: // add a field at a random position
+		nf := FieldSpec{
+			Name:  fmt.Sprintf("added%d", rng.Intn(1000)),
+			Type:  []abi.CType{abi.Int, abi.Double, abi.Long}[rng.Intn(3)],
+			Count: 1 + rng.Intn(4),
+		}
+		pos := rng.Intn(len(out.Fields) + 1)
+		out.Fields = append(out.Fields[:pos], append([]FieldSpec{nf}, out.Fields[pos:]...)...)
+	case 1: // remove a field (keep at least one)
+		if len(out.Fields) > 1 {
+			pos := rng.Intn(len(out.Fields))
+			out.Fields = append(out.Fields[:pos], out.Fields[pos+1:]...)
+		} else {
+			out.Fields[0].Name += "_renamed"
+		}
+	default: // shuffle field order
+		if len(out.Fields) > 1 {
+			rng.Shuffle(len(out.Fields), func(i, j int) {
+				out.Fields[i], out.Fields[j] = out.Fields[j], out.Fields[i]
+			})
+		} else {
+			out.Fields[0].Name += "_renamed"
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry assigns small integer IDs to formats for a communication
+// session, playing the role of PBIO's format server in a purely in-band
+// fashion: the writer registers formats and sends each format's
+// meta-information before its first record; the reader registers received
+// meta blocks under the sender's IDs.
+//
+// A Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	byID    map[uint32]*Format
+	byPrint map[string]uint32 // fingerprint -> id, for writer-side dedup
+	nextID  uint32
+}
+
+// NewRegistry returns an empty registry.  IDs start at 1; 0 is reserved as
+// "no format".
+func NewRegistry() *Registry {
+	return &Registry{
+		byID:    make(map[uint32]*Format),
+		byPrint: make(map[string]uint32),
+		nextID:  1,
+	}
+}
+
+// Register assigns an ID to the format, or returns the existing ID if a
+// format with an identical layout was already registered.  The second
+// return value reports whether the format was newly added (and therefore
+// whether its meta-information still needs to be transmitted).
+func (r *Registry) Register(f *Format) (id uint32, added bool, err error) {
+	if err := f.Validate(); err != nil {
+		return 0, false, err
+	}
+	fp := f.Fingerprint()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.byPrint[fp]; ok {
+		return id, false, nil
+	}
+	id = r.nextID
+	r.nextID++
+	r.byID[id] = f
+	r.byPrint[fp] = id
+	return id, true, nil
+}
+
+// Bind records a format under an externally-assigned ID (the reader side:
+// IDs arrive from the peer inside meta messages).  Rebinding an ID to a
+// different layout is an error; rebinding to an identical layout is a
+// harmless no-op.
+func (r *Registry) Bind(id uint32, f *Format) error {
+	if id == 0 {
+		return fmt.Errorf("wire: cannot bind format ID 0")
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byID[id]; ok {
+		if SameLayout(old, f) {
+			return nil
+		}
+		return fmt.Errorf("wire: format ID %d already bound to %q with a different layout", id, old.Name)
+	}
+	r.byID[id] = f
+	r.byPrint[f.Fingerprint()] = id
+	return nil
+}
+
+// Lookup returns the format bound to id, or nil if unknown.
+func (r *Registry) Lookup(id uint32) *Format {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byID[id]
+}
+
+// Len returns the number of registered formats.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}

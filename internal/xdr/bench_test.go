@@ -1,0 +1,45 @@
+package xdr
+
+import "testing"
+
+func BenchmarkEncodeDoubles(b *testing.B) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i) * 0.37
+	}
+	e := NewEncoder(make([]byte, 0, 8*len(vals)))
+	b.SetBytes(int64(8 * len(vals)))
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		for _, v := range vals {
+			e.PutFloat64(v)
+		}
+	}
+}
+
+func BenchmarkDecodeDoubles(b *testing.B) {
+	e := NewEncoder(nil)
+	for i := 0; i < 1000; i++ {
+		e.PutFloat64(float64(i) * 0.37)
+	}
+	data := e.Bytes()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(data)
+		for j := 0; j < 1000; j++ {
+			if _, err := d.Float64(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkOpaque(b *testing.B) {
+	data := make([]byte, 10000)
+	e := NewEncoder(make([]byte, 0, len(data)+8))
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutOpaque(data)
+	}
+}

@@ -1,0 +1,174 @@
+// Package xdr implements the subset of XDR (RFC 1832, External Data
+// Representation) needed as a "common wire format" baseline: big-endian,
+// fully packed into 4-byte units, with no gaps.  XDR is the classic
+// example of the fixed-wire-format approach the paper contrasts with NDR:
+// every sender encodes into it and every receiver decodes out of it,
+// paying copy and conversion costs on both sides even between identical
+// machines.
+//
+// MPICH's heterogeneous mode historically used XDR for exactly this
+// purpose, which is how package mpi uses this package.
+package xdr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Encoder appends XDR-encoded values to an internal buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder, optionally reusing buf's storage.
+func NewEncoder(buf []byte) *Encoder {
+	return &Encoder{buf: buf[:0]}
+}
+
+// Bytes returns the encoded buffer (valid until the next Put call after a
+// Reset).
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the buffer contents, keeping capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutInt32 encodes a 32-bit signed integer.
+func (e *Encoder) PutInt32(v int32) { e.putU32(uint32(v)) }
+
+// PutUint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) PutUint32(v uint32) { e.putU32(v) }
+
+// PutInt64 encodes a 64-bit signed integer (XDR "hyper").
+func (e *Encoder) PutInt64(v int64) { e.putU64(uint64(v)) }
+
+// PutUint64 encodes a 64-bit unsigned integer.
+func (e *Encoder) PutUint64(v uint64) { e.putU64(v) }
+
+// PutFloat32 encodes an IEEE single.
+func (e *Encoder) PutFloat32(v float32) { e.putU32(math.Float32bits(v)) }
+
+// PutFloat64 encodes an IEEE double.
+func (e *Encoder) PutFloat64(v float64) { e.putU64(math.Float64bits(v)) }
+
+// PutOpaque encodes fixed-length opaque data, zero-padded to a multiple of
+// four bytes per RFC 1832 §3.9.
+func (e *Encoder) PutOpaque(b []byte) {
+	e.buf = append(e.buf, b...)
+	for pad := (4 - len(b)&3) & 3; pad > 0; pad-- {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *Encoder) putU32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func (e *Encoder) putU64(v uint64) {
+	e.putU32(uint32(v >> 32))
+	e.putU32(uint32(v))
+}
+
+// Decoder reads XDR-encoded values from a buffer.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// NewDecoder returns a decoder over b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+// Pos returns the read cursor.
+func (d *Decoder) Pos() int { return d.pos }
+
+func (d *Decoder) take(n int) ([]byte, error) {
+	if d.pos+n > len(d.buf) {
+		return nil, fmt.Errorf("xdr: need %d bytes at offset %d, have %d", n, d.pos, len(d.buf)-d.pos)
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// Int64 decodes a 64-bit signed integer.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Uint64 decodes a 64-bit unsigned integer.
+func (d *Decoder) Uint64() (uint64, error) {
+	hi, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	return uint64(hi)<<32 | uint64(lo), nil
+}
+
+// Float32 decodes an IEEE single.
+func (d *Decoder) Float32() (float32, error) {
+	v, err := d.Uint32()
+	return math.Float32frombits(v), err
+}
+
+// Float64 decodes an IEEE double.
+func (d *Decoder) Float64() (float64, error) {
+	v, err := d.Uint64()
+	return math.Float64frombits(v), err
+}
+
+// Opaque decodes n bytes of fixed-length opaque data, consuming the XDR
+// padding.
+func (d *Decoder) Opaque(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("xdr: negative opaque length %d", n)
+	}
+	b, err := d.take(n)
+	if err != nil {
+		return nil, err
+	}
+	if pad := (4 - n&3) & 3; pad > 0 {
+		if _, err := d.take(pad); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// EncodedSize returns the XDR-encoded size of a value of the given element
+// size and count: every element occupies max(elemSize, 4) bytes except
+// opaque byte data, which packs and pads to 4.
+func EncodedSize(elemSize, count int, opaque bool) int {
+	if opaque {
+		return (elemSize*count + 3) &^ 3
+	}
+	es := elemSize
+	if es < 4 {
+		es = 4
+	}
+	return es * count
+}

@@ -1,0 +1,165 @@
+package xdr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutInt32(-42)
+	e.PutUint32(0xdeadbeef)
+	e.PutInt64(-1 << 40)
+	e.PutUint64(1 << 63)
+	e.PutFloat32(1.5)
+	e.PutFloat64(math.Pi)
+	e.PutOpaque([]byte("hello"))
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Int32(); err != nil || v != -42 {
+		t.Errorf("Int32 = %d, %v", v, err)
+	}
+	if v, err := d.Uint32(); err != nil || v != 0xdeadbeef {
+		t.Errorf("Uint32 = %#x, %v", v, err)
+	}
+	if v, err := d.Int64(); err != nil || v != -1<<40 {
+		t.Errorf("Int64 = %d, %v", v, err)
+	}
+	if v, err := d.Uint64(); err != nil || v != 1<<63 {
+		t.Errorf("Uint64 = %d, %v", v, err)
+	}
+	if v, err := d.Float32(); err != nil || v != 1.5 {
+		t.Errorf("Float32 = %v, %v", v, err)
+	}
+	if v, err := d.Float64(); err != nil || v != math.Pi {
+		t.Errorf("Float64 = %v, %v", v, err)
+	}
+	if b, err := d.Opaque(5); err != nil || string(b) != "hello" {
+		t.Errorf("Opaque = %q, %v", b, err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestBigEndianOnWire(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutUint32(0x01020304)
+	want := []byte{1, 2, 3, 4}
+	got := e.Bytes()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wire bytes = % x, want % x", got, want)
+		}
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		e := NewEncoder(nil)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i + 1)
+		}
+		e.PutOpaque(data)
+		if e.Len()%4 != 0 {
+			t.Errorf("opaque(%d) encoded to %d bytes, not 4-aligned", n, e.Len())
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque(n)
+		if err != nil {
+			t.Fatalf("Opaque(%d): %v", n, err)
+		}
+		if string(got) != string(data) {
+			t.Errorf("opaque(%d) round trip failed", n)
+		}
+		if d.Remaining() != 0 {
+			t.Errorf("opaque(%d): %d bytes left (padding not consumed)", n, d.Remaining())
+		}
+	}
+}
+
+func TestTruncatedDecodes(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutUint64(7)
+	full := e.Bytes()
+	for i := 0; i < len(full); i++ {
+		d := NewDecoder(full[:i])
+		if _, err := d.Uint64(); err == nil {
+			t.Errorf("Uint64 from %d bytes succeeded", i)
+		}
+	}
+	d := NewDecoder([]byte{1, 2})
+	if _, err := d.Opaque(5); err == nil {
+		t.Error("Opaque over-read succeeded")
+	}
+	if _, err := d.Opaque(-1); err == nil {
+		t.Error("negative Opaque length accepted")
+	}
+	// Opaque whose padding is cut off.
+	d2 := NewDecoder([]byte{1, 2, 3, 4, 5})
+	if _, err := d2.Opaque(5); err == nil {
+		t.Error("Opaque with truncated padding accepted")
+	}
+}
+
+func TestResetReusesStorage(t *testing.T) {
+	e := NewEncoder(make([]byte, 0, 64))
+	e.PutUint64(1)
+	p := &e.Bytes()[0]
+	e.Reset()
+	if e.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	e.PutUint64(2)
+	if &e.Bytes()[0] != p {
+		t.Error("Reset did not keep storage")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	cases := []struct {
+		elem, count int
+		opaque      bool
+		want        int
+	}{
+		{4, 1, false, 4},
+		{8, 3, false, 24},
+		{2, 5, false, 20}, // shorts widen to 4
+		{1, 5, true, 8},   // opaque pads to 4
+		{1, 4, true, 4},
+		{1, 0, true, 0},
+	}
+	for _, c := range cases {
+		if got := EncodedSize(c.elem, c.count, c.opaque); got != c.want {
+			t.Errorf("EncodedSize(%d,%d,%v) = %d, want %d", c.elem, c.count, c.opaque, got, c.want)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(i32 int32, u32 uint32, i64 int64, f64 float64, blob []byte) bool {
+		e := NewEncoder(nil)
+		e.PutInt32(i32)
+		e.PutUint32(u32)
+		e.PutInt64(i64)
+		e.PutFloat64(f64)
+		e.PutOpaque(blob)
+		d := NewDecoder(e.Bytes())
+		gi32, _ := d.Int32()
+		gu32, _ := d.Uint32()
+		gi64, _ := d.Int64()
+		gf64, _ := d.Float64()
+		gblob, err := d.Opaque(len(blob))
+		if err != nil {
+			return false
+		}
+		f64ok := gf64 == f64 || (math.IsNaN(gf64) && math.IsNaN(f64))
+		return gi32 == i32 && gu32 == u32 && gi64 == i64 && f64ok &&
+			string(gblob) == string(blob) && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

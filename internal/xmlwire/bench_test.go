@@ -1,0 +1,96 @@
+package xmlwire
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func benchDoc(b *testing.B, n int) ([]byte, *wire.Format) {
+	b.Helper()
+	s := &wire.Schema{Name: "r", Fields: []wire.FieldSpec{
+		{Name: "id", Type: abi.Int, Count: 1},
+		{Name: "values", Type: abi.Double, Count: n},
+	}}
+	f := wire.MustLayout(s, &abi.X86)
+	rec := native.New(f)
+	native.FillDeterministic(rec, 3)
+	e := NewEncoder(nil)
+	if err := e.EncodeRecord(rec); err != nil {
+		b.Fatal(err)
+	}
+	return append([]byte(nil), e.Bytes()...), f
+}
+
+func BenchmarkEncodeRecord(b *testing.B) {
+	s := &wire.Schema{Name: "r", Fields: []wire.FieldSpec{
+		{Name: "values", Type: abi.Double, Count: 1000},
+	}}
+	rec := native.New(wire.MustLayout(s, &abi.X86))
+	native.FillDeterministic(rec, 3)
+	e := NewEncoder(make([]byte, 0, 1<<16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		if err := e.EncodeRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(e.Len()))
+}
+
+func BenchmarkParsePull(b *testing.B) {
+	doc, _ := benchDoc(b, 1000)
+	p := NewParser(Handlers{
+		StartElement: func([]byte) {},
+		EndElement:   func([]byte) {},
+		CharData:     func([]byte) {},
+	})
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Parse(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseStream(b *testing.B) {
+	doc, _ := benchDoc(b, 1000)
+	b.SetBytes(int64(len(doc)))
+	for i := 0; i < b.N; i++ {
+		p := NewStreamParser(Handlers{
+			StartElement: func([]byte) {},
+			EndElement:   func([]byte) {},
+			CharData:     func([]byte) {},
+		})
+		// Feed in 1 KiB chunks, as off a socket.
+		for pos := 0; pos < len(doc); pos += 1024 {
+			end := pos + 1024
+			if end > len(doc) {
+				end = len(doc)
+			}
+			if err := p.Feed(doc[pos:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := p.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRecord(b *testing.B) {
+	doc, f := benchDoc(b, 1000)
+	d := NewDecoder(f)
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DecodeRecord(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

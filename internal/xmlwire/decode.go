@@ -1,0 +1,232 @@
+package xmlwire
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// Decoder parses XML records into native record images.  Field elements
+// are matched to the expected format by name; unknown elements (and any
+// subtree below them) are skipped — XML "transparently handles precisely
+// the same types of change in the incoming record as can PBIO" (§4.4) —
+// and missing fields are left zero.  Nested structure fields correspond
+// to nested elements; arrays of structures to repeated elements.
+//
+// A Decoder is reusable across records but not safe for concurrent use.
+type Decoder struct {
+	expected *wire.Format
+	parser   *Parser
+
+	rec     *native.Record
+	stack   []frame
+	field   *wire.Field // open basic-field element, nil otherwise
+	fBase   int         // base offset of the record/struct containing field
+	text    []byte      // accumulated character data for the open field
+	skip    int         // >0: inside an unknown subtree
+	started bool        // a record element was seen
+	decErr  error
+}
+
+// frame is one level of open structure: the format whose fields are in
+// scope, the byte offset of its start, and per-field occurrence counts
+// (arrays of structures arrive as repeated elements).
+type frame struct {
+	format *wire.Format
+	base   int
+	occ    []int
+}
+
+// NewDecoder returns a decoder producing records of the expected format.
+func NewDecoder(expected *wire.Format) *Decoder {
+	d := &Decoder{expected: expected}
+	d.parser = NewParser(Handlers{
+		StartElement: d.startElement,
+		EndElement:   d.endElement,
+		CharData:     d.charData,
+	})
+	return d
+}
+
+// DecodeRecord parses one record document into a fresh native record.
+func (d *Decoder) DecodeRecord(doc []byte) (*native.Record, error) {
+	d.rec = native.New(d.expected)
+	d.stack = d.stack[:0]
+	d.field = nil
+	d.text = d.text[:0]
+	d.skip = 0
+	d.started = false
+	d.decErr = nil
+	if err := d.parser.Parse(doc); err != nil {
+		return nil, err
+	}
+	if d.decErr != nil {
+		return nil, d.decErr
+	}
+	if len(d.stack) != 0 {
+		return nil, fmt.Errorf("xmlwire: record element not closed")
+	}
+	if !d.started {
+		return nil, fmt.Errorf("xmlwire: document contains no record element")
+	}
+	return d.rec, nil
+}
+
+func (d *Decoder) startElement(name []byte) {
+	if d.decErr != nil || d.skip > 0 {
+		d.skip++
+		return
+	}
+	if d.field != nil {
+		// Markup inside a basic field's text: not part of the record
+		// model; skip it.
+		d.skip++
+		return
+	}
+	if len(d.stack) == 0 {
+		// The record element itself; its name is informational (PBIO
+		// matches per field).
+		d.started = true
+		d.stack = append(d.stack, frame{
+			format: d.expected,
+			occ:    make([]int, len(d.expected.Fields)),
+		})
+		return
+	}
+	top := &d.stack[len(d.stack)-1]
+	idx := -1
+	for i := range top.format.Fields {
+		if top.format.Fields[i].Name == string(name) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		d.skip++ // unknown field: ignore the whole subtree
+		return
+	}
+	f := &top.format.Fields[idx]
+	if f.IsStruct() {
+		e := top.occ[idx]
+		top.occ[idx]++
+		if e >= f.Count {
+			d.decErr = fmt.Errorf("xmlwire: field %q: more than %d elements", f.Name, f.Count)
+			d.skip++
+			return
+		}
+		d.stack = append(d.stack, frame{
+			format: f.Sub,
+			base:   top.base + f.Offset + e*f.Size,
+			occ:    make([]int, len(f.Sub.Fields)),
+		})
+		return
+	}
+	d.field = f
+	d.fBase = top.base
+	d.text = d.text[:0]
+}
+
+func (d *Decoder) charData(text []byte) {
+	if d.skip == 0 && d.field != nil && d.decErr == nil {
+		d.text = append(d.text, text...)
+	}
+}
+
+func (d *Decoder) endElement(name []byte) {
+	if d.skip > 0 {
+		d.skip--
+		return
+	}
+	if d.field != nil {
+		if d.decErr == nil {
+			d.decErr = d.storeField()
+		}
+		d.field = nil
+		return
+	}
+	if len(d.stack) > 0 {
+		d.stack = d.stack[:len(d.stack)-1]
+	}
+}
+
+// storeField converts the accumulated text into the field's binary form.
+func (d *Decoder) storeField() error {
+	f := d.field
+	base := d.fBase
+	if f.Type == abi.Char {
+		if len(d.text) > f.Count {
+			return fmt.Errorf("xmlwire: field %q: %d bytes exceed char[%d]", f.Name, len(d.text), f.Count)
+		}
+		off := base + f.Offset
+		n := copy(d.rec.Buf[off:off+f.Count], d.text)
+		for ; n < f.Count; n++ {
+			d.rec.Buf[off+n] = 0
+		}
+		return nil
+	}
+	toks := d.text
+	for el := 0; el < f.Count; el++ {
+		tok, rest, ok := nextToken(toks)
+		if !ok {
+			return fmt.Errorf("xmlwire: field %q: %d values, expected %d", f.Name, el, f.Count)
+		}
+		toks = rest
+		if err := d.storeElem(f, base, el, tok); err != nil {
+			return err
+		}
+	}
+	if tok, _, ok := nextToken(toks); ok {
+		return fmt.Errorf("xmlwire: field %q: trailing value %q beyond %d elements", f.Name, tok, f.Count)
+	}
+	return nil
+}
+
+func (d *Decoder) storeElem(f *wire.Field, base, el int, tok []byte) error {
+	order := d.expected.Order
+	off := base + f.Offset
+	switch {
+	case f.Type.Floating():
+		v, err := strconv.ParseFloat(string(tok), 64)
+		if err != nil {
+			return fmt.Errorf("xmlwire: field %q[%d]: %w", f.Name, el, err)
+		}
+		if f.Size == 4 {
+			order.PutUint32(d.rec.Buf[off+4*el:], math.Float32bits(float32(v)))
+		} else {
+			order.PutUint64(d.rec.Buf[off+8*el:], math.Float64bits(v))
+		}
+	case f.Type.Signed():
+		v, err := strconv.ParseInt(string(tok), 10, 64)
+		if err != nil {
+			return fmt.Errorf("xmlwire: field %q[%d]: %w", f.Name, el, err)
+		}
+		order.PutInt(d.rec.Buf[off+f.Size*el:], f.Size, v)
+	default:
+		v, err := strconv.ParseUint(string(tok), 10, 64)
+		if err != nil {
+			return fmt.Errorf("xmlwire: field %q[%d]: %w", f.Name, el, err)
+		}
+		order.PutUint(d.rec.Buf[off+f.Size*el:], f.Size, v)
+	}
+	return nil
+}
+
+// nextToken splits the next whitespace-separated token off b.
+func nextToken(b []byte) (tok, rest []byte, ok bool) {
+	i := 0
+	for i < len(b) && isSpaceByte(b[i]) {
+		i++
+	}
+	if i == len(b) {
+		return nil, nil, false
+	}
+	j := i
+	for j < len(b) && !isSpaceByte(b[j]) {
+		j++
+	}
+	return b[i:j], b[j:], true
+}

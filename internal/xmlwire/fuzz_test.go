@@ -1,0 +1,42 @@
+package xmlwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse: the pull parser and the stream parser must never panic, and
+// must agree — any document one accepts, the other accepts with the same
+// event stream.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`<r><a>1</a><b>x &amp; y</b><c/></r>`))
+	f.Add([]byte(`<?xml version="1.0"?><r a="v"><!-- c --><x><![CDATA[z]]></x></r>`))
+	f.Add([]byte(`<r>`))
+	f.Add([]byte(`</r>`))
+	f.Add([]byte(`<a><b></a></b>`))
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		var pullTrace, pushTrace bytes.Buffer
+		trace := func(b *bytes.Buffer) Handlers {
+			return Handlers{
+				StartElement: func(n []byte) { b.WriteByte('<'); b.Write(n) },
+				EndElement:   func(n []byte) { b.WriteByte('>'); b.Write(n) },
+				CharData:     func(c []byte) { b.Write(c) },
+			}
+		}
+		pullErr := NewParser(trace(&pullTrace)).Parse(doc)
+
+		push := NewStreamParser(trace(&pushTrace))
+		pushErr := push.Feed(doc)
+		if pushErr == nil {
+			pushErr = push.Finish()
+		}
+
+		if (pullErr == nil) != (pushErr == nil) {
+			t.Fatalf("parsers disagree on %q: pull=%v push=%v", doc, pullErr, pushErr)
+		}
+		if pullErr == nil && pullTrace.String() != pushTrace.String() {
+			t.Fatalf("event streams differ on %q:\npull: %q\npush: %q",
+				doc, pullTrace.String(), pushTrace.String())
+		}
+	})
+}

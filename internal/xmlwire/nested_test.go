@@ -1,0 +1,118 @@
+package xmlwire
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func particleSchema(n int) *wire.Schema {
+	return &wire.Schema{
+		Name: "particles",
+		Fields: []wire.FieldSpec{
+			{Name: "hdr", Count: 1, Sub: &wire.Schema{
+				Name: "header",
+				Fields: []wire.FieldSpec{
+					{Name: "step", Type: abi.Int, Count: 1},
+					{Name: "label", Type: abi.Char, Count: 8},
+				},
+			}},
+			{Name: "p", Count: n, Sub: &wire.Schema{
+				Name: "particle",
+				Fields: []wire.FieldSpec{
+					{Name: "id", Type: abi.Int, Count: 1},
+					{Name: "pos", Count: 1, Sub: &wire.Schema{
+						Name: "vec3",
+						Fields: []wire.FieldSpec{
+							{Name: "x", Type: abi.Double, Count: 1},
+							{Name: "y", Type: abi.Double, Count: 1},
+							{Name: "z", Type: abi.Double, Count: 1},
+						},
+					}},
+				},
+			}},
+		},
+	}
+}
+
+func TestNestedEncodeDecodeRoundTrip(t *testing.T) {
+	src := native.New(wire.MustLayout(particleSchema(3), &abi.SparcV8))
+	native.FillDeterministic(src, 8)
+	e := NewEncoder(nil)
+	if err := e.EncodeRecord(src); err != nil {
+		t.Fatal(err)
+	}
+	doc := string(e.Bytes())
+	// Structure: repeated <p> elements with nested <pos>.
+	if strings.Count(doc, "<p>") != 3 {
+		t.Errorf("expected 3 <p> elements:\n%s", doc)
+	}
+	if !strings.Contains(doc, "<pos><x>") {
+		t.Errorf("missing nested pos element:\n%s", doc)
+	}
+	dst, err := NewDecoder(wire.MustLayout(particleSchema(3), &abi.X86)).DecodeRecord(e.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v\ndoc: %s", err, doc)
+	}
+	if diff := native.SemanticEqual(src, dst); diff != "" {
+		t.Errorf("nested XML round trip lost data: %s", diff)
+	}
+}
+
+func TestNestedDecodeUnknownSubtreeSkipped(t *testing.T) {
+	doc := []byte(`<particles>
+		<bogus><deep><deeper>1</deeper></deep></bogus>
+		<hdr><step>5</step><junk>9</junk><label>run</label></hdr>
+		<p><id>1</id><pos><x>1.5</x><y>2.5</y><z>3.5</z></pos></p>
+	</particles>`)
+	f := wire.MustLayout(particleSchema(2), &abi.X86)
+	rec, err := NewDecoder(f).DecodeRecord(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := rec.MustSub("hdr", 0)
+	if v, _ := hdr.Int("step", 0); v != 5 {
+		t.Errorf("hdr.step = %d", v)
+	}
+	if s, _ := hdr.String("label"); s != "run" {
+		t.Errorf("hdr.label = %q", s)
+	}
+	p0 := rec.MustSub("p", 0)
+	pos := p0.MustSub("pos", 0)
+	if v, _ := pos.Float("y", 0); v != 2.5 {
+		t.Errorf("p[0].pos.y = %v", v)
+	}
+	// Second particle absent -> zero.
+	p1 := rec.MustSub("p", 1)
+	if v, _ := p1.Int("id", 0); v != 0 {
+		t.Errorf("missing particle id = %d", v)
+	}
+}
+
+func TestNestedDecodeTooManyStructElements(t *testing.T) {
+	doc := []byte(`<particles><p><id>1</id></p><p><id>2</id></p><p><id>3</id></p></particles>`)
+	f := wire.MustLayout(particleSchema(2), &abi.X86)
+	if _, err := NewDecoder(f).DecodeRecord(doc); err == nil {
+		t.Error("more struct elements than the field count accepted")
+	}
+}
+
+func TestNestedDecodeScalarInsideStructPosition(t *testing.T) {
+	// A scalar element name valid at one level must not be stored when it
+	// appears at the wrong level ("id" inside "hdr").
+	doc := []byte(`<particles><hdr><id>7</id><step>1</step></hdr></particles>`)
+	f := wire.MustLayout(particleSchema(1), &abi.X86)
+	rec, err := NewDecoder(f).DecodeRecord(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rec.MustSub("hdr", 0).Int("step", 0); v != 1 {
+		t.Errorf("hdr.step = %d", v)
+	}
+	if v, _ := rec.MustSub("p", 0).Int("id", 0); v != 0 {
+		t.Errorf("p[0].id = %d, misplaced element was stored", v)
+	}
+}

@@ -1,0 +1,292 @@
+package xmlwire
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Handlers receives parse events, in the manner of Expat's callback API:
+// the parser "calls handler routines for every data element in the XML
+// stream" (§4.3).  Any handler may be nil.
+type Handlers struct {
+	StartElement func(name []byte)
+	EndElement   func(name []byte)
+	// CharData receives character data runs.  The slice aliases either
+	// the input document or an internal scratch buffer (when entity
+	// expansion was needed) and is only valid during the call.
+	CharData func(text []byte)
+}
+
+// Parser is a streaming, non-validating XML parser covering the subset
+// needed for wire-format records: elements, attributes (scanned and
+// skipped), character data, entity references, comments, processing
+// instructions and CDATA sections.  It allocates nothing per element in
+// the steady state.
+type Parser struct {
+	h       Handlers
+	scratch []byte // entity-expansion buffer, reused
+	stack   [][]byte
+}
+
+// NewParser returns a parser delivering events to h.
+func NewParser(h Handlers) *Parser { return &Parser{h: h} }
+
+// Parse processes one complete document (or record fragment: any sequence
+// of complete elements).  It returns an error for malformed input.
+func (p *Parser) Parse(doc []byte) error {
+	p.stack = p.stack[:0]
+	pos := 0
+	for pos < len(doc) {
+		lt := bytes.IndexByte(doc[pos:], '<')
+		if lt < 0 {
+			// Trailing character data outside any element must be
+			// whitespace.
+			if len(p.stack) == 0 {
+				if !isSpace(doc[pos:]) {
+					return fmt.Errorf("xmlwire: character data outside root at byte %d", pos)
+				}
+				return p.checkEOF()
+			}
+			return fmt.Errorf("xmlwire: unterminated element %q", p.stack[len(p.stack)-1])
+		}
+		lt += pos
+		if lt > pos {
+			if len(p.stack) == 0 {
+				if !isSpace(doc[pos:lt]) {
+					return fmt.Errorf("xmlwire: character data outside root at byte %d", pos)
+				}
+			} else if p.h.CharData != nil {
+				text, err := p.expand(doc[pos:lt])
+				if err != nil {
+					return err
+				}
+				p.h.CharData(text)
+			}
+		}
+		var err error
+		pos, err = p.markup(doc, lt)
+		if err != nil {
+			return err
+		}
+	}
+	return p.checkEOF()
+}
+
+func (p *Parser) checkEOF() error {
+	if len(p.stack) != 0 {
+		return fmt.Errorf("xmlwire: unterminated element %q", p.stack[len(p.stack)-1])
+	}
+	return nil
+}
+
+// markup handles the construct starting with '<' at position lt and
+// returns the position just past it.
+func (p *Parser) markup(doc []byte, lt int) (int, error) {
+	if lt+1 >= len(doc) {
+		return 0, fmt.Errorf("xmlwire: truncated markup at byte %d", lt)
+	}
+	switch doc[lt+1] {
+	case '/':
+		return p.endTag(doc, lt)
+	case '!':
+		return p.declaration(doc, lt)
+	case '?':
+		end := bytes.Index(doc[lt:], []byte("?>"))
+		if end < 0 {
+			return 0, fmt.Errorf("xmlwire: unterminated processing instruction at byte %d", lt)
+		}
+		return lt + end + 2, nil
+	default:
+		return p.startTag(doc, lt)
+	}
+}
+
+func (p *Parser) startTag(doc []byte, lt int) (int, error) {
+	gt, ok := findTagEnd(doc, lt+1)
+	if !ok {
+		return 0, fmt.Errorf("xmlwire: unterminated start tag at byte %d", lt)
+	}
+	inner := doc[lt+1 : gt]
+	selfClose := false
+	if n := len(inner); n > 0 && inner[n-1] == '/' {
+		selfClose = true
+		inner = inner[:n-1]
+	}
+	// Element name runs to the first whitespace; attributes follow and
+	// are scanned only for well-formedness of quoting.
+	nameEnd := 0
+	for nameEnd < len(inner) && !isSpaceByte(inner[nameEnd]) {
+		nameEnd++
+	}
+	name := inner[:nameEnd]
+	if len(name) == 0 {
+		return 0, fmt.Errorf("xmlwire: empty element name at byte %d", lt)
+	}
+	if err := checkAttrs(inner[nameEnd:]); err != nil {
+		return 0, fmt.Errorf("xmlwire: element %q: %w", name, err)
+	}
+	if p.h.StartElement != nil {
+		p.h.StartElement(name)
+	}
+	if selfClose {
+		if p.h.EndElement != nil {
+			p.h.EndElement(name)
+		}
+	} else {
+		p.stack = append(p.stack, name)
+	}
+	return gt + 1, nil
+}
+
+func (p *Parser) endTag(doc []byte, lt int) (int, error) {
+	gt := bytes.IndexByte(doc[lt:], '>')
+	if gt < 0 {
+		return 0, fmt.Errorf("xmlwire: unterminated end tag at byte %d", lt)
+	}
+	gt += lt
+	name := bytes.TrimRight(doc[lt+2:gt], " \t\r\n")
+	if len(p.stack) == 0 {
+		return 0, fmt.Errorf("xmlwire: end tag %q with no open element", name)
+	}
+	open := p.stack[len(p.stack)-1]
+	if !bytes.Equal(open, name) {
+		return 0, fmt.Errorf("xmlwire: end tag %q does not match open element %q", name, open)
+	}
+	p.stack = p.stack[:len(p.stack)-1]
+	if p.h.EndElement != nil {
+		p.h.EndElement(name)
+	}
+	return gt + 1, nil
+}
+
+func (p *Parser) declaration(doc []byte, lt int) (int, error) {
+	rest := doc[lt:]
+	switch {
+	case bytes.HasPrefix(rest, []byte("<!--")):
+		end := bytes.Index(rest, []byte("-->"))
+		if end < 0 {
+			return 0, fmt.Errorf("xmlwire: unterminated comment at byte %d", lt)
+		}
+		return lt + end + 3, nil
+	case bytes.HasPrefix(rest, []byte("<![CDATA[")):
+		end := bytes.Index(rest, []byte("]]>"))
+		if end < 0 {
+			return 0, fmt.Errorf("xmlwire: unterminated CDATA at byte %d", lt)
+		}
+		if len(p.stack) == 0 {
+			return 0, fmt.Errorf("xmlwire: CDATA outside root at byte %d", lt)
+		}
+		if p.h.CharData != nil {
+			p.h.CharData(rest[len("<![CDATA["):end])
+		}
+		return lt + end + 3, nil
+	default:
+		// DOCTYPE and friends: skip to the closing '>'.
+		gt := bytes.IndexByte(rest, '>')
+		if gt < 0 {
+			return 0, fmt.Errorf("xmlwire: unterminated declaration at byte %d", lt)
+		}
+		return lt + gt + 1, nil
+	}
+}
+
+// expand resolves entity references in character data.  When the data
+// contains none (the overwhelmingly common case for numeric fields), the
+// input slice is returned unchanged and nothing is copied.
+func (p *Parser) expand(text []byte) ([]byte, error) {
+	amp := bytes.IndexByte(text, '&')
+	if amp < 0 {
+		return text, nil
+	}
+	p.scratch = p.scratch[:0]
+	for {
+		p.scratch = append(p.scratch, text[:amp]...)
+		text = text[amp:]
+		semi := bytes.IndexByte(text, ';')
+		if semi < 0 {
+			return nil, fmt.Errorf("xmlwire: unterminated entity reference")
+		}
+		switch string(text[1:semi]) {
+		case "amp":
+			p.scratch = append(p.scratch, '&')
+		case "lt":
+			p.scratch = append(p.scratch, '<')
+		case "gt":
+			p.scratch = append(p.scratch, '>')
+		case "quot":
+			p.scratch = append(p.scratch, '"')
+		case "apos":
+			p.scratch = append(p.scratch, '\'')
+		default:
+			return nil, fmt.Errorf("xmlwire: unknown entity &%s;", text[1:semi])
+		}
+		text = text[semi+1:]
+		amp = bytes.IndexByte(text, '&')
+		if amp < 0 {
+			p.scratch = append(p.scratch, text...)
+			return p.scratch, nil
+		}
+	}
+}
+
+// checkAttrs verifies attribute syntax (name="value" pairs) without
+// recording the attributes — record fields carry data as element text.
+func checkAttrs(s []byte) error {
+	i := 0
+	for {
+		for i < len(s) && isSpaceByte(s[i]) {
+			i++
+		}
+		if i >= len(s) {
+			return nil
+		}
+		eq := bytes.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("attribute without value")
+		}
+		i += eq + 1
+		if i >= len(s) || (s[i] != '"' && s[i] != '\'') {
+			return fmt.Errorf("unquoted attribute value")
+		}
+		q := s[i]
+		i++
+		end := bytes.IndexByte(s[i:], q)
+		if end < 0 {
+			return fmt.Errorf("unterminated attribute value")
+		}
+		i += end + 1
+	}
+}
+
+// findTagEnd locates the '>' closing a start tag, skipping any '>' inside
+// quoted attribute values.  It returns the index of the '>' and whether
+// one was found.
+func findTagEnd(doc []byte, from int) (int, bool) {
+	for i := from; i < len(doc); i++ {
+		switch doc[i] {
+		case '>':
+			return i, true
+		case '"', '\'':
+			q := doc[i]
+			end := bytes.IndexByte(doc[i+1:], q)
+			if end < 0 {
+				return 0, false
+			}
+			i += 1 + end
+		}
+	}
+	return 0, false
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isSpace(b []byte) bool {
+	for _, c := range b {
+		if !isSpaceByte(c) {
+			return false
+		}
+	}
+	return true
+}

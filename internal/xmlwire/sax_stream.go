@@ -1,0 +1,305 @@
+package xmlwire
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// StreamParser is the push variant of Parser, matching Expat's
+// XML_Parse(buf, len, isFinal) API: callers feed arbitrary chunks as they
+// arrive off a socket and receive events as soon as constructs complete.
+// Incomplete markup or entity references at a chunk boundary are buffered
+// until more data arrives.
+//
+// Element names passed to handlers alias internal storage valid only for
+// the duration of the call, as with Parser.
+type StreamParser struct {
+	h       Handlers
+	buf     []byte   // unconsumed input (incomplete tail)
+	stack   [][]byte // open element names (copied: chunks are transient)
+	scratch []byte
+	done    bool
+	failed  bool
+}
+
+// NewStreamParser returns a push parser delivering events to h.
+func NewStreamParser(h Handlers) *StreamParser {
+	return &StreamParser{h: h}
+}
+
+// Feed consumes a chunk, emitting events for every construct it
+// completes.  An error is terminal: the parser accepts no further input.
+func (p *StreamParser) Feed(chunk []byte) error {
+	if p.done || p.failed {
+		return fmt.Errorf("xmlwire: Feed after %s", map[bool]string{true: "error", false: "Finish"}[p.failed])
+	}
+	p.buf = append(p.buf, chunk...)
+	if err := p.drain(false); err != nil {
+		p.failed = true
+		return err
+	}
+	return nil
+}
+
+// Finish signals end of input, flushing any trailing character data and
+// verifying that every element was closed.
+func (p *StreamParser) Finish() error {
+	if p.failed {
+		return fmt.Errorf("xmlwire: Finish after error")
+	}
+	if p.done {
+		return nil
+	}
+	p.done = true
+	if err := p.drain(true); err != nil {
+		p.failed = true
+		return err
+	}
+	if len(p.stack) != 0 {
+		p.failed = true
+		return fmt.Errorf("xmlwire: unterminated element %q at end of input", p.stack[len(p.stack)-1])
+	}
+	if !isSpace(p.buf) {
+		p.failed = true
+		return fmt.Errorf("xmlwire: %d bytes of unparsed input at end", len(p.buf))
+	}
+	return nil
+}
+
+// drain processes as many complete constructs as the buffer holds.  With
+// final set, trailing character data is flushed rather than retained.
+func (p *StreamParser) drain(final bool) error {
+	for {
+		lt := bytes.IndexByte(p.buf, '<')
+		if lt < 0 {
+			// Pure character data.  Retain a tail that might be an
+			// incomplete entity reference; emit the rest.
+			if final {
+				return p.emitText(p.buf, true)
+			}
+			keep := holdbackFrom(p.buf)
+			if keep > 0 {
+				if err := p.emitText(p.buf[:len(p.buf)-keep], false); err != nil {
+					return err
+				}
+				p.buf = append(p.buf[:0], p.buf[len(p.buf)-keep:]...)
+			} else {
+				if err := p.emitText(p.buf, false); err != nil {
+					return err
+				}
+				p.buf = p.buf[:0]
+			}
+			return nil
+		}
+		if lt > 0 {
+			if err := p.emitText(p.buf[:lt], true); err != nil {
+				return err
+			}
+			p.buf = append(p.buf[:0], p.buf[lt:]...)
+			continue
+		}
+		// Buffer starts with markup; find its end.
+		end, err := p.markupEnd()
+		if err != nil {
+			return err
+		}
+		if end < 0 {
+			if final {
+				return fmt.Errorf("xmlwire: truncated markup at end of input")
+			}
+			return nil // wait for more data
+		}
+		if err := p.handleMarkup(p.buf[:end]); err != nil {
+			return err
+		}
+		p.buf = append(p.buf[:0], p.buf[end:]...)
+	}
+}
+
+// holdbackFrom returns how many trailing bytes of b might belong to an
+// entity reference split across chunks ("&am" + "p;").
+func holdbackFrom(b []byte) int {
+	amp := bytes.LastIndexByte(b, '&')
+	if amp < 0 {
+		return 0
+	}
+	if bytes.IndexByte(b[amp:], ';') >= 0 {
+		return 0 // reference already complete
+	}
+	if len(b)-amp > 16 {
+		return 0 // too long to be an entity; let expand() report it
+	}
+	return len(b) - amp
+}
+
+// emitText delivers character data (with entity expansion) to the
+// handler.  flushIncomplete controls whether an unterminated trailing
+// entity is an error (true at markup/final boundaries).
+func (p *StreamParser) emitText(text []byte, flushIncomplete bool) error {
+	if len(text) == 0 {
+		return nil
+	}
+	if len(p.stack) == 0 {
+		if !isSpace(text) {
+			return fmt.Errorf("xmlwire: character data outside root")
+		}
+		return nil
+	}
+	_ = flushIncomplete
+	if p.h.CharData == nil {
+		return nil
+	}
+	expanded, err := expandInto(&p.scratch, text)
+	if err != nil {
+		return err
+	}
+	p.h.CharData(expanded)
+	return nil
+}
+
+// markupEnd returns the length of the complete markup construct at the
+// start of the buffer, or -1 if it is still incomplete.
+func (p *StreamParser) markupEnd() (int, error) {
+	b := p.buf
+	if len(b) < 2 {
+		return -1, nil
+	}
+	switch b[1] {
+	case '?':
+		if i := bytes.Index(b, []byte("?>")); i >= 0 {
+			return i + 2, nil
+		}
+		return -1, nil
+	case '!':
+		switch {
+		case bytes.HasPrefix(b, []byte("<!--")):
+			if i := bytes.Index(b, []byte("-->")); i >= 0 {
+				return i + 3, nil
+			}
+			return -1, nil
+		case bytes.HasPrefix(b, []byte("<![CDATA[")):
+			if i := bytes.Index(b, []byte("]]>")); i >= 0 {
+				return i + 3, nil
+			}
+			return -1, nil
+		default:
+			// Could still become a comment or CDATA once more bytes
+			// arrive; only scan for '>' when the prefix is decided.
+			if len(b) < len("<![CDATA[") &&
+				(bytes.HasPrefix([]byte("<!--"), b) || bytes.HasPrefix([]byte("<![CDATA["), b)) {
+				return -1, nil
+			}
+			if i := bytes.IndexByte(b, '>'); i >= 0 {
+				return i + 1, nil
+			}
+			return -1, nil
+		}
+	default:
+		if gt, ok := findTagEnd(b, 1); ok {
+			return gt + 1, nil
+		}
+		return -1, nil
+	}
+}
+
+// handleMarkup processes one complete construct (starting with '<').
+func (p *StreamParser) handleMarkup(m []byte) error {
+	switch {
+	case bytes.HasPrefix(m, []byte("<?")), bytes.HasPrefix(m, []byte("<!--")):
+		return nil
+	case bytes.HasPrefix(m, []byte("<![CDATA[")):
+		if len(p.stack) == 0 {
+			return fmt.Errorf("xmlwire: CDATA outside root")
+		}
+		if p.h.CharData != nil {
+			p.h.CharData(m[len("<![CDATA[") : len(m)-3])
+		}
+		return nil
+	case bytes.HasPrefix(m, []byte("<!")):
+		return nil // DOCTYPE etc.
+	case bytes.HasPrefix(m, []byte("</")):
+		name := bytes.TrimRight(m[2:len(m)-1], " \t\r\n")
+		if len(p.stack) == 0 {
+			return fmt.Errorf("xmlwire: end tag %q with no open element", name)
+		}
+		open := p.stack[len(p.stack)-1]
+		if !bytes.Equal(open, name) {
+			return fmt.Errorf("xmlwire: end tag %q does not match open element %q", name, open)
+		}
+		p.stack = p.stack[:len(p.stack)-1]
+		if p.h.EndElement != nil {
+			p.h.EndElement(name)
+		}
+		return nil
+	default:
+		inner := m[1 : len(m)-1]
+		selfClose := false
+		if n := len(inner); n > 0 && inner[n-1] == '/' {
+			selfClose = true
+			inner = inner[:n-1]
+		}
+		nameEnd := 0
+		for nameEnd < len(inner) && !isSpaceByte(inner[nameEnd]) {
+			nameEnd++
+		}
+		name := inner[:nameEnd]
+		if len(name) == 0 {
+			return fmt.Errorf("xmlwire: empty element name")
+		}
+		if err := checkAttrs(inner[nameEnd:]); err != nil {
+			return fmt.Errorf("xmlwire: element %q: %w", name, err)
+		}
+		if p.h.StartElement != nil {
+			p.h.StartElement(name)
+		}
+		if selfClose {
+			if p.h.EndElement != nil {
+				p.h.EndElement(name)
+			}
+		} else {
+			// The buffer is transient; the open-element stack needs its
+			// own copy.
+			p.stack = append(p.stack, append([]byte(nil), name...))
+		}
+		return nil
+	}
+}
+
+// expandInto resolves entity references using scratch for storage,
+// mirroring Parser.expand.
+func expandInto(scratch *[]byte, text []byte) ([]byte, error) {
+	amp := bytes.IndexByte(text, '&')
+	if amp < 0 {
+		return text, nil
+	}
+	out := (*scratch)[:0]
+	for {
+		out = append(out, text[:amp]...)
+		text = text[amp:]
+		semi := bytes.IndexByte(text, ';')
+		if semi < 0 {
+			return nil, fmt.Errorf("xmlwire: unterminated entity reference")
+		}
+		switch string(text[1:semi]) {
+		case "amp":
+			out = append(out, '&')
+		case "lt":
+			out = append(out, '<')
+		case "gt":
+			out = append(out, '>')
+		case "quot":
+			out = append(out, '"')
+		case "apos":
+			out = append(out, '\'')
+		default:
+			return nil, fmt.Errorf("xmlwire: unknown entity &%s;", text[1:semi])
+		}
+		text = text[semi+1:]
+		amp = bytes.IndexByte(text, '&')
+		if amp < 0 {
+			out = append(out, text...)
+			*scratch = out
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package xmlwire
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// collect runs the stream parser over doc split into the given chunk
+// sizes and returns the event trace.
+func collectStream(t *testing.T, doc string, chunks []int) (starts, ends []string, text string, err error) {
+	t.Helper()
+	var sb strings.Builder
+	p := NewStreamParser(Handlers{
+		StartElement: func(n []byte) { starts = append(starts, string(n)) },
+		EndElement:   func(n []byte) { ends = append(ends, string(n)) },
+		CharData:     func(b []byte) { sb.Write(b) },
+	})
+	rest := []byte(doc)
+	for _, n := range chunks {
+		if n > len(rest) {
+			n = len(rest)
+		}
+		if err = p.Feed(rest[:n]); err != nil {
+			return starts, ends, sb.String(), err
+		}
+		rest = rest[n:]
+	}
+	if len(rest) > 0 {
+		if err = p.Feed(rest); err != nil {
+			return starts, ends, sb.String(), err
+		}
+	}
+	err = p.Finish()
+	return starts, ends, sb.String(), err
+}
+
+const streamDoc = `<?xml version="1.0"?><rec a="1">` +
+	`<!-- c --><x>12 34</x><y>text &amp; more</y><empty/>` +
+	`<s><inner>deep</inner></s><![CDATA[raw <>]]></rec>`
+
+func TestStreamMatchesWholeDocParse(t *testing.T) {
+	// Reference: the pull parser over the whole document.
+	var wantStarts, wantEnds []string
+	var wantText strings.Builder
+	ref := NewParser(Handlers{
+		StartElement: func(n []byte) { wantStarts = append(wantStarts, string(n)) },
+		EndElement:   func(n []byte) { wantEnds = append(wantEnds, string(n)) },
+		CharData:     func(b []byte) { wantText.Write(b) },
+	})
+	if err := ref.Parse([]byte(streamDoc)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream in every chunk size from 1 byte to the whole document.
+	for _, chunk := range []int{1, 2, 3, 5, 7, 16, 64, len(streamDoc)} {
+		chunks := make([]int, 0, len(streamDoc)/chunk+1)
+		for i := 0; i < len(streamDoc); i += chunk {
+			chunks = append(chunks, chunk)
+		}
+		starts, ends, text, err := collectStream(t, streamDoc, chunks)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if strings.Join(starts, ",") != strings.Join(wantStarts, ",") {
+			t.Errorf("chunk %d: starts %v, want %v", chunk, starts, wantStarts)
+		}
+		if strings.Join(ends, ",") != strings.Join(wantEnds, ",") {
+			t.Errorf("chunk %d: ends %v, want %v", chunk, ends, wantEnds)
+		}
+		if text != wantText.String() {
+			t.Errorf("chunk %d: text %q, want %q", chunk, text, wantText.String())
+		}
+	}
+}
+
+func TestStreamRandomChunking(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		var chunks []int
+		remaining := len(streamDoc)
+		for remaining > 0 {
+			n := 1 + rng.Intn(9)
+			if n > remaining {
+				n = remaining
+			}
+			chunks = append(chunks, n)
+			remaining -= n
+		}
+		if _, _, text, err := collectStream(t, streamDoc, chunks); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		} else if !strings.Contains(text, "text & more") {
+			t.Fatalf("trial %d: entity split across chunks mishandled: %q", trial, text)
+		}
+	}
+}
+
+func TestStreamEntitySplitAcrossChunks(t *testing.T) {
+	p := NewStreamParser(Handlers{CharData: func(b []byte) {
+		if strings.Contains(string(b), "&a") {
+			t.Errorf("partial entity leaked to handler: %q", b)
+		}
+	}})
+	for _, chunk := range []string{"<t>x&a", "mp", ";y</t>"} {
+		if err := p.Feed([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"mismatched tags", `<a><b></a></b>`},
+		{"stray end tag", `</a>`},
+		{"unterminated element", `<a><b>`},
+		{"unterminated comment", `<a><!-- never closed`},
+		{"text outside root", `hello<a></a>`},
+		{"unknown entity", `<a>&wat;</a>`},
+		{"bad attr", `<a x=1></a>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := NewStreamParser(Handlers{CharData: func([]byte) {}})
+			err := p.Feed([]byte(c.doc))
+			if err == nil {
+				err = p.Finish()
+			}
+			if err == nil {
+				t.Errorf("accepted %s", c.name)
+			}
+			// Terminal: further feeding errors.
+			if ferr := p.Feed([]byte("<x/>")); ferr == nil {
+				t.Error("Feed after error accepted")
+			}
+		})
+	}
+}
+
+func TestStreamFinishIdempotentAndTerminal(t *testing.T) {
+	p := NewStreamParser(Handlers{})
+	if err := p.Feed([]byte(`<a></a>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Finish(); err != nil {
+		t.Errorf("second Finish: %v", err)
+	}
+	if err := p.Feed([]byte(`<b/>`)); err == nil {
+		t.Error("Feed after Finish accepted")
+	}
+}
+
+func TestStreamNeverPanicsOnRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	alphabet := []byte(`<>/&;! ="ab-?[]CDAT`)
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(60)
+		doc := make([]byte, n)
+		for i := range doc {
+			doc[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", doc, r)
+				}
+			}()
+			p := NewStreamParser(Handlers{
+				StartElement: func([]byte) {}, EndElement: func([]byte) {},
+				CharData: func([]byte) {},
+			})
+			pos := 0
+			for pos < len(doc) {
+				c := 1 + rng.Intn(7)
+				if pos+c > len(doc) {
+					c = len(doc) - pos
+				}
+				if err := p.Feed(doc[pos : pos+c]); err != nil {
+					return
+				}
+				pos += c
+			}
+			_ = p.Finish()
+		}()
+	}
+}

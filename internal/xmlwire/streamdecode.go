@@ -1,0 +1,95 @@
+package xmlwire
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// StreamDecoder reads a sequence of XML record documents from a stream
+// (as an XML-wire-format receiver would read a socket) and yields native
+// records one at a time.  It builds on StreamParser, so records are
+// produced as soon as their closing tag arrives, regardless of how the
+// bytes were chunked by the network.
+type StreamDecoder struct {
+	r        io.Reader
+	expected *wire.Format
+	parser   *StreamParser
+	dec      *Decoder
+
+	depth   int
+	pending []*native.Record
+	buf     []byte
+	eof     bool
+}
+
+// NewStreamDecoder returns a decoder producing records of the expected
+// format from r.
+func NewStreamDecoder(r io.Reader, expected *wire.Format) *StreamDecoder {
+	sd := &StreamDecoder{r: r, expected: expected, buf: make([]byte, 4096)}
+	// Reuse the frame-stack decoder for field handling, but drive it
+	// from a push parser and cut record boundaries at depth 0.
+	sd.dec = NewDecoder(expected)
+	sd.parser = NewStreamParser(Handlers{
+		StartElement: func(name []byte) {
+			if sd.depth == 0 {
+				// New record document: reset the field decoder's state.
+				sd.dec.rec = native.New(expected)
+				sd.dec.stack = sd.dec.stack[:0]
+				sd.dec.field = nil
+				sd.dec.skip = 0
+				sd.dec.started = false
+				sd.dec.decErr = nil
+			}
+			sd.depth++
+			sd.dec.startElement(name)
+		},
+		EndElement: func(name []byte) {
+			sd.dec.endElement(name)
+			sd.depth--
+			if sd.depth == 0 && sd.dec.decErr == nil {
+				sd.pending = append(sd.pending, sd.dec.rec)
+			}
+		},
+		CharData: func(text []byte) { sd.dec.charData(text) },
+	})
+	return sd
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+func (sd *StreamDecoder) Next() (*native.Record, error) {
+	for {
+		if sd.dec.decErr != nil {
+			return nil, sd.dec.decErr
+		}
+		if len(sd.pending) > 0 {
+			rec := sd.pending[0]
+			sd.pending = sd.pending[1:]
+			return rec, nil
+		}
+		if sd.eof {
+			return nil, io.EOF
+		}
+		n, err := sd.r.Read(sd.buf)
+		if n > 0 {
+			if perr := sd.parser.Feed(sd.buf[:n]); perr != nil {
+				return nil, perr
+			}
+			if sd.dec.decErr != nil {
+				return nil, sd.dec.decErr
+			}
+		}
+		if err == io.EOF {
+			sd.eof = true
+			if perr := sd.parser.Finish(); perr != nil {
+				return nil, perr
+			}
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlwire: stream read: %w", err)
+		}
+	}
+}

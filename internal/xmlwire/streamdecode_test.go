@@ -1,0 +1,111 @@
+package xmlwire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+// oneByteReader delivers at most one byte per Read — the adversarial
+// chunking case for a streaming decoder.
+type oneByteReader struct{ r io.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestStreamDecoderMultipleRecords(t *testing.T) {
+	srcFmt := wire.MustLayout(mixedSchema(), &abi.SparcV8)
+	dstFmt := wire.MustLayout(mixedSchema(), &abi.X86)
+
+	var stream bytes.Buffer
+	e := NewEncoder(nil)
+	var want []*native.Record
+	for i := 0; i < 5; i++ {
+		rec := native.New(srcFmt)
+		native.FillDeterministic(rec, int64(i))
+		want = append(want, rec)
+		e.Reset()
+		if err := e.EncodeRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(e.Bytes())
+		stream.WriteString("\n") // inter-record whitespace is tolerated
+	}
+
+	for _, mode := range []string{"bulk", "one-byte"} {
+		t.Run(mode, func(t *testing.T) {
+			var r io.Reader = bytes.NewReader(stream.Bytes())
+			if mode == "one-byte" {
+				r = oneByteReader{r}
+			}
+			sd := NewStreamDecoder(r, dstFmt)
+			for i := 0; i < 5; i++ {
+				got, err := sd.Next()
+				if err != nil {
+					t.Fatalf("record %d: %v", i, err)
+				}
+				if diff := native.SemanticEqual(want[i], got); diff != "" {
+					t.Errorf("record %d: %s", i, diff)
+				}
+			}
+			if _, err := sd.Next(); err != io.EOF {
+				t.Errorf("after last record: %v, want EOF", err)
+			}
+		})
+	}
+}
+
+func TestStreamDecoderErrors(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.X86)
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"malformed xml", `<mixed><node>1</oops></mixed>`},
+		{"bad value", `<mixed><node>NaNopes</node></mixed>`},
+		{"truncated stream", `<mixed><node>1</node>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sd := NewStreamDecoder(bytes.NewReader([]byte(c.doc)), f)
+			if _, err := sd.Next(); err == nil || err == io.EOF {
+				t.Errorf("Next() = %v, want a decode error", err)
+			}
+		})
+	}
+}
+
+func TestStreamDecoderEmptyStream(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.X86)
+	sd := NewStreamDecoder(bytes.NewReader(nil), f)
+	if _, err := sd.Next(); err != io.EOF {
+		t.Errorf("empty stream: %v, want EOF", err)
+	}
+}
+
+func TestStreamDecoderNested(t *testing.T) {
+	srcFmt := wire.MustLayout(particleSchema(2), &abi.SparcV8)
+	dstFmt := wire.MustLayout(particleSchema(2), &abi.X86)
+	src := native.New(srcFmt)
+	native.FillDeterministic(src, 77)
+	e := NewEncoder(nil)
+	if err := e.EncodeRecord(src); err != nil {
+		t.Fatal(err)
+	}
+	sd := NewStreamDecoder(oneByteReader{bytes.NewReader(e.Bytes())}, dstFmt)
+	got, err := sd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := native.SemanticEqual(src, got); diff != "" {
+		t.Errorf("nested stream decode: %s", diff)
+	}
+}

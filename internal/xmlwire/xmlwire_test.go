@@ -1,0 +1,295 @@
+package xmlwire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/abi"
+	"repro/internal/native"
+	"repro/internal/wire"
+)
+
+func mixedSchema() *wire.Schema {
+	return &wire.Schema{
+		Name: "mixed",
+		Fields: []wire.FieldSpec{
+			{Name: "node", Type: abi.Int, Count: 1},
+			{Name: "timestamp", Type: abi.Double, Count: 1},
+			{Name: "iter", Type: abi.Long, Count: 1},
+			{Name: "tag", Type: abi.Char, Count: 16},
+			{Name: "residual", Type: abi.Float, Count: 1},
+			{Name: "flags", Type: abi.UInt, Count: 1},
+			{Name: "values", Type: abi.Double, Count: 8},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	pairs := []struct{ from, to abi.Arch }{
+		{abi.SparcV8, abi.X86},
+		{abi.X86, abi.SparcV8},
+		{abi.SparcV9x64, abi.X86},
+		{abi.X86, abi.X86},
+	}
+	for _, pr := range pairs {
+		pr := pr
+		t.Run(pr.from.Name+"->"+pr.to.Name, func(t *testing.T) {
+			src := native.New(wire.MustLayout(mixedSchema(), &pr.from))
+			native.FillDeterministic(src, 13)
+			e := NewEncoder(nil)
+			if err := e.EncodeRecord(src); err != nil {
+				t.Fatal(err)
+			}
+			dst, err := NewDecoder(wire.MustLayout(mixedSchema(), &pr.to)).DecodeRecord(e.Bytes())
+			if err != nil {
+				t.Fatalf("decode: %v\ndoc: %s", err, e.Bytes())
+			}
+			if diff := native.SemanticEqual(src, dst); diff != "" {
+				t.Errorf("XML round trip lost data: %s", diff)
+			}
+		})
+	}
+}
+
+func TestSizeExpansion(t *testing.T) {
+	// The paper cites a 6-8x expansion factor for binary data.  Verify
+	// the encoding is substantially larger than the binary record (the
+	// exact factor depends on the values).
+	s := &wire.Schema{Name: "d", Fields: []wire.FieldSpec{{Name: "values", Type: abi.Double, Count: 100}}}
+	src := native.New(wire.MustLayout(s, &abi.X86))
+	// Full-precision doubles, as simulation output would carry.
+	for i := 0; i < 100; i++ {
+		src.MustSetFloat("values", i, 0.1234567890123456*float64(i+1))
+	}
+	e := NewEncoder(nil)
+	if err := e.EncodeRecord(src); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() < 2*src.Format.Size {
+		t.Errorf("XML size %d not substantially larger than binary %d", e.Len(), src.Format.Size)
+	}
+}
+
+func TestDecodeIgnoresUnknownFields(t *testing.T) {
+	doc := []byte(`<mixed><bogus>123</bogus><node>7</node><nested><x>1</x></nested></mixed>`)
+	f := wire.MustLayout(mixedSchema(), &abi.X86)
+	rec, err := NewDecoder(f).DecodeRecord(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rec.Int("node", 0); v != 7 {
+		t.Errorf("node = %d, want 7", v)
+	}
+	// Missing fields remain zero.
+	if v, _ := rec.Int("iter", 0); v != 0 {
+		t.Errorf("iter = %d, want 0", v)
+	}
+}
+
+func TestDecodeFieldReordering(t *testing.T) {
+	doc := []byte(`<mixed><iter>5</iter><node>3</node></mixed>`)
+	rec, err := NewDecoder(wire.MustLayout(mixedSchema(), &abi.X86)).DecodeRecord(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rec.Int("node", 0); v != 3 {
+		t.Errorf("node = %d", v)
+	}
+	if v, _ := rec.Int("iter", 0); v != 5 {
+		t.Errorf("iter = %d", v)
+	}
+}
+
+func TestCharEscaping(t *testing.T) {
+	s := &wire.Schema{Name: "t", Fields: []wire.FieldSpec{{Name: "tag", Type: abi.Char, Count: 16}}}
+	src := native.New(wire.MustLayout(s, &abi.X86))
+	src.MustSetString("tag", "a<b>&c")
+	e := NewEncoder(nil)
+	if err := e.EncodeRecord(src); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(e.Bytes()), "a<b") {
+		t.Fatalf("unescaped markup in %s", e.Bytes())
+	}
+	dst, err := NewDecoder(wire.MustLayout(s, &abi.SparcV8)).DecodeRecord(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := dst.String("tag"); got != "a<b>&c" {
+		t.Errorf("tag = %q", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.X86)
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"empty document", ``},
+		{"garbage number", `<mixed><node>twelve</node></mixed>`},
+		{"too few array values", `<mixed><values>1 2 3</values></mixed>`},
+		{"too many array values", `<mixed><values>1 2 3 4 5 6 7 8 9</values></mixed>`},
+		{"char overflow", `<mixed><tag>this is far too long for char 16</tag></mixed>`},
+		{"mismatched tags", `<mixed><node>1</iter></mixed>`},
+		{"unterminated element", `<mixed><node>1`},
+		{"stray end tag", `</mixed>`},
+		{"empty scalar", `<mixed><node></node></mixed>`},
+		{"float in int", `<mixed><node>1.5</node></mixed>`},
+		{"negative in unsigned", `<mixed><flags>-1</flags></mixed>`},
+		{"text outside root", `hello<mixed></mixed>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewDecoder(f).DecodeRecord([]byte(c.doc)); err == nil {
+				t.Errorf("accepted %s", c.name)
+			}
+		})
+	}
+}
+
+func TestParserConstructs(t *testing.T) {
+	// Comments, PIs, DOCTYPE, CDATA, self-closing elements, attributes.
+	doc := []byte(`<?xml version="1.0"?><!DOCTYPE mixed><mixed>` +
+		`<!-- a comment --><node>1</node><empty/>` +
+		`<tag><![CDATA[raw <text>]]></tag></mixed>`)
+	var starts, ends []string
+	var text strings.Builder
+	p := NewParser(Handlers{
+		StartElement: func(n []byte) { starts = append(starts, string(n)) },
+		EndElement:   func(n []byte) { ends = append(ends, string(n)) },
+		CharData:     func(b []byte) { text.Write(b) },
+	})
+	if err := p.Parse(doc); err != nil {
+		t.Fatal(err)
+	}
+	wantStarts := []string{"mixed", "node", "empty", "tag"}
+	if strings.Join(starts, ",") != strings.Join(wantStarts, ",") {
+		t.Errorf("starts = %v, want %v", starts, wantStarts)
+	}
+	if len(ends) != 4 || ends[len(ends)-1] != "mixed" {
+		t.Errorf("ends = %v", ends)
+	}
+	if !strings.Contains(text.String(), "raw <text>") {
+		t.Errorf("CDATA lost: %q", text.String())
+	}
+}
+
+func TestParserAttributes(t *testing.T) {
+	var names []string
+	p := NewParser(Handlers{StartElement: func(n []byte) { names = append(names, string(n)) }})
+	if err := p.Parse([]byte(`<rec version="2" unit='m'><f a="x>y"/></rec>`)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(names, ",") != "rec,f" {
+		t.Errorf("names = %v", names)
+	}
+	for _, bad := range []string{
+		`<rec a></rec>`, `<rec a=1></rec>`, `<rec a="1></rec>`,
+	} {
+		if err := NewParser(Handlers{}).Parse([]byte(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParserEntities(t *testing.T) {
+	var text strings.Builder
+	p := NewParser(Handlers{CharData: func(b []byte) { text.Write(b) }})
+	if err := p.Parse([]byte(`<t>&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;</t>`)); err != nil {
+		t.Fatal(err)
+	}
+	if text.String() != `<a> & "b" 'c'` {
+		t.Errorf("entities = %q", text.String())
+	}
+	if err := NewParser(Handlers{CharData: func([]byte) {}}).Parse([]byte(`<t>&bogus;</t>`)); err == nil {
+		t.Error("unknown entity accepted")
+	}
+	if err := NewParser(Handlers{CharData: func([]byte) {}}).Parse([]byte(`<t>&amp</t>`)); err == nil {
+		t.Error("unterminated entity accepted")
+	}
+}
+
+func TestParserMalformed(t *testing.T) {
+	cases := []string{
+		`<`, `<a`, `<a><b></a></b>`, `<a><!-- comment`, `<a><![CDATA[x`,
+		`<a><?pi`, `<>x</>`, `<a></a></a>`, `<a></b>`,
+	}
+	for _, c := range cases {
+		if err := NewParser(Handlers{}).Parse([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	fn := func(doc []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", doc, r)
+			}
+		}()
+		_ = NewParser(Handlers{
+			StartElement: func([]byte) {},
+			EndElement:   func([]byte) {},
+			CharData:     func([]byte) {},
+		}).Parse(doc)
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoderReuse(t *testing.T) {
+	f := wire.MustLayout(mixedSchema(), &abi.X86)
+	d := NewDecoder(f)
+	for seed := int64(0); seed < 5; seed++ {
+		src := native.New(wire.MustLayout(mixedSchema(), &abi.SparcV8))
+		native.FillDeterministic(src, seed)
+		e := NewEncoder(nil)
+		if err := e.EncodeRecord(src); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := d.DecodeRecord(e.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := native.SemanticEqual(src, rec); diff != "" {
+			t.Errorf("seed %d: %s", seed, diff)
+		}
+	}
+	// An error on one record does not poison the next.
+	if _, err := d.DecodeRecord([]byte(`<mixed><node>zap</node></mixed>`)); err == nil {
+		t.Fatal("bad record accepted")
+	}
+	src := native.New(wire.MustLayout(mixedSchema(), &abi.X86))
+	native.FillDeterministic(src, 100)
+	e := NewEncoder(nil)
+	if err := e.EncodeRecord(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DecodeRecord(e.Bytes()); err != nil {
+		t.Fatalf("decoder poisoned by prior error: %v", err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	src := native.New(wire.MustLayout(mixedSchema(), &abi.X86))
+	e := NewEncoder(make([]byte, 0, 4096))
+	if err := e.EncodeRecord(src); err != nil {
+		t.Fatal(err)
+	}
+	n := e.Len()
+	e.Reset()
+	if e.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if err := e.EncodeRecord(src); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != n {
+		t.Errorf("re-encode length %d != %d", e.Len(), n)
+	}
+}

@@ -1,0 +1,107 @@
+package pbio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// BenchmarkWrite measures the full public-API send path (NDR handoff +
+// framing) against a discarding sink.
+func BenchmarkWrite(b *testing.B) {
+	ctx, err := NewContext(WithArch("sparc-v8"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := ctx.Register("mixed",
+		F("node", Int), F("timestamp", Double), Array("values", Double, 1245))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := ctx.NewWriter(io.Discard)
+	rec := f.NewRecord()
+	b.SetBytes(int64(f.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadDecode measures the full receive path: framing, meta
+// lookup, generated conversion into an owned record.
+func BenchmarkReadDecode(b *testing.B) {
+	sctx, err := NewContext(WithArch("sparc-v8"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fields := []FieldSpec{F("node", Int), F("timestamp", Double), Array("values", Double, 1245)}
+	sf, err := sctx.Register("mixed", fields...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	if err := w.Write(sf.NewRecord()); err != nil {
+		b.Fatal(err)
+	}
+	raw := stream.Bytes()
+
+	rctx, err := NewContext(WithArch("x86"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rf, err := rctx.Register("mixed", fields...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := rf.NewRecord()
+	b.SetBytes(int64(rf.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rctx.NewReader(bytes.NewReader(raw))
+		m, err := r.Read()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.DecodeInto(rf, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHomogeneousView measures the zero-copy receive path.
+func BenchmarkHomogeneousView(b *testing.B) {
+	ctx, err := NewContext(WithArch("x86"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fields := []FieldSpec{F("node", Int), Array("values", Double, 1245)}
+	f, err := ctx.Register("mixed", fields...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stream bytes.Buffer
+	if err := ctx.NewWriter(&stream).Write(f.NewRecord()); err != nil {
+		b.Fatal(err)
+	}
+	raw := stream.Bytes()
+	b.SetBytes(int64(f.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ctx.NewReader(bytes.NewReader(raw))
+		m, err := r.Read()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, ok, err := m.View(f)
+		if err != nil || !ok {
+			b.Fatalf("View: %v %v", ok, err)
+		}
+		_ = rec
+	}
+}

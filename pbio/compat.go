@@ -1,0 +1,51 @@
+package pbio
+
+import "repro/internal/convert"
+
+// Compat reports the consequences of decoding a message into an expected
+// format: what converts, what narrows, what is missing or ignored.
+// Reflection-driven receivers (paper §4.4) use this to decide at run time
+// whether an incoming format is acceptable before decoding records.
+type Compat struct {
+	// Exact: identical layouts — zero-copy receive (see Message.View).
+	Exact bool
+	// Lossless: every expected field present, no conversion can lose
+	// information.
+	Lossless bool
+	// Converted lists fields needing representation changes.
+	Converted []string
+	// Narrowed lists fields at risk of truncation or precision loss.
+	Narrowed []string
+	// Truncated lists arrays with fewer destination elements than the
+	// wire carries.
+	Truncated []string
+	// Missing lists expected fields the wire lacks (decoded as zero).
+	Missing []string
+	// Ignored lists wire fields the expected format lacks.
+	Ignored []string
+}
+
+// String renders the report for humans.
+func (c *Compat) String() string { return c.internal().String() }
+
+func (c *Compat) internal() *convert.Compat {
+	return &convert.Compat{
+		Exact: c.Exact, Lossless: c.Lossless,
+		Converted: c.Converted, Narrowed: c.Narrowed, Truncated: c.Truncated,
+		Missing: c.Missing, Ignored: c.Ignored,
+	}
+}
+
+// Assess reports what decoding this message into the expected format
+// would preserve, convert, or drop — without decoding anything.
+func (m *Message) Assess(expected *Format) (*Compat, error) {
+	c, err := convert.Assess(m.msg.Format, expected.wf)
+	if err != nil {
+		return nil, err
+	}
+	return &Compat{
+		Exact: c.Exact, Lossless: c.Lossless,
+		Converted: c.Converted, Narrowed: c.Narrowed, Truncated: c.Truncated,
+		Missing: c.Missing, Ignored: c.Ignored,
+	}, nil
+}

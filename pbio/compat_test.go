@@ -1,0 +1,74 @@
+package pbio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMessageAssess(t *testing.T) {
+	sctx := ctxFor(t, "sparc-v9-64")
+	rctx := ctxFor(t, "x86")
+	sf, err := sctx.Register("m", F("a", Long), F("b", Double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := rctx.Register("m", F("a", Long), F("b", Double), F("c", Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sctx.NewWriter(&buf).Write(sf.NewRecord()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := rctx.NewReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Assess(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Exact || c.Lossless {
+		t.Errorf("LP64 long -> ILP32 long with a missing field: %+v", c)
+	}
+	if len(c.Narrowed) != 1 || c.Narrowed[0] != "a" {
+		t.Errorf("Narrowed = %v", c.Narrowed)
+	}
+	if len(c.Missing) != 1 || c.Missing[0] != "c" {
+		t.Errorf("Missing = %v", c.Missing)
+	}
+	s := c.String()
+	for _, want := range []string{"caveats", "narrowed", "missing"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+
+	// A same-layout expectation reports exact.
+	same, err := rctx.Register("m2", F("a", Long), F("b", Double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = same
+	sctx2 := ctxFor(t, "x86")
+	sf2, err := sctx2.Register("m2", F("a", Long), F("b", Double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := sctx2.NewWriter(&buf2).Write(sf2.NewRecord()); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := rctx.NewReader(&buf2).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m2.Assess(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Exact {
+		t.Errorf("identical layouts not exact: %+v", c2)
+	}
+}

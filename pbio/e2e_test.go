@@ -1,0 +1,169 @@
+package pbio
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// archNames enumerates every modelled architecture for matrix tests.
+func archNames() []string {
+	names := make([]string, len(abi.All))
+	for i, a := range abi.All {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// TestE2EMatrixOverTCP exchanges records between every pair of modelled
+// architectures over a real TCP loopback connection, in both conversion
+// modes, verifying every field value — the full-system integration test.
+func TestE2EMatrixOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix e2e is slow; run without -short")
+	}
+	names := archNames()
+	for _, from := range names {
+		for _, to := range names {
+			from, to := from, to
+			t.Run(from+"->"+to, func(t *testing.T) {
+				t.Parallel()
+				runExchange(t, from, to, Generated)
+			})
+		}
+	}
+	// Interpreted mode: one representative heterogeneous pair.
+	t.Run("interp/sparc-v8->x86", func(t *testing.T) {
+		runExchange(t, "sparc-v8", "x86", Interpreted)
+	})
+}
+
+func runExchange(t *testing.T, fromArch, toArch string, mode ConvMode) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	defer ln.Close()
+
+	const records = 20
+	fields := []FieldSpec{
+		F("seq", Int),
+		F("ts", Double),
+		F("big", LongLong),
+		F("ul", ULong),
+		Array("tag", Char, 12),
+		F("small", Short),
+		Array("data", Double, 17),
+		Struct("inner", F("a", Int), Array("v", Float, 3)),
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- func() error {
+			conn, err := ln.Accept()
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			sctx, err := NewContext(WithArch(fromArch))
+			if err != nil {
+				return err
+			}
+			f, err := sctx.Register("msg", fields...)
+			if err != nil {
+				return err
+			}
+			w := sctx.NewWriter(conn)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < records; i++ {
+				rec := f.NewRecord()
+				rec.MustSetInt("seq", 0, int64(i))
+				rec.MustSetFloat("ts", 0, float64(i)*0.001)
+				rec.MustSetInt("big", 0, int64(rng.Uint64()>>1))
+				rec.MustSetInt("ul", 0, int64(rng.Uint32()))
+				rec.MustSetString("tag", fmt.Sprintf("rec-%d", i))
+				rec.MustSetInt("small", 0, int64(i-10))
+				for e := 0; e < 17; e++ {
+					rec.MustSetFloat("data", e, float64(i*17+e)*0.5)
+				}
+				inner := rec.MustSub("inner", 0)
+				inner.MustSetInt("a", 0, int64(i*3))
+				for e := 0; e < 3; e++ {
+					inner.MustSetFloat("v", e, float64(e)+0.25)
+				}
+				if err := w.Write(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rctx, err := NewContext(WithArch(toArch), WithConversion(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rctx.Register("msg", fields...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rctx.NewReader(conn)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < records; i++ {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		rec, err := m.Decode(f)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if v, _ := rec.Int("seq", 0); v != int64(i) {
+			t.Fatalf("record %d: seq = %d", i, v)
+		}
+		if v, _ := rec.Float("ts", 0); v != float64(i)*0.001 {
+			t.Fatalf("record %d: ts = %v", i, v)
+		}
+		wantBig := int64(rng.Uint64() >> 1)
+		wantUL := int64(rng.Uint32())
+		if v, _ := rec.Int("big", 0); v != wantBig {
+			t.Fatalf("record %d: big = %d, want %d", i, v, wantBig)
+		}
+		// ULong may narrow to 4 bytes on ILP32 targets; values fit 32
+		// bits so they must survive.
+		if v, _ := rec.Int("ul", 0); v != wantUL {
+			t.Fatalf("record %d: ul = %d, want %d", i, v, wantUL)
+		}
+		if s, _ := rec.String("tag"); s != fmt.Sprintf("rec-%d", i) {
+			t.Fatalf("record %d: tag = %q", i, s)
+		}
+		if v, _ := rec.Int("small", 0); v != int64(i-10) {
+			t.Fatalf("record %d: small = %d", i, v)
+		}
+		for e := 0; e < 17; e++ {
+			if v, _ := rec.Float("data", e); v != float64(i*17+e)*0.5 {
+				t.Fatalf("record %d: data[%d] = %v", i, e, v)
+			}
+		}
+		inner := rec.MustSub("inner", 0)
+		if v, _ := inner.Int("a", 0); v != int64(i*3) {
+			t.Fatalf("record %d: inner.a = %d", i, v)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("after last record: %v, want EOF", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

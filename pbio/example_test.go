@@ -1,0 +1,168 @@
+package pbio_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	"repro/pbio"
+)
+
+// Example shows the core PBIO flow: a big-endian SPARC writer, a
+// little-endian x86 reader, field matching by name, and receiver-side
+// conversion.
+func Example() {
+	// The sender (simulating a big-endian SPARC machine).
+	sctx, err := pbio.NewContext(pbio.WithArch("sparc-v8"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample, err := sctx.Register("sample",
+		pbio.F("step", pbio.Int),
+		pbio.F("energy", pbio.Double),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	rec := sample.NewRecord()
+	rec.MustSetInt("step", 0, 42)
+	rec.MustSetFloat("energy", 0, 9.75)
+	if err := w.Write(rec); err != nil { // native bytes on the wire
+		log.Fatal(err)
+	}
+
+	// The receiver (simulating little-endian x86) needs only the field
+	// names it cares about.
+	rctx, err := pbio.NewContext(pbio.WithArch("x86"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	expected, err := rctx.Register("sample",
+		pbio.F("step", pbio.Int),
+		pbio.F("energy", pbio.Double),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := rctx.NewReader(&stream).Read()
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := m.Decode(expected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	step, _ := got.Int("step", 0)
+	energy, _ := got.Float("energy", 0)
+	fmt.Printf("step=%d energy=%v\n", step, energy)
+	// Output: step=42 energy=9.75
+}
+
+// ExampleMessage_Fields demonstrates reflection: a receiver inspects an
+// incoming format it has never seen.
+func ExampleMessage_Fields() {
+	sctx, _ := pbio.NewContext(pbio.WithArch("sparc-v8"))
+	f, _ := sctx.Register("telemetry",
+		pbio.F("t", pbio.Double),
+		pbio.Array("sensors", pbio.Float, 4),
+	)
+	var stream bytes.Buffer
+	_ = sctx.NewWriter(&stream).Write(f.NewRecord())
+
+	rctx, _ := pbio.NewContext(pbio.WithArch("x86"))
+	m, _ := rctx.NewReader(&stream).Read()
+	for _, fi := range m.Fields() {
+		fmt.Printf("%s %s x%d\n", fi.Name, fi.Type, fi.Count)
+	}
+	// Output:
+	// t double x1
+	// sensors float x4
+}
+
+// ExampleMessage_Decode_typeExtension demonstrates type extension: an
+// evolved sender's extra field is ignored by an old receiver.
+func ExampleMessage_Decode_typeExtension() {
+	sctx, _ := pbio.NewContext(pbio.WithArch("x86"))
+	v2, _ := sctx.Register("job",
+		pbio.F("gpu_util", pbio.Double), // new in v2
+		pbio.F("id", pbio.Int),
+	)
+	rec := v2.NewRecord()
+	rec.MustSetFloat("gpu_util", 0, 0.9)
+	rec.MustSetInt("id", 0, 7)
+	var stream bytes.Buffer
+	_ = sctx.NewWriter(&stream).Write(rec)
+
+	rctx, _ := pbio.NewContext(pbio.WithArch("x86"))
+	v1, _ := rctx.Register("job", pbio.F("id", pbio.Int)) // never updated
+	m, _ := rctx.NewReader(&stream).Read()
+	got, _ := m.Decode(v1)
+	id, _ := got.Int("id", 0)
+	fmt.Println("id:", id)
+	// Output: id: 7
+}
+
+// ExampleStructFormat shows the Go-struct binding with a nested struct.
+func ExampleStructFormat() {
+	type Vec struct{ X, Y float64 }
+	type State struct {
+		Step int32
+		Pos  Vec
+	}
+	sctx, _ := pbio.NewContext(pbio.WithArch("sparc-v9-64"))
+	sf, _ := sctx.RegisterStruct("state", State{})
+	rec, _ := sf.Marshal(&State{Step: 3, Pos: Vec{X: 1.5, Y: -2}})
+	var stream bytes.Buffer
+	_ = sctx.NewWriter(&stream).Write(rec)
+
+	rctx, _ := pbio.NewContext(pbio.WithArch("x86"))
+	rf, _ := rctx.RegisterStruct("state", State{})
+	m, _ := rctx.NewReader(&stream).Read()
+	var out State
+	_ = m.DecodeStruct(rf, &out)
+	fmt.Printf("%+v\n", out)
+	// Output: {Step:3 Pos:{X:1.5 Y:-2}}
+}
+
+// ExampleMessage_Assess shows compatibility assessment before decoding.
+func ExampleMessage_Assess() {
+	sctx, _ := pbio.NewContext(pbio.WithArch("sparc-v9-64")) // LP64
+	sf, _ := sctx.Register("m", pbio.F("n", pbio.Long))
+	var stream bytes.Buffer
+	_ = sctx.NewWriter(&stream).Write(sf.NewRecord())
+
+	rctx, _ := pbio.NewContext(pbio.WithArch("x86")) // ILP32
+	rf, _ := rctx.Register("m", pbio.F("n", pbio.Long))
+	m, _ := rctx.NewReader(&stream).Read()
+	c, _ := m.Assess(rf)
+	fmt.Println("lossless:", c.Lossless, "narrowed:", c.Narrowed)
+	// Output: lossless: false narrowed: [n]
+}
+
+// ExampleContext_NewReader_stream shows draining a stream to EOF.
+func ExampleContext_NewReader_stream() {
+	ctx, _ := pbio.NewContext(pbio.WithArch("x86"))
+	f, _ := ctx.Register("tick", pbio.F("n", pbio.Int))
+	var stream bytes.Buffer
+	w := ctx.NewWriter(&stream)
+	for i := 0; i < 3; i++ {
+		rec := f.NewRecord()
+		rec.MustSetInt("n", 0, int64(i))
+		_ = w.Write(rec)
+	}
+	r := ctx.NewReader(&stream)
+	for {
+		m, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		rec, _ := m.Decode(f)
+		n, _ := rec.Int("n", 0)
+		fmt.Print(n, " ")
+	}
+	// Output: 0 1 2
+}

@@ -1,0 +1,83 @@
+package pbio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File I/O.  PBIO began life as a portable binary file format for
+// instrumentation and trace data: records are written in the producer's
+// native layout with meta-information in-band, so any later reader — on
+// any architecture, with or without a-priori knowledge of the formats —
+// can interpret the file.  FileWriter and FileReader wrap Writer and
+// Reader with buffering and lifecycle management for that use.
+
+// FileWriter writes records to a PBIO file.
+type FileWriter struct {
+	*Writer
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// CreateFile creates (or truncates) a PBIO file for writing.
+func (c *Context) CreateFile(path string) (*FileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("pbio: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	return &FileWriter{Writer: c.NewWriter(bw), f: f, bw: bw}, nil
+}
+
+// Close flushes buffered records and closes the file.
+func (w *FileWriter) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("pbio: flushing %s: %w", w.f.Name(), err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("pbio: closing: %w", err)
+	}
+	return nil
+}
+
+// FileReader reads records from a PBIO file.
+type FileReader struct {
+	*Reader
+	f *os.File
+}
+
+// OpenFile opens a PBIO file for reading.
+func (c *Context) OpenFile(path string) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pbio: %w", err)
+	}
+	return &FileReader{Reader: c.NewReader(bufio.NewReader(f)), f: f}, nil
+}
+
+// Close closes the file.
+func (r *FileReader) Close() error { return r.f.Close() }
+
+// ReadAll decodes every remaining record in the file into the expected
+// format (a convenience for analysis tools; streaming callers should use
+// Read).
+func (r *FileReader) ReadAll(expected *Format) ([]*Record, error) {
+	var out []*Record
+	for {
+		m, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		rec, err := m.Decode(expected)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

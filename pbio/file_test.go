@@ -1,0 +1,128 @@
+package pbio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func osStat(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func osTruncate(path string, size int64) error {
+	return os.Truncate(path, size)
+}
+
+func TestFileWriteRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.pbio")
+
+	// A sparc-layout producer writes a trace file...
+	sctx := ctxFor(t, "sparc-v8")
+	sf, err := sctx.Register("mixed", mixedFields()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sctx.CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		rec := sf.NewRecord()
+		fillMixed(t, rec)
+		rec.MustSetInt("node", 0, int64(i))
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ... an x86-layout analysis tool reads it later.
+	rctx := ctxFor(t, "x86")
+	rf, err := rctx.Register("mixed", mixedFields()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rctx.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	recs, err := r.ReadAll(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("read %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if v, _ := rec.Int("node", 0); v != int64(i) {
+			t.Errorf("record %d: node = %d", i, v)
+		}
+		if v, _ := rec.Float("timestamp", 0); v != 1234.5 {
+			t.Errorf("record %d: timestamp = %v", i, v)
+		}
+	}
+}
+
+func TestFileErrors(t *testing.T) {
+	ctx := ctxFor(t, "x86")
+	if _, err := ctx.OpenFile(filepath.Join(t.TempDir(), "nope.pbio")); err == nil {
+		t.Error("opening a missing file succeeded")
+	}
+	if _, err := ctx.CreateFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f")); err == nil {
+		t.Error("creating in a missing directory succeeded")
+	}
+}
+
+func TestFileReadAllOnTruncatedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.pbio")
+	ctx := ctxFor(t, "x86")
+	f, err := ctx.Register("a", F("x", Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ctx.CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Write(f.NewRecord()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-record.
+	full, err := filepath.Glob(path)
+	if err != nil || len(full) != 1 {
+		t.Fatal("glob failed")
+	}
+	st, err := osStat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := osTruncate(path, st-3); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ctx.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	recs, err := r.ReadAll(f)
+	if err == nil {
+		t.Errorf("truncated file read cleanly (%d records)", len(recs))
+	}
+	if len(recs) != 2 {
+		t.Errorf("got %d complete records before the error, want 2", len(recs))
+	}
+}

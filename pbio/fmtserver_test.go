@@ -1,0 +1,120 @@
+package pbio
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/fmtserver"
+)
+
+// startFormatServer runs a format server for the test.
+func startFormatServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() { _ = fmtserver.NewServer().Serve(ln) }()
+	return ln.Addr().String()
+}
+
+func TestExchangeViaFormatServer(t *testing.T) {
+	addr := startFormatServer(t)
+
+	sctx, err := NewContext(WithArch("sparc-v8"), WithFormatServer(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx, err := NewContext(WithArch("x86"), WithFormatServer(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sf, err := sctx.Register("mixed", mixedFields()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := rctx.Register("mixed", mixedFields()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	w := sctx.NewWriter(&buf)
+	rec := sf.NewRecord()
+	fillMixed(t, rec)
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream must be smaller than the in-band equivalent: meta was
+	// replaced by an 8-byte reference.
+	var inband bytes.Buffer
+	plain, err := NewContext(WithArch("sparc-v8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := plain.Register("mixed", mixedFields()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec := pf.NewRecord()
+	fillMixed(t, prec)
+	pw := plain.NewWriter(&inband)
+	if err := pw.Write(prec); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Write(prec); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= inband.Len() {
+		t.Errorf("format-server stream %d bytes >= in-band %d bytes", buf.Len(), inband.Len())
+	}
+
+	r := rctx.NewReader(&buf)
+	for i := 0; i < 2; i++ {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Decode(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMixed(t, got)
+	}
+}
+
+func TestFormatServerStreamNeedsResolver(t *testing.T) {
+	addr := startFormatServer(t)
+	sctx, err := NewContext(WithArch("sparc-v8"), WithFormatServer(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := sctx.Register("mixed", mixedFields()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sctx.NewWriter(&buf).Write(sf.NewRecord()); err != nil {
+		t.Fatal(err)
+	}
+	// A plain context (no server) cannot read the stream.
+	plain, _ := NewContext(WithArch("x86"))
+	_, err = plain.NewReader(&buf).Read()
+	if err == nil || !strings.Contains(err.Error(), "format server") {
+		t.Errorf("reading server-mode stream without resolver: %v", err)
+	}
+}
+
+func TestWithFormatServerBadAddr(t *testing.T) {
+	if _, err := NewContext(WithFormatServer("127.0.0.1:1")); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,57 @@
+package pbio
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRecordMap(t *testing.T) {
+	ctx := ctxFor(t, "sparc-v8")
+	f, err := ctx.Register("m",
+		F("n", Int),
+		F("u", UInt),
+		F("x", Double),
+		Array("tag", Char, 8),
+		Array("vs", Double, 3),
+		Array("is", Short, 2),
+		Struct("pos", F("a", Double), F("b", Int)),
+		StructArray("cells", 2, F("id", Int)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := f.NewRecord()
+	rec.MustSetInt("n", 0, -5)
+	rec.MustSetInt("u", 0, 7)
+	rec.MustSetFloat("x", 0, 2.25)
+	rec.MustSetString("tag", "hey")
+	for i := 0; i < 3; i++ {
+		rec.MustSetFloat("vs", i, float64(i))
+	}
+	rec.MustSetInt("is", 0, 1)
+	rec.MustSetInt("is", 1, 2)
+	pos := rec.MustSub("pos", 0)
+	pos.MustSetFloat("a", 0, 9.5)
+	pos.MustSetInt("b", 0, 3)
+	for i := 0; i < 2; i++ {
+		rec.MustSub("cells", i).MustSetInt("id", 0, int64(10+i))
+	}
+
+	want := map[string]any{
+		"n":   int64(-5),
+		"u":   uint64(7),
+		"x":   2.25,
+		"tag": "hey",
+		"vs":  []float64{0, 1, 2},
+		"is":  []int64{1, 2},
+		"pos": map[string]any{"a": 9.5, "b": int64(3)},
+		"cells": []map[string]any{
+			{"id": int64(10)},
+			{"id": int64(11)},
+		},
+	}
+	got := rec.Map()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Map() =\n%#v\nwant\n%#v", got, want)
+	}
+}

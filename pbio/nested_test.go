@@ -1,0 +1,241 @@
+package pbio
+
+import (
+	"bytes"
+	"testing"
+)
+
+func particleFields(n int) []FieldSpec {
+	return []FieldSpec{
+		Struct("hdr",
+			F("step", Int),
+			F("t", Double),
+			Array("label", Char, 8),
+		),
+		F("count", Int),
+		StructArray("p", n,
+			F("id", Int),
+			Struct("pos", F("x", Double), F("y", Double), F("z", Double)),
+			F("charge", Float),
+		),
+	}
+}
+
+func fillParticles(t *testing.T, rec *Record, n int) {
+	t.Helper()
+	hdr := rec.MustSub("hdr", 0)
+	hdr.MustSetInt("step", 0, 7)
+	hdr.MustSetFloat("t", 0, 0.125)
+	hdr.MustSetString("label", "run-a")
+	rec.MustSetInt("count", 0, int64(n))
+	for e := 0; e < n; e++ {
+		p := rec.MustSub("p", e)
+		p.MustSetInt("id", 0, int64(100+e))
+		pos := p.MustSub("pos", 0)
+		pos.MustSetFloat("x", 0, float64(e)+0.25)
+		pos.MustSetFloat("y", 0, float64(e)+0.5)
+		pos.MustSetFloat("z", 0, float64(e)+0.75)
+		p.MustSetFloat("charge", 0, -1.5)
+	}
+}
+
+func checkParticles(t *testing.T, rec *Record, n int) {
+	t.Helper()
+	hdr := rec.MustSub("hdr", 0)
+	if v, _ := hdr.Int("step", 0); v != 7 {
+		t.Errorf("hdr.step = %d", v)
+	}
+	if s, _ := hdr.String("label"); s != "run-a" {
+		t.Errorf("hdr.label = %q", s)
+	}
+	for e := 0; e < n; e++ {
+		p := rec.MustSub("p", e)
+		if v, _ := p.Int("id", 0); v != int64(100+e) {
+			t.Errorf("p[%d].id = %d", e, v)
+		}
+		pos := p.MustSub("pos", 0)
+		if v, _ := pos.Float("y", 0); v != float64(e)+0.5 {
+			t.Errorf("p[%d].pos.y = %v", e, v)
+		}
+		if v, _ := p.Float("charge", 0); v != -1.5 {
+			t.Errorf("p[%d].charge = %v", e, v)
+		}
+	}
+}
+
+func TestNestedHeterogeneousExchange(t *testing.T) {
+	for _, mode := range []ConvMode{Generated, Interpreted} {
+		t.Run(mode.String(), func(t *testing.T) {
+			sctx := ctxFor(t, "sparc-v8")
+			rctx := ctxFor(t, "x86", WithConversion(mode))
+			sf, err := sctx.Register("particles", particleFields(4)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rf, err := rctx.Register("particles", particleFields(4)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			w := sctx.NewWriter(&buf)
+			rec := sf.NewRecord()
+			fillParticles(t, rec, 4)
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+			m, err := rctx.NewReader(&buf).Read()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Decode(rf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkParticles(t, got, 4)
+		})
+	}
+}
+
+func TestNestedReflectionInfo(t *testing.T) {
+	sctx := ctxFor(t, "sparc-v8")
+	rctx := ctxFor(t, "x86")
+	sf, err := sctx.Register("particles", particleFields(2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sctx.NewWriter(&buf).Write(sf.NewRecord()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := rctx.NewReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := m.Fields()
+	if !fields[0].Struct || len(fields[0].Fields) != 3 {
+		t.Fatalf("hdr FieldInfo = %+v", fields[0])
+	}
+	pInfo := fields[2]
+	if !pInfo.Struct || pInfo.Count != 2 {
+		t.Fatalf("p FieldInfo = %+v", pInfo)
+	}
+	if !pInfo.Fields[1].Struct || pInfo.Fields[1].Fields[0].Name != "x" {
+		t.Fatalf("pos FieldInfo = %+v", pInfo.Fields[1])
+	}
+	// Re-register from Spec and decode — no a-priori knowledge needed.
+	specs := make([]FieldSpec, len(fields))
+	for i, fi := range fields {
+		specs[i] = fi.Spec()
+	}
+	local, err := rctx.Register(m.FormatName(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Decode(local); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedStructReflectBinding(t *testing.T) {
+	type Vec3 struct{ X, Y, Z float64 }
+	type Particle struct {
+		ID     int32
+		Pos    Vec3
+		Charge float32
+	}
+	type Frame struct {
+		Step int32
+		P    [3]Particle
+	}
+	sctx := ctxFor(t, "sparc-v9-64")
+	rctx := ctxFor(t, "x86")
+	sf, err := sctx.RegisterStruct("frame", Frame{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := rctx.RegisterStruct("frame", Frame{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Frame{Step: 3}
+	for i := range in.P {
+		in.P[i] = Particle{
+			ID:     int32(i),
+			Pos:    Vec3{X: float64(i), Y: float64(i) * 2, Z: float64(i) * 3},
+			Charge: 0.5,
+		}
+	}
+	rec, err := sf.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sctx.NewWriter(&buf).Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	m, err := rctx.NewReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Frame
+	if err := m.DecodeStruct(rf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("nested struct round trip:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestNestedTypeExtensionInsideStruct(t *testing.T) {
+	// The sender's nested struct gained a field; the receiver's nested
+	// struct hasn't.  By-name matching recurses: the extra nested field
+	// is ignored.
+	sctx := ctxFor(t, "sparc-v8")
+	rctx := ctxFor(t, "x86")
+	sf, err := sctx.Register("msg",
+		Struct("inner", F("a", Int), F("new_b", Double), F("c", Int)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := rctx.Register("msg",
+		Struct("inner", F("a", Int), F("c", Int)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sf.NewRecord()
+	inner := rec.MustSub("inner", 0)
+	inner.MustSetInt("a", 0, 1)
+	inner.MustSetFloat("new_b", 0, 9.5)
+	inner.MustSetInt("c", 0, 3)
+	var buf bytes.Buffer
+	if err := sctx.NewWriter(&buf).Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	m, err := rctx.NewReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Decode(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := got.MustSub("inner", 0)
+	if v, _ := gi.Int("a", 0); v != 1 {
+		t.Errorf("inner.a = %d", v)
+	}
+	if v, _ := gi.Int("c", 0); v != 3 {
+		t.Errorf("inner.c = %d", v)
+	}
+}
+
+func TestNestedRegisterErrors(t *testing.T) {
+	ctx := ctxFor(t, "x86")
+	if _, err := ctx.Register("bad", Struct("s")); err == nil {
+		t.Error("empty nested struct accepted")
+	}
+	if _, err := ctx.Register("bad", Struct("s", FieldSpec{Name: "x", Type: Type(99), Count: 1})); err == nil {
+		t.Error("invalid nested type accepted")
+	}
+}

@@ -1,0 +1,392 @@
+package pbio
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// Go-struct binding.
+//
+// The calibration note for this reproduction observes that Go's
+// reflection helps where C programs would hand PBIO raw struct pointers:
+// a Format can be derived from a Go struct type, values marshalled into
+// the context's (simulated) native layout, and received messages decoded
+// back into Go structs with PBIO's by-name matching semantics.
+//
+// Field mapping: exported fields only.  The wire name is the lower-cased
+// Go field name, overridable with a `pbio:"name"` tag; `pbio:"-"` skips
+// the field.  Supported Go types:
+//
+//	int8/byte-array-free types:
+//	  int16 → short      uint16 → unsigned short
+//	  int32 → int        uint32 → unsigned int
+//	  int64 → long long  uint64 → unsigned long long
+//	  float32 → float    float64 → double
+//	  string  → char[N]  (N from the tag: `pbio:"name,size=16"`)
+//	  [N]T and []T of the numeric types above → arrays
+//
+// Slices must carry a fixed wire length via `size=N` in the tag; on
+// decode, shorter incoming arrays zero-fill the tail.
+
+type structField struct {
+	goIndex int
+	spec    FieldSpec
+	sub     []structField // non-nil for nested struct fields
+}
+
+// structFields derives the field specs for a struct type.
+func structFields(t reflect.Type) ([]structField, error) {
+	if t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("pbio: %s is not a struct", t)
+	}
+	var out []structField
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		if !sf.IsExported() {
+			continue
+		}
+		name := strings.ToLower(sf.Name)
+		size := 0
+		if tag, ok := sf.Tag.Lookup("pbio"); ok {
+			parts := strings.Split(tag, ",")
+			if parts[0] == "-" {
+				continue
+			}
+			if parts[0] != "" {
+				name = parts[0]
+			}
+			for _, p := range parts[1:] {
+				if v, found := strings.CutPrefix(p, "size="); found {
+					n, err := strconv.Atoi(v)
+					if err != nil || n <= 0 {
+						return nil, fmt.Errorf("pbio: field %s: bad size tag %q", sf.Name, v)
+					}
+					size = n
+				}
+			}
+		}
+		spec, sub, err := specForGoType(sf.Type, name, size)
+		if err != nil {
+			return nil, fmt.Errorf("pbio: field %s: %w", sf.Name, err)
+		}
+		out = append(out, structField{goIndex: i, spec: spec, sub: sub})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pbio: %s has no usable exported fields", t)
+	}
+	return out, nil
+}
+
+func scalarType(k reflect.Kind) (Type, bool) {
+	switch k {
+	case reflect.Int16:
+		return Short, true
+	case reflect.Int32:
+		return Int, true
+	case reflect.Int64:
+		return LongLong, true
+	case reflect.Uint16:
+		return UShort, true
+	case reflect.Uint32:
+		return UInt, true
+	case reflect.Uint64:
+		return ULongLong, true
+	case reflect.Float32:
+		return Float, true
+	case reflect.Float64:
+		return Double, true
+	}
+	return 0, false
+}
+
+func specForGoType(t reflect.Type, name string, size int) (FieldSpec, []structField, error) {
+	if ft, ok := scalarType(t.Kind()); ok {
+		return FieldSpec{Name: name, Type: ft, Count: 1}, nil, nil
+	}
+	switch t.Kind() {
+	case reflect.String:
+		if size <= 0 {
+			return FieldSpec{}, nil, fmt.Errorf("string field needs a `pbio:\"...,size=N\"` tag")
+		}
+		return FieldSpec{Name: name, Type: Char, Count: size}, nil, nil
+	case reflect.Struct:
+		sub, err := structFields(t)
+		if err != nil {
+			return FieldSpec{}, nil, err
+		}
+		return FieldSpec{Name: name, Count: 1, Sub: subSpecs(sub)}, sub, nil
+	case reflect.Array:
+		if t.Elem().Kind() == reflect.Struct {
+			sub, err := structFields(t.Elem())
+			if err != nil {
+				return FieldSpec{}, nil, err
+			}
+			return FieldSpec{Name: name, Count: t.Len(), Sub: subSpecs(sub)}, sub, nil
+		}
+		ft, ok := scalarType(t.Elem().Kind())
+		if !ok {
+			return FieldSpec{}, nil, fmt.Errorf("unsupported array element type %s", t.Elem())
+		}
+		return FieldSpec{Name: name, Type: ft, Count: t.Len()}, nil, nil
+	case reflect.Slice:
+		ft, ok := scalarType(t.Elem().Kind())
+		if !ok {
+			return FieldSpec{}, nil, fmt.Errorf("unsupported slice element type %s", t.Elem())
+		}
+		if size <= 0 {
+			return FieldSpec{}, nil, fmt.Errorf("slice field needs a `pbio:\"...,size=N\"` tag")
+		}
+		return FieldSpec{Name: name, Type: ft, Count: size}, nil, nil
+	}
+	return FieldSpec{}, nil, fmt.Errorf("unsupported Go type %s", t)
+}
+
+func subSpecs(sub []structField) []FieldSpec {
+	specs := make([]FieldSpec, len(sub))
+	for i, f := range sub {
+		specs[i] = f.spec
+	}
+	return specs
+}
+
+// StructFormat holds a format derived from a Go struct type, able to
+// marshal values of that type and decode messages back into it.
+type StructFormat struct {
+	*Format
+	goType reflect.Type
+	fields []structField
+}
+
+// RegisterStruct derives a format from the (struct) type of template,
+// laid out for the context's native architecture.
+func (c *Context) RegisterStruct(name string, template any) (*StructFormat, error) {
+	t := reflect.TypeOf(template)
+	if t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t == nil {
+		return nil, fmt.Errorf("pbio: nil template")
+	}
+	fields, err := structFields(t)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]FieldSpec, len(fields))
+	for i, f := range fields {
+		specs[i] = f.spec
+	}
+	f, err := c.Register(name, specs...)
+	if err != nil {
+		return nil, err
+	}
+	return &StructFormat{Format: f, goType: t, fields: fields}, nil
+}
+
+// Marshal lays a struct value out as a native record.
+func (sf *StructFormat) Marshal(v any) (*Record, error) {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Pointer {
+		rv = rv.Elem()
+	}
+	if !rv.IsValid() {
+		return nil, fmt.Errorf("pbio: Marshal: nil value, format was built from %s", sf.goType)
+	}
+	if rv.Type() != sf.goType {
+		return nil, fmt.Errorf("pbio: Marshal: value is %v, format was built from %s", rv.Type(), sf.goType)
+	}
+	rec := sf.NewRecord()
+	if err := marshalInto(rec, sf.fields, rv); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+func marshalInto(rec *Record, fields []structField, rv reflect.Value) error {
+	for _, f := range fields {
+		if err := marshalField(rec, &f, rv.Field(f.goIndex)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func marshalField(rec *Record, f *structField, fv reflect.Value) error {
+	spec := &f.spec
+	if len(f.sub) > 0 {
+		if fv.Kind() == reflect.Struct {
+			sub, err := rec.Sub(spec.Name, 0)
+			if err != nil {
+				return err
+			}
+			return marshalInto(sub, f.sub, fv)
+		}
+		for i := 0; i < fv.Len(); i++ {
+			sub, err := rec.Sub(spec.Name, i)
+			if err != nil {
+				return err
+			}
+			if err := marshalInto(sub, f.sub, fv.Index(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch fv.Kind() {
+	case reflect.String:
+		return rec.SetString(spec.Name, fv.String())
+	case reflect.Array, reflect.Slice:
+		n := fv.Len()
+		if n > spec.Count {
+			return fmt.Errorf("pbio: field %q: %d elements exceed wire length %d", spec.Name, n, spec.Count)
+		}
+		for i := 0; i < n; i++ {
+			if err := marshalScalar(rec, spec, i, fv.Index(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return marshalScalar(rec, spec, 0, fv)
+	}
+}
+
+func marshalScalar(rec *Record, spec *FieldSpec, i int, fv reflect.Value) error {
+	switch fv.Kind() {
+	case reflect.Int16, reflect.Int32, reflect.Int64:
+		return rec.SetInt(spec.Name, i, fv.Int())
+	case reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return rec.SetInt(spec.Name, i, int64(fv.Uint()))
+	case reflect.Float32, reflect.Float64:
+		return rec.SetFloat(spec.Name, i, fv.Float())
+	}
+	return fmt.Errorf("pbio: field %q: cannot marshal %s", spec.Name, fv.Kind())
+}
+
+// DecodeStruct decodes the message into the struct pointed to by out,
+// using the StructFormat's layout as the expected format.  PBIO matching
+// semantics apply: by-name, unknown incoming fields ignored, missing
+// fields zeroed.
+func (m *Message) DecodeStruct(sf *StructFormat, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("pbio: DecodeStruct needs a non-nil pointer, got %T", out)
+	}
+	rv = rv.Elem()
+	if rv.Type() != sf.goType {
+		return fmt.Errorf("pbio: DecodeStruct: target is %s, format was built from %s", rv.Type(), sf.goType)
+	}
+	rec, err := m.Decode(sf.Format)
+	if err != nil {
+		return err
+	}
+	return unmarshalInto(rec, sf, rv)
+}
+
+// Unmarshal converts a record of this format back into a struct value.
+func (sf *StructFormat) Unmarshal(rec *Record, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("pbio: Unmarshal needs a non-nil pointer, got %T", out)
+	}
+	rv = rv.Elem()
+	if rv.Type() != sf.goType {
+		return fmt.Errorf("pbio: Unmarshal: target is %s, format was built from %s", rv.Type(), sf.goType)
+	}
+	if rec.fmt != sf.Format {
+		return fmt.Errorf("pbio: Unmarshal: record format %q does not belong to this StructFormat", rec.fmt.Name())
+	}
+	return unmarshalInto(rec, sf, rv)
+}
+
+func unmarshalInto(rec *Record, sf *StructFormat, rv reflect.Value) error {
+	return unmarshalFields(rec, sf.fields, rv)
+}
+
+func unmarshalFields(rec *Record, fields []structField, rv reflect.Value) error {
+	for _, f := range fields {
+		fv := rv.Field(f.goIndex)
+		if err := unmarshalField(rec, &f, fv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func unmarshalField(rec *Record, f *structField, fv reflect.Value) error {
+	spec := &f.spec
+	if len(f.sub) > 0 {
+		if fv.Kind() == reflect.Struct {
+			sub, err := rec.Sub(spec.Name, 0)
+			if err != nil {
+				return err
+			}
+			return unmarshalFields(sub, f.sub, fv)
+		}
+		for i := 0; i < fv.Len() && i < spec.Count; i++ {
+			sub, err := rec.Sub(spec.Name, i)
+			if err != nil {
+				return err
+			}
+			if err := unmarshalFields(sub, f.sub, fv.Index(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch fv.Kind() {
+	case reflect.String:
+		s, err := rec.String(spec.Name)
+		if err != nil {
+			return err
+		}
+		fv.SetString(s)
+		return nil
+	case reflect.Array:
+		for i := 0; i < fv.Len() && i < spec.Count; i++ {
+			if err := unmarshalScalar(rec, spec, i, fv.Index(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Slice:
+		if fv.Len() != spec.Count {
+			fv.Set(reflect.MakeSlice(fv.Type(), spec.Count, spec.Count))
+		}
+		for i := 0; i < spec.Count; i++ {
+			if err := unmarshalScalar(rec, spec, i, fv.Index(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return unmarshalScalar(rec, spec, 0, fv)
+	}
+}
+
+func unmarshalScalar(rec *Record, spec *FieldSpec, i int, fv reflect.Value) error {
+	switch fv.Kind() {
+	case reflect.Int16, reflect.Int32, reflect.Int64:
+		v, err := rec.Int(spec.Name, i)
+		if err != nil {
+			return err
+		}
+		fv.SetInt(v)
+	case reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v, err := rec.Int(spec.Name, i)
+		if err != nil {
+			return err
+		}
+		fv.SetUint(uint64(v))
+	case reflect.Float32, reflect.Float64:
+		v, err := rec.Float(spec.Name, i)
+		if err != nil {
+			return err
+		}
+		fv.SetFloat(v)
+	default:
+		return fmt.Errorf("pbio: field %q: cannot unmarshal into %s", spec.Name, fv.Kind())
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package pbio
+
+import "io"
+
+// Scanner provides a bufio.Scanner-style loop over a stream of records
+// expected in one format:
+//
+//	sc := ctx.NewScanner(conn, format)
+//	for sc.Next() {
+//	    rec := sc.Record()
+//	    ...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+//
+// Records are decoded (converted if necessary) into a single reused
+// Record, valid until the next call to Next.
+type Scanner struct {
+	r        *Reader
+	expected *Format
+	rec      *Record
+	err      error
+}
+
+// NewScanner returns a Scanner decoding records of the expected format
+// from r.
+func (c *Context) NewScanner(r io.Reader, expected *Format) *Scanner {
+	return &Scanner{
+		r:        c.NewReader(r),
+		expected: expected,
+		rec:      expected.NewRecord(),
+	}
+}
+
+// Next advances to the next record.  It returns false at end of stream or
+// on error; Err distinguishes the two.
+func (s *Scanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	m, err := s.r.Read()
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		s.err = err
+		return false
+	}
+	if err := m.DecodeInto(s.expected, s.rec); err != nil {
+		s.err = err
+		return false
+	}
+	return true
+}
+
+// Record returns the current record.  Its contents are overwritten by the
+// next call to Next; Clone it to keep it.
+func (s *Scanner) Record() *Record { return s.rec }
+
+// Err returns the first error encountered (nil after a clean EOF).
+func (s *Scanner) Err() error { return s.err }

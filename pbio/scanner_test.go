@@ -1,0 +1,68 @@
+package pbio
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestScanner(t *testing.T) {
+	sctx := ctxFor(t, "sparc-v8")
+	rctx := ctxFor(t, "x86")
+	sf, err := sctx.Register("s", F("n", Int), F("v", Double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := rctx.Register("s", F("n", Int), F("v", Double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := sctx.NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		rec := sf.NewRecord()
+		rec.MustSetInt("n", 0, int64(i))
+		rec.MustSetFloat("v", 0, float64(i)*1.5)
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sc := rctx.NewScanner(&buf, rf)
+	count := 0
+	for sc.Next() {
+		n, _ := sc.Record().Int("n", 0)
+		v, _ := sc.Record().Float("v", 0)
+		if n != int64(count) || v != float64(count)*1.5 {
+			t.Errorf("record %d: n=%d v=%v", count, n, v)
+		}
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("scanned %d records, want 10", count)
+	}
+	// Next after EOF stays false.
+	if sc.Next() {
+		t.Error("Next() true after EOF")
+	}
+}
+
+func TestScannerError(t *testing.T) {
+	ctx := ctxFor(t, "x86")
+	f, err := ctx.Register("s", F("n", Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ctx.NewScanner(bytes.NewReader([]byte("garbage that is not pbio")), f)
+	if sc.Next() {
+		t.Error("Next() true on garbage")
+	}
+	if sc.Err() == nil {
+		t.Error("Err() nil after garbage")
+	}
+	if sc.Next() {
+		t.Error("Next() true after error")
+	}
+}

@@ -1,0 +1,158 @@
+package pbio
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/convert"
+	"repro/internal/fmtserver"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Writer transmits records over a byte stream.  Sending is NDR: the
+// record's native bytes go on the wire unmodified; the format's
+// meta-information is sent automatically before its first record.  A
+// Writer is not safe for concurrent use.
+type Writer struct {
+	ctx *Context
+	tw  *transport.Writer
+}
+
+// NewWriter returns a Writer over w.
+func (c *Context) NewWriter(w io.Writer) *Writer {
+	tw := transport.NewWriter(w)
+	if c.fmtsv != nil {
+		tw.SetRegistrar(func(f *wire.Format) (uint64, error) {
+			id, err := c.fmtsv.Register(f)
+			return uint64(id), err
+		})
+	}
+	return &Writer{ctx: c, tw: tw}
+}
+
+// Write transmits one record.
+func (w *Writer) Write(rec *Record) error {
+	if rec.fmt.ctx != w.ctx {
+		return fmt.Errorf("pbio: record's format belongs to a different context")
+	}
+	return w.tw.WriteRecord(rec.fmt.wf, rec.rec.Buf)
+}
+
+// Reader receives records from a byte stream.  A Reader is not safe for
+// concurrent use.
+type Reader struct {
+	ctx *Context
+	tr  *transport.Reader
+}
+
+// NewReader returns a Reader over r.
+func (c *Context) NewReader(r io.Reader) *Reader {
+	tr := transport.NewReader(r)
+	if c.fmtsv != nil {
+		tr.SetResolver(func(id uint64) (*wire.Format, error) {
+			return c.fmtsv.Lookup(fmtserver.FormatID(id))
+		})
+	}
+	return &Reader{ctx: c, tr: tr}
+}
+
+// Read returns the next message.  It returns io.EOF at a clean end of
+// stream.
+func (r *Reader) Read() (*Message, error) {
+	m, err := r.tr.ReadMessage()
+	if err != nil {
+		return nil, err
+	}
+	return &Message{ctx: r.ctx, msg: m}, nil
+}
+
+// Message is one received record: the sender's native bytes plus the
+// sender's format description.  The underlying data aliases the Reader's
+// receive buffer and is valid until the next Read call; Decode into an
+// owned Record (or struct) to keep it longer.
+type Message struct {
+	ctx *Context
+	msg *transport.Message
+}
+
+// FormatName returns the sender's format name.
+func (m *Message) FormatName() string { return m.msg.Format.Name }
+
+// WireSize returns the size in bytes of the record as transmitted (the
+// sender's native size).
+func (m *Message) WireSize() int { return m.msg.Format.Size }
+
+// Fields describes the incoming format — PBIO's reflection support:
+// receivers can inspect messages they have no a-priori knowledge of and
+// decide at run time how to process them.
+func (m *Message) Fields() []FieldInfo { return fieldInfos(m.msg.Format) }
+
+// DescribeFormat renders the incoming format's full layout.
+func (m *Message) DescribeFormat() string { return m.msg.Format.String() }
+
+// SameLayout reports whether the incoming record's layout is identical to
+// the expected format's — the homogeneous fast path, where the record is
+// usable straight out of the receive buffer.
+func (m *Message) SameLayout(f *Format) bool {
+	return wire.SameLayout(m.msg.Format, f.wf)
+}
+
+// Decode converts the message into an owned record of the expected
+// format.  Fields are matched by name: incoming fields the expected
+// format lacks are ignored (type extension), expected fields the message
+// lacks are zero.
+func (m *Message) Decode(expected *Format) (*Record, error) {
+	out := expected.NewRecord()
+	if err := m.DecodeInto(expected, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto converts the message into an existing record of the expected
+// format, reusing its storage.
+func (m *Message) DecodeInto(expected *Format, out *Record) error {
+	if out.fmt != expected {
+		return fmt.Errorf("pbio: record is of format %q, not %q", out.fmt.Name(), expected.Name())
+	}
+	return m.convert(expected, out.rec.Buf)
+}
+
+// View returns the message decoded as a record of the expected format
+// without copying, when the layouts are identical (the zero-copy
+// homogeneous path).  The returned record aliases the receive buffer and
+// is valid only until the next Read.  ok is false when conversion would
+// be required; use Decode then.
+func (m *Message) View(expected *Format) (rec *Record, ok bool, err error) {
+	if !m.SameLayout(expected) {
+		return nil, false, nil
+	}
+	rec, err = expected.view(m.msg.Data)
+	if err != nil {
+		return nil, false, err
+	}
+	return rec, true, nil
+}
+
+// convert runs the context's conversion engine from the message buffer
+// into dst.
+func (m *Message) convert(expected *Format, dst []byte) error {
+	switch m.ctx.mode {
+	case Interpreted:
+		// The interpreted baseline still computes its field table once
+		// per wire format (as pre-DCG PBIO did); only the per-record
+		// execution is interpreted.
+		plan, err := m.ctx.plan(m.msg.Format, expected.wf)
+		if err != nil {
+			return err
+		}
+		return convert.NewInterp(plan).Convert(dst, m.msg.Data)
+	default:
+		prog, err := m.ctx.cache.Get(m.msg.Format, expected.wf)
+		if err != nil {
+			return err
+		}
+		return prog.Convert(dst, m.msg.Data)
+	}
+}

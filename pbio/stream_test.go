@@ -1,0 +1,202 @@
+package pbio
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestReaderRejectsCorruptStream(t *testing.T) {
+	ctx := ctxFor(t, "x86")
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("this is not a pbio stream at all...")},
+		{"bad magic", []byte{0xff, 0xff, 2, 0, 0, 0, 1, 0, 0, 0, 0}},
+		{"truncated header", []byte{0x50}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := ctx.NewReader(bytes.NewReader(c.data))
+			if _, err := r.Read(); err == nil || err == io.EOF {
+				t.Errorf("corrupt stream: %v", err)
+			}
+		})
+	}
+	// Empty stream is clean EOF.
+	if _, err := ctx.NewReader(bytes.NewReader(nil)).Read(); err != io.EOF {
+		t.Errorf("empty stream: %v, want EOF", err)
+	}
+}
+
+func TestReaderTruncatedMidRecord(t *testing.T) {
+	sctx := ctxFor(t, "sparc-v8")
+	f, err := sctx.Register("mixed", mixedFields()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := sctx.NewWriter(&buf)
+	rec := f.NewRecord()
+	for i := 0; i < 2; i++ {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rctx := ctxFor(t, "x86")
+	data := buf.Bytes()[:buf.Len()-5]
+	r := rctx.NewReader(bytes.NewReader(data))
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first record should be intact: %v", err)
+	}
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Errorf("truncated second record: %v, want a real error", err)
+	}
+}
+
+func TestMessageViewInvalidatedSemantics(t *testing.T) {
+	// Documented contract: a View aliases the receive buffer and is only
+	// valid until the next Read.  Verify the aliasing (first view's data
+	// matches first record at read time).
+	ctx := ctxFor(t, "x86")
+	f, err := ctx.Register("v", F("x", Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := ctx.NewWriter(&buf)
+	for i := 0; i < 2; i++ {
+		rec := f.NewRecord()
+		rec.MustSetInt("x", 0, int64(i+1))
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := ctx.NewReader(&buf)
+	m1, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, ok, err := m1.View(f)
+	if err != nil || !ok {
+		t.Fatalf("View: %v, %v", ok, err)
+	}
+	if x, _ := v1.Int("x", 0); x != 1 {
+		t.Errorf("first view x = %d", x)
+	}
+	// Decode (copying) keeps data past the next Read.
+	owned, err := m1.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := owned.Int("x", 0); x != 1 {
+		t.Errorf("owned record corrupted by next Read: x = %d", x)
+	}
+}
+
+func TestContextPlanCacheConcurrency(t *testing.T) {
+	// Many goroutines decoding the same wire format through one context
+	// must share plans/programs without racing (run with -race).
+	sctx := ctxFor(t, "sparc-v8")
+	f, err := sctx.Register("mixed", mixedFields()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	rec := f.NewRecord()
+	fillMixed(t, rec)
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	raw := stream.Bytes()
+
+	for _, mode := range []ConvMode{Generated, Interpreted} {
+		rctx := ctxFor(t, "x86", WithConversion(mode))
+		rf, err := rctx.Register("mixed", mixedFields()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					r := rctx.NewReader(bytes.NewReader(raw))
+					m, err := r.Read()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					got, err := m.Decode(rf)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if v, _ := got.Int("node", 0); v != 12 {
+						t.Errorf("node = %d", v)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestWriterMultipleFormatsInterleaved(t *testing.T) {
+	sctx := ctxFor(t, "sparc-v9-64")
+	rctx := ctxFor(t, "x86")
+	fa, _ := sctx.Register("a", F("x", Long))
+	fb, _ := sctx.Register("b", Array("s", Char, 4))
+	var buf bytes.Buffer
+	w := sctx.NewWriter(&buf)
+	for i := 0; i < 4; i++ {
+		ra := fa.NewRecord()
+		ra.MustSetInt("x", 0, int64(i)<<33) // needs 8-byte long on the wire
+		if err := w.Write(ra); err != nil {
+			t.Fatal(err)
+		}
+		rb := fb.NewRecord()
+		rb.MustSetString("s", "ab")
+		if err := w.Write(rb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Receiver expects a narrower long: values above 2^32 truncate (C
+	// semantics) — use a matching LP64 receiver to keep them.
+	rfa, _ := rctx.Register("a", F("x", LongLong))
+	_ = rfa // name mismatch exercise below
+	r := rctx.NewReader(&buf)
+	for i := 0; i < 4; i++ {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.FormatName() != "a" {
+			t.Fatalf("message %d: format %q", i, m.FormatName())
+		}
+		// Decode into a same-name Long field (4 bytes on x86): the value
+		// truncates — verify deterministic C-like behavior.
+		rf, _ := rctx.Register("a", F("x", Long))
+		rec, err := m.Decode(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := rec.Int("x", 0); v != 0 {
+			t.Errorf("truncated high bits remain: %d", v)
+		}
+		if m, err = r.Read(); err != nil {
+			t.Fatal(err)
+		}
+		if m.FormatName() != "b" {
+			t.Fatalf("message %d: format %q", i, m.FormatName())
+		}
+	}
+}
