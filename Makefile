@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench figures examples outputs clean
+.PHONY: all build vet test test-race chaos fuzz bench figures examples outputs clean
 
 all: build vet test
 
@@ -12,11 +12,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: chaos
 	$(GO) test ./...
 
 test-race:
 	$(GO) test -race ./...
+
+# Fault-injection soak: N producers x M consumers through the relay over
+# links that fragment, starve, corrupt, and drop (internal/faultnet).
+# Short matrix by default; CHAOS_LONG=1 runs the full-length soak, and
+# CHAOS_SEED=<seed> replays a failure printed by a previous run.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|FaultyLink|BroadcastDropClose' \
+		./internal/relay/ ./internal/transport/
+
+# Short runs of the wire-format fuzz targets.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime 20s ./internal/transport/
+	$(GO) test -run xxx -fuzz FuzzReadMessage -fuzztime 20s ./internal/transport/
+	$(GO) test -run xxx -fuzz FuzzDecodeMeta -fuzztime 20s ./internal/wire/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -11,7 +11,8 @@
 //
 // Usage:
 //
-//	pbio-relay -producers 127.0.0.1:7850 -consumers 127.0.0.1:7851
+//	pbio-relay -producers 127.0.0.1:7850 -consumers 127.0.0.1:7851 \
+//	    -timeout 30s -checksum-meta -stats 10s
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"repro/internal/relay"
 )
@@ -26,6 +28,9 @@ import (
 func main() {
 	prod := flag.String("producers", "127.0.0.1:7850", "address producers connect to")
 	cons := flag.String("consumers", "127.0.0.1:7851", "address consumers connect to")
+	timeout := flag.Duration("timeout", 0, "per-frame producer read / consumer write bound (0 = none)")
+	sums := flag.Bool("checksum-meta", false, "checksum relay-originated meta frames")
+	statsEvery := flag.Duration("stats", 0, "print relay stats at this interval (0 = never)")
 	flag.Parse()
 
 	pln, err := net.Listen("tcp", *prod)
@@ -36,6 +41,23 @@ func main() {
 	if err != nil {
 		log.Fatalf("pbio-relay: %v", err)
 	}
+	s := relay.NewServer()
+	s.SetTimeouts(*timeout, *timeout)
+	s.SetChecksums(*sums)
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := s.Stats()
+				log.Printf("pbio-relay: %d frames, %d bytes forwarded, %d formats; "+
+					"%d bad producers, %d resyncs, %d dropped consumers, %d meta replays",
+					st.Frames, st.ForwardedBytes, s.Formats(),
+					st.BadProducers, st.Resyncs, st.DroppedConsumers, st.MetaReplays)
+				if st.LastProducerError != "" {
+					log.Printf("pbio-relay: last producer error: %s", st.LastProducerError)
+				}
+			}
+		}()
+	}
 	fmt.Printf("pbio-relay: producers on %s, consumers on %s\n", pln.Addr(), cln.Addr())
-	log.Fatal(relay.NewServer().Serve(pln, cln))
+	log.Fatal(s.Serve(pln, cln))
 }

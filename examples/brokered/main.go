@@ -56,9 +56,9 @@ func main() {
 	}
 	wg.Wait()
 
-	frames, bytes := broker.Stats()
+	st := broker.Stats()
 	fmt.Printf("relay forwarded %d frames, %d payload bytes, 0 records re-encoded\n",
-		frames, bytes)
+		st.Frames, st.ForwardedBytes)
 }
 
 func stateFields() []pbio.FieldSpec {

@@ -1,0 +1,268 @@
+// Package faultnet wraps network connections with deterministic, seeded
+// fault injection: short reads, fragmented writes, byte corruption,
+// forced connection drops at chosen byte offsets, and added latency.
+//
+// Every fault decision is drawn from a PRNG seeded by Profile.Seed, with
+// an independent stream per direction, so a failing test shrinks to a
+// replayable case: re-run with the printed seed and the connection
+// misbehaves identically.  This is the adversarial counterpart of
+// internal/netsim — netsim models how long a healthy network takes,
+// faultnet models the ways a real network breaks.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// ErrInjectedDrop is returned by operations on a connection faultnet has
+// forcibly dropped.  It is the injected analogue of a peer reset.
+var ErrInjectedDrop = errors.New("faultnet: injected connection drop")
+
+// Profile configures which faults a wrapped connection injects.  The zero
+// Profile injects nothing and is byte-transparent.
+type Profile struct {
+	// Seed selects the fault sequence.  Two connections wrapped with
+	// equal profiles misbehave identically call-for-call.
+	Seed int64
+
+	// ShortReads delivers a random non-empty prefix of each Read request,
+	// exercising reassembly in the reader (io.ReadFull loops etc).
+	ShortReads bool
+
+	// FragmentWrites splits each Write into several smaller writes on the
+	// underlying connection, so the peer observes fragmented delivery
+	// (the receive-side view of TCP segmentation).  Each fragment is
+	// written fully; the io.Writer contract is preserved.
+	FragmentWrites bool
+
+	// CorruptProb is the per-byte probability that a transferred byte is
+	// XORed with a random non-zero value.  Corruption applies to both
+	// directions; written data is corrupted on a copy, never in the
+	// caller's buffer.
+	CorruptProb float64
+
+	// DropAfter forcibly drops the connection once that many bytes have
+	// moved in either single direction (reads and writes are counted
+	// independently, so the drop offset is deterministic per direction).
+	// Zero means never.
+	DropAfter int64
+
+	// Latency adds a uniformly random delay in [0, Latency] before each
+	// read or write operation.
+	Latency time.Duration
+
+	// Model, when set, additionally delays each operation by the modelled
+	// transfer time for its byte count (see internal/netsim).  This turns
+	// a loopback connection into an analytically-slow link.
+	Model netsim.Network
+}
+
+// WithSeed returns a copy of the profile with the given seed.
+func (p Profile) WithSeed(seed int64) Profile { p.Seed = seed; return p }
+
+// String renders the profile compactly for test failure messages.
+func (p Profile) String() string {
+	return fmt.Sprintf("faultnet.Profile{Seed:%d ShortReads:%v FragmentWrites:%v CorruptProb:%g DropAfter:%d Latency:%v}",
+		p.Seed, p.ShortReads, p.FragmentWrites, p.CorruptProb, p.DropAfter, p.Latency)
+}
+
+// side is one direction's fault state.  Read and write directions get
+// independent PRNG streams and byte counters so that each direction's
+// fault sequence is deterministic even when a reader and a writer
+// goroutine share the connection.
+type side struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	moved int64
+}
+
+// Conn is a net.Conn with faults injected per its Profile.
+type Conn struct {
+	inner net.Conn
+	p     Profile
+
+	rd, wr side
+
+	dropMu  sync.Mutex
+	dropped bool
+}
+
+// Wrap returns c with the profile's faults injected.  The zero profile
+// yields a transparent wrapper.
+func Wrap(inner net.Conn, p Profile) *Conn {
+	return &Conn{
+		inner: inner,
+		p:     p,
+		// Distinct per-direction streams derived from the one seed.
+		rd: side{rng: rand.New(rand.NewSource(p.Seed))},
+		wr: side{rng: rand.New(rand.NewSource(p.Seed ^ 0x77726974655f7321))},
+	}
+}
+
+// Pipe returns an in-memory connection pair with faults injected on the
+// first endpoint (both directions), for tests that need no listener.
+func Pipe(p Profile) (faulty net.Conn, clean net.Conn) {
+	a, b := net.Pipe()
+	return Wrap(a, p), b
+}
+
+// drop closes the underlying connection once; later operations return
+// ErrInjectedDrop.
+func (c *Conn) drop() {
+	c.dropMu.Lock()
+	defer c.dropMu.Unlock()
+	if !c.dropped {
+		c.dropped = true
+		c.inner.Close()
+	}
+}
+
+func (c *Conn) isDropped() bool {
+	c.dropMu.Lock()
+	defer c.dropMu.Unlock()
+	return c.dropped
+}
+
+// delay computes the injected latency for an operation moving n bytes.
+// Called with the side's lock held (it consumes PRNG state).
+func (c *Conn) delay(s *side, n int) time.Duration {
+	var d time.Duration
+	if c.p.Latency > 0 {
+		d += time.Duration(s.rng.Int63n(int64(c.p.Latency) + 1))
+	}
+	if c.p.Model != nil {
+		d += c.p.Model.TransferTime(n)
+	}
+	return d
+}
+
+// corrupt XORs bytes in place with probability CorruptProb.  Called with
+// the side's lock held.
+func (c *Conn) corrupt(s *side, b []byte) {
+	if c.p.CorruptProb <= 0 {
+		return
+	}
+	for i := range b {
+		if s.rng.Float64() < c.p.CorruptProb {
+			b[i] ^= byte(1 + s.rng.Intn(255)) // non-zero XOR: guaranteed change
+		}
+	}
+}
+
+// Read reads from the connection, applying short reads, corruption,
+// latency, and the read-direction drop offset.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.isDropped() {
+		return 0, ErrInjectedDrop
+	}
+	s := &c.rd
+	s.mu.Lock()
+	limit := len(p)
+	if c.p.ShortReads && limit > 1 {
+		limit = 1 + s.rng.Intn(limit)
+	}
+	if c.p.DropAfter > 0 {
+		remain := c.p.DropAfter - s.moved
+		if remain <= 0 {
+			s.mu.Unlock()
+			c.drop()
+			return 0, ErrInjectedDrop
+		}
+		if int64(limit) > remain {
+			limit = int(remain)
+		}
+	}
+	d := c.delay(s, limit)
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	n, err := c.inner.Read(p[:limit])
+	s.mu.Lock()
+	c.corrupt(s, p[:n])
+	s.moved += int64(n)
+	hitDrop := c.p.DropAfter > 0 && s.moved >= c.p.DropAfter
+	s.mu.Unlock()
+	if hitDrop {
+		// Deliver exactly the bytes up to the drop offset; the next
+		// operation observes the drop.
+		c.drop()
+	}
+	return n, err
+}
+
+// Write writes to the connection, applying fragmentation, corruption,
+// latency, and the write-direction drop offset.  Fragments are each
+// written fully, preserving the io.Writer contract; corruption is applied
+// to a copy so the caller's buffer is never modified.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.isDropped() {
+		return 0, ErrInjectedDrop
+	}
+	s := &c.wr
+	total := 0
+	for total < len(p) || (len(p) == 0 && total == 0) {
+		s.mu.Lock()
+		if c.p.DropAfter > 0 && s.moved >= c.p.DropAfter {
+			s.mu.Unlock()
+			c.drop()
+			return total, ErrInjectedDrop
+		}
+		chunk := len(p) - total
+		if c.p.FragmentWrites && chunk > 1 {
+			chunk = 1 + s.rng.Intn(chunk)
+		}
+		if c.p.DropAfter > 0 {
+			if remain := c.p.DropAfter - s.moved; int64(chunk) > remain {
+				chunk = int(remain)
+			}
+		}
+		data := p[total : total+chunk]
+		if c.p.CorruptProb > 0 {
+			data = append([]byte(nil), data...)
+			c.corrupt(s, data)
+		}
+		d := c.delay(s, chunk)
+		s.mu.Unlock()
+		if d > 0 {
+			time.Sleep(d)
+		}
+		n, err := c.inner.Write(data)
+		s.mu.Lock()
+		s.moved += int64(n)
+		s.mu.Unlock()
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if len(p) == 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr returns the underlying local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the underlying remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline delegates to the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline delegates to the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline delegates to the underlying connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

@@ -1,0 +1,197 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// transfer pushes data through a faulty pipe endpoint and returns what
+// the clean side received plus the sizes of the reads the faulty side
+// performed when pulling it back (unused legs are skipped when nil).
+func writeThrough(t *testing.T, p Profile, data []byte) []byte {
+	t.Helper()
+	faulty, clean := Pipe(p)
+	defer faulty.Close()
+	defer clean.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := faulty.Write(data)
+		faulty.Close()
+		errc <- err
+	}()
+	got, _ := io.ReadAll(clean)
+	if err := <-errc; err != nil && !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("write: %v", err)
+	}
+	return got
+}
+
+func TestZeroProfileIsTransparent(t *testing.T) {
+	data := bytes.Repeat([]byte("pbio"), 1000)
+	got := writeThrough(t, Profile{}, data)
+	if !bytes.Equal(got, data) {
+		t.Fatal("zero profile altered the byte stream")
+	}
+}
+
+func TestFragmentationPreservesBytes(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAB, 0xCD}, 4096)
+	got := writeThrough(t, Profile{Seed: 7, FragmentWrites: true}, data)
+	if !bytes.Equal(got, data) {
+		t.Fatal("fragmented writes altered the byte stream")
+	}
+}
+
+func TestCorruptionIsDeterministic(t *testing.T) {
+	data := bytes.Repeat([]byte{0x55}, 2048)
+	p := Profile{Seed: 42, CorruptProb: 0.01}
+	a := writeThrough(t, p, data)
+	b := writeThrough(t, p, data)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a, data) {
+		t.Fatal("CorruptProb 0.01 over 2048 bytes corrupted nothing")
+	}
+	c := writeThrough(t, p.WithSeed(43), data)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestCorruptionDoesNotTouchCallerBuffer(t *testing.T) {
+	data := bytes.Repeat([]byte{0x11}, 512)
+	orig := append([]byte(nil), data...)
+	writeThrough(t, Profile{Seed: 1, CorruptProb: 1}, data)
+	if !bytes.Equal(data, orig) {
+		t.Fatal("Write corrupted the caller's buffer")
+	}
+}
+
+func TestShortReadsAreDeterministic(t *testing.T) {
+	readSizes := func(seed int64) []int {
+		faulty, clean := Pipe(Profile{Seed: seed, ShortReads: true})
+		defer faulty.Close()
+		go func() {
+			clean.Write(bytes.Repeat([]byte{1}, 1000))
+			clean.Close()
+		}()
+		var sizes []int
+		buf := make([]byte, 64)
+		for {
+			n, err := faulty.Read(buf)
+			if n > 0 {
+				sizes = append(sizes, n)
+			}
+			if err != nil {
+				return sizes
+			}
+		}
+	}
+	a, b := readSizes(5), readSizes(5)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("read size sequences differ in length: %d vs %d", len(a), len(b))
+	}
+	short := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d: size %d vs %d with the same seed", i, a[i], b[i])
+		}
+		if a[i] < 64 {
+			short = true
+		}
+	}
+	if !short {
+		t.Error("ShortReads never shortened a 64-byte read")
+	}
+}
+
+func TestDropAfterWriteOffsetIsExact(t *testing.T) {
+	const offset = 100
+	faulty, clean := Pipe(Profile{Seed: 3, DropAfter: offset})
+	defer clean.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(clean)
+		got <- b
+	}()
+	n, err := faulty.Write(make([]byte, 500))
+	if n != offset {
+		t.Errorf("wrote %d bytes before drop, want exactly %d", n, offset)
+	}
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Errorf("drop error = %v, want ErrInjectedDrop", err)
+	}
+	if b := <-got; len(b) != offset {
+		t.Errorf("peer received %d bytes, want %d", len(b), offset)
+	}
+	if _, err := faulty.Write([]byte{1}); !errors.Is(err, ErrInjectedDrop) {
+		t.Errorf("write after drop: %v, want ErrInjectedDrop", err)
+	}
+}
+
+func TestDropAfterReadOffsetIsExact(t *testing.T) {
+	const offset = 64
+	faulty, clean := Pipe(Profile{Seed: 3, DropAfter: offset})
+	go func() {
+		clean.Write(make([]byte, 500))
+	}()
+	total := 0
+	buf := make([]byte, 50)
+	var lastErr error
+	for {
+		n, err := faulty.Read(buf)
+		total += n
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if total != offset {
+		t.Errorf("read %d bytes before drop, want exactly %d", total, offset)
+	}
+	if !errors.Is(lastErr, ErrInjectedDrop) {
+		t.Errorf("drop error = %v, want ErrInjectedDrop", lastErr)
+	}
+}
+
+func TestLatencyDelaysOperations(t *testing.T) {
+	faulty, clean := Pipe(Profile{Seed: 9, Latency: 5 * time.Millisecond,
+		Model: netsim.Link{Latency: 5 * time.Millisecond, Bandwidth: 1e9}})
+	defer faulty.Close()
+	defer clean.Close()
+	go io.Copy(io.Discard, clean)
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := faulty.Write(make([]byte, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three writes, each at least the 5ms model latency.
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("3 writes took %v, want >= 15ms of injected latency", elapsed)
+	}
+}
+
+func TestWrapIsNetConn(t *testing.T) {
+	var _ net.Conn = (*Conn)(nil)
+	faulty, clean := Pipe(Profile{})
+	defer clean.Close()
+	if faulty.LocalAddr() == nil || faulty.RemoteAddr() == nil {
+		t.Error("addresses not delegated")
+	}
+	if err := faulty.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Errorf("SetDeadline: %v", err)
+	}
+	faulty.Close()
+	if _, err := faulty.Write([]byte{1}); err == nil {
+		t.Error("write after Close succeeded")
+	}
+}

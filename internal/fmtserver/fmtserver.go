@@ -32,6 +32,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -163,31 +164,93 @@ func writeResp(w io.Writer, status byte, payload []byte) error {
 
 // Client talks to a format server and caches results.  A Client is safe
 // for concurrent use; requests are serialized over one connection.
+//
+// A Client built with Dial retries failed round trips with exponential
+// backoff over a fresh connection — a format server restart or a dropped
+// connection is invisible to callers as long as the server comes back
+// within the retry budget.  IDs are content-addressed, so a re-sent
+// register is idempotent and retries are always safe.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+
+	// redial, when set, reconnects after a round-trip failure.  attempts
+	// is the total number of tries per round trip (min 1) and backoff
+	// the delay before the first retry, doubling each retry after that.
+	redial   func() (net.Conn, error)
+	attempts int
+	backoff  time.Duration
+
+	// timeout, when nonzero, bounds each round trip attempt's I/O with a
+	// connection deadline.
+	timeout time.Duration
 
 	cacheMu sync.RWMutex
 	byID    map[FormatID]*wire.Format
 	ids     map[string]FormatID // fingerprint -> ID
 }
 
-// Dial connects to a format server.
+// Retry defaults for Dial-built clients.
+const (
+	defaultAttempts = 4
+	defaultBackoff  = 25 * time.Millisecond
+)
+
+// Dial connects to a format server.  The returned client redials and
+// retries failed round trips with exponential backoff.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fmtserver: %w", err)
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.redial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	c.attempts = defaultAttempts
+	return c, nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection.  Without a redial function
+// (see SetRedial) the client cannot retry: a mid-request failure leaves
+// the byte stream unsynchronized, so reusing the connection is unsafe.
 func NewClient(conn net.Conn) *Client {
 	return &Client{
-		conn: conn,
-		byID: make(map[FormatID]*wire.Format),
-		ids:  make(map[string]FormatID),
+		conn:     conn,
+		attempts: 1,
+		backoff:  defaultBackoff,
+		byID:     make(map[FormatID]*wire.Format),
+		ids:      make(map[string]FormatID),
 	}
+}
+
+// SetRedial equips the client to replace its connection after a failure,
+// enabling retries.
+func (c *Client) SetRedial(fn func() (net.Conn, error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.redial = fn
+	if c.attempts < defaultAttempts {
+		c.attempts = defaultAttempts
+	}
+}
+
+// SetRetry configures the per-round-trip attempt budget and the initial
+// backoff delay (doubled before each subsequent retry).
+func (c *Client) SetRetry(attempts int, backoff time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attempts < 1 {
+		attempts = 1
+	}
+	c.attempts = attempts
+	c.backoff = backoff
+}
+
+// SetTimeout bounds each round-trip attempt with a connection deadline.
+// Zero disables.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
 }
 
 // Close closes the connection.
@@ -257,9 +320,48 @@ func (c *Client) Lookup(id FormatID) (*wire.Format, error) {
 	return f, nil
 }
 
+// roundTrip performs one request/response exchange, retrying over a fresh
+// connection with exponential backoff when the client has a redial
+// function.  A retry never reuses a connection that failed mid-request:
+// the stream may hold half a message, so resynchronizing is impossible —
+// reconnect-and-resend is the only safe recovery, and the protocol's
+// idempotent requests make it correct.
 func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			if c.redial == nil {
+				break
+			}
+			time.Sleep(c.backoff << (attempt - 1))
+			conn, err := c.redial()
+			if err != nil {
+				lastErr = fmt.Errorf("fmtserver: redial: %w", err)
+				continue
+			}
+			c.conn.Close()
+			c.conn = conn
+		}
+		status, resp, err := c.do(op, payload)
+		if err == nil {
+			return status, resp, nil
+		}
+		lastErr = err
+	}
+	if c.attempts > 1 {
+		return 0, nil, fmt.Errorf("fmtserver: %d attempts failed, last: %w", c.attempts, lastErr)
+	}
+	return 0, nil, lastErr
+}
+
+// do performs a single request/response attempt on the current
+// connection.  Callers hold c.mu.
+func (c *Client) do(op byte, payload []byte) (byte, []byte, error) {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
 	var hdr [5]byte
 	hdr[0] = op
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))

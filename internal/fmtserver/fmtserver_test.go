@@ -4,6 +4,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/abi"
 	"repro/internal/wire"
@@ -134,10 +135,17 @@ func TestClientCaching(t *testing.T) {
 	if _, err := c.Lookup(id); err != nil {
 		t.Errorf("cached Lookup hit the network: %v", err)
 	}
-	// Uncached operations now fail cleanly.
+	// Uncached operations over the dead connection: with the retry
+	// budget exhausted (single attempt) they must fail cleanly...
+	c.SetRetry(1, 0)
 	other := wire.MustLayout(testSchema(), &abi.X86)
 	if _, err := c.Register(other); err == nil {
 		t.Error("Register over dead connection succeeded")
+	}
+	// ...and with retries restored, the client heals by redialing.
+	c.SetRetry(3, time.Millisecond)
+	if _, err := c.Register(other); err != nil {
+		t.Errorf("retrying Register did not heal a severed connection: %v", err)
 	}
 }
 

@@ -82,8 +82,11 @@ func TestClientSurvivesGarbageResponses(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer client.Close()
-			// Deadline so a starving response fails rather than hangs.
-			client.conn.SetDeadline(time.Now().Add(500 * time.Millisecond))
+			// Single attempt with a timeout: a garbage server stays
+			// garbage, so retries would only repeat the failure, and a
+			// starving response must fail rather than hang.
+			client.SetRetry(1, 0)
+			client.SetTimeout(500 * time.Millisecond)
 			if _, err := client.Register(f); err == nil {
 				t.Error("Register accepted a garbage response")
 			}
@@ -92,7 +95,8 @@ func TestClientSurvivesGarbageResponses(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer c2.Close()
-			c2.conn.SetDeadline(time.Now().Add(500 * time.Millisecond))
+			c2.SetRetry(1, 0)
+			c2.SetTimeout(500 * time.Millisecond)
 			if _, err := c2.Lookup(FormatID(42)); err == nil {
 				t.Error("Lookup accepted a garbage response")
 			}

@@ -1,0 +1,91 @@
+// Package leakcheck provides a goroutine-leak assertion shared by the
+// relay, transport, and chaos tests: snapshot the live goroutines at the
+// start of a test, and fail the test if new ones are still alive when it
+// ends (after a grace period for orderly shutdown).
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignored returns true for goroutine stacks that are not leaks: the
+// runtime's own helpers and the testing framework.
+func ignored(stack string) bool {
+	for _, frag := range []string{
+		"testing.(*T).Run",
+		"testing.(*M).Run",
+		"testing.RunTests",
+		"testing.runFuzzing",
+		"testing.tRunner",
+		"runtime.goexit0",
+		"runtime/trace",
+		"runtime.gc",
+		"runtime.MemProfile",
+		"os/signal.signal_recv",
+		"created by runtime",
+		"leakcheck.snapshot",
+	} {
+		if strings.Contains(stack, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the set of live goroutine stacks keyed by their
+// header line ("goroutine N [state]:"), which embeds the goroutine ID.
+func snapshot() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	set := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || ignored(g) {
+			continue
+		}
+		header, _, _ := strings.Cut(g, "\n")
+		// Key by goroutine ID only — the state ("[running]" etc.)
+		// changes between snapshots of the same goroutine.
+		id, _, _ := strings.Cut(strings.TrimPrefix(header, "goroutine "), " ")
+		set[id] = g
+	}
+	return set
+}
+
+// Check registers a cleanup that fails t if goroutines started during the
+// test are still running when it ends.  Call it first in the test so the
+// cleanup runs after the test's own teardown (cleanups run LIFO).
+func Check(t testing.TB) {
+	t.Helper()
+	before := snapshot()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, g := range snapshot() {
+				if _, ok := before[id]; !ok {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}

@@ -1,0 +1,115 @@
+package relay
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/pbio"
+)
+
+// TestRelayBroadcastDropCloseRace hammers the three paths that share the
+// consumer table — live broadcast, slow-consumer drop, and server Close —
+// from many goroutines at once.  It asserts nothing about delivery; the
+// point is that `go test -race` finds no data race and no goroutine
+// survives the teardown.
+func TestRelayBroadcastDropCloseRace(t *testing.T) {
+	leakcheck.Check(t)
+
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		pln.Close()
+		t.Skipf("no loopback listener: %v", err)
+	}
+	s := NewServer()
+	s.SetTimeouts(2*time.Second, 200*time.Millisecond)
+	go func() { _ = s.ServeProducers(pln) }()
+	go func() { _ = s.ServeConsumers(cln) }()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Producers: write records flat out until told to stop.
+	for pi := 0; pi < 3; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", pln.Addr().String())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			ctx, f := producerCtx(t, "sparc-v8")
+			w := ctx.NewWriter(conn)
+			w.SetTimeout(time.Second)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := f.NewRecord()
+				rec.MustSetInt("seq", 0, int64(i))
+				rec.MustSetFloat("v", 0, float64(i)*0.5)
+				if w.Write(rec) != nil {
+					return
+				}
+			}
+		}(pi)
+	}
+
+	// Consumers: connect, read a little, disconnect abruptly, reconnect.
+	// Half of them stall instead of reading, to exercise the drop path.
+	for ci := 0; ci < 6; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				conn, err := net.Dial("tcp", cln.Addr().String())
+				if err != nil {
+					return
+				}
+				if ci%2 == 0 {
+					// Reader: drain a few messages then hang up mid-stream.
+					ctx, _ := pbio.NewContext(pbio.WithArch("x86"))
+					r := ctx.NewReader(conn)
+					r.SetTimeout(time.Second)
+					for i := 0; i < 5; i++ {
+						if _, err := r.Read(); err != nil {
+							break
+						}
+					}
+				} else {
+					// Staller: never read; the relay must drop us.
+					time.Sleep(50 * time.Millisecond)
+				}
+				conn.Close()
+			}
+		}(ci)
+	}
+
+	// Let traffic flow, then tear everything down while it is flowing.
+	time.Sleep(300 * time.Millisecond)
+	s.Close()
+	close(stop)
+	pln.Close()
+	cln.Close()
+	wg.Wait()
+
+	// Stats must be coherent after the storm (read under the lock).
+	st := s.Stats()
+	if st.Frames < 0 || st.ForwardedBytes < 0 {
+		t.Errorf("stats went negative: %+v", st)
+	}
+}

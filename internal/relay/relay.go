@@ -18,9 +18,13 @@
 package relay
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -35,9 +39,48 @@ type Server struct {
 	consumers map[*consumer]bool
 	closed    bool
 
-	// Stats, for tests and monitoring.
-	producedFrames int
-	forwardedBytes int
+	// producerTimeout, when nonzero, bounds each producer frame read; an
+	// idle-past-the-bound producer is treated as gone.  consumerTimeout
+	// bounds each consumer frame write, so a peer that stops draining its
+	// socket cannot pin a relay goroutine.
+	producerTimeout time.Duration
+	consumerTimeout time.Duration
+
+	// sums, when true, checksums the meta frames the relay itself
+	// originates (broadcast and late-joiner replay).  Data frames are
+	// forwarded verbatim, so their integrity protection is whatever the
+	// producer chose; meta is re-encoded here and would otherwise be the
+	// one unprotected link in an end-to-end checksummed path.
+	sums bool
+
+	stats Stats
+}
+
+// Stats is the relay's error-accounting and throughput counters.
+type Stats struct {
+	// Frames is the number of frames broadcast; ForwardedBytes the total
+	// payload bytes forwarded (payload size × consumers at broadcast
+	// time).
+	Frames         int
+	ForwardedBytes int
+
+	// BadProducers counts producers dropped for protocol violations or
+	// unrecoverable corruption; LastProducerError records the most
+	// recent cause.
+	BadProducers      int
+	LastProducerError string
+
+	// DroppedConsumers counts consumers dropped for falling behind
+	// (queue overflow) or exceeding the consumer write timeout.
+	DroppedConsumers int
+
+	// Resyncs counts corrupt producer frames survived without dropping
+	// the producer: the frame was skipped and the stream re-aligned on
+	// the next frame boundary.
+	Resyncs int
+
+	// MetaReplays counts meta frames replayed to late-joining consumers.
+	MetaReplays int
 }
 
 // consumer is one subscriber connection.
@@ -50,12 +93,54 @@ type consumer struct {
 // far behind is dropped rather than stalling the producers.
 const consumerQueue = 256
 
+// maxProducerResyncs bounds how many corrupt frames the relay will skip
+// for one producer before concluding the connection is hopeless, and
+// resyncScanLimit bounds how far it scans for the next frame boundary
+// after each one.
+const (
+	maxProducerResyncs = 64
+	resyncScanLimit    = 1 << 20
+)
+
 // NewServer returns an empty relay.
 func NewServer() *Server {
 	return &Server{
 		formats:   wire.NewRegistry(),
 		metaBytes: make(map[uint32][]byte),
 		consumers: make(map[*consumer]bool),
+	}
+}
+
+// SetTimeouts configures the per-frame producer read bound and consumer
+// write bound.  Zero (the default) disables the respective deadline.
+func (s *Server) SetTimeouts(producerRead, consumerWrite time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.producerTimeout = producerRead
+	s.consumerTimeout = consumerWrite
+}
+
+// SetChecksums makes the relay checksum the meta frames it originates.
+// Readers accept checksummed and plain frames transparently, so this is
+// safe to enable regardless of what producers do.
+func (s *Server) SetChecksums(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sums = on
+}
+
+// metaFrame builds the meta frame for a relay format ID, checksummed when
+// the relay is configured to.  Callers must hold s.mu.
+func (s *Server) metaFrame(relayID uint32) transport.Frame {
+	if s.sums {
+		return transport.Frame{
+			Kind:     transport.FrameMeta | transport.FrameFlagSum,
+			FormatID: relayID,
+			Payload:  transport.SumPayload(s.metaBytes[relayID]),
+		}
+	}
+	return transport.Frame{
+		Kind: transport.FrameMeta, FormatID: relayID, Payload: s.metaBytes[relayID],
 	}
 }
 
@@ -83,47 +168,141 @@ func (s *Server) ServeConsumers(ln net.Listener) error {
 
 // serveProducer reads frames from one producer, renumbers format IDs into
 // the relay space, and broadcasts.
+//
+// Corrupt frames do not immediately kill the producer: a frame that fails
+// its checksum (or decodes to garbage) is skipped, and a framing-level
+// error triggers a bounded scan for the next frame boundary (Resync).
+// Only unrecoverable conditions — a gone peer, a protocol violation, or
+// too many corrupt frames — drop the connection, and every drop records
+// its cause in Stats.
 func (s *Server) serveProducer(conn net.Conn) {
 	defer conn.Close()
-	local := make(map[uint32]uint32) // producer's ID -> relay ID
+	type binding struct {
+		relayID uint32
+		size    int
+	}
+	local := make(map[uint32]binding) // producer's ID -> relay binding
+	br := bufio.NewReader(conn)
 	var buf []byte
-	for {
-		f, nbuf, err := transport.ReadFrame(conn, buf)
-		buf = nbuf
-		if err != nil {
-			return // EOF or protocol error: drop the producer
+	resyncs := 0
+
+	// skip records one survivable corrupt frame; the second return
+	// reports whether the producer has exhausted its corruption budget.
+	skip := func(cause error) bool {
+		resyncs++
+		s.noteResync()
+		if resyncs > maxProducerResyncs {
+			s.noteBadProducer(fmt.Errorf("relay: producer exceeded %d corrupt frames: %w", maxProducerResyncs, cause))
+			return false
 		}
-		switch f.Kind {
-		case transport.FrameMeta:
-			format, _, err := wire.DecodeMeta(f.Payload)
-			if err != nil {
+		return true
+	}
+
+	for {
+		s.armProducerRead(conn)
+		f, nbuf, err := transport.ReadFrame(br, buf)
+		buf = nbuf
+		switch {
+		case err == nil:
+		case err == io.EOF:
+			return // clean disconnect
+		case errors.Is(err, transport.ErrCorruptFrame):
+			// Framing lost: skip garbage until the next frame boundary.
+			if !skip(err) {
 				return
+			}
+			if _, rerr := transport.Resync(br, resyncScanLimit); rerr != nil {
+				if rerr != io.EOF {
+					s.noteBadProducer(fmt.Errorf("relay: resync failed: %w", rerr))
+				}
+				return
+			}
+			continue
+		default:
+			// Peer gone mid-frame (reset, timeout, truncation).
+			s.noteBadProducer(err)
+			return
+		}
+		body, err := f.Body()
+		if err != nil {
+			// Checksum mismatch: the frame was consumed whole, so the
+			// stream is still aligned — just drop the frame.
+			if !skip(err) {
+				return
+			}
+			continue
+		}
+		switch f.BaseKind() {
+		case transport.FrameMeta:
+			format, _, err := wire.DecodeMeta(body)
+			if err != nil {
+				if !skip(err) {
+					return
+				}
+				continue
 			}
 			relayID, added, err := s.registerFormat(format)
 			if err != nil {
+				s.noteBadProducer(err)
 				return
 			}
-			local[f.FormatID] = relayID
+			local[f.FormatID] = binding{relayID: relayID, size: format.Size}
 			if added {
 				s.broadcastMeta(relayID)
 			}
 		case transport.FrameData:
-			relayID, ok := local[f.FormatID]
+			b, ok := local[f.FormatID]
 			if !ok {
-				return // data before meta: protocol violation
+				s.noteBadProducer(fmt.Errorf("relay: data frame for unknown format ID %d (data before meta)", f.FormatID))
+				return
+			}
+			if len(body) != b.size {
+				// A record that is not its format's size is corrupt even
+				// if its checksum matches (or it carries none).
+				if !skip(fmt.Errorf("relay: record %d bytes, format is %d", len(body), b.size)) {
+					return
+				}
+				continue
 			}
 			// The read buffer is reused per frame; broadcast an owned
-			// copy shared by all consumers.
+			// copy shared by all consumers.  The payload (including any
+			// checksum prefix) is forwarded verbatim — the checksum
+			// covers the body only, so renumbering the header keeps it
+			// valid end-to-end.
 			payload := append([]byte(nil), f.Payload...)
 			s.broadcast(transport.Frame{
-				Kind: transport.FrameData, FormatID: relayID, Payload: payload,
+				Kind: f.Kind, FormatID: b.relayID, Payload: payload,
 			})
 		default:
 			// Format-server references would need a resolver here;
 			// producers must use in-band meta with a relay.
+			s.noteBadProducer(fmt.Errorf("relay: unexpected frame kind %d from producer", f.Kind))
 			return
 		}
 	}
+}
+
+// armProducerRead applies the producer read deadline, if configured.
+func (s *Server) armProducerRead(conn net.Conn) {
+	s.mu.Lock()
+	d := s.producerTimeout
+	s.mu.Unlock()
+	if d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+}
+
+func (s *Server) noteResync() {
+	s.mu.Lock()
+	s.stats.Resyncs++
+	s.mu.Unlock()
+}
+
+func (s *Server) noteBadProducer(cause error) {
+	s.mu.Lock()
+	s.stats.BadProducers++
+	s.stats.LastProducerError = cause.Error()
+	s.mu.Unlock()
 }
 
 // registerFormat adds a format to the relay space, recording its meta
@@ -146,19 +325,17 @@ func (s *Server) registerFormat(f *wire.Format) (uint32, bool, error) {
 // consumers (late joiners get it from the replay in serveConsumer).
 func (s *Server) broadcastMeta(relayID uint32) {
 	s.mu.Lock()
-	payload := s.metaBytes[relayID]
+	f := s.metaFrame(relayID)
 	s.mu.Unlock()
-	s.broadcast(transport.Frame{
-		Kind: transport.FrameMeta, FormatID: relayID, Payload: payload,
-	})
+	s.broadcast(f)
 }
 
 // broadcast enqueues a frame for every consumer, dropping consumers whose
 // queues are full.
 func (s *Server) broadcast(f transport.Frame) {
 	s.mu.Lock()
-	s.producedFrames++
-	s.forwardedBytes += len(f.Payload) * len(s.consumers)
+	s.stats.Frames++
+	s.stats.ForwardedBytes += len(f.Payload) * len(s.consumers)
 	var drop []*consumer
 	for c := range s.consumers {
 		select {
@@ -168,8 +345,12 @@ func (s *Server) broadcast(f transport.Frame) {
 		}
 	}
 	for _, c := range drop {
+		// Closing the channel lets serveConsumer flush what is already
+		// queued and then disconnect; a peer that has stopped draining
+		// its socket is bounded by the consumer write timeout instead.
 		delete(s.consumers, c)
 		close(c.ch)
+		s.stats.DroppedConsumers++
 	}
 	s.mu.Unlock()
 }
@@ -188,11 +369,11 @@ func (s *Server) serveConsumer(conn net.Conn) {
 	}
 	replay := make([]transport.Frame, 0, len(s.metaOrder))
 	for _, id := range s.metaOrder {
-		replay = append(replay, transport.Frame{
-			Kind: transport.FrameMeta, FormatID: id, Payload: s.metaBytes[id],
-		})
+		replay = append(replay, s.metaFrame(id))
 	}
+	s.stats.MetaReplays += len(replay)
 	s.consumers[c] = true
+	wtimeout := s.consumerTimeout
 	s.mu.Unlock()
 
 	defer func() {
@@ -208,24 +389,30 @@ func (s *Server) serveConsumer(conn net.Conn) {
 		}
 	}()
 
+	write := func(f transport.Frame) error {
+		if wtimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(wtimeout))
+		}
+		return transport.WriteFrame(conn, f)
+	}
 	for _, f := range replay {
-		if err := transport.WriteFrame(conn, f); err != nil {
+		if err := write(f); err != nil {
 			return
 		}
 	}
 	for f := range c.ch {
-		if err := transport.WriteFrame(conn, f); err != nil {
+		if err := write(f); err != nil {
 			return
 		}
 	}
 }
 
-// Stats returns the number of frames broadcast and total payload bytes
-// forwarded (payload size × consumers at broadcast time).
-func (s *Server) Stats() (frames, bytes int) {
+// Stats returns a snapshot of the relay's throughput and error-accounting
+// counters.
+func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.producedFrames, s.forwardedBytes
+	return s.stats
 }
 
 // Formats returns the number of distinct formats the relay has seen.
@@ -244,6 +431,9 @@ func (s *Server) Close() {
 	for c := range s.consumers {
 		delete(s.consumers, c)
 		close(c.ch)
+		// Unblock any serveConsumer goroutine stuck mid-write so
+		// shutdown never waits on a dead peer.
+		c.conn.Close()
 	}
 }
 

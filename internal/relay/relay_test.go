@@ -132,9 +132,12 @@ func TestRelayFanOut(t *testing.T) {
 	if s.Formats() != 1 {
 		t.Errorf("relay saw %d formats, want 1", s.Formats())
 	}
-	frames, bytes := s.Stats()
-	if frames < 5 || bytes == 0 {
-		t.Errorf("stats: %d frames, %d bytes", frames, bytes)
+	st := s.Stats()
+	if st.Frames < 5 || st.ForwardedBytes == 0 {
+		t.Errorf("stats: %d frames, %d bytes", st.Frames, st.ForwardedBytes)
+	}
+	if st.BadProducers != 0 || st.Resyncs != 0 {
+		t.Errorf("clean run recorded errors: %+v", st)
 	}
 }
 

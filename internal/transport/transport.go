@@ -9,8 +9,10 @@ package transport
 
 import (
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -24,6 +26,15 @@ const (
 	// FrameMetaRef carries an 8-byte global format ID (format-server
 	// mode).
 	FrameMetaRef = 3
+
+	// FrameFlagSum, OR-ed into the kind byte, marks a frame whose
+	// payload is prefixed by a 4-byte big-endian CRC32-C of the body.
+	// The checksum covers the body only — not the header — so a relay
+	// can renumber format IDs while forwarding without re-hashing, and
+	// the record bytes themselves keep end-to-end integrity across hops.
+	// Checksums are opt-in per writer (Writer.SetChecksums); readers
+	// accept both forms transparently.
+	FrameFlagSum = 0x80
 
 	msgMeta    = FrameMeta
 	msgData    = FrameData
@@ -39,6 +50,43 @@ type Frame struct {
 	Payload  []byte
 }
 
+// BaseKind returns the frame kind with the checksum flag stripped.
+func (f *Frame) BaseKind() byte { return f.Kind &^ FrameFlagSum }
+
+// Checksummed reports whether the payload carries a CRC32-C prefix.
+func (f *Frame) Checksummed() bool { return f.Kind&FrameFlagSum != 0 }
+
+// Body verifies the payload checksum (when present) and returns the
+// frame body with any checksum prefix stripped.  A mismatch wraps
+// ErrCorruptFrame; the stream itself is still frame-aligned, so callers
+// that can tolerate loss may skip the frame and continue reading.
+func (f *Frame) Body() ([]byte, error) {
+	if !f.Checksummed() {
+		return f.Payload, nil
+	}
+	if len(f.Payload) < 4 {
+		return nil, fmt.Errorf("transport: checksummed payload only %d bytes: %w", len(f.Payload), ErrCorruptFrame)
+	}
+	want := uint32(f.Payload[0])<<24 | uint32(f.Payload[1])<<16 | uint32(f.Payload[2])<<8 | uint32(f.Payload[3])
+	body := f.Payload[4:]
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("transport: payload checksum %#x, want %#x: %w", got, want, ErrCorruptFrame)
+	}
+	return body, nil
+}
+
+// SumPayload returns body prefixed with its CRC32-C, the payload layout
+// of a FrameFlagSum frame.  Intermediaries that originate frames (a
+// relay re-encoding meta, say) use this to give them the same integrity
+// protection producer-written frames get from Writer.SetChecksums.
+func SumPayload(body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	s := crc32.Checksum(body, crcTable)
+	out[0], out[1], out[2], out[3] = byte(s>>24), byte(s>>16), byte(s>>8), byte(s)
+	copy(out[4:], body)
+	return out
+}
+
 // ReadFrame reads one frame, reusing buf for the payload when it is large
 // enough.  It returns the frame and the (possibly grown) buffer.  io.EOF
 // is returned untouched at a clean frame boundary.
@@ -48,23 +96,26 @@ func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 		if err == io.EOF {
 			return Frame{}, buf, io.EOF
 		}
-		return Frame{}, buf, fmt.Errorf("transport: read header: %w", err)
+		return Frame{}, buf, fmt.Errorf("transport: read header: %w: %w", err, ErrPeerGone)
 	}
 	if uint16(hdr[0])<<8|uint16(hdr[1]) != frameMagic {
-		return Frame{}, buf, fmt.Errorf("transport: bad frame magic %#x%02x", hdr[0], hdr[1])
+		return Frame{}, buf, fmt.Errorf("transport: bad frame magic %#x%02x: %w", hdr[0], hdr[1], ErrCorruptFrame)
 	}
 	f := Frame{Kind: hdr[2]}
 	f.FormatID = uint32(hdr[3])<<24 | uint32(hdr[4])<<16 | uint32(hdr[5])<<8 | uint32(hdr[6])
 	n := int(uint32(hdr[7])<<24 | uint32(hdr[8])<<16 | uint32(hdr[9])<<8 | uint32(hdr[10]))
 	if n < 0 || n > maxPayload {
-		return Frame{}, buf, fmt.Errorf("transport: frame payload %d out of range", n)
+		return Frame{}, buf, fmt.Errorf("transport: frame payload %d out of range: %w", n, ErrCorruptFrame)
+	}
+	if k := f.BaseKind(); (k == FrameMeta || k == FrameMetaRef) && n > maxMetaPayload {
+		return Frame{}, buf, fmt.Errorf("transport: meta payload %d exceeds bound %d: %w", n, maxMetaPayload, ErrCorruptFrame)
 	}
 	if cap(buf) < n {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return Frame{}, buf, fmt.Errorf("transport: read payload: %w", err)
+		return Frame{}, buf, fmt.Errorf("transport: read payload: %w: %w", err, ErrPeerGone)
 	}
 	f.Payload = buf
 	return f, buf, nil
@@ -78,7 +129,7 @@ func WriteFrame(w io.Writer, f Frame) error {
 	putHeader(hdr[:], f.Kind, f.FormatID, len(f.Payload))
 	bufs := net.Buffers{hdr[:], f.Payload}
 	if _, err := bufs.WriteTo(w); err != nil {
-		return fmt.Errorf("transport: write frame: %w", err)
+		return fmt.Errorf("transport: write frame: %w: %w", err, ErrPeerGone)
 	}
 	return nil
 }
@@ -90,6 +141,12 @@ const (
 	// maxPayload bounds frame payloads to guard against corrupt or
 	// hostile length fields.
 	maxPayload = 1 << 28
+
+	// maxMetaPayload bounds meta and meta-reference payloads much more
+	// tightly than data: a format description is small by construction,
+	// so a large length field on a meta frame is corruption, not data,
+	// and must not trigger a quarter-gigabyte allocation.
+	maxMetaPayload = 1 << 20
 )
 
 func putHeader(hdr []byte, kind byte, id uint32, n int) {
@@ -113,8 +170,17 @@ type Writer struct {
 	sent map[uint32]bool         // format IDs whose meta has been transmitted
 	ids  map[*wire.Format]uint32 // fast path: formats already registered
 	hdr  [frameHeaderSize]byte
-	meta []byte // reused meta encoding buffer
+	sum  [4]byte // reused checksum prefix (must outlive the vectored write)
+	meta []byte  // reused meta encoding buffer
 	bufs net.Buffers
+
+	// sums, when true, prefixes every payload with a CRC32-C of the body
+	// and sets FrameFlagSum in the kind byte.
+	sums bool
+
+	// timeout, when nonzero, bounds each WriteRecord with a write
+	// deadline (only effective when w is a net.Conn or similar).
+	timeout time.Duration
 
 	// registrar, when set, switches the writer to format-server mode:
 	// instead of full in-band meta, the first record of each format is
@@ -126,6 +192,32 @@ type Writer struct {
 // SetRegistrar switches the writer to format-server mode.  Must be called
 // before the first WriteRecord.
 func (t *Writer) SetRegistrar(fn func(*wire.Format) (uint64, error)) { t.registrar = fn }
+
+// SetChecksums toggles per-frame payload checksums (CRC32-C).  Off by
+// default: on a trusted stream NDR's wire cost stays exactly header +
+// native record.  On, each frame costs 4 extra bytes and one CRC pass,
+// and corruption anywhere on the path is detected rather than delivered.
+func (t *Writer) SetChecksums(on bool) { t.sums = on }
+
+// SetTimeout bounds each WriteRecord call with a write deadline of d from
+// its start.  It has effect only when the underlying stream supports
+// write deadlines (net.Conn does); zero disables.
+func (t *Writer) SetTimeout(d time.Duration) { t.timeout = d }
+
+// armWrite applies the write deadline, if any.
+func (t *Writer) armWrite() {
+	if t.timeout > 0 {
+		if dl, ok := t.w.(writeDeadliner); ok {
+			dl.SetWriteDeadline(time.Now().Add(t.timeout))
+		}
+	}
+}
+
+// checksum fills t.sum with the CRC32-C of body.
+func (t *Writer) checksum(body []byte) {
+	s := crc32.Checksum(body, crcTable)
+	t.sum[0], t.sum[1], t.sum[2], t.sum[3] = byte(s>>24), byte(s>>16), byte(s>>8), byte(s)
+}
 
 // NewWriter returns a Writer over w.
 func NewWriter(w io.Writer) *Writer {
@@ -146,6 +238,7 @@ func (t *Writer) WriteRecord(f *wire.Format, data []byte) error {
 	if len(data) != f.Size {
 		return fmt.Errorf("transport: record %d bytes, format %q is %d", len(data), f.Name, f.Size)
 	}
+	t.armWrite()
 	id, known := t.ids[f]
 	if !known {
 		var err error
@@ -163,31 +256,39 @@ func (t *Writer) WriteRecord(f *wire.Format, data []byte) error {
 			var ref [8]byte
 			ref[0], ref[1], ref[2], ref[3] = byte(gid>>56), byte(gid>>48), byte(gid>>40), byte(gid>>32)
 			ref[4], ref[5], ref[6], ref[7] = byte(gid>>24), byte(gid>>16), byte(gid>>8), byte(gid)
-			putHeader(t.hdr[:], msgMetaRef, id, len(ref))
-			if _, err := t.w.Write(t.hdr[:]); err != nil {
-				return fmt.Errorf("transport: write meta ref header: %w", err)
-			}
-			if _, err := t.w.Write(ref[:]); err != nil {
-				return fmt.Errorf("transport: write meta ref: %w", err)
+			if err := t.emit(msgMetaRef, id, ref[:], "meta ref"); err != nil {
+				return err
 			}
 		} else {
 			t.meta = wire.AppendMeta(t.meta[:0], f)
-			putHeader(t.hdr[:], msgMeta, id, len(t.meta))
-			if _, err := t.w.Write(t.hdr[:]); err != nil {
-				return fmt.Errorf("transport: write meta header: %w", err)
+			if len(t.meta) > maxMetaPayload {
+				return fmt.Errorf("transport: format %q meta is %d bytes, exceeds bound %d", f.Name, len(t.meta), maxMetaPayload)
 			}
-			if _, err := t.w.Write(t.meta); err != nil {
-				return fmt.Errorf("transport: write meta: %w", err)
+			if err := t.emit(msgMeta, id, t.meta, "meta"); err != nil {
+				return err
 			}
 		}
 		t.sent[id] = true
 	}
-	putHeader(t.hdr[:], msgData, id, len(data))
+	return t.emit(msgData, id, data, "data")
+}
+
+// emit writes one frame — header, optional checksum prefix, body — as a
+// single vectored write (one writev syscall on a net.Conn); the sender
+// never copies the record to build a contiguous message.
+func (t *Writer) emit(kind byte, id uint32, body []byte, what string) error {
+	if t.sums {
+		t.checksum(body)
+		putHeader(t.hdr[:], kind|FrameFlagSum, id, len(body)+4)
+		t.bufs = append(t.bufs[:0], t.hdr[:], t.sum[:], body)
+	} else {
+		putHeader(t.hdr[:], kind, id, len(body))
+		t.bufs = append(t.bufs[:0], t.hdr[:], body)
+	}
 	// Reuse the vectored-write slice: WriteTo consumes it, so rebuild
 	// from capacity each call (no per-record allocation).
-	t.bufs = append(t.bufs[:0], t.hdr[:], data)
 	if _, err := t.bufs.WriteTo(t.w); err != nil {
-		return fmt.Errorf("transport: write data: %w", err)
+		return fmt.Errorf("transport: write %s: %w: %w", what, err, ErrPeerGone)
 	}
 	return nil
 }
@@ -218,6 +319,10 @@ type Reader struct {
 	hdr     [frameHeaderSize]byte
 	buf     []byte
 
+	// timeout, when nonzero, bounds each frame read with a read deadline
+	// (only effective when r is a net.Conn or similar).
+	timeout time.Duration
+
 	// resolver, when set, resolves global format IDs arriving in
 	// meta-reference messages (format-server mode).
 	resolver func(uint64) (*wire.Format, error)
@@ -233,68 +338,98 @@ func NewReader(r io.Reader) *Reader {
 // cannot be read without one.
 func (t *Reader) SetResolver(fn func(uint64) (*wire.Format, error)) { t.resolver = fn }
 
+// SetTimeout bounds each frame read with a read deadline of d from its
+// start, so a slow or dead peer surfaces as an error instead of a hung
+// goroutine.  It has effect only when the underlying stream supports read
+// deadlines (net.Conn does); zero disables.
+func (t *Reader) SetTimeout(d time.Duration) { t.timeout = d }
+
+// armRead applies the read deadline, if any.
+func (t *Reader) armRead() {
+	if t.timeout > 0 {
+		if dl, ok := t.r.(readDeadliner); ok {
+			dl.SetReadDeadline(time.Now().Add(t.timeout))
+		}
+	}
+}
+
 // ReadMessage returns the next data message, transparently consuming any
 // meta messages that precede it.
 func (t *Reader) ReadMessage() (*Message, error) {
 	for {
+		t.armRead()
 		if _, err := io.ReadFull(t.r, t.hdr[:]); err != nil {
 			if err == io.EOF {
 				return nil, io.EOF
 			}
-			return nil, fmt.Errorf("transport: read header: %w", err)
+			return nil, fmt.Errorf("transport: read header: %w: %w", err, ErrPeerGone)
 		}
 		if uint16(t.hdr[0])<<8|uint16(t.hdr[1]) != frameMagic {
-			return nil, fmt.Errorf("transport: bad frame magic %#x%02x", t.hdr[0], t.hdr[1])
+			return nil, fmt.Errorf("transport: bad frame magic %#x%02x: %w", t.hdr[0], t.hdr[1], ErrCorruptFrame)
 		}
-		kind := t.hdr[2]
+		rawKind := t.hdr[2]
+		kind := rawKind &^ FrameFlagSum
 		id := uint32(t.hdr[3])<<24 | uint32(t.hdr[4])<<16 | uint32(t.hdr[5])<<8 | uint32(t.hdr[6])
 		n := int(uint32(t.hdr[7])<<24 | uint32(t.hdr[8])<<16 | uint32(t.hdr[9])<<8 | uint32(t.hdr[10]))
 		if n < 0 || n > maxPayload {
-			return nil, fmt.Errorf("transport: frame payload %d out of range", n)
+			return nil, fmt.Errorf("transport: frame payload %d out of range: %w", n, ErrCorruptFrame)
+		}
+		if (kind == msgMeta || kind == msgMetaRef) && n > maxMetaPayload {
+			return nil, fmt.Errorf("transport: meta payload %d exceeds bound %d: %w", n, maxMetaPayload, ErrCorruptFrame)
 		}
 		if cap(t.buf) < n {
 			t.buf = make([]byte, n)
 		}
 		t.buf = t.buf[:n]
 		if _, err := io.ReadFull(t.r, t.buf); err != nil {
-			return nil, fmt.Errorf("transport: read payload: %w", err)
+			return nil, fmt.Errorf("transport: read payload: %w: %w", err, ErrPeerGone)
+		}
+		// Verify and strip the checksum prefix, if the frame carries one.
+		body := t.buf
+		if rawKind&FrameFlagSum != 0 {
+			f := Frame{Kind: rawKind, Payload: t.buf}
+			var err error
+			if body, err = f.Body(); err != nil {
+				return nil, err
+			}
+			n = len(body)
 		}
 		switch kind {
 		case msgMeta:
-			f, _, err := wire.DecodeMeta(t.buf)
+			f, _, err := wire.DecodeMeta(body)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("transport: decode meta: %w: %w", err, ErrCorruptFrame)
 			}
 			if err := t.formats.Bind(id, f); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: %w", err, ErrProtocol)
 			}
 		case msgMetaRef:
 			if t.resolver == nil {
-				return nil, fmt.Errorf("transport: stream uses a format server but no resolver is configured")
+				return nil, fmt.Errorf("transport: stream uses a format server but no resolver is configured: %w", ErrProtocol)
 			}
 			if n != 8 {
-				return nil, fmt.Errorf("transport: meta reference payload %d bytes, want 8", n)
+				return nil, fmt.Errorf("transport: meta reference payload %d bytes, want 8: %w", n, ErrCorruptFrame)
 			}
-			gid := uint64(t.buf[0])<<56 | uint64(t.buf[1])<<48 | uint64(t.buf[2])<<40 | uint64(t.buf[3])<<32 |
-				uint64(t.buf[4])<<24 | uint64(t.buf[5])<<16 | uint64(t.buf[6])<<8 | uint64(t.buf[7])
+			gid := uint64(body[0])<<56 | uint64(body[1])<<48 | uint64(body[2])<<40 | uint64(body[3])<<32 |
+				uint64(body[4])<<24 | uint64(body[5])<<16 | uint64(body[6])<<8 | uint64(body[7])
 			f, err := t.resolver(gid)
 			if err != nil {
-				return nil, fmt.Errorf("transport: resolving format %#x: %w", gid, err)
+				return nil, fmt.Errorf("transport: resolving format %#x: %w: %w", gid, err, ErrFormatUnknown)
 			}
 			if err := t.formats.Bind(id, f); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: %w", err, ErrProtocol)
 			}
 		case msgData:
 			f := t.formats.Lookup(id)
 			if f == nil {
-				return nil, fmt.Errorf("transport: data for unknown format ID %d", id)
+				return nil, fmt.Errorf("transport: data for unknown format ID %d (data before meta): %w", id, ErrProtocol)
 			}
 			if n != f.Size {
-				return nil, fmt.Errorf("transport: record %d bytes, format %q is %d", n, f.Name, f.Size)
+				return nil, fmt.Errorf("transport: record %d bytes, format %q is %d: %w", n, f.Name, f.Size, ErrCorruptFrame)
 			}
-			return &Message{FormatID: id, Format: f, Data: t.buf}, nil
+			return &Message{FormatID: id, Format: f, Data: body}, nil
 		default:
-			return nil, fmt.Errorf("transport: unknown message kind %d", kind)
+			return nil, fmt.Errorf("transport: unknown message kind %d: %w", kind, ErrProtocol)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package pbio
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/convert"
 	"repro/internal/fmtserver"
@@ -31,6 +32,17 @@ func (c *Context) NewWriter(w io.Writer) *Writer {
 	return &Writer{ctx: c, tw: tw}
 }
 
+// EnableChecksums makes the Writer emit a CRC32-C over every frame body.
+// Receivers verify and strip the checksum transparently; readers that
+// predate checksums reject the frames as corrupt, so only enable this
+// when all consumers understand it.
+func (w *Writer) EnableChecksums() { w.tw.SetChecksums(true) }
+
+// SetTimeout bounds each record write when the underlying stream is a
+// net.Conn (or anything else with SetWriteDeadline).  Zero means no
+// bound.
+func (w *Writer) SetTimeout(d time.Duration) { w.tw.SetTimeout(d) }
+
 // Write transmits one record.
 func (w *Writer) Write(rec *Record) error {
 	if rec.fmt.ctx != w.ctx {
@@ -56,6 +68,11 @@ func (c *Context) NewReader(r io.Reader) *Reader {
 	}
 	return &Reader{ctx: c, tr: tr}
 }
+
+// SetTimeout bounds each message read when the underlying stream is a
+// net.Conn (or anything else with SetReadDeadline).  Zero means no
+// bound.
+func (r *Reader) SetTimeout(d time.Duration) { r.tr.SetTimeout(d) }
 
 // Read returns the next message.  It returns io.EOF at a clean end of
 // stream.
