@@ -2,15 +2,25 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race chaos fuzz bench figures examples outputs clean
+.PHONY: all build vet lint pbiovet test test-race chaos fuzz bench figures examples outputs clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
-vet:
+# vet runs the standard Go vet plus pbiovet, the repo's own analyzer
+# suite (tagcheck, speccheck, endiancheck, senterr).  Any diagnostic
+# fails the target, and therefore `make all` and CI.
+vet: pbiovet
 	$(GO) vet ./...
+	$(GO) vet -vettool=bin/pbiovet ./...
+
+lint: vet
+
+pbiovet:
+	@mkdir -p bin
+	$(GO) build -o bin/pbiovet ./cmd/pbiovet
 
 test: chaos
 	$(GO) test ./...
@@ -61,3 +71,4 @@ outputs:
 clean:
 	$(GO) clean ./...
 	rm -f test_output.txt bench_output.txt
+	rm -rf bin

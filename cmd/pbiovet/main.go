@@ -1,0 +1,68 @@
+// Command pbiovet is the repository's static-analysis suite: a vet tool
+// proving PBIO's wire invariants at compile time.
+//
+// It runs in two modes:
+//
+//	go vet -vettool=$(which pbiovet) ./...   # as a vet tool
+//	pbiovet [packages]                       # standalone (defaults to ./...)
+//
+// Standalone mode simply re-execs the go command with itself as the vet
+// tool, so both modes share one code path — the unit-checker protocol —
+// and agree exactly on build tags, test variants and import resolution.
+//
+// Analyzers (suppress a deliberate finding with a
+// `//pbiovet:allow <name> — reason` comment on or above the line):
+//
+//	tagcheck    pbio struct tags match the rules pbio.RegisterStruct enforces
+//	speccheck   literal FieldSpec/Schema declarations are wire-valid
+//	endiancheck byte-order arithmetic stays inside the layout layers
+//	senterr     sentinel errors are classified with errors.Is, not ==
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis/passes"
+	"repro/internal/analysis/unitchecker"
+)
+
+func main() {
+	// The go command drives the vet protocol with -V=full, -flags, or a
+	// vet.cfg argument; anything else is a human asking for a standalone
+	// run over package patterns.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" || arg == "-flags" ||
+			strings.HasSuffix(arg, ".cfg") {
+			unitchecker.Main(passes.All...)
+		}
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// standalone re-execs `go vet -vettool=<self> <patterns>`.
+func standalone(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbiovet:", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "pbiovet:", err)
+		return 1
+	}
+	return 0
+}

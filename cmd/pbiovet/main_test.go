@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelfRunClean builds pbiovet and runs it as a vet tool over the
+// whole module: the tree must stay free of pbiovet diagnostics.  This is
+// the acceptance gate for the analyzer suite — a regression either in an
+// analyzer (false positive) or in the tree (real finding) fails here.
+func TestSelfRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole module")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "pbiovet")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/pbiovet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pbiovet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("pbiovet reported diagnostics over the module:\n%s", out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestVetProtocolProbe checks the version handshake the go command uses
+// to accept a vet tool: `pbiovet -V=full` must print a single line in
+// the `name version ... buildID=...` shape.
+func TestVetProtocolProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "pbiovet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/pbiovet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pbiovet: %v\n%s", err, out)
+	}
+	out, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("pbiovet -V=full: %v", err)
+	}
+	s := strings.TrimSpace(string(out))
+	if !strings.Contains(s, "pbiovet version ") || !strings.Contains(s, "buildID=") {
+		t.Errorf("unexpected -V=full output: %q", s)
+	}
+}

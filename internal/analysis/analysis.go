@@ -1,0 +1,197 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, sized for this repository's
+// needs: a named Analyzer with a Run function over a type-checked package
+// unit, reporting position-anchored Diagnostics.
+//
+// The repository cannot vendor x/tools, so the surrounding machinery —
+// the `go vet -vettool=` unit-checker protocol (internal/analysis/
+// unitchecker) and the golden-comment test harness (internal/analysis/
+// analysistest) — is reimplemented on the standard library's go/ast,
+// go/types and go/importer.  Analyzers written against this package look
+// exactly like x/tools analyzers minus facts and sub-analyzer
+// dependencies, neither of which the pbiovet suite needs: every pbiovet
+// invariant is provable from a single package's syntax and types.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//pbiovet:allow <name>` suppression comments.
+	Name string
+
+	// Doc is the analyzer's documentation, shown by `pbiovet help`.
+	Doc string
+
+	// IncludeTests selects whether the analyzer also inspects _test.go
+	// files.  Checks whose findings are routinely intentional in test
+	// fixtures (byte-order arithmetic probing a codec, for instance)
+	// leave this false.
+	IncludeTests bool
+
+	// Run applies the analyzer to one package unit.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package unit through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Unit is one type-checked package ready for analysis.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// NewInfo returns a types.Info with every map analyzers consult allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Run applies the analyzers to the unit and returns the surviving
+// diagnostics, ordered by position.  Findings silenced by a
+// `//pbiovet:allow` comment (see allowedAt) are dropped, and analyzers
+// with IncludeTests unset never see diagnostics positioned in _test.go
+// files.
+func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := collectAllows(u.Fset, u.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.TypesInfo,
+		}
+		pass.report = func(d Diagnostic) {
+			pos := u.Fset.Position(d.Pos)
+			if !a.IncludeTests && strings.HasSuffix(pos.Filename, "_test.go") {
+				return
+			}
+			if allow.allowedAt(pos, a.Name) {
+				return
+			}
+			out = append(out, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// allowSet records `//pbiovet:allow name[,name...] [— reason]` comments.
+// A comment suppresses matching diagnostics reported on its own line and,
+// when it stands alone on its line, on the following line.
+type allowSet map[string]map[int][]string
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//pbiovet:allow")
+				if !ok {
+					continue
+				}
+				// Everything after the analyzer list is free-form rationale.
+				names := strings.Fields(text)
+				var list []string
+				if len(names) > 0 {
+					list = strings.Split(names[0], ",")
+				}
+				pos := fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], list...)
+				if pos.Column == 1 || onlyCommentOnLine(fset, f, c) {
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], list...)
+				}
+			}
+		}
+	}
+	return set
+}
+
+// onlyCommentOnLine reports whether c begins its source line (ignoring
+// whitespace), i.e. the comment is not trailing a statement.
+func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// Find whether any non-comment node of the file starts earlier on the
+	// same line.  A linear scan is fine: allow comments are rare.
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		p := fset.Position(n.Pos())
+		if p.Filename == pos.Filename && p.Line == pos.Line && p.Column < pos.Column {
+			switch n.(type) {
+			case *ast.File, *ast.Comment, *ast.CommentGroup:
+			default:
+				found = true
+			}
+		}
+		return !found
+	})
+	return !found
+}
+
+func (s allowSet) allowedAt(pos token.Position, analyzer string) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, name := range byLine[pos.Line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,246 @@
+// Package endiancheck defines an analyzer that keeps byte-order
+// arithmetic inside the module's layout layers.
+//
+// The paper's central design point is that layout knowledge — sizes,
+// alignments, byte orders — travels as meta-information and lives in one
+// place; scattering ad-hoc big-endian shifts through transports, RPC
+// framings and examples is how wire formats drift apart.  This analyzer
+// flags (1) any use of encoding/binary and (2) manual shift-and-mask
+// assembly or disassembly of multi-byte integers from byte buffers, in
+// every package except the sanctioned layout layers:
+//
+//	internal/abi    models foreign architectures' layout rules
+//	internal/wire   owns the canonical wire encodings and the BeUint*
+//	                helpers everything else must use
+//	internal/dcg    emits byte-order conversion code as its product
+package endiancheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags byte-order arithmetic outside the layout layers.
+var Analyzer = &analysis.Analyzer{
+	Name: "endiancheck",
+	Doc: `flag byte-order arithmetic outside internal/abi, internal/wire and internal/dcg
+
+Layout knowledge must stay in one layer.  Use the wire.BeUint*/
+wire.PutBeUint*/wire.AppendBeUint* helpers instead of encoding/binary or
+manual shift-and-mask code.`,
+	// Tests routinely build byte patterns by hand to probe codecs; the
+	// invariant is about production layout knowledge.
+	IncludeTests: false,
+	Run:          run,
+}
+
+// whitelist is the set of package paths that legitimately own byte-order
+// arithmetic.
+var whitelist = map[string]bool{
+	"repro/internal/abi":  true,
+	"repro/internal/wire": true,
+	"repro/internal/dcg":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if whitelist[normalizePath(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// claimed marks nodes already reported as part of an enclosing
+		// shift-and-mask chain, so one chain yields one diagnostic.
+		claimed := make(map[ast.Node]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if pkgName(pass, n.X) == "encoding/binary" {
+					pass.Reportf(n.Pos(),
+						"encoding/binary use outside the layout layer; use repro/internal/wire helpers (wire.BeUint32, wire.PutBeUint32, ...) so layout knowledge stays in one place")
+				}
+			case *ast.BinaryExpr:
+				if claimed[n] || n.Op != token.OR {
+					return true
+				}
+				if isByteAssembly(pass, n) {
+					pass.Reportf(n.Pos(),
+						"manual shift-and-mask byte decoding outside the layout layer; use wire.BeUint16/32/64 (repro/internal/wire)")
+					claimOrChain(n, claimed)
+					return false
+				}
+			case *ast.CallExpr:
+				if isByteOfShift(pass, n) {
+					pass.Reportf(n.Pos(),
+						"manual byte(x>>k) encoding outside the layout layer; use wire.PutBeUint* or wire.AppendBeUint* (repro/internal/wire)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgName resolves e to the import path of the package it names, or "".
+func pkgName(pass *analysis.Pass, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// isByteAssembly reports whether e is an |-chain combining at least two
+// terms of the form T(buf[i])<<k (k a positive multiple of 8) and
+// T(buf[i]), with buf a byte slice or array — i.e. a hand-rolled
+// big/little-endian load.
+func isByteAssembly(pass *analysis.Pass, e ast.Expr) bool {
+	var terms []ast.Expr
+	var collect func(ast.Expr) bool
+	collect = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			if e.Op == token.OR {
+				return collect(e.X) && collect(e.Y)
+			}
+		}
+		terms = append(terms, ast.Unparen(e))
+		return true
+	}
+	if !collect(e) || len(terms) < 2 {
+		return false
+	}
+	shifted := false
+	for _, t := range terms {
+		if sh, ok := byteLoadTerm(pass, t); !ok {
+			return false
+		} else if sh > 0 {
+			shifted = true
+		}
+	}
+	return shifted
+}
+
+// byteLoadTerm matches T(buf[i]) optionally shifted left by a constant
+// multiple of 8, returning the shift amount.
+func byteLoadTerm(pass *analysis.Pass, e ast.Expr) (shift int, ok bool) {
+	if be, isShift := e.(*ast.BinaryExpr); isShift && be.Op == token.SHL {
+		k, known := intConst(pass, be.Y)
+		if !known || k <= 0 || k%8 != 0 {
+			return 0, false
+		}
+		conv, isConv := byteIndexConv(pass, ast.Unparen(be.X))
+		if !isConv {
+			return 0, false
+		}
+		_ = conv
+		return k, true
+	}
+	if _, isConv := byteIndexConv(pass, e); isConv {
+		return 0, true
+	}
+	return 0, false
+}
+
+// byteIndexConv matches T(buf[i]) where T is an integer type and buf has
+// byte elements.
+func byteIndexConv(pass *analysis.Pass, e ast.Expr) (ast.Expr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	idx, ok := ast.Unparen(call.Args[0]).(*ast.IndexExpr)
+	if !ok {
+		return nil, false
+	}
+	return call, hasByteElems(pass.TypesInfo.Types[idx.X].Type)
+}
+
+// isByteOfShift matches byte(x >> k) / uint8(x >> k) with k a positive
+// constant multiple of 8 — a hand-rolled big/little-endian store.
+func isByteOfShift(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Uint8 {
+		return false
+	}
+	sh, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr)
+	if !ok || sh.Op != token.SHR {
+		return false
+	}
+	k, known := intConst(pass, sh.Y)
+	return known && k > 0 && k%8 == 0
+}
+
+func hasByteElems(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	case *types.Pointer: // index through *[N]byte
+		if a, ok := u.Elem().Underlying().(*types.Array); ok {
+			elem = a.Elem()
+		}
+	}
+	if elem == nil {
+		return false
+	}
+	b, ok := elem.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+func intConst(pass *analysis.Pass, e ast.Expr) (int, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// claimOrChain marks every node of the |-chain as reported.
+func claimOrChain(e ast.Expr, claimed map[ast.Node]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n != nil {
+			claimed[n] = true
+		}
+		return true
+	})
+}
+
+// normalizePath strips the " [p.test]" suffix of test-variant import
+// paths.
+func normalizePath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

@@ -1,0 +1,13 @@
+package endiancheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/endiancheck"
+)
+
+func TestEndiancheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), endiancheck.Analyzer,
+		"endianchecktest", "repro/internal/wire")
+}

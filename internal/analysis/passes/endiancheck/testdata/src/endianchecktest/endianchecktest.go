@@ -1,0 +1,59 @@
+// Package endianchecktest exercises the endiancheck analyzer: manual
+// byte-order arithmetic in a non-layout package must be flagged, and the
+// sanctioned wire helpers must not.
+package endianchecktest
+
+import (
+	"encoding/binary"
+
+	"repro/internal/wire"
+)
+
+func decodeBinaryPkg(b []byte) uint32 {
+	return binary.BigEndian.Uint32(b) // want `encoding/binary use outside the layout layer`
+}
+
+func encodeBinaryPkg(b []byte, v uint64) {
+	binary.LittleEndian.PutUint64(b, v) // want `encoding/binary use outside the layout layer`
+}
+
+func decodeShiftMask(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]) // want `manual shift-and-mask byte decoding outside the layout layer`
+}
+
+func decodeShiftMask16(hdr [4]byte) uint16 {
+	x := uint16(hdr[0])<<8 | uint16(hdr[1]) // want `manual shift-and-mask byte decoding outside the layout layer`
+	return x
+}
+
+func encodeShift(b []byte, v uint32) {
+	b[0] = byte(v >> 24) // want `manual byte\(x>>k\) encoding outside the layout layer`
+	b[1] = byte(v >> 16) // want `manual byte\(x>>k\) encoding outside the layout layer`
+	b[2] = byte(v >> 8)  // want `manual byte\(x>>k\) encoding outside the layout layer`
+	b[3] = byte(v)
+}
+
+// Negative cases: the sanctioned helpers, and arithmetic that merely
+// resembles byte assembly but isn't.
+func decodeSanctioned(b []byte) uint32 { return wire.BeUint32(b) }
+
+func encodeSanctioned(b []byte, v uint32) { wire.PutBeUint32(b, v) }
+
+func orFlags(flags []uint32) uint32 {
+	// |-chain over non-byte operands: not byte assembly.
+	return flags[0] | flags[1]
+}
+
+func shiftNonConst(b []byte, k uint) uint32 {
+	// Shift by a non-constant amount: not a fixed-layout decode.
+	return uint32(b[0]) << k
+}
+
+func lowByte(v uint32) byte {
+	// Truncating conversion without a shift is ordinary arithmetic.
+	return byte(v)
+}
+
+func suppressed(b []byte) uint16 {
+	return uint16(b[0])<<8 | uint16(b[1]) //pbiovet:allow endiancheck — demonstrating the escape hatch
+}

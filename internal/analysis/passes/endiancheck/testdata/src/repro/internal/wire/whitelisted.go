@@ -1,0 +1,13 @@
+// Package wire stands in for the real repro/internal/wire layout layer:
+// its import path is whitelisted, so manual byte-order arithmetic here
+// must produce no diagnostics.
+package wire
+
+func beUint16(b []byte) uint16 {
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+func putBeUint16(b []byte, v uint16) {
+	b[0] = byte(v >> 8)
+	b[1] = byte(v)
+}

@@ -1,0 +1,19 @@
+// Package passes enumerates the pbiovet analyzer suite, so the vet tool
+// and the self-run test agree on exactly which invariants are enforced.
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/endiancheck"
+	"repro/internal/analysis/passes/senterr"
+	"repro/internal/analysis/passes/speccheck"
+	"repro/internal/analysis/passes/tagcheck"
+)
+
+// All is the pbiovet suite, in reporting order.
+var All = []*analysis.Analyzer{
+	tagcheck.Analyzer,
+	speccheck.Analyzer,
+	endiancheck.Analyzer,
+	senterr.Analyzer,
+}

@@ -1,0 +1,123 @@
+// Package senterr defines an analyzer that flags ==/!= comparisons
+// against this module's sentinel errors.
+//
+// The transport layer's contract (internal/transport/errors.go) is that
+// every error it returns *wraps* one of the sentinels — ErrCorruptFrame,
+// ErrPeerGone, ErrProtocol, ErrFormatUnknown — precisely so callers can
+// classify failures with errors.Is.  A direct == comparison is therefore
+// always a latent bug: it compiles, it even works for an unwrapped
+// sentinel, and it silently misclassifies every wrapped one.  The same
+// holds for the other Err* sentinels the module exports (fmtserver,
+// faultnet).
+package senterr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags sentinel-error comparisons that should use errors.Is.
+var Analyzer = &analysis.Analyzer{
+	Name: "senterr",
+	Doc: `flag ==/!= comparisons against the module's sentinel errors
+
+Errors returned by the transport/relay/fmtserver stack wrap their
+sentinels (fmt.Errorf with %w), so identity comparison misclassifies
+them; use errors.Is(err, pkg.ErrX) instead.  Switch statements over an
+error value are equality comparisons too and are flagged the same way.`,
+	IncludeTests: true,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if name, ok := sentinel(pass, side); ok {
+						pass.Reportf(n.Pos(),
+							"comparing against sentinel %s with %s; the module wraps its sentinels, use errors.Is(err, %s)",
+							name, n.Op, name)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinel(pass, e); ok {
+							pass.Reportf(e.Pos(),
+								"switch case compares against sentinel %s by identity; the module wraps its sentinels, use errors.Is(err, %s)",
+								name, name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinel reports whether e denotes an exported package-level Err*
+// variable of error type declared in this module, returning its
+// qualified name for the diagnostic.
+func sentinel(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	if !obj.Exported() || !strings.HasPrefix(obj.Name(), "Err") {
+		return "", false
+	}
+	// Package-level only: the variable's parent scope is the package scope.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	pkgPath := modulePath(obj.Pkg().Path())
+	if pkgPath != "repro" && !strings.HasPrefix(pkgPath, "repro/") {
+		return "", false
+	}
+	if !isErrorType(obj.Type()) {
+		return "", false
+	}
+	return obj.Pkg().Name() + "." + obj.Name(), true
+}
+
+// modulePath strips the " [p.test]" suffix the go command appends to
+// test-variant import paths.
+func modulePath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

@@ -1,0 +1,12 @@
+package senterr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/senterr"
+)
+
+func TestSenterr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), senterr.Analyzer, "senterrtest")
+}

@@ -1,0 +1,42 @@
+// Fixture for the senterr analyzer: sentinel errors of this module must
+// be classified with errors.Is, never compared by identity.
+package senterrtest
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/fmtserver"
+	"repro/internal/transport"
+)
+
+func classify(err error) string {
+	if err == transport.ErrCorruptFrame { // want `use errors\.Is\(err, transport\.ErrCorruptFrame\)`
+		return "corrupt"
+	}
+	if transport.ErrPeerGone != err { // want `use errors\.Is\(err, transport\.ErrPeerGone\)`
+		return "maybe gone"
+	}
+	switch err {
+	case transport.ErrProtocol: // want `switch case compares against sentinel transport\.ErrProtocol`
+		return "protocol"
+	case io.EOF: // a standard-library sentinel, outside the module: not flagged
+		return "eof"
+	}
+	if err == fmtserver.ErrUnknownFormat { // want `use errors\.Is\(err, fmtserver\.ErrUnknownFormat\)`
+		return "unknown"
+	}
+	if errors.Is(err, transport.ErrFormatUnknown) { // the correct form: not flagged
+		return "unresolvable"
+	}
+	//pbiovet:allow senterr — fixture for the suppression comment itself
+	if err == transport.ErrCorruptFrame {
+		return "suppressed"
+	}
+	return ""
+}
+
+// Local error values and non-Err names are not sentinels.
+var errLocal = errors.New("local")
+
+func local(err error) bool { return err == errLocal }

@@ -1,0 +1,403 @@
+// Package speccheck defines an analyzer that validates literal field
+// specifications — []pbio.FieldSpec, wire.Schema/wire.Format literals,
+// and pbio registration call sites — against the invariants
+// wire.Schema.Validate and wire.Format.Validate enforce at runtime.
+//
+// A schema that fails validation fails at Register time, long after the
+// typo was written; a hand-built Format with overlapping offsets decodes
+// garbage.  For the (common) case where specs are written as literals
+// with constant names, counts and offsets, this analyzer proves the same
+// invariants at compile time:
+//
+//   - field names must be non-empty, free of the meta-encoding's
+//     reserved characters (<, >, &), and unique among their siblings;
+//   - element counts must be positive, including the n of pbio.Array
+//     and pbio.StructArray;
+//   - registration calls and nested structs need at least one field;
+//   - wire.Field layouts must not overlap and must fit the record size.
+package speccheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer validates literal field specs and registration call sites.
+var Analyzer = &analysis.Analyzer{
+	Name: "speccheck",
+	Doc: `validate literal field specs against wire's schema and layout invariants
+
+Flags empty, reserved or duplicate field names, non-positive counts,
+empty registrations, and overlapping or out-of-bounds wire.Field
+layouts, wherever they appear as compile-time constants.`,
+	// Codec tests build invalid schemas on purpose to probe Validate;
+	// the invariant is about production spec literals.
+	IncludeTests: false,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, bounds: make(map[*ast.CompositeLit]int64)}
+	for _, f := range pass.Files {
+		// First pass: remember the record size of every wire.Format
+		// literal, so its field list can be bounds-checked.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				c.noteFormatBound(lit)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				c.checkCall(n)
+			case *ast.CompositeLit:
+				c.checkLit(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// bounds maps []wire.Field literals appearing as the Fields of a
+	// wire.Format literal to that format's constant Size.
+	bounds map[*ast.CompositeLit]int64
+}
+
+// checkCall validates pbio registration and spec-constructor calls.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fn := c.callee(call)
+	if fn == nil || fn.Pkg() == nil || modulePath(fn.Pkg().Path()) != "repro/pbio" {
+		return
+	}
+	switch fn.Name() {
+	case "Register":
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil || len(call.Args) < 1 {
+			return
+		}
+		c.checkName(call.Args[0], "format")
+		if call.Ellipsis.IsValid() {
+			return // specs spread from a slice: contents unknown here
+		}
+		if len(call.Args) == 1 {
+			c.pass.Reportf(call.Pos(), "Register with no fields always fails: a schema must have at least one field")
+			return
+		}
+		c.checkSiblings(call.Args[1:])
+	case "F":
+		if len(call.Args) >= 1 {
+			c.checkName(call.Args[0], "field")
+		}
+	case "Array":
+		if len(call.Args) == 3 {
+			c.checkName(call.Args[0], "field")
+			c.checkCount(call.Args[2], "Array")
+		}
+	case "Struct":
+		if len(call.Args) < 1 {
+			return
+		}
+		c.checkName(call.Args[0], "field")
+		if !call.Ellipsis.IsValid() {
+			if len(call.Args) == 1 {
+				c.pass.Reportf(call.Pos(), "Struct with no fields always fails validation: a nested schema must have at least one field")
+			} else {
+				c.checkSiblings(call.Args[1:])
+			}
+		}
+	case "StructArray":
+		if len(call.Args) < 2 {
+			return
+		}
+		c.checkName(call.Args[0], "field")
+		c.checkCount(call.Args[1], "StructArray")
+		if !call.Ellipsis.IsValid() {
+			if len(call.Args) == 2 {
+				c.pass.Reportf(call.Pos(), "StructArray with no fields always fails validation: a nested schema must have at least one field")
+			} else {
+				c.checkSiblings(call.Args[2:])
+			}
+		}
+	}
+}
+
+// checkLit validates FieldSpec, Schema, Field-list and Format literals.
+func (c *checker) checkLit(lit *ast.CompositeLit) {
+	t := c.litType(lit)
+	if t == nil {
+		return
+	}
+	switch {
+	case isNamed(t, "repro/pbio", "FieldSpec"), isNamed(t, "repro/internal/wire", "FieldSpec"):
+		c.checkFieldSpecLit(lit)
+	case isFieldSpecSlice(t):
+		c.checkSiblings(lit.Elts)
+		for _, elt := range lit.Elts {
+			if inner, ok := elt.(*ast.CompositeLit); ok {
+				if _, present := litField(inner, "Count", 2); !present {
+					c.pass.Reportf(inner.Pos(), "FieldSpec literal without Count is zero-count and fails validation; set Count (1 for scalars) or use pbio.F/Array")
+				}
+			}
+		}
+	case isNamed(t, "repro/internal/wire", "Schema"):
+		if name, ok := litField(lit, "Name", 0); ok {
+			c.checkName(name, "schema")
+		}
+		if fields, ok := litField(lit, "Fields", 1); ok {
+			if fl, isLit := ast.Unparen(fields).(*ast.CompositeLit); isLit && len(fl.Elts) == 0 {
+				c.pass.Reportf(fields.Pos(), "schema with no fields always fails validation")
+			}
+		}
+	case isFieldSlice(t):
+		c.checkLayout(lit)
+	}
+}
+
+// noteFormatBound records Format{Size: N, Fields: []Field{...}} pairs.
+func (c *checker) noteFormatBound(lit *ast.CompositeLit) {
+	t := c.litType(lit)
+	if t == nil || !isNamed(t, "repro/internal/wire", "Format") {
+		return
+	}
+	sizeExpr, ok := litField(lit, "Size", -1)
+	if !ok {
+		return
+	}
+	size, ok := c.constInt(sizeExpr)
+	if !ok {
+		return
+	}
+	if fields, ok := litField(lit, "Fields", -1); ok {
+		if fl, isLit := ast.Unparen(fields).(*ast.CompositeLit); isLit {
+			c.bounds[fl] = size
+		}
+	}
+}
+
+// checkLayout validates a []wire.Field literal: positive counts, no
+// overlapping extents, and (when the enclosing Format's Size is known)
+// no field past the end of the record.
+func (c *checker) checkLayout(lit *ast.CompositeLit) {
+	type extent struct {
+		pos  ast.Expr
+		name string
+		lo   int64
+		hi   int64
+	}
+	var extents []extent
+	for _, elt := range lit.Elts {
+		fl, ok := ast.Unparen(elt).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		name := "?"
+		if ne, ok := litField(fl, "Name", 0); ok {
+			if s, isConst := c.constString(ne); isConst {
+				name = s
+			}
+		}
+		count, haveCount := c.litInt(fl, "Count", 2)
+		if haveCount && count <= 0 {
+			c.pass.Reportf(fl.Pos(), "field %q: count %d must be positive", name, count)
+			continue
+		}
+		size, haveSize := c.litInt(fl, "Size", 3)
+		offset, haveOffset := c.litInt(fl, "Offset", 4)
+		if haveSize && haveOffset && haveCount {
+			extents = append(extents, extent{pos: elt, name: name, lo: offset, hi: offset + size*count})
+		}
+	}
+	sort.SliceStable(extents, func(i, j int) bool { return extents[i].lo < extents[j].lo })
+	for i := 1; i < len(extents); i++ {
+		prev, cur := extents[i-1], extents[i]
+		if cur.lo < prev.hi {
+			c.pass.Reportf(cur.pos.Pos(), "field %q [%d,%d) overlaps field %q [%d,%d)", cur.name, cur.lo, cur.hi, prev.name, prev.lo, prev.hi)
+		}
+	}
+	if bound, bounded := c.bounds[lit]; bounded {
+		for _, e := range extents {
+			if e.hi > bound {
+				c.pass.Reportf(e.pos.Pos(), "field %q ends at byte %d, past the record size %d", e.name, e.hi, bound)
+			}
+		}
+	}
+}
+
+// checkFieldSpecLit validates one FieldSpec literal's constant parts.
+func (c *checker) checkFieldSpecLit(lit *ast.CompositeLit) {
+	if name, ok := litField(lit, "Name", 0); ok {
+		c.checkName(name, "field")
+	}
+	if count, ok := litField(lit, "Count", 2); ok {
+		c.checkCount(count, "FieldSpec")
+	}
+}
+
+// checkSiblings flags duplicate constant names within one field list.
+// Elements may be FieldSpec literals or pbio.F/Array/Struct/StructArray
+// calls; anything without a constant name is skipped.
+func (c *checker) checkSiblings(elts []ast.Expr) {
+	seen := make(map[string]bool)
+	for _, elt := range elts {
+		name, ok := c.staticName(elt)
+		if !ok {
+			continue
+		}
+		if seen[name] {
+			c.pass.Reportf(elt.Pos(), "duplicate field name %q in this spec list; schema validation rejects it", name)
+			continue
+		}
+		seen[name] = true
+	}
+}
+
+// staticName extracts the constant field name of a spec expression.
+func (c *checker) staticName(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		if ne, ok := litField(e, "Name", 0); ok {
+			return c.constString(ne)
+		}
+	case *ast.CallExpr:
+		fn := c.callee(e)
+		if fn == nil || fn.Pkg() == nil || modulePath(fn.Pkg().Path()) != "repro/pbio" {
+			return "", false
+		}
+		switch fn.Name() {
+		case "F", "Array", "Struct", "StructArray":
+			if len(e.Args) >= 1 {
+				return c.constString(e.Args[0])
+			}
+		}
+	}
+	return "", false
+}
+
+func (c *checker) checkName(e ast.Expr, what string) {
+	name, ok := c.constString(e)
+	if !ok {
+		return
+	}
+	if name == "" {
+		c.pass.Reportf(e.Pos(), "empty %s name always fails validation", what)
+		return
+	}
+	if strings.ContainsAny(name, "<>&\x00") {
+		c.pass.Reportf(e.Pos(), "%s name %q contains characters reserved by the meta encoding (<, >, &)", what, name)
+	}
+}
+
+func (c *checker) checkCount(e ast.Expr, what string) {
+	n, ok := c.constInt(e)
+	if ok && n <= 0 {
+		c.pass.Reportf(e.Pos(), "%s count %d must be positive", what, n)
+	}
+}
+
+// litField finds the value of a struct-literal field, by key or by
+// positional index (idx < 0 means the field can only appear keyed).
+func litField(lit *ast.CompositeLit, key string, idx int) (ast.Expr, bool) {
+	keyed := false
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == key {
+				return kv.Value, true
+			}
+		}
+	}
+	if !keyed && idx >= 0 && idx < len(lit.Elts) {
+		return lit.Elts[idx], true
+	}
+	return nil, false
+}
+
+// litInt reads a constant integer struct-literal field.
+func (c *checker) litInt(lit *ast.CompositeLit, key string, idx int) (int64, bool) {
+	e, ok := litField(lit, key, idx)
+	if !ok {
+		return 0, false
+	}
+	return c.constInt(e)
+}
+
+func (c *checker) litType(lit *ast.CompositeLit) types.Type {
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok {
+		return nil
+	}
+	return types.Unalias(tv.Type)
+}
+
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func (c *checker) constString(e ast.Expr) (string, bool) {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func (c *checker) constInt(e ast.Expr) (int64, bool) {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, exact
+}
+
+func isNamed(t types.Type, path, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && modulePath(obj.Pkg().Path()) == path
+}
+
+func isFieldSpecSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamed(s.Elem(), "repro/pbio", "FieldSpec") || isNamed(s.Elem(), "repro/internal/wire", "FieldSpec")
+}
+
+func isFieldSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamed(s.Elem(), "repro/internal/wire", "Field")
+}
+
+// modulePath strips the " [p.test]" suffix of test-variant import paths.
+func modulePath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

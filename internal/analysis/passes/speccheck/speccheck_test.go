@@ -1,0 +1,12 @@
+package speccheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/speccheck"
+)
+
+func TestSpeccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), speccheck.Analyzer, "specchecktest")
+}

@@ -1,0 +1,64 @@
+// Package specchecktest exercises the speccheck analyzer against the
+// invariants wire.Schema.Validate and wire.Format.Validate enforce.
+package specchecktest
+
+import (
+	"repro/internal/wire"
+	"repro/pbio"
+)
+
+func registrations(ctx *pbio.Context) {
+	ctx.Register("ok", pbio.F("a", pbio.Int), pbio.Array("b", pbio.Double, 4))
+	ctx.Register("dup", pbio.F("x", pbio.Int), pbio.F("x", pbio.LongLong)) // want `duplicate field name "x"`
+	ctx.Register("")                                                       // want `empty format name` `Register with no fields`
+	ctx.Register("neg", pbio.Array("a", pbio.Int, 0))                      // want `Array count 0 must be positive`
+	ctx.Register("res", pbio.F("a<b", pbio.Int))                           // want `field name "a<b" contains characters reserved`
+	ctx.Register("nested", pbio.Struct("s"))                               // want `Struct with no fields`
+	ctx.Register("sa", pbio.StructArray("s", -1, pbio.F("a", pbio.Int)))   // want `StructArray count -1 must be positive`
+
+	// Spread registration: element names are not statically known.
+	ctx.Register("spread", okSpecs...)
+}
+
+var okSpecs = []pbio.FieldSpec{
+	{Name: "a", Type: pbio.Int, Count: 1},
+	{Name: "b", Type: pbio.Double, Count: 8},
+}
+
+var badSpecs = []pbio.FieldSpec{
+	{Name: "a", Type: pbio.Int, Count: 1},
+	{Name: "a", Type: pbio.Double, Count: 1}, // want `duplicate field name "a"`
+	{Name: "b", Type: pbio.Int},              // want `FieldSpec literal without Count`
+	{Name: "", Type: pbio.Int, Count: 1},     // want `empty field name`
+	{Name: "c", Type: pbio.Int, Count: -3},   // want `FieldSpec count -3 must be positive`
+}
+
+// A lone FieldSpec completed later is not a registration-time literal:
+// only its constant parts are checked.
+var partial = pbio.FieldSpec{Name: "later", Type: pbio.Int}
+
+var badSchema = wire.Schema{Name: "", Fields: []wire.FieldSpec{}} // want `empty schema name` `schema with no fields`
+
+var goodLayout = wire.Format{
+	Name: "ok",
+	Size: 8,
+	Fields: []wire.Field{
+		{Name: "a", Count: 1, Size: 4, Offset: 0},
+		{Name: "b", Count: 1, Size: 4, Offset: 4},
+	},
+}
+
+var badLayout = wire.Format{
+	Name: "rec",
+	Size: 12,
+	Fields: []wire.Field{
+		{Name: "a", Count: 1, Size: 4, Offset: 0},
+		{Name: "b", Count: 1, Size: 4, Offset: 2}, // want `field "b" \[2,6\) overlaps field "a" \[0,4\)`
+		{Name: "c", Count: 2, Size: 4, Offset: 8}, // want `field "c" ends at byte 16, past the record size 12`
+		{Name: "d", Count: 0, Size: 4, Offset: 6}, // want `field "d": count 0 must be positive`
+	},
+}
+
+func suppressed(ctx *pbio.Context) {
+	ctx.Register("fixture", pbio.F("", pbio.Int)) //pbiovet:allow speccheck — demonstrating the escape hatch
+}

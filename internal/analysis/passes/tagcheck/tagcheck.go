@@ -1,0 +1,522 @@
+// Package tagcheck defines an analyzer that validates `pbio` struct
+// tags against the rules pbio.RegisterStruct enforces at runtime.
+//
+// RegisterStruct derives a wire format from a Go struct via reflection
+// (pbio/reflect.go); a bad tag or unsupported field type surfaces only
+// when the program first registers the type.  This analyzer proves the
+// same rules at compile time:
+//
+//   - only int16/32/64, uint16/32/64, float32/64, string, nested
+//     structs, [N]T arrays and []T slices of scalars are marshalled;
+//   - string and slice fields must carry a well-formed `size=N` (N > 0);
+//   - effective wire names (lower-cased Go name, or the explicit tag
+//     name) must be unique within a struct;
+//   - `pbio:"-"` skips a field; tags on unexported fields are dead.
+//
+// A struct is checked if any of its fields carries a `pbio` tag, if it
+// is passed to RegisterStruct, or if it is nested inside a checked
+// struct.
+package tagcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer validates pbio struct tags against pbio/reflect.go's rules.
+var Analyzer = &analysis.Analyzer{
+	Name: "tagcheck",
+	Doc: `validate pbio struct tags against the rules RegisterStruct enforces
+
+Flags unsupported field types, missing or malformed size=N options on
+string and slice fields, duplicate wire names after lower-casing, dead
+tags on unexported fields, and templates RegisterStruct would reject.`,
+	IncludeTests: true,
+	Run:          run,
+}
+
+const supported = "pbio marshals int16/32/64, uint16/32/64, float32/64, string, nested structs, and arrays/slices of scalars"
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		decls:   make(map[*types.TypeName]*ast.StructType),
+		scanned: make(map[*ast.StructType]bool),
+	}
+
+	// Phase A: index this package's struct type declarations and find the
+	// seeds — structs with pbio tags, and RegisterStruct call sites.
+	var seeds []*ast.StructType
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				if st, ok := n.Type.(*ast.StructType); ok {
+					if tn, ok := pass.TypesInfo.Defs[n.Name].(*types.TypeName); ok {
+						c.decls[tn] = st
+					}
+				}
+			case *ast.StructType:
+				if hasPbioTag(n) {
+					seeds = append(seeds, n)
+				}
+			case *ast.CallExpr:
+				c.checkRegisterStruct(n)
+			}
+			return true
+		})
+	}
+
+	// Phase B: scan seeds plus everything RegisterStruct reached; nested
+	// struct fields extend the worklist as they are discovered.
+	c.queue = append(seeds, c.queue...)
+	for len(c.queue) > 0 {
+		st := c.queue[0]
+		c.queue = c.queue[1:]
+		c.scanStruct(st)
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	decls   map[*types.TypeName]*ast.StructType
+	queue   []*ast.StructType
+	scanned map[*ast.StructType]bool
+}
+
+// checkRegisterStruct validates the template argument of a
+// (*pbio.Context).RegisterStruct call and queues its struct type.
+func (c *checker) checkRegisterStruct(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "RegisterStruct" || len(call.Args) != 2 {
+		return
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || modulePath(fn.Pkg().Path()) != "repro/pbio" {
+		return
+	}
+	arg := call.Args[1]
+	tv, ok := c.pass.TypesInfo.Types[arg]
+	if !ok {
+		return
+	}
+	if tv.IsNil() {
+		c.pass.Reportf(arg.Pos(), "RegisterStruct: nil template always fails; pass a struct value like T{} or (*T)(nil)")
+		return
+	}
+	t := types.Unalias(tv.Type)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if types.IsInterface(t) {
+		return // dynamic template (e.g. table-driven tests): unknown here
+	}
+	if _, ok := t.Underlying().(*types.Struct); !ok {
+		c.pass.Reportf(arg.Pos(), "RegisterStruct: template must be a struct or pointer to struct, not %s", tv.Type)
+		return
+	}
+	if st, ok := literalStructType(arg); ok {
+		c.queue = append(c.queue, st)
+		return
+	}
+	if !c.enqueueType(t) {
+		// Cross-package template: no syntax available, validate the
+		// rules on the type information and report at the call site.
+		c.typesValidate(t, arg.Pos(), fmt.Sprintf("template %s", t), nil)
+	}
+}
+
+// literalStructType matches template arguments written as anonymous
+// struct literals — struct{...}{} or &struct{...}{} — whose syntax can
+// be scanned directly.
+func literalStructType(arg ast.Expr) (*ast.StructType, bool) {
+	e := ast.Unparen(arg)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ast.Unparen(ue.X)
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	st, ok := cl.Type.(*ast.StructType)
+	return st, ok
+}
+
+// enqueueType queues the declaration of a struct type for scanning if
+// its syntax is part of this package, reporting whether it was.
+func (c *checker) enqueueType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	st, ok := c.decls[named.Obj()]
+	if !ok {
+		return false
+	}
+	c.queue = append(c.queue, st)
+	return true
+}
+
+// scanStruct applies the reflect.go rules to one struct declaration.
+func (c *checker) scanStruct(st *ast.StructType) {
+	if c.scanned[st] {
+		return
+	}
+	c.scanned[st] = true
+
+	seen := make(map[string]string) // lower-cased wire name -> Go field name
+	usable := 0
+	for _, field := range st.Fields.List {
+		names := fieldNames(field)
+		if len(names) == 0 {
+			continue
+		}
+		tag := pbioTag(field)
+		for _, name := range names {
+			if name.Name == "_" {
+				continue
+			}
+			if !ast.IsExported(name.Name) {
+				if tag.present {
+					c.pass.Reportf(name.Pos(), "pbio tag on unexported field %s is dead: only exported fields are marshalled", name.Name)
+				}
+				continue
+			}
+			pt := c.parseTag(name, tag)
+			if pt.skip {
+				continue
+			}
+			wire := strings.ToLower(name.Name)
+			if pt.name != "" {
+				wire = pt.name
+			}
+			if prev, dup := seen[strings.ToLower(wire)]; dup {
+				c.pass.Reportf(name.Pos(), "field %s: wire name %q collides with field %s (wire names are matched after lower-casing)", name.Name, wire, prev)
+			} else {
+				seen[strings.ToLower(wire)] = name.Name
+			}
+			usable++
+			c.checkFieldType(name, field.Type, pt)
+		}
+	}
+	if usable == 0 {
+		c.pass.Reportf(st.Pos(), "struct has no usable exported fields; RegisterStruct will reject it")
+	}
+}
+
+// parsedTag is the analyzer's view of one `pbio:"..."` tag.
+type parsedTag struct {
+	name    string // explicit wire name, "" for the lower-cased default
+	size    int    // value of size=N, 0 when absent
+	sizePos bool   // size= option present (even if malformed)
+	skip    bool   // `pbio:"-"`
+}
+
+type rawTag struct {
+	present bool
+	value   string
+	pos     ast.Node
+}
+
+func pbioTag(field *ast.Field) rawTag {
+	if field.Tag == nil {
+		return rawTag{}
+	}
+	unquoted, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return rawTag{}
+	}
+	v, ok := reflect.StructTag(unquoted).Lookup("pbio")
+	if !ok {
+		return rawTag{}
+	}
+	return rawTag{present: true, value: v, pos: field.Tag}
+}
+
+func (c *checker) parseTag(name *ast.Ident, tag rawTag) parsedTag {
+	var pt parsedTag
+	if !tag.present {
+		return pt
+	}
+	parts := strings.Split(tag.value, ",")
+	if parts[0] == "-" {
+		pt.skip = true
+		if len(parts) > 1 {
+			c.pass.Reportf(tag.pos.Pos(), "field %s: options after \"-\" in pbio tag are ignored (the field is skipped)", name.Name)
+		}
+		return pt
+	}
+	pt.name = parts[0]
+	if pt.name != "" && strings.ContainsAny(pt.name, "<>&\x00") {
+		c.pass.Reportf(tag.pos.Pos(), "field %s: wire name %q contains characters reserved by the meta encoding (<, >, &)", name.Name, pt.name)
+	}
+	for _, p := range parts[1:] {
+		if v, found := strings.CutPrefix(p, "size="); found {
+			if pt.sizePos {
+				c.pass.Reportf(tag.pos.Pos(), "field %s: duplicate size= option in pbio tag", name.Name)
+			}
+			pt.sizePos = true
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				c.pass.Reportf(tag.pos.Pos(), "field %s: bad size in pbio tag: %q (need a positive integer)", name.Name, v)
+				continue
+			}
+			pt.size = n
+			continue
+		}
+		c.pass.Reportf(tag.pos.Pos(), "field %s: unknown pbio tag option %q (only size=N is recognized)", name.Name, p)
+	}
+	return pt
+}
+
+// checkFieldType validates a field's Go type against the supported set
+// and reconciles it with the tag's size option.
+func (c *checker) checkFieldType(name *ast.Ident, typeExpr ast.Expr, pt parsedTag) {
+	tv, ok := c.pass.TypesInfo.Types[typeExpr]
+	if !ok {
+		return
+	}
+	t := types.Unalias(tv.Type)
+
+	needsSize := false
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.String {
+			needsSize = true
+			break
+		}
+		if !scalarKind(u.Kind()) {
+			c.pass.Reportf(name.Pos(), "field %s: unsupported type %s (%s)", name.Name, tv.Type, supported)
+			return
+		}
+	case *types.Struct:
+		c.nested(name, typeExpr, t, "")
+	case *types.Array:
+		if u.Len() == 0 {
+			c.pass.Reportf(name.Pos(), "field %s: zero-length array will fail registration (wire counts must be positive)", name.Name)
+		}
+		elem := types.Unalias(u.Elem())
+		switch eu := elem.Underlying().(type) {
+		case *types.Basic:
+			if !scalarKind(eu.Kind()) {
+				c.pass.Reportf(name.Pos(), "field %s: unsupported array element type %s (%s)", name.Name, u.Elem(), supported)
+				return
+			}
+		case *types.Struct:
+			c.nested(name, elemExpr(typeExpr), elem, "array element ")
+		default:
+			c.pass.Reportf(name.Pos(), "field %s: unsupported array element type %s (%s)", name.Name, u.Elem(), supported)
+			return
+		}
+	case *types.Slice:
+		eu, ok := types.Unalias(u.Elem()).Underlying().(*types.Basic)
+		if !ok || !scalarKind(eu.Kind()) {
+			c.pass.Reportf(name.Pos(), "field %s: unsupported slice element type %s; slices carry scalars only, use an array [N]T for nested structs", name.Name, u.Elem())
+			return
+		}
+		needsSize = true
+	default:
+		c.pass.Reportf(name.Pos(), "field %s: unsupported type %s (%s)", name.Name, tv.Type, supported)
+		return
+	}
+
+	if needsSize && pt.size <= 0 {
+		if !pt.sizePos { // malformed size already reported by parseTag
+			c.pass.Reportf(name.Pos(), "field %s: %s field needs a fixed wire length: tag it `pbio:\"...,size=N\"`", name.Name, kindWord(t))
+		}
+	}
+	if !needsSize && pt.sizePos {
+		c.pass.Reportf(name.Pos(), "field %s: size= has no effect on a %s field (only strings and slices take a wire length)", name.Name, kindWord(t))
+	}
+}
+
+// nested handles a struct-typed field: queue same-package declarations
+// for a syntax scan, fall back to type-information validation otherwise.
+func (c *checker) nested(name *ast.Ident, typeExpr ast.Expr, t types.Type, what string) {
+	if st, ok := typeExpr.(*ast.StructType); ok {
+		c.queue = append(c.queue, st)
+		return
+	}
+	if c.enqueueType(t) {
+		return
+	}
+	c.typesValidate(t, name.Pos(), fmt.Sprintf("field %s: nested %stype %s", name.Name, what, t), nil)
+}
+
+// typesValidate applies the reflect.go rules to a struct type for which
+// no syntax is available (declared in another package), reporting every
+// violation at pos under the given context string.
+func (c *checker) typesValidate(t types.Type, pos token.Pos, ctx string, visiting []types.Type) {
+	for _, v := range visiting {
+		if types.Identical(v, t) {
+			return // recursive type; registration would loop before tags matter
+		}
+	}
+	if len(visiting) > 16 {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	report := func(format string, args ...any) {
+		c.pass.Reportf(pos, "%s: %s", ctx, fmt.Sprintf(format, args...))
+	}
+	seen := make(map[string]string)
+	usable := 0
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		tag, tagged := reflect.StructTag(st.Tag(i)).Lookup("pbio")
+		if !f.Exported() {
+			if tagged {
+				report("pbio tag on unexported field %s is dead", f.Name())
+			}
+			continue
+		}
+		wire := strings.ToLower(f.Name())
+		size := 0
+		if tagged {
+			parts := strings.Split(tag, ",")
+			if parts[0] == "-" {
+				continue
+			}
+			if parts[0] != "" {
+				wire = parts[0]
+			}
+			for _, p := range parts[1:] {
+				if v, found := strings.CutPrefix(p, "size="); found {
+					n, err := strconv.Atoi(v)
+					if err != nil || n <= 0 {
+						report("field %s: bad size in pbio tag: %q", f.Name(), v)
+						continue
+					}
+					size = n
+				}
+			}
+		}
+		if prev, dup := seen[strings.ToLower(wire)]; dup {
+			report("field %s: wire name %q collides with field %s", f.Name(), wire, prev)
+		} else {
+			seen[strings.ToLower(wire)] = f.Name()
+		}
+		usable++
+
+		ft := types.Unalias(f.Type())
+		switch u := ft.Underlying().(type) {
+		case *types.Basic:
+			if u.Kind() == types.String {
+				if size <= 0 {
+					report("field %s: string field needs a `pbio:\"...,size=N\"` tag", f.Name())
+				}
+			} else if !scalarKind(u.Kind()) {
+				report("field %s: unsupported type %s", f.Name(), f.Type())
+			}
+		case *types.Struct:
+			c.typesValidate(ft, pos, ctx+" → "+f.Name(), append(visiting, t))
+		case *types.Array:
+			elem := types.Unalias(u.Elem())
+			switch eu := elem.Underlying().(type) {
+			case *types.Basic:
+				if !scalarKind(eu.Kind()) {
+					report("field %s: unsupported array element type %s", f.Name(), u.Elem())
+				}
+			case *types.Struct:
+				c.typesValidate(elem, pos, ctx+" → "+f.Name(), append(visiting, t))
+			default:
+				report("field %s: unsupported array element type %s", f.Name(), u.Elem())
+			}
+		case *types.Slice:
+			eu, ok := types.Unalias(u.Elem()).Underlying().(*types.Basic)
+			if !ok || !scalarKind(eu.Kind()) {
+				report("field %s: unsupported slice element type %s", f.Name(), u.Elem())
+			} else if size <= 0 {
+				report("field %s: slice field needs a `pbio:\"...,size=N\"` tag", f.Name())
+			}
+		default:
+			report("field %s: unsupported type %s", f.Name(), f.Type())
+		}
+	}
+	if usable == 0 {
+		report("no usable exported fields; RegisterStruct will reject it")
+	}
+}
+
+// fieldNames returns the declared names of a field, synthesizing the
+// type name for embedded fields (mirroring reflect.StructField.Name).
+func fieldNames(field *ast.Field) []*ast.Ident {
+	if len(field.Names) > 0 {
+		return field.Names
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return []*ast.Ident{t}
+	case *ast.SelectorExpr:
+		return []*ast.Ident{t.Sel}
+	}
+	return nil
+}
+
+// elemExpr unwraps an array type expression to its element expression,
+// so nested scans point at the right syntax.
+func elemExpr(typeExpr ast.Expr) ast.Expr {
+	if at, ok := typeExpr.(*ast.ArrayType); ok {
+		return at.Elt
+	}
+	return typeExpr
+}
+
+func hasPbioTag(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if pbioTag(f).present {
+			return true
+		}
+	}
+	return false
+}
+
+func scalarKind(k types.BasicKind) bool {
+	switch k {
+	case types.Int16, types.Int32, types.Int64,
+		types.Uint16, types.Uint32, types.Uint64,
+		types.Float32, types.Float64:
+		return true
+	}
+	return false
+}
+
+func kindWord(t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.String {
+			return "string"
+		}
+		return u.Name()
+	case *types.Slice:
+		return "slice"
+	case *types.Array:
+		return "array"
+	case *types.Struct:
+		return "struct"
+	}
+	return t.String()
+}
+
+// modulePath strips the " [p.test]" suffix of test-variant import paths.
+func modulePath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

@@ -1,0 +1,12 @@
+package tagcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/tagcheck"
+)
+
+func TestTagcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), tagcheck.Analyzer, "tagchecktest")
+}

@@ -1,0 +1,94 @@
+// Package tagchecktest exercises the tagcheck analyzer against the tag
+// rules pbio.RegisterStruct enforces at runtime.
+package tagchecktest
+
+import (
+	"time"
+
+	"repro/pbio"
+)
+
+// Good covers every supported shape: no diagnostics.
+type Good struct {
+	Step  int32
+	T     float64   `pbio:"temp"`
+	Mesh  string    `pbio:"mesh,size=16"`
+	U     []float64 `pbio:"u,size=8"`
+	Grid  [4]int32
+	Inner Point
+	Cells [2]Point
+	Note  string `pbio:"-"`
+	local int16  // unexported, silently skipped
+}
+
+type Point struct {
+	X float64
+	Y float64
+}
+
+type BadTags struct {
+	S    string  `pbio:"s,size=zero"` // want `bad size in pbio tag: "zero"`
+	Neg  []int32 `pbio:"n,size=-2"`   // want `bad size in pbio tag: "-2"`
+	NoSz string  // want `string field needs a fixed wire length`
+	Sl   []int64 // want `slice field needs a fixed wire length`
+	Eff  int32   `pbio:"e,size=4"`        // want `size= has no effect on a int32 field`
+	Dup  int32   `pbio:"x,size=4,size=5"` // want `duplicate size= option` `size= has no effect`
+	Opt  int32   `pbio:"o,omitempty"`     // want `unknown pbio tag option "omitempty"`
+	Resv int32   `pbio:"a<b"`             // want `wire name "a<b" contains characters reserved`
+}
+
+type BadTypes struct {
+	Ok    int64
+	B     bool             // want `unsupported type bool`
+	I     int              // want `unsupported type int`
+	P     *int32           // want `unsupported type \*int32`
+	M     map[string]int32 // want `unsupported type map\[string\]int32`
+	AB    [3]bool          // want `unsupported array element type bool`
+	SS    [][]int32        // want `unsupported slice element type \[\]int32`
+	SP    []Point          // want `unsupported slice element type .*Point; slices carry scalars only`
+	Z     [0]int32         // want `zero-length array will fail registration`
+	bad   int32            `pbio:"hidden"` // want `pbio tag on unexported field bad is dead`
+	Skip  bool             `pbio:"-"`
+	SkipO bool             `pbio:"-,size=4"` // want `options after "-" in pbio tag are ignored`
+}
+
+type Dups struct {
+	Temp  float64
+	T     float64 `pbio:"temp"` // want `wire name "temp" collides with field Temp`
+	Value int32   `pbio:"V"`
+	V     int32   // want `wire name "v" collides with field Value`
+}
+
+type Empty struct { // want `struct has no usable exported fields`
+	a int32
+	B string `pbio:"-"`
+}
+
+// NotWire carries no pbio tags and is never registered: not checked even
+// though its fields would be unsupported.
+type NotWire struct {
+	M map[string]bool
+	C chan int
+}
+
+// Registered has no tags but is pulled in through RegisterStruct.
+type Registered struct {
+	N complex64 // want `unsupported type complex64`
+	S string    // want `string field needs a fixed wire length`
+}
+
+func register(ctx *pbio.Context) {
+	ctx.RegisterStruct("r", Registered{})
+	ctx.RegisterStruct("p", &Registered{})
+	ctx.RegisterStruct("n", nil)         // want `nil template always fails`
+	ctx.RegisterStruct("i", 42)          // want `template must be a struct`
+	ctx.RegisterStruct("t", time.Time{}) // want `no usable exported fields`
+	ctx.RegisterStruct("anon", struct {
+		A int32
+		B bool // want `unsupported type bool`
+	}{})
+}
+
+type Suppressed struct {
+	B bool `pbio:"b"` //pbiovet:allow tagcheck — demonstrating the escape hatch
+}

@@ -1,0 +1,267 @@
+// Package unitchecker implements the `go vet -vettool=` driver protocol
+// on the standard library alone, mirroring (a subset of)
+// golang.org/x/tools/go/analysis/unitchecker.
+//
+// The go command invokes a vet tool once per package unit:
+//
+//	vettool -V=full                 # print a tool ID for the build cache
+//	vettool -flags                  # describe supported flags as JSON
+//	vettool [flags] $WORK/vet.cfg   # analyze one unit
+//
+// vet.cfg is a JSON description of the unit: its source files, the import
+// map, and the compiled export data of every dependency.  The unit is
+// type-checked with go/importer reading that export data, the analyzers
+// run over it, and diagnostics are printed to stderr in the standard
+// file:line:col form (exit status 2 when there are findings, which is how
+// the go command recognizes a failed vet).
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config is the JSON structure of the go command's vet.cfg, trimmed to
+// the fields this driver consumes.  Unknown fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoreFiles               []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vet-tool protocol and does not return.  It is the entire
+// main function of a vet tool built on this package.
+func Main(analyzers ...*analysis.Analyzer) {
+	// The -V flag must be handled before normal flag parsing: the go
+	// command probes `vettool -V=full` to compute a cache key.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			printVersion()
+			os.Exit(0)
+		}
+	}
+	printFlags := flag.Bool("flags", false, "print flags as JSON and exit (go vet protocol)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON instead of text")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: %s [flags] vet.cfg\n\nAnalyzers:\n", filepath.Base(os.Args[0]))
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *printFlags {
+		// Describe our flags so `go vet` can validate its command line.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		descr := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON output"}}
+		data, err := json.Marshal(descr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		os.Exit(0)
+	}
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+		os.Exit(1)
+	}
+	diags, err := run(args[0], analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(report(os.Stderr, diags, *jsonOut))
+}
+
+// printVersion replicates the output format the go command's tool-ID
+// computation expects from `tool -V=full`: the program name, a version,
+// and a content hash of the executable as the build ID.
+func printVersion() {
+	progname := os.Args[0]
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		progname, string(h.Sum(nil)[:12]))
+}
+
+// run analyzes the unit described by cfgFile and returns its diagnostics.
+type diagnostic struct {
+	analysis.Diagnostic
+	position token.Position
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer) ([]diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// The go command requires the facts file to exist even though the
+	// pbiovet analyzers are fact-free; an empty file satisfies it and
+	// keeps vet's result caching working.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	// A VetxOnly unit is a dependency analyzed only for facts the
+	// analyzers here never produce: nothing to do.
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tc := &types.Config{
+		Importer: &cfgImporter{
+			cfg: &cfg,
+			gc:  importer.ForCompiler(fset, compiler, (&exportLookup{cfg: &cfg}).lookup),
+		},
+		Sizes:     types.SizesFor(compiler, envOr("GOARCH", runtime.GOARCH)),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	raw, err := analysis.Run(unit, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]diagnostic, len(raw))
+	for i, d := range raw {
+		out[i] = diagnostic{Diagnostic: d, position: fset.Position(d.Pos)}
+	}
+	return out, nil
+}
+
+// report prints diagnostics and returns the process exit code.
+func report(w io.Writer, diags []diagnostic, asJSON bool) int {
+	if asJSON {
+		type jsonDiag struct {
+			Posn     string `json:"posn"`
+			Message  string `json:"message"`
+			Category string `json:"category"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{Posn: d.position.String(), Message: d.Message, Category: d.Analyzer}
+		}
+		data, _ := json.MarshalIndent(out, "", "\t")
+		os.Stdout.Write(append(data, '\n'))
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s\n", d.position, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// cfgImporter resolves imports through the vet config's ImportMap before
+// delegating to the export-data importer.
+type cfgImporter struct {
+	cfg *Config
+	gc  types.Importer
+}
+
+func (im *cfgImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.gc.Import(path)
+}
+
+// exportLookup opens the compiled export data the go command recorded for
+// each dependency.
+type exportLookup struct {
+	cfg *Config
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	if mapped, ok := l.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	file, ok := l.cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data recorded for %q", path)
+	}
+	return os.Open(file)
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}

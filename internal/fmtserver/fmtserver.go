@@ -26,7 +26,6 @@ package fmtserver
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -58,7 +57,7 @@ type FormatID uint64
 // IDOf computes the content-addressed ID of a format.
 func IDOf(f *wire.Format) FormatID {
 	sum := sha256.Sum256(wire.EncodeMeta(f))
-	return FormatID(binary.BigEndian.Uint64(sum[:8]))
+	return FormatID(wire.BeUint64(sum[:8]))
 }
 
 // ErrUnknownFormat is returned by lookups of unregistered IDs.
@@ -103,7 +102,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // client went away
 		}
 		op := hdr[0]
-		n := int(binary.BigEndian.Uint32(hdr[1:]))
+		n := int(wire.BeUint32(hdr[1:]))
 		if n < 0 || n > maxPayload {
 			writeResp(conn, statusErr, []byte("payload too large"))
 			return
@@ -133,13 +132,13 @@ func (s *Server) handle(conn net.Conn, op byte, payload []byte) error {
 		s.formats[id] = canonical
 		s.mu.Unlock()
 		var idBuf [8]byte
-		binary.BigEndian.PutUint64(idBuf[:], uint64(id))
+		wire.PutBeUint64(idBuf[:], uint64(id))
 		return writeResp(conn, statusOK, idBuf[:])
 	case opLookup:
 		if len(payload) != 8 {
 			return writeResp(conn, statusErr, []byte("lookup payload must be 8 bytes"))
 		}
-		id := FormatID(binary.BigEndian.Uint64(payload))
+		id := FormatID(wire.BeUint64(payload))
 		s.mu.RLock()
 		meta, ok := s.formats[id]
 		s.mu.RUnlock()
@@ -154,7 +153,7 @@ func (s *Server) handle(conn net.Conn, op byte, payload []byte) error {
 
 func writeResp(w io.Writer, status byte, payload []byte) error {
 	hdr := [5]byte{status}
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	wire.PutBeUint32(hdr[1:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -276,7 +275,7 @@ func (c *Client) Register(f *wire.Format) (FormatID, error) {
 	if len(payload) != 8 {
 		return 0, fmt.Errorf("fmtserver: register: bad response length %d", len(payload))
 	}
-	id = FormatID(binary.BigEndian.Uint64(payload))
+	id = FormatID(wire.BeUint64(payload))
 	c.cacheMu.Lock()
 	c.ids[fp] = id
 	c.byID[id] = f
@@ -293,7 +292,7 @@ func (c *Client) Lookup(id FormatID) (*wire.Format, error) {
 		return f, nil
 	}
 	var idBuf [8]byte
-	binary.BigEndian.PutUint64(idBuf[:], uint64(id))
+	wire.PutBeUint64(idBuf[:], uint64(id))
 	status, payload, err := c.roundTrip(opLookup, idBuf[:])
 	if err != nil {
 		return nil, err
@@ -364,7 +363,7 @@ func (c *Client) do(op byte, payload []byte) (byte, []byte, error) {
 	}
 	var hdr [5]byte
 	hdr[0] = op
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	wire.PutBeUint32(hdr[1:], uint32(len(payload)))
 	if _, err := c.conn.Write(hdr[:]); err != nil {
 		return 0, nil, fmt.Errorf("fmtserver: send: %w", err)
 	}
@@ -374,7 +373,7 @@ func (c *Client) do(op byte, payload []byte) (byte, []byte, error) {
 	if _, err := io.ReadFull(c.conn, hdr[:]); err != nil {
 		return 0, nil, fmt.Errorf("fmtserver: recv: %w", err)
 	}
-	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	n := int(wire.BeUint32(hdr[1:]))
 	if n < 0 || n > maxPayload {
 		return 0, nil, fmt.Errorf("fmtserver: recv: payload %d out of range", n)
 	}

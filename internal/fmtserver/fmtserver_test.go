@@ -1,6 +1,7 @@
 package fmtserver
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -113,7 +114,7 @@ func TestLookupUnknown(t *testing.T) {
 	defer stop()
 	c, _ := Dial(addr)
 	defer c.Close()
-	if _, err := c.Lookup(FormatID(0xdeadbeef)); err != ErrUnknownFormat {
+	if _, err := c.Lookup(FormatID(0xdeadbeef)); !errors.Is(err, ErrUnknownFormat) {
 		t.Errorf("Lookup(unknown) = %v, want ErrUnknownFormat", err)
 	}
 }

@@ -2,9 +2,10 @@ package mpi
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/wire"
 )
 
 // Comm is a point-to-point communication endpoint in the style of an MPI
@@ -37,7 +38,7 @@ func NewComm(w io.Writer, r io.Reader, mode Mode) *Comm {
 // sigHash condenses a type signature for the message header.
 func sigHash(d *Datatype) uint64 {
 	h := sha256.Sum256([]byte(d.Signature()))
-	return binary.BigEndian.Uint64(h[:8])
+	return wire.BeUint64(h[:8])
 }
 
 // Send packs one record from buf (laid out per dt) and transmits it.
@@ -50,10 +51,10 @@ func (c *Comm) Send(buf []byte, dt *Datatype) error {
 		return err
 	}
 	c.sendBuf = packed[:0]
-	binary.BigEndian.PutUint16(c.hdr[0:], commMagic)
+	wire.PutBeUint16(c.hdr[0:], commMagic)
 	c.hdr[2] = byte(c.mode)
-	binary.BigEndian.PutUint32(c.hdr[3:], uint32(len(packed)))
-	binary.BigEndian.PutUint64(c.hdr[7:], sigHash(dt))
+	wire.PutBeUint32(c.hdr[3:], uint32(len(packed)))
+	wire.PutBeUint64(c.hdr[7:], sigHash(dt))
 	if _, err := c.w.Write(c.hdr[:]); err != nil {
 		return fmt.Errorf("mpi: send header: %w", err)
 	}
@@ -72,14 +73,14 @@ func (c *Comm) Recv(buf []byte, dt *Datatype) error {
 	if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
 		return fmt.Errorf("mpi: recv header: %w", err)
 	}
-	if binary.BigEndian.Uint16(c.hdr[0:]) != commMagic {
+	if wire.BeUint16(c.hdr[0:]) != commMagic {
 		return fmt.Errorf("mpi: bad message magic")
 	}
 	if Mode(c.hdr[2]) != c.mode {
 		return fmt.Errorf("mpi: wire mode mismatch: sender %v, receiver %v", Mode(c.hdr[2]), c.mode)
 	}
-	n := int(binary.BigEndian.Uint32(c.hdr[3:]))
-	if got, want := binary.BigEndian.Uint64(c.hdr[7:]), sigHash(dt); got != want {
+	n := int(wire.BeUint32(c.hdr[3:]))
+	if got, want := wire.BeUint64(c.hdr[7:]), sigHash(dt); got != want {
 		return fmt.Errorf("mpi: type signature mismatch (sender %#x, receiver %#x): "+
 			"message content disagreement invalidates communication", got, want)
 	}

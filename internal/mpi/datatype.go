@@ -258,8 +258,8 @@ func (d *Datatype) PackedSize(mode Mode) int {
 func (d *Datatype) Signature() string {
 	sig := make([]byte, 0, 8*len(d.blocks))
 	for _, b := range d.blocks {
-		sig = append(sig, byte(b.Type),
-			byte(b.Count>>24), byte(b.Count>>16), byte(b.Count>>8), byte(b.Count))
+		sig = append(sig, byte(b.Type))
+		sig = wire.AppendBeUint32(sig, uint32(b.Count))
 	}
 	return string(sig)
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"hash/crc32"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // Typed protocol errors.  Every error returned by ReadFrame, ReadMessage,
@@ -54,7 +56,7 @@ func Resync(br *bufio.Reader, max int) (skipped int, err error) {
 		if err != nil {
 			return skipped, err
 		}
-		if uint16(b[0])<<8|uint16(b[1]) == frameMagic {
+		if wire.BeUint16(b) == frameMagic {
 			return skipped, nil
 		}
 		if _, err := br.Discard(1); err != nil {

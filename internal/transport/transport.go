@@ -67,7 +67,7 @@ func (f *Frame) Body() ([]byte, error) {
 	if len(f.Payload) < 4 {
 		return nil, fmt.Errorf("transport: checksummed payload only %d bytes: %w", len(f.Payload), ErrCorruptFrame)
 	}
-	want := uint32(f.Payload[0])<<24 | uint32(f.Payload[1])<<16 | uint32(f.Payload[2])<<8 | uint32(f.Payload[3])
+	want := wire.BeUint32(f.Payload)
 	body := f.Payload[4:]
 	if got := crc32.Checksum(body, crcTable); got != want {
 		return nil, fmt.Errorf("transport: payload checksum %#x, want %#x: %w", got, want, ErrCorruptFrame)
@@ -81,8 +81,7 @@ func (f *Frame) Body() ([]byte, error) {
 // protection producer-written frames get from Writer.SetChecksums.
 func SumPayload(body []byte) []byte {
 	out := make([]byte, 4+len(body))
-	s := crc32.Checksum(body, crcTable)
-	out[0], out[1], out[2], out[3] = byte(s>>24), byte(s>>16), byte(s>>8), byte(s)
+	wire.PutBeUint32(out, crc32.Checksum(body, crcTable))
 	copy(out[4:], body)
 	return out
 }
@@ -98,12 +97,12 @@ func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 		}
 		return Frame{}, buf, fmt.Errorf("transport: read header: %w: %w", err, ErrPeerGone)
 	}
-	if uint16(hdr[0])<<8|uint16(hdr[1]) != frameMagic {
+	if wire.BeUint16(hdr[:]) != frameMagic {
 		return Frame{}, buf, fmt.Errorf("transport: bad frame magic %#x%02x: %w", hdr[0], hdr[1], ErrCorruptFrame)
 	}
 	f := Frame{Kind: hdr[2]}
-	f.FormatID = uint32(hdr[3])<<24 | uint32(hdr[4])<<16 | uint32(hdr[5])<<8 | uint32(hdr[6])
-	n := int(uint32(hdr[7])<<24 | uint32(hdr[8])<<16 | uint32(hdr[9])<<8 | uint32(hdr[10]))
+	f.FormatID = wire.BeUint32(hdr[3:])
+	n := int(wire.BeUint32(hdr[7:]))
 	if n < 0 || n > maxPayload {
 		return Frame{}, buf, fmt.Errorf("transport: frame payload %d out of range: %w", n, ErrCorruptFrame)
 	}
@@ -150,17 +149,10 @@ const (
 )
 
 func putHeader(hdr []byte, kind byte, id uint32, n int) {
-	hdr[0] = byte(frameMagic >> 8)
-	hdr[1] = byte(frameMagic & 0xff)
+	wire.PutBeUint16(hdr, frameMagic)
 	hdr[2] = kind
-	hdr[3] = byte(id >> 24)
-	hdr[4] = byte(id >> 16)
-	hdr[5] = byte(id >> 8)
-	hdr[6] = byte(id)
-	hdr[7] = byte(n >> 24)
-	hdr[8] = byte(n >> 16)
-	hdr[9] = byte(n >> 8)
-	hdr[10] = byte(n)
+	wire.PutBeUint32(hdr[3:], id)
+	wire.PutBeUint32(hdr[7:], uint32(n))
 }
 
 // Writer sends records over a stream.  It is not safe for concurrent use.
@@ -215,8 +207,7 @@ func (t *Writer) armWrite() {
 
 // checksum fills t.sum with the CRC32-C of body.
 func (t *Writer) checksum(body []byte) {
-	s := crc32.Checksum(body, crcTable)
-	t.sum[0], t.sum[1], t.sum[2], t.sum[3] = byte(s>>24), byte(s>>16), byte(s>>8), byte(s)
+	wire.PutBeUint32(t.sum[:], crc32.Checksum(body, crcTable))
 }
 
 // NewWriter returns a Writer over w.
@@ -254,8 +245,7 @@ func (t *Writer) WriteRecord(f *wire.Format, data []byte) error {
 				return fmt.Errorf("transport: registering format %q: %w", f.Name, err)
 			}
 			var ref [8]byte
-			ref[0], ref[1], ref[2], ref[3] = byte(gid>>56), byte(gid>>48), byte(gid>>40), byte(gid>>32)
-			ref[4], ref[5], ref[6], ref[7] = byte(gid>>24), byte(gid>>16), byte(gid>>8), byte(gid)
+			wire.PutBeUint64(ref[:], gid)
 			if err := t.emit(msgMetaRef, id, ref[:], "meta ref"); err != nil {
 				return err
 			}
@@ -364,13 +354,13 @@ func (t *Reader) ReadMessage() (*Message, error) {
 			}
 			return nil, fmt.Errorf("transport: read header: %w: %w", err, ErrPeerGone)
 		}
-		if uint16(t.hdr[0])<<8|uint16(t.hdr[1]) != frameMagic {
+		if wire.BeUint16(t.hdr[:]) != frameMagic {
 			return nil, fmt.Errorf("transport: bad frame magic %#x%02x: %w", t.hdr[0], t.hdr[1], ErrCorruptFrame)
 		}
 		rawKind := t.hdr[2]
 		kind := rawKind &^ FrameFlagSum
-		id := uint32(t.hdr[3])<<24 | uint32(t.hdr[4])<<16 | uint32(t.hdr[5])<<8 | uint32(t.hdr[6])
-		n := int(uint32(t.hdr[7])<<24 | uint32(t.hdr[8])<<16 | uint32(t.hdr[9])<<8 | uint32(t.hdr[10]))
+		id := wire.BeUint32(t.hdr[3:])
+		n := int(wire.BeUint32(t.hdr[7:]))
 		if n < 0 || n > maxPayload {
 			return nil, fmt.Errorf("transport: frame payload %d out of range: %w", n, ErrCorruptFrame)
 		}
@@ -410,8 +400,7 @@ func (t *Reader) ReadMessage() (*Message, error) {
 			if n != 8 {
 				return nil, fmt.Errorf("transport: meta reference payload %d bytes, want 8: %w", n, ErrCorruptFrame)
 			}
-			gid := uint64(body[0])<<56 | uint64(body[1])<<48 | uint64(body[2])<<40 | uint64(body[3])<<32 |
-				uint64(body[4])<<24 | uint64(body[5])<<16 | uint64(body[6])<<8 | uint64(body[7])
+			gid := wire.BeUint64(body)
 			f, err := t.resolver(gid)
 			if err != nil {
 				return nil, fmt.Errorf("transport: resolving format %#x: %w: %w", gid, err, ErrFormatUnknown)

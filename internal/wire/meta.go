@@ -103,14 +103,14 @@ func DecodeMeta(b []byte) (*Format, int, error) {
 }
 
 func appendU32(dst []byte, v uint32) []byte {
-	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	return AppendBeUint32(dst, v)
 }
 
 func appendStr(dst []byte, s string) []byte {
 	if len(s) > maxMetaString {
 		s = s[:maxMetaString]
 	}
-	dst = append(dst, byte(len(s)>>8), byte(len(s)))
+	dst = AppendBeUint16(dst, uint16(len(s)))
 	return append(dst, s...)
 }
 
@@ -186,7 +186,7 @@ func (d *metaDecoder) u16() uint16 {
 		d.fail()
 		return 0
 	}
-	v := uint16(d.buf[d.pos])<<8 | uint16(d.buf[d.pos+1])
+	v := BeUint16(d.buf[d.pos:])
 	d.pos += 2
 	return v
 }
@@ -196,8 +196,7 @@ func (d *metaDecoder) u32() uint32 {
 		d.fail()
 		return 0
 	}
-	b := d.buf[d.pos:]
-	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	v := BeUint32(d.buf[d.pos:])
 	d.pos += 4
 	return v
 }

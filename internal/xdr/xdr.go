@@ -13,6 +13,8 @@ package xdr
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/wire"
 )
 
 // Encoder appends XDR-encoded values to an internal buffer.
@@ -63,7 +65,7 @@ func (e *Encoder) PutOpaque(b []byte) {
 }
 
 func (e *Encoder) putU32(v uint32) {
-	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	e.buf = wire.AppendBeUint32(e.buf, v)
 }
 
 func (e *Encoder) putU64(v uint64) {
@@ -107,7 +109,7 @@ func (d *Decoder) Uint32() (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+	return wire.BeUint32(b), nil
 }
 
 // Int64 decodes a 64-bit signed integer.

@@ -42,6 +42,10 @@ func structFields(t reflect.Type) ([]structField, error) {
 		return nil, fmt.Errorf("pbio: %s is not a struct", t)
 	}
 	var out []structField
+	// Wire names are matched by name on decode; two fields mapping to the
+	// same name (after the lower-casing default) would silently shadow
+	// each other, so reject the type outright with both Go fields named.
+	claimed := make(map[string]string)
 	for i := 0; i < t.NumField(); i++ {
 		sf := t.Field(i)
 		if !sf.IsExported() {
@@ -67,6 +71,10 @@ func structFields(t reflect.Type) ([]structField, error) {
 				}
 			}
 		}
+		if prev, dup := claimed[strings.ToLower(name)]; dup {
+			return nil, fmt.Errorf("pbio: field %s: wire name %q collides with field %s (wire names are matched after lower-casing)", sf.Name, name, prev)
+		}
+		claimed[strings.ToLower(name)] = sf.Name
 		spec, sub, err := specForGoType(sf.Type, name, size)
 		if err != nil {
 			return nil, fmt.Errorf("pbio: field %s: %w", sf.Name, err)

@@ -2,6 +2,7 @@ package pbio
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -197,7 +198,7 @@ func TestRegisterStructErrors(t *testing.T) {
 		{"unsupported type", struct{ M map[string]int }{}},
 		{"unsupported elem", struct{ A [3]string }{}},
 		{"bad size tag", struct {
-			S string `pbio:"s,size=zero"`
+			S string `pbio:"s,size=zero"` //pbiovet:allow tagcheck — intentionally malformed fixture
 		}{}},
 		{"int (platform-dependent)", struct{ N int }{}},
 	}
@@ -207,6 +208,56 @@ func TestRegisterStructErrors(t *testing.T) {
 				t.Errorf("accepted %s", c.name)
 			}
 		})
+	}
+}
+
+func TestRegisterStructDuplicateWireNames(t *testing.T) {
+	ctx := ctxFor(t, "x86")
+	cases := []struct {
+		name     string
+		template any
+		mention  []string // both Go field names must appear in the error
+	}{
+		{"explicit tag collides with default", struct {
+			Temp float64
+			T    float64 `pbio:"temp"` //pbiovet:allow tagcheck — intentional collision fixture
+		}{}, []string{"T", "Temp"}},
+		{"two explicit tags collide", struct {
+			A int32 `pbio:"v"`
+			B int32 `pbio:"v"` //pbiovet:allow tagcheck — intentional collision fixture
+		}{}, []string{"B", "A"}},
+		{"names collide after lower-casing", struct {
+			Value int32 `pbio:"V"`
+			V     int32 //pbiovet:allow tagcheck — intentional collision fixture
+		}{}, []string{"V", "Value"}},
+		{"collision in nested struct", struct {
+			Inner struct {
+				X int32
+				Y int32 `pbio:"x"` //pbiovet:allow tagcheck — intentional collision fixture
+			}
+		}{}, []string{"Y", "X"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ctx.RegisterStruct("x", c.template)
+			if err == nil {
+				t.Fatalf("accepted template with duplicate wire names")
+			}
+			for _, want := range c.mention {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not name field %s", err, want)
+				}
+			}
+		})
+	}
+
+	// Distinct names that only differ before tagging stay accepted.
+	ok := struct {
+		Temp float64
+		T    float64 `pbio:"t2"`
+	}{}
+	if _, err := ctx.RegisterStruct("ok", ok); err != nil {
+		t.Fatalf("distinct wire names rejected: %v", err)
 	}
 }
 
