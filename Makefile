@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint pbiovet test test-race chaos fuzz bench figures examples outputs clean
+.PHONY: all build vet lint pbiovet test test-race chaos fuzz bench bench-smoke bench-all figures examples outputs clean
 
 all: build vet test
 
@@ -42,7 +42,23 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadMessage -fuzztime 20s ./internal/transport/
 	$(GO) test -run xxx -fuzz FuzzDecodeMeta -fuzztime 20s ./internal/wire/
 
+# bench runs the perf-trajectory benchmarks (pbio public API + DCG
+# engine) and stores them as a machine-readable artifact.  BENCHTIME
+# controls depth; bench-smoke is the CI-speed variant (one iteration per
+# benchmark: verifies the benchmarks run, produces no timing signal).
+BENCHTIME ?= 1s
+BENCHOUT  ?= BENCH_pr3.json
+
 bench:
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem -run xxx ./pbio/ ./internal/dcg/ \
+		| $(GO) run ./cmd/benchjson > $(BENCHOUT)
+	@echo "wrote $(BENCHOUT)"
+
+bench-smoke:
+	$(MAKE) bench BENCHTIME=1x
+
+# Full benchmark sweep over every package (human-readable).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table/figure of the paper plus the extension tables.

@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// benchstat-style JSON document on stdout, so benchmark runs can be
+// stored as machine-readable artifacts (the repo's BENCH_pr3.json perf
+// trajectory) and diffed across PRs without parsing text logs.
+//
+//	go test -bench=. -benchmem ./pbio/ | benchjson > BENCH_pr3.json
+//
+// Lines that are not benchmark results (package headers, PASS/ok, test
+// logs) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var doc Doc
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		// `go test` prints "pkg: repro/pbio" in verbose benchmark output.
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if r, ok := parseLine(line, pkg); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `Benchmark…  N  x ns/op [y B/op] [z allocs/op]
+// [w MB/s]` line.
+func parseLine(line, pkg string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Package: pkg, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		case "MB/s":
+			r.MBPerSec = v
+		}
+	}
+	return r, seen
+}

@@ -6,9 +6,15 @@
 // 8-byte format reference instead of full meta-information, and format
 // identity is shared across every producer and consumer in a deployment:
 //
-//	pbio-fmtd -listen 127.0.0.1:7847 &
+//	pbio-fmtd -listen 127.0.0.1:7847 -stats 30s -metrics-addr 127.0.0.1:9847 &
 //	# then, in applications:
 //	ctx, _ := pbio.NewContext(pbio.WithFormatServer("127.0.0.1:7847"))
+//
+// With -metrics-addr the daemon serves /metrics (Prometheus text),
+// /debug/vars (JSON), /debug/trace and /debug/pprof/.  Client-side
+// retry/redial storms (the fmtserver client retries invisibly with
+// backoff) surface here as conns_total racing ahead of the number of
+// deployed clients; -stats logs the same counters periodically.
 package main
 
 import (
@@ -16,19 +22,44 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"repro/internal/fmtserver"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7847", "address to listen on")
+	statsEvery := flag.Duration("stats", 0, "print server stats at this interval (0 = never)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("pbio-fmtd: %v", err)
 	}
-	fmt.Printf("pbio-fmtd: serving formats on %s\n", ln.Addr())
 	srv := fmtserver.NewServer()
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		srv.SetTelemetry(reg)
+		mln, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("pbio-fmtd: %v", err)
+		}
+		fmt.Printf("pbio-fmtd: metrics on %s\n", mln.Addr())
+	}
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := srv.Stats()
+				log.Printf("pbio-fmtd: %d conns, %d requests (%d registers, %d lookups, "+
+					"%d misses, %d errors), %d formats; a conns/clients ratio above 1 "+
+					"means clients are redialing (retry backoff)",
+					st.Conns, st.Requests, st.Registers, st.Lookups,
+					st.Misses, st.Errors, srv.Len())
+			}
+		}()
+	}
+	fmt.Printf("pbio-fmtd: serving formats on %s\n", ln.Addr())
 	log.Fatal(srv.Serve(ln))
 }

@@ -12,7 +12,13 @@
 // Usage:
 //
 //	pbio-relay -producers 127.0.0.1:7850 -consumers 127.0.0.1:7851 \
-//	    -timeout 30s -checksum-meta -stats 10s
+//	    -timeout 30s -checksum-meta -stats 10s -metrics-addr 127.0.0.1:9850
+//
+// With -metrics-addr the relay serves its observability surface over
+// HTTP: /metrics (Prometheus text exposition of frame, byte and
+// checksum-failure counters), /debug/vars (the same as JSON),
+// /debug/trace (recent wire-level trace events) and /debug/pprof/
+// (net/http/pprof profiling).
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/relay"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +38,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-frame producer read / consumer write bound (0 = none)")
 	sums := flag.Bool("checksum-meta", false, "checksum relay-originated meta frames")
 	statsEvery := flag.Duration("stats", 0, "print relay stats at this interval (0 = never)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	pln, err := net.Listen("tcp", *prod)
@@ -44,14 +52,25 @@ func main() {
 	s := relay.NewServer()
 	s.SetTimeouts(*timeout, *timeout)
 	s.SetChecksums(*sums)
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		s.SetTelemetry(reg)
+		mln, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("pbio-relay: %v", err)
+		}
+		fmt.Printf("pbio-relay: metrics on %s\n", mln.Addr())
+	}
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := s.Stats()
 				log.Printf("pbio-relay: %d frames, %d bytes forwarded, %d formats; "+
-					"%d bad producers, %d resyncs, %d dropped consumers, %d meta replays",
+					"%d bad producers, %d resyncs, %d checksum failures, "+
+					"%d dropped consumers, %d meta replays",
 					st.Frames, st.ForwardedBytes, s.Formats(),
-					st.BadProducers, st.Resyncs, st.DroppedConsumers, st.MetaReplays)
+					st.BadProducers, st.Resyncs, st.ChecksumFailures,
+					st.DroppedConsumers, st.MetaReplays)
 				if st.LastProducerError != "" {
 					log.Printf("pbio-relay: last producer error: %s", st.LastProducerError)
 				}

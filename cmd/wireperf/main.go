@@ -9,16 +9,22 @@
 //	wireperf -fig 4     # one figure
 //	wireperf -claims    # headline ratios only
 //	wireperf -sizes     # show the workload sizes and layouts
+//	wireperf -telemetry # live pbio exchange, print telemetry JSON
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/abi"
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
+	"repro/pbio"
 )
 
 func main() {
@@ -32,9 +38,16 @@ func main() {
 	xmlrt := flag.Bool("xmlrt", false, "the roundtrip Figure 5 omitted: XML vs PBIO")
 	pairs := flag.Bool("pairs", false, "conversion cost across architecture pairs")
 	live := flag.Bool("live", false, "actual roundtrips over TCP loopback (no model)")
+	telem := flag.Bool("telemetry", false, "run a pbio exchange in all three receive regimes and print the telemetry snapshot (conversion-path breakdown per format) as JSON")
 	flag.Parse()
 
 	switch {
+	case *telem:
+		if err := telemetryRun(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "wireperf: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case *sizes:
 		printSizes()
 		return
@@ -107,4 +120,121 @@ func printSizes() {
 		f := wire.MustLayout(bench.MixedSchema(s.N), &a)
 		fmt.Print(f.String())
 	}
+}
+
+// telemetryIters is the number of records exchanged per regime in the
+// -telemetry run.
+const telemetryIters = 64
+
+// telemetryRun performs a live pbio exchange in each of the paper's
+// three receive regimes — zero-copy (homogeneous View), interpreted
+// conversion, and DCG-generated conversion — with a telemetry registry
+// attached, then prints the registry snapshot as JSON.  The
+// conversion_paths section is the ground truth for experiments: it
+// shows which regime actually executed, per format, rather than which
+// one was requested.
+func telemetryRun(w io.Writer) error {
+	reg := telemetry.NewRegistry()
+
+	mixed := []pbio.FieldSpec{
+		pbio.F("node", pbio.Int),
+		pbio.F("timestamp", pbio.Double),
+		pbio.Array("values", pbio.Double, 64),
+	}
+
+	// Regime 1: homogeneous exchange, zero-copy View on the receiver.
+	if err := exchange(reg, "x86-64", "x86-64", pbio.Generated, mixed, true); err != nil {
+		return fmt.Errorf("zero-copy regime: %w", err)
+	}
+	// Regime 2: heterogeneous exchange, interpreted conversion.
+	if err := exchange(reg, "sparc-v8", "x86-64", pbio.Interpreted, mixed, false); err != nil {
+		return fmt.Errorf("interpreted regime: %w", err)
+	}
+	// Regime 3: heterogeneous exchange, DCG-generated conversion.
+	if err := exchange(reg, "sparc-v8", "x86-64", pbio.Generated, mixed, false); err != nil {
+		return fmt.Errorf("dcg regime: %w", err)
+	}
+
+	// conversion_paths: format -> path -> decode count, distilled from
+	// the pbio_decodes_total family.
+	paths := make(map[string]map[string]int64)
+	snapshot := reg.Snapshot()
+	for _, m := range snapshot {
+		if m.Name != "pbio_decodes_total" {
+			continue
+		}
+		for _, s := range m.Series {
+			f, p := s.Labels["format"], s.Labels["path"]
+			if paths[f] == nil {
+				paths[f] = make(map[string]int64)
+			}
+			paths[f][p] += s.Value
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Iters           int                         `json:"records_per_regime"`
+		ConversionPaths map[string]map[string]int64 `json:"conversion_paths"`
+		Metrics         []telemetry.MetricSnapshot  `json:"metrics"`
+	}{telemetryIters, paths, snapshot})
+}
+
+// exchange writes telemetryIters records under the sender architecture
+// and receives them under the receiver architecture, using View when
+// zeroCopy is set and Decode (under the given conversion mode)
+// otherwise.  Both contexts share the telemetry registry; the receiver
+// context does the decoding, so the conversion-path counters land on
+// its "mixed" format.
+func exchange(reg *telemetry.Registry, sendArch, recvArch string, mode pbio.ConvMode, fields []pbio.FieldSpec, zeroCopy bool) error {
+	sctx, err := pbio.NewContext(pbio.WithArch(sendArch))
+	if err != nil {
+		return err
+	}
+	sf, err := sctx.Register("mixed", fields...)
+	if err != nil {
+		return err
+	}
+	var stream bytes.Buffer
+	sw := sctx.NewWriter(&stream)
+	rec := sf.NewRecord()
+	for i := 0; i < telemetryIters; i++ {
+		rec.SetInt("node", 0, int64(i))
+		if err := sw.Write(rec); err != nil {
+			return err
+		}
+	}
+
+	rctx, err := pbio.NewContext(pbio.WithArch(recvArch),
+		pbio.WithConversion(mode), pbio.WithTelemetry(reg))
+	if err != nil {
+		return err
+	}
+	rf, err := rctx.Register("mixed", fields...)
+	if err != nil {
+		return err
+	}
+	r := rctx.NewReader(&stream)
+	out := rf.NewRecord()
+	for i := 0; i < telemetryIters; i++ {
+		m, err := r.Read()
+		if err != nil {
+			return err
+		}
+		if zeroCopy {
+			_, ok, err := m.View(rf)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("expected zero-copy view, layouts differ")
+			}
+			continue
+		}
+		if err := m.DecodeInto(rf, out); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,54 @@
+package convert
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// Metrics instruments the conversion planner and the interpreted
+// executor — the paper's measured quantities "conversion plan build
+// cost" (amortized once per wire format) and "interpreted conversion
+// time" (paid per record on the pre-DCG path).  A nil *Metrics disables
+// all accounting, including the time.Now calls, so the uninstrumented
+// path pays nothing.
+type Metrics struct {
+	PlanBuilds     *telemetry.Counter
+	PlanBuildNanos *telemetry.Histogram
+	InterpConverts *telemetry.Counter
+	InterpNanos    *telemetry.Histogram
+}
+
+// NewMetrics builds the convert metric set on r (nil registry → nil
+// set, which disables instrumentation).
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		PlanBuilds:     r.Counter("pbio_convert_plan_builds_total", "Conversion plans built (once per wire/native format pair)."),
+		PlanBuildNanos: r.Histogram("pbio_convert_plan_build_nanos", "Latency of conversion plan construction, nanoseconds."),
+		InterpConverts: r.Counter("pbio_convert_interp_conversions_total", "Records converted by the table-driven interpreter."),
+		InterpNanos:    r.Histogram("pbio_convert_interp_nanos", "Latency of one interpreted record conversion, nanoseconds."),
+	}
+}
+
+// NewPlanTimed builds a conversion plan like NewPlan, recording build
+// count and latency in m when m is non-nil.
+func NewPlanTimed(wireFmt, native *wire.Format, m *Metrics) (*Plan, error) {
+	if m == nil {
+		return NewPlan(wireFmt, native)
+	}
+	start := time.Now()
+	p, err := NewPlan(wireFmt, native)
+	if err == nil {
+		m.PlanBuilds.Inc()
+		m.PlanBuildNanos.Observe(time.Since(start).Nanoseconds())
+	}
+	return p, err
+}
+
+// SetMetrics attaches telemetry to the interpreter: each Convert is then
+// counted and timed.  Nil disables.
+func (it *Interp) SetMetrics(m *Metrics) { it.m = m }

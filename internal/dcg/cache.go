@@ -2,6 +2,7 @@ package dcg
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/convert"
 	"repro/internal/wire"
@@ -16,6 +17,19 @@ import (
 type Cache struct {
 	mu    sync.RWMutex
 	progs map[cacheKey]*Program
+
+	// met and conv, when non-nil, account cache traffic, codegen latency
+	// and plan builds.  Set once before use (SetMetrics).
+	met  *Metrics
+	conv *convert.Metrics
+}
+
+// SetMetrics attaches telemetry for cache hits/misses and compile
+// latency (met) and for the plan builds compilation triggers (conv).
+// Call before the cache is shared between goroutines.
+func (c *Cache) SetMetrics(met *Metrics, conv *convert.Metrics) {
+	c.met = met
+	c.conv = conv
 }
 
 type cacheKey struct {
@@ -35,15 +49,28 @@ func (c *Cache) Get(wireFmt, expected *wire.Format) (*Program, error) {
 	prog := c.progs[key]
 	c.mu.RUnlock()
 	if prog != nil {
+		if c.met != nil {
+			c.met.CacheHits.Inc()
+		}
 		return prog, nil
 	}
-	plan, err := convert.NewPlan(wireFmt, expected)
+	if c.met != nil {
+		c.met.CacheMisses.Inc()
+	}
+	plan, err := convert.NewPlanTimed(wireFmt, expected, c.conv)
 	if err != nil {
 		return nil, err
+	}
+	var start time.Time
+	if c.met != nil {
+		start = time.Now()
 	}
 	prog, err = Compile(plan)
 	if err != nil {
 		return nil, err
+	}
+	if c.met != nil {
+		c.met.CompileNanos.Observe(time.Since(start).Nanoseconds())
 	}
 	c.mu.Lock()
 	// Another goroutine may have won the race; keep the first program so

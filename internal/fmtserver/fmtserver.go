@@ -31,8 +31,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -68,6 +70,7 @@ var ErrUnknownFormat = errors.New("fmtserver: unknown format ID")
 type Server struct {
 	mu      sync.RWMutex
 	formats map[FormatID][]byte // ID -> canonical meta encoding
+	counts  serverCounters
 }
 
 // NewServer returns an empty format server.
@@ -96,6 +99,7 @@ func (s *Server) Serve(ln net.Listener) error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	s.counts.conns.Add(1)
 	var hdr [5]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
@@ -104,6 +108,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		op := hdr[0]
 		n := int(wire.BeUint32(hdr[1:]))
 		if n < 0 || n > maxPayload {
+			s.counts.errors.Add(1)
 			writeResp(conn, statusErr, []byte("payload too large"))
 			return
 		}
@@ -111,6 +116,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
+		s.counts.requests.Add(1)
 		if err := s.handle(conn, op, payload); err != nil {
 			return
 		}
@@ -122,6 +128,7 @@ func (s *Server) handle(conn net.Conn, op byte, payload []byte) error {
 	case opRegister:
 		f, _, err := wire.DecodeMeta(payload)
 		if err != nil {
+			s.counts.errors.Add(1)
 			return writeResp(conn, statusErr, []byte(err.Error()))
 		}
 		// Store the canonical re-encoding, not the client's bytes, so
@@ -131,11 +138,13 @@ func (s *Server) handle(conn net.Conn, op byte, payload []byte) error {
 		s.mu.Lock()
 		s.formats[id] = canonical
 		s.mu.Unlock()
+		s.counts.registers.Add(1)
 		var idBuf [8]byte
 		wire.PutBeUint64(idBuf[:], uint64(id))
 		return writeResp(conn, statusOK, idBuf[:])
 	case opLookup:
 		if len(payload) != 8 {
+			s.counts.errors.Add(1)
 			return writeResp(conn, statusErr, []byte("lookup payload must be 8 bytes"))
 		}
 		id := FormatID(wire.BeUint64(payload))
@@ -143,10 +152,13 @@ func (s *Server) handle(conn net.Conn, op byte, payload []byte) error {
 		meta, ok := s.formats[id]
 		s.mu.RUnlock()
 		if !ok {
+			s.counts.misses.Add(1)
 			return writeResp(conn, statusErr, []byte(ErrUnknownFormat.Error()))
 		}
+		s.counts.lookups.Add(1)
 		return writeResp(conn, statusOK, meta)
 	default:
+		s.counts.errors.Add(1)
 		return writeResp(conn, statusErr, []byte(fmt.Sprintf("unknown op %d", op)))
 	}
 }
@@ -187,6 +199,9 @@ type Client struct {
 	cacheMu sync.RWMutex
 	byID    map[FormatID]*wire.Format
 	ids     map[string]FormatID // fingerprint -> ID
+
+	counts clientCounters
+	trace  atomic.Pointer[telemetry.TraceRing]
 }
 
 // Retry defaults for Dial-built clients.
@@ -263,6 +278,7 @@ func (c *Client) Register(f *wire.Format) (FormatID, error) {
 	id, ok := c.ids[fp]
 	c.cacheMu.RUnlock()
 	if ok {
+		c.counts.cacheHits.Add(1)
 		return id, nil
 	}
 	status, payload, err := c.roundTrip(opRegister, wire.EncodeMeta(f))
@@ -289,6 +305,7 @@ func (c *Client) Lookup(id FormatID) (*wire.Format, error) {
 	f, ok := c.byID[id]
 	c.cacheMu.RUnlock()
 	if ok {
+		c.counts.cacheHits.Add(1)
 		return f, nil
 	}
 	var idBuf [8]byte
@@ -328,18 +345,23 @@ func (c *Client) Lookup(id FormatID) (*wire.Format, error) {
 func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.counts.requests.Add(1)
 	var lastErr error
 	for attempt := 0; attempt < c.attempts; attempt++ {
 		if attempt > 0 {
 			if c.redial == nil {
 				break
 			}
+			c.counts.retries.Add(1)
+			c.trace.Load().Emit("fmtserver", "retry", fmt.Sprintf("attempt %d: %v", attempt+1, lastErr))
 			time.Sleep(c.backoff << (attempt - 1))
 			conn, err := c.redial()
 			if err != nil {
 				lastErr = fmt.Errorf("fmtserver: redial: %w", err)
 				continue
 			}
+			c.counts.redials.Add(1)
+			c.trace.Load().Emit("fmtserver", "redial", "")
 			c.conn.Close()
 			c.conn = conn
 		}

@@ -24,8 +24,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -53,34 +55,68 @@ type Server struct {
 	// one unprotected link in an end-to-end checksummed path.
 	sums bool
 
-	stats Stats
+	stats statCounters
+
+	// trace, when set (SetTelemetry), receives relay trace events:
+	// resyncs, dropped producers and consumers.  Atomic so telemetry can
+	// be attached without synchronizing with serving goroutines.
+	trace atomic.Pointer[telemetry.TraceRing]
 }
 
-// Stats is the relay's error-accounting and throughput counters.
+// emitTrace sends a relay trace event if telemetry is attached.
+func (s *Server) emitTrace(name, detail string) {
+	s.trace.Load().Emit("relay", name, detail)
+}
+
+// Stats is a snapshot of the relay's error-accounting and throughput
+// counters.
 type Stats struct {
 	// Frames is the number of frames broadcast; ForwardedBytes the total
 	// payload bytes forwarded (payload size × consumers at broadcast
 	// time).
-	Frames         int
-	ForwardedBytes int
+	Frames         int64
+	ForwardedBytes int64
 
 	// BadProducers counts producers dropped for protocol violations or
 	// unrecoverable corruption; LastProducerError records the most
 	// recent cause.
-	BadProducers      int
+	BadProducers      int64
 	LastProducerError string
 
 	// DroppedConsumers counts consumers dropped for falling behind
 	// (queue overflow) or exceeding the consumer write timeout.
-	DroppedConsumers int
+	DroppedConsumers int64
 
 	// Resyncs counts corrupt producer frames survived without dropping
 	// the producer: the frame was skipped and the stream re-aligned on
 	// the next frame boundary.
-	Resyncs int
+	Resyncs int64
+
+	// ChecksumFailures counts producer frames whose CRC32-C prefix did
+	// not match the body (a subset of the corrupt frames Resyncs
+	// survives: checksummed frames are consumed whole, so they are
+	// skipped without a boundary scan).
+	ChecksumFailures int64
 
 	// MetaReplays counts meta frames replayed to late-joining consumers.
-	MetaReplays int
+	MetaReplays int64
+}
+
+// statCounters is the live form of Stats: lock-free atomics on the
+// broadcast hot path, so Stats readers (the -stats ticker, the /metrics
+// scrape) never contend with forwarding.  Only the error string needs a
+// lock, and it is written on producer-drop paths only.
+type statCounters struct {
+	frames           atomic.Int64
+	forwardedBytes   atomic.Int64
+	badProducers     atomic.Int64
+	droppedConsumers atomic.Int64
+	resyncs          atomic.Int64
+	checksumFailures atomic.Int64
+	metaReplays      atomic.Int64
+
+	errMu             sync.Mutex
+	lastProducerError string
 }
 
 // consumer is one subscriber connection.
@@ -227,6 +263,7 @@ func (s *Server) serveProducer(conn net.Conn) {
 		if err != nil {
 			// Checksum mismatch: the frame was consumed whole, so the
 			// stream is still aligned — just drop the frame.
+			s.noteChecksumFailure()
 			if !skip(err) {
 				return
 			}
@@ -293,16 +330,21 @@ func (s *Server) armProducerRead(conn net.Conn) {
 }
 
 func (s *Server) noteResync() {
-	s.mu.Lock()
-	s.stats.Resyncs++
-	s.mu.Unlock()
+	s.stats.resyncs.Add(1)
+	s.emitTrace("resync", "")
+}
+
+func (s *Server) noteChecksumFailure() {
+	s.stats.checksumFailures.Add(1)
+	s.emitTrace("checksum_failure", "")
 }
 
 func (s *Server) noteBadProducer(cause error) {
-	s.mu.Lock()
-	s.stats.BadProducers++
-	s.stats.LastProducerError = cause.Error()
-	s.mu.Unlock()
+	s.stats.badProducers.Add(1)
+	s.stats.errMu.Lock()
+	s.stats.lastProducerError = cause.Error()
+	s.stats.errMu.Unlock()
+	s.emitTrace("producer_dropped", cause.Error())
 }
 
 // registerFormat adds a format to the relay space, recording its meta
@@ -334,8 +376,8 @@ func (s *Server) broadcastMeta(relayID uint32) {
 // queues are full.
 func (s *Server) broadcast(f transport.Frame) {
 	s.mu.Lock()
-	s.stats.Frames++
-	s.stats.ForwardedBytes += len(f.Payload) * len(s.consumers)
+	s.stats.frames.Add(1)
+	s.stats.forwardedBytes.Add(int64(len(f.Payload)) * int64(len(s.consumers)))
 	var drop []*consumer
 	for c := range s.consumers {
 		select {
@@ -350,7 +392,8 @@ func (s *Server) broadcast(f transport.Frame) {
 		// its socket is bounded by the consumer write timeout instead.
 		delete(s.consumers, c)
 		close(c.ch)
-		s.stats.DroppedConsumers++
+		s.stats.droppedConsumers.Add(1)
+		s.emitTrace("consumer_dropped", "queue overflow")
 	}
 	s.mu.Unlock()
 }
@@ -371,7 +414,7 @@ func (s *Server) serveConsumer(conn net.Conn) {
 	for _, id := range s.metaOrder {
 		replay = append(replay, s.metaFrame(id))
 	}
-	s.stats.MetaReplays += len(replay)
+	s.stats.metaReplays.Add(int64(len(replay)))
 	s.consumers[c] = true
 	wtimeout := s.consumerTimeout
 	s.mu.Unlock()
@@ -408,11 +451,49 @@ func (s *Server) serveConsumer(conn net.Conn) {
 }
 
 // Stats returns a snapshot of the relay's throughput and error-accounting
-// counters.
+// counters.  Counters are atomics, so taking a snapshot never contends
+// with the broadcast hot path.
 func (s *Server) Stats() Stats {
+	s.stats.errMu.Lock()
+	lastErr := s.stats.lastProducerError
+	s.stats.errMu.Unlock()
+	return Stats{
+		Frames:            s.stats.frames.Load(),
+		ForwardedBytes:    s.stats.forwardedBytes.Load(),
+		BadProducers:      s.stats.badProducers.Load(),
+		LastProducerError: lastErr,
+		DroppedConsumers:  s.stats.droppedConsumers.Load(),
+		Resyncs:           s.stats.resyncs.Load(),
+		ChecksumFailures:  s.stats.checksumFailures.Load(),
+		MetaReplays:       s.stats.metaReplays.Load(),
+	}
+}
+
+// Consumers returns the number of currently connected consumers.
+func (s *Server) Consumers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	return len(s.consumers)
+}
+
+// SetTelemetry exports the relay's counters on r as export-time-read
+// metric functions — the live counters stay the single source of truth,
+// nothing is double-counted — and routes relay trace events (resyncs,
+// dropped peers) into r's trace ring.
+func (s *Server) SetTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	s.trace.Store(r.Trace())
+	r.CounterFunc("pbio_relay_frames_total", "Frames broadcast to consumers.", s.stats.frames.Load)
+	r.CounterFunc("pbio_relay_forwarded_bytes_total", "Payload bytes forwarded (payload size x consumers).", s.stats.forwardedBytes.Load)
+	r.CounterFunc("pbio_relay_bad_producers_total", "Producers dropped for protocol violations or corruption.", s.stats.badProducers.Load)
+	r.CounterFunc("pbio_relay_dropped_consumers_total", "Consumers dropped for falling behind or write timeout.", s.stats.droppedConsumers.Load)
+	r.CounterFunc("pbio_relay_resyncs_total", "Corrupt producer frames survived by skip-and-resync.", s.stats.resyncs.Load)
+	r.CounterFunc("pbio_relay_checksum_failures_total", "Producer frames whose CRC32-C did not match the body.", s.stats.checksumFailures.Load)
+	r.CounterFunc("pbio_relay_meta_replays_total", "Meta frames replayed to late-joining consumers.", s.stats.metaReplays.Load)
+	r.GaugeFunc("pbio_relay_formats", "Distinct formats the relay has seen.", func() int64 { return int64(s.Formats()) })
+	r.GaugeFunc("pbio_relay_consumers", "Currently connected consumers.", func() int64 { return int64(s.Consumers()) })
 }
 
 // Formats returns the number of distinct formats the relay has seen.

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultTraceCap bounds the default trace ring: enough to hold the
+// recent past of a busy wire path, small enough that an idle daemon
+// carries it for free.
+const defaultTraceCap = 1024
+
+// Event is one structured wire-level trace event.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Cat    string    `json:"cat"`  // subsystem: transport, relay, fmtserver, pbio, dcg
+	Name   string    `json:"name"` // event kind: checksum_failure, resync, redial, …
+	Detail string    `json:"detail,omitempty"`
+}
+
+// TraceRing is a bounded ring buffer of trace events.  When full, the
+// oldest event is dropped to admit the new one; Dropped counts the
+// overwrites.  Emit is cheap (one mutex, no allocation beyond the
+// caller's strings) and a nil ring ignores all calls, so instrumented
+// code emits unconditionally.
+type TraceRing struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // index of the slot the next event goes into
+	n       int // number of valid events (≤ len(buf))
+	seq     uint64
+	dropped atomic.Int64
+}
+
+// NewTraceRing returns a ring holding at most capacity events.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]Event, capacity)}
+}
+
+// Emit records one event.  No-op on a nil ring.
+func (t *TraceRing) Emit(cat, name, detail string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.seq++
+	if t.n == len(t.buf) {
+		t.dropped.Add(1)
+	} else {
+		t.n++
+	}
+	t.buf[t.next] = Event{Seq: t.seq, Time: now, Cat: cat, Name: name, Detail: detail}
+	t.next = (t.next + 1) % len(t.buf)
+	t.mu.Unlock()
+}
+
+// Dropped returns how many events were overwritten before being read.
+func (t *TraceRing) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Len returns the number of events currently held.
+func (t *TraceRing) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Snapshot returns the held events, oldest first.
+func (t *TraceRing) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}

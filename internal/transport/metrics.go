@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics is the transport layer's wire-path instrumentation.  All
+// fields are nil-safe telemetry handles, so the zero value is a valid
+// no-op set; Writers and Readers leave their metric pointer nil until
+// SetMetrics, and the disabled-telemetry hot path costs one nil-check
+// branch per frame.
+type Metrics struct {
+	FramesRead    *telemetry.Counter
+	FramesWritten *telemetry.Counter
+	BytesRead     *telemetry.Counter // payload + header bytes consumed
+	BytesWritten  *telemetry.Counter // payload + header bytes emitted
+	MetaRead      *telemetry.Counter // meta + meta-ref frames consumed
+	MetaWritten   *telemetry.Counter // meta + meta-ref frames emitted
+
+	// ChecksumFailures counts frames whose CRC32-C prefix did not match
+	// their body; DeadlineTimeouts counts reads/writes that hit the
+	// configured deadline (a dead or stalled peer, not corruption).
+	ChecksumFailures *telemetry.Counter
+	DeadlineTimeouts *telemetry.Counter
+
+	// Trace, when non-nil, receives wire-level trace events (formats
+	// learned, checksum failures, timeouts).
+	Trace *telemetry.TraceRing
+}
+
+// nopMetrics is the shared disabled-telemetry instance: all handles nil,
+// every method call a no-op.
+var nopMetrics = &Metrics{}
+
+// NewMetrics builds (or re-binds, the registry deduplicates by name) the
+// transport metric set on r.  A nil registry yields the no-op set.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nopMetrics
+	}
+	return &Metrics{
+		FramesRead:       r.Counter("pbio_transport_frames_read_total", "Frames consumed from streams (data + meta)."),
+		FramesWritten:    r.Counter("pbio_transport_frames_written_total", "Frames emitted to streams (data + meta)."),
+		BytesRead:        r.Counter("pbio_transport_bytes_read_total", "Bytes consumed from streams, headers included."),
+		BytesWritten:     r.Counter("pbio_transport_bytes_written_total", "Bytes emitted to streams, headers included."),
+		MetaRead:         r.Counter("pbio_transport_meta_frames_read_total", "Meta and meta-reference frames consumed."),
+		MetaWritten:      r.Counter("pbio_transport_meta_frames_written_total", "Meta and meta-reference frames emitted."),
+		ChecksumFailures: r.Counter("pbio_transport_checksum_failures_total", "Frames whose CRC32-C did not match the body."),
+		DeadlineTimeouts: r.Counter("pbio_transport_deadline_timeouts_total", "Reads or writes that hit the configured deadline."),
+		Trace:            r.Trace(),
+	}
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// noteIOError classifies an I/O error into the timeout counter and the
+// trace ring.  It is nil-receiver-safe and called on error paths only,
+// never on the hot path.
+func (m *Metrics) noteIOError(err error, what string) {
+	if m == nil || err == nil {
+		return
+	}
+	if isTimeout(err) {
+		m.DeadlineTimeouts.Inc()
+		m.Trace.Emit("transport", "deadline_timeout", what)
+	}
+}

@@ -179,7 +179,15 @@ type Writer struct {
 	// preceded by an 8-byte global format ID obtained from the registrar
 	// (see internal/fmtserver).
 	registrar func(*wire.Format) (uint64, error)
+
+	// m is nil until SetMetrics; every hot-path use is guarded by one
+	// nil check (see the Reader field of the same name).
+	m *Metrics
 }
+
+// SetMetrics attaches a telemetry metric set (nil restores the no-op
+// default).
+func (t *Writer) SetMetrics(m *Metrics) { t.m = m }
 
 // SetRegistrar switches the writer to format-server mode.  Must be called
 // before the first WriteRecord.
@@ -277,8 +285,17 @@ func (t *Writer) emit(kind byte, id uint32, body []byte, what string) error {
 	}
 	// Reuse the vectored-write slice: WriteTo consumes it, so rebuild
 	// from capacity each call (no per-record allocation).
-	if _, err := t.bufs.WriteTo(t.w); err != nil {
+	n, err := t.bufs.WriteTo(t.w)
+	if err != nil {
+		t.m.noteIOError(err, "write "+what)
 		return fmt.Errorf("transport: write %s: %w: %w", what, err, ErrPeerGone)
+	}
+	if m := t.m; m != nil {
+		m.FramesWritten.Inc()
+		m.BytesWritten.Add(n)
+		if kind&^FrameFlagSum != msgData {
+			m.MetaWritten.Inc()
+		}
 	}
 	return nil
 }
@@ -316,12 +333,23 @@ type Reader struct {
 	// resolver, when set, resolves global format IDs arriving in
 	// meta-reference messages (format-server mode).
 	resolver func(uint64) (*wire.Format, error)
+
+	// m is nil until SetMetrics; every hot-path use is guarded by one
+	// nil check.  (Leaving the default out of the constructor keeps
+	// NewReader — and pbio's wrapper around it — within the inlining
+	// budget, which is what lets short-lived readers stay on the
+	// caller's stack.)
+	m *Metrics
 }
 
 // NewReader returns a Reader over r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: r, formats: wire.NewRegistry()}
 }
+
+// SetMetrics attaches a telemetry metric set (nil restores the no-op
+// default).
+func (t *Reader) SetMetrics(m *Metrics) { t.m = m }
 
 // SetResolver equips the reader to resolve global format IDs via a format
 // server (see internal/fmtserver).  Streams written in format-server mode
@@ -352,6 +380,7 @@ func (t *Reader) ReadMessage() (*Message, error) {
 			if err == io.EOF {
 				return nil, io.EOF
 			}
+			t.m.noteIOError(err, "read header")
 			return nil, fmt.Errorf("transport: read header: %w: %w", err, ErrPeerGone)
 		}
 		if wire.BeUint16(t.hdr[:]) != frameMagic {
@@ -372,7 +401,15 @@ func (t *Reader) ReadMessage() (*Message, error) {
 		}
 		t.buf = t.buf[:n]
 		if _, err := io.ReadFull(t.r, t.buf); err != nil {
+			t.m.noteIOError(err, "read payload")
 			return nil, fmt.Errorf("transport: read payload: %w: %w", err, ErrPeerGone)
+		}
+		if m := t.m; m != nil {
+			m.FramesRead.Inc()
+			m.BytesRead.Add(int64(frameHeaderSize + n))
+			if kind != msgData {
+				m.MetaRead.Inc()
+			}
 		}
 		// Verify and strip the checksum prefix, if the frame carries one.
 		body := t.buf
@@ -380,6 +417,10 @@ func (t *Reader) ReadMessage() (*Message, error) {
 			f := Frame{Kind: rawKind, Payload: t.buf}
 			var err error
 			if body, err = f.Body(); err != nil {
+				if m := t.m; m != nil {
+					m.ChecksumFailures.Inc()
+					m.Trace.Emit("transport", "checksum_failure", fmt.Sprintf("format %d kind %d", id, kind))
+				}
 				return nil, err
 			}
 			n = len(body)
@@ -392,6 +433,9 @@ func (t *Reader) ReadMessage() (*Message, error) {
 			}
 			if err := t.formats.Bind(id, f); err != nil {
 				return nil, fmt.Errorf("%w: %w", err, ErrProtocol)
+			}
+			if m := t.m; m != nil {
+				m.Trace.Emit("transport", "format_learned", f.Name)
 			}
 		case msgMetaRef:
 			if t.resolver == nil {

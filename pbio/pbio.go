@@ -51,6 +51,8 @@ import (
 	"repro/internal/convert"
 	"repro/internal/dcg"
 	"repro/internal/fmtserver"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -192,6 +194,19 @@ type Context struct {
 	cache *dcg.Cache
 	fmtsv *fmtserver.Client // nil: in-band meta (the default)
 
+	// registrarFn/resolverFn adapt fmtsv for the transport layer.  Built
+	// once in NewContext so equipping a Writer/Reader shares the closures
+	// instead of allocating a pair per stream.
+	registrarFn func(*wire.Format) (uint64, error)
+	resolverFn  func(uint64) (*wire.Format, error)
+
+	// Telemetry (see WithTelemetry).  met is never nil — it defaults to
+	// the shared no-op set; tel, convMet and tmet are nil when disabled.
+	tel     *telemetry.Registry
+	met     *ctxMetrics
+	convMet *convert.Metrics
+	tmet    *transport.Metrics
+
 	planMu sync.RWMutex
 	plans  map[[2]string]*convert.Plan
 }
@@ -205,7 +220,7 @@ func (c *Context) plan(wf, nf *wire.Format) (*convert.Plan, error) {
 	if p != nil {
 		return p, nil
 	}
-	p, err := convert.NewPlan(wf, nf)
+	p, err := convert.NewPlanTimed(wf, nf, c.convMet)
 	if err != nil {
 		return nil, err
 	}
@@ -277,6 +292,17 @@ func NewContext(opts ...Option) (*Context, error) {
 			return nil, err
 		}
 	}
+	c.initTelemetry()
+	if c.fmtsv != nil {
+		c.fmtsv.SetTelemetry(c.tel)
+		c.registrarFn = func(f *wire.Format) (uint64, error) {
+			id, err := c.fmtsv.Register(f)
+			return uint64(id), err
+		}
+		c.resolverFn = func(id uint64) (*wire.Format, error) {
+			return c.fmtsv.Lookup(fmtserver.FormatID(id))
+		}
+	}
 	return c, nil
 }
 
@@ -294,7 +320,7 @@ func (c *Context) Register(name string, fields ...FieldSpec) (*Format, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Format{ctx: c, wf: wf}, nil
+	return &Format{ctx: c, wf: wf, met: c.bindFormatMetrics(wf.Name)}, nil
 }
 
 func buildSchema(name string, fields []FieldSpec) (*wire.Schema, error) {
@@ -324,6 +350,7 @@ func buildSchema(name string, fields []FieldSpec) (*wire.Schema, error) {
 type Format struct {
 	ctx *Context
 	wf  *wire.Format
+	met formatMetrics // resolved at Register; zero value when telemetry is off
 }
 
 // Name returns the format name.

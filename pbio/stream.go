@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/convert"
-	"repro/internal/fmtserver"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -20,16 +19,23 @@ type Writer struct {
 	tw  *transport.Writer
 }
 
-// NewWriter returns a Writer over w.
+// NewWriter returns a Writer over w.  The constructor body must stay
+// within the inlining budget: callers that create short-lived writers
+// rely on the escape analysis that inlining enables, so the optional
+// format-server/telemetry wiring lives in equipWriter.
 func (c *Context) NewWriter(w io.Writer) *Writer {
 	tw := transport.NewWriter(w)
-	if c.fmtsv != nil {
-		tw.SetRegistrar(func(f *wire.Format) (uint64, error) {
-			id, err := c.fmtsv.Register(f)
-			return uint64(id), err
-		})
-	}
+	c.equipWriter(tw)
 	return &Writer{ctx: c, tw: tw}
+}
+
+func (c *Context) equipWriter(tw *transport.Writer) {
+	if c.registrarFn != nil {
+		tw.SetRegistrar(c.registrarFn)
+	}
+	if c.tmet != nil {
+		tw.SetMetrics(c.tmet)
+	}
 }
 
 // EnableChecksums makes the Writer emit a CRC32-C over every frame body.
@@ -48,7 +54,11 @@ func (w *Writer) Write(rec *Record) error {
 	if rec.fmt.ctx != w.ctx {
 		return fmt.Errorf("pbio: record's format belongs to a different context")
 	}
-	return w.tw.WriteRecord(rec.fmt.wf, rec.rec.Buf)
+	if err := w.tw.WriteRecord(rec.fmt.wf, rec.rec.Buf); err != nil {
+		return err
+	}
+	rec.fmt.met.sent.Inc()
+	return nil
 }
 
 // Reader receives records from a byte stream.  A Reader is not safe for
@@ -58,15 +68,21 @@ type Reader struct {
 	tr  *transport.Reader
 }
 
-// NewReader returns a Reader over r.
+// NewReader returns a Reader over r.  Like NewWriter, the body stays
+// within the inlining budget; optional wiring lives in equipReader.
 func (c *Context) NewReader(r io.Reader) *Reader {
 	tr := transport.NewReader(r)
-	if c.fmtsv != nil {
-		tr.SetResolver(func(id uint64) (*wire.Format, error) {
-			return c.fmtsv.Lookup(fmtserver.FormatID(id))
-		})
-	}
+	c.equipReader(tr)
 	return &Reader{ctx: c, tr: tr}
+}
+
+func (c *Context) equipReader(tr *transport.Reader) {
+	if c.resolverFn != nil {
+		tr.SetResolver(c.resolverFn)
+	}
+	if c.tmet != nil {
+		tr.SetMetrics(c.tmet)
+	}
 }
 
 // SetTimeout bounds each message read when the underlying stream is a
@@ -81,6 +97,7 @@ func (r *Reader) Read() (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.ctx.met.recordsRecv.Inc()
 	return &Message{ctx: r.ctx, msg: m}, nil
 }
 
@@ -149,6 +166,7 @@ func (m *Message) View(expected *Format) (rec *Record, ok bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
+	expected.met.decZero.Inc()
 	return rec, true, nil
 }
 
@@ -164,10 +182,33 @@ func (m *Message) convert(expected *Format, dst []byte) error {
 		if err != nil {
 			return err
 		}
-		return convert.NewInterp(plan).Convert(dst, m.msg.Data)
+		it := convert.NewInterp(plan)
+		if m.ctx.met.enabled {
+			// The interpreter times itself (pbio_convert_interp_nanos);
+			// the decode histogram gets the same observation under the
+			// path label so regimes compare side by side.
+			it.SetMetrics(m.ctx.convMet)
+			start := time.Now()
+			err = it.Convert(dst, m.msg.Data)
+			if err == nil {
+				expected.met.decInterp.Inc()
+				m.ctx.met.interpNanos.Observe(time.Since(start).Nanoseconds())
+			}
+			return err
+		}
+		return it.Convert(dst, m.msg.Data)
 	default:
 		prog, err := m.ctx.cache.Get(m.msg.Format, expected.wf)
 		if err != nil {
+			return err
+		}
+		if m.ctx.met.enabled {
+			start := time.Now()
+			err = prog.Convert(dst, m.msg.Data)
+			if err == nil {
+				expected.met.decDCG.Inc()
+				m.ctx.met.dcgNanos.Observe(time.Since(start).Nanoseconds())
+			}
 			return err
 		}
 		return prog.Convert(dst, m.msg.Data)
