@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint pbiovet test test-race chaos fuzz bench bench-smoke bench-all figures examples outputs clean
+.PHONY: all build vet lint pbiovet test test-race chaos fuzz bench bench-smoke bench-compare bench-all figures examples outputs clean
 
 all: build vet test
 
@@ -10,8 +10,8 @@ build:
 	$(GO) build ./...
 
 # vet runs the standard Go vet plus pbiovet, the repo's own analyzer
-# suite (tagcheck, speccheck, endiancheck, senterr).  Any diagnostic
-# fails the target, and therefore `make all` and CI.
+# suite (tagcheck, speccheck, endiancheck, senterr, tracecheck).  Any
+# diagnostic fails the target, and therefore `make all` and CI.
 vet: pbiovet
 	$(GO) vet ./...
 	$(GO) vet -vettool=bin/pbiovet ./...
@@ -56,6 +56,21 @@ bench:
 
 bench-smoke:
 	$(MAKE) bench BENCHTIME=1x
+
+# bench-compare re-runs the benchmarks and diffs them against the
+# checked-in baseline (BENCHBASE): allocs/op must not grow at all, B/op
+# and ns/op within thresholds.  A regression exits nonzero and fails CI.
+# COMPAREBENCHTIME must be enough iterations to amortize one-time setup
+# (1x smoke artifacts make allocs/op meaningless); COMPAREFLAGS tunes
+# the thresholds — CI passes -ns-threshold=-1 because the baseline's
+# wall-clock numbers come from different hardware.
+BENCHBASE        ?= BENCH_pr3.json
+COMPAREBENCHTIME ?= 5000x
+COMPAREFLAGS     ?=
+
+bench-compare:
+	$(MAKE) bench BENCHOUT=bench_current.json BENCHTIME=$(COMPAREBENCHTIME)
+	$(GO) run ./cmd/benchjson -compare $(COMPAREFLAGS) $(BENCHBASE) bench_current.json
 
 # Full benchmark sweep over every package (human-readable).
 bench-all:

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func docOf(results ...Result) Doc { return Doc{Benchmarks: results} }
+
+func res(name string, iters int64, ns float64, b, allocs int64) Result {
+	return Result{Name: name, Package: "repro/pbio", Iterations: iters,
+		NsPerOp: ns, BytesPerOp: b, AllocsPerOp: allocs}
+}
+
+var defaultT = thresholds{ns: 0.30, bytes: 0.02, allocs: 0, minIters: 10}
+
+func TestCompareClean(t *testing.T) {
+	old := docOf(res("BenchmarkWrite-8", 1000, 100, 64, 2))
+	new := docOf(res("BenchmarkWrite-8", 1000, 110, 64, 2))
+	var out strings.Builder
+	if got := compareDocs(&out, old, new, defaultT); got != 0 {
+		t.Fatalf("regressions = %d, want 0\noutput:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "ok  ") {
+		t.Fatalf("output missing ok line:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	old := docOf(res("BenchmarkWrite-8", 1000, 100, 64, 2))
+	new := docOf(res("BenchmarkWrite-8", 1000, 100, 64, 3))
+	var out strings.Builder
+	if got := compareDocs(&out, old, new, defaultT); got != 1 {
+		t.Fatalf("regressions = %d, want 1\noutput:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op 2 -> 3") {
+		t.Fatalf("output missing alloc diff:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocSlack(t *testing.T) {
+	old := docOf(res("BenchmarkWrite-8", 1000, 100, 64, 2))
+	new := docOf(res("BenchmarkWrite-8", 1000, 100, 64, 3))
+	slack := defaultT
+	slack.allocs = 1
+	var out strings.Builder
+	if got := compareDocs(&out, old, new, slack); got != 0 {
+		t.Fatalf("regressions = %d, want 0 with allocs slack 1\noutput:\n%s", got, out.String())
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	old := docOf(res("BenchmarkConvert-8", 1000, 100, 0, 0))
+	new := docOf(res("BenchmarkConvert-8", 1000, 150, 0, 0))
+	var out strings.Builder
+	if got := compareDocs(&out, old, new, defaultT); got != 1 {
+		t.Fatalf("regressions = %d, want 1 (+50%% ns/op)\noutput:\n%s", got, out.String())
+	}
+}
+
+func TestCompareNsSkippedOnSmokeRun(t *testing.T) {
+	// benchtime=1x smoke runs report 1 iteration; a 10x ns/op swing there
+	// is a timing quantum, not a regression.
+	old := docOf(res("BenchmarkConvert-8", 1, 100, 0, 0))
+	new := docOf(res("BenchmarkConvert-8", 1, 1000, 0, 0))
+	var out strings.Builder
+	if got := compareDocs(&out, old, new, defaultT); got != 0 {
+		t.Fatalf("regressions = %d, want 0 for smoke runs\noutput:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "smoke run") {
+		t.Fatalf("output should note the skipped ns comparison:\n%s", out.String())
+	}
+}
+
+func TestCompareNsDisabled(t *testing.T) {
+	// A negative ns threshold turns off the wall-clock comparison (the
+	// baseline may come from different hardware); allocs still gate.
+	old := docOf(res("BenchmarkConvert-8", 1000, 100, 0, 0))
+	new := docOf(res("BenchmarkConvert-8", 1000, 1000, 0, 0))
+	disabled := defaultT
+	disabled.ns = -1
+	var out strings.Builder
+	if got := compareDocs(&out, old, new, disabled); got != 0 {
+		t.Fatalf("regressions = %d, want 0 with ns disabled\noutput:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "disabled") {
+		t.Fatalf("output should note the disabled ns comparison:\n%s", out.String())
+	}
+	newAlloc := docOf(res("BenchmarkConvert-8", 1000, 1000, 0, 2))
+	out.Reset()
+	if got := compareDocs(&out, old, newAlloc, disabled); got != 1 {
+		t.Fatalf("regressions = %d, want 1: allocs must still gate\noutput:\n%s", got, out.String())
+	}
+}
+
+func TestCompareBytesRegression(t *testing.T) {
+	old := docOf(res("BenchmarkWrite-8", 1000, 100, 100, 2))
+	new := docOf(res("BenchmarkWrite-8", 1000, 100, 110, 2))
+	var out strings.Builder
+	if got := compareDocs(&out, old, new, defaultT); got != 1 {
+		t.Fatalf("regressions = %d, want 1 (+10%% B/op)\noutput:\n%s", got, out.String())
+	}
+}
+
+func TestCompareImprovementsPass(t *testing.T) {
+	old := docOf(res("BenchmarkWrite-8", 1000, 100, 64, 4))
+	new := docOf(res("BenchmarkWrite-8", 1000, 50, 32, 1))
+	var out strings.Builder
+	if got := compareDocs(&out, old, new, defaultT); got != 0 {
+		t.Fatalf("regressions = %d, want 0 for improvements\noutput:\n%s", got, out.String())
+	}
+}
+
+func TestCompareUnmatchedBenchmarks(t *testing.T) {
+	old := docOf(res("BenchmarkGone-8", 1000, 100, 0, 0))
+	new := docOf(res("BenchmarkNew-8", 1000, 100, 0, 0))
+	var out strings.Builder
+	if got := compareDocs(&out, old, new, defaultT); got != 0 {
+		t.Fatalf("regressions = %d, want 0: missing benchmarks warn, not fail\noutput:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "no baseline") || !strings.Contains(out.String(), "not in new run") {
+		t.Fatalf("output should note unmatched benchmarks on both sides:\n%s", out.String())
+	}
+}
+
+func TestComparePackageScopesKey(t *testing.T) {
+	// Same benchmark name in different packages must not cross-match.
+	old := Doc{Benchmarks: []Result{
+		{Name: "BenchmarkX-8", Package: "repro/a", Iterations: 1000, NsPerOp: 100},
+	}}
+	new := Doc{Benchmarks: []Result{
+		{Name: "BenchmarkX-8", Package: "repro/b", Iterations: 1000, NsPerOp: 1000},
+	}}
+	var out strings.Builder
+	if got := compareDocs(&out, old, new, defaultT); got != 0 {
+		t.Fatalf("regressions = %d, want 0: different packages should not match\noutput:\n%s", got, out.String())
+	}
+}
+
+func TestParseBenchRoundTrip(t *testing.T) {
+	text := `goos: linux
+pkg: repro/pbio
+BenchmarkWriteRecord/1KB-8   	  500000	      2100 ns/op	     487.61 MB/s	      64 B/op	       2 allocs/op
+BenchmarkDecodeDCG-8         	 1000000	      1500 ns/op
+PASS
+ok  	repro/pbio	3.2s
+`
+	doc, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkWriteRecord/1KB-8" || b.Package != "repro/pbio" ||
+		b.Iterations != 500000 || b.NsPerOp != 2100 || b.BytesPerOp != 64 ||
+		b.AllocsPerOp != 2 || b.MBPerSec != 487.61 {
+		t.Fatalf("bad parse: %+v", b)
+	}
+}

@@ -26,12 +26,14 @@ import (
 
 	"repro/internal/fmtserver"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracectx"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7847", "address to listen on")
 	statsEvery := flag.Duration("stats", 0, "print server stats at this interval (0 = never)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (empty = disabled)")
+	trace := flag.Bool("trace", false, "record a span per handled request, served at /debug/trace.json on -metrics-addr")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *listen)
@@ -39,9 +41,15 @@ func main() {
 		log.Fatalf("pbio-fmtd: %v", err)
 	}
 	srv := fmtserver.NewServer()
+	var tracer *tracectx.Tracer
+	if *trace {
+		tracer = tracectx.New("pbio-fmtd", 1, 0)
+		srv.SetTracer(tracer)
+	}
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		srv.SetTelemetry(reg)
+		tracer.ExportMetrics(reg)
 		mln, err := telemetry.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatalf("pbio-fmtd: %v", err)

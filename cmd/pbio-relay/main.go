@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/relay"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracectx"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	sums := flag.Bool("checksum-meta", false, "checksum relay-originated meta frames")
 	statsEvery := flag.Duration("stats", 0, "print relay stats at this interval (0 = never)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (empty = disabled)")
+	traceRate := flag.Float64("trace-rate", 0, "participate in cross-hop traces: record a relay span for every forwarded frame carrying wire trace context (any rate > 0 enables; spans served at /debug/trace.json on -metrics-addr)")
 	flag.Parse()
 
 	pln, err := net.Listen("tcp", *prod)
@@ -52,9 +54,18 @@ func main() {
 	s := relay.NewServer()
 	s.SetTimeouts(*timeout, *timeout)
 	s.SetChecksums(*sums)
+	var tracer *tracectx.Tracer
+	if *traceRate > 0 {
+		// The relay never samples — it records spans for whatever trace
+		// context producers put on the wire — so the rate only gates
+		// whether tracing is on at all.
+		tracer = tracectx.New("pbio-relay", *traceRate, 0)
+		s.SetTracing(tracer)
+	}
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		s.SetTelemetry(reg)
+		tracer.ExportMetrics(reg)
 		mln, err := telemetry.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatalf("pbio-relay: %v", err)

@@ -1,0 +1,243 @@
+// Command pbio-trace joins trace spans exported by multiple processes
+// into complete cross-hop traces and prints per-hop, per-phase latency
+// breakdowns.
+//
+// Each source is either a file holding Chrome trace-event JSON (as
+// served at /debug/trace.json) or an http(s) URL to scrape it from
+// live:
+//
+//	pbio-trace sender.json http://127.0.0.1:9850/debug/trace.json receiver.json
+//
+// Spans are grouped by the wire-carried trace ID — the same joining a
+// tracing backend would do, minus the backend: processes export spans
+// recorded against their own clocks, and the tool aligns them on the
+// shared wall-clock timeline.  For every trace it reports the
+// end-to-end latency (first span start to last span end), the fraction
+// attributed to at least one phase, and the per-(phase, process) sums;
+// a trailing aggregate averages the phases across all joined traces.
+//
+// With -json the joined traces are printed as one machine-readable JSON
+// document instead (used by the e2e tests and scripting).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry/tracectx"
+)
+
+func main() {
+	top := flag.Int("top", 0, "print only the N slowest traces (0 = all)")
+	jsonOut := flag.Bool("json", false, "emit joined traces as JSON instead of text")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: pbio-trace [-top N] [-json] <file-or-url>...\n\n"+
+				"Sources are Chrome trace-event JSON files or /debug/trace.json URLs.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sets [][]tracectx.Span
+	var dropped int64
+	spanCount := 0
+	for _, src := range flag.Args() {
+		spans, drops, err := readSource(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbio-trace: %v\n", err)
+			os.Exit(1)
+		}
+		sets = append(sets, spans)
+		dropped += drops
+		spanCount += len(spans)
+	}
+	traces := tracectx.Join(sets...)
+	if *top > 0 && len(traces) > *top {
+		sort.Slice(traces, func(i, j int) bool {
+			return traces[i].Break().E2E > traces[j].Break().E2E
+		})
+		traces = traces[:*top]
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, traces, len(sets), spanCount, dropped); err != nil {
+			fmt.Fprintf(os.Stderr, "pbio-trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printText(traces, len(sets), spanCount, dropped)
+}
+
+// readSource loads one span export, from a URL or a file.  The second
+// result is the exporter's dropped-span count, carried in the
+// document's otherData.
+func readSource(src string) ([]tracectx.Span, int64, error) {
+	var (
+		rc  io.ReadCloser
+		err error
+	)
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, herr := http.Get(src)
+		if herr != nil {
+			return nil, 0, fmt.Errorf("%s: %w", src, herr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, 0, fmt.Errorf("%s: HTTP %s", src, resp.Status)
+		}
+		rc = resp.Body
+	} else {
+		rc, err = os.Open(src)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", src, err)
+	}
+	spans, err := tracectx.ReadChrome(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", src, err)
+	}
+	// The dropped-span count travels in otherData, which ReadChrome's
+	// span view does not expose.
+	var meta struct {
+		OtherData map[string]string `json:"otherData"`
+	}
+	var drops int64
+	if json.Unmarshal(data, &meta) == nil {
+		drops, _ = strconv.ParseInt(meta.OtherData["dropped_spans"], 10, 64)
+	}
+	return spans, drops, nil
+}
+
+func printText(traces []tracectx.Trace, sources, spans int, dropped int64) {
+	fmt.Printf("%d source(s), %d span(s), %d trace(s)", sources, spans, len(traces))
+	if dropped > 0 {
+		fmt.Printf("; %d span(s) dropped before export", dropped)
+	}
+	fmt.Println()
+	type agg struct {
+		name, proc string
+		total      time.Duration
+		n          int
+	}
+	var order []string
+	aggs := make(map[string]*agg)
+	for i := range traces {
+		tr := &traces[i]
+		b := tr.Break()
+		frac := 0.0
+		if b.E2E > 0 {
+			frac = 100 * float64(b.Attributed) / float64(b.E2E)
+		}
+		fmt.Printf("\ntrace %016x  %s  %d span(s)  e2e %s  attributed %s (%.1f%%)\n",
+			tr.ID, traceFormat(tr), len(tr.Spans), b.E2E, b.Attributed, frac)
+		fmt.Printf("  hops: %s\n", strings.Join(b.Procs, " -> "))
+		for _, p := range b.Phases {
+			fmt.Printf("  %-8s %-24s %s\n", p.Name, p.Proc, p.Dur)
+			k := p.Name + "\x00" + p.Proc
+			a := aggs[k]
+			if a == nil {
+				a = &agg{name: p.Name, proc: p.Proc}
+				aggs[k] = a
+				order = append(order, k)
+			}
+			a.total += p.Dur
+			a.n++
+		}
+	}
+	if len(traces) > 1 {
+		fmt.Printf("\naggregate over %d traces (mean per phase):\n", len(traces))
+		for _, k := range order {
+			a := aggs[k]
+			fmt.Printf("  %-8s %-24s %s  (n=%d)\n",
+				a.name, a.proc, a.total/time.Duration(a.n), a.n)
+		}
+	}
+}
+
+// traceFormat returns the record format the trace's spans carried, when
+// they agree on one.
+func traceFormat(tr *tracectx.Trace) string {
+	name := ""
+	for i := range tr.Spans {
+		if f := tr.Spans[i].Format; f != "" {
+			if name == "" {
+				name = f
+			} else if name != f {
+				return "(mixed formats)"
+			}
+		}
+	}
+	if name == "" {
+		return "(unknown format)"
+	}
+	return strconv.Quote(name)
+}
+
+// jsonTrace is the machine-readable per-trace report.
+type jsonTrace struct {
+	ID           string      `json:"id"`
+	Format       string      `json:"format,omitempty"`
+	Spans        int         `json:"spans"`
+	E2ENanos     int64       `json:"e2e_ns"`
+	AttribNanos  int64       `json:"attributed_ns"`
+	Hops         []string    `json:"hops"`
+	Phases       []jsonPhase `json:"phases"`
+	PhaseSumNano int64       `json:"phase_sum_ns"`
+}
+
+type jsonPhase struct {
+	Name  string `json:"name"`
+	Proc  string `json:"proc"`
+	Nanos int64  `json:"ns"`
+}
+
+type jsonDoc struct {
+	Sources int         `json:"sources"`
+	Spans   int         `json:"spans"`
+	Dropped int64       `json:"dropped_spans"`
+	Traces  []jsonTrace `json:"traces"`
+}
+
+func writeJSON(w io.Writer, traces []tracectx.Trace, sources, spans int, dropped int64) error {
+	doc := jsonDoc{Sources: sources, Spans: spans, Dropped: dropped, Traces: []jsonTrace{}}
+	for i := range traces {
+		tr := &traces[i]
+		b := tr.Break()
+		jt := jsonTrace{
+			ID:          fmt.Sprintf("%016x", tr.ID),
+			Spans:       len(tr.Spans),
+			E2ENanos:    b.E2E.Nanoseconds(),
+			AttribNanos: b.Attributed.Nanoseconds(),
+			Hops:        b.Procs,
+		}
+		if f := traceFormat(tr); strings.HasPrefix(f, `"`) {
+			jt.Format, _ = strconv.Unquote(f)
+		}
+		for _, p := range b.Phases {
+			jt.Phases = append(jt.Phases, jsonPhase{Name: p.Name, Proc: p.Proc, Nanos: p.Dur.Nanoseconds()})
+			jt.PhaseSumNano += p.Dur.Nanoseconds()
+		}
+		doc.Traces = append(doc.Traces, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

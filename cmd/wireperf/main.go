@@ -10,6 +10,7 @@
 //	wireperf -claims    # headline ratios only
 //	wireperf -sizes     # show the workload sizes and layouts
 //	wireperf -telemetry # live pbio exchange, print telemetry JSON
+//	wireperf -trace     # traced exchange, per-phase latency at each size
 package main
 
 import (
@@ -19,10 +20,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/abi"
 	"repro/internal/bench"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracectx"
 	"repro/internal/wire"
 	"repro/pbio"
 )
@@ -39,11 +42,19 @@ func main() {
 	pairs := flag.Bool("pairs", false, "conversion cost across architecture pairs")
 	live := flag.Bool("live", false, "actual roundtrips over TCP loopback (no model)")
 	telem := flag.Bool("telemetry", false, "run a pbio exchange in all three receive regimes and print the telemetry snapshot (conversion-path breakdown per format) as JSON")
+	traced := flag.Bool("trace", false, "run a fully-sampled traced exchange at the paper's four message sizes and print the mean per-phase latency breakdown")
+	traceOut := flag.String("trace-out", "", "with -trace: also write every recorded span as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	flag.Parse()
 
 	switch {
 	case *telem:
 		if err := telemetryRun(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "wireperf: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case *traced:
+		if err := traceRun(os.Stdout, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "wireperf: %v\n", err)
 			os.Exit(1)
 		}
@@ -179,6 +190,122 @@ func telemetryRun(w io.Writer) error {
 		ConversionPaths map[string]map[string]int64 `json:"conversion_paths"`
 		Metrics         []telemetry.MetricSnapshot  `json:"metrics"`
 	}{telemetryIters, paths, snapshot})
+}
+
+// traceIters is the number of records exchanged per size in the -trace
+// run; every one is sampled, so each contributes a full trace.
+const traceIters = 32
+
+// spanDump collects every span recorded during a -trace run for the
+// optional -trace-out Chrome JSON export.
+type spanDump []tracectx.Span
+
+// traceRun performs a traced heterogeneous exchange (sparc-v9-64 sender,
+// x86-64 receiver, DCG conversion) at each of the paper's four message
+// sizes with sampling rate 1, joins sender and receiver spans offline,
+// and prints the mean duration of every wire-path phase — the per-phase
+// recipe of EXPERIMENTS.md.  The in-memory "wire" makes the wire phase a
+// pure software cost (framing to arrival); over TCP it would include the
+// network.
+func traceRun(w io.Writer, outFile string) error {
+	var dump spanDump
+	t := &bench.Table{
+		Title: fmt.Sprintf("Per-phase latency, traced pbio exchange (mean of %d records, sparc-v9-64 -> x86-64, DCG)", traceIters),
+		Header: []string{"size", "extend", "frame", "wire", "match", "convert", "e2e"},
+	}
+	for _, s := range bench.Sizes() {
+		fields := []pbio.FieldSpec{
+			pbio.F("node", pbio.Int),
+			pbio.F("timestamp", pbio.Double),
+			pbio.F("iter", pbio.Long),
+			pbio.Array("tag", pbio.Char, 16),
+			pbio.F("residual", pbio.Float),
+			pbio.F("flags", pbio.UInt),
+			pbio.Array("values", pbio.Double, s.N),
+		}
+		sendTr := tracectx.New("sender", 1, traceIters*4)
+		recvTr := tracectx.New("receiver", 1, traceIters*4)
+
+		sctx, err := pbio.NewContext(pbio.WithArch("sparc-v9-64"), pbio.WithTracer(sendTr))
+		if err != nil {
+			return err
+		}
+		sf, err := sctx.Register("mixed", fields...)
+		if err != nil {
+			return err
+		}
+		var stream bytes.Buffer
+		sw := sctx.NewWriter(&stream)
+		rec := sf.NewRecord()
+		for i := 0; i < traceIters; i++ {
+			rec.SetInt("node", 0, int64(i))
+			if err := sw.Write(rec); err != nil {
+				return err
+			}
+		}
+
+		rctx, err := pbio.NewContext(pbio.WithArch("x86-64"),
+			pbio.WithConversion(pbio.Generated), pbio.WithTracer(recvTr))
+		if err != nil {
+			return err
+		}
+		rf, err := rctx.Register("mixed", fields...)
+		if err != nil {
+			return err
+		}
+		r := rctx.NewReader(&stream)
+		out := rf.NewRecord()
+		for i := 0; i < traceIters; i++ {
+			m, err := r.Read()
+			if err != nil {
+				return err
+			}
+			if err := m.DecodeInto(rf, out); err != nil {
+				return err
+			}
+		}
+
+		sendSpans := sendTr.Collector().Snapshot()
+		recvSpans := recvTr.Collector().Snapshot()
+		dump = append(append(dump, sendSpans...), recvSpans...)
+		traces := tracectx.Join(sendSpans, recvSpans)
+		if len(traces) == 0 {
+			return fmt.Errorf("%s: no traces joined", s.Label)
+		}
+		phase := make(map[string]time.Duration)
+		var e2e time.Duration
+		for i := range traces {
+			b := traces[i].Break()
+			e2e += b.E2E
+			for _, p := range b.Phases {
+				phase[p.Name] += p.Dur
+			}
+		}
+		n := time.Duration(len(traces))
+		t.AddRow(s.Label,
+			bench.FmtDuration(phase[tracectx.PhaseExtend]/n),
+			bench.FmtDuration(phase[tracectx.PhaseFrame]/n),
+			bench.FmtDuration(phase[tracectx.PhaseWire]/n),
+			bench.FmtDuration(phase[tracectx.PhaseMatch]/n),
+			bench.FmtDuration(phase[tracectx.PhaseConv]/n),
+			bench.FmtDuration(e2e/n))
+	}
+	t.Fprint(w)
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		if err := tracectx.WriteChrome(f, dump, 0); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %d spans to %s (load in Perfetto / chrome://tracing)\n", len(dump), outFile)
+	}
+	return nil
 }
 
 // exchange writes telemetryIters records under the sender architecture

@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis/passes/senterr"
 	"repro/internal/analysis/passes/speccheck"
 	"repro/internal/analysis/passes/tagcheck"
+	"repro/internal/analysis/passes/tracecheck"
 )
 
 // All is the pbiovet suite, in reporting order.
@@ -16,4 +17,5 @@ var All = []*analysis.Analyzer{
 	speccheck.Analyzer,
 	endiancheck.Analyzer,
 	senterr.Analyzer,
+	tracecheck.Analyzer,
 }

@@ -1,0 +1,59 @@
+// Fixture for the tracecheck analyzer: trace and metric label values
+// must come from bounded constant sets, never be built at runtime.
+package tracechecktest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracectx"
+)
+
+const pathDCG = "dcg"
+
+func labels(reg *telemetry.Registry, formatName string, seq int) {
+	decodes := reg.CounterVec("decodes_total", "", "format", "path")
+
+	// Constants and constant concatenation are fine.
+	decodes.With("mesh", pathDCG).Inc()
+	decodes.With("mesh"+"_v2", "zero_copy").Inc()
+
+	// Plain variables pass: the bound lives at the assignment site.
+	decodes.With(formatName, pathDCG).Inc()
+
+	decodes.With(fmt.Sprintf("mesh-%d", seq), pathDCG).Inc()  // want `label value built with fmt\.Sprintf`
+	decodes.With("mesh", strconv.Itoa(seq)).Inc()             // want `label value built with strconv\.Itoa`
+	decodes.With("mesh", "path-"+formatName).Inc()            // want `label value built with string concatenation`
+	decodes.With(strings.Join([]string{"a", "b"}, "-")).Inc() // want `label value built with strings\.Join`
+
+	lat := reg.HistogramVec("latency_nanos", "", "phase")
+	lat.With(fmt.Sprint(seq)).Observe(1) // want `label value built with fmt\.Sprint`
+
+	g := reg.GaugeVec("depth", "", "queue")
+	g.With(strconv.FormatInt(int64(seq), 10)).Set(0) // want `label value built with strconv\.FormatInt`
+
+	// AppendInt returns []byte, not string: out of scope here.
+	_ = strconv.AppendInt(nil, int64(seq), 10)
+}
+
+func spans(tr *tracectx.Tracer, formatName string, seq int) {
+	// The bounded phase vocabulary is the intended use.
+	tr.Record(tracectx.Span{Name: tracectx.PhaseSend, Path: pathDCG})
+
+	// Format carries a format name and is not a grouping key: not checked.
+	tr.Record(tracectx.Span{Name: tracectx.PhaseConv, Format: formatName})
+
+	tr.Record(tracectx.Span{Name: fmt.Sprintf("send-%d", seq)}) // want `span Name built with fmt\.Sprintf`
+	tr.Record(tracectx.Span{
+		Name: tracectx.PhaseConv,
+		Path: "variant-" + formatName, // want `span Path built with string concatenation`
+	})
+	s := &tracectx.Span{Name: strconv.Quote("x")} // want `span Name built with strconv\.Quote`
+	s.Dur = time.Millisecond
+
+	//pbiovet:allow tracecheck — fixture for the suppression comment
+	tr.Record(tracectx.Span{Name: fmt.Sprintf("allowed-%d", seq)})
+}

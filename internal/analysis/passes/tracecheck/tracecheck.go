@@ -1,0 +1,203 @@
+// Package tracecheck defines an analyzer that keeps trace and metric
+// label values bounded.
+//
+// Telemetry backends key series by their label values: every distinct
+// value is a new series held for the life of the process.  A label built
+// with fmt.Sprintf, strconv, or string concatenation over runtime data
+// is therefore a slow memory leak and an unbounded-cardinality explosion
+// on whatever scrapes the export.  The same applies to trace span phase
+// names: pbio-trace and the Chrome viewer group by span name, so names
+// must come from the fixed tracectx.Phase* vocabulary (or another
+// bounded constant set), never from per-message data.
+//
+// The analyzer flags *constructed* strings — formatter calls and
+// non-constant concatenation — in label positions:
+//
+//   - arguments to (*CounterVec).With, (*GaugeVec).With, and
+//     (*HistogramVec).With from repro/internal/telemetry
+//   - the Name and Path fields of repro/internal/telemetry/tracectx.Span
+//     composite literals
+//
+// Constants (including concatenation of constants) and plain variables
+// pass: a variable may legitimately hold a value drawn from a bounded
+// set (a format name, a switch result), and the analyzer cannot see the
+// set — but a Sprintf at the use site is always a smell worth a
+// deliberate //pbiovet:allow.
+package tracecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags unbounded (constructed) trace/metric label values.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracecheck",
+	Doc: `flag trace/metric label values built at runtime
+
+Label values passed to telemetry *Vec.With and span names/paths in
+tracectx.Span literals key long-lived series; values built with
+fmt.Sprintf, strconv, or non-constant concatenation make the series set
+unbounded.  Draw labels from a fixed constant set instead.`,
+	IncludeTests: true,
+	Run:          run,
+}
+
+const (
+	telemetryPath = "repro/internal/telemetry"
+	tracectxPath  = "repro/internal/telemetry/tracectx"
+)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWithCall(pass, n)
+			case *ast.CompositeLit:
+				checkSpanLit(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWithCall flags constructed arguments to the telemetry label-vector
+// lookups.
+func checkWithCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "With" || fn.Pkg() == nil {
+		return
+	}
+	if modulePath(fn.Pkg().Path()) != telemetryPath {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !strings.HasSuffix(typeName(recv.Type()), "Vec") {
+		return
+	}
+	for _, arg := range call.Args {
+		if how, ok := constructed(pass, arg); ok {
+			pass.Reportf(arg.Pos(),
+				"metric label value built with %s; label values key long-lived series and must come from a bounded constant set",
+				how)
+		}
+	}
+}
+
+// checkSpanLit flags constructed Name/Path fields in tracectx.Span
+// composite literals.
+func checkSpanLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isSpanType(tv.Type) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || (key.Name != "Name" && key.Name != "Path") {
+			continue
+		}
+		if how, ok := constructed(pass, kv.Value); ok {
+			pass.Reportf(kv.Value.Pos(),
+				"span %s built with %s; trace tools group by this value, draw it from the bounded phase/path vocabulary",
+				key.Name, how)
+		}
+	}
+}
+
+// constructed reports whether e builds a string at runtime, and how.
+// Constants — including concatenations of constants — never count.
+func constructed(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return "", false // compile-time constant
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return "string concatenation", true
+		}
+	case *ast.CallExpr:
+		if name, ok := formatterCall(pass, e); ok {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// formatterCall recognizes the string-building calls the check names:
+// fmt.Sprint*, anything string-returning from strconv, and strings.Join.
+func formatterCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	qual := fn.Pkg().Path() + "." + fn.Name()
+	switch fn.Pkg().Path() {
+	case "fmt":
+		if strings.HasPrefix(fn.Name(), "Sprint") {
+			return qual, true
+		}
+	case "strconv":
+		if ret := fn.Type().(*types.Signature).Results(); ret.Len() > 0 {
+			if b, ok := ret.At(0).Type().(*types.Basic); ok && b.Kind() == types.String {
+				return qual, true
+			}
+		}
+	case "strings":
+		if fn.Name() == "Join" {
+			return qual, true
+		}
+	}
+	return "", false
+}
+
+// isSpanType reports whether t is tracectx.Span (possibly via pointer).
+func isSpanType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil &&
+		modulePath(obj.Pkg().Path()) == tracectxPath
+}
+
+// typeName returns the bare name of a (possibly pointer) named type.
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// modulePath strips the " [p.test]" suffix the go command appends to
+// test-variant import paths.
+func modulePath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

@@ -1,0 +1,12 @@
+package tracecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/tracecheck"
+)
+
+func TestTracecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), tracecheck.Analyzer, "tracechecktest")
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracectx"
 	"repro/internal/wire"
 )
 
@@ -49,6 +50,17 @@ const (
 	statusOK  = 0
 	statusErr = 1
 )
+
+// opName maps an op code to its bounded trace label.
+func opName(op byte) string {
+	switch op {
+	case opRegister:
+		return "register"
+	case opLookup:
+		return "lookup"
+	}
+	return "other"
+}
 
 // maxPayload bounds request/response payloads.
 const maxPayload = 1 << 20
@@ -71,6 +83,7 @@ type Server struct {
 	mu      sync.RWMutex
 	formats map[FormatID][]byte // ID -> canonical meta encoding
 	counts  serverCounters
+	tracer  atomic.Pointer[tracectx.Tracer]
 }
 
 // NewServer returns an empty format server.
@@ -117,6 +130,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		s.counts.requests.Add(1)
+		if t := s.tracer.Load(); t != nil {
+			start := time.Now()
+			err := s.handle(conn, op, payload)
+			t.Record(tracectx.Span{ID: t.NewID(), Name: tracectx.PhaseFmtsrv,
+				Start: start, Dur: time.Since(start), Path: opName(op)})
+			if err != nil {
+				return
+			}
+			continue
+		}
 		if err := s.handle(conn, op, payload); err != nil {
 			return
 		}
@@ -202,6 +225,7 @@ type Client struct {
 
 	counts clientCounters
 	trace  atomic.Pointer[telemetry.TraceRing]
+	tracer atomic.Pointer[tracectx.Tracer]
 }
 
 // Retry defaults for Dial-built clients.
@@ -346,6 +370,13 @@ func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.counts.requests.Add(1)
+	if t := c.tracer.Load(); t != nil {
+		start := time.Now()
+		defer func() {
+			t.Record(tracectx.Span{ID: t.NewID(), Name: tracectx.PhaseFmtsrv,
+				Start: start, Dur: time.Since(start), Path: opName(op)})
+		}()
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.attempts; attempt++ {
 		if attempt > 0 {

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracectx"
 )
 
 // ClientStats is a snapshot of a Client's request accounting.  The
@@ -47,6 +48,25 @@ func (c *Client) SetTelemetry(r *telemetry.Registry) {
 	r.CounterFunc("pbio_fmtclient_cache_hits_total", "Register/Lookup calls answered from the local cache.", c.counts.cacheHits.Load)
 	r.CounterFunc("pbio_fmtclient_retries_total", "Round-trip attempts beyond the first (backoff loop).", c.counts.retries.Load)
 	r.CounterFunc("pbio_fmtclient_redials_total", "Connections re-established after a round-trip failure.", c.counts.redials.Load)
+}
+
+// SetTracer makes the client record one process-local fmtsrv span per
+// network round trip (cache hits stay silent), so format-server latency
+// shows up in the same trace timeline as the wire path.  Nil-safe and
+// a no-op when t is nil.
+func (c *Client) SetTracer(t *tracectx.Tracer) {
+	if t != nil {
+		c.tracer.Store(t)
+	}
+}
+
+// SetTracer makes the server record one process-local fmtsrv span per
+// handled request, labelled with the op.  Nil-safe and a no-op when t
+// is nil.
+func (s *Server) SetTracer(t *tracectx.Tracer) {
+	if t != nil {
+		s.tracer.Store(t)
+	}
 }
 
 // ServerStats is a snapshot of a Server's request accounting.

@@ -27,7 +27,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/abi"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracectx"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -61,11 +63,29 @@ type Server struct {
 	// resyncs, dropped producers and consumers.  Atomic so telemetry can
 	// be attached without synchronizing with serving goroutines.
 	trace atomic.Pointer[telemetry.TraceRing]
+
+	// tracer, when set (SetTracing), records one relay-phase span per
+	// forwarded frame that carries wire trace context.  The relay never
+	// rewrites the frame — it reads the trailing trace field out of the
+	// record bytes it is forwarding verbatim.
+	tracer atomic.Pointer[tracectx.Tracer]
 }
 
 // emitTrace sends a relay trace event if telemetry is attached.
 func (s *Server) emitTrace(name, detail string) {
 	s.trace.Load().Emit("relay", name, detail)
+}
+
+// SetTracing makes the relay participate in cross-hop traces: for every
+// forwarded data frame whose format carries the wire trace field, the
+// relay records a relay-phase span (frame arrival → broadcast enqueue)
+// under the message's trace ID.  Traced frames the relay has to discard
+// (corruption, size mismatch) are counted on the tracer as lost, never
+// silently dropped.  Nil tracers are ignored.
+func (s *Server) SetTracing(t *tracectx.Tracer) {
+	if t != nil {
+		s.tracer.Store(t)
+	}
 }
 
 // Stats is a snapshot of the relay's error-accounting and throughput
@@ -216,6 +236,11 @@ func (s *Server) serveProducer(conn net.Conn) {
 	type binding struct {
 		relayID uint32
 		size    int
+		// Trace-field geometry of the format, resolved once at meta time
+		// so per-frame trace extraction is two loads and a bounds check.
+		traceOff int // -1: format carries no trace field
+		order    abi.Endian
+		name     string
 	}
 	local := make(map[uint32]binding) // producer's ID -> relay binding
 	br := bufio.NewReader(conn)
@@ -259,11 +284,24 @@ func (s *Server) serveProducer(conn net.Conn) {
 			s.noteBadProducer(err)
 			return
 		}
+		tr := s.tracer.Load()
+		var arrival time.Time
+		if tr != nil {
+			arrival = time.Now()
+		}
 		body, err := f.Body()
 		if err != nil {
 			// Checksum mismatch: the frame was consumed whole, so the
 			// stream is still aligned — just drop the frame.
 			s.noteChecksumFailure()
+			if tr != nil && f.BaseKind() == transport.FrameData {
+				// A discarded frame of a trace-carrying format loses its
+				// relay span (and likely the whole message); account for
+				// it rather than letting the trace thin out silently.
+				if b, ok := local[f.FormatID]; ok && b.traceOff >= 0 {
+					tr.NoteLost()
+				}
+			}
 			if !skip(err) {
 				return
 			}
@@ -283,7 +321,13 @@ func (s *Server) serveProducer(conn net.Conn) {
 				s.noteBadProducer(err)
 				return
 			}
-			local[f.FormatID] = binding{relayID: relayID, size: format.Size}
+			local[f.FormatID] = binding{
+				relayID:  relayID,
+				size:     format.Size,
+				traceOff: wire.TraceFieldOffset(format),
+				order:    format.Order,
+				name:     format.Name,
+			}
 			if added {
 				s.broadcastMeta(relayID)
 			}
@@ -296,6 +340,9 @@ func (s *Server) serveProducer(conn net.Conn) {
 			if len(body) != b.size {
 				// A record that is not its format's size is corrupt even
 				// if its checksum matches (or it carries none).
+				if tr != nil && b.traceOff >= 0 {
+					tr.NoteLost()
+				}
 				if !skip(fmt.Errorf("relay: record %d bytes, format is %d", len(body), b.size)) {
 					return
 				}
@@ -310,6 +357,12 @@ func (s *Server) serveProducer(conn net.Conn) {
 			s.broadcast(transport.Frame{
 				Kind: f.Kind, FormatID: b.relayID, Payload: payload,
 			})
+			if tr != nil && b.traceOff >= 0 {
+				if tc, ok := wire.GetTraceContext(body, b.order, b.traceOff); ok && tc.TraceID != 0 {
+					tr.Record(tracectx.Span{Trace: tc.TraceID, ID: tr.NewID(), Parent: tc.ParentSpan,
+						Name: tracectx.PhaseRelay, Start: arrival, Dur: time.Since(arrival), Format: b.name})
+				}
+			}
 		default:
 			// Format-server references would need a resolver here;
 			// producers must use in-band meta with a relay.

@@ -127,12 +127,30 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// Handle mounts an extra debug endpoint on the registry's ServeMux
+// (and thus on the -metrics-addr listener of every daemon serving this
+// registry).  Registering the same pattern twice keeps the last handler.
+// Nil-safe: a nil registry ignores the call.
+func (r *Registry) Handle(pattern string, h http.Handler) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.handlers == nil {
+		r.handlers = make(map[string]http.Handler)
+	}
+	r.handlers[pattern] = h
+	r.mu.Unlock()
+}
+
 // ServeMux returns the full observability surface:
 //
-//	/metrics       Prometheus text exposition
-//	/debug/vars    JSON metric snapshot (expvar-style)
-//	/debug/trace   JSON dump of the trace-event ring
-//	/debug/pprof/  net/http/pprof profiling endpoints
+//	/metrics            Prometheus text exposition
+//	/debug/vars         JSON metric snapshot (expvar-style)
+//	/debug/trace        JSON dump of the trace-event ring
+//	/debug/pprof/       net/http/pprof profiling endpoints
+//	plus any endpoints mounted with Handle (/debug/trace.json when a
+//	tracectx tracer is exported on this registry)
 func (r *Registry) ServeMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
@@ -155,6 +173,11 @@ func (r *Registry) ServeMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	r.mu.Lock()
+	for pattern, h := range r.handlers {
+		mux.Handle(pattern, h)
+	}
+	r.mu.Unlock()
 	return mux
 }
 

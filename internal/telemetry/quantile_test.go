@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// observeAll feeds values through a live histogram and snapshots it, so
+// the estimator is tested against the real bucketing path.
+func observeAll(vals ...int64) HistogramSnapshot {
+	var h Histogram
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	return h.snapshot()
+}
+
+func TestQuantileEmptyAndClamping(t *testing.T) {
+	var s HistogramSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	var nilSnap *HistogramSnapshot
+	if got := nilSnap.Quantile(0.5); got != 0 {
+		t.Fatalf("nil snapshot quantile = %v, want 0", got)
+	}
+	one := observeAll(100)
+	if lo, hi := one.Quantile(-1), one.Quantile(2); lo <= 0 || hi <= 0 {
+		t.Fatalf("clamped quantiles = %v, %v; want positive estimates", lo, hi)
+	}
+}
+
+func TestQuantileSingleBucketInterpolation(t *testing.T) {
+	// 100 observations of 100ns all land in bucket 0 (bound 128).  The
+	// estimator interpolates linearly across [0, 128]: p50 ≈ 64.
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = 100
+	}
+	s := observeAll(vals...)
+	p50 := s.Quantile(0.5)
+	if p50 < 32 || p50 > 128 {
+		t.Fatalf("p50 = %v, want within bucket [0, 128]", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < p50 || p99 > 128 {
+		t.Fatalf("p99 = %v, want >= p50 and <= 128", p99)
+	}
+}
+
+func TestQuantileUniformTwoPointDistribution(t *testing.T) {
+	// 90 fast observations (~1µs) and 10 slow ones (~1ms): p50 must land
+	// in the fast bucket, p99 in the slow one.  Log2 buckets bound the
+	// error to 2x, so assert bucket membership, not exact values.
+	var vals []int64
+	for i := 0; i < 90; i++ {
+		vals = append(vals, 1000)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, 1_000_000)
+	}
+	s := observeAll(vals...)
+	p50 := s.Quantile(0.50)
+	if p50 < 512 || p50 > 1024 {
+		t.Fatalf("p50 = %v, want in (512, 1024] (bucket holding 1000)", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 524288 || p99 > 1048576 {
+		t.Fatalf("p99 = %v, want in (524288, 1048576] (bucket holding 1e6)", p99)
+	}
+	if p90 := s.Quantile(0.90); p90 > p99 || p90 < p50 {
+		t.Fatalf("quantiles not monotone: p50 %v p90 %v p99 %v", p50, p90, p99)
+	}
+}
+
+func TestQuantileGeometricSpread(t *testing.T) {
+	// One observation per power of two from 2^7 to 2^20: quantile rank k
+	// of n=14 lands in the k-th occupied bucket, and every estimate must
+	// be within its holding bucket's 2x bounds of the true value.
+	var vals []int64
+	for p := 7; p <= 20; p++ {
+		vals = append(vals, 1<<p)
+	}
+	s := observeAll(vals...)
+	n := float64(len(vals))
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		rank := int(math.Ceil(q * n))
+		if rank < 1 {
+			rank = 1
+		}
+		truth := float64(int64(1) << (7 + rank - 1))
+		got := s.Quantile(q)
+		if got < truth/2 || got > truth*2 {
+			t.Fatalf("q=%v: estimate %v, true value %v (must be within 2x)", q, got, truth)
+		}
+	}
+}
+
+func TestQuantileInfBucket(t *testing.T) {
+	// Observations beyond the last bound: the estimate is the last
+	// finite bound (a deliberate lower bound), not garbage or +Inf.
+	huge := int64(1) << 40
+	s := observeAll(huge, huge, huge)
+	want := float64(BucketBound(histBuckets - 1))
+	if got := s.Quantile(0.99); got != want {
+		t.Fatalf("p99 of +Inf-bucket data = %v, want last finite bound %v", got, want)
+	}
+}
+
+func TestSnapshotFillsQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(5000)
+	}
+	s := h.snapshot()
+	if s.P50 <= 0 || s.P90 <= 0 || s.P99 <= 0 {
+		t.Fatalf("snapshot quantiles not filled: %+v", s)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Fatalf("snapshot quantiles not monotone: %+v", s)
+	}
+	// All mass in the bucket holding 5000 = (4096, 8192].
+	for _, q := range []float64{s.P50, s.P90, s.P99} {
+		if q <= 4096 || q > 8192 {
+			t.Fatalf("quantile %v outside holding bucket (4096, 8192]", q)
+		}
+	}
+}
+
+func TestRegistryExportCarriesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_nanos", "test")
+	for i := 0; i < 100; i++ {
+		h.Observe(300)
+	}
+	for _, m := range r.Snapshot() {
+		if m.Name != "test_nanos" {
+			continue
+		}
+		for _, series := range m.Series {
+			if series.Histogram == nil {
+				t.Fatal("histogram series without histogram snapshot")
+			}
+			if series.Histogram.P50 <= 0 {
+				t.Fatalf("exported histogram lacks quantiles: %+v", series.Histogram)
+			}
+			return
+		}
+	}
+	t.Fatal("test_nanos not found in snapshot")
+}

@@ -23,6 +23,7 @@ package telemetry
 import (
 	"fmt"
 	"math/bits"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -157,6 +158,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		s.Buckets[i] = h.buckets[i].Load()
 	}
 	s.Inf = h.inf.Load()
+	s.fillQuantiles()
 	return s
 }
 
@@ -253,6 +255,13 @@ type Registry struct {
 	families []*family
 	byName   map[string]*family
 	trace    *TraceRing
+
+	// handlers are extra debug endpoints mounted on the registry's
+	// ServeMux (see Handle in export.go) — the hook that lets
+	// subsystems with their own export formats (tracectx's Chrome
+	// trace JSON, say) ride the same -metrics-addr listener without
+	// this package importing them.
+	handlers map[string]http.Handler
 }
 
 // NewRegistry returns an empty registry with a default-sized trace ring.
@@ -409,12 +418,17 @@ func (v *HistogramVec) With(labelValues ...string) *Histogram {
 	return v.f.getOrCreate(labelValues).hist
 }
 
-// HistogramSnapshot is an exported view of one histogram.
+// HistogramSnapshot is an exported view of one histogram.  P50/P90/P99
+// are estimates interpolated from the log2 buckets (see Quantile); they
+// ride the JSON export so consumers need not re-derive them.
 type HistogramSnapshot struct {
 	Count   int64   `json:"count"`
 	Sum     int64   `json:"sum"`
 	Buckets []int64 `json:"-"`   // per-bucket (non-cumulative) counts
 	Inf     int64   `json:"inf"` // observations above the last bound
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
 }
 
 // SeriesSnapshot is one labeled series of a metric family.

@@ -162,6 +162,7 @@ func TestConcurrentIncrements(t *testing.T) {
 			defer wg.Done()
 			// Resolve the child inside the goroutine so the vec's
 			// lock-protected map is itself exercised concurrently.
+			//pbiovet:allow tracecheck — bounded to 4 values; built only to exercise the map
 			mine := vec.With(fmt.Sprint(id % 4))
 			for j := 0; j < perG; j++ {
 				c.Inc()
@@ -197,6 +198,7 @@ func TestConcurrentIncrements(t *testing.T) {
 	}
 	var vecSum int64
 	for i := 0; i < 4; i++ {
+		//pbiovet:allow tracecheck — reading back the 4 bounded test series
 		vecSum += vec.With(fmt.Sprint(i)).Value()
 	}
 	if vecSum != total {

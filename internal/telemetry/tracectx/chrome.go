@@ -1,0 +1,291 @@
+package tracectx
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Chrome trace-event JSON.
+//
+// Finished spans export in the Chrome trace-event format (the JSON
+// array-of-events dialect with "X" complete events), which Perfetto and
+// chrome://tracing load directly: each process appears as a named track,
+// spans nest by timestamp, and the trace/span/parent identifiers travel
+// in the event args for offline joining.  Timestamps are wall-clock
+// microseconds since the Unix epoch, so span sets scraped from different
+// processes on one machine land on a common timeline.
+
+// chromeEvent is one trace-event JSON object.  IDs are hex strings:
+// JSON numbers are float64 and would corrupt 64-bit identifiers.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`            // microseconds
+	Dur  float64         `json:"dur,omitempty"` // microseconds
+	Pid  uint32          `json:"pid"`
+	Tid  uint32          `json:"tid"`
+	Args chromeEventArgs `json:"args,omitempty"`
+}
+
+type chromeEventArgs struct {
+	Name   string `json:"name,omitempty"` // process_name metadata
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	Proc   string `json:"proc,omitempty"`
+	Format string `json:"format,omitempty"`
+	Path   string `json:"path,omitempty"`
+}
+
+// chromeDoc is the object form of the format ({"traceEvents": [...]}),
+// which both Perfetto and chrome://tracing accept and which leaves room
+// for metadata.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// procPid derives a stable pid for a process name, so repeated exports
+// and multi-source joins give each process one track.
+func procPid(proc string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(proc))
+	// Keep pids small and positive for trace-viewer friendliness.
+	return h.Sum32()%999983 + 1
+}
+
+func hexID(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.FormatUint(v, 16)
+}
+
+func parseHexID(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// WriteChrome renders spans as one Chrome trace-event JSON document.
+// dropped, when nonzero, is recorded in otherData so consumers can see
+// the collector overflowed.
+func WriteChrome(w io.Writer, spans []Span, dropped int64) error {
+	doc := chromeDoc{DisplayTimeUnit: "ns"}
+	if dropped > 0 {
+		doc.OtherData = map[string]string{"dropped_spans": strconv.FormatInt(dropped, 10)}
+	}
+	procs := make(map[string]uint32)
+	doc.TraceEvents = make([]chromeEvent, 0, len(spans)+4)
+	for _, s := range spans {
+		pid, ok := procs[s.Proc]
+		if !ok {
+			pid = procPid(s.Proc)
+			procs[s.Proc] = pid
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 1,
+				Args: chromeEventArgs{Name: s.Proc},
+			})
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  "pbio",
+			Ph:   "X",
+			Ts:   float64(s.Start.UnixNano()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  pid,
+			Tid:  1,
+			Args: chromeEventArgs{
+				Trace:  hexID(s.Trace),
+				Span:   hexID(s.ID),
+				Parent: hexID(s.Parent),
+				Proc:   s.Proc,
+				Format: s.Format,
+				Path:   s.Path,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// ReadChrome parses a Chrome trace-event JSON document (either the
+// {"traceEvents": …} object or a bare event array) back into spans.
+// Metadata and non-span events are skipped.
+func ReadChrome(r io.Reader) ([]Span, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("tracectx: reading trace: %w", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		// Bare-array dialect.
+		if aerr := json.Unmarshal(data, &doc.TraceEvents); aerr != nil {
+			return nil, fmt.Errorf("tracectx: parsing trace JSON: %w", err)
+		}
+	}
+	spans := make([]Span, 0, len(doc.TraceEvents))
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		proc := e.Args.Proc
+		if proc == "" {
+			proc = e.Args.Name
+		}
+		spans = append(spans, Span{
+			Trace:  parseHexID(e.Args.Trace),
+			ID:     parseHexID(e.Args.Span),
+			Parent: parseHexID(e.Args.Parent),
+			Name:   e.Name,
+			Proc:   proc,
+			Start:  time.Unix(0, int64(e.Ts*1e3)),
+			Dur:    time.Duration(e.Dur * 1e3),
+			Format: e.Args.Format,
+			Path:   e.Args.Path,
+		})
+	}
+	return spans, nil
+}
+
+// Handler serves the tracer's collected spans as Chrome trace-event
+// JSON — the /debug/trace.json endpoint.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		WriteChrome(w, t.Collector().Snapshot(), t.Collector().Dropped())
+	})
+}
+
+// Trace is one reassembled cross-process trace: every exported span that
+// carried the same trace ID, ordered by wall-clock start.
+type Trace struct {
+	ID    uint64
+	Spans []Span
+}
+
+// Join groups spans from any number of processes' exports by trace ID.
+// Spans with a zero trace ID (process-local events, fmtserver round
+// trips) are excluded.  Traces are returned oldest first.
+func Join(spanSets ...[]Span) []Trace {
+	byID := make(map[uint64]*Trace)
+	for _, set := range spanSets {
+		for _, s := range set {
+			if s.Trace == 0 {
+				continue
+			}
+			tr := byID[s.Trace]
+			if tr == nil {
+				tr = &Trace{ID: s.Trace}
+				byID[s.Trace] = tr
+			}
+			tr.Spans = append(tr.Spans, s)
+		}
+	}
+	out := make([]Trace, 0, len(byID))
+	for _, tr := range byID {
+		sort.Slice(tr.Spans, func(i, j int) bool {
+			if !tr.Spans[i].Start.Equal(tr.Spans[j].Start) {
+				return tr.Spans[i].Start.Before(tr.Spans[j].Start)
+			}
+			return tr.Spans[i].Name < tr.Spans[j].Name
+		})
+		out = append(out, *tr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Spans[0].Start.Before(out[j].Spans[0].Start)
+	})
+	return out
+}
+
+// PhaseDur is one phase's share of a trace.
+type PhaseDur struct {
+	Name string
+	Proc string
+	Dur  time.Duration
+}
+
+// Breakdown is the latency attribution of one trace.
+type Breakdown struct {
+	// E2E is last span end minus first span start on the joined
+	// wall-clock timeline.
+	E2E time.Duration
+	// Attributed is the length of the union of all span intervals —
+	// wall-clock time covered by at least one phase.  E2E minus
+	// Attributed is the unattributed gap.
+	Attributed time.Duration
+	// Phases holds per-(phase, proc) sums in first-start order.
+	Phases []PhaseDur
+	// Procs lists the processes that contributed spans, in order of
+	// first appearance — the hops of the trace.
+	Procs []string
+}
+
+// Break computes the per-phase latency attribution of the trace.
+func (tr *Trace) Break() Breakdown {
+	var b Breakdown
+	if len(tr.Spans) == 0 {
+		return b
+	}
+	first, last := tr.Spans[0].Start, tr.Spans[0].End()
+	type key struct{ name, proc string }
+	sums := make(map[key]time.Duration)
+	var order []key
+	seenProc := make(map[string]bool)
+	type iv struct{ a, z int64 }
+	ivs := make([]iv, 0, len(tr.Spans))
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		if s.Start.Before(first) {
+			first = s.Start
+		}
+		if s.End().After(last) {
+			last = s.End()
+		}
+		k := key{s.Name, s.Proc}
+		if _, ok := sums[k]; !ok {
+			order = append(order, k)
+		}
+		sums[k] += s.Dur
+		if !seenProc[s.Proc] {
+			seenProc[s.Proc] = true
+			b.Procs = append(b.Procs, s.Proc)
+		}
+		ivs = append(ivs, iv{s.Start.UnixNano(), s.End().UnixNano()})
+	}
+	b.E2E = last.Sub(first)
+	for _, k := range order {
+		b.Phases = append(b.Phases, PhaseDur{Name: k.name, Proc: k.proc, Dur: sums[k]})
+	}
+	// Union of intervals: sort by start, sweep.
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a < ivs[j].a })
+	var covered int64
+	curA, curZ := ivs[0].a, ivs[0].z
+	for _, v := range ivs[1:] {
+		if v.a > curZ {
+			covered += curZ - curA
+			curA, curZ = v.a, v.z
+			continue
+		}
+		if v.z > curZ {
+			curZ = v.z
+		}
+	}
+	covered += curZ - curA
+	b.Attributed = time.Duration(covered)
+	return b
+}

@@ -1,0 +1,242 @@
+package tracectx
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Sample() {
+		t.Fatal("nil tracer sampled")
+	}
+	if tr.NewID() != 0 || tr.Proc() != "" || tr.Seen() != 0 || tr.Sampled() != 0 || tr.Lost() != 0 {
+		t.Fatal("nil tracer returned nonzero state")
+	}
+	tr.Record(Span{Name: PhaseSend}) // must not panic
+	tr.NoteLost()
+	tr.ExportMetrics(nil)
+	var c *Collector
+	c.Add(Span{})
+	if c.Snapshot() != nil || c.Dropped() != 0 || c.Total() != 0 || c.Len() != 0 {
+		t.Fatal("nil collector returned nonzero state")
+	}
+}
+
+func TestSampleRates(t *testing.T) {
+	const n = 20000
+	for _, tc := range []struct {
+		rate   float64
+		lo, hi int
+	}{
+		{0, 0, 0},
+		{1, n, n},
+		{0.5, n * 4 / 10, n * 6 / 10}, // 40–60% band: ~70σ for n=20000
+	} {
+		tr := New("test", tc.rate, 0)
+		got := 0
+		for i := 0; i < n; i++ {
+			if tr.Sample() {
+				got++
+			}
+		}
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("rate %v: sampled %d of %d, want in [%d, %d]", tc.rate, got, n, tc.lo, tc.hi)
+		}
+		if tr.Seen() != n {
+			t.Errorf("rate %v: Seen() = %d, want %d", tc.rate, tr.Seen(), n)
+		}
+		if tr.Sampled() != int64(got) {
+			t.Errorf("rate %v: Sampled() = %d, want %d", tc.rate, tr.Sampled(), got)
+		}
+	}
+}
+
+func TestNewIDNonzeroAndDistinct(t *testing.T) {
+	tr := New("test", 0, 0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := tr.NewID()
+		if id == 0 {
+			t.Fatal("NewID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("NewID repeated %#x within 10k draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestCollectorDropOldest(t *testing.T) {
+	c := NewCollector(4)
+	for i := 1; i <= 6; i++ {
+		c.Add(Span{ID: uint64(i)})
+	}
+	if c.Total() != 6 || c.Dropped() != 2 || c.Len() != 4 {
+		t.Fatalf("total %d dropped %d len %d, want 6/2/4", c.Total(), c.Dropped(), c.Len())
+	}
+	snap := c.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length %d, want 4", len(snap))
+	}
+	for i, s := range snap {
+		if want := uint64(i + 3); s.ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (oldest first, oldest two dropped)", i, s.ID, want)
+		}
+	}
+}
+
+func TestRecordStampsProc(t *testing.T) {
+	tr := New("sender/1", 1, 0)
+	tr.Record(Span{Trace: 7, ID: 8, Name: PhaseSend})
+	snap := tr.Collector().Snapshot()
+	if len(snap) != 1 || snap[0].Proc != "sender/1" {
+		t.Fatalf("recorded span %+v, want Proc stamped", snap)
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	base := time.Unix(1754400000, 123456000)
+	in := []Span{
+		{Trace: 0xdeadbeefcafe, ID: 0x1111, Parent: 0, Name: PhaseSend, Proc: "sender/9",
+			Start: base, Dur: 1500 * time.Microsecond, Format: "mesh"},
+		{Trace: 0xdeadbeefcafe, ID: 0x2222, Parent: 0x1111, Name: PhaseConv, Proc: "receiver/7",
+			Start: base.Add(2 * time.Millisecond), Dur: 300 * time.Microsecond, Format: "mesh", Path: "dcg"},
+		{Trace: 0, ID: 0x3333, Name: PhaseFmtsrv, Proc: "sender/9",
+			Start: base, Dur: 50 * time.Microsecond, Path: "register"},
+	}
+	var b strings.Builder
+	if err := WriteChrome(&b, in, 5); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+	for _, want := range []string{`"traceEvents"`, `"process_name"`, `"dropped_spans": "5"`, `"deadbeefcafe"`} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("chrome doc missing %s:\n%s", want, doc)
+		}
+	}
+	out, err := ReadChrome(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read back %d spans, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Trace != in[i].Trace || out[i].ID != in[i].ID || out[i].Parent != in[i].Parent ||
+			out[i].Name != in[i].Name || out[i].Proc != in[i].Proc ||
+			out[i].Format != in[i].Format || out[i].Path != in[i].Path {
+			t.Fatalf("span %d round trip:\n got %+v\nwant %+v", i, out[i], in[i])
+		}
+		// Timestamps survive at microsecond granularity (the format's
+		// native unit).
+		if d := out[i].Start.Sub(in[i].Start); d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("span %d start drifted %v", i, d)
+		}
+		if d := out[i].Dur - in[i].Dur; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("span %d duration drifted %v", i, d)
+		}
+	}
+}
+
+func TestReadChromeBareArray(t *testing.T) {
+	doc := `[{"name":"send","ph":"X","ts":1000,"dur":5,"pid":1,"tid":1,` +
+		`"args":{"trace":"ff","span":"1","proc":"p"}}]`
+	spans, err := ReadChrome(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Trace != 0xff || spans[0].Name != "send" {
+		t.Fatalf("bare array parse: %+v", spans)
+	}
+}
+
+func TestJoinGroupsAndExcludesLocal(t *testing.T) {
+	base := time.Unix(1754400000, 0)
+	sender := []Span{
+		{Trace: 1, ID: 10, Name: PhaseSend, Proc: "s", Start: base, Dur: time.Millisecond},
+		{Trace: 2, ID: 20, Name: PhaseSend, Proc: "s", Start: base.Add(time.Second), Dur: time.Millisecond},
+		{Trace: 0, ID: 30, Name: PhaseFmtsrv, Proc: "s", Start: base},
+	}
+	receiver := []Span{
+		{Trace: 2, ID: 21, Parent: 20, Name: PhaseConv, Proc: "r", Start: base.Add(time.Second + time.Millisecond), Dur: time.Millisecond},
+		{Trace: 1, ID: 11, Parent: 10, Name: PhaseConv, Proc: "r", Start: base.Add(time.Millisecond), Dur: time.Millisecond},
+	}
+	traces := Join(sender, receiver)
+	if len(traces) != 2 {
+		t.Fatalf("joined %d traces, want 2", len(traces))
+	}
+	if traces[0].ID != 1 || traces[1].ID != 2 {
+		t.Fatalf("traces not oldest-first: %d, %d", traces[0].ID, traces[1].ID)
+	}
+	for _, tr := range traces {
+		if len(tr.Spans) != 2 {
+			t.Fatalf("trace %d has %d spans, want 2", tr.ID, len(tr.Spans))
+		}
+		if tr.Spans[0].Name != PhaseSend {
+			t.Fatalf("trace %d spans not start-ordered: %+v", tr.ID, tr.Spans)
+		}
+	}
+}
+
+func TestBreakdownAttribution(t *testing.T) {
+	base := time.Unix(1754400000, 0)
+	// send [0, 10ms) on proc s; wire [10ms, 30ms) s->r; convert [30ms,
+	// 35ms) on r; then a gap and view [40ms, 41ms).
+	tr := Trace{ID: 9, Spans: []Span{
+		{Trace: 9, ID: 1, Name: PhaseSend, Proc: "s", Start: base, Dur: 10 * time.Millisecond},
+		{Trace: 9, ID: 2, Name: PhaseWire, Proc: "r", Start: base.Add(10 * time.Millisecond), Dur: 20 * time.Millisecond},
+		{Trace: 9, ID: 3, Name: PhaseConv, Proc: "r", Start: base.Add(30 * time.Millisecond), Dur: 5 * time.Millisecond},
+		{Trace: 9, ID: 4, Name: PhaseView, Proc: "r", Start: base.Add(40 * time.Millisecond), Dur: time.Millisecond},
+	}}
+	b := tr.Break()
+	if b.E2E != 41*time.Millisecond {
+		t.Fatalf("E2E = %v, want 41ms", b.E2E)
+	}
+	// Union covers [0,35) and [40,41): 36ms.
+	if b.Attributed != 36*time.Millisecond {
+		t.Fatalf("Attributed = %v, want 36ms", b.Attributed)
+	}
+	if len(b.Procs) != 2 || b.Procs[0] != "s" || b.Procs[1] != "r" {
+		t.Fatalf("Procs = %v, want [s r]", b.Procs)
+	}
+	if len(b.Phases) != 4 {
+		t.Fatalf("Phases = %+v, want 4 entries", b.Phases)
+	}
+	if b.Phases[0].Name != PhaseSend || b.Phases[0].Dur != 10*time.Millisecond {
+		t.Fatalf("first phase = %+v, want send/10ms", b.Phases[0])
+	}
+}
+
+func TestBreakdownOverlapNotDoubleCounted(t *testing.T) {
+	base := time.Unix(1754400000, 0)
+	// Two fully-overlapping spans: attribution is 10ms, not 20.
+	tr := Trace{ID: 1, Spans: []Span{
+		{Trace: 1, ID: 1, Name: PhaseSend, Proc: "s", Start: base, Dur: 10 * time.Millisecond},
+		{Trace: 1, ID: 2, Name: PhaseFrame, Proc: "s", Start: base, Dur: 10 * time.Millisecond},
+	}}
+	b := tr.Break()
+	if b.Attributed != 10*time.Millisecond {
+		t.Fatalf("Attributed = %v, want 10ms (interval union)", b.Attributed)
+	}
+	if b.E2E != 10*time.Millisecond {
+		t.Fatalf("E2E = %v, want 10ms", b.E2E)
+	}
+}
+
+func TestHandlerServesChromeJSON(t *testing.T) {
+	tr := New("proc", 1, 0)
+	tr.Record(Span{Trace: 5, ID: 6, Name: PhaseSend, Start: time.Unix(1754400000, 0), Dur: time.Millisecond})
+	var b strings.Builder
+	if err := WriteChrome(&b, tr.Collector().Snapshot(), tr.Collector().Dropped()); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadChrome(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Trace != 5 {
+		t.Fatalf("served spans: %+v", spans)
+	}
+}

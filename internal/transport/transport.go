@@ -316,6 +316,17 @@ type Message struct {
 	FormatID uint32
 	Format   *wire.Format
 	Data     []byte
+
+	// WireBytes is the total bytes this ReadMessage call consumed to
+	// deliver the message — the data frame plus any meta frames that
+	// preceded it, headers included.
+	WireBytes int
+
+	// Arrival is the wall-clock time the data frame's last payload byte
+	// was read.  Stamped only when the reader has arrival stamping
+	// enabled (SetArrivalStamps — the tracing path's wire-phase anchor);
+	// zero otherwise, so untraced hot paths never touch the clock.
+	Arrival time.Time
 }
 
 // Reader receives records from a stream.  It is not safe for concurrent
@@ -340,6 +351,11 @@ type Reader struct {
 	// budget, which is what lets short-lived readers stay on the
 	// caller's stack.)
 	m *Metrics
+
+	// stampArrivals, when set (SetArrivalStamps), timestamps each
+	// delivered Message with its arrival wall-clock time.  Off by
+	// default so the untraced read path never calls time.Now.
+	stampArrivals bool
 }
 
 // NewReader returns a Reader over r.
@@ -362,6 +378,11 @@ func (t *Reader) SetResolver(fn func(uint64) (*wire.Format, error)) { t.resolver
 // deadlines (net.Conn does); zero disables.
 func (t *Reader) SetTimeout(d time.Duration) { t.timeout = d }
 
+// SetArrivalStamps toggles per-message arrival timestamps (Message.
+// Arrival).  The tracing layer enables this to anchor the wire phase;
+// it is off by default so untraced readers never pay the clock read.
+func (t *Reader) SetArrivalStamps(on bool) { t.stampArrivals = on }
+
 // armRead applies the read deadline, if any.
 func (t *Reader) armRead() {
 	if t.timeout > 0 {
@@ -374,6 +395,7 @@ func (t *Reader) armRead() {
 // ReadMessage returns the next data message, transparently consuming any
 // meta messages that precede it.
 func (t *Reader) ReadMessage() (*Message, error) {
+	wireBytes := 0
 	for {
 		t.armRead()
 		if _, err := io.ReadFull(t.r, t.hdr[:]); err != nil {
@@ -404,6 +426,7 @@ func (t *Reader) ReadMessage() (*Message, error) {
 			t.m.noteIOError(err, "read payload")
 			return nil, fmt.Errorf("transport: read payload: %w: %w", err, ErrPeerGone)
 		}
+		wireBytes += frameHeaderSize + n
 		if m := t.m; m != nil {
 			m.FramesRead.Inc()
 			m.BytesRead.Add(int64(frameHeaderSize + n))
@@ -460,7 +483,11 @@ func (t *Reader) ReadMessage() (*Message, error) {
 			if n != f.Size {
 				return nil, fmt.Errorf("transport: record %d bytes, format %q is %d: %w", n, f.Name, f.Size, ErrCorruptFrame)
 			}
-			return &Message{FormatID: id, Format: f, Data: body}, nil
+			msg := &Message{FormatID: id, Format: f, Data: body, WireBytes: wireBytes}
+			if t.stampArrivals {
+				msg.Arrival = time.Now()
+			}
+			return msg, nil
 		default:
 			return nil, fmt.Errorf("transport: unknown message kind %d: %w", kind, ErrProtocol)
 		}

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+)
+
+func baseSchema() *Schema {
+	return &Schema{Name: "sample", Fields: []FieldSpec{
+		{Name: "x", Type: abi.Int, Count: 1},
+		{Name: "vals", Type: abi.Double, Count: 4},
+	}}
+}
+
+func TestTraceSchemaAppendsTrailingField(t *testing.T) {
+	s := TraceSchema(baseSchema())
+	if len(s.Fields) != 3 {
+		t.Fatalf("extended schema has %d fields, want 3", len(s.Fields))
+	}
+	last := s.Fields[len(s.Fields)-1]
+	if last.Name != TraceFieldName || last.Type != abi.ULongLong || last.Count != TraceFieldWords {
+		t.Fatalf("bad trace field spec: %+v", last)
+	}
+	if len(baseSchema().Fields) != 2 {
+		t.Fatal("TraceSchema must not mutate its input")
+	}
+}
+
+func TestTraceFieldOffsetExtendedVsBase(t *testing.T) {
+	for _, arch := range []*abi.Arch{&abi.X86x64, &abi.SparcV9x64} {
+		base, err := Layout(baseSchema(), arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off := TraceFieldOffset(base); off != -1 {
+			t.Fatalf("%s: base format reports trace offset %d, want -1", arch.Name, off)
+		}
+		ext, err := Layout(TraceSchema(baseSchema()), arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := TraceFieldOffset(ext)
+		if off < 0 {
+			t.Fatalf("%s: extended format reports no trace field", arch.Name)
+		}
+		if off+8*TraceFieldWords > ext.Size {
+			t.Fatalf("%s: trace field [%d, %d) overruns record size %d",
+				arch.Name, off, off+8*TraceFieldWords, ext.Size)
+		}
+		// Appending the field must not move any base field.
+		for i := range base.Fields {
+			if base.Fields[i].Offset != ext.Fields[i].Offset {
+				t.Fatalf("%s: field %q moved: %d -> %d", arch.Name,
+					base.Fields[i].Name, base.Fields[i].Offset, ext.Fields[i].Offset)
+			}
+		}
+		if off < base.Size-8*TraceFieldWords && off < base.Size {
+			// The trace words live at or past the base image end, so a
+			// receiver viewing the base prefix never aliases them.
+			if off < base.Size {
+				t.Fatalf("%s: trace offset %d inside base record size %d", arch.Name, off, base.Size)
+			}
+		}
+	}
+}
+
+func TestTraceFieldOffsetRejectsWrongShape(t *testing.T) {
+	// An application field that happens to use the reserved name but not
+	// the reserved shape must read as "no trace field", never misread.
+	shapes := []FieldSpec{
+		{Name: TraceFieldName, Type: abi.Int, Count: 3},       // 4-byte words
+		{Name: TraceFieldName, Type: abi.ULongLong, Count: 2}, // wrong count
+		{Name: TraceFieldName, Type: abi.Double, Count: 3},    // floats share size 8
+	}
+	for i, fs := range shapes {
+		s := &Schema{Name: "odd", Fields: []FieldSpec{
+			{Name: "x", Type: abi.Int, Count: 1},
+			fs,
+		}}
+		f, err := Layout(s, &abi.X86x64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := TraceFieldOffset(f)
+		if fs.Type == abi.Double {
+			// Same size and count: shape matches at the byte level, which
+			// is what the offset check can see; the name reservation is
+			// what keeps applications out of this namespace.
+			continue
+		}
+		if off != -1 {
+			t.Fatalf("shape %d: offset %d, want -1 for %+v", i, off, fs)
+		}
+	}
+	// And a mid-record trace field (not trailing) is not a trace field.
+	s := &Schema{Name: "mid", Fields: []FieldSpec{
+		{Name: TraceFieldName, Type: abi.ULongLong, Count: TraceFieldWords},
+		{Name: "x", Type: abi.Int, Count: 1},
+	}}
+	f, err := Layout(s, &abi.X86x64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off := TraceFieldOffset(f); off != -1 {
+		t.Fatalf("mid-record trace field: offset %d, want -1", off)
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0x0123456789abcdef, ParentSpan: 0xfedcba9876543210, SendUnixNs: 1754000000123456789}
+	for _, order := range []abi.Endian{abi.LittleEndian, abi.BigEndian} {
+		buf := make([]byte, 64)
+		PutTraceContext(buf, order, 16, tc)
+		got, ok := GetTraceContext(buf, order, 16)
+		if !ok {
+			t.Fatalf("order %v: GetTraceContext not ok", order)
+		}
+		if got != tc {
+			t.Fatalf("order %v: round trip %+v != %+v", order, got, tc)
+		}
+	}
+	// Big- and little-endian must produce different bytes (the field is
+	// in the record's native order, not a fixed network order).
+	le := make([]byte, 24)
+	be := make([]byte, 24)
+	PutTraceContext(le, abi.LittleEndian, 0, tc)
+	PutTraceContext(be, abi.BigEndian, 0, tc)
+	if string(le) == string(be) {
+		t.Fatal("LE and BE encodings are identical")
+	}
+}
+
+func TestGetTraceContextBounds(t *testing.T) {
+	buf := make([]byte, 23) // one byte short of a trace field at 0
+	if _, ok := GetTraceContext(buf, abi.LittleEndian, 0); ok {
+		t.Fatal("short buffer accepted")
+	}
+	if _, ok := GetTraceContext(buf, abi.LittleEndian, -1); ok {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestTraceRoundTripThroughMeta(t *testing.T) {
+	// The extended format must survive meta encode/decode so receivers
+	// and relays can recover the trace geometry from the wire.
+	ext, err := Layout(TraceSchema(baseSchema()), &abi.X86x64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecodeMeta(EncodeMeta(ext))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := TraceFieldOffset(dec), TraceFieldOffset(ext); got != want {
+		t.Fatalf("trace offset after meta round trip: %d, want %d", got, want)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"repro/internal/dcg"
 	"repro/internal/fmtserver"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracectx"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -207,6 +208,11 @@ type Context struct {
 	convMet *convert.Metrics
 	tmet    *transport.Metrics
 
+	// Cross-hop tracing (see WithTracing).  Nil when tracing is off; the
+	// wire path then pays one nil-check per send and one boolean test per
+	// receive.
+	tracer *tracectx.Tracer
+
 	planMu sync.RWMutex
 	plans  map[[2]string]*convert.Plan
 }
@@ -295,6 +301,7 @@ func NewContext(opts ...Option) (*Context, error) {
 	c.initTelemetry()
 	if c.fmtsv != nil {
 		c.fmtsv.SetTelemetry(c.tel)
+		c.fmtsv.SetTracer(c.tracer)
 		c.registrarFn = func(f *wire.Format) (uint64, error) {
 			id, err := c.fmtsv.Register(f)
 			return uint64(id), err
@@ -351,6 +358,13 @@ type Format struct {
 	ctx *Context
 	wf  *wire.Format
 	met formatMetrics // resolved at Register; zero value when telemetry is off
+
+	// Trace-extended variant of the format (see trace.go), laid out on
+	// first sampled send and reused for every traced record after.
+	traceOnce sync.Once
+	traceWF   *wire.Format
+	traceOff  int
+	traceErr  error
 }
 
 // Name returns the format name.

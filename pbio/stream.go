@@ -17,6 +17,11 @@ import (
 type Writer struct {
 	ctx *Context
 	tw  *transport.Writer
+
+	// traceBuf is the scratch image for sampled sends (see writeTraced):
+	// the record's bytes plus the trailing trace field, reused across
+	// writes so tracing steady-state allocates nothing.
+	traceBuf []byte
 }
 
 // NewWriter returns a Writer over w.  The constructor body must stay
@@ -54,6 +59,9 @@ func (w *Writer) Write(rec *Record) error {
 	if rec.fmt.ctx != w.ctx {
 		return fmt.Errorf("pbio: record's format belongs to a different context")
 	}
+	if tr := w.ctx.tracer; tr != nil && tr.Sample() {
+		return w.writeTraced(rec, tr)
+	}
 	if err := w.tw.WriteRecord(rec.fmt.wf, rec.rec.Buf); err != nil {
 		return err
 	}
@@ -66,6 +74,11 @@ func (w *Writer) Write(rec *Record) error {
 type Reader struct {
 	ctx *Context
 	tr  *transport.Reader
+
+	// traceOffs caches the trace-field offset per incoming wire format
+	// (-1: format carries no trace field), so the per-message receive
+	// check is one map hit.
+	traceOffs map[*wire.Format]int
 }
 
 // NewReader returns a Reader over r.  Like NewWriter, the body stays
@@ -83,6 +96,11 @@ func (c *Context) equipReader(tr *transport.Reader) {
 	if c.tmet != nil {
 		tr.SetMetrics(c.tmet)
 	}
+	if c.tracer != nil {
+		// Arrival stamps anchor the wire-phase span; only tracing readers
+		// pay for the clock read.
+		tr.SetArrivalStamps(true)
+	}
 }
 
 // SetTimeout bounds each message read when the underlying stream is a
@@ -98,7 +116,11 @@ func (r *Reader) Read() (*Message, error) {
 		return nil, err
 	}
 	r.ctx.met.recordsRecv.Inc()
-	return &Message{ctx: r.ctx, msg: m}, nil
+	msg := &Message{ctx: r.ctx, msg: m}
+	if tr := r.ctx.tracer; tr != nil {
+		r.noteArrival(msg, tr)
+	}
+	return msg, nil
 }
 
 // Message is one received record: the sender's native bytes plus the
@@ -108,6 +130,11 @@ func (r *Reader) Read() (*Message, error) {
 type Message struct {
 	ctx *Context
 	msg *transport.Message
+
+	// Wire-carried trace context (see trace.go).  traced is set only when
+	// the sender sampled this record and this context has tracing enabled.
+	tc     wire.TraceContext
+	traced bool
 }
 
 // FormatName returns the sender's format name.
@@ -159,6 +186,9 @@ func (m *Message) DecodeInto(expected *Format, out *Record) error {
 // is valid only until the next Read.  ok is false when conversion would
 // be required; use Decode then.
 func (m *Message) View(expected *Format) (rec *Record, ok bool, err error) {
+	if m.traced {
+		return m.viewTraced(expected)
+	}
 	if !m.SameLayout(expected) {
 		return nil, false, nil
 	}
@@ -173,6 +203,11 @@ func (m *Message) View(expected *Format) (rec *Record, ok bool, err error) {
 // convert runs the context's conversion engine from the message buffer
 // into dst.
 func (m *Message) convert(expected *Format, dst []byte) error {
+	if m.traced {
+		// Sampled messages take the instrumented copy of this path (see
+		// trace.go) so the untraced hot path below stays branch-lean.
+		return m.convertTraced(expected, dst)
+	}
 	switch m.ctx.mode {
 	case Interpreted:
 		// The interpreted baseline still computes its field table once

@@ -61,6 +61,11 @@ func (c *Context) initTelemetry() {
 		c.met = nopCtxMetrics
 		return
 	}
+	if c.tracer != nil {
+		// Span/sampling counters plus /debug/trace.json on the registry's
+		// HTTP surface.
+		c.tracer.ExportMetrics(c.tel)
+	}
 	c.convMet = convert.NewMetrics(c.tel)
 	c.cache.SetMetrics(dcg.NewMetrics(c.tel), c.convMet)
 	c.tmet = transport.NewMetrics(c.tel)

@@ -1,0 +1,260 @@
+package pbio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/convert"
+	"repro/internal/telemetry/tracectx"
+	"repro/internal/wire"
+)
+
+// Cross-hop tracing.
+//
+// Tracing context travels as an ordinary trailing record field
+// (wire.TraceFieldName), added by re-laying-out the format with one
+// extra field — PBIO's type extension applied to itself.  A sampled
+// record goes on the wire under the extended format; receivers that
+// know nothing about tracing match fields by name and decode the record
+// exactly as if it were untraced, while tracing-aware hops read the
+// trace ID, the sender's root span and the send timestamp straight out
+// of the native bytes and record their own per-phase spans locally.
+// Nothing is rewritten in flight — a relay forwards traced frames
+// verbatim — and a multi-process trace is reassembled offline by
+// joining each process's exported spans on the trace ID (cmd/pbio-trace
+// or Perfetto over /debug/trace.json).
+//
+// With tracing disabled (the default) the send path costs one nil-check
+// branch and the receive path one boolean test per message; head-based
+// sampling (WithTracing's rate) bounds the cost when enabled.
+
+// WithTracing enables cross-hop tracing with head-based sampling: each
+// written record is traced with probability rate (clamped to [0,1]).
+// The tracer is named after the running binary; use WithTracer to
+// control the process name or share a tracer across contexts.
+//
+// When the context also has telemetry (WithTelemetry), the tracer's
+// span and sampling counters are exported on the registry and finished
+// spans are served as Chrome trace-event JSON at /debug/trace.json on
+// the registry's HTTP surface.
+func WithTracing(rate float64) Option {
+	return func(c *Context) error {
+		c.tracer = tracectx.New(defaultProcName(), rate, 0)
+		return nil
+	}
+}
+
+// WithTracer attaches a caller-built tracer (see tracectx.New), for
+// explicit process naming, shared collectors, or custom capacities.
+func WithTracer(t *tracectx.Tracer) Option {
+	return func(c *Context) error {
+		c.tracer = t
+		return nil
+	}
+}
+
+// Tracer returns the context's tracer (nil when tracing is off).
+func (c *Context) Tracer() *tracectx.Tracer { return c.tracer }
+
+// defaultProcName identifies this process in exported spans.
+func defaultProcName() string {
+	return fmt.Sprintf("%s/%d", filepath.Base(os.Args[0]), os.Getpid())
+}
+
+// errUntraceable marks formats that cannot carry a trace field (they
+// already use the reserved name).
+var errUntraceable = errors.New("pbio: format already carries a " + wire.TraceFieldName + " field")
+
+// tracedFormat returns the trace-extended layout of f and the byte
+// offset of its trace field, building and caching both on first use.
+func (f *Format) tracedFormat() (*wire.Format, int, error) {
+	f.traceOnce.Do(func() {
+		f.traceOff = -1
+		if f.wf.FieldByName(wire.TraceFieldName) != nil {
+			f.traceErr = errUntraceable
+			return
+		}
+		twf, err := wire.Layout(wire.TraceSchema(f.wf.Schema()), &f.ctx.arch)
+		if err != nil {
+			f.traceErr = fmt.Errorf("pbio: extending format %q with trace field: %w", f.wf.Name, err)
+			return
+		}
+		off := wire.TraceFieldOffset(twf)
+		if off < 0 {
+			f.traceErr = fmt.Errorf("pbio: extended format %q lost its trace field", f.wf.Name)
+			return
+		}
+		f.traceWF = twf
+		f.traceOff = off
+	})
+	return f.traceWF, f.traceOff, f.traceErr
+}
+
+// writeTraced transmits one sampled record under the trace-extended
+// format, recording the sender-side phase spans (extend, frame, and the
+// covering send root).
+func (w *Writer) writeTraced(rec *Record, tr *tracectx.Tracer) error {
+	t0 := time.Now()
+	f := rec.fmt
+	twf, off, err := f.tracedFormat()
+	if err != nil {
+		// The format cannot be extended; send untraced rather than fail
+		// a write that would have succeeded without tracing.
+		if err := w.tw.WriteRecord(f.wf, rec.rec.Buf); err != nil {
+			return err
+		}
+		f.met.sent.Inc()
+		return nil
+	}
+	traceID, root := tr.NewID(), tr.NewID()
+	if cap(w.traceBuf) < twf.Size {
+		w.traceBuf = make([]byte, twf.Size)
+	}
+	buf := w.traceBuf[:twf.Size]
+	n := copy(buf, rec.rec.Buf)
+	clear(buf[n:])
+	t1 := time.Now()
+	wire.PutTraceContext(buf, twf.Order, off, wire.TraceContext{
+		TraceID:    traceID,
+		ParentSpan: root,
+		SendUnixNs: uint64(t1.UnixNano()),
+	})
+	err = w.tw.WriteRecord(twf, buf)
+	t2 := time.Now()
+	if err != nil {
+		return err
+	}
+	f.met.sent.Inc()
+	name := f.wf.Name
+	tr.Record(tracectx.Span{Trace: traceID, ID: tr.NewID(), Parent: root,
+		Name: tracectx.PhaseExtend, Start: t0, Dur: t1.Sub(t0), Format: name})
+	tr.Record(tracectx.Span{Trace: traceID, ID: tr.NewID(), Parent: root,
+		Name: tracectx.PhaseFrame, Start: t1, Dur: t2.Sub(t1), Format: name})
+	tr.Record(tracectx.Span{Trace: traceID, ID: root,
+		Name: tracectx.PhaseSend, Start: t0, Dur: t2.Sub(t0), Format: name})
+	return nil
+}
+
+// noteArrival inspects a just-received message for wire-level trace
+// context and, when present, records the wire-phase span (send stamp →
+// arrival) and arms the message's decode-phase tracing.
+func (r *Reader) noteArrival(m *Message, tr *tracectx.Tracer) {
+	wf := m.msg.Format
+	off, ok := r.traceOffs[wf]
+	if !ok {
+		if r.traceOffs == nil {
+			r.traceOffs = make(map[*wire.Format]int)
+		}
+		off = wire.TraceFieldOffset(wf)
+		r.traceOffs[wf] = off
+	}
+	if off < 0 {
+		return
+	}
+	tc, ok := wire.GetTraceContext(m.msg.Data, wf.Order, off)
+	if !ok || tc.TraceID == 0 {
+		return
+	}
+	arrival := m.msg.Arrival
+	if arrival.IsZero() {
+		arrival = time.Now()
+	}
+	m.tc = tc
+	m.traced = true
+	sent := time.Unix(0, int64(tc.SendUnixNs))
+	dur := arrival.Sub(sent)
+	if dur < 0 {
+		// Clock skew between sender and receiver hosts; keep the span
+		// but do not invent negative time.
+		dur = 0
+	}
+	tr.Record(tracectx.Span{Trace: tc.TraceID, ID: tr.NewID(), Parent: tc.ParentSpan,
+		Name: tracectx.PhaseWire, Start: sent, Dur: dur, Format: wf.Name})
+}
+
+// TraceID returns the wire trace identifier riding the message, if the
+// sender sampled it and this context has tracing enabled.
+func (m *Message) TraceID() (uint64, bool) {
+	return m.tc.TraceID, m.traced
+}
+
+// recSpan records one receiver-side decode-phase span for a traced
+// message.
+func (m *Message) recSpan(name string, start, end time.Time, path string) {
+	tr := m.ctx.tracer
+	tr.Record(tracectx.Span{Trace: m.tc.TraceID, ID: tr.NewID(), Parent: m.tc.ParentSpan,
+		Name: name, Start: start, Dur: end.Sub(start), Format: m.msg.Format.Name, Path: path})
+}
+
+// viewTraced is the zero-copy path for sampled messages.  A traced
+// record travels under the trace-extended format, so the plain layout
+// test in View can never match; instead the receiver checks the message
+// against its own trace-extended variant of the expected format — when
+// those agree, the base record is a clean prefix of the wire bytes
+// (appending a field never moves earlier offsets) and is viewed in
+// place exactly like an untraced homogeneous record.
+func (m *Message) viewTraced(expected *Format) (*Record, bool, error) {
+	twf, _, err := expected.tracedFormat()
+	if err != nil || !wire.SameLayout(m.msg.Format, twf) {
+		return nil, false, nil
+	}
+	t0 := time.Now()
+	rec, err := expected.view(m.msg.Data[:expected.wf.Size])
+	if err != nil {
+		return nil, false, err
+	}
+	expected.met.decZero.Inc()
+	m.recSpan(tracectx.PhaseView, t0, time.Now(), "zero_copy")
+	return rec, true, nil
+}
+
+// convertTraced mirrors Message.convert with per-phase span recording:
+// match covers the plan/program lookup (building it on a cache miss),
+// convert covers the per-record execution.  Metric observations match
+// the untraced path so sampling does not skew the histograms.
+func (m *Message) convertTraced(expected *Format, dst []byte) error {
+	ctx := m.ctx
+	switch ctx.mode {
+	case Interpreted:
+		t0 := time.Now()
+		plan, err := ctx.plan(m.msg.Format, expected.wf)
+		if err != nil {
+			return err
+		}
+		t1 := time.Now()
+		m.recSpan(tracectx.PhaseMatch, t0, t1, "interp")
+		it := convert.NewInterp(plan)
+		if ctx.met.enabled {
+			it.SetMetrics(ctx.convMet)
+		}
+		err = it.Convert(dst, m.msg.Data)
+		t2 := time.Now()
+		if err != nil {
+			return err
+		}
+		expected.met.decInterp.Inc()
+		ctx.met.interpNanos.Observe(t2.Sub(t1).Nanoseconds())
+		m.recSpan(tracectx.PhaseConv, t1, t2, "interp")
+		return nil
+	default:
+		t0 := time.Now()
+		prog, err := ctx.cache.Get(m.msg.Format, expected.wf)
+		if err != nil {
+			return err
+		}
+		t1 := time.Now()
+		m.recSpan(tracectx.PhaseMatch, t0, t1, "dcg")
+		err = prog.Convert(dst, m.msg.Data)
+		t2 := time.Now()
+		if err != nil {
+			return err
+		}
+		expected.met.decDCG.Inc()
+		ctx.met.dcgNanos.Observe(t2.Sub(t1).Nanoseconds())
+		m.recSpan(tracectx.PhaseConv, t1, t2, "dcg")
+		return nil
+	}
+}
