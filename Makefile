@@ -47,7 +47,7 @@ fuzz:
 # controls depth; bench-smoke is the CI-speed variant (one iteration per
 # benchmark: verifies the benchmarks run, produces no timing signal).
 BENCHTIME ?= 1s
-BENCHOUT  ?= BENCH_pr3.json
+BENCHOUT  ?= BENCH_pr5.json
 
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem -run xxx ./pbio/ ./internal/dcg/ \
@@ -64,7 +64,7 @@ bench-smoke:
 # (1x smoke artifacts make allocs/op meaningless); COMPAREFLAGS tunes
 # the thresholds — CI passes -ns-threshold=-1 because the baseline's
 # wall-clock numbers come from different hardware.
-BENCHBASE        ?= BENCH_pr3.json
+BENCHBASE        ?= BENCH_pr5.json
 COMPAREBENCHTIME ?= 5000x
 COMPAREFLAGS     ?=
 

@@ -7,7 +7,11 @@
 // self-describing meta-information, the relay forwards frames verbatim —
 // no decode, no re-encode, no per-record CPU cost proportional to record
 // complexity — which is the NDR property that makes cheap interposition
-// (monitors, loggers, brokers) possible.
+// (monitors, loggers, brokers) possible.  With -rebatch the relay
+// additionally coalesces consecutive same-format records into batch
+// frames (amortizing headers and consumer syscalls) without ever
+// decoding them — records are held only while more input is already
+// buffered, so coalescing adds no latency.
 //
 // Usage:
 //
@@ -37,7 +41,8 @@ func main() {
 	prod := flag.String("producers", "127.0.0.1:7850", "address producers connect to")
 	cons := flag.String("consumers", "127.0.0.1:7851", "address consumers connect to")
 	timeout := flag.Duration("timeout", 0, "per-frame producer read / consumer write bound (0 = none)")
-	sums := flag.Bool("checksum-meta", false, "checksum relay-originated meta frames")
+	sums := flag.Bool("checksum-meta", false, "checksum relay-originated frames (meta and re-batched data)")
+	rebatch := flag.Int("rebatch", 0, "coalesce consecutive same-format records into batch frames of up to this many payload bytes (0 = forward verbatim)")
 	statsEvery := flag.Duration("stats", 0, "print relay stats at this interval (0 = never)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (empty = disabled)")
 	traceRate := flag.Float64("trace-rate", 0, "participate in cross-hop traces: record a relay span for every forwarded frame carrying wire trace context (any rate > 0 enables; spans served at /debug/trace.json on -metrics-addr)")
@@ -54,6 +59,7 @@ func main() {
 	s := relay.NewServer()
 	s.SetTimeouts(*timeout, *timeout)
 	s.SetChecksums(*sums)
+	s.SetRebatching(*rebatch)
 	var tracer *tracectx.Tracer
 	if *traceRate > 0 {
 		// The relay never samples — it records spans for whatever trace

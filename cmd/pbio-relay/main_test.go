@@ -91,13 +91,25 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}
 
 	// Push records through: consumer first (so nothing is dropped), then
-	// a producer stream.
+	// a producer stream.  Dial returning only means the TCP handshake
+	// completed — the relay registers the subscription when its accept
+	// loop picks the connection up, so wait for the consumers gauge
+	// before producing anything a pub/sub broker would rightly not
+	// deliver to a not-yet-joined subscriber.
 	const records = 5
 	consConn, err := net.Dial("tcp", consAddr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer consConn.Close()
+	for start := time.Now(); ; time.Sleep(5 * time.Millisecond) {
+		if scrapeCounter(t, metricsAddr, "pbio_relay_consumers") >= 1 {
+			break
+		}
+		if time.Since(start) > 10*time.Second {
+			t.Fatal("timed out waiting for the relay to register the consumer")
+		}
+	}
 
 	fields := []pbio.FieldSpec{pbio.F("v", pbio.Int)}
 	pctx, err := pbio.NewContext(pbio.WithArch("sparc-v8"))

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/bench"
+	"repro/pbio"
+)
+
+// batchRun measures one-way streaming throughput over TCP loopback at
+// the paper's four message sizes, per-record framing vs coalesced batch
+// frames (-batch N records per frame).  The exchange is homogeneous
+// (x86-64 both ends) with zero-copy Views on the receiver, so framing
+// and syscall overhead dominate — exactly the cost batching amortizes.
+// Small records gain the most: at 100 b the per-record run pays one
+// header and one writev per message, the batched run one per N.
+func batchRun(w io.Writer, batch int) error {
+	if batch < 2 {
+		return fmt.Errorf("-batch %d: need at least 2 records per batch", batch)
+	}
+	t := &bench.Table{
+		Title: fmt.Sprintf("Extension: batched vs per-record framing over TCP loopback (<= %d records/frame)", batch),
+		Note:  "homogeneous x86-64 exchange, zero-copy View receive; msgs/sec over a one-way stream",
+		Header: []string{"size", "records", "per-record msg/s", "batched msg/s", "speedup"},
+	}
+	for _, s := range bench.Sizes() {
+		// ~4 MiB of record payload per run, bounded so the 100 b row
+		// still sees enough messages to time the framing cost.
+		iters := 4 << 20 / s.Target
+		if iters > 32768 {
+			iters = 32768
+		}
+		if iters < 256 {
+			iters = 256
+		}
+		plain, err := batchThroughput(s.N, iters, 0)
+		if err != nil {
+			return fmt.Errorf("%s per-record: %w", s.Label, err)
+		}
+		batched, err := batchThroughput(s.N, iters, batch)
+		if err != nil {
+			return fmt.Errorf("%s batched: %w", s.Label, err)
+		}
+		t.AddRow(s.Label, fmt.Sprint(iters),
+			fmtRate(plain), fmtRate(batched),
+			fmt.Sprintf("%.2fx", batched/plain))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// batchThroughput streams iters records through a fresh loopback
+// connection and returns messages per second.  batch == 0 disables
+// coalescing; otherwise the writer batches up to batch records per
+// frame (flushing on size only, so the stream never stalls on a timer).
+func batchThroughput(n, iters, batch int) (float64, error) {
+	fields := []pbio.FieldSpec{
+		pbio.F("node", pbio.Int),
+		pbio.F("timestamp", pbio.Double),
+		pbio.Array("values", pbio.Double, n),
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- func() error {
+			conn, err := ln.Accept()
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			rctx, err := pbio.NewContext(pbio.WithArch("x86-64"))
+			if err != nil {
+				return err
+			}
+			rf, err := rctx.Register("mixed", fields...)
+			if err != nil {
+				return err
+			}
+			r := rctx.NewReader(conn)
+			defer r.Close()
+			for i := 0; i < iters; i++ {
+				m, err := r.Read()
+				if err != nil {
+					return fmt.Errorf("read %d: %w", i, err)
+				}
+				if _, ok, err := m.View(rf); err != nil || !ok {
+					return fmt.Errorf("read %d: no zero-copy view (%v)", i, err)
+				}
+			}
+			return nil
+		}()
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	sctx, err := pbio.NewContext(pbio.WithArch("x86-64"))
+	if err != nil {
+		return 0, err
+	}
+	sf, err := sctx.Register("mixed", fields...)
+	if err != nil {
+		return 0, err
+	}
+	sw := sctx.NewWriter(conn)
+	if batch > 0 {
+		if err := sw.SetBatching(batch*sf.Size(), 0); err != nil {
+			return 0, err
+		}
+	}
+	rec := sf.NewRecord()
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		rec.MustSetInt("node", 0, int64(i))
+		if err := sw.Write(rec); err != nil {
+			return 0, err
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		return 0, err
+	}
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	return float64(iters) / elapsed.Seconds(), nil
+}
+
+// fmtRate prints a messages-per-second figure with k/M scaling.
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}

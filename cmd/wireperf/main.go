@@ -11,6 +11,7 @@
 //	wireperf -sizes     # show the workload sizes and layouts
 //	wireperf -telemetry # live pbio exchange, print telemetry JSON
 //	wireperf -trace     # traced exchange, per-phase latency at each size
+//	wireperf -batch 64  # batched vs per-record framing throughput
 package main
 
 import (
@@ -44,9 +45,16 @@ func main() {
 	telem := flag.Bool("telemetry", false, "run a pbio exchange in all three receive regimes and print the telemetry snapshot (conversion-path breakdown per format) as JSON")
 	traced := flag.Bool("trace", false, "run a fully-sampled traced exchange at the paper's four message sizes and print the mean per-phase latency breakdown")
 	traceOut := flag.String("trace-out", "", "with -trace: also write every recorded span as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	batch := flag.Int("batch", 0, "measure batched vs per-record framing over TCP loopback, coalescing up to N records per frame")
 	flag.Parse()
 
 	switch {
+	case *batch != 0:
+		if err := batchRun(os.Stdout, *batch); err != nil {
+			fmt.Fprintf(os.Stderr, "wireperf: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case *telem:
 		if err := telemetryRun(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "wireperf: %v\n", err)

@@ -21,6 +21,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/abi"
+	"repro/internal/bufpool"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracectx"
 	"repro/internal/transport"
@@ -50,12 +52,18 @@ type Server struct {
 	producerTimeout time.Duration
 	consumerTimeout time.Duration
 
-	// sums, when true, checksums the meta frames the relay itself
-	// originates (broadcast and late-joiner replay).  Data frames are
-	// forwarded verbatim, so their integrity protection is whatever the
-	// producer chose; meta is re-encoded here and would otherwise be the
-	// one unprotected link in an end-to-end checksummed path.
+	// sums, when true, checksums the frames the relay itself originates:
+	// meta (broadcast and late-joiner replay) and re-batched data.  Data
+	// frames it does not re-batch are forwarded verbatim, so their
+	// integrity protection is whatever the producer chose; relay-built
+	// frames would otherwise be the unprotected links in an end-to-end
+	// checksummed path.
 	sums bool
+
+	// rebatchMax, when positive, makes each producer goroutine coalesce
+	// consecutive same-format data records into relay-originated batch
+	// frames of up to this many payload bytes (see SetRebatching).
+	rebatchMax int
 
 	stats statCounters
 
@@ -139,15 +147,44 @@ type statCounters struct {
 	lastProducerError string
 }
 
+// sharedPayload is a pooled broadcast payload shared by every consumer
+// queue a frame was enqueued to.  The broadcaster sets the reference
+// count before the frame is visible to anyone; each consumer releases
+// after writing (or when draining a closed queue), and the last
+// reference returns the buffer to the pool.
+type sharedPayload struct {
+	refs atomic.Int32
+	buf  []byte
+}
+
+// release drops one reference; the final release recycles the buffer.
+// Nil receivers (un-pooled payloads, e.g. meta frames) are no-ops.
+func (p *sharedPayload) release() {
+	if p != nil && p.refs.Add(-1) == 0 {
+		bufpool.Put(p.buf)
+	}
+}
+
+// outFrame is one queued frame plus the pooled payload it rides on
+// (owner nil when the payload is not pooled).
+type outFrame struct {
+	f     transport.Frame
+	owner *sharedPayload
+}
+
 // consumer is one subscriber connection.
 type consumer struct {
-	ch   chan transport.Frame // payloads owned by the frame
+	ch   chan outFrame
 	conn net.Conn
 }
 
 // consumerQueue bounds per-consumer buffering; a consumer that falls this
 // far behind is dropped rather than stalling the producers.
 const consumerQueue = 256
+
+// crcTable is the transport's checksum polynomial (CRC32-C); the relay
+// computes its own sums only for batch frames it originates.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // maxProducerResyncs bounds how many corrupt frames the relay will skip
 // for one producer before concluding the connection is hopeless, and
@@ -176,13 +213,30 @@ func (s *Server) SetTimeouts(producerRead, consumerWrite time.Duration) {
 	s.consumerTimeout = consumerWrite
 }
 
-// SetChecksums makes the relay checksum the meta frames it originates.
-// Readers accept checksummed and plain frames transparently, so this is
-// safe to enable regardless of what producers do.
+// SetChecksums makes the relay checksum the frames it originates (meta,
+// and batch frames built by re-batching).  Readers accept checksummed
+// and plain frames transparently, so this is safe to enable regardless
+// of what producers do.
 func (s *Server) SetChecksums(on bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sums = on
+}
+
+// SetRebatching makes each producer goroutine coalesce consecutive
+// same-format data records — singles and incoming batches alike — into
+// relay-originated batch frames of up to maxBytes payload.  A pending
+// batch is flushed when the producer's socket has no more buffered
+// input (so coalescing adds no latency: records are held only while
+// more are already waiting), when the format changes, when a non-data
+// frame arrives, and when maxBytes is reached.  Re-batched frames are
+// checksummed according to SetChecksums; the producer's own checksums
+// are verified at ingest and stripped.  maxBytes ≤ 0 disables (the
+// default), restoring verbatim forwarding.
+func (s *Server) SetRebatching(maxBytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebatchMax = maxBytes
 }
 
 // metaFrame builds the meta frame for a relay format ID, checksummed when
@@ -212,13 +266,23 @@ func (s *Server) ServeProducers(ln net.Listener) error {
 }
 
 // ServeConsumers accepts consumer connections until the listener closes.
+// Each consumer is registered for broadcasts synchronously, before the
+// next Accept: once the relay has accepted a consumer's connection, no
+// subsequently broadcast frame can be missed.  (Frames broadcast while
+// the connection is still in the listener backlog are still lost — a
+// consumer that must not miss data has to connect before the producer
+// starts, which this ordering makes sufficient in practice.)
 func (s *Server) ServeConsumers(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		go s.serveConsumer(conn)
+		c, replay, wtimeout, ok := s.registerConsumer(conn)
+		if !ok {
+			continue
+		}
+		go s.pumpConsumer(c, replay, wtimeout)
 	}
 }
 
@@ -247,6 +311,11 @@ func (s *Server) serveProducer(conn net.Conn) {
 	var buf []byte
 	resyncs := 0
 
+	s.mu.Lock()
+	rebatchMax := s.rebatchMax
+	sums := s.sums
+	s.mu.Unlock()
+
 	// skip records one survivable corrupt frame; the second return
 	// reports whether the producer has exhausted its corruption budget.
 	skip := func(cause error) bool {
@@ -259,7 +328,87 @@ func (s *Server) serveProducer(conn net.Conn) {
 		return true
 	}
 
+	// noteSpans records one relay-phase span per traced record in body —
+	// a single record or a whole batch, the stride is the same.
+	noteSpans := func(tr *tracectx.Tracer, b binding, body []byte, arrival time.Time) {
+		if tr == nil || b.traceOff < 0 {
+			return
+		}
+		for off := 0; off+b.size <= len(body); off += b.size {
+			if tc, ok := wire.GetTraceContext(body[off:off+b.size], b.order, b.traceOff); ok && tc.TraceID != 0 {
+				tr.Record(tracectx.Span{Trace: tc.TraceID, ID: tr.NewID(), Parent: tc.ParentSpan,
+					Name: tracectx.PhaseRelay, Start: arrival, Dur: time.Since(arrival), Format: b.name})
+			}
+		}
+	}
+
+	// forward broadcasts verified record bytes verbatim on a pooled,
+	// refcounted payload (the producer's read buffer is reused next
+	// frame, so consumers need an owned copy — one copy shared by all).
+	forward := func(kind byte, relayID uint32, payload []byte) {
+		cp := bufpool.Get(len(payload))
+		copy(cp, payload)
+		s.broadcast(transport.Frame{Kind: kind, FormatID: relayID, Payload: cp},
+			&sharedPayload{buf: cp})
+	}
+
+	// Re-batching state (SetRebatching): verified record bodies of one
+	// format accumulate in rb — a pooled buffer with 4 bytes of checksum
+	// headroom — and leave as one relay-originated batch frame.  Flush
+	// policy: see SetRebatching.
+	const sumPrefix = 4
+	var (
+		rb        []byte
+		rbID      uint32
+		rbRecords int
+	)
+	flushBatch := func() {
+		if rbRecords == 0 {
+			return
+		}
+		kind := byte(transport.FrameBatch)
+		if rbRecords == 1 {
+			kind = transport.FrameData
+		}
+		payload := rb[sumPrefix:]
+		if sums {
+			kind |= transport.FrameFlagSum
+			wire.PutBeUint32(rb[:sumPrefix], crc32.Checksum(rb[sumPrefix:], crcTable))
+			payload = rb
+		}
+		s.broadcast(transport.Frame{Kind: kind, FormatID: rbID, Payload: payload},
+			&sharedPayload{buf: rb})
+		rb, rbRecords = nil, 0
+	}
+	// Whatever is pending when the producer goes away — cleanly or not —
+	// was received intact and still belongs to the consumers.
+	defer flushBatch()
+
+	appendRecords := func(b binding, body []byte) {
+		if rbRecords > 0 && (b.relayID != rbID || len(rb)-sumPrefix+len(body) > rebatchMax) {
+			flushBatch()
+		}
+		if rb == nil {
+			// A producer batch may itself exceed rebatchMax; size for it so
+			// append never reallocates away from the pooled buffer.
+			rb = bufpool.Get(sumPrefix + max(rebatchMax, len(body)))[:sumPrefix]
+		}
+		if rbRecords == 0 {
+			rbID = b.relayID
+		}
+		rb = append(rb, body...)
+		rbRecords += len(body) / b.size
+		if len(rb)-sumPrefix >= rebatchMax {
+			flushBatch()
+		}
+	}
+
 	for {
+		// Coalescing must never hold records while the producer is
+		// silent: flush the moment no further input is already buffered.
+		if rbRecords > 0 && br.Buffered() == 0 {
+			flushBatch()
+		}
 		s.armProducerRead(conn)
 		f, nbuf, err := transport.ReadFrame(br, buf)
 		buf = nbuf
@@ -294,12 +443,20 @@ func (s *Server) serveProducer(conn net.Conn) {
 			// Checksum mismatch: the frame was consumed whole, so the
 			// stream is still aligned — just drop the frame.
 			s.noteChecksumFailure()
-			if tr != nil && f.BaseKind() == transport.FrameData {
+			if tr != nil {
 				// A discarded frame of a trace-carrying format loses its
 				// relay span (and likely the whole message); account for
-				// it rather than letting the trace thin out silently.
+				// it rather than letting the trace thin out silently.  A
+				// discarded batch loses every record it carried — the
+				// count is estimated from the advertised payload size,
+				// since the body cannot be trusted.
 				if b, ok := local[f.FormatID]; ok && b.traceOff >= 0 {
-					tr.NoteLost()
+					switch f.BaseKind() {
+					case transport.FrameData:
+						tr.NoteLost()
+					case transport.FrameBatch:
+						tr.NoteLostN(max((len(f.Payload)-4)/b.size, 1))
+					}
 				}
 			}
 			if !skip(err) {
@@ -316,6 +473,9 @@ func (s *Server) serveProducer(conn net.Conn) {
 				}
 				continue
 			}
+			// Keep consumer frame order identical to arrival order: the
+			// pending batch was received before this meta frame.
+			flushBatch()
 			relayID, added, err := s.registerFormat(format)
 			if err != nil {
 				s.noteBadProducer(err)
@@ -331,38 +491,37 @@ func (s *Server) serveProducer(conn net.Conn) {
 			if added {
 				s.broadcastMeta(relayID)
 			}
-		case transport.FrameData:
+		case transport.FrameData, transport.FrameBatch:
 			b, ok := local[f.FormatID]
 			if !ok {
 				s.noteBadProducer(fmt.Errorf("relay: data frame for unknown format ID %d (data before meta)", f.FormatID))
 				return
 			}
-			if len(body) != b.size {
-				// A record that is not its format's size is corrupt even
-				// if its checksum matches (or it carries none).
+			batch := f.BaseKind() == transport.FrameBatch
+			if (!batch && len(body) != b.size) || (batch && (len(body) == 0 || len(body)%b.size != 0)) {
+				// A record run that is not a positive multiple of its
+				// format's size is corrupt even if its checksum matches
+				// (or it carries none).
 				if tr != nil && b.traceOff >= 0 {
-					tr.NoteLost()
+					tr.NoteLostN(max(len(body)/b.size, 1))
 				}
-				if !skip(fmt.Errorf("relay: record %d bytes, format is %d", len(body), b.size)) {
+				if !skip(fmt.Errorf("relay: %d-byte payload, format is %d bytes/record", len(body), b.size)) {
 					return
 				}
 				continue
 			}
-			// The read buffer is reused per frame; broadcast an owned
-			// copy shared by all consumers.  The payload (including any
-			// checksum prefix) is forwarded verbatim — the checksum
-			// covers the body only, so renumbering the header keeps it
-			// valid end-to-end.
-			payload := append([]byte(nil), f.Payload...)
-			s.broadcast(transport.Frame{
-				Kind: f.Kind, FormatID: b.relayID, Payload: payload,
-			})
-			if tr != nil && b.traceOff >= 0 {
-				if tc, ok := wire.GetTraceContext(body, b.order, b.traceOff); ok && tc.TraceID != 0 {
-					tr.Record(tracectx.Span{Trace: tc.TraceID, ID: tr.NewID(), Parent: tc.ParentSpan,
-						Name: tracectx.PhaseRelay, Start: arrival, Dur: time.Since(arrival), Format: b.name})
-				}
+			if rebatchMax > 0 {
+				// Coalesce: verified bodies (singles and batches alike)
+				// accumulate and leave as relay-originated batch frames.
+				appendRecords(b, body)
+			} else {
+				// Forward verbatim on a pooled shared payload.  The
+				// payload keeps any checksum prefix — the checksum covers
+				// the body only, so renumbering the header keeps it valid
+				// end-to-end.
+				forward(f.Kind, b.relayID, f.Payload)
 			}
+			noteSpans(tr, b, body, arrival)
 		default:
 			// Format-server references would need a resolver here;
 			// producers must use in-band meta with a relay.
@@ -417,30 +576,42 @@ func (s *Server) registerFormat(f *wire.Format) (uint32, bool, error) {
 }
 
 // broadcastMeta sends a newly-registered format's meta to current
-// consumers (late joiners get it from the replay in serveConsumer).
+// consumers (late joiners get it from the replay in pumpConsumer).
 func (s *Server) broadcastMeta(relayID uint32) {
 	s.mu.Lock()
 	f := s.metaFrame(relayID)
 	s.mu.Unlock()
-	s.broadcast(f)
+	s.broadcast(f, nil)
 }
 
 // broadcast enqueues a frame for every consumer, dropping consumers whose
-// queues are full.
-func (s *Server) broadcast(f transport.Frame) {
+// queues are full.  owner, when non-nil, is the frame's pooled payload:
+// broadcast takes one reference per successful enqueue plus one of its
+// own (released before returning), so the buffer recycles exactly when
+// the last consumer is done with it — including the zero-consumer case.
+func (s *Server) broadcast(f transport.Frame, owner *sharedPayload) {
+	if owner != nil {
+		// The broadcaster's own reference keeps the count positive until
+		// every enqueue attempt has resolved.
+		owner.refs.Add(1)
+	}
 	s.mu.Lock()
 	s.stats.frames.Add(1)
 	s.stats.forwardedBytes.Add(int64(len(f.Payload)) * int64(len(s.consumers)))
 	var drop []*consumer
 	for c := range s.consumers {
+		if owner != nil {
+			owner.refs.Add(1)
+		}
 		select {
-		case c.ch <- f:
+		case c.ch <- outFrame{f: f, owner: owner}:
 		default:
+			owner.release() // enqueue failed; give its reference back
 			drop = append(drop, c)
 		}
 	}
 	for _, c := range drop {
-		// Closing the channel lets serveConsumer flush what is already
+		// Closing the channel lets pumpConsumer flush what is already
 		// queued and then disconnect; a peer that has stopped draining
 		// its socket is bounded by the consumer write timeout instead.
 		delete(s.consumers, c)
@@ -449,28 +620,35 @@ func (s *Server) broadcast(f transport.Frame) {
 		s.emitTrace("consumer_dropped", "queue overflow")
 	}
 	s.mu.Unlock()
+	owner.release()
 }
 
-// serveConsumer replays known formats, then streams broadcast frames.
-func (s *Server) serveConsumer(conn net.Conn) {
-	c := &consumer{ch: make(chan transport.Frame, consumerQueue), conn: conn}
-
-	// Snapshot known formats and register for new frames atomically, so
-	// no meta or data frame is missed or duplicated.
+// registerConsumer snapshots the known formats and registers the
+// connection for broadcasts atomically, so no meta or data frame is
+// missed or duplicated.  It runs on the accept loop (see ServeConsumers
+// for why); ok is false when the relay is closed.
+func (s *Server) registerConsumer(conn net.Conn) (c *consumer, replay []transport.Frame, wtimeout time.Duration, ok bool) {
+	c = &consumer{ch: make(chan outFrame, consumerQueue), conn: conn}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		conn.Close()
-		return
+		return nil, nil, 0, false
 	}
-	replay := make([]transport.Frame, 0, len(s.metaOrder))
+	replay = make([]transport.Frame, 0, len(s.metaOrder))
 	for _, id := range s.metaOrder {
 		replay = append(replay, s.metaFrame(id))
 	}
 	s.stats.metaReplays.Add(int64(len(replay)))
 	s.consumers[c] = true
-	wtimeout := s.consumerTimeout
+	wtimeout = s.consumerTimeout
 	s.mu.Unlock()
+	return c, replay, wtimeout, true
+}
+
+// pumpConsumer replays known formats, then streams broadcast frames.
+func (s *Server) pumpConsumer(c *consumer, replay []transport.Frame, wtimeout time.Duration) {
+	conn := c.conn
 
 	defer func() {
 		s.mu.Lock()
@@ -480,8 +658,10 @@ func (s *Server) serveConsumer(conn net.Conn) {
 		}
 		s.mu.Unlock()
 		conn.Close()
-		// Drain so a concurrent broadcast never blocks on us.
-		for range c.ch {
+		// Drain so a concurrent broadcast never blocks on us, releasing
+		// every queued frame's share of its pooled payload.
+		for of := range c.ch {
+			of.owner.release()
 		}
 	}()
 
@@ -496,8 +676,10 @@ func (s *Server) serveConsumer(conn net.Conn) {
 			return
 		}
 	}
-	for f := range c.ch {
-		if err := write(f); err != nil {
+	for of := range c.ch {
+		err := write(of.f)
+		of.owner.release()
+		if err != nil {
 			return
 		}
 	}
@@ -565,7 +747,7 @@ func (s *Server) Close() {
 	for c := range s.consumers {
 		delete(s.consumers, c)
 		close(c.ch)
-		// Unblock any serveConsumer goroutine stuck mid-write so
+		// Unblock any pumpConsumer goroutine stuck mid-write so
 		// shutdown never waits on a dead peer.
 		c.conn.Close()
 	}

@@ -36,6 +36,7 @@ const (
 	PhaseSend   = "send"    // pbio Write, entry to return
 	PhaseExtend = "extend"  // building the trace-extended record image
 	PhaseFrame  = "frame"   // transport framing + the write syscall
+	PhaseBatch  = "batch"   // record buffered in a write batch → flush
 	PhaseWire   = "wire"    // sender frame write → receiver arrival
 	PhaseRelay  = "relay"   // relay read → broadcast enqueue
 	PhaseMatch  = "match"   // by-name field match / plan or program lookup
@@ -283,6 +284,14 @@ func (t *Tracer) Sampled() int64 {
 func (t *Tracer) NoteLost() {
 	if t != nil {
 		t.lost.Add(1)
+	}
+}
+
+// NoteLostN counts n spans lost at once — a discarded batch frame loses
+// every record it carried.
+func (t *Tracer) NoteLostN(n int) {
+	if t != nil && n > 0 {
+		t.lost.Add(int64(n))
 	}
 }
 

@@ -21,6 +21,17 @@ type Metrics struct {
 	MetaRead      *telemetry.Counter // meta + meta-ref frames consumed
 	MetaWritten   *telemetry.Counter // meta + meta-ref frames emitted
 
+	// Batch frame accounting: frames, the records they carried, and the
+	// record payload bytes (headers excluded).  A batch frame also counts
+	// once in FramesRead/FramesWritten; these counters expose how much of
+	// the record volume rode in batches.
+	BatchFramesRead     *telemetry.Counter
+	BatchFramesWritten  *telemetry.Counter
+	BatchRecordsRead    *telemetry.Counter
+	BatchRecordsWritten *telemetry.Counter
+	BatchBytesRead      *telemetry.Counter
+	BatchBytesWritten   *telemetry.Counter
+
 	// ChecksumFailures counts frames whose CRC32-C prefix did not match
 	// their body; DeadlineTimeouts counts reads/writes that hit the
 	// configured deadline (a dead or stalled peer, not corruption).
@@ -49,6 +60,12 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 		BytesWritten:     r.Counter("pbio_transport_bytes_written_total", "Bytes emitted to streams, headers included."),
 		MetaRead:         r.Counter("pbio_transport_meta_frames_read_total", "Meta and meta-reference frames consumed."),
 		MetaWritten:      r.Counter("pbio_transport_meta_frames_written_total", "Meta and meta-reference frames emitted."),
+		BatchFramesRead:     r.Counter("pbio_transport_batch_frames_read_total", "Batch frames consumed from streams."),
+		BatchFramesWritten:  r.Counter("pbio_transport_batch_frames_written_total", "Batch frames emitted to streams."),
+		BatchRecordsRead:    r.Counter("pbio_transport_batched_records_read_total", "Records delivered from batch frames."),
+		BatchRecordsWritten: r.Counter("pbio_transport_batched_records_written_total", "Records coalesced into batch frames."),
+		BatchBytesRead:      r.Counter("pbio_transport_batch_bytes_read_total", "Record bytes consumed via batch frames, headers excluded."),
+		BatchBytesWritten:   r.Counter("pbio_transport_batch_bytes_written_total", "Record bytes emitted via batch frames, headers excluded."),
 		ChecksumFailures: r.Counter("pbio_transport_checksum_failures_total", "Frames whose CRC32-C did not match the body."),
 		DeadlineTimeouts: r.Counter("pbio_transport_deadline_timeouts_total", "Reads or writes that hit the configured deadline."),
 		Trace:            r.Trace(),

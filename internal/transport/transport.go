@@ -12,8 +12,10 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/wire"
 )
 
@@ -26,6 +28,13 @@ const (
 	// FrameMetaRef carries an 8-byte global format ID (format-server
 	// mode).
 	FrameMetaRef = 3
+	// FrameBatch carries N ≥ 1 records of one format, concatenated in the
+	// sender's native layout with no per-record framing: the record count
+	// is payload length ÷ format size.  Fixed-size records make the
+	// division exact by construction, so batching costs zero descriptive
+	// bytes — the header amortizes over the whole run, which is where the
+	// per-message overhead goes for small records.
+	FrameBatch = 4
 
 	// FrameFlagSum, OR-ed into the kind byte, marks a frame whose
 	// payload is prefixed by a 4-byte big-endian CRC32-C of the body.
@@ -39,6 +48,7 @@ const (
 	msgMeta    = FrameMeta
 	msgData    = FrameData
 	msgMetaRef = FrameMetaRef
+	msgBatch   = FrameBatch
 )
 
 // Frame is one raw protocol frame.  Relays and other intermediaries can
@@ -75,20 +85,30 @@ func (f *Frame) Body() ([]byte, error) {
 	return body, nil
 }
 
-// SumPayload returns body prefixed with its CRC32-C, the payload layout
-// of a FrameFlagSum frame.  Intermediaries that originate frames (a
-// relay re-encoding meta, say) use this to give them the same integrity
-// protection producer-written frames get from Writer.SetChecksums.
+// AppendSum appends body prefixed with its CRC32-C to dst and returns
+// the extended slice — the payload layout of a FrameFlagSum frame.
+// Passing a pooled or reused dst (sliced to zero length) makes the
+// checksummed payload construction allocation-free.
+func AppendSum(dst, body []byte) []byte {
+	var crc [4]byte
+	wire.PutBeUint32(crc[:], crc32.Checksum(body, crcTable))
+	dst = append(dst, crc[:]...)
+	return append(dst, body...)
+}
+
+// SumPayload returns body prefixed with its CRC32-C in a freshly
+// allocated slice.  Intermediaries that originate frames (a relay
+// re-encoding meta, say) use this for one-off payloads; per-frame hot
+// paths should use AppendSum with a reused buffer instead.
 func SumPayload(body []byte) []byte {
-	out := make([]byte, 4+len(body))
-	wire.PutBeUint32(out, crc32.Checksum(body, crcTable))
-	copy(out[4:], body)
-	return out
+	return AppendSum(make([]byte, 0, 4+len(body)), body)
 }
 
 // ReadFrame reads one frame, reusing buf for the payload when it is large
-// enough.  It returns the frame and the (possibly grown) buffer.  io.EOF
-// is returned untouched at a clean frame boundary.
+// enough.  It returns the frame and the (possibly grown) buffer.  Growth
+// goes through the buffer pool, and the outgrown buffer is donated to it
+// — the caller yields ownership of buf and must use only the returned
+// slice.  io.EOF is returned untouched at a clean frame boundary.
 func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -110,7 +130,8 @@ func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 		return Frame{}, buf, fmt.Errorf("transport: meta payload %d exceeds bound %d: %w", n, maxMetaPayload, ErrCorruptFrame)
 	}
 	if cap(buf) < n {
-		buf = make([]byte, n)
+		bufpool.Put(buf)
+		buf = bufpool.Get(n)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -155,6 +176,48 @@ func putHeader(hdr []byte, kind byte, id uint32, n int) {
 	wire.PutBeUint32(hdr[7:], uint32(n))
 }
 
+// MetaCache deduplicates decoded format descriptions across the streams
+// of one process.  Every reader that receives the same meta bytes gets
+// the same *wire.Format pointer back, which (a) drops the per-stream
+// decode+validate cost to a map probe, and (b) makes pointer identity
+// meaningful across streams, so conversion caches keyed on the format
+// hit without fingerprinting.  Safe for concurrent use; share one per
+// process (pbio.Context owns one).
+type MetaCache struct {
+	mu     sync.Mutex
+	byMeta map[string]*wire.Format
+}
+
+// NewMetaCache returns an empty cache.
+func NewMetaCache() *MetaCache {
+	return &MetaCache{byMeta: make(map[string]*wire.Format)}
+}
+
+// Decode returns the format described by the raw meta bytes, decoding
+// and validating only on first sight of those bytes.  The cache-hit path
+// does not allocate (Go map lookups with a string(bytes) key are
+// conversion-free).
+func (c *MetaCache) Decode(meta []byte) (*wire.Format, error) {
+	c.mu.Lock()
+	f := c.byMeta[string(meta)]
+	c.mu.Unlock()
+	if f != nil {
+		return f, nil
+	}
+	f, _, err := wire.DecodeMeta(meta)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev := c.byMeta[string(meta)]; prev != nil {
+		f = prev // another stream decoded it first; converge on one pointer
+	} else {
+		c.byMeta[string(meta)] = f
+	}
+	c.mu.Unlock()
+	return f, nil
+}
+
 // Writer sends records over a stream.  It is not safe for concurrent use.
 type Writer struct {
 	w    io.Writer
@@ -164,7 +227,27 @@ type Writer struct {
 	hdr  [frameHeaderSize]byte
 	sum  [4]byte // reused checksum prefix (must outlive the vectored write)
 	meta []byte  // reused meta encoding buffer
-	bufs net.Buffers
+
+	// vec is the persistent backing for vectored writes; nb is the
+	// net.Buffers header WriteTo consumes.  WriteTo takes its receiver by
+	// pointer, so a local net.Buffers would escape (one allocation per
+	// frame); nb lives in the Writer, is re-pointed at vec's backing each
+	// frame, and advances harmlessly as the write drains (see writeVec).
+	vec [][]byte
+	nb  net.Buffers
+
+	// Batching state (SetBatching).  Records are coalesced into batch
+	// until a flush condition fires; batchN counts them and batchStart
+	// is when the oldest was buffered (stamped only when age-based
+	// flushing or a flush hook needs it).
+	batchMax   int
+	batchDelay time.Duration
+	batch      []byte
+	batchN     int
+	batchID    uint32
+	batchFmt   *wire.Format
+	batchStart time.Time
+	onFlush    func(records, payloadBytes int, start, end time.Time)
 
 	// sums, when true, prefixes every payload with a CRC32-C of the body
 	// and sets FrameFlagSum in the kind byte.
@@ -204,6 +287,39 @@ func (t *Writer) SetChecksums(on bool) { t.sums = on }
 // write deadlines (net.Conn does); zero disables.
 func (t *Writer) SetTimeout(d time.Duration) { t.timeout = d }
 
+// SetBatching turns on write coalescing: WriteRecord copies records into
+// a pending buffer instead of emitting a frame each, and the buffer goes
+// out as one FrameBatch when it reaches maxBytes, when the format
+// changes, when the oldest buffered record is older than maxDelay at the
+// next write (maxDelay ≤ 0 disables the age check), or on an explicit
+// Flush.  A pending run of exactly one record is emitted as an ordinary
+// data frame, so batching never changes the wire format of sparse
+// traffic.  Buffered records are not visible to the receiver until
+// flushed — callers must Flush (or Close, for wrappers that do) before
+// waiting on a response.  maxBytes ≤ 0 disables coalescing and flushes
+// anything pending.
+func (t *Writer) SetBatching(maxBytes int, maxDelay time.Duration) error {
+	if maxBytes > maxPayload {
+		maxBytes = maxPayload
+	}
+	if maxBytes <= 0 {
+		err := t.Flush()
+		t.batchMax, t.batchDelay = 0, 0
+		return err
+	}
+	t.batchMax, t.batchDelay = maxBytes, maxDelay
+	return nil
+}
+
+// SetFlushHook registers fn to run after every coalesced-batch flush
+// with the record count, payload bytes, and the wall-clock span the
+// records spent buffered.  The tracing layer uses it to attribute
+// batching delay; nil disables.  Setting a hook makes every coalescing
+// WriteRecord read the clock once.
+func (t *Writer) SetFlushHook(fn func(records, payloadBytes int, start, end time.Time)) {
+	t.onFlush = fn
+}
+
 // armWrite applies the write deadline, if any.
 func (t *Writer) armWrite() {
 	if t.timeout > 0 {
@@ -228,64 +344,218 @@ func NewWriter(w io.Writer) *Writer {
 	}
 }
 
+// ensureFormat registers f (first use) and transmits its meta-information
+// (first record), returning the stream-local format ID.
+func (t *Writer) ensureFormat(f *wire.Format) (uint32, error) {
+	id, known := t.ids[f]
+	if !known {
+		var err error
+		if id, _, err = t.reg.Register(f); err != nil {
+			return 0, err
+		}
+		t.ids[f] = id
+	}
+	if t.sent[id] {
+		return id, nil
+	}
+	// Frame order is delivery order: anything buffered goes out before
+	// the new format's meta.
+	if err := t.flushPending(); err != nil {
+		return 0, err
+	}
+	if t.registrar != nil {
+		gid, err := t.registrar(f)
+		if err != nil {
+			return 0, fmt.Errorf("transport: registering format %q: %w", f.Name, err)
+		}
+		var ref [8]byte
+		wire.PutBeUint64(ref[:], gid)
+		if err := t.emit(msgMetaRef, id, ref[:], "meta ref"); err != nil {
+			return 0, err
+		}
+	} else {
+		t.meta = wire.AppendMeta(t.meta[:0], f)
+		if len(t.meta) > maxMetaPayload {
+			return 0, fmt.Errorf("transport: format %q meta is %d bytes, exceeds bound %d", f.Name, len(t.meta), maxMetaPayload)
+		}
+		if err := t.emit(msgMeta, id, t.meta, "meta"); err != nil {
+			return 0, err
+		}
+	}
+	t.sent[id] = true
+	return id, nil
+}
+
 // WriteRecord transmits one record: data must be the record's native
 // image, exactly f.Size bytes.  The format's meta-information is sent
 // automatically before its first record.  This is the entire sender-side
 // cost of NDR: no encoding, no copying — the native bytes are handed to
-// the stream as-is.
+// the stream as-is.  (With SetBatching the record is copied once into
+// the pending batch; that copy is the price of amortizing the frame
+// header and syscall over a run of small records.)
 func (t *Writer) WriteRecord(f *wire.Format, data []byte) error {
 	if len(data) != f.Size {
 		return fmt.Errorf("transport: record %d bytes, format %q is %d", len(data), f.Name, f.Size)
 	}
 	t.armWrite()
-	id, known := t.ids[f]
-	if !known {
-		var err error
-		if id, _, err = t.reg.Register(f); err != nil {
-			return err
-		}
-		t.ids[f] = id
+	id, err := t.ensureFormat(f)
+	if err != nil {
+		return err
 	}
-	if !t.sent[id] {
-		if t.registrar != nil {
-			gid, err := t.registrar(f)
-			if err != nil {
-				return fmt.Errorf("transport: registering format %q: %w", f.Name, err)
-			}
-			var ref [8]byte
-			wire.PutBeUint64(ref[:], gid)
-			if err := t.emit(msgMetaRef, id, ref[:], "meta ref"); err != nil {
-				return err
-			}
-		} else {
-			t.meta = wire.AppendMeta(t.meta[:0], f)
-			if len(t.meta) > maxMetaPayload {
-				return fmt.Errorf("transport: format %q meta is %d bytes, exceeds bound %d", f.Name, len(t.meta), maxMetaPayload)
-			}
-			if err := t.emit(msgMeta, id, t.meta, "meta"); err != nil {
-				return err
-			}
-		}
-		t.sent[id] = true
+	if t.batchMax > 0 {
+		return t.coalesce(f, id, data)
 	}
 	return t.emit(msgData, id, data, "data")
 }
 
-// emit writes one frame — header, optional checksum prefix, body — as a
-// single vectored write (one writev syscall on a net.Conn); the sender
-// never copies the record to build a contiguous message.
+// coalesce appends the record to the pending batch, flushing first on a
+// format switch or when the record would not fit, and after on size or
+// age.
+func (t *Writer) coalesce(f *wire.Format, id uint32, data []byte) error {
+	if t.batchN > 0 && (id != t.batchID || len(t.batch)+len(data) > t.batchMax) {
+		if err := t.flushPending(); err != nil {
+			return err
+		}
+	}
+	if t.batchN == 0 {
+		t.batchFmt, t.batchID = f, id
+		if t.batchDelay > 0 || t.onFlush != nil {
+			t.batchStart = time.Now()
+		}
+	}
+	t.batch = append(t.batch, data...)
+	t.batchN++
+	if len(t.batch) >= t.batchMax {
+		return t.flushPending()
+	}
+	if t.batchDelay > 0 && time.Since(t.batchStart) >= t.batchDelay {
+		return t.flushPending()
+	}
+	return nil
+}
+
+// Flush emits any records held by the coalescing buffer.  A no-op when
+// nothing is pending (or batching is off), so wrappers can call it
+// unconditionally at sync points.
+func (t *Writer) Flush() error {
+	if t.batchN == 0 {
+		return nil
+	}
+	t.armWrite()
+	return t.flushPending()
+}
+
+// flushPending writes the coalescing buffer out as one frame: FrameBatch
+// for a run of two or more records, a plain data frame for one.
+func (t *Writer) flushPending() error {
+	n := t.batchN
+	if n == 0 {
+		return nil
+	}
+	bytes := len(t.batch)
+	start := t.batchStart
+	kind, what := byte(msgData), "data"
+	if n > 1 {
+		kind, what = byte(msgBatch), "batch"
+	}
+	err := t.emit(kind, t.batchID, t.batch, what)
+	t.batch = t.batch[:0]
+	t.batchN = 0
+	t.batchFmt = nil
+	if err != nil {
+		return err
+	}
+	if m := t.m; m != nil && n > 1 {
+		m.BatchFramesWritten.Inc()
+		m.BatchRecordsWritten.Add(int64(n))
+		m.BatchBytesWritten.Add(int64(bytes))
+	}
+	if t.onFlush != nil {
+		t.onFlush(n, bytes, start, time.Now())
+	}
+	return nil
+}
+
+// WriteBatch transmits a run of same-format records as one FrameBatch
+// without copying them: header, optional checksum prefix, and every
+// record go out as a single vectored write.  Callers that already hold a
+// run of records (a relay draining a queue, a simulation emitting a
+// timestep) skip the coalescing copy entirely.  Any coalesced records
+// pending from WriteRecord are flushed first, preserving order.
+func (t *Writer) WriteBatch(f *wire.Format, recs [][]byte) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	total := 0
+	for _, rec := range recs {
+		if len(rec) != f.Size {
+			return fmt.Errorf("transport: batch record %d bytes, format %q is %d", len(rec), f.Name, f.Size)
+		}
+		total += len(rec)
+	}
+	if total > maxPayload {
+		return fmt.Errorf("transport: batch payload %d exceeds frame bound %d", total, maxPayload)
+	}
+	t.armWrite()
+	id, err := t.ensureFormat(f)
+	if err != nil {
+		return err
+	}
+	if err := t.flushPending(); err != nil {
+		return err
+	}
+	if len(recs) == 1 {
+		return t.emit(msgData, id, recs[0], "data")
+	}
+	t.vec = t.vec[:0]
+	if t.sums {
+		crc := uint32(0)
+		for _, rec := range recs {
+			crc = crc32.Update(crc, crcTable, rec)
+		}
+		wire.PutBeUint32(t.sum[:], crc)
+		putHeader(t.hdr[:], msgBatch|FrameFlagSum, id, total+4)
+		t.vec = append(t.vec, t.hdr[:], t.sum[:])
+	} else {
+		putHeader(t.hdr[:], msgBatch, id, total)
+		t.vec = append(t.vec, t.hdr[:])
+	}
+	t.vec = append(t.vec, recs...)
+	if err := t.writeVec(msgBatch, "batch"); err != nil {
+		return err
+	}
+	if m := t.m; m != nil {
+		m.BatchFramesWritten.Inc()
+		m.BatchRecordsWritten.Add(int64(len(recs)))
+		m.BatchBytesWritten.Add(int64(total))
+	}
+	return nil
+}
+
+// emit stages one frame — header, optional checksum prefix, body — and
+// writes it vectored.
 func (t *Writer) emit(kind byte, id uint32, body []byte, what string) error {
+	t.vec = t.vec[:0]
 	if t.sums {
 		t.checksum(body)
 		putHeader(t.hdr[:], kind|FrameFlagSum, id, len(body)+4)
-		t.bufs = append(t.bufs[:0], t.hdr[:], t.sum[:], body)
+		t.vec = append(t.vec, t.hdr[:], t.sum[:], body)
 	} else {
 		putHeader(t.hdr[:], kind, id, len(body))
-		t.bufs = append(t.bufs[:0], t.hdr[:], body)
+		t.vec = append(t.vec, t.hdr[:], body)
 	}
-	// Reuse the vectored-write slice: WriteTo consumes it, so rebuild
-	// from capacity each call (no per-record allocation).
-	n, err := t.bufs.WriteTo(t.w)
+	return t.writeVec(kind, what)
+}
+
+// writeVec flushes the staged t.vec as one vectored write (one writev
+// syscall on a net.Conn); the sender never copies records to build a
+// contiguous message.  net.Buffers.WriteTo consumes the slice it is
+// called on — it advances t.nb (and shrinks the consumed element
+// headers inside vec's backing array), but emit rebuilds both from
+// scratch each frame, so nothing allocates in steady state.
+func (t *Writer) writeVec(kind byte, what string) error {
+	t.nb = net.Buffers(t.vec)
+	n, err := t.nb.WriteTo(t.w)
 	if err != nil {
 		t.m.noteIOError(err, "write "+what)
 		return fmt.Errorf("transport: write %s: %w: %w", what, err, ErrPeerGone)
@@ -293,7 +563,7 @@ func (t *Writer) emit(kind byte, id uint32, body []byte, what string) error {
 	if m := t.m; m != nil {
 		m.FramesWritten.Inc()
 		m.BytesWritten.Add(n)
-		if kind&^FrameFlagSum != msgData {
+		if kind == msgMeta || kind == msgMetaRef {
 			m.MetaWritten.Inc()
 		}
 	}
@@ -309,23 +579,31 @@ func WireSize(f *wire.Format) int { return frameHeaderSize + f.Size }
 // record bytes in the sender's native layout.
 //
 // Data aliases the Reader's internal receive buffer and is valid only
-// until the next ReadMessage call — exactly the lifetime of a receive
-// buffer.  Receivers that convert (or use) the record before reading the
-// next message never copy; others must.
+// until the next ReadMessage call that reads from the stream — exactly
+// the lifetime of a receive buffer.  (Messages delivered from one batch
+// frame share the buffer; each stays valid until the batch is exhausted
+// and the next frame is read.)  Receivers that convert (or use) the
+// record before reading the next message never copy; others must.
 type Message struct {
 	FormatID uint32
 	Format   *wire.Format
 	Data     []byte
 
-	// WireBytes is the total bytes this ReadMessage call consumed to
-	// deliver the message — the data frame plus any meta frames that
-	// preceded it, headers included.
+	// WireBytes is the total bytes consumed from the stream to deliver
+	// the message — the data frame plus any meta frames that preceded
+	// it, headers included.  Records delivered from a batch frame carry
+	// the whole frame's bytes on the first record and zero on the rest,
+	// so per-stream sums stay exact.
 	WireBytes int
+
+	// Batched reports that the record arrived inside a FrameBatch.
+	Batched bool
 
 	// Arrival is the wall-clock time the data frame's last payload byte
 	// was read.  Stamped only when the reader has arrival stamping
 	// enabled (SetArrivalStamps — the tracing path's wire-phase anchor);
 	// zero otherwise, so untraced hot paths never touch the clock.
+	// Records from one batch frame share the frame's arrival time.
 	Arrival time.Time
 }
 
@@ -333,9 +611,21 @@ type Message struct {
 // use.
 type Reader struct {
 	r       io.Reader
-	formats *wire.Registry
+	formats wire.Registry // embedded by value; zero value is ready
 	hdr     [frameHeaderSize]byte
-	buf     []byte
+
+	// buf is the pooled receive buffer.  Obtained from bufpool on demand
+	// and returned by Close; a reader that is never Closed simply leaks
+	// its buffer to the GC.
+	buf []byte
+
+	// Batch-frame iteration state: the un-delivered tail of the current
+	// batch payload (aliases buf) and the format/ID/arrival it was read
+	// under.
+	pending        []byte
+	pendingFmt     *wire.Format
+	pendingID      uint32
+	pendingArrival time.Time
 
 	// timeout, when nonzero, bounds each frame read with a read deadline
 	// (only effective when r is a net.Conn or similar).
@@ -344,6 +634,9 @@ type Reader struct {
 	// resolver, when set, resolves global format IDs arriving in
 	// meta-reference messages (format-server mode).
 	resolver func(uint64) (*wire.Format, error)
+
+	// metaCache, when set, deduplicates meta decoding across streams.
+	metaCache *MetaCache
 
 	// m is nil until SetMetrics; every hot-path use is guarded by one
 	// nil check.  (Leaving the default out of the constructor keeps
@@ -356,11 +649,47 @@ type Reader struct {
 	// delivered Message with its arrival wall-clock time.  Off by
 	// default so the untraced read path never calls time.Now.
 	stampArrivals bool
+
+	// closed marks the reader's pooled buffer as surrendered; further
+	// reads fail rather than touch recycled memory.
+	closed bool
 }
 
 // NewReader returns a Reader over r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: r, formats: wire.NewRegistry()}
+	return &Reader{r: r}
+}
+
+// Reset re-points the reader at a new stream, forgetting learned formats
+// and any partially-delivered batch, and clears Close.  Configuration
+// (metrics, resolver, meta cache, timeout) and the pooled receive buffer
+// carry over.  It exists so a Reader embedded by value can be re-armed
+// without allocating.
+func (t *Reader) Reset(r io.Reader) {
+	t.r = r
+	t.formats.Reset()
+	t.pending, t.pendingFmt, t.pendingID = nil, nil, 0
+	t.pendingArrival = time.Time{}
+	t.closed = false
+}
+
+// Close returns the reader's pooled receive buffer to the buffer pool
+// and marks the reader closed; subsequent reads fail.  Every Message
+// (and anything aliasing one — zero-copy views included) obtained from
+// this reader is invalid after Close: its bytes may be recycled into
+// another stream's receive buffer.  Close never touches the underlying
+// stream; closing that is the caller's business.  Close is idempotent.
+func (t *Reader) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	t.pending, t.pendingFmt = nil, nil
+	if t.buf != nil {
+		bufpool.Put(t.buf)
+		t.buf = nil
+	}
+	return nil
 }
 
 // SetMetrics attaches a telemetry metric set (nil restores the no-op
@@ -371,6 +700,12 @@ func (t *Reader) SetMetrics(m *Metrics) { t.m = m }
 // server (see internal/fmtserver).  Streams written in format-server mode
 // cannot be read without one.
 func (t *Reader) SetResolver(fn func(uint64) (*wire.Format, error)) { t.resolver = fn }
+
+// SetMetaCache shares a process-wide meta-decode cache with this reader:
+// formats whose meta bytes were already seen on any stream cost a map
+// probe instead of a decode, and identical formats resolve to one
+// *wire.Format pointer across streams.
+func (t *Reader) SetMetaCache(c *MetaCache) { t.metaCache = c }
 
 // SetTimeout bounds each frame read with a read deadline of d from its
 // start, so a slow or dead peer surfaces as an error instead of a hung
@@ -393,44 +728,82 @@ func (t *Reader) armRead() {
 }
 
 // ReadMessage returns the next data message, transparently consuming any
-// meta messages that precede it.
+// meta messages that precede it.  It allocates one Message per call;
+// steady-state hot paths use ReadMessageInto.
 func (t *Reader) ReadMessage() (*Message, error) {
+	m := new(Message)
+	if err := t.ReadMessageInto(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// nextBatched delivers the next record of the current batch frame into m.
+func (t *Reader) nextBatched(m *Message, wireBytes int) {
+	f := t.pendingFmt
+	*m = Message{
+		FormatID:  t.pendingID,
+		Format:    f,
+		Data:      t.pending[:f.Size:f.Size],
+		WireBytes: wireBytes,
+		Batched:   true,
+		Arrival:   t.pendingArrival,
+	}
+	t.pending = t.pending[f.Size:]
+	if len(t.pending) == 0 {
+		t.pending, t.pendingFmt = nil, nil
+	}
+}
+
+// ReadMessageInto fills m with the next data message, transparently
+// consuming any meta messages that precede it and iterating batch frames
+// one record at a time.  All fields of m are overwritten.  It performs
+// no allocation in steady state (formats known, buffer warm).
+func (t *Reader) ReadMessageInto(m *Message) error {
+	if len(t.pending) > 0 {
+		t.nextBatched(m, 0)
+		return nil
+	}
+	if t.closed {
+		return fmt.Errorf("transport: read on closed reader: %w", ErrProtocol)
+	}
 	wireBytes := 0
 	for {
 		t.armRead()
 		if _, err := io.ReadFull(t.r, t.hdr[:]); err != nil {
 			if err == io.EOF {
-				return nil, io.EOF
+				return io.EOF
 			}
 			t.m.noteIOError(err, "read header")
-			return nil, fmt.Errorf("transport: read header: %w: %w", err, ErrPeerGone)
+			return fmt.Errorf("transport: read header: %w: %w", err, ErrPeerGone)
 		}
 		if wire.BeUint16(t.hdr[:]) != frameMagic {
-			return nil, fmt.Errorf("transport: bad frame magic %#x%02x: %w", t.hdr[0], t.hdr[1], ErrCorruptFrame)
+			return fmt.Errorf("transport: bad frame magic %#x%02x: %w", t.hdr[0], t.hdr[1], ErrCorruptFrame)
 		}
 		rawKind := t.hdr[2]
 		kind := rawKind &^ FrameFlagSum
 		id := wire.BeUint32(t.hdr[3:])
 		n := int(wire.BeUint32(t.hdr[7:]))
 		if n < 0 || n > maxPayload {
-			return nil, fmt.Errorf("transport: frame payload %d out of range: %w", n, ErrCorruptFrame)
+			return fmt.Errorf("transport: frame payload %d out of range: %w", n, ErrCorruptFrame)
 		}
 		if (kind == msgMeta || kind == msgMetaRef) && n > maxMetaPayload {
-			return nil, fmt.Errorf("transport: meta payload %d exceeds bound %d: %w", n, maxMetaPayload, ErrCorruptFrame)
+			return fmt.Errorf("transport: meta payload %d exceeds bound %d: %w", n, maxMetaPayload, ErrCorruptFrame)
 		}
 		if cap(t.buf) < n {
-			t.buf = make([]byte, n)
+			bufpool.Put(t.buf)
+			t.buf = bufpool.Get(n)
 		}
 		t.buf = t.buf[:n]
 		if _, err := io.ReadFull(t.r, t.buf); err != nil {
 			t.m.noteIOError(err, "read payload")
-			return nil, fmt.Errorf("transport: read payload: %w: %w", err, ErrPeerGone)
+			return fmt.Errorf("transport: read payload: %w: %w", err, ErrPeerGone)
 		}
 		wireBytes += frameHeaderSize + n
 		if m := t.m; m != nil {
 			m.FramesRead.Inc()
 			m.BytesRead.Add(int64(frameHeaderSize + n))
-			if kind != msgData {
+			if kind != msgData && kind != msgBatch {
 				m.MetaRead.Inc()
 			}
 		}
@@ -444,52 +817,83 @@ func (t *Reader) ReadMessage() (*Message, error) {
 					m.ChecksumFailures.Inc()
 					m.Trace.Emit("transport", "checksum_failure", fmt.Sprintf("format %d kind %d", id, kind))
 				}
-				return nil, err
+				return err
 			}
 			n = len(body)
 		}
 		switch kind {
 		case msgMeta:
-			f, _, err := wire.DecodeMeta(body)
-			if err != nil {
-				return nil, fmt.Errorf("transport: decode meta: %w: %w", err, ErrCorruptFrame)
+			var f *wire.Format
+			var err error
+			if t.metaCache != nil {
+				f, err = t.metaCache.Decode(body)
+			} else {
+				f, _, err = wire.DecodeMeta(body)
 			}
-			if err := t.formats.Bind(id, f); err != nil {
-				return nil, fmt.Errorf("%w: %w", err, ErrProtocol)
+			if err != nil {
+				return fmt.Errorf("transport: decode meta: %w: %w", err, ErrCorruptFrame)
+			}
+			// DecodeMeta (and therefore the cache) validates, so the
+			// cheaper bind applies.
+			if err := t.formats.BindValidated(id, f); err != nil {
+				return fmt.Errorf("%w: %w", err, ErrProtocol)
 			}
 			if m := t.m; m != nil {
 				m.Trace.Emit("transport", "format_learned", f.Name)
 			}
 		case msgMetaRef:
 			if t.resolver == nil {
-				return nil, fmt.Errorf("transport: stream uses a format server but no resolver is configured: %w", ErrProtocol)
+				return fmt.Errorf("transport: stream uses a format server but no resolver is configured: %w", ErrProtocol)
 			}
 			if n != 8 {
-				return nil, fmt.Errorf("transport: meta reference payload %d bytes, want 8: %w", n, ErrCorruptFrame)
+				return fmt.Errorf("transport: meta reference payload %d bytes, want 8: %w", n, ErrCorruptFrame)
 			}
 			gid := wire.BeUint64(body)
 			f, err := t.resolver(gid)
 			if err != nil {
-				return nil, fmt.Errorf("transport: resolving format %#x: %w: %w", gid, err, ErrFormatUnknown)
+				return fmt.Errorf("transport: resolving format %#x: %w: %w", gid, err, ErrFormatUnknown)
 			}
 			if err := t.formats.Bind(id, f); err != nil {
-				return nil, fmt.Errorf("%w: %w", err, ErrProtocol)
+				return fmt.Errorf("%w: %w", err, ErrProtocol)
 			}
 		case msgData:
 			f := t.formats.Lookup(id)
 			if f == nil {
-				return nil, fmt.Errorf("transport: data for unknown format ID %d (data before meta): %w", id, ErrProtocol)
+				return fmt.Errorf("transport: data for unknown format ID %d (data before meta): %w", id, ErrProtocol)
 			}
 			if n != f.Size {
-				return nil, fmt.Errorf("transport: record %d bytes, format %q is %d: %w", n, f.Name, f.Size, ErrCorruptFrame)
+				return fmt.Errorf("transport: record %d bytes, format %q is %d: %w", n, f.Name, f.Size, ErrCorruptFrame)
 			}
-			msg := &Message{FormatID: id, Format: f, Data: body, WireBytes: wireBytes}
+			*m = Message{FormatID: id, Format: f, Data: body, WireBytes: wireBytes}
 			if t.stampArrivals {
-				msg.Arrival = time.Now()
+				m.Arrival = time.Now()
 			}
-			return msg, nil
+			return nil
+		case msgBatch:
+			f := t.formats.Lookup(id)
+			if f == nil {
+				return fmt.Errorf("transport: batch for unknown format ID %d (data before meta): %w", id, ErrProtocol)
+			}
+			if n == 0 || n%f.Size != 0 {
+				return fmt.Errorf("transport: batch payload %d bytes not a positive multiple of format %q size %d: %w", n, f.Name, f.Size, ErrCorruptFrame)
+			}
+			if m := t.m; m != nil {
+				m.BatchFramesRead.Inc()
+				m.BatchRecordsRead.Add(int64(n / f.Size))
+				m.BatchBytesRead.Add(int64(n))
+			}
+			t.pending = body
+			t.pendingFmt = f
+			t.pendingID = id
+			if t.stampArrivals {
+				t.pendingArrival = time.Now()
+			} else {
+				t.pendingArrival = time.Time{}
+			}
+			t.nextBatched(m, wireBytes)
+			return nil
 		default:
-			return nil, fmt.Errorf("transport: unknown message kind %d: %w", kind, ErrProtocol)
+			return fmt.Errorf("transport: unknown message kind %d: %w", kind, ErrProtocol)
 		}
 	}
 }
@@ -497,4 +901,4 @@ func (t *Reader) ReadMessage() (*Message, error) {
 // Formats exposes the formats learned from the stream so far (PBIO's
 // reflection support: "message formats can be inspected before the
 // message is received").
-func (t *Reader) Formats() *wire.Registry { return t.formats }
+func (t *Reader) Formats() *wire.Registry { return &t.formats }

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/abi"
 )
@@ -117,6 +119,17 @@ type Format struct {
 	Order  abi.Endian // byte order of all multi-byte fields
 	Size   int        // total record size including trailing padding
 	Fields []Field
+
+	// fp caches Fingerprint as a *string.  Formats are immutable once
+	// built, and the fingerprint is consulted on hot paths (registry
+	// dedup, conversion caches), so it is computed at most once per
+	// format and shared — atomically, because one Format pointer is
+	// shared across streams by the transport meta cache.  A raw pointer
+	// with atomic loads/stores rather than atomic.Pointer so Format
+	// values stay copyable (a copy shares or re-derives the cache,
+	// either is correct).  Callers that mutate a Format after
+	// construction (none in-tree) must treat it as a new value.
+	fp unsafe.Pointer
 }
 
 // Layout computes the concrete Format a C compiler for arch would give the
@@ -295,11 +308,18 @@ func SameLayout(a, b *Format) bool {
 }
 
 // Fingerprint returns a canonical string identifying the format's layout,
-// usable as a cache key for conversion plans and generated programs.
+// usable as a cache key for conversion plans and generated programs.  The
+// string is computed once per Format and cached, so steady-state cache
+// lookups keyed on it do not allocate.
 func (f *Format) Fingerprint() string {
+	if p := (*string)(atomic.LoadPointer(&f.fp)); p != nil {
+		return *p
+	}
 	var b strings.Builder
 	f.fingerprint(&b)
-	return b.String()
+	s := b.String()
+	atomic.StorePointer(&f.fp, unsafe.Pointer(&s))
+	return s
 }
 
 func (f *Format) fingerprint(b *strings.Builder) {

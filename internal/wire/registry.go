@@ -11,7 +11,10 @@ import (
 // meta-information before its first record; the reader registers received
 // meta blocks under the sender's IDs.
 //
-// A Registry is safe for concurrent use.
+// The zero value is ready to use (maps are allocated on first insert), so
+// a Registry can be embedded by value in per-stream readers and writers
+// without its own heap allocation.  A Registry is safe for concurrent
+// use.
 type Registry struct {
 	mu      sync.RWMutex
 	byID    map[uint32]*Format
@@ -21,13 +24,7 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.  IDs start at 1; 0 is reserved as
 // "no format".
-func NewRegistry() *Registry {
-	return &Registry{
-		byID:    make(map[uint32]*Format),
-		byPrint: make(map[string]uint32),
-		nextID:  1,
-	}
-}
+func NewRegistry() *Registry { return &Registry{} }
 
 // Register assigns an ID to the format, or returns the existing ID if a
 // format with an identical layout was already registered.  The second
@@ -43,6 +40,13 @@ func (r *Registry) Register(f *Format) (id uint32, added bool, err error) {
 	if id, ok := r.byPrint[fp]; ok {
 		return id, false, nil
 	}
+	if r.byID == nil {
+		r.byID = make(map[uint32]*Format)
+		r.byPrint = make(map[string]uint32)
+	}
+	if r.nextID == 0 {
+		r.nextID = 1
+	}
 	id = r.nextID
 	r.nextID++
 	r.byID[id] = f
@@ -55,11 +59,20 @@ func (r *Registry) Register(f *Format) (id uint32, added bool, err error) {
 // different layout is an error; rebinding to an identical layout is a
 // harmless no-op.
 func (r *Registry) Bind(id uint32, f *Format) error {
-	if id == 0 {
-		return fmt.Errorf("wire: cannot bind format ID 0")
-	}
 	if err := f.Validate(); err != nil {
 		return err
+	}
+	return r.BindValidated(id, f)
+}
+
+// BindValidated is Bind for formats already known to be valid — a format
+// the caller just built with Layout, or one that came out of DecodeMeta
+// (which validates before returning).  It skips re-validation and the
+// writer-side fingerprint index, which keeps a fresh reader's first-meta
+// cost to the byID insert alone.
+func (r *Registry) BindValidated(id uint32, f *Format) error {
+	if id == 0 {
+		return fmt.Errorf("wire: cannot bind format ID 0")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -69,9 +82,27 @@ func (r *Registry) Bind(id uint32, f *Format) error {
 		}
 		return fmt.Errorf("wire: format ID %d already bound to %q with a different layout", id, old.Name)
 	}
+	if r.byID == nil {
+		r.byID = make(map[uint32]*Format)
+	}
 	r.byID[id] = f
-	r.byPrint[f.Fingerprint()] = id
+	if r.byPrint != nil {
+		// Keep the writer-side dedup index coherent when this registry is
+		// also used for Register; pure readers never allocate it.
+		r.byPrint[f.Fingerprint()] = id
+	}
 	return nil
+}
+
+// Reset forgets every binding, returning the registry to its zero state.
+// Per-stream readers embedded by value use it to re-arm for a new stream
+// without allocating a fresh Registry.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byID = nil
+	r.byPrint = nil
+	r.nextID = 0
 }
 
 // Lookup returns the format bound to id, or nil if unknown.

@@ -1,0 +1,170 @@
+package pbio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// Allocation pins for the four wire-path hot loops.  These are hard
+// regression fences: the numbers encode the zero/near-zero-alloc
+// guarantees the pooled transport and the conversion memos provide, and
+// a change that re-introduces per-record allocation fails here before it
+// shows up in benchmarks.  (AllocsPerRun disables parallelism, so the
+// values are exact, not statistical.)
+
+// allocFields is the benchmark record shape: ~10 KB of doubles.
+var allocFields = []FieldSpec{
+	F("node", Int), F("timestamp", Double), Array("values", Double, 1245),
+}
+
+func TestAllocsSteadyStateWrite(t *testing.T) {
+	ctx := ctxFor(t, "sparc-v8")
+	f, err := ctx.Register("mixed", allocFields...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ctx.NewWriter(io.Discard)
+	rec := f.NewRecord()
+	if err := w.Write(rec); err != nil { // meta + warm-up outside the measurement
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 0 {
+		t.Errorf("steady-state Write allocates %.1f per record, want 0", got)
+	}
+}
+
+func TestAllocsBatchedWrite(t *testing.T) {
+	ctx := ctxFor(t, "sparc-v8")
+	f, err := ctx.Register("tick", F("seq", Int), F("v", Double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ctx.NewWriter(io.Discard)
+	if err := w.SetBatching(1<<16, 0); err != nil {
+		t.Fatal(err)
+	}
+	rec := f.NewRecord()
+	// Warm up: meta frame, batch buffer growth to steady-state capacity.
+	for i := 0; i < 1<<16/f.Size()+2; i++ {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := testing.AllocsPerRun(500, func() {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 0 {
+		t.Errorf("batched Write allocates %.1f per record, want 0 (coalescing copy reuses the pending buffer)", got)
+	}
+}
+
+// streamReader feeds the same encoded stream repeatedly, so a pin test
+// can read an unbounded run of records through one Reader.
+type streamReader struct {
+	raw []byte
+	off int
+}
+
+func (s *streamReader) Read(p []byte) (int, error) {
+	if s.off == len(s.raw) {
+		s.off = 0
+	}
+	n := copy(p, s.raw[s.off:])
+	s.off += n
+	return n, nil
+}
+
+func TestAllocsHomogeneousView(t *testing.T) {
+	ctx := ctxFor(t, "x86")
+	f, err := ctx.Register("mixed", allocFields...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	w := ctx.NewWriter(&stream)
+	// One meta frame, then a long run of records: the steady state is
+	// data frames only.
+	for i := 0; i < 4; i++ {
+		if err := w.Write(f.NewRecord()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Write(f.NewRecord()); err != nil {
+		t.Fatal(err)
+	}
+
+	r := ctx.NewReader(&streamReader{raw: stream.Bytes()})
+	defer r.Close()
+	if _, err := r.Read(); err != nil { // consume meta + first record
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, ok, err := m.View(f)
+		if err != nil || !ok {
+			t.Fatalf("View: %v %v", ok, err)
+		}
+		_ = rec
+	})
+	// Budget: the returned *Record view is the only per-message
+	// allocation left on this path.
+	const budget = 1
+	if got > budget {
+		t.Errorf("homogeneous view costs %.1f allocs per record, budget %d", got, budget)
+	}
+}
+
+func TestAllocsDCGDecode(t *testing.T) {
+	sctx := ctxFor(t, "sparc-v8")
+	sf, err := sctx.Register("mixed", allocFields...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	for i := 0; i < 4; i++ {
+		if err := w.Write(sf.NewRecord()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rctx := ctxFor(t, "x86")
+	rf, err := rctx.Register("mixed", allocFields...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rf.NewRecord()
+	r := rctx.NewReader(&streamReader{raw: stream.Bytes()})
+	defer r.Close()
+	// First read decodes meta, builds and memoizes the DCG program.
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DecodeInto(rf, out); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.DecodeInto(rf, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 0 {
+		t.Errorf("steady-state DCG decode costs %.1f allocs per record, want 0 (memoized program, caller-owned output)", got)
+	}
+}

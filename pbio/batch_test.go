@@ -1,0 +1,222 @@
+package pbio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry/tracectx"
+)
+
+// batchFormat registers a small fixed-size format on ctx.
+func batchFormat(t *testing.T, ctx *Context) *Format {
+	t.Helper()
+	f, err := ctx.Register("tick", F("seq", Int), F("v", Double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBatchedWriteRoundTrip(t *testing.T) {
+	sctx := ctxFor(t, "sparc-v8")
+	f := batchFormat(t, sctx)
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	if err := w.SetBatching(1<<16, 0); err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	want := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		rec := f.NewRecord()
+		rec.MustSetInt("seq", 0, int64(i))
+		rec.MustSetFloat("v", 0, float64(i)*2.5)
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, int64(i))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rctx := ctxFor(t, "x86")
+	rf := batchFormat(t, rctx)
+	r := rctx.NewReader(&stream)
+	defer r.Close()
+	for i := 0; i < n; i++ {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !m.Batched() {
+			t.Errorf("record %d: Batched()=false after coalesced send", i)
+		}
+		rec, err := m.Decode(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq, _ := rec.Int("seq", 0); seq != want[i] {
+			t.Errorf("record %d: seq=%d", i, seq)
+		}
+		if v, _ := rec.Float("v", 0); v != float64(i)*2.5 {
+			t.Errorf("record %d: v=%v", i, v)
+		}
+	}
+}
+
+func TestWriteBatchAPIRoundTrip(t *testing.T) {
+	sctx := ctxFor(t, "sparc-v8")
+	f := batchFormat(t, sctx)
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	recs := make([]*Record, 4)
+	for i := range recs {
+		recs[i] = f.NewRecord()
+		recs[i].MustSetInt("seq", 0, int64(i+10))
+	}
+	if err := w.WriteBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	rctx := ctxFor(t, "x86-64")
+	rf := batchFormat(t, rctx)
+	r := rctx.NewReader(&stream)
+	defer r.Close()
+	for i := range recs {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		rec, err := m.Decode(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq, _ := rec.Int("seq", 0); seq != int64(i+10) {
+			t.Errorf("record %d: seq=%d, want %d", i, seq, i+10)
+		}
+	}
+}
+
+func TestWriteBatchRejectsMixedFormats(t *testing.T) {
+	ctx := ctxFor(t, "x86")
+	f1 := batchFormat(t, ctx)
+	f2, err := ctx.Register("other", F("x", Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ctx.NewWriter(&bytes.Buffer{})
+	err = w.WriteBatch([]*Record{f1.NewRecord(), f2.NewRecord()})
+	if err == nil || !strings.Contains(err.Error(), "mixes formats") {
+		t.Errorf("mixed-format batch: err=%v", err)
+	}
+}
+
+// TestPhaseBatchSpans checks the batching-delay attribution: every
+// sampled record that leaves in a coalesced batch gets a PhaseBatch span
+// covering the buffered window.
+func TestPhaseBatchSpans(t *testing.T) {
+	sctx, tr := traceCtxFor(t, "sparc-v8", "sender")
+	f := batchFormat(t, sctx)
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	if err := w.SetBatching(1<<16, 0); err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	for i := 0; i < n; i++ {
+		rec := f.NewRecord()
+		rec.MustSetInt("seq", 0, int64(i))
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans := spansNamed(tr.Collector().Snapshot(), tracectx.PhaseBatch)
+	if len(spans) != 0 {
+		t.Fatalf("%d batch spans before the flush; records are still pending", len(spans))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	spans = spansNamed(tr.Collector().Snapshot(), tracectx.PhaseBatch)
+	if len(spans) != n {
+		t.Fatalf("got %d batch spans, want %d", len(spans), n)
+	}
+	for i, s := range spans {
+		if s.Trace == 0 || s.Parent == 0 {
+			t.Errorf("span %d: not parented on a sampled trace: %+v", i, s)
+		}
+		if s.Format != "tick" {
+			t.Errorf("span %d: format %q", i, s.Format)
+		}
+		if s.Dur < 0 {
+			t.Errorf("span %d: negative duration %v", i, s.Dur)
+		}
+	}
+	// All records left in one flush: every span shares the batch window.
+	for i := 1; i < len(spans); i++ {
+		if !spans[i].Start.Equal(spans[0].Start) {
+			t.Errorf("span %d starts at %v, span 0 at %v (one batch, one window)", i, spans[i].Start, spans[0].Start)
+		}
+	}
+}
+
+// TestPhaseBatchSpansSizeFlush pins the seq accounting: a size-triggered
+// flush inside WriteRecord must drain exactly the records it flushed.
+func TestPhaseBatchSpansSizeFlush(t *testing.T) {
+	sctx, tr := traceCtxFor(t, "sparc-v8", "sender")
+	f := batchFormat(t, sctx)
+	// Traced records travel under the trace-extended format; size the
+	// batch to hold exactly two of them.
+	rec := f.NewRecord()
+	twf, _, err := f.tracedFormat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	w2 := sctx.NewWriter(&stream)
+	if err := w2.SetBatching(2*twf.Size, 0); err != nil {
+		t.Fatal(err)
+	}
+	base := len(spansNamed(tr.Collector().Snapshot(), tracectx.PhaseBatch))
+	for i := 0; i < 3; i++ {
+		if err := w2.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two records flushed by size; the third is pending.
+	got := len(spansNamed(tr.Collector().Snapshot(), tracectx.PhaseBatch)) - base
+	if got != 2 {
+		t.Fatalf("size flush drained %d batch spans, want 2", got)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got = len(spansNamed(tr.Collector().Snapshot(), tracectx.PhaseBatch)) - base
+	if got != 3 {
+		t.Fatalf("after final flush: %d batch spans, want 3", got)
+	}
+}
+
+func TestBatchedWriterFlushOnDelay(t *testing.T) {
+	sctx := ctxFor(t, "x86")
+	f := batchFormat(t, sctx)
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	if err := w.SetBatching(1<<20, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(f.NewRecord()); err != nil {
+		t.Fatal(err)
+	}
+	first := stream.Len()
+	time.Sleep(3 * time.Millisecond)
+	if err := w.Write(f.NewRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if stream.Len() == first {
+		t.Error("age-triggered flush did not emit the pending records")
+	}
+}

@@ -33,6 +33,10 @@ func (c *Context) CreateFile(path string) (*FileWriter, error) {
 
 // Close flushes buffered records and closes the file.
 func (w *FileWriter) Close() error {
+	if err := w.Writer.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("pbio: flushing batched records to %s: %w", w.f.Name(), err)
+	}
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close()
 		return fmt.Errorf("pbio: flushing %s: %w", w.f.Name(), err)
@@ -58,8 +62,12 @@ func (c *Context) OpenFile(path string) (*FileReader, error) {
 	return &FileReader{Reader: c.NewReader(bufio.NewReader(f)), f: f}, nil
 }
 
-// Close closes the file.
-func (r *FileReader) Close() error { return r.f.Close() }
+// Close releases the reader's pooled receive buffer and closes the
+// file.  Records decoded from it remain valid; zero-copy views do not.
+func (r *FileReader) Close() error {
+	r.Reader.Close()
+	return r.f.Close()
+}
 
 // ReadAll decodes every remaining record in the file into the expected
 // format (a convenience for analysis tools; streaming callers should use

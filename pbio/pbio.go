@@ -195,6 +195,12 @@ type Context struct {
 	cache *dcg.Cache
 	fmtsv *fmtserver.Client // nil: in-band meta (the default)
 
+	// metaCache deduplicates meta decoding across every Reader of this
+	// context, and — because identical meta bytes resolve to one
+	// *wire.Format pointer — makes per-reader conversion memos hit across
+	// streams.
+	metaCache *transport.MetaCache
+
 	// registrarFn/resolverFn adapt fmtsv for the transport layer.  Built
 	// once in NewContext so equipping a Writer/Reader shares the closures
 	// instead of allocating a pair per stream.
@@ -288,10 +294,11 @@ func WithConversion(mode ConvMode) Option {
 // NewContext returns a context with the given options applied.
 func NewContext(opts ...Option) (*Context, error) {
 	c := &Context{
-		arch:  abi.X86x64,
-		mode:  Generated,
-		cache: dcg.NewCache(),
-		plans: make(map[[2]string]*convert.Plan),
+		arch:      abi.X86x64,
+		mode:      Generated,
+		cache:     dcg.NewCache(),
+		metaCache: transport.NewMetaCache(),
+		plans:     make(map[[2]string]*convert.Plan),
 	}
 	for _, o := range opts {
 		if err := o(c); err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/convert"
+	"repro/internal/dcg"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -22,6 +23,24 @@ type Writer struct {
 	// the record's bytes plus the trailing trace field, reused across
 	// writes so tracing steady-state allocates nothing.
 	traceBuf []byte
+
+	// Batching bookkeeping (see SetBatching).  When coalescing is on,
+	// every record passes through the transport's pending batch; writeSeq
+	// numbers them and flushedSeq advances as the flush hook reports
+	// batches leaving, which is how traced records learn the wall-clock
+	// window they spent buffered (pendingTraced, drained in order).
+	batching      bool
+	writeSeq      uint64
+	flushedSeq    uint64
+	pendingTraced []pendingTrace
+}
+
+// pendingTrace remembers a sampled record sitting in the write batch.
+type pendingTrace struct {
+	seq     uint64
+	trace   uint64
+	parent  uint64
+	fmtName string
 }
 
 // NewWriter returns a Writer over w.  The constructor body must stay
@@ -54,6 +73,28 @@ func (w *Writer) EnableChecksums() { w.tw.SetChecksums(true) }
 // bound.
 func (w *Writer) SetTimeout(d time.Duration) { w.tw.SetTimeout(d) }
 
+// SetBatching enables small-record coalescing: consecutive same-format
+// records are buffered and go out as one batch frame when the buffer
+// reaches maxBytes, the format changes, the oldest buffered record is
+// older than maxDelay at the next write, or Flush is called.  Buffered
+// records are invisible to the receiver until flushed — call Flush
+// before waiting on a response.  maxBytes ≤ 0 turns coalescing off
+// (flushing anything pending).
+func (w *Writer) SetBatching(maxBytes int, maxDelay time.Duration) error {
+	if err := w.tw.SetBatching(maxBytes, maxDelay); err != nil {
+		return err
+	}
+	w.batching = maxBytes > 0
+	if w.batching && w.ctx.tracer != nil {
+		w.tw.SetFlushHook(w.noteBatchFlush)
+	}
+	return nil
+}
+
+// Flush emits any records held back by batching.  A no-op when nothing
+// is pending.
+func (w *Writer) Flush() error { return w.tw.Flush() }
+
 // Write transmits one record.
 func (w *Writer) Write(rec *Record) error {
 	if rec.fmt.ctx != w.ctx {
@@ -65,31 +106,85 @@ func (w *Writer) Write(rec *Record) error {
 	if err := w.tw.WriteRecord(rec.fmt.wf, rec.rec.Buf); err != nil {
 		return err
 	}
+	if w.batching {
+		w.writeSeq++
+	}
 	rec.fmt.met.sent.Inc()
+	return nil
+}
+
+// WriteBatch transmits a run of same-format records as a single batch
+// frame, bypassing the coalescing copy: the records' native images go
+// out in one vectored write.  Records buffered by SetBatching are
+// flushed first, preserving order.  Batched sends are never sampled for
+// tracing — the per-record trace field would break the fixed-stride
+// layout batch frames rely on.
+func (w *Writer) WriteBatch(recs []*Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	f := recs[0].fmt
+	if f.ctx != w.ctx {
+		return fmt.Errorf("pbio: record's format belongs to a different context")
+	}
+	bufs := make([][]byte, len(recs))
+	for i, rec := range recs {
+		if rec.fmt != f {
+			return fmt.Errorf("pbio: batch mixes formats %q and %q", f.Name(), rec.fmt.Name())
+		}
+		bufs[i] = rec.rec.Buf
+	}
+	if err := w.tw.WriteBatch(f.wf, bufs); err != nil {
+		return err
+	}
+	f.met.sent.Add(int64(len(recs)))
 	return nil
 }
 
 // Reader receives records from a byte stream.  A Reader is not safe for
 // concurrent use.
+//
+// Close releases the reader's pooled receive buffer; messages, views and
+// anything else aliasing it are invalid afterwards.  Closing is optional
+// (an unclosed reader's buffer is simply garbage-collected) but keeps
+// buffer churn off short-lived streams.
 type Reader struct {
 	ctx *Context
-	tr  *transport.Reader
+	tr  transport.Reader // embedded by value: one allocation per Reader, total
+
+	// cur is the reusable message Read returns.  A Message is only valid
+	// until the next Read (its data aliases the receive buffer), so one
+	// struct serves the reader's lifetime and the steady-state read path
+	// allocates nothing.
+	cur Message
 
 	// traceOffs caches the trace-field offset per incoming wire format
 	// (-1: format carries no trace field), so the per-message receive
 	// check is one map hit.
 	traceOffs map[*wire.Format]int
+
+	// Conversion memo: the last (wire format, expected format) pair this
+	// reader converted and the program/plan that did it.  Streams deliver
+	// long runs of one format, and the shared meta cache makes wire
+	// format pointers stable across streams, so pointer equality hits
+	// nearly always and skips the conversion-cache lock and map.
+	memoWF   *wire.Format
+	memoNF   *wire.Format
+	memoProg *dcg.Program
+	memoPlan *convert.Plan
 }
 
 // NewReader returns a Reader over r.  Like NewWriter, the body stays
 // within the inlining budget; optional wiring lives in equipReader.
 func (c *Context) NewReader(r io.Reader) *Reader {
-	tr := transport.NewReader(r)
-	c.equipReader(tr)
-	return &Reader{ctx: c, tr: tr}
+	rd := &Reader{ctx: c}
+	rd.tr.Reset(r)
+	c.equipReader(&rd.tr)
+	return rd
 }
 
 func (c *Context) equipReader(tr *transport.Reader) {
+	tr.SetMetaCache(c.metaCache)
 	if c.resolverFn != nil {
 		tr.SetResolver(c.resolverFn)
 	}
@@ -108,15 +203,26 @@ func (c *Context) equipReader(tr *transport.Reader) {
 // bound.
 func (r *Reader) SetTimeout(d time.Duration) { r.tr.SetTimeout(d) }
 
+// Close returns the reader's pooled receive buffer to the buffer pool;
+// subsequent reads fail and previously returned messages (including
+// zero-copy views) are invalid.  It never touches the underlying stream.
+func (r *Reader) Close() error { return r.tr.Close() }
+
 // Read returns the next message.  It returns io.EOF at a clean end of
 // stream.
+//
+// The returned Message is owned by the Reader and reused by the next
+// Read call — the same lifetime its data already had (it aliases the
+// receive buffer).  Decode into an owned Record (or struct) to keep a
+// record longer.
 func (r *Reader) Read() (*Message, error) {
-	m, err := r.tr.ReadMessage()
-	if err != nil {
+	msg := &r.cur
+	msg.ctx, msg.r = r.ctx, r
+	msg.tc, msg.traced = wire.TraceContext{}, false
+	if err := r.tr.ReadMessageInto(&msg.msg); err != nil {
 		return nil, err
 	}
 	r.ctx.met.recordsRecv.Inc()
-	msg := &Message{ctx: r.ctx, msg: m}
 	if tr := r.ctx.tracer; tr != nil {
 		r.noteArrival(msg, tr)
 	}
@@ -125,11 +231,13 @@ func (r *Reader) Read() (*Message, error) {
 
 // Message is one received record: the sender's native bytes plus the
 // sender's format description.  The underlying data aliases the Reader's
-// receive buffer and is valid until the next Read call; Decode into an
-// owned Record (or struct) to keep it longer.
+// receive buffer, and the Message itself is reused by the Reader: both
+// are valid until the next Read call.  Decode into an owned Record (or
+// struct) to keep it longer.
 type Message struct {
 	ctx *Context
-	msg *transport.Message
+	r   *Reader // conversion memo lives on the reader; nil in tests that fake messages
+	msg transport.Message
 
 	// Wire-carried trace context (see trace.go).  traced is set only when
 	// the sender sampled this record and this context has tracing enabled.
@@ -143,6 +251,9 @@ func (m *Message) FormatName() string { return m.msg.Format.Name }
 // WireSize returns the size in bytes of the record as transmitted (the
 // sender's native size).
 func (m *Message) WireSize() int { return m.msg.Format.Size }
+
+// Batched reports whether the record arrived inside a batch frame.
+func (m *Message) Batched() bool { return m.msg.Batched }
 
 // Fields describes the incoming format — PBIO's reflection support:
 // receivers can inspect messages they have no a-priori knowledge of and
@@ -200,6 +311,38 @@ func (m *Message) View(expected *Format) (rec *Record, ok bool, err error) {
 	return rec, true, nil
 }
 
+// program returns the generated conversion program from the message's
+// wire format to nf, consulting the reader's memo before the shared
+// cache.
+func (m *Message) program(nf *wire.Format) (*dcg.Program, error) {
+	if r := m.r; r != nil && r.memoWF == m.msg.Format && r.memoNF == nf && r.memoProg != nil {
+		return r.memoProg, nil
+	}
+	prog, err := m.ctx.cache.Get(m.msg.Format, nf)
+	if err != nil {
+		return nil, err
+	}
+	if r := m.r; r != nil {
+		r.memoWF, r.memoNF, r.memoProg, r.memoPlan = m.msg.Format, nf, prog, nil
+	}
+	return prog, nil
+}
+
+// interpPlan is program's counterpart for the interpreted engine.
+func (m *Message) interpPlan(nf *wire.Format) (*convert.Plan, error) {
+	if r := m.r; r != nil && r.memoWF == m.msg.Format && r.memoNF == nf && r.memoPlan != nil {
+		return r.memoPlan, nil
+	}
+	plan, err := m.ctx.plan(m.msg.Format, nf)
+	if err != nil {
+		return nil, err
+	}
+	if r := m.r; r != nil {
+		r.memoWF, r.memoNF, r.memoPlan, r.memoProg = m.msg.Format, nf, plan, nil
+	}
+	return plan, nil
+}
+
 // convert runs the context's conversion engine from the message buffer
 // into dst.
 func (m *Message) convert(expected *Format, dst []byte) error {
@@ -213,7 +356,7 @@ func (m *Message) convert(expected *Format, dst []byte) error {
 		// The interpreted baseline still computes its field table once
 		// per wire format (as pre-DCG PBIO did); only the per-record
 		// execution is interpreted.
-		plan, err := m.ctx.plan(m.msg.Format, expected.wf)
+		plan, err := m.interpPlan(expected.wf)
 		if err != nil {
 			return err
 		}
@@ -233,7 +376,7 @@ func (m *Message) convert(expected *Format, dst []byte) error {
 		}
 		return it.Convert(dst, m.msg.Data)
 	default:
-		prog, err := m.ctx.cache.Get(m.msg.Format, expected.wf)
+		prog, err := m.program(expected.wf)
 		if err != nil {
 			return err
 		}

@@ -122,10 +122,23 @@ func (w *Writer) writeTraced(rec *Record, tr *tracectx.Tracer) error {
 		ParentSpan: root,
 		SendUnixNs: uint64(t1.UnixNano()),
 	})
+	if w.batching {
+		// Enroll before the write: a size-triggered flush inside
+		// WriteRecord must find this record in pendingTraced so its
+		// batch span is drained with the batch it actually left in (see
+		// noteBatchFlush; seq numbering keeps a format-change flush of
+		// the *previous* batch from draining it early).
+		w.pendingTraced = append(w.pendingTraced, pendingTrace{
+			seq: w.writeSeq + 1, trace: traceID, parent: root, fmtName: f.wf.Name,
+		})
+	}
 	err = w.tw.WriteRecord(twf, buf)
 	t2 := time.Now()
 	if err != nil {
 		return err
+	}
+	if w.batching {
+		w.writeSeq++
 	}
 	f.met.sent.Inc()
 	name := f.wf.Name
@@ -136,6 +149,33 @@ func (w *Writer) writeTraced(rec *Record, tr *tracectx.Tracer) error {
 	tr.Record(tracectx.Span{Trace: traceID, ID: root,
 		Name: tracectx.PhaseSend, Start: t0, Dur: t2.Sub(t0), Format: name})
 	return nil
+}
+
+// noteBatchFlush is the transport flush hook (installed by SetBatching
+// when tracing is on): records flushed, payload bytes, and the
+// wall-clock window from first buffering to the flush.  Every sampled
+// record that left in this batch gets a PhaseBatch span covering that
+// window — the batching delay the record actually experienced, the cost
+// side of the header-amortization trade.
+func (w *Writer) noteBatchFlush(records, payloadBytes int, start, end time.Time) {
+	w.flushedSeq += uint64(records)
+	tr := w.ctx.tracer
+	drained := 0
+	for _, p := range w.pendingTraced {
+		if p.seq > w.flushedSeq {
+			break
+		}
+		drained++
+		if tr == nil {
+			continue
+		}
+		tr.Record(tracectx.Span{Trace: p.trace, ID: tr.NewID(), Parent: p.parent,
+			Name: tracectx.PhaseBatch, Start: start, Dur: end.Sub(start), Format: p.fmtName})
+	}
+	if drained > 0 {
+		rest := copy(w.pendingTraced, w.pendingTraced[drained:])
+		w.pendingTraced = w.pendingTraced[:rest]
+	}
 }
 
 // noteArrival inspects a just-received message for wire-level trace
