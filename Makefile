@@ -41,6 +41,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime 20s ./internal/transport/
 	$(GO) test -run xxx -fuzz FuzzReadMessage -fuzztime 20s ./internal/transport/
 	$(GO) test -run xxx -fuzz FuzzDecodeMeta -fuzztime 20s ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzSubscriptionFrame -fuzztime 20s ./internal/transport/
 
 # bench runs the perf-trajectory benchmarks (pbio public API + DCG
 # engine) and stores them as a machine-readable artifact.  BENCHTIME

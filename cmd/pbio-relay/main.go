@@ -13,16 +13,28 @@
 // decoding them — records are held only while more input is already
 // buffered, so coalescing adds no latency.
 //
+// Relays chain into fan-out trees: with -uplink the relay attaches below
+// another relay's consumer port, subscribing to the live union of what
+// its own consumers want (or a fixed -subscribe list) and ingesting the
+// upstream stream as if it were a local producer.  Each consumer gets a
+// bounded queue (-queue) whose overflow behavior is -queue-policy:
+// disconnect the slow consumer (default, the historical behavior),
+// drop-oldest (keep the consumer, evict and count the oldest data), or
+// block (lossless; the slowest consumer paces the stream).
+//
 // Usage:
 //
 //	pbio-relay -producers 127.0.0.1:7850 -consumers 127.0.0.1:7851 \
 //	    -timeout 30s -checksum-meta -stats 10s -metrics-addr 127.0.0.1:9850
 //
+//	pbio-relay -consumers 127.0.0.1:7861 -uplink 127.0.0.1:7851 \
+//	    -subscribe temps,events -queue 512 -queue-policy drop-oldest
+//
 // With -metrics-addr the relay serves its observability surface over
 // HTTP: /metrics (Prometheus text exposition of frame, byte and
-// checksum-failure counters), /debug/vars (the same as JSON),
-// /debug/trace (recent wire-level trace events) and /debug/pprof/
-// (net/http/pprof profiling).
+// checksum-failure counters plus queue-depth and drop gauges),
+// /debug/vars (the same as JSON), /debug/trace (recent wire-level trace
+// events) and /debug/pprof/ (net/http/pprof profiling).
 package main
 
 import (
@@ -30,14 +42,24 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"strings"
 	"time"
 
 	"repro/internal/relay"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracectx"
+	"repro/internal/transport"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pbio-relay: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	prod := flag.String("producers", "127.0.0.1:7850", "address producers connect to")
 	cons := flag.String("consumers", "127.0.0.1:7851", "address consumers connect to")
 	timeout := flag.Duration("timeout", 0, "per-frame producer read / consumer write bound (0 = none)")
@@ -46,20 +68,44 @@ func main() {
 	statsEvery := flag.Duration("stats", 0, "print relay stats at this interval (0 = never)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (empty = disabled)")
 	traceRate := flag.Float64("trace-rate", 0, "participate in cross-hop traces: record a relay span for every forwarded frame carrying wire trace context (any rate > 0 enables; spans served at /debug/trace.json on -metrics-addr)")
+	uplink := flag.String("uplink", "", "attach below an upstream relay: its consumer address to dial (empty = this relay is a root)")
+	subscribe := flag.String("subscribe", "", "comma-separated format names to subscribe the -uplink to (empty = auto: the live union of what this relay's own consumers want)")
+	queue := flag.Int("queue", 0, "per-consumer queue capacity in frames (0 = default 256)")
+	queuePolicy := flag.String("queue-policy", "disconnect", "full-queue policy: disconnect, drop-oldest or block")
 	flag.Parse()
+
+	policy, err := relay.ParseQueuePolicy(*queuePolicy)
+	if err != nil {
+		return err
+	}
+	var static *transport.Subscription
+	if *subscribe != "" {
+		if *uplink == "" {
+			return fmt.Errorf("-subscribe requires -uplink")
+		}
+		names := strings.Split(*subscribe, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+			if names[i] == "" {
+				return fmt.Errorf("-subscribe has an empty format name")
+			}
+		}
+		static = &transport.Subscription{Names: names}
+	}
 
 	pln, err := net.Listen("tcp", *prod)
 	if err != nil {
-		log.Fatalf("pbio-relay: %v", err)
+		return err
 	}
 	cln, err := net.Listen("tcp", *cons)
 	if err != nil {
-		log.Fatalf("pbio-relay: %v", err)
+		return err
 	}
 	s := relay.NewServer()
 	s.SetTimeouts(*timeout, *timeout)
 	s.SetChecksums(*sums)
 	s.SetRebatching(*rebatch)
+	s.SetQueue(*queue, policy)
 	var tracer *tracectx.Tracer
 	if *traceRate > 0 {
 		// The relay never samples — it records spans for whatever trace
@@ -74,9 +120,12 @@ func main() {
 		tracer.ExportMetrics(reg)
 		mln, err := telemetry.Serve(*metricsAddr, reg)
 		if err != nil {
-			log.Fatalf("pbio-relay: %v", err)
+			return err
 		}
 		fmt.Printf("pbio-relay: metrics on %s\n", mln.Addr())
+	}
+	if *uplink != "" {
+		go runUplink(s, *uplink, static)
 	}
 	if *statsEvery > 0 {
 		go func() {
@@ -84,10 +133,10 @@ func main() {
 				st := s.Stats()
 				log.Printf("pbio-relay: %d frames, %d bytes forwarded, %d formats; "+
 					"%d bad producers, %d resyncs, %d checksum failures, "+
-					"%d dropped consumers, %d meta replays",
+					"%d dropped consumers, %d disconnects, %d queue-dropped frames, %d meta replays",
 					st.Frames, st.ForwardedBytes, s.Formats(),
 					st.BadProducers, st.Resyncs, st.ChecksumFailures,
-					st.DroppedConsumers, st.MetaReplays)
+					st.DroppedConsumers, st.Disconnects, st.QueueDroppedFrames, st.MetaReplays)
 				if st.LastProducerError != "" {
 					log.Printf("pbio-relay: last producer error: %s", st.LastProducerError)
 				}
@@ -95,5 +144,30 @@ func main() {
 		}()
 	}
 	fmt.Printf("pbio-relay: producers on %s, consumers on %s\n", pln.Addr(), cln.Addr())
-	log.Fatal(s.Serve(pln, cln))
+	return s.Serve(pln, cln)
+}
+
+// runUplink keeps the relay attached below its upstream, redialing with
+// backoff whenever the link drops.  The subscription (static want-list
+// or live downstream union) is re-sent on every new connection.
+func runUplink(s *relay.Server, addr string, static *transport.Subscription) {
+	for backoff := time.Second; ; {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			log.Printf("pbio-relay: uplink dial %s: %v (retrying in %v)", addr, err, backoff)
+			time.Sleep(backoff)
+			if backoff < 30*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = time.Second
+		log.Printf("pbio-relay: uplink attached to %s", addr)
+		if err := s.RunUplink(conn, static); err != nil {
+			log.Printf("pbio-relay: uplink: %v", err)
+			return // relay closed; no point redialing
+		}
+		log.Printf("pbio-relay: uplink to %s lost (redialing)", addr)
+		time.Sleep(backoff)
+	}
 }

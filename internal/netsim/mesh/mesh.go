@@ -1,0 +1,182 @@
+// Package mesh is the in-process relay mesh harness.
+//
+// The analytic models in this package answer "what would the wire cost
+// be"; the mesh harness answers "does the relay tree actually behave" —
+// it stands up a producer → root → leaf fan-out tree of real relay
+// servers connected by net.Pipe, so a single test process can host tens
+// of thousands of consumers with no sockets, no ports, and no file
+// descriptors.  Every hop gets its own telemetry registry and its own
+// tracer (proc = hop ID), so per-hop queue depths, drops, and relay
+// spans stay attributable after frames cross hops.
+package mesh
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/relay"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracectx"
+)
+
+// Hop is one relay in a mesh, with its hop-local observability.
+type Hop struct {
+	// ID names the hop's position: "hop-<level>-<index>", level 0 being
+	// the root.  It is the tracer's proc, so spans recorded at this hop
+	// carry the hop ID as their process label.
+	ID       string
+	Relay    *relay.Server
+	Registry *telemetry.Registry
+	Tracer   *tracectx.Tracer
+}
+
+// Config shapes a fan-out tree.
+type Config struct {
+	// Shape is relays per level, root first — e.g. {1, 4, 16} is a
+	// 3-level tree with one root, 4 mid relays and 16 leaves.  Every
+	// relay at level i+1 uplinks to level-i relay (index / (len(i+1
+	// level)/len(i level))) — children are spread evenly over parents.
+	Shape []int
+
+	// QueueCap and Policy configure every hop's per-consumer queues.
+	// QueueCap ≤ 0 keeps the relay default.
+	QueueCap int
+	Policy   relay.QueuePolicy
+
+	// TraceRate, when positive, attaches a tracer to every hop sampling
+	// at this rate; TraceCap bounds each hop's span buffer (default
+	// 4096).
+	TraceRate float64
+	TraceCap  int
+}
+
+// Tree is a running in-process relay tree.
+type Tree struct {
+	Levels [][]*Hop
+
+	mu        sync.Mutex
+	attached  []net.Conn // harness-side pipe ends we must close
+	uplinksWG sync.WaitGroup
+	closed    bool
+}
+
+// New builds and starts a relay tree.  Each child relay is attached
+// below its parent with an auto-mode uplink (it advertises its live
+// downstream union), so by default every hop forwards everything — the
+// state of a tree whose consumers have not subscribed yet.
+func New(cfg Config) (*Tree, error) {
+	if len(cfg.Shape) == 0 {
+		return nil, fmt.Errorf("mesh: mesh needs at least one level")
+	}
+	traceCap := cfg.TraceCap
+	if traceCap <= 0 {
+		traceCap = 4096
+	}
+	m := &Tree{}
+	for level, n := range cfg.Shape {
+		if n < 1 {
+			return nil, fmt.Errorf("mesh: mesh level %d has %d relays", level, n)
+		}
+		if level > 0 && n < len(m.Levels[level-1]) {
+			return nil, fmt.Errorf("mesh: mesh level %d narrower (%d) than its parent level (%d)", level, n, len(m.Levels[level-1]))
+		}
+		hops := make([]*Hop, n)
+		for i := range hops {
+			h := &Hop{
+				ID:       fmt.Sprintf("hop-%d-%d", level, i),
+				Relay:    relay.NewServer(),
+				Registry: telemetry.NewRegistry(),
+			}
+			if cfg.QueueCap > 0 || cfg.Policy != relay.PolicyDisconnect {
+				h.Relay.SetQueue(cfg.QueueCap, cfg.Policy)
+			}
+			h.Relay.SetTelemetry(h.Registry)
+			if cfg.TraceRate > 0 {
+				h.Tracer = tracectx.New(h.ID, cfg.TraceRate, traceCap)
+				h.Relay.SetTracing(h.Tracer)
+				h.Tracer.ExportMetrics(h.Registry)
+			}
+			hops[i] = h
+			if level > 0 {
+				parent := m.Levels[level-1][i*len(m.Levels[level-1])/n]
+				childEnd, parentEnd := net.Pipe()
+				if !parent.Relay.AddConsumerConn(parentEnd) {
+					return nil, fmt.Errorf("mesh: parent of %s refused uplink", h.ID)
+				}
+				m.uplinksWG.Add(1)
+				go func(h *Hop, conn net.Conn) {
+					defer m.uplinksWG.Done()
+					h.Relay.RunUplink(conn, nil)
+				}(h, childEnd)
+			}
+		}
+		m.Levels = append(m.Levels, hops)
+	}
+	return m, nil
+}
+
+// Root returns the tree's root hop.
+func (m *Tree) Root() *Hop { return m.Levels[0][0] }
+
+// Leaves returns the bottom level of the tree.
+func (m *Tree) Leaves() []*Hop { return m.Levels[len(m.Levels)-1] }
+
+// Hops returns every hop, root first.
+func (m *Tree) Hops() []*Hop {
+	var out []*Hop
+	for _, level := range m.Levels {
+		out = append(out, level...)
+	}
+	return out
+}
+
+// AttachProducer connects a new producer to a hop (normally the root)
+// and returns the producer's end of the pipe.  Close it to detach.
+func (m *Tree) AttachProducer(h *Hop) net.Conn {
+	local, remote := net.Pipe()
+	h.Relay.AddProducerConn(remote)
+	m.track(local)
+	return local
+}
+
+// AttachConsumer connects a new consumer to a hop (normally a leaf) and
+// returns the consumer's end of the pipe, registered for broadcasts
+// before AttachConsumer returns.  Returns nil if the hop is closed.
+func (m *Tree) AttachConsumer(h *Hop) net.Conn {
+	local, remote := net.Pipe()
+	if !h.Relay.AddConsumerConn(remote) {
+		local.Close()
+		return nil
+	}
+	m.track(local)
+	return local
+}
+
+func (m *Tree) track(c net.Conn) {
+	m.mu.Lock()
+	m.attached = append(m.attached, c)
+	m.mu.Unlock()
+}
+
+// Close tears the tree down: every attached producer/consumer pipe end,
+// then every relay (which closes its consumer and uplink connections,
+// unwinding the uplink goroutines).  Blocks until all uplinks exit.
+func (m *Tree) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	attached := m.attached
+	m.attached = nil
+	m.mu.Unlock()
+	for _, c := range attached {
+		c.Close()
+	}
+	for _, h := range m.Hops() {
+		h.Relay.Close()
+	}
+	m.uplinksWG.Wait()
+}

@@ -1,0 +1,269 @@
+package relay
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// QueuePolicy decides what happens when a consumer's bounded queue is
+// full at enqueue time.  Whatever the choice, a slow consumer can no
+// longer make the relay buffer without bound: the queue is the whole
+// budget that consumer gets.
+type QueuePolicy int
+
+const (
+	// PolicyDisconnect drops the consumer: its queued frames are still
+	// flushed, but the overflowing frame and the connection are gone.
+	// This is the relay's historical behavior and the default.
+	PolicyDisconnect QueuePolicy = iota
+	// PolicyDropOldest evicts the oldest queued *data* frame to admit
+	// the new one — meta frames are never evicted (a consumer that
+	// missed a format's meta can never decode that format again, so
+	// dropping meta is protocol-fatal rather than lossy; meta is rare
+	// and bounded by the format count, so preserving it cannot unbound
+	// the queue in any practical stream).  The consumer stays connected
+	// and always sees the newest data; every evicted frame (and the
+	// records it carried) is counted, never silently lost.
+	PolicyDropOldest
+	// PolicyBlock makes the broadcasting producer wait for space.  No
+	// record is ever lost, at the price the paper's flat-consumer relay
+	// always paid: the slowest subscriber paces the stream.
+	PolicyBlock
+)
+
+// String returns the flag-level spelling of the policy.
+func (p QueuePolicy) String() string {
+	switch p {
+	case PolicyDisconnect:
+		return "disconnect"
+	case PolicyDropOldest:
+		return "drop-oldest"
+	case PolicyBlock:
+		return "block"
+	}
+	return fmt.Sprintf("QueuePolicy(%d)", int(p))
+}
+
+// ParseQueuePolicy parses the flag-level spelling of a policy.
+func ParseQueuePolicy(s string) (QueuePolicy, error) {
+	switch s {
+	case "disconnect":
+		return PolicyDisconnect, nil
+	case "drop-oldest":
+		return PolicyDropOldest, nil
+	case "block":
+		return PolicyBlock, nil
+	}
+	return 0, fmt.Errorf("relay: unknown queue policy %q (want disconnect, drop-oldest or block)", s)
+}
+
+// pushResult reports how an enqueue resolved.
+type pushResult int
+
+const (
+	pushOK       pushResult = iota
+	pushOverflow            // full under PolicyDisconnect: caller drops the consumer
+	pushClosed              // queue closed; frame was released
+)
+
+// frameQueue is one consumer's bounded frame buffer: a mutex-guarded
+// ring with condition variables on both edges.  A channel cannot express
+// drop-oldest (no way to evict the head) or exact accounting of what was
+// evicted, so the queue is explicit.
+//
+// Ownership: push takes the frame's pooled-payload reference.  Frames
+// that never reach pop — evicted, or pushed after close — are released
+// inside the queue, so every reference is balanced no matter how the
+// consumer dies.
+type frameQueue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+
+	buf    []outFrame
+	head   int // index of the oldest frame
+	n      int // frames queued
+	policy QueuePolicy
+	closed bool
+
+	// Eviction accounting (PolicyDropOldest), read by Stats and the
+	// queue-depth gauges under mu.
+	droppedFrames  int64
+	droppedRecords int64
+
+	// onEvict, when set, observes every frame evicted by drop-oldest
+	// (called with mu held; must not re-enter the queue) — the relay
+	// uses it to count lost traced records on the tracer.
+	onEvict func(of outFrame)
+}
+
+func newFrameQueue(capacity int, policy QueuePolicy, onEvict func(outFrame)) *frameQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &frameQueue{
+		buf:     make([]outFrame, capacity),
+		policy:  policy,
+		onEvict: onEvict,
+	}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+// push enqueues one frame, resolving a full queue by policy.  It takes
+// ownership of the frame's payload reference: on any outcome other than
+// a successful enqueue the reference is released before returning.
+func (q *frameQueue) push(of outFrame) pushResult {
+	q.mu.Lock()
+	for q.n == len(q.buf) && !q.closed {
+		switch q.policy {
+		case PolicyBlock:
+			q.notFull.Wait()
+			continue
+		case PolicyDropOldest:
+			if q.evictOldestDataLocked() {
+				continue
+			}
+			// Every queued frame is meta.  An incoming meta frame gets
+			// the ring grown for it (meta is bounded by format count);
+			// an incoming data frame is itself the oldest-and-only data
+			// here, so it is the one dropped — counted like any other.
+			if isMetaFrame(of.f) {
+				q.grow()
+				continue
+			}
+			q.droppedFrames++
+			q.droppedRecords += int64(of.recs)
+			of.owner.release()
+			if q.onEvict != nil {
+				q.onEvict(of)
+			}
+			q.mu.Unlock()
+			return pushOK
+		default: // PolicyDisconnect
+			q.mu.Unlock()
+			of.owner.release()
+			return pushOverflow
+		}
+	}
+	if q.closed {
+		q.mu.Unlock()
+		of.owner.release()
+		return pushClosed
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = of
+	q.n++
+	q.notEmpty.Signal()
+	q.mu.Unlock()
+	return pushOK
+}
+
+// isMetaFrame reports whether a frame carries format meta-information —
+// the frames drop-oldest must preserve.
+func isMetaFrame(f transport.Frame) bool {
+	k := f.BaseKind()
+	return k == transport.FrameMeta || k == transport.FrameMetaRef
+}
+
+// evictOldestDataLocked removes and accounts the oldest queued data
+// frame, reporting false when only meta frames are queued.  Meta frames
+// older than the victim shift down one slot, so relative order is
+// preserved.  Caller holds mu.
+func (q *frameQueue) evictOldestDataLocked() bool {
+	for k := 0; k < q.n; k++ {
+		i := (q.head + k) % len(q.buf)
+		of := q.buf[i]
+		if isMetaFrame(of.f) {
+			continue
+		}
+		for j := k; j > 0; j-- {
+			q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j-1)%len(q.buf)]
+		}
+		q.buf[q.head] = outFrame{}
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		q.droppedFrames++
+		q.droppedRecords += int64(of.recs)
+		// Releasing and accounting under mu is safe: neither the pool
+		// nor the tracer can re-enter the queue, and holding the lock
+		// keeps evictions strictly ordered with pushes.
+		of.owner.release()
+		if q.onEvict != nil {
+			q.onEvict(of)
+		}
+		return true
+	}
+	return false
+}
+
+// grow doubles the ring, unwinding the wrap.  Only meta preservation can
+// trigger it, so growth is bounded by the stream's format count.
+func (q *frameQueue) grow() {
+	buf := make([]outFrame, 2*len(q.buf))
+	for k := 0; k < q.n; k++ {
+		buf[k] = q.buf[(q.head+k)%len(q.buf)]
+	}
+	q.buf, q.head = buf, 0
+}
+
+// pop dequeues the oldest frame, blocking while the queue is open and
+// empty.  ok is false once the queue is closed and drained — queued
+// frames survive close, so a dropped consumer still flushes what it was
+// promised.
+func (q *frameQueue) pop() (of outFrame, ok bool) {
+	q.mu.Lock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		q.mu.Unlock()
+		return outFrame{}, false
+	}
+	of = q.buf[q.head]
+	q.buf[q.head] = outFrame{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.notFull.Signal()
+	q.mu.Unlock()
+	return of, true
+}
+
+// close marks the queue closed, waking blocked producers and the
+// consumer pump.  Idempotent; queued frames remain poppable.
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+}
+
+// drain releases every queued frame.  Called by the consumer pump when
+// it stops writing (peer gone) so pooled payloads recycle even though
+// the frames will never reach the wire.
+func (q *frameQueue) drain() {
+	for {
+		of, ok := q.pop()
+		if !ok {
+			return
+		}
+		of.owner.release()
+	}
+}
+
+// depth returns the number of queued frames.
+func (q *frameQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// dropped returns the eviction counters (frames, records).
+func (q *frameQueue) dropped() (frames, records int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.droppedFrames, q.droppedRecords
+}

@@ -1,0 +1,255 @@
+package relay
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// dataFrame builds a one-record data frame whose FormatID doubles as a
+// sequence number, riding a refcounted payload so the test can audit
+// reference balance.
+func dataFrame(seq uint32) outFrame {
+	p := &sharedPayload{buf: nil}
+	p.refs.Store(1)
+	return outFrame{
+		f:      transport.Frame{Kind: transport.FrameData, FormatID: seq},
+		owner:  p,
+		recs:   1,
+		traced: 1,
+	}
+}
+
+func metaFrame(seq uint32) outFrame {
+	return outFrame{f: transport.Frame{Kind: transport.FrameMeta, FormatID: seq}}
+}
+
+// TestQueueDropOldestProperty drives a small drop-oldest queue through a
+// long randomized push/pop schedule and asserts the policy's contract:
+//
+//   - evictions happen oldest-first — the evicted sequence is strictly
+//     increasing, so a newer record is never dropped before an older one;
+//   - nothing vanishes — every pushed frame is either popped or evicted,
+//     exactly once, and the queue's own drop counters match;
+//   - meta frames are never evicted, whatever the pressure;
+//   - every payload reference is balanced once the queue is drained.
+func TestQueueDropOldestProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var evicted []uint32
+	q := newFrameQueue(4, PolicyDropOldest, func(of outFrame) {
+		evicted = append(evicted, of.f.FormatID)
+	})
+
+	const pushes = 5000
+	var (
+		owners    []*sharedPayload
+		popped    []uint32
+		metaSeqs  = map[uint32]bool{}
+		poppedSet = map[uint32]bool{}
+	)
+	seq := uint32(0)
+	doPop := func() {
+		of, ok := q.pop()
+		if !ok {
+			t.Fatal("pop failed on an open queue with queued frames")
+		}
+		popped = append(popped, of.f.FormatID)
+		of.owner.release()
+	}
+	for i := 0; i < pushes; i++ {
+		var of outFrame
+		if rng.Intn(16) == 0 {
+			of = metaFrame(seq)
+			metaSeqs[seq] = true
+		} else {
+			of = dataFrame(seq)
+			owners = append(owners, of.owner)
+		}
+		seq++
+		if res := q.push(of); res != pushOK {
+			t.Fatalf("push %d: %v", i, res)
+		}
+		// Pop rarely, so the queue lives at capacity and evicts hard.
+		if q.depth() > 0 && rng.Intn(4) == 0 {
+			doPop()
+		}
+	}
+	q.close()
+	for {
+		of, ok := q.pop()
+		if !ok {
+			break
+		}
+		popped = append(popped, of.f.FormatID)
+		of.owner.release()
+	}
+
+	// Oldest-first: strictly increasing eviction order.
+	for i := 1; i < len(evicted); i++ {
+		if evicted[i] <= evicted[i-1] {
+			t.Fatalf("eviction order regressed: %d after %d", evicted[i], evicted[i-1])
+		}
+	}
+	// Conservation: popped and evicted partition the pushes.
+	if len(popped)+len(evicted) != pushes {
+		t.Fatalf("popped %d + evicted %d != pushed %d", len(popped), len(evicted), pushes)
+	}
+	for _, s := range popped {
+		if poppedSet[s] {
+			t.Fatalf("seq %d delivered twice", s)
+		}
+		poppedSet[s] = true
+	}
+	for _, s := range evicted {
+		if poppedSet[s] {
+			t.Fatalf("seq %d both popped and evicted", s)
+		}
+		if metaSeqs[s] {
+			t.Fatalf("meta frame %d was evicted", s)
+		}
+	}
+	// The queue's own books agree with the observer.
+	frames, records := q.dropped()
+	if frames != int64(len(evicted)) || records != int64(len(evicted)) {
+		t.Fatalf("queue counted %d/%d dropped, observer saw %d", frames, records, len(evicted))
+	}
+	// Every meta frame survived to delivery.
+	for s := range metaSeqs {
+		if !poppedSet[s] {
+			t.Fatalf("meta frame %d never delivered", s)
+		}
+	}
+	// Reference balance: push took one ref per data frame; pops and
+	// evictions released them all.
+	for i, p := range owners {
+		if n := p.refs.Load(); n != 0 {
+			t.Fatalf("payload %d holds %d refs after drain", i, n)
+		}
+	}
+}
+
+// TestQueueMetaPreservedUnderMetaOnlyPressure: a queue holding nothing
+// but meta grows rather than evicting or rejecting meta, and an
+// incoming data frame that cannot evict anything older is itself the
+// drop — counted, never silently lost.
+func TestQueueMetaPreservedUnderMetaOnlyPressure(t *testing.T) {
+	drops := 0
+	q := newFrameQueue(2, PolicyDropOldest, func(outFrame) { drops++ })
+	for i := uint32(0); i < 8; i++ {
+		if res := q.push(metaFrame(i)); res != pushOK {
+			t.Fatalf("meta push %d: %v", i, res)
+		}
+	}
+	if q.depth() != 8 {
+		t.Fatalf("depth %d after 8 meta pushes into cap-2 queue, want 8 (grown)", q.depth())
+	}
+	// The grown ring is now exactly full of meta.  A data push finds
+	// nothing older than itself to evict, so it is the drop — and the
+	// books say so.
+	df := dataFrame(100)
+	if res := q.push(df); res != pushOK {
+		t.Fatalf("data push into meta-full queue: %v", res)
+	}
+	if drops != 1 {
+		t.Fatalf("expected the incoming data frame dropped, drops = %d", drops)
+	}
+	if n := df.owner.refs.Load(); n != 0 {
+		t.Fatalf("dropped data frame still holds %d refs", n)
+	}
+	if q.depth() != 8 {
+		t.Fatalf("depth %d after rejected data push, want 8", q.depth())
+	}
+	// Once a pop frees a slot, data flows again.
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	kept := dataFrame(101)
+	if res := q.push(kept); res != pushOK {
+		t.Fatalf("data push after pop: %v", res)
+	}
+	if drops != 1 {
+		t.Fatalf("unexpected extra drop: %d", drops)
+	}
+	q.close()
+	q.drain()
+	if n := kept.owner.refs.Load(); n != 0 {
+		t.Fatalf("drained frame holds %d refs", n)
+	}
+}
+
+// TestQueueBlockPolicy: a full blocking queue parks the pusher until a
+// pop frees a slot, and close() releases a parked pusher.
+func TestQueueBlockPolicy(t *testing.T) {
+	q := newFrameQueue(1, PolicyBlock, nil)
+	if res := q.push(dataFrame(0)); res != pushOK {
+		t.Fatalf("first push: %v", res)
+	}
+	done := make(chan pushResult, 1)
+	go func() { done <- q.push(dataFrame(1)) }()
+	select {
+	case r := <-done:
+		t.Fatalf("push into a full blocking queue returned %v immediately", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if of, ok := q.pop(); !ok {
+		t.Fatal("pop failed")
+	} else {
+		of.owner.release()
+	}
+	select {
+	case r := <-done:
+		if r != pushOK {
+			t.Fatalf("unblocked push: %v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("push never unblocked after pop")
+	}
+
+	// A parked pusher must also be released by close.
+	go func() { done <- q.push(dataFrame(2)) }()
+	time.Sleep(20 * time.Millisecond)
+	q.close()
+	select {
+	case r := <-done:
+		if r != pushClosed {
+			t.Fatalf("push on closed queue: %v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("push never unblocked after close")
+	}
+	q.drain()
+}
+
+// TestQueueDisconnectPolicy: overflow reports pushOverflow and releases
+// the rejected frame's reference; queued frames are untouched.
+func TestQueueDisconnectPolicy(t *testing.T) {
+	q := newFrameQueue(2, PolicyDisconnect, nil)
+	first, second, third := dataFrame(0), dataFrame(1), dataFrame(2)
+	if q.push(first) != pushOK || q.push(second) != pushOK {
+		t.Fatal("fills failed")
+	}
+	if res := q.push(third); res != pushOverflow {
+		t.Fatalf("overflow push: %v, want pushOverflow", res)
+	}
+	if n := third.owner.refs.Load(); n != 0 {
+		t.Fatalf("rejected frame holds %d refs", n)
+	}
+	if q.depth() != 2 {
+		t.Fatalf("overflow disturbed the queue: depth %d", q.depth())
+	}
+	q.close()
+	q.drain()
+	if first.owner.refs.Load() != 0 || second.owner.refs.Load() != 0 {
+		t.Fatal("drain did not release queued frames")
+	}
+	// Pushing after close reports pushClosed and releases.
+	late := dataFrame(3)
+	if res := q.push(late); res != pushClosed {
+		t.Fatalf("post-close push: %v", res)
+	}
+	if n := late.owner.refs.Load(); n != 0 {
+		t.Fatalf("post-close frame holds %d refs", n)
+	}
+}

@@ -1,7 +1,7 @@
 // Package relay implements a PBIO stream broker in the spirit of the
 // group's DataExchange system (the paper's reference [6]): producers
 // publish record streams, consumers subscribe, and the relay fans every
-// record out to all subscribers.
+// record out to its subscribers.
 //
 // The relay is where NDR's design pays off architecturally: because
 // records travel in the sender's native layout with self-contained
@@ -9,6 +9,17 @@
 // converts, or re-encodes a record, regardless of how many architectures
 // are publishing.  A fixed-wire-format broker would at minimum re-frame,
 // and an XML or object broker would re-serialize.
+//
+// Beyond the flat fan-out of the paper's era, relays compose into a
+// *mesh*: a relay attaches below another relay with RunUplink, ingesting
+// the upstream's frames exactly as if it were a producer, so producers →
+// root → leaf relays → consumers forms a fan-out tree in which each hop
+// pays one inbound copy of the stream no matter how many subscribers sit
+// below it.  Consumers (and downstream relays) subscribe by format name
+// (transport.FrameSub); a hop only receives the formats someone below it
+// wants.  Every consumer gets a bounded queue with a configurable
+// overflow policy (SetQueue), so a slow subscriber costs at most its
+// queue — never the stream.
 //
 // What the relay must manage is format identity: producers assign their
 // own small format IDs per connection, so the relay renumbers formats
@@ -24,6 +35,7 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,11 +51,19 @@ import (
 // Server is a relay instance.
 type Server struct {
 	mu        sync.Mutex
-	formats   *wire.Registry    // relay-wide format space
-	metaBytes map[uint32][]byte // relay ID -> canonical meta frame payload
-	metaOrder []uint32          // relay IDs in first-seen order (for replay)
+	formats   *wire.Registry      // relay-wide format space
+	metaBytes map[uint32][]byte   // relay ID -> canonical meta frame payload
+	metaOrder []uint32            // relay IDs in first-seen order (for replay)
+	names     map[uint32]string   // relay ID -> format name (subscription routing)
+	byName    map[string][]uint32 // format name -> relay IDs carrying it
 	consumers map[*consumer]bool
+	uplinks   map[*Uplink]bool
 	closed    bool
+
+	// queueCap and queuePolicy shape the per-consumer queue every
+	// registration creates (SetQueue).
+	queueCap    int
+	queuePolicy QueuePolicy
 
 	// producerTimeout, when nonzero, bounds each producer frame read; an
 	// idle-past-the-bound producer is treated as gone.  consumerTimeout
@@ -88,8 +108,9 @@ func (s *Server) emitTrace(name, detail string) {
 // forwarded data frame whose format carries the wire trace field, the
 // relay records a relay-phase span (frame arrival → broadcast enqueue)
 // under the message's trace ID.  Traced frames the relay has to discard
-// (corruption, size mismatch) are counted on the tracer as lost, never
-// silently dropped.  Nil tracers are ignored.
+// (corruption, size mismatch) — and traced records evicted from a
+// consumer queue by the drop-oldest policy — are counted on the tracer
+// as lost, never silently dropped.  Nil tracers are ignored.
 func (s *Server) SetTracing(t *tracectx.Tracer) {
 	if t != nil {
 		s.tracer.Store(t)
@@ -100,8 +121,8 @@ func (s *Server) SetTracing(t *tracectx.Tracer) {
 // counters.
 type Stats struct {
 	// Frames is the number of frames broadcast; ForwardedBytes the total
-	// payload bytes forwarded (payload size × consumers at broadcast
-	// time).
+	// payload bytes forwarded (payload size × subscribed consumers at
+	// broadcast time).
 	Frames         int64
 	ForwardedBytes int64
 
@@ -111,9 +132,24 @@ type Stats struct {
 	BadProducers      int64
 	LastProducerError string
 
-	// DroppedConsumers counts consumers dropped for falling behind
-	// (queue overflow) or exceeding the consumer write timeout.
+	// DroppedConsumers counts consumers the relay itself evicted: queue
+	// overflow under PolicyDisconnect.  Disconnects counts consumers
+	// that left for any other reason the relay observed — peer gone,
+	// write failure, write timeout — including mid-flush departures.
+	// Together they account for every consumer departure except server
+	// shutdown, each exactly once.
 	DroppedConsumers int64
+	Disconnects      int64
+
+	// QueueDroppedFrames / QueueDroppedRecords count frames (and the
+	// records they carried) evicted from consumer queues by
+	// PolicyDropOldest.  Meta frames count as zero records.
+	QueueDroppedFrames  int64
+	QueueDroppedRecords int64
+
+	// SubscriptionUpdates counts subscription frames applied to
+	// consumers (including downstream relays' want-list updates).
+	SubscriptionUpdates int64
 
 	// Resyncs counts corrupt producer frames survived without dropping
 	// the producer: the frame was skipped and the stream re-aligned on
@@ -139,6 +175,10 @@ type statCounters struct {
 	forwardedBytes   atomic.Int64
 	badProducers     atomic.Int64
 	droppedConsumers atomic.Int64
+	disconnects      atomic.Int64
+	droppedFrames    atomic.Int64
+	droppedRecords   atomic.Int64
+	subUpdates       atomic.Int64
 	resyncs          atomic.Int64
 	checksumFailures atomic.Int64
 	metaReplays      atomic.Int64
@@ -166,20 +206,40 @@ func (p *sharedPayload) release() {
 }
 
 // outFrame is one queued frame plus the pooled payload it rides on
-// (owner nil when the payload is not pooled).
+// (owner nil when the payload is not pooled), with the record counts the
+// queue needs for exact drop accounting: recs is how many records the
+// frame carries (0 for meta), traced how many of them carry live wire
+// trace context.
 type outFrame struct {
-	f     transport.Frame
-	owner *sharedPayload
+	f      transport.Frame
+	owner  *sharedPayload
+	recs   int
+	traced int
 }
 
 // consumer is one subscriber connection.
 type consumer struct {
-	ch   chan outFrame
+	q    *frameQueue
 	conn net.Conn
+
+	// Subscription state, guarded by Server.mu.  all is true until the
+	// consumer sends an explicit want-list (plain consumers never do);
+	// want is the resolved relay-ID set for a non-all subscription.
+	sub  transport.Subscription
+	all  bool
+	want map[uint32]bool
+
+	// counted guards the departure counters: exactly one of
+	// DroppedConsumers / Disconnects per consumer, no matter how the
+	// drop path races the pump's own exit.
+	counted atomic.Bool
 }
 
-// consumerQueue bounds per-consumer buffering; a consumer that falls this
-// far behind is dropped rather than stalling the producers.
+// wantsLocked reports whether the consumer's subscription covers a relay
+// format ID.  Callers hold Server.mu.
+func (c *consumer) wantsLocked(id uint32) bool { return c.all || c.want[id] }
+
+// consumerQueue is the default per-consumer queue bound (SetQueue).
 const consumerQueue = 256
 
 // crcTable is the transport's checksum polynomial (CRC32-C); the relay
@@ -198,9 +258,14 @@ const (
 // NewServer returns an empty relay.
 func NewServer() *Server {
 	return &Server{
-		formats:   wire.NewRegistry(),
-		metaBytes: make(map[uint32][]byte),
-		consumers: make(map[*consumer]bool),
+		formats:     wire.NewRegistry(),
+		metaBytes:   make(map[uint32][]byte),
+		names:       make(map[uint32]string),
+		byName:      make(map[string][]uint32),
+		consumers:   make(map[*consumer]bool),
+		uplinks:     make(map[*Uplink]bool),
+		queueCap:    consumerQueue,
+		queuePolicy: PolicyDisconnect,
 	}
 }
 
@@ -211,6 +276,20 @@ func (s *Server) SetTimeouts(producerRead, consumerWrite time.Duration) {
 	defer s.mu.Unlock()
 	s.producerTimeout = producerRead
 	s.consumerTimeout = consumerWrite
+}
+
+// SetQueue configures the per-consumer queue: capacity in frames and the
+// policy applied when a queue is full (block, drop-oldest, disconnect).
+// Defaults: 256 frames, PolicyDisconnect.  Like the other knobs it is
+// meant to be set before serving; consumers registered earlier keep the
+// queue they were created with.
+func (s *Server) SetQueue(capacity int, policy QueuePolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if capacity > 0 {
+		s.queueCap = capacity
+	}
+	s.queuePolicy = policy
 }
 
 // SetChecksums makes the relay checksum the frames it originates (meta,
@@ -265,6 +344,13 @@ func (s *Server) ServeProducers(ln net.Listener) error {
 	}
 }
 
+// AddProducerConn ingests frames arriving on conn as one producer, in a
+// background goroutine — the programmatic equivalent of a ServeProducers
+// accept, for in-process harnesses (net.Pipe meshes) and tests.
+func (s *Server) AddProducerConn(conn net.Conn) {
+	go s.serveProducer(conn)
+}
+
 // ServeConsumers accepts consumer connections until the listener closes.
 // Each consumer is registered for broadcasts synchronously, before the
 // next Accept: once the relay has accepted a consumer's connection, no
@@ -278,12 +364,26 @@ func (s *Server) ServeConsumers(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
-		c, replay, wtimeout, ok := s.registerConsumer(conn)
-		if !ok {
-			continue
-		}
-		go s.pumpConsumer(c, replay, wtimeout)
+		s.AddConsumerConn(conn)
 	}
+}
+
+// AddConsumerConn registers conn as a consumer — synchronously, so no
+// frame broadcast after it returns can be missed — and starts its pump
+// and control-frame reader.  It reports false when the relay is closed
+// (the connection is closed in that case).  The programmatic equivalent
+// of a ServeConsumers accept, for in-process harnesses and uplinks.
+func (s *Server) AddConsumerConn(conn net.Conn) bool {
+	c, replay, wtimeout, ok := s.registerConsumer(conn)
+	if !ok {
+		return false
+	}
+	go s.pumpConsumer(c, replay, wtimeout)
+	go s.readConsumerControl(c)
+	// A new consumer defaults to an all-subscription, which can widen
+	// this hop's downstream union.
+	s.notifyUplinks()
+	return true
 }
 
 // serveProducer reads frames from one producer, renumbers format IDs into
@@ -328,6 +428,22 @@ func (s *Server) serveProducer(conn net.Conn) {
 		return true
 	}
 
+	// countTraced returns how many records in body carry live trace
+	// context — the count rides on the queued frame so drop-oldest
+	// evictions can account for every traced record they lose.
+	countTraced := func(tr *tracectx.Tracer, b binding, body []byte) int {
+		if tr == nil || b.traceOff < 0 {
+			return 0
+		}
+		n := 0
+		for off := 0; off+b.size <= len(body); off += b.size {
+			if tc, ok := wire.GetTraceContext(body[off:off+b.size], b.order, b.traceOff); ok && tc.TraceID != 0 {
+				n++
+			}
+		}
+		return n
+	}
+
 	// noteSpans records one relay-phase span per traced record in body —
 	// a single record or a whole batch, the stride is the same.
 	noteSpans := func(tr *tracectx.Tracer, b binding, body []byte, arrival time.Time) {
@@ -345,11 +461,11 @@ func (s *Server) serveProducer(conn net.Conn) {
 	// forward broadcasts verified record bytes verbatim on a pooled,
 	// refcounted payload (the producer's read buffer is reused next
 	// frame, so consumers need an owned copy — one copy shared by all).
-	forward := func(kind byte, relayID uint32, payload []byte) {
+	forward := func(kind byte, relayID uint32, payload []byte, recs, traced int) {
 		cp := bufpool.Get(len(payload))
 		copy(cp, payload)
 		s.broadcast(transport.Frame{Kind: kind, FormatID: relayID, Payload: cp},
-			&sharedPayload{buf: cp})
+			&sharedPayload{buf: cp}, recs, traced)
 	}
 
 	// Re-batching state (SetRebatching): verified record bodies of one
@@ -361,6 +477,7 @@ func (s *Server) serveProducer(conn net.Conn) {
 		rb        []byte
 		rbID      uint32
 		rbRecords int
+		rbTraced  int
 	)
 	flushBatch := func() {
 		if rbRecords == 0 {
@@ -377,14 +494,14 @@ func (s *Server) serveProducer(conn net.Conn) {
 			payload = rb
 		}
 		s.broadcast(transport.Frame{Kind: kind, FormatID: rbID, Payload: payload},
-			&sharedPayload{buf: rb})
-		rb, rbRecords = nil, 0
+			&sharedPayload{buf: rb}, rbRecords, rbTraced)
+		rb, rbRecords, rbTraced = nil, 0, 0
 	}
 	// Whatever is pending when the producer goes away — cleanly or not —
 	// was received intact and still belongs to the consumers.
 	defer flushBatch()
 
-	appendRecords := func(b binding, body []byte) {
+	appendRecords := func(b binding, body []byte, traced int) {
 		if rbRecords > 0 && (b.relayID != rbID || len(rb)-sumPrefix+len(body) > rebatchMax) {
 			flushBatch()
 		}
@@ -398,6 +515,7 @@ func (s *Server) serveProducer(conn net.Conn) {
 		}
 		rb = append(rb, body...)
 		rbRecords += len(body) / b.size
+		rbTraced += traced
 		if len(rb)-sumPrefix >= rebatchMax {
 			flushBatch()
 		}
@@ -510,21 +628,24 @@ func (s *Server) serveProducer(conn net.Conn) {
 				}
 				continue
 			}
+			traced := countTraced(tr, b, body)
 			if rebatchMax > 0 {
 				// Coalesce: verified bodies (singles and batches alike)
 				// accumulate and leave as relay-originated batch frames.
-				appendRecords(b, body)
+				appendRecords(b, body, traced)
 			} else {
 				// Forward verbatim on a pooled shared payload.  The
 				// payload keeps any checksum prefix — the checksum covers
 				// the body only, so renumbering the header keeps it valid
 				// end-to-end.
-				forward(f.Kind, b.relayID, f.Payload)
+				forward(f.Kind, b.relayID, f.Payload, len(body)/b.size, traced)
 			}
 			noteSpans(tr, b, body, arrival)
 		default:
 			// Format-server references would need a resolver here;
-			// producers must use in-band meta with a relay.
+			// producers must use in-band meta with a relay.  (FrameSub
+			// is a consumer-to-relay control frame; on the producer
+			// direction it is just as much a protocol violation.)
 			s.noteBadProducer(fmt.Errorf("relay: unexpected frame kind %d from producer", f.Kind))
 			return
 		}
@@ -560,7 +681,8 @@ func (s *Server) noteBadProducer(cause error) {
 }
 
 // registerFormat adds a format to the relay space, recording its meta
-// frame for replay.
+// frame for replay and resolving which consumers' subscriptions cover
+// the new ID.
 func (s *Server) registerFormat(f *wire.Format) (uint32, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -571,6 +693,15 @@ func (s *Server) registerFormat(f *wire.Format) (uint32, bool, error) {
 	if added {
 		s.metaBytes[id] = wire.EncodeMeta(f)
 		s.metaOrder = append(s.metaOrder, id)
+		s.names[id] = f.Name
+		s.byName[f.Name] = append(s.byName[f.Name], id)
+		// Subscriptions are by name; a just-learned ID may already be
+		// wanted by consumers that subscribed before the format existed.
+		for c := range s.consumers {
+			if !c.all && c.sub.Matches(f.Name) {
+				c.want[id] = true
+			}
+		}
 	}
 	return id, added, nil
 }
@@ -581,46 +712,126 @@ func (s *Server) broadcastMeta(relayID uint32) {
 	s.mu.Lock()
 	f := s.metaFrame(relayID)
 	s.mu.Unlock()
-	s.broadcast(f, nil)
+	s.broadcast(f, nil, 0, 0)
 }
 
-// broadcast enqueues a frame for every consumer, dropping consumers whose
-// queues are full.  owner, when non-nil, is the frame's pooled payload:
-// broadcast takes one reference per successful enqueue plus one of its
-// own (released before returning), so the buffer recycles exactly when
-// the last consumer is done with it — including the zero-consumer case.
-func (s *Server) broadcast(f transport.Frame, owner *sharedPayload) {
+// broadcast enqueues a frame for every consumer whose subscription
+// covers it (meta frames go to everyone — format knowledge is cheap and
+// a subscription can widen later).  owner, when non-nil, is the frame's
+// pooled payload: broadcast takes one reference per enqueue attempt plus
+// one of its own (released before returning), and the consumer queues
+// release theirs however the frame leaves the queue, so the buffer
+// recycles exactly when the last consumer is done with it — including
+// the zero-consumer case.
+//
+// A full queue resolves by the consumer's policy: disconnect evicts the
+// consumer (its queued frames still flush), drop-oldest evicts the
+// oldest queued frame, block waits for space.  Blocking pushes happen
+// outside the server lock, so one stalled consumer delays its producer's
+// stream but never consumer registration, stats, or other control paths.
+func (s *Server) broadcast(f transport.Frame, owner *sharedPayload, recs, traced int) {
 	if owner != nil {
 		// The broadcaster's own reference keeps the count positive until
 		// every enqueue attempt has resolved.
 		owner.refs.Add(1)
 	}
+	isData := f.BaseKind() == transport.FrameData || f.BaseKind() == transport.FrameBatch
+	of := outFrame{f: f, owner: owner, recs: recs, traced: traced}
+
 	s.mu.Lock()
 	s.stats.frames.Add(1)
-	s.stats.forwardedBytes.Add(int64(len(f.Payload)) * int64(len(s.consumers)))
+	if s.queuePolicy == PolicyBlock {
+		// Snapshot the matched consumers and push outside the lock:
+		// PolicyBlock pushes can wait indefinitely on a slow consumer,
+		// and the lock must not wait with them.
+		targets := make([]*consumer, 0, len(s.consumers))
+		for c := range s.consumers {
+			if isData && !c.wantsLocked(f.FormatID) {
+				continue
+			}
+			targets = append(targets, c)
+		}
+		s.stats.forwardedBytes.Add(int64(len(f.Payload)) * int64(len(targets)))
+		s.mu.Unlock()
+		var drop []*consumer
+		for _, c := range targets {
+			if owner != nil {
+				owner.refs.Add(1)
+			}
+			if c.q.push(of) == pushOverflow {
+				// Only possible if this consumer was registered under a
+				// non-blocking policy before SetQueue changed it.
+				drop = append(drop, c)
+			}
+		}
+		for _, c := range drop {
+			s.removeConsumer(c, "queue overflow", true)
+		}
+		owner.release()
+		return
+	}
+	// Non-blocking policies: push never waits, so the whole fan-out runs
+	// under the lock with no per-broadcast allocation.
+	sent := 0
 	var drop []*consumer
 	for c := range s.consumers {
+		if isData && !c.wantsLocked(f.FormatID) {
+			continue
+		}
+		sent++
 		if owner != nil {
 			owner.refs.Add(1)
 		}
-		select {
-		case c.ch <- outFrame{f: f, owner: owner}:
-		default:
-			owner.release() // enqueue failed; give its reference back
+		if c.q.push(of) == pushOverflow {
 			drop = append(drop, c)
 		}
 	}
+	s.stats.forwardedBytes.Add(int64(len(f.Payload)) * int64(sent))
 	for _, c := range drop {
-		// Closing the channel lets pumpConsumer flush what is already
-		// queued and then disconnect; a peer that has stopped draining
-		// its socket is bounded by the consumer write timeout instead.
 		delete(s.consumers, c)
-		close(c.ch)
-		s.stats.droppedConsumers.Add(1)
-		s.emitTrace("consumer_dropped", "queue overflow")
+		c.q.close()
+		s.noteConsumerGone(c, true, "queue overflow")
 	}
 	s.mu.Unlock()
+	if len(drop) > 0 {
+		s.notifyUplinks()
+	}
 	owner.release()
+}
+
+// noteConsumerGone counts one consumer departure exactly once —
+// policyDrop selects DroppedConsumers (the relay evicted it) versus
+// Disconnects (the peer left or its writes failed).  Safe to call from
+// racing paths; the consumer's counted flag arbitrates.
+func (s *Server) noteConsumerGone(c *consumer, policyDrop bool, reason string) {
+	if !c.counted.CompareAndSwap(false, true) {
+		return
+	}
+	if policyDrop {
+		s.stats.droppedConsumers.Add(1)
+		s.emitTrace("consumer_dropped", reason)
+	} else {
+		s.stats.disconnects.Add(1)
+		s.emitTrace("consumer_disconnect", reason)
+	}
+}
+
+// removeConsumer unregisters c (if still registered) and closes its
+// queue, counting the departure.  The pump keeps flushing whatever was
+// queued before the close and then disconnects the socket.
+func (s *Server) removeConsumer(c *consumer, reason string, policyDrop bool) {
+	s.mu.Lock()
+	registered := s.consumers[c]
+	if registered {
+		delete(s.consumers, c)
+	}
+	shuttingDown := s.closed
+	s.mu.Unlock()
+	c.q.close()
+	if registered && !shuttingDown {
+		s.noteConsumerGone(c, policyDrop, reason)
+		s.notifyUplinks()
+	}
 }
 
 // registerConsumer snapshots the known formats and registers the
@@ -628,13 +839,20 @@ func (s *Server) broadcast(f transport.Frame, owner *sharedPayload) {
 // missed or duplicated.  It runs on the accept loop (see ServeConsumers
 // for why); ok is false when the relay is closed.
 func (s *Server) registerConsumer(conn net.Conn) (c *consumer, replay []transport.Frame, wtimeout time.Duration, ok bool) {
-	c = &consumer{ch: make(chan outFrame, consumerQueue), conn: conn}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		conn.Close()
 		return nil, nil, 0, false
 	}
+	c = &consumer{conn: conn, all: true, sub: transport.Subscription{All: true}}
+	c.q = newFrameQueue(s.queueCap, s.queuePolicy, func(of outFrame) {
+		s.stats.droppedFrames.Add(1)
+		s.stats.droppedRecords.Add(int64(of.recs))
+		if of.traced > 0 {
+			s.tracer.Load().NoteLostN(of.traced)
+		}
+	})
 	replay = make([]transport.Frame, 0, len(s.metaOrder))
 	for _, id := range s.metaOrder {
 		replay = append(replay, s.metaFrame(id))
@@ -646,23 +864,19 @@ func (s *Server) registerConsumer(conn net.Conn) (c *consumer, replay []transpor
 	return c, replay, wtimeout, true
 }
 
-// pumpConsumer replays known formats, then streams broadcast frames.
+// pumpConsumer replays known formats, then streams queued frames until
+// the peer goes away or the queue is closed under it (policy drop or
+// server shutdown) — in the latter case it still flushes everything
+// queued before the close.
 func (s *Server) pumpConsumer(c *consumer, replay []transport.Frame, wtimeout time.Duration) {
 	conn := c.conn
 
 	defer func() {
-		s.mu.Lock()
-		if s.consumers[c] {
-			delete(s.consumers, c)
-			close(c.ch)
-		}
-		s.mu.Unlock()
+		s.removeConsumer(c, "peer gone", false)
 		conn.Close()
 		// Drain so a concurrent broadcast never blocks on us, releasing
 		// every queued frame's share of its pooled payload.
-		for of := range c.ch {
-			of.owner.release()
-		}
+		c.q.drain()
 	}()
 
 	write := func(f transport.Frame) error {
@@ -676,13 +890,105 @@ func (s *Server) pumpConsumer(c *consumer, replay []transport.Frame, wtimeout ti
 			return
 		}
 	}
-	for of := range c.ch {
+	for {
+		of, ok := c.q.pop()
+		if !ok {
+			return
+		}
 		err := write(of.f)
 		of.owner.release()
 		if err != nil {
 			return
 		}
 	}
+}
+
+// readConsumerControl reads the consumer's direction of the link —
+// subscription frames — until the connection dies.  Consumers that never
+// write (the pre-subscription protocol) keep the read blocked until the
+// pump closes the socket, which is what bounds this goroutine's life.
+func (s *Server) readConsumerControl(c *consumer) {
+	br := bufio.NewReaderSize(c.conn, 512)
+	var buf []byte
+	defer func() { bufpool.Put(buf) }()
+	for {
+		f, nbuf, err := transport.ReadFrame(br, buf)
+		buf = nbuf
+		if err != nil {
+			// EOF, peer gone, or garbage: either way the control channel
+			// is over.  The data direction lives on until the pump fails.
+			return
+		}
+		if f.BaseKind() != transport.FrameSub {
+			continue // ignore unexpected-but-framed traffic
+		}
+		body, err := f.Body()
+		if err != nil {
+			continue // checksum mismatch: skip the frame, stay aligned
+		}
+		sub, err := transport.DecodeSubscription(body)
+		if err != nil {
+			continue
+		}
+		s.setSubscription(c, sub)
+	}
+}
+
+// setSubscription applies a want-list to a consumer, resolving names to
+// relay format IDs, and propagates the change to any auto-mode uplinks.
+func (s *Server) setSubscription(c *consumer, sub transport.Subscription) {
+	sub = sub.Canonical()
+	s.mu.Lock()
+	if !s.consumers[c] {
+		s.mu.Unlock()
+		return
+	}
+	c.sub = sub
+	c.all = sub.All
+	if sub.All {
+		c.want = nil
+	} else {
+		c.want = make(map[uint32]bool, len(sub.Names))
+		for _, n := range sub.Names {
+			for _, id := range s.byName[n] {
+				c.want[id] = true
+			}
+		}
+	}
+	s.stats.subUpdates.Add(1)
+	s.mu.Unlock()
+	s.emitTrace("subscription", "")
+	s.notifyUplinks()
+}
+
+// SubscribedConsumers returns how many connected consumers have applied
+// an explicit (non-all) subscription — the observable tests and callers
+// poll to know a want-list has taken effect.
+func (s *Server) SubscribedConsumers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for c := range s.consumers {
+		if !c.all {
+			n++
+		}
+	}
+	return n
+}
+
+// queueDepths returns the sum and max of per-consumer queue depths, in
+// frames.
+func (s *Server) queueDepths() (sum, maxDepth int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.consumers {
+		d := int64(c.q.depth())
+		sum += d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return sum, maxDepth
 }
 
 // Stats returns a snapshot of the relay's throughput and error-accounting
@@ -693,14 +999,18 @@ func (s *Server) Stats() Stats {
 	lastErr := s.stats.lastProducerError
 	s.stats.errMu.Unlock()
 	return Stats{
-		Frames:            s.stats.frames.Load(),
-		ForwardedBytes:    s.stats.forwardedBytes.Load(),
-		BadProducers:      s.stats.badProducers.Load(),
-		LastProducerError: lastErr,
-		DroppedConsumers:  s.stats.droppedConsumers.Load(),
-		Resyncs:           s.stats.resyncs.Load(),
-		ChecksumFailures:  s.stats.checksumFailures.Load(),
-		MetaReplays:       s.stats.metaReplays.Load(),
+		Frames:              s.stats.frames.Load(),
+		ForwardedBytes:      s.stats.forwardedBytes.Load(),
+		BadProducers:        s.stats.badProducers.Load(),
+		LastProducerError:   lastErr,
+		DroppedConsumers:    s.stats.droppedConsumers.Load(),
+		Disconnects:         s.stats.disconnects.Load(),
+		QueueDroppedFrames:  s.stats.droppedFrames.Load(),
+		QueueDroppedRecords: s.stats.droppedRecords.Load(),
+		SubscriptionUpdates: s.stats.subUpdates.Load(),
+		Resyncs:             s.stats.resyncs.Load(),
+		ChecksumFailures:    s.stats.checksumFailures.Load(),
+		MetaReplays:         s.stats.metaReplays.Load(),
 	}
 }
 
@@ -714,21 +1024,28 @@ func (s *Server) Consumers() int {
 // SetTelemetry exports the relay's counters on r as export-time-read
 // metric functions — the live counters stay the single source of truth,
 // nothing is double-counted — and routes relay trace events (resyncs,
-// dropped peers) into r's trace ring.
+// dropped peers, subscription changes) into r's trace ring.
 func (s *Server) SetTelemetry(r *telemetry.Registry) {
 	if r == nil {
 		return
 	}
 	s.trace.Store(r.Trace())
 	r.CounterFunc("pbio_relay_frames_total", "Frames broadcast to consumers.", s.stats.frames.Load)
-	r.CounterFunc("pbio_relay_forwarded_bytes_total", "Payload bytes forwarded (payload size x consumers).", s.stats.forwardedBytes.Load)
+	r.CounterFunc("pbio_relay_forwarded_bytes_total", "Payload bytes forwarded (payload size x subscribed consumers).", s.stats.forwardedBytes.Load)
 	r.CounterFunc("pbio_relay_bad_producers_total", "Producers dropped for protocol violations or corruption.", s.stats.badProducers.Load)
-	r.CounterFunc("pbio_relay_dropped_consumers_total", "Consumers dropped for falling behind or write timeout.", s.stats.droppedConsumers.Load)
+	r.CounterFunc("pbio_relay_dropped_consumers_total", "Consumers evicted for queue overflow (disconnect policy) or write timeout.", s.stats.droppedConsumers.Load)
+	r.CounterFunc("pbio_relay_consumer_disconnects_total", "Consumers that departed on their own (peer gone, write failure).", s.stats.disconnects.Load)
+	r.CounterFunc("pbio_relay_queue_dropped_frames_total", "Frames evicted from consumer queues by the drop-oldest policy.", s.stats.droppedFrames.Load)
+	r.CounterFunc("pbio_relay_queue_dropped_records_total", "Records carried by frames evicted by the drop-oldest policy.", s.stats.droppedRecords.Load)
+	r.CounterFunc("pbio_relay_subscription_updates_total", "Subscription want-lists applied to consumers.", s.stats.subUpdates.Load)
 	r.CounterFunc("pbio_relay_resyncs_total", "Corrupt producer frames survived by skip-and-resync.", s.stats.resyncs.Load)
 	r.CounterFunc("pbio_relay_checksum_failures_total", "Producer frames whose CRC32-C did not match the body.", s.stats.checksumFailures.Load)
 	r.CounterFunc("pbio_relay_meta_replays_total", "Meta frames replayed to late-joining consumers.", s.stats.metaReplays.Load)
 	r.GaugeFunc("pbio_relay_formats", "Distinct formats the relay has seen.", func() int64 { return int64(s.Formats()) })
 	r.GaugeFunc("pbio_relay_consumers", "Currently connected consumers.", func() int64 { return int64(s.Consumers()) })
+	r.GaugeFunc("pbio_relay_subscribed_consumers", "Consumers with an explicit (non-all) subscription.", func() int64 { return int64(s.SubscribedConsumers()) })
+	r.GaugeFunc("pbio_relay_queue_depth_frames", "Sum of per-consumer queue depths, in frames.", func() int64 { sum, _ := s.queueDepths(); return sum })
+	r.GaugeFunc("pbio_relay_queue_depth_max_frames", "Deepest per-consumer queue, in frames.", func() int64 { _, m := s.queueDepths(); return m })
 }
 
 // Formats returns the number of distinct formats the relay has seen.
@@ -738,18 +1055,71 @@ func (s *Server) Formats() int {
 	return s.formats.Len()
 }
 
+// downstreamUnion returns the union of every connected consumer's
+// subscription — what this relay needs from upstream.  Any
+// all-subscriber makes the union All; so does having no consumers at
+// all, the conservative "nothing known yet" default: a hop must never
+// filter away data that a consumer still mid-registration would have
+// wanted, so filtering only engages once explicit subscriptions exist.
+// (The converse race is inherent to pub/sub and accepted: a consumer
+// that *widens* a hop's union can miss frames broadcast while the wider
+// union propagates upstream — subscribe before producing, exactly as
+// flat-relay consumers connect before producing.)
+func (s *Server) downstreamUnion() transport.Subscription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.consumers) == 0 {
+		return transport.Subscription{All: true}
+	}
+	names := make(map[string]bool)
+	for c := range s.consumers {
+		if c.all {
+			return transport.Subscription{All: true}
+		}
+		for _, n := range c.sub.Names {
+			names[n] = true
+		}
+	}
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return transport.Subscription{Names: out}
+}
+
+// notifyUplinks kicks every auto-subscription uplink to re-derive and —
+// if it changed — re-send the downstream union.  Non-blocking: the kick
+// channel holds one pending update; coalescing bursts is exactly right.
+func (s *Server) notifyUplinks() {
+	s.mu.Lock()
+	for u := range s.uplinks {
+		if u.static == nil {
+			select {
+			case u.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
 // Close drops all consumers and refuses new ones.  Producer goroutines
-// exit when their connections close (the caller closes the listeners).
+// exit when their connections close (the caller closes the listeners);
+// uplink connections are closed here, which unwinds RunUplink.
 func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
 	for c := range s.consumers {
 		delete(s.consumers, c)
-		close(c.ch)
+		c.q.close()
 		// Unblock any pumpConsumer goroutine stuck mid-write so
 		// shutdown never waits on a dead peer.
 		c.conn.Close()
+	}
+	for u := range s.uplinks {
+		u.conn.Close()
 	}
 }
 

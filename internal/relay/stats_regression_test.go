@@ -1,0 +1,148 @@
+package relay
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+)
+
+// TestStatsCountsDisconnectDuringFlush is the regression test for the
+// under-reporting bug: a consumer whose peer vanishes while the pump is
+// mid-flush used to leave no trace in Stats — the relay only counted
+// consumers *it* chose to drop.  Every departure must now land in
+// exactly one counter: Disconnects for peers that left, DroppedConsumers
+// for policy evictions.
+func TestStatsCountsDisconnectDuringFlush(t *testing.T) {
+	leakcheck.Check(t)
+	s, prodAddr, consAddr := startRelay(t)
+
+	conn, err := net.Dial("tcp", consAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A producer keeps the stream busy so the pump is actively flushing
+	// when the consumer goes away.
+	pconn, err := net.Dial("tcp", prodAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pconn.Close()
+	ctx, f := producerCtx(t, "x86-64")
+	w := ctx.NewWriter(pconn)
+	stop := make(chan struct{})
+	produced := make(chan struct{})
+	go func() {
+		defer close(produced)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := f.NewRecord()
+			rec.MustSetInt("seq", 0, int64(i))
+			rec.MustSetFloat("v", 0, float64(i)*0.5)
+			if err := w.Write(rec); err != nil {
+				return
+			}
+			// Pace the stream well below queue-overflow rates: this test
+			// is about the peer-gone path, not the eviction path.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	defer func() { close(stop); <-produced }()
+
+	// Receive a little — proof the pump is flushing to us — then vanish.
+	buf := make([]byte, 256)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("consumer never received a byte: %v", err)
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Disconnects == 1 {
+			if st.DroppedConsumers != 0 {
+				t.Fatalf("departure double-counted: Disconnects=%d DroppedConsumers=%d",
+					st.Disconnects, st.DroppedConsumers)
+			}
+			break
+		}
+		if st.Disconnects > 1 {
+			t.Fatalf("one departure counted %d times", st.Disconnects)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("consumer departure never counted: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The consumer count must agree with the accounting.
+	deadline = time.Now().Add(10 * time.Second)
+	for s.Consumers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead consumer still registered: %d", s.Consumers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStatsOverflowDropCountedOnce: an overflow eviction under the
+// disconnect policy lands in DroppedConsumers exactly once, and the
+// pump's own subsequent exit must not add a phantom Disconnect.
+func TestStatsOverflowDropCountedOnce(t *testing.T) {
+	leakcheck.Check(t)
+	s, prodAddr, consAddr := startRelay(t)
+	s.SetQueue(4, PolicyDisconnect)
+
+	// A consumer that connects and never reads: its queue fills at the
+	// 5th broadcast frame.
+	conn, err := net.Dial("tcp", consAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	pconn, err := net.Dial("tcp", prodAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pconn.Close()
+	ctx, f := producerCtx(t, "x86-64")
+	w := ctx.NewWriter(pconn)
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; ; i++ {
+		rec := f.NewRecord()
+		rec.MustSetInt("seq", 0, int64(i))
+		rec.MustSetFloat("v", 0, float64(i)*0.5)
+		if err := w.Write(rec); err != nil {
+			t.Fatalf("producer write %d: %v", i, err)
+		}
+		if s.Stats().DroppedConsumers == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue overflow never dropped the consumer: %+v", s.Stats())
+		}
+	}
+
+	// Give the pump time to unwind, then confirm no double count.
+	deadline = time.Now().Add(10 * time.Second)
+	for s.Consumers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dropped consumer still registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	st := s.Stats()
+	if st.DroppedConsumers != 1 || st.Disconnects != 0 {
+		t.Fatalf("overflow drop miscounted: DroppedConsumers=%d Disconnects=%d",
+			st.DroppedConsumers, st.Disconnects)
+	}
+}

@@ -1,0 +1,125 @@
+package relay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Uplink is a relay's connection to an upstream hop in a mesh: the relay
+// attaches to the upstream's *consumer* side, subscribes (FrameSub on
+// the otherwise-silent upstream direction of that link), and ingests
+// whatever the upstream forwards exactly as if it were a local producer.
+// One inbound copy of the stream per hop, however many subscribers sit
+// below.
+type Uplink struct {
+	s    *Server
+	conn net.Conn
+
+	// static, when non-nil, is a fixed want-list sent once.  Nil means
+	// auto mode: the uplink advertises the live union of what this
+	// relay's own consumers (and downstream hops) want, re-sent whenever
+	// it changes.
+	static *transport.Subscription
+
+	mu   sync.Mutex
+	last string // canonical encoding last written upstream
+
+	kick chan struct{} // auto mode: union may have changed
+	done chan struct{} // closed when RunUplink unwinds
+}
+
+// RunUplink attaches this relay below an upstream relay reachable on
+// conn (dialed to the upstream's consumer port).  static fixes the
+// subscription; nil subscribes to the live downstream union, updated as
+// consumers come, go, and re-subscribe.  It blocks, ingesting upstream
+// frames, until conn fails, the upstream closes, or this relay is
+// closed; the caller owns redial policy.
+func (s *Server) RunUplink(conn net.Conn, static *transport.Subscription) error {
+	u := &Uplink{
+		s:      s,
+		conn:   conn,
+		static: static,
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("relay: uplink on closed relay")
+	}
+	s.uplinks[u] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.uplinks, u)
+		s.mu.Unlock()
+		close(u.done)
+		conn.Close()
+	}()
+
+	// First subscription goes out before any ingest: until the upstream
+	// applies it we are an all-subscriber there (the late-join default),
+	// which errs toward receiving too much, never too little.
+	initial := s.downstreamUnion()
+	if static != nil {
+		initial = *static
+	}
+	if err := u.send(initial); err != nil {
+		return fmt.Errorf("relay: uplink subscribe: %w", err)
+	}
+	if static == nil {
+		go u.updater()
+	}
+
+	// The upstream is just a producer from here down: renumbered meta,
+	// verbatim or re-batched data, trace spans per hop.
+	s.serveProducer(conn)
+	return nil
+}
+
+// Uplinks returns the number of active uplink connections.
+func (s *Server) Uplinks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.uplinks)
+}
+
+// updater re-derives the downstream union on every kick and re-sends it
+// upstream when it changed.  Exits when RunUplink unwinds.
+func (u *Uplink) updater() {
+	for {
+		select {
+		case <-u.done:
+			return
+		case <-u.kick:
+		}
+		// Send failures are left to the ingest loop to observe: if the
+		// connection is broken, serveProducer's read fails and RunUplink
+		// unwinds — reporting it twice helps nobody.
+		u.send(u.s.downstreamUnion())
+	}
+}
+
+// send writes a subscription upstream unless its canonical encoding
+// matches the last one sent.  Serialized by u.mu so the updater and the
+// initial send never interleave frame bytes.
+func (u *Uplink) send(sub transport.Subscription) error {
+	enc, err := transport.EncodeSubscription(sub)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if string(enc) == u.last {
+		return nil
+	}
+	if err := transport.WriteFrame(u.conn, transport.Frame{Kind: transport.FrameSub, Payload: enc}); err != nil {
+		return err
+	}
+	u.last = string(enc)
+	return nil
+}

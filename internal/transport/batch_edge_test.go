@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/wire"
+)
+
+// TestBatchFrameEdgeCases pins the batch-frame boundaries, one table row
+// per edge: the empty batch (a no-op, nothing on the wire), the
+// single-record batch (demoted to a plain data frame), the over-bound
+// batch (refused before anything is written), and a format change in the
+// middle of a coalescing run (flushes the run, then switches).
+func TestBatchFrameEdgeCases(t *testing.T) {
+	newA := func() *wire.Format { return wire.MustLayout(smallSchema(), &abi.X86x64) }
+	newB := func() *wire.Format {
+		return wire.MustLayout(&wire.Schema{
+			Name:   "other",
+			Fields: []wire.FieldSpec{{Name: "x", Type: abi.LongLong, Count: 1}},
+		}, &abi.X86x64)
+	}
+	// msg is the shape of one delivered record the rows assert on.
+	type msg struct {
+		format  string
+		batched bool
+	}
+	cases := []struct {
+		name    string
+		write   func(t *testing.T, w *Writer) error
+		wantErr string // substring of the write-side error; "" = success
+		want    []msg
+	}{
+		{
+			name: "empty batch",
+			write: func(t *testing.T, w *Writer) error {
+				return w.WriteBatch(newA(), nil)
+			},
+			want: nil, // not even meta goes out
+		},
+		{
+			name: "single-record batch",
+			write: func(t *testing.T, w *Writer) error {
+				f := newA()
+				return w.WriteBatch(f, [][]byte{makeRecords(f, 1)[0].Buf})
+			},
+			// A 1-record "batch" must be indistinguishable from a plain
+			// write: FrameData on the wire, Batched=false on arrival.
+			want: []msg{{format: "tick", batched: false}},
+		},
+		{
+			name: "max-size batch",
+			write: func(t *testing.T, w *Writer) error {
+				// One 1 MiB record, referenced maxPayload/1MiB + 1 times:
+				// the run's total crosses the frame bound without the
+				// test allocating a quarter-gigabyte.
+				f := wire.MustLayout(&wire.Schema{
+					Name:   "blob",
+					Fields: []wire.FieldSpec{{Name: "b", Type: abi.Char, Count: 1 << 20}},
+				}, &abi.X86x64)
+				rec := make([]byte, f.Size)
+				n := maxPayload/f.Size + 1
+				recs := make([][]byte, n)
+				for i := range recs {
+					recs[i] = rec
+				}
+				return w.WriteBatch(f, recs)
+			},
+			wantErr: "exceeds frame bound",
+			want:    nil, // refused up front: no meta, no partial frame
+		},
+		{
+			name: "format change mid-coalesce",
+			write: func(t *testing.T, w *Writer) error {
+				if err := w.SetBatching(1<<16, 0); err != nil {
+					return err
+				}
+				fa, fb := newA(), newB()
+				for _, r := range makeRecords(fa, 3) {
+					if err := w.WriteRecord(fa, r.Buf); err != nil {
+						return err
+					}
+				}
+				// The format switch must flush the pending "tick" run as
+				// one batch before "other"'s meta or data are emitted.
+				if err := w.WriteRecord(fb, make([]byte, fb.Size)); err != nil {
+					return err
+				}
+				return w.Flush()
+			},
+			want: []msg{
+				{format: "tick", batched: true},
+				{format: "tick", batched: true},
+				{format: "tick", batched: true},
+				{format: "other", batched: false},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			err := tc.write(t, w)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("write error = %v, want substring %q", err, tc.wantErr)
+				}
+				if buf.Len() != 0 {
+					t.Fatalf("failed write left %d bytes on the wire", buf.Len())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := NewReader(&buf)
+			defer r.Close()
+			got := readAll(t, r)
+			if len(got) != len(tc.want) {
+				t.Fatalf("delivered %d records, want %d", len(got), len(tc.want))
+			}
+			for i, m := range got {
+				if m.Format.Name != tc.want[i].format || m.Batched != tc.want[i].batched {
+					t.Errorf("record %d: format=%q batched=%v, want %q/%v",
+						i, m.Format.Name, m.Batched, tc.want[i].format, tc.want[i].batched)
+				}
+			}
+		})
+	}
+}

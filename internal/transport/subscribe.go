@@ -1,0 +1,161 @@
+// Subscription control frames.
+//
+// A relay mesh forwards each hop only the formats someone downstream
+// wants.  The want-list travels upstream as a FrameSub control frame on
+// the consumer connection — the one direction of that link that was
+// previously silent — so subscribing costs no extra connection and no
+// out-of-band channel.  Like everything else on the wire, the decision
+// is made ahead of time: once a hop has a peer's subscription, routing a
+// data frame is a map probe, never an inspection of record bytes.
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// Subscription is a consumer's (or downstream relay's) want-list.  The
+// zero value wants nothing; All wants every format regardless of Names.
+// A consumer that never sends a subscription frame is treated by relays
+// as All — plain consumers predate subscriptions and must keep working.
+type Subscription struct {
+	All   bool
+	Names []string
+}
+
+// Matches reports whether the subscription covers a format name.
+func (s *Subscription) Matches(name string) bool {
+	if s.All {
+		return true
+	}
+	for _, n := range s.Names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Canonical returns the subscription with Names sorted and deduplicated
+// (and dropped entirely when All).  Two subscriptions with equal
+// canonical encodings route identically, which is what lets a relay
+// skip re-sending an unchanged union upstream.
+func (s Subscription) Canonical() Subscription {
+	if s.All {
+		return Subscription{All: true}
+	}
+	names := append([]string(nil), s.Names...)
+	sort.Strings(names)
+	out := names[:0]
+	for i, n := range names {
+		if i == 0 || n != names[i-1] {
+			out = append(out, n)
+		}
+	}
+	return Subscription{Names: out}
+}
+
+// Subscription payload layout (all integers big-endian):
+//
+//	byte 0    version (1)
+//	byte 1    flags; bit 0 = All
+//	uint16    name count
+//	repeated  uint16 length + name bytes
+//
+// Bounds mirror the meta-frame philosophy: a want-list is small by
+// construction, so a large length field is corruption, not data.
+const (
+	subVersion     = 1
+	subFlagAll     = 0x01
+	maxSubNames    = 4096
+	maxSubNameLen  = 1024
+	subHeaderBytes = 4
+)
+
+// AppendSubscription appends the canonical wire encoding of s to dst and
+// returns the extended slice.
+func AppendSubscription(dst []byte, s Subscription) ([]byte, error) {
+	c := s.Canonical()
+	if len(c.Names) > maxSubNames {
+		return dst, fmt.Errorf("transport: subscription has %d names, bound is %d", len(c.Names), maxSubNames)
+	}
+	var flags byte
+	if c.All {
+		flags |= subFlagAll
+	}
+	dst = append(dst, subVersion, flags)
+	var u16 [2]byte
+	wire.PutBeUint16(u16[:], uint16(len(c.Names)))
+	dst = append(dst, u16[:]...)
+	for _, n := range c.Names {
+		if n == "" || len(n) > maxSubNameLen {
+			return dst, fmt.Errorf("transport: subscription name %d bytes, bound is [1, %d]", len(n), maxSubNameLen)
+		}
+		wire.PutBeUint16(u16[:], uint16(len(n)))
+		dst = append(dst, u16[:]...)
+		dst = append(dst, n...)
+	}
+	return dst, nil
+}
+
+// EncodeSubscription returns the canonical wire encoding of s.
+func EncodeSubscription(s Subscription) ([]byte, error) {
+	return AppendSubscription(make([]byte, 0, subHeaderBytes+16*len(s.Names)), s)
+}
+
+// DecodeSubscription parses a subscription frame body.  Every decode
+// failure wraps ErrCorruptFrame: a relay receiving a bad want-list skips
+// it (the stream is still frame-aligned) rather than guessing.
+func DecodeSubscription(body []byte) (Subscription, error) {
+	if len(body) < subHeaderBytes {
+		return Subscription{}, fmt.Errorf("transport: subscription body %d bytes, want >= %d: %w", len(body), subHeaderBytes, ErrCorruptFrame)
+	}
+	if body[0] != subVersion {
+		return Subscription{}, fmt.Errorf("transport: subscription version %d, want %d: %w", body[0], subVersion, ErrCorruptFrame)
+	}
+	if body[1]&^subFlagAll != 0 {
+		return Subscription{}, fmt.Errorf("transport: subscription flags %#x unknown: %w", body[1], ErrCorruptFrame)
+	}
+	s := Subscription{All: body[1]&subFlagAll != 0}
+	count := int(wire.BeUint16(body[2:]))
+	if count > maxSubNames {
+		return Subscription{}, fmt.Errorf("transport: subscription declares %d names, bound is %d: %w", count, maxSubNames, ErrCorruptFrame)
+	}
+	rest := body[subHeaderBytes:]
+	if count > 0 {
+		s.Names = make([]string, 0, count)
+	}
+	for i := 0; i < count; i++ {
+		if len(rest) < 2 {
+			return Subscription{}, fmt.Errorf("transport: subscription truncated at name %d: %w", i, ErrCorruptFrame)
+		}
+		n := int(wire.BeUint16(rest))
+		rest = rest[2:]
+		if n == 0 || n > maxSubNameLen {
+			return Subscription{}, fmt.Errorf("transport: subscription name %d is %d bytes, bound is [1, %d]: %w", i, n, maxSubNameLen, ErrCorruptFrame)
+		}
+		if len(rest) < n {
+			return Subscription{}, fmt.Errorf("transport: subscription name %d truncated: %w", i, ErrCorruptFrame)
+		}
+		s.Names = append(s.Names, string(rest[:n]))
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return Subscription{}, fmt.Errorf("transport: %d trailing bytes after subscription: %w", len(rest), ErrCorruptFrame)
+	}
+	return s, nil
+}
+
+// WriteSubscription writes s as one FrameSub control frame.  The frame's
+// format-ID field is unused (zero); subscriptions address formats by
+// name, the only identity that survives renumbering across hops.
+func WriteSubscription(w io.Writer, s Subscription) error {
+	payload, err := EncodeSubscription(s)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, Frame{Kind: FrameSub, Payload: payload})
+}

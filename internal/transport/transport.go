@@ -35,6 +35,11 @@ const (
 	// bytes — the header amortizes over the whole run, which is where the
 	// per-message overhead goes for small records.
 	FrameBatch = 4
+	// FrameSub carries a subscription want-list (see Subscription)
+	// travelling upstream on a consumer link: a consumer or downstream
+	// relay telling its upstream hop which format names it wants.  The
+	// format-ID field is unused.
+	FrameSub = 5
 
 	// FrameFlagSum, OR-ed into the kind byte, marks a frame whose
 	// payload is prefixed by a 4-byte big-endian CRC32-C of the body.
@@ -126,7 +131,7 @@ func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 	if n < 0 || n > maxPayload {
 		return Frame{}, buf, fmt.Errorf("transport: frame payload %d out of range: %w", n, ErrCorruptFrame)
 	}
-	if k := f.BaseKind(); (k == FrameMeta || k == FrameMetaRef) && n > maxMetaPayload {
+	if k := f.BaseKind(); (k == FrameMeta || k == FrameMetaRef || k == FrameSub) && n > maxMetaPayload {
 		return Frame{}, buf, fmt.Errorf("transport: meta payload %d exceeds bound %d: %w", n, maxMetaPayload, ErrCorruptFrame)
 	}
 	if cap(buf) < n {
@@ -787,7 +792,7 @@ func (t *Reader) ReadMessageInto(m *Message) error {
 		if n < 0 || n > maxPayload {
 			return fmt.Errorf("transport: frame payload %d out of range: %w", n, ErrCorruptFrame)
 		}
-		if (kind == msgMeta || kind == msgMetaRef) && n > maxMetaPayload {
+		if (kind == msgMeta || kind == msgMetaRef || kind == FrameSub) && n > maxMetaPayload {
 			return fmt.Errorf("transport: meta payload %d exceeds bound %d: %w", n, maxMetaPayload, ErrCorruptFrame)
 		}
 		if cap(t.buf) < n {
