@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint pbiovet test test-race chaos fuzz bench bench-smoke bench-compare bench-all figures examples outputs clean
+.PHONY: all build vet vet-std vet-pbio vet-report lint pbiovet test test-race chaos fuzz bench bench-smoke bench-compare bench-all figures examples outputs clean
 
 all: build vet test
 
@@ -10,11 +10,30 @@ build:
 	$(GO) build ./...
 
 # vet runs the standard Go vet plus pbiovet, the repo's own analyzer
-# suite (tagcheck, speccheck, endiancheck, senterr, tracecheck).  Any
-# diagnostic fails the target, and therefore `make all` and CI.
-vet: pbiovet
+# suite: the shape checks (tagcheck, speccheck, endiancheck, senterr,
+# tracecheck) and the flow-aware checks (poolcheck, lockcheck,
+# atomiccheck, alloccheck).  Any diagnostic fails the target, and
+# therefore `make all` and CI.  `pbiovet -list` documents the suite;
+# `bin/pbiovet -run=name ./...` runs one analyzer.
+vet: vet-std vet-pbio
+
+vet-std:
 	$(GO) vet ./...
+
+vet-pbio: pbiovet
 	$(GO) vet -vettool=bin/pbiovet ./...
+
+# vet-report writes every pbiovet diagnostic to vet_report.txt as a
+# stable LC_ALL=C-sorted file:line:col list — the CI artifact.  The
+# target fails when any diagnostic exists, so a new finding breaks the
+# build and the artifact shows exactly what appeared.
+vet-report: pbiovet
+	@$(GO) vet -vettool=bin/pbiovet ./... 2>&1 | grep -v '^#' | LC_ALL=C sort > vet_report.txt; true
+	@if [ -s vet_report.txt ]; then \
+		echo "pbiovet diagnostics (vet_report.txt):"; cat vet_report.txt; exit 1; \
+	else \
+		echo "pbiovet: no diagnostics" | tee vet_report.txt; \
+	fi
 
 lint: vet
 
@@ -102,5 +121,5 @@ outputs:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt vet_report.txt
 	rm -rf bin

@@ -4,11 +4,13 @@
 // It runs in two modes:
 //
 //	go vet -vettool=$(which pbiovet) ./...   # as a vet tool
-//	pbiovet [packages]                       # standalone (defaults to ./...)
+//	pbiovet [flags] [packages]               # standalone (defaults to ./...)
 //
 // Standalone mode simply re-execs the go command with itself as the vet
 // tool, so both modes share one code path — the unit-checker protocol —
 // and agree exactly on build tags, test variants and import resolution.
+// `pbiovet -run=name,...` restricts the run to the named analyzers;
+// `pbiovet -list` (or -help) prints the analyzer registry.
 //
 // Analyzers (suppress a deliberate finding with a
 // `//pbiovet:allow <name> — reason` comment on or above the line):
@@ -17,6 +19,11 @@
 //	speccheck   literal FieldSpec/Schema declarations are wire-valid
 //	endiancheck byte-order arithmetic stays inside the layout layers
 //	senterr     sentinel errors are classified with errors.Is, not ==
+//	tracecheck  trace spans are finished on every path
+//	poolcheck   bufpool buffers are not used after Put, double-Put, or leaked to goroutines
+//	lockcheck   no potentially-blocking call runs while a sync.Mutex is held
+//	atomiccheck fields accessed with sync/atomic are never accessed plainly
+//	alloccheck  //pbio:hotpath functions stay within their declared alloc budget
 package main
 
 import (
@@ -42,18 +49,66 @@ func main() {
 	os.Exit(standalone(os.Args[1:]))
 }
 
-// standalone re-execs `go vet -vettool=<self> <patterns>`.
-func standalone(patterns []string) int {
+// listAnalyzers prints the registry: every analyzer's name and the first
+// line of its documentation.
+func listAnalyzers(w *os.File) {
+	fmt.Fprintf(w, "pbiovet checks PBIO's wire, ownership, locking and allocation invariants.\n\n")
+	fmt.Fprintf(w, "usage: pbiovet [-run=name,...] [packages]\n\nAnalyzers:\n")
+	for _, a := range passes.All {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, doc)
+	}
+	fmt.Fprintf(w, "\nSuppress a deliberate finding with `//pbiovet:allow <name> — reason`\non or above the flagged line.\n")
+}
+
+// standalone re-execs `go vet -vettool=<self> <args>` after handling the
+// human-facing flags itself: -list/-help print the registry, and a bad
+// -run value fails here with the full analyzer list rather than once per
+// package from the re-exec.
+func standalone(args []string) int {
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		switch trimmed := strings.TrimLeft(arg, "-"); {
+		case arg == "-list" || arg == "--list" || arg == "-help" || arg == "--help" || arg == "-h":
+			listAnalyzers(os.Stdout)
+			return 0
+		case strings.HasPrefix(trimmed, "run=") || trimmed == "run":
+			names := strings.TrimPrefix(trimmed, "run")
+			names = strings.TrimPrefix(names, "=")
+			if names == "" { // "-run name,..." with a space
+				if i+1 >= len(args) {
+					fmt.Fprintln(os.Stderr, "pbiovet: -run needs a comma-separated list of analyzers (see pbiovet -list)")
+					return 2
+				}
+				i++
+				names = args[i]
+			}
+			if _, err := unitchecker.Select(passes.All, names); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			patterns = append(patterns, "-run="+names)
+		default:
+			patterns = append(patterns, arg)
+		}
+	}
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pbiovet:", err)
 		return 1
 	}
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+	hasPattern := false
+	for _, p := range patterns {
+		if !strings.HasPrefix(p, "-") {
+			hasPattern = true
+		}
 	}
-	args := append([]string{"vet", "-vettool=" + self}, patterns...)
-	cmd := exec.Command("go", args...)
+	if !hasPattern {
+		patterns = append(patterns, "./...")
+	}
+	cmdArgs := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", cmdArgs...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin

@@ -8,6 +8,19 @@ import (
 	"testing"
 )
 
+// buildTool compiles pbiovet into a temp dir and returns the binary
+// path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	tool := filepath.Join(t.TempDir(), "pbiovet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/pbiovet")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pbiovet: %v\n%s", err, out)
+	}
+	return tool
+}
+
 // TestSelfRunClean builds pbiovet and runs it as a vet tool over the
 // whole module: the tree must stay free of pbiovet diagnostics.  This is
 // the acceptance gate for the analyzer suite — a regression either in an
@@ -16,19 +29,103 @@ func TestSelfRunClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and vets the whole module")
 	}
-	root := moduleRoot(t)
-	tool := filepath.Join(t.TempDir(), "pbiovet")
-
-	build := exec.Command("go", "build", "-o", tool, "./cmd/pbiovet")
-	build.Dir = root
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building pbiovet: %v\n%s", err, out)
-	}
-
+	tool := buildTool(t)
 	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
-	vet.Dir = root
+	vet.Dir = moduleRoot(t)
 	if out, err := vet.CombinedOutput(); err != nil {
 		t.Errorf("pbiovet reported diagnostics over the module:\n%s", out)
+	}
+}
+
+// TestCrossPackageFactFlow proves facts survive the unitchecker
+// protocol: package a's Wait earns a Blocks fact when a is analyzed, the
+// fact is serialized into a's vetx file, and analyzing package b — which
+// calls a.Wait under a mutex — must read the fact back from the vetx and
+// report the convoy.
+func TestCrossPackageFactFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets a scratch module")
+	}
+	tool := buildTool(t)
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module facttest\n\ngo 1.21\n")
+	write("a/a.go", `package a
+
+// Wait blocks on the channel: lockcheck must export a Blocks fact.
+func Wait(ch chan int) int {
+	return <-ch
+}
+`)
+	write("b/b.go", `package b
+
+import (
+	"sync"
+
+	"facttest/a"
+)
+
+type T struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (t *T) Bad() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return a.Wait(t.ch)
+}
+`)
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected a lockcheck diagnostic in package b, got none:\n%s", out)
+	}
+	want := "call to Wait (may block) while holding t.mu"
+	if !strings.Contains(string(out), want) {
+		t.Fatalf("diagnostic missing %q — the Blocks fact did not flow from a to b:\n%s", want, out)
+	}
+}
+
+// TestListAndUnknownAnalyzer checks the human-facing CLI: -list prints
+// every analyzer with its one-line doc, and a typo in -run fails with
+// the valid names rather than silently checking nothing.
+func TestListAndUnknownAnalyzer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool")
+	}
+	tool := buildTool(t)
+
+	out, err := exec.Command(tool, "-list").Output()
+	if err != nil {
+		t.Fatalf("pbiovet -list: %v", err)
+	}
+	for _, name := range []string{"tagcheck", "speccheck", "endiancheck", "senterr",
+		"tracecheck", "poolcheck", "lockcheck", "atomiccheck", "alloccheck"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("pbiovet -list does not mention %s:\n%s", name, out)
+		}
+	}
+
+	bad := exec.Command(tool, "-run=nosuch", "./cmd/pbiovet")
+	bad.Dir = moduleRoot(t)
+	msg, err := bad.CombinedOutput()
+	if err == nil {
+		t.Fatalf("pbiovet -run=nosuch succeeded; want a loud failure:\n%s", msg)
+	}
+	if !strings.Contains(string(msg), `unknown analyzer "nosuch"`) ||
+		!strings.Contains(string(msg), "valid analyzers:") {
+		t.Errorf("unknown-analyzer error does not name the problem or the valid set:\n%s", msg)
 	}
 }
 

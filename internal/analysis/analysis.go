@@ -8,9 +8,16 @@
 // unitchecker) and the golden-comment test harness (internal/analysis/
 // analysistest) — is reimplemented on the standard library's go/ast,
 // go/types and go/importer.  Analyzers written against this package look
-// exactly like x/tools analyzers minus facts and sub-analyzer
-// dependencies, neither of which the pbiovet suite needs: every pbiovet
-// invariant is provable from a single package's syntax and types.
+// exactly like x/tools analyzers, including the two framework features
+// the flow-aware checks need:
+//
+//   - dependencies: an Analyzer may Require other analyzers (typically
+//     the shared inspect pass) and read their computed-once results from
+//     Pass.ResultOf;
+//   - facts: an Analyzer may attach serializable Facts to objects or
+//     packages; facts flow across package boundaries through the
+//     unitchecker's vetx files, so a pass analyzing package b can ask
+//     "does this function imported from package a block?" (see Fact).
 package analysis
 
 import (
@@ -28,7 +35,7 @@ type Analyzer struct {
 	// `//pbiovet:allow <name>` suppression comments.
 	Name string
 
-	// Doc is the analyzer's documentation, shown by `pbiovet help`.
+	// Doc is the analyzer's documentation, shown by `pbiovet -help`.
 	Doc string
 
 	// IncludeTests selects whether the analyzer also inspects _test.go
@@ -37,8 +44,20 @@ type Analyzer struct {
 	// leave this false.
 	IncludeTests bool
 
-	// Run applies the analyzer to one package unit.
-	Run func(*Pass) error
+	// Requires lists analyzers that must run before this one on each
+	// unit; their results are available through Pass.ResultOf.  The
+	// graph must be acyclic.
+	Requires []*Analyzer
+
+	// FactTypes lists the concrete Fact types this analyzer exports and
+	// imports.  Only analyzers that declare fact types participate in
+	// cross-package fact flow (and only they are re-run over dependency
+	// units by the unitchecker).  Each type must be a pointer to struct.
+	FactTypes []Fact
+
+	// Run applies the analyzer to one package unit.  The result value
+	// (may be nil) is exposed to dependent analyzers via Pass.ResultOf.
+	Run func(*Pass) (any, error)
 }
 
 // Pass carries one type-checked package unit through an analyzer.
@@ -49,6 +68,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// ResultOf holds the results of the analyzers named in
+	// Analyzer.Requires, keyed by analyzer.
+	ResultOf map[*Analyzer]any
+
+	facts  *FactSet
 	report func(Diagnostic)
 }
 
@@ -59,6 +83,33 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ExportObjectFact attaches fact to obj, visible to later analysis of
+// this package and — through the unitchecker's vetx serialization — to
+// analysis of packages that import this one.  obj must belong to the
+// package under analysis.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.exportObject(p.Analyzer, obj, fact)
+}
+
+// ImportObjectFact copies into fact (a pointer of a type listed in the
+// analyzer's FactTypes) the fact previously attached to obj, reporting
+// whether one existed.  obj may belong to this package or to any
+// dependency whose facts were loaded.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.importObject(obj, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.exportPackage(p.Analyzer, p.Pkg, fact)
+}
+
+// ImportPackageFact copies into fact the fact previously attached to
+// pkg, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	return p.facts.importPackage(pkg, fact)
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -74,6 +125,11 @@ type Unit struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Facts carries fact state across the run: facts imported from
+	// dependencies before Run, plus facts the analyzers export during
+	// it.  Nil means an empty, run-local set.
+	Facts *FactSet
 }
 
 // NewInfo returns a types.Info with every map analyzers consult allocated.
@@ -89,21 +145,48 @@ func NewInfo() *types.Info {
 	}
 }
 
-// Run applies the analyzers to the unit and returns the surviving
-// diagnostics, ordered by position.  Findings silenced by a
+// Run applies the analyzers (and, first, their transitive Requires) to
+// the unit and returns the surviving diagnostics, ordered by position.
+// Each analyzer runs at most once per unit; results flow to dependents
+// through Pass.ResultOf, facts through u.Facts.  Findings silenced by a
 // `//pbiovet:allow` comment (see allowedAt) are dropped, and analyzers
 // with IncludeTests unset never see diagnostics positioned in _test.go
 // files.
 func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if u.Facts == nil {
+		u.Facts = NewFactSet()
+	}
 	allow := collectAllows(u.Fset, u.Files)
 	var out []Diagnostic
-	for _, a := range analyzers {
+
+	results := make(map[*Analyzer]any)
+	visiting := make(map[*Analyzer]bool)
+	var exec func(a *Analyzer) error
+	exec = func(a *Analyzer) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		if visiting[a] {
+			return fmt.Errorf("analyzer dependency cycle through %s", a.Name)
+		}
+		visiting[a] = true
+		defer delete(visiting, a)
+		for _, dep := range a.Requires {
+			if err := exec(dep); err != nil {
+				return err
+			}
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      u.Fset,
 			Files:     u.Files,
 			Pkg:       u.Pkg,
 			TypesInfo: u.TypesInfo,
+			ResultOf:  make(map[*Analyzer]any, len(a.Requires)),
+			facts:     u.Facts,
+		}
+		for _, dep := range a.Requires {
+			pass.ResultOf[dep] = results[dep]
 		}
 		pass.report = func(d Diagnostic) {
 			pos := u.Fset.Position(d.Pos)
@@ -115,12 +198,42 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 			out = append(out, d)
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := exec(a); err != nil {
+			return nil, err
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	sortDiagnostics(u.Fset, out)
 	return out, nil
+}
+
+// sortDiagnostics orders diagnostics by file name, line, column, then
+// analyzer and message — a total order stable across runs, so vet output
+// diffs cleanly (see `make vet-report`).
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if ds[i].Analyzer != ds[j].Analyzer {
+			return ds[i].Analyzer < ds[j].Analyzer
+		}
+		return ds[i].Message < ds[j].Message
+	})
 }
 
 // allowSet records `//pbiovet:allow name[,name...] [— reason]` comments.

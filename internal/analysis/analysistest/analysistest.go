@@ -11,6 +11,16 @@
 // diagnostic; each must match a diagnostic reported on that line, and
 // every diagnostic must be matched by one expectation.
 //
+// Facts are golden-checked too.  An item of the form name:"regexp"
+// asserts that the analyzer exported a fact on the named object declared
+// at that line, with the fact's String() matching the pattern:
+//
+//	func F(b []byte) { pool.Put(b) } // want F:`putsArg\(0\)`
+//
+// The special name "package" asserts a package-level fact and may appear
+// on any line (package facts have no position).  Like diagnostics, every
+// exported fact must be matched by an assertion and vice versa.
+//
 // Fixture files are type-checked for real: imports — both standard
 // library and this module's packages — resolve through `go list -export`
 // run at the module root, so fixtures can exercise pbio.RegisterStruct or
@@ -99,23 +109,28 @@ func runOne(t *testing.T, dir, pkgpath string, a *analysis.Analyzer) {
 		t.Fatalf("fixture %s does not type-check: %v", pkgpath, err)
 	}
 
-	diags, err := analysis.Run(&analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, []*analysis.Analyzer{a})
+	facts := analysis.NewFactSet()
+	diags, err := analysis.Run(&analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Facts: facts}, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
 	}
-	check(t, fset, names, diags)
+	check(t, fset, names, diags, facts.All())
 }
 
-// expectation is one want pattern, keyed to a file line.
+// expectation is one want pattern, keyed to a file line.  name is empty
+// for a diagnostic expectation; otherwise the expectation matches a fact
+// exported on the object of that name ("package" for a package fact).
 type expectation struct {
+	name string
 	rx   *regexp.Regexp
 	used bool
 }
 
 var wantRe = regexp.MustCompile(`(?m)^\s*want (.*)$`)
 
-// check compares diagnostics to the want comments of the fixture files.
-func check(t *testing.T, fset *token.FileSet, files []string, diags []analysis.Diagnostic) {
+// check compares diagnostics and exported facts to the want comments of
+// the fixture files.
+func check(t *testing.T, fset *token.FileSet, files []string, diags []analysis.Diagnostic, facts []analysis.FactEntry) {
 	t.Helper()
 	wants := make(map[string]map[int][]*expectation)
 	for _, name := range files {
@@ -130,7 +145,7 @@ func check(t *testing.T, fset *token.FileSet, files []string, diags []analysis.D
 		pos := fset.Position(d.Pos)
 		matched := false
 		for _, exp := range wants[pos.Filename][pos.Line] {
-			if !exp.used && exp.rx.MatchString(d.Message) {
+			if exp.name == "" && !exp.used && exp.rx.MatchString(d.Message) {
 				exp.used = true
 				matched = true
 				break
@@ -140,6 +155,31 @@ func check(t *testing.T, fset *token.FileSet, files []string, diags []analysis.D
 			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
 		}
 	}
+
+	for _, f := range facts {
+		text := fmt.Sprint(f.Fact)
+		if f.Object == "" {
+			// Package facts carry no position: any unused package
+			// assertion in any fixture file may claim them.
+			if !claimPackageFact(wants, text) {
+				t.Errorf("unexpected package fact on %s: %s", f.Pkg, text)
+			}
+			continue
+		}
+		pos := fset.Position(f.Pos)
+		matched := false
+		for _, exp := range wants[pos.Filename][pos.Line] {
+			if exp.name != "" && !exp.used && keyNames(f.Object, exp.name) && exp.rx.MatchString(text) {
+				exp.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected fact on %s: %s", pos, f.Object, text)
+		}
+	}
+
 	for name, byLine := range wants {
 		lines := make([]int, 0, len(byLine))
 		for line := range byLine {
@@ -148,12 +188,40 @@ func check(t *testing.T, fset *token.FileSet, files []string, diags []analysis.D
 		sort.Ints(lines)
 		for _, line := range lines {
 			for _, exp := range byLine[line] {
-				if !exp.used {
+				if exp.used {
+					continue
+				}
+				if exp.name == "" {
 					t.Errorf("%s:%d: expected diagnostic matching %q was not reported", name, line, exp.rx)
+				} else {
+					t.Errorf("%s:%d: expected fact on %s matching %q was not exported", name, line, exp.name, exp.rx)
 				}
 			}
 		}
 	}
+}
+
+// claimPackageFact marks the first unused package-fact expectation whose
+// pattern matches text, reporting whether one was found.
+func claimPackageFact(wants map[string]map[int][]*expectation, text string) bool {
+	for _, byLine := range wants {
+		for _, exps := range byLine {
+			for _, exp := range exps {
+				if exp.name == "package" && !exp.used && exp.rx.MatchString(text) {
+					exp.used = true
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// keyNames reports whether an object-fact key refers to the declared
+// name: keys are "Name" for package-scope vars, "pkg.F" for functions,
+// and "(pkg.T).M" or "(*pkg.T).M" for methods.
+func keyNames(key, name string) bool {
+	return key == name || strings.HasSuffix(key, "."+name)
 }
 
 // parseWants extracts want expectations from the comments of one file.
@@ -181,29 +249,47 @@ func parseWants(name string) (map[int][]*expectation, error) {
 			continue
 		}
 		line := fset.Position(pos).Line
-		patterns, err := scanStrings(m[1])
+		items, err := scanItems(m[1])
 		if err != nil {
 			return nil, fmt.Errorf("%s:%d: bad want comment: %w", name, line, err)
 		}
-		for _, p := range patterns {
-			rx, err := regexp.Compile(p)
+		for _, it := range items {
+			rx, err := regexp.Compile(it.pattern)
 			if err != nil {
 				return nil, fmt.Errorf("%s:%d: bad want pattern: %w", name, line, err)
 			}
-			out[line] = append(out[line], &expectation{rx: rx})
+			out[line] = append(out[line], &expectation{name: it.name, rx: rx})
 		}
 	}
 	return out, nil
 }
 
-// scanStrings parses a whitespace-separated sequence of Go string
-// literals (raw or interpreted).
-func scanStrings(s string) ([]string, error) {
-	var out []string
+// wantItem is one parsed want element: a bare string literal (diagnostic
+// expectation) or name:"literal" (fact expectation).
+type wantItem struct {
+	name    string
+	pattern string
+}
+
+var factNameRe = regexp.MustCompile("^[A-Za-z_][A-Za-z0-9_]*:")
+
+// scanItems parses a whitespace-separated sequence of Go string literals
+// (raw or interpreted), each optionally prefixed by an identifier and a
+// colon to assert a fact instead of a diagnostic.
+func scanItems(s string) ([]wantItem, error) {
+	var out []wantItem
 	for {
 		s = strings.TrimSpace(s)
 		if s == "" {
 			return out, nil
+		}
+		var name string
+		if m := factNameRe.FindString(s); m != "" {
+			name = strings.TrimSuffix(m, ":")
+			s = s[len(m):]
+		}
+		if s == "" {
+			return nil, fmt.Errorf("fact assertion %q has no pattern", name)
 		}
 		quote := s[0]
 		if quote != '"' && quote != '`' {
@@ -221,7 +307,7 @@ func scanStrings(s string) ([]string, error) {
 		if end < 0 {
 			return nil, fmt.Errorf("unterminated string literal in %q", s)
 		}
-		out = append(out, s[1:end+1])
+		out = append(out, wantItem{name: name, pattern: s[1 : end+1]})
 		s = s[end+2:]
 	}
 }

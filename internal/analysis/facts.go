@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"encoding/gob"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Fact is a serializable observation one analyzer attaches to an
+// object (a function, a package-level var) or to a whole package, so a
+// later analysis of an *importing* package can reason about it without
+// re-reading its source — "this function Puts its argument", "this
+// function may block".  Concrete fact types must be pointers to structs,
+// must be gob-serializable, and are matched by type: each analyzer
+// declares its types in Analyzer.FactTypes, and a lookup for a given
+// type finds only facts of exactly that type.
+//
+// Facts cross package boundaries through the unitchecker's vetx files
+// (the go command's PackageVetx / VetxOutput plumbing): when package b
+// is analyzed, the facts exported while analyzing its dependency a are
+// decoded back and become importable on a's objects.
+type Fact interface {
+	AFact() // marker method; dedicated to the fact's analyzer
+}
+
+// factKey identifies one fact: the defining package, the object within
+// it ("" for package facts), and the concrete fact type.
+type factKey struct {
+	pkg string
+	obj string
+	typ reflect.Type
+}
+
+// FactEntry is one exported fact, as enumerated by FactSet.All — the
+// unitchecker serializes these, and analysistest matches them against
+// `// want fact:"..."` golden comments.
+type FactEntry struct {
+	Pkg    string // defining package path
+	Object string // object key ("" for a package fact)
+	Fact   Fact
+	Pos    token.Pos // definition site when exported locally; NoPos when decoded
+}
+
+// FactSet holds the facts visible to one analysis run: facts decoded
+// from dependency vetx files plus facts exported while analyzing the
+// current package.
+type FactSet struct {
+	mu    sync.Mutex
+	facts map[factKey]FactEntry
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{facts: make(map[factKey]FactEntry)}
+}
+
+func (s *FactSet) exportObject(a *Analyzer, obj types.Object, fact Fact) {
+	pkg, key, ok := objectFactKey(obj)
+	if !ok {
+		panic(fmt.Sprintf("%s: ExportObjectFact: %v is not a package-level object", a.Name, obj))
+	}
+	s.put(factKey{pkg, key, reflect.TypeOf(fact)}, FactEntry{Pkg: pkg, Object: key, Fact: fact, Pos: obj.Pos()})
+}
+
+func (s *FactSet) importObject(obj types.Object, fact Fact) bool {
+	pkg, key, ok := objectFactKey(obj)
+	if !ok {
+		return false
+	}
+	return s.get(factKey{pkg, key, reflect.TypeOf(fact)}, fact)
+}
+
+func (s *FactSet) exportPackage(a *Analyzer, pkg *types.Package, fact Fact) {
+	p := trimVariant(pkg.Path())
+	s.put(factKey{p, "", reflect.TypeOf(fact)}, FactEntry{Pkg: p, Fact: fact})
+}
+
+func (s *FactSet) importPackage(pkg *types.Package, fact Fact) bool {
+	return s.get(factKey{trimVariant(pkg.Path()), "", reflect.TypeOf(fact)}, fact)
+}
+
+func (s *FactSet) put(k factKey, e FactEntry) {
+	s.mu.Lock()
+	s.facts[k] = e
+	s.mu.Unlock()
+}
+
+// get copies the stored fact (if any) into dst, which must be a pointer
+// of the same concrete type.
+func (s *FactSet) get(k factKey, dst Fact) bool {
+	s.mu.Lock()
+	e, ok := s.facts[k]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(e.Fact).Elem())
+	return true
+}
+
+// All returns every fact in the set, ordered deterministically.
+func (s *FactSet) All() []FactEntry {
+	s.mu.Lock()
+	out := make([]FactEntry, 0, len(s.facts))
+	for _, e := range s.facts {
+		out = append(out, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return fmt.Sprintf("%T", out[i].Fact) < fmt.Sprintf("%T", out[j].Fact)
+	})
+	return out
+}
+
+// gobFact is the vetx wire form of one fact.
+type gobFact struct {
+	Pkg    string
+	Object string
+	Fact   Fact
+}
+
+// Encode serializes the set's facts to w (the unitchecker's VetxOutput).
+// Entries are sorted, so identical fact sets encode byte-identically and
+// the go command's content-based caching works.
+func (s *FactSet) Encode(w io.Writer) error {
+	all := s.All()
+	enc := gob.NewEncoder(w)
+	for _, e := range all {
+		if err := enc.Encode(gobFact{Pkg: e.Pkg, Object: e.Object, Fact: e.Fact}); err != nil {
+			return fmt.Errorf("encoding fact %T for %s.%s: %w", e.Fact, e.Pkg, e.Object, err)
+		}
+	}
+	return nil
+}
+
+// Decode merges facts serialized by Encode into the set.  Decoding
+// resolves concrete fact types through gob registration — see
+// RegisterFactTypes.
+func (s *FactSet) Decode(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	for {
+		var gf gobFact
+		if err := dec.Decode(&gf); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("decoding facts: %w", err)
+		}
+		if gf.Fact == nil {
+			continue
+		}
+		s.put(factKey{gf.Pkg, gf.Object, reflect.TypeOf(gf.Fact)},
+			FactEntry{Pkg: gf.Pkg, Object: gf.Object, Fact: gf.Fact})
+	}
+}
+
+var (
+	gobMu         sync.Mutex
+	gobRegistered = make(map[reflect.Type]bool)
+)
+
+// RegisterFactTypes registers the analyzers' fact types with gob, so
+// vetx files round-trip.  Idempotent; drivers (unitchecker,
+// analysistest) call it before any Encode/Decode.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	gobMu.Lock()
+	defer gobMu.Unlock()
+	seen := make(map[*Analyzer]bool)
+	var reg func(a *Analyzer)
+	reg = func(a *Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			if !gobRegistered[t] {
+				gobRegistered[t] = true
+				gob.Register(f)
+			}
+		}
+		for _, dep := range a.Requires {
+			reg(dep)
+		}
+	}
+	for _, a := range analyzers {
+		reg(a)
+	}
+}
+
+// objectFactKey computes the stable cross-package key of an object:
+// functions and methods key by their FullName (which includes receiver
+// and package path), other package-scope objects by name.  Objects that
+// are not package-level (locals, struct fields) are not keyable — facts
+// about them cannot survive serialization, so they are rejected.
+func objectFactKey(obj types.Object) (pkg, key string, ok bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	pkg = trimVariant(obj.Pkg().Path())
+	switch o := obj.(type) {
+	case *types.Func:
+		return pkg, trimVariant(o.FullName()), true
+	case *types.Var, *types.TypeName, *types.Const:
+		if obj.Parent() == obj.Pkg().Scope() {
+			return pkg, obj.Name(), true
+		}
+	}
+	return "", "", false
+}
+
+// trimVariant strips the ` [p.test]` suffixes the go command appends to
+// test-variant import paths, wherever they appear in a qualified name,
+// so facts computed for the test variant of a package match lookups from
+// the plain one and vice versa.
+func trimVariant(s string) string {
+	for {
+		i := strings.Index(s, " [")
+		if i < 0 {
+			return s
+		}
+		j := strings.Index(s[i:], "]")
+		if j < 0 {
+			return s
+		}
+		s = s[:i] + s[i+j+1:]
+	}
+}

@@ -1,0 +1,124 @@
+// Package inspect defines an Analyzer whose result is a shared,
+// computed-once preorder traversal of the package's syntax trees —
+// the stdlib-only analogue of golang.org/x/tools/go/ast/inspector
+// behind golang.org/x/tools/go/analysis/passes/inspect.
+//
+// Analyzers that would each walk every file with ast.Inspect instead
+// declare `Requires: []*analysis.Analyzer{inspect.Analyzer}` and filter
+// the precomputed event list by node type:
+//
+//	in := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+//	in.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) { ... })
+//
+// The tree is flattened exactly once per package unit no matter how many
+// analyzers consume it.
+package inspect
+
+import (
+	"go/ast"
+	"reflect"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer provides the shared syntax inspector.  It reports nothing;
+// its value is its result.
+var Analyzer = &analysis.Analyzer{
+	Name: "inspect",
+	Doc: `build a shared preorder index of the package syntax trees
+
+Framework pass: other analyzers require it and reuse its one traversal
+instead of re-walking every file.`,
+	IncludeTests: true,
+	Run: func(pass *analysis.Pass) (any, error) {
+		return New(pass.Files), nil
+	},
+}
+
+// event is one preorder visit: the node, plus the index one past the
+// last event of its subtree so a filtered walk can skip whole subtrees
+// without revisiting them.
+type event struct {
+	node ast.Node
+	end  int
+}
+
+// Inspector is the flattened preorder event list of a package's files.
+type Inspector struct {
+	events []event
+}
+
+// New flattens files into an Inspector.
+func New(files []*ast.File) *Inspector {
+	in := &Inspector{}
+	for _, f := range files {
+		in.flatten(f)
+	}
+	return in
+}
+
+func (in *Inspector) flatten(n ast.Node) {
+	i := len(in.events)
+	in.events = append(in.events, event{node: n})
+	for _, c := range children(n) {
+		in.flatten(c)
+	}
+	in.events[i].end = len(in.events)
+}
+
+// Preorder calls f for every node whose dynamic type matches one of
+// types, in depth-first source order.  An empty types slice matches
+// every node.
+func (in *Inspector) Preorder(types []ast.Node, f func(ast.Node)) {
+	match := typeSet(types)
+	for _, ev := range in.events {
+		if match == nil || match[reflect.TypeOf(ev.node)] {
+			f(ev.node)
+		}
+	}
+}
+
+// Nodes calls f for every matching node; returning false from f skips
+// the node's subtree.
+func (in *Inspector) Nodes(types []ast.Node, f func(ast.Node) bool) {
+	match := typeSet(types)
+	for i := 0; i < len(in.events); {
+		ev := in.events[i]
+		if match == nil || match[reflect.TypeOf(ev.node)] {
+			if !f(ev.node) {
+				i = ev.end
+				continue
+			}
+		}
+		i++
+	}
+}
+
+func typeSet(types []ast.Node) map[reflect.Type]bool {
+	if len(types) == 0 {
+		return nil
+	}
+	m := make(map[reflect.Type]bool, len(types))
+	for _, t := range types {
+		m[reflect.TypeOf(t)] = true
+	}
+	return m
+}
+
+// children returns n's direct child nodes in source order, via
+// ast.Inspect's contract: the first level of callbacks below n.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

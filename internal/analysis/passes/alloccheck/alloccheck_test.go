@@ -1,0 +1,12 @@
+package alloccheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/alloccheck"
+)
+
+func TestAlloccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), alloccheck.Analyzer, "allocfix")
+}

@@ -1,0 +1,207 @@
+// Package atomiccheck defines an analyzer enforcing that a struct field
+// accessed through sync/atomic is accessed that way everywhere.
+//
+// A field that one goroutine touches with atomic.AddInt64 and another
+// reads with a plain load has no synchronization at all: the race
+// detector only catches the interleavings a test happens to produce,
+// and on weakly-ordered hardware the plain read can observe torn or
+// stale values forever.  The rule is all-or-nothing per field — once
+// any access site uses sync/atomic, every access must.
+//
+// The analyzer collects every field whose address is passed to a
+// sync/atomic function (atomic.AddInt64(&s.n, 1) and friends), then
+// flags every other access to those fields that is not itself such a
+// call argument.  Accesses through an embedded struct resolve to the
+// same field.  The set of atomic fields is also exported as a package
+// fact (keyed "Type.Field"), so a plain access in an importing package
+// is flagged too.
+//
+// Typed atomics (atomic.Int64 et al.) need no checking — they have no
+// plain-access syntax — and are the recommended fix.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/inspect"
+)
+
+// Analyzer flags mixed atomic/plain access to struct fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc: `flag plain accesses to fields that are accessed with sync/atomic
+
+A field updated via atomic.AddInt64/LoadUint32/... must never be read
+or written plainly: the plain access races with the atomic one.  The
+set of atomic fields crosses package boundaries as a package fact, so
+accesses from importing packages are checked too.  Prefer the typed
+atomics (atomic.Int64, ...), which make plain access impossible.`,
+	IncludeTests: true,
+	Requires:     []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes:    []analysis.Fact{(*AtomicFields)(nil)},
+	Run:          run,
+}
+
+// AtomicFields is the package fact listing fields (as "Type.Field")
+// this package accesses through sync/atomic.
+type AtomicFields struct {
+	Fields []string
+}
+
+func (*AtomicFields) AFact() {}
+
+func (f *AtomicFields) String() string {
+	return "atomicFields(" + strings.Join(f.Fields, ",") + ")"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	in := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+
+	// Pass 1: find every &x.f argument of a sync/atomic call.  The
+	// selector nodes so used are sanctioned; the field objects become
+	// the package's atomic-field set.
+	atomicFields := make(map[*types.Var]bool)
+	fieldKeys := make(map[string]bool) // "Type.Field", for the package fact
+	sanctioned := make(map[ast.Node]bool)
+	in.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isAtomicCall(pass, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			fld, key := fieldOf(pass, sel)
+			if fld == nil {
+				continue
+			}
+			atomicFields[fld] = true
+			if key != "" {
+				fieldKeys[key] = true
+			}
+			sanctioned[sel] = true
+		}
+	})
+
+	if len(fieldKeys) > 0 {
+		keys := make([]string, 0, len(fieldKeys))
+		for k := range fieldKeys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		pass.ExportPackageFact(&AtomicFields{Fields: keys})
+	}
+
+	// Pass 2: every other access to an atomic field is a race.
+	in.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		if sanctioned[sel] {
+			return
+		}
+		fld, key := fieldOf(pass, sel)
+		if fld == nil {
+			return
+		}
+		if atomicFields[fld] {
+			pass.Reportf(sel.Sel.Pos(),
+				"plain access to field %s, which is accessed with sync/atomic elsewhere in this package; the accesses race — use sync/atomic here too, or a typed atomic (atomic.Int64, ...)",
+				keyOrName(key, fld))
+			return
+		}
+		// Cross-package: consult the defining package's fact.
+		if fld.Pkg() != nil && fld.Pkg() != pass.Pkg && key != "" {
+			var fact AtomicFields
+			if pass.ImportPackageFact(fld.Pkg(), &fact) && contains(fact.Fields, key) {
+				pass.Reportf(sel.Sel.Pos(),
+					"plain access to field %s, which package %s accesses with sync/atomic; the accesses race — use sync/atomic here too",
+					key, fld.Pkg().Path())
+			}
+		}
+	})
+	return nil, nil
+}
+
+// isAtomicCall reports whether call invokes a package-level function of
+// sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return trimVariant(fn.Pkg().Path()) == "sync/atomic" && sig != nil && sig.Recv() == nil
+}
+
+// fieldOf resolves sel to a struct field, also deriving its stable
+// "Type.Field" key (the direct owner type, found by walking the
+// selection's embedding path).
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) (*types.Var, string) {
+	sn, ok := pass.TypesInfo.Selections[sel]
+	if !ok || sn.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	fld, ok := sn.Obj().(*types.Var)
+	if !ok || !fld.IsField() {
+		return nil, ""
+	}
+	// Walk the index path to the struct that directly declares the
+	// field, so accesses through embedding produce the same key.
+	t := sn.Recv()
+	owner := ""
+	for _, idx := range sn.Index() {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		} else if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			owner = named.Obj().Name()
+		}
+		s, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= s.NumFields() {
+			return fld, ""
+		}
+		t = s.Field(idx).Type()
+	}
+	if owner == "" {
+		return fld, ""
+	}
+	return fld, owner + "." + fld.Name()
+}
+
+func keyOrName(key string, fld *types.Var) string {
+	if key != "" {
+		return key
+	}
+	return fld.Name()
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func trimVariant(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

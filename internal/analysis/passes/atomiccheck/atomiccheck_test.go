@@ -1,0 +1,12 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/atomiccheck"
+)
+
+func TestAtomiccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomiccheck.Analyzer, "atomicfix")
+}

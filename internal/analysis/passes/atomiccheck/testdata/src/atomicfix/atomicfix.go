@@ -1,0 +1,49 @@
+// Package atomicfix exercises atomiccheck: fields touched by sync/atomic
+// must never be accessed plainly, and the atomic field set is exported as
+// a package fact.
+package atomicfix
+
+import "sync/atomic" // want package:`atomicFields\(counter.hits,stats.misses\)`
+
+type counter struct {
+	hits int64
+	name string
+}
+
+type stats struct {
+	misses int64
+}
+
+type wrapper struct {
+	stats
+}
+
+// bump is the sanctioned access: sync/atomic on &c.hits.
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// miss is the sanctioned access for the embedded field.
+func miss(w *wrapper) {
+	atomic.AddInt64(&w.misses, 1)
+}
+
+// peek races with bump: a plain read of an atomic field.
+func peek(c *counter) int64 {
+	return c.hits // want `plain access to field counter.hits, which is accessed with sync/atomic elsewhere in this package; the accesses race`
+}
+
+// reset races with bump: a plain write.
+func reset(c *counter) {
+	c.hits = 0 // want `plain access to field counter.hits, which is accessed with sync/atomic elsewhere in this package`
+}
+
+// peekEmbedded races with miss through the embedding.
+func peekEmbedded(w *wrapper) int64 {
+	return w.misses // want `plain access to field stats.misses, which is accessed with sync/atomic elsewhere in this package`
+}
+
+// label is clean: name is never touched atomically.
+func label(c *counter) string {
+	return c.name
+}

@@ -47,9 +47,9 @@ var whitelist = map[string]bool{
 	"repro/internal/dcg":  true,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	if whitelist[normalizePath(pass.Pkg.Path())] {
-		return nil
+		return nil, nil
 	}
 	for _, f := range pass.Files {
 		// claimed marks nodes already reported as part of an enclosing
@@ -81,7 +81,7 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // pkgName resolves e to the import path of the package it names, or "".

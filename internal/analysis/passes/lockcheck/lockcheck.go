@@ -1,0 +1,538 @@
+// Package lockcheck defines a flow-aware analyzer that forbids
+// potentially-blocking calls while a sync mutex is held.
+//
+// The relay and transport hot paths take short critical sections on
+// ordinary sync.Mutex/RWMutex values; a blocking operation inside one —
+// a channel send to a slow consumer, a queue push that waits for space,
+// net I/O — turns a nanosecond lock into a convoy that stalls every
+// producer, and can deadlock outright when the operation needs the same
+// lock to make progress (the classic frameQueue shape: push blocks
+// until a consumer pops, the consumer needs the lock the pusher holds).
+//
+// The analyzer interprets each function with the flow engine, tracking
+// the set of locks definitely held at each point (Lock adds, Unlock
+// removes; a deferred Unlock keeps the lock held to the end of the
+// body, which is the point of the pattern).  While any lock is held it
+// reports:
+//
+//   - channel operations: send, receive, range-over-channel, and
+//     select without a default case;
+//   - calls to functions that may block.  Blocking-ness is computed
+//     for this package's functions by fixpoint (a function blocks if
+//     it performs a channel op, waits on a sync.Cond or WaitGroup,
+//     sleeps, does interface or net I/O, or calls a blocking
+//     function), seeded with well-known stdlib blockers, and crosses
+//     package boundaries as a Blocks fact through the unitchecker.
+//
+// sync.Cond.Wait is exempt at the report site — it atomically releases
+// the lock it is conditioned on while waiting — but still marks the
+// surrounding function as blocking for its callers.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+	"repro/internal/analysis/inspect"
+)
+
+// Analyzer flags blocking operations performed under a held mutex.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: `flag potentially-blocking calls made while holding a sync.Mutex
+
+Tracks Lock/Unlock pairs through each function's control flow and
+reports channel operations, selects without default, and calls to
+may-block functions (computed transitively, across packages via Blocks
+facts) inside the critical section.  A blocking call under a lock
+convoys every other locker and can deadlock when the blocked-on party
+needs the same lock.`,
+	IncludeTests: true,
+	Requires:     []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes:    []analysis.Fact{(*Blocks)(nil)},
+	Run:          run,
+}
+
+// Blocks is the cross-package fact: the function it is attached to may
+// block (channel ops, cond/waitgroup waits, sleeps, I/O, or calls into
+// other blocking functions).
+type Blocks struct{}
+
+func (*Blocks) AFact() {}
+
+func (*Blocks) String() string { return "blocks" }
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:        pass,
+		blocking:    make(map[*types.Func]bool),
+		reported:    make(map[string]bool),
+		selectComms: make(map[ast.Stmt]bool),
+	}
+	c.computeBlocking()
+	in := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				c.checkFunc(n.Body)
+			}
+		case *ast.FuncLit:
+			c.checkFunc(n.Body)
+		}
+	})
+	return nil, nil
+}
+
+// ---- abstract state: the set of locks definitely held ----
+
+type lstate struct {
+	held map[string]token.Pos // lock expression -> Lock() position
+}
+
+func (s *lstate) Clone() flow.State {
+	out := &lstate{held: make(map[string]token.Pos, len(s.held))}
+	for k, v := range s.held {
+		out.held[k] = v
+	}
+	return out
+}
+
+// merge keeps only locks held on both paths: reporting is based on
+// definite holds, so a lock taken on one branch only never produces a
+// diagnostic after the join.
+func merge(dst, src flow.State) {
+	d, s := dst.(*lstate), src.(*lstate)
+	for k := range d.held {
+		if _, ok := s.held[k]; !ok {
+			delete(d.held, k)
+		}
+	}
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	blocking map[*types.Func]bool
+	reported map[string]bool
+	// selectComms marks the comm statements of select clauses: their
+	// channel operations are part of the select (reported once, at the
+	// select, and only when it has no default), not standalone ops.
+	selectComms map[ast.Stmt]bool
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.pass.Reportf(pos, "%s", msg)
+}
+
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	st := &lstate{held: make(map[string]token.Pos)}
+	flow.Func(body, st, flow.Hooks{
+		Stmt:  func(s ast.Stmt, fs flow.State) { c.stmt(s, fs.(*lstate)) },
+		Expr:  func(e ast.Expr, fs flow.State) { c.exprOps(e, fs.(*lstate)) },
+		Merge: merge,
+		Info:  c.pass.TypesInfo,
+	})
+}
+
+func (c *checker) stmt(s ast.Stmt, st *lstate) {
+	if c.selectComms[s] {
+		return // the enclosing select already accounts for this op
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.exprOps(s.X, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.exprOps(e, st)
+		}
+		for _, e := range s.Lhs {
+			c.exprOps(e, st)
+		}
+	case *ast.SendStmt:
+		c.channelOp(s.Arrow, "channel send", st)
+		c.exprOps(s.Chan, st)
+		c.exprOps(s.Value, st)
+	case *ast.GoStmt:
+		// Starting a goroutine does not block; its body runs outside
+		// the critical section.  Arguments are evaluated now, though.
+		for _, a := range s.Call.Args {
+			c.exprOps(a, st)
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// body; a deferred blocking call runs after the body, typically
+		// after the unlock, so neither changes the held set here.
+	case *ast.RangeStmt:
+		if c.isChannelType(s.X) {
+			c.channelOp(s.For, "range over channel (receive)", st)
+		}
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			c.channelOp(s.Select, "select without default", st)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				c.selectComms[cc.Comm] = true
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.exprOps(e, st)
+		}
+	case *ast.IncDecStmt:
+		c.exprOps(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.exprOps(v, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exprOps walks an expression for lock transitions, channel receives,
+// and blocking calls.
+func (c *checker) exprOps(e ast.Expr, st *lstate) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate flow, analyzed on its own
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.channelOp(n.OpPos, "channel receive", st)
+			}
+		case *ast.CallExpr:
+			c.call(n, st)
+		}
+		return true
+	})
+}
+
+// call handles one call expression: a Lock/Unlock transition, an
+// exempt Cond.Wait, or a potentially-blocking callee.
+func (c *checker) call(call *ast.CallExpr, st *lstate) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	fn := c.callee(call)
+	if fn == nil {
+		return
+	}
+	recv := recvTypeName(fn)
+	if isSel && (recv == "sync.Mutex" || recv == "sync.RWMutex") {
+		key := types.ExprString(sel.X)
+		switch fn.Name() {
+		case "Lock", "RLock":
+			st.held[key] = call.Pos()
+		case "Unlock", "RUnlock":
+			delete(st.held, key)
+		}
+		return
+	}
+	if recv == "sync.Cond" && fn.Name() == "Wait" {
+		// Cond.Wait releases its lock while waiting: exempt here, but
+		// the enclosing function still carries a Blocks fact.
+		return
+	}
+	if len(st.held) == 0 {
+		return
+	}
+	if why, blocks := c.mayBlock(fn); blocks {
+		lock, lockPos := c.anyHeld(st)
+		c.reportf(call.Pos(),
+			"call to %s (%s) while holding %s (locked at %s); a blocking call under a mutex convoys all other lockers",
+			fn.Name(), why, lock, c.pos(lockPos))
+	}
+}
+
+// channelOp reports a channel operation performed under a held lock.
+func (c *checker) channelOp(pos token.Pos, what string, st *lstate) {
+	if len(st.held) == 0 {
+		return
+	}
+	lock, lockPos := c.anyHeld(st)
+	c.reportf(pos, "%s while holding %s (locked at %s); channel operations can block indefinitely under a mutex",
+		what, lock, c.pos(lockPos))
+}
+
+// anyHeld picks a deterministic representative of the held set for the
+// diagnostic message.
+func (c *checker) anyHeld(st *lstate) (string, token.Pos) {
+	keys := make([]string, 0, len(st.held))
+	for k := range st.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys[0], st.held[keys[0]]
+}
+
+// ---- blocking-ness ----
+
+// mayBlock decides whether calling fn can block, and why.
+func (c *checker) mayBlock(fn *types.Func) (string, bool) {
+	if c.blocking[fn] {
+		return "may block", true
+	}
+	var fact Blocks
+	if c.pass.ImportObjectFact(fn, &fact) {
+		return "may block", true
+	}
+	if why, ok := seededBlocker(fn); ok {
+		return why, true
+	}
+	return "", false
+}
+
+// seededBlocker recognizes well-known blocking functions by name: the
+// stdlib is not analyzed for facts, so its blockers are seeded here.
+func seededBlocker(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		// Interface methods named like I/O block for all we know: a
+		// net.Conn Read, an io.Writer to a socket.
+		if recvIsInterface(fn) && ioMethodName(fn.Name()) {
+			return "interface I/O method", true
+		}
+		return "", false
+	}
+	recv := recvTypeName(fn)
+	if recvIsInterface(fn) && ioMethodName(fn.Name()) {
+		return "interface I/O method", true
+	}
+	switch recv {
+	case "sync.WaitGroup":
+		if fn.Name() == "Wait" {
+			return "waits for a WaitGroup", true
+		}
+		return "", false
+	case "":
+		// package-level functions
+	default:
+		if trimVariant(fn.Pkg().Path()) == "net" && ioMethodName(fn.Name()) {
+			return "network I/O", true
+		}
+		return "", false
+	}
+	switch trimVariant(fn.Pkg().Path()) + "." + fn.Name() {
+	case "time.Sleep":
+		return "sleeps", true
+	case "io.ReadFull", "io.ReadAtLeast", "io.ReadAll", "io.Copy", "io.CopyN", "io.CopyBuffer":
+		return "reads from an io.Reader", true
+	case "net.Dial", "net.DialTimeout", "net.Listen":
+		return "network I/O", true
+	}
+	return "", false
+}
+
+func ioMethodName(name string) bool {
+	switch name {
+	case "Read", "Write", "ReadFrom", "WriteTo", "Flush", "Accept",
+		"ReadByte", "WriteByte", "ReadFull":
+		return true
+	}
+	return false
+}
+
+// computeBlocking finds, by fixpoint, which of this package's functions
+// may block, and exports Blocks facts for them.
+func (c *checker) computeBlocking() {
+	type fn struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
+	}
+	var fns []fn
+	for _, f := range c.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				fns = append(fns, fn{obj, fd})
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if c.blocking[f.obj] {
+				continue
+			}
+			if c.bodyBlocks(f.decl.Body) {
+				c.blocking[f.obj] = true
+				changed = true
+			}
+		}
+	}
+	for _, f := range fns {
+		if c.blocking[f.obj] {
+			c.pass.ExportObjectFact(f.obj, &Blocks{})
+		}
+	}
+}
+
+// bodyBlocks reports whether body contains a blocking construct,
+// ignoring nested function literals (goroutine bodies block on their
+// own time, not the caller's).
+func (c *checker) bodyBlocks(body *ast.BlockStmt) bool {
+	// Comm statements of selects are judged at the select (a select
+	// with a default never blocks), not as standalone channel ops.
+	comms := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					comms[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	blocks := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocks || comms[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// Spawning doesn't block; skip the call so `go f()` with a
+			// blocking f doesn't mark the spawner.  Arguments can't
+			// block (they're expressions, calls in them are handled by
+			// the CallExpr case below through a fresh Inspect... keep
+			// it simple: argument calls are rare and conservative
+			// omission here only loses a fact, never adds a false
+			// positive).
+			return false
+		case *ast.SendStmt:
+			blocks = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocks = true
+			}
+		case *ast.RangeStmt:
+			if c.isChannelType(n.X) {
+				blocks = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				blocks = true
+			}
+		case *ast.CallExpr:
+			fn := c.callee(n)
+			if fn == nil {
+				return true
+			}
+			if recvTypeName(fn) == "sync.Cond" && fn.Name() == "Wait" {
+				blocks = true
+				return true
+			}
+			if c.blocking[fn] {
+				blocks = true
+				return true
+			}
+			var fact Blocks
+			if c.pass.ImportObjectFact(fn, &fact) {
+				blocks = true
+				return true
+			}
+			if _, ok := seededBlocker(fn); ok {
+				blocks = true
+			}
+		}
+		return !blocks
+	})
+	return blocks
+}
+
+// ---- helpers ----
+
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func (c *checker) isChannelType(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+func (c *checker) pos(p token.Pos) string {
+	return fmt.Sprintf("line %d", c.pass.Fset.Position(p).Line)
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns "pkg.Type" of fn's receiver type, or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return trimVariant(obj.Pkg().Path()) + "." + obj.Name()
+}
+
+// recvIsInterface reports whether fn is an interface method.
+func recvIsInterface(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+func trimVariant(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

@@ -1,0 +1,99 @@
+// Package lockfix exercises lockcheck: blocking operations under a held
+// sync.Mutex, Blocks fact propagation, and the sanctioned shapes.
+package lockfix
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// sendUnderLock performs a channel send with the mutex held.
+func (b *box) sendUnderLock() { // want sendUnderLock:`blocks`
+	b.mu.Lock()
+	b.ch <- 1 // want `channel send while holding b.mu \(locked at line \d+\); channel operations can block indefinitely under a mutex`
+	b.mu.Unlock()
+}
+
+// recvUnderLock blocks on a receive with the mutex held.
+func (b *box) recvUnderLock() { // want recvUnderLock:`blocks`
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-b.ch // want `channel receive while holding b.mu \(locked at line \d+\); channel operations can block indefinitely under a mutex`
+}
+
+// sleepUnderLock parks every other locker for the duration.
+func (b *box) sleepUnderLock() { // want sleepUnderLock:`blocks`
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to Sleep \(sleeps\) while holding b.mu \(locked at line \d+\); a blocking call under a mutex convoys all other lockers`
+	b.mu.Unlock()
+}
+
+// writeUnderLock does interface I/O with the mutex held.
+func (b *box) writeUnderLock(w io.Writer, p []byte) { // want writeUnderLock:`blocks`
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w.Write(p) // want `call to Write \(interface I/O method\) while holding b.mu \(locked at line \d+\); a blocking call under a mutex convoys all other lockers`
+}
+
+// waitsOnChannel earns a Blocks fact: it performs a bare receive.
+func waitsOnChannel(ch chan int) int { // want waitsOnChannel:`blocks`
+	return <-ch
+}
+
+// indirectBlock calls a local blocker under the lock: the Blocks fact
+// flows through the local fixpoint.
+func (b *box) indirectBlock() { // want indirectBlock:`blocks`
+	b.mu.Lock()
+	waitsOnChannel(b.ch) // want `call to waitsOnChannel \(may block\) while holding b.mu \(locked at line \d+\); a blocking call under a mutex convoys all other lockers`
+	b.mu.Unlock()
+}
+
+// nonBlockingSend is clean: a select with a default never blocks.
+func (b *box) nonBlockingSend() {
+	b.mu.Lock()
+	select {
+	case b.ch <- 1:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+// afterUnlock is clean: the send happens once the lock is released.
+func (b *box) afterUnlock() { // want afterUnlock:`blocks`
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.ch <- b.n
+}
+
+// condWait is clean at the wait site: sync.Cond.Wait releases the mutex
+// while parked (though the function still earns a Blocks fact).
+type waiter struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	red  bool
+}
+
+func (w *waiter) condWait() { // want condWait:`blocks`
+	w.mu.Lock()
+	for !w.red {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// goroutineBody is clean: the goroutine runs without the caller's lock.
+func (b *box) goroutineBody() {
+	b.mu.Lock()
+	go func() {
+		b.ch <- 1
+	}()
+	b.mu.Unlock()
+}

@@ -4,18 +4,28 @@ package passes
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/alloccheck"
+	"repro/internal/analysis/passes/atomiccheck"
 	"repro/internal/analysis/passes/endiancheck"
+	"repro/internal/analysis/passes/lockcheck"
+	"repro/internal/analysis/passes/poolcheck"
 	"repro/internal/analysis/passes/senterr"
 	"repro/internal/analysis/passes/speccheck"
 	"repro/internal/analysis/passes/tagcheck"
 	"repro/internal/analysis/passes/tracecheck"
 )
 
-// All is the pbiovet suite, in reporting order.
+// All is the pbiovet suite, in reporting order: the shape checks from
+// the first vet generation, then the flow-aware ownership, locking and
+// allocation checks.
 var All = []*analysis.Analyzer{
 	tagcheck.Analyzer,
 	speccheck.Analyzer,
 	endiancheck.Analyzer,
 	senterr.Analyzer,
 	tracecheck.Analyzer,
+	poolcheck.Analyzer,
+	lockcheck.Analyzer,
+	atomiccheck.Analyzer,
+	alloccheck.Analyzer,
 }

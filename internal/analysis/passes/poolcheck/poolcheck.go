@@ -1,0 +1,854 @@
+// Package poolcheck defines a flow-aware analyzer for bufpool buffer
+// ownership.
+//
+// internal/bufpool hands out size-classed []byte buffers on the promise
+// that every Get has exactly one owner, the owner calls Put exactly
+// once, and nobody touches the buffer after it returns to the pool.
+// The zero-copy paths this module is built around (transport reads,
+// relay fan-out, batch flushes) pass those buffers across function and
+// goroutine boundaries, where a missed or doubled Put corrupts the pool
+// silently: the crash happens much later, in an unrelated Get caller.
+//
+// The analyzer interprets each function body with the flow engine
+// (internal/analysis/flow), tracking the abstract state of every local
+// or parameter that holds a pooled buffer:
+//
+//   - use after Put — reading, slicing, or passing a buffer on a path
+//     where it has (or may have) already returned to the pool;
+//   - double Put — a second Put reachable on any path, including via a
+//     deferred Put;
+//   - Put of a re-sliced buffer (Put(b[k:]) with k > 0) — the pool
+//     indexes its size classes by the slice base, so returning a
+//     shifted slice poisons the class;
+//   - escape to a goroutine without ownership transfer — `go f(b)`
+//     where f is not known to take over the Put.
+//
+// Ownership transfer is first-class: sending a buffer on a channel,
+// storing it into a composite literal or struct field, or passing it to
+// a function that Puts its argument all end local ownership.  The last
+// case crosses package boundaries through the PutsArg fact: analyzing a
+// package exports "this function Puts parameter i" facts, and analyses
+// of importing packages consume them through the unitchecker's vetx
+// files.
+package poolcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+	"repro/internal/analysis/inspect"
+)
+
+// Analyzer checks bufpool Get/Put ownership flow.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc: `check ownership flow of bufpool buffers
+
+Every bufpool.Get has one owner and one Put.  This analyzer tracks
+buffers through each function's control flow and flags use after Put,
+double Put on any path, Put of a re-sliced buffer, and buffers handed
+to goroutines without an ownership transfer.  Functions that Put their
+[]byte parameter export a PutsArg fact, so calls into such functions —
+including across packages — count as ownership transfers.`,
+	IncludeTests: true,
+	Requires:     []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes:    []analysis.Fact{(*PutsArg)(nil)},
+	Run:          run,
+}
+
+const bufpoolPath = "repro/internal/bufpool"
+
+// PutsArg is the cross-package ownership-transfer fact: the function it
+// is attached to returns the pooled buffers passed at the given
+// zero-based parameter indices to bufpool (directly or via another
+// PutsArg function), so callers lose ownership at the call.
+type PutsArg struct {
+	Params []int
+}
+
+func (*PutsArg) AFact() {}
+
+func (f *PutsArg) String() string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = fmt.Sprint(p)
+	}
+	return "putsArg(" + strings.Join(parts, ",") + ")"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:      pass,
+		summaries: make(map[*types.Func][]int),
+		reported:  make(map[string]bool),
+	}
+	c.computeSummaries()
+	in := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				c.checkFunc(n.Type, n.Body)
+			}
+		case *ast.FuncLit:
+			c.checkFunc(n.Type, n.Body)
+		}
+	})
+	return nil, nil
+}
+
+// ---- abstract state ----
+
+type status uint8
+
+const (
+	owned         status = iota // live pooled buffer, this frame must resolve it
+	released                    // returned to the pool (or ownership transferred) on all paths here
+	maybeReleased               // returned to the pool on some path
+	resliced                    // derived via b[k:], k > 0: usable, but must never be Put
+	deferredPut                 // a registered defer will Put it at function exit
+	untracked                   // ownership moved somewhere the analysis cannot follow
+)
+
+type cell struct {
+	st      status
+	pos     token.Pos // the Put / transfer that ended ownership
+	how     string    // how ownership ended, for diagnostics
+	defers  int       // registered deferred Puts
+	fromGet bool      // provenance proven: this frame called bufpool.Get
+}
+
+type pstate struct {
+	vars map[types.Object]*cell
+}
+
+func (s *pstate) Clone() flow.State {
+	out := &pstate{vars: make(map[types.Object]*cell, len(s.vars))}
+	copied := make(map[*cell]*cell)
+	for obj, c := range s.vars {
+		nc, ok := copied[c]
+		if !ok {
+			cp := *c
+			nc = &cp
+			copied[c] = nc
+		}
+		out.vars[obj] = nc // aliases keep sharing a cell within one path
+	}
+	return out
+}
+
+func merge(dst, src flow.State) {
+	d, s := dst.(*pstate), src.(*pstate)
+	for obj, sc := range s.vars {
+		dc, ok := d.vars[obj]
+		if !ok {
+			cp := *sc
+			d.vars[obj] = &cp
+			continue
+		}
+		combine(dc, sc)
+	}
+}
+
+// combine joins two statuses for the same variable at a control-flow
+// merge, into dst.
+func combine(dst, src *cell) {
+	if dst.st == src.st {
+		if dst.pos == token.NoPos {
+			dst.pos, dst.how = src.pos, src.how
+		}
+		if src.defers > dst.defers {
+			dst.defers = src.defers
+		}
+		return
+	}
+	dst.fromGet = dst.fromGet || src.fromGet
+	pair := func(a, b status) bool {
+		return (dst.st == a && src.st == b) || (dst.st == b && src.st == a)
+	}
+	switch {
+	case dst.st == untracked || src.st == untracked:
+		dst.st = untracked
+	case pair(owned, released), pair(owned, maybeReleased), pair(released, maybeReleased):
+		if dst.st == owned {
+			dst.pos, dst.how = src.pos, src.how
+		}
+		dst.st = maybeReleased
+	case pair(owned, deferredPut):
+		dst.st = deferredPut
+		if dst.defers == 0 {
+			dst.defers = src.defers
+		}
+	default:
+		// released/resliced/deferred mixes: give up on the variable
+		// rather than guess.
+		dst.st = untracked
+	}
+}
+
+// ---- per-function flow checking ----
+
+type checker struct {
+	pass      *analysis.Pass
+	summaries map[*types.Func][]int
+	reported  map[string]bool // dedupes reports across repeated loop interpretation
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.pass.Reportf(pos, "%s", msg)
+}
+
+func (c *checker) checkFunc(ftype *ast.FuncType, body *ast.BlockStmt) {
+	st := &pstate{vars: make(map[types.Object]*cell)}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				obj := c.pass.TypesInfo.Defs[name]
+				if obj != nil && isByteSlice(obj.Type()) {
+					st.vars[obj] = &cell{st: owned}
+				}
+			}
+		}
+	}
+	flow.Func(body, st, flow.Hooks{
+		Stmt:  func(s ast.Stmt, fs flow.State) { c.stmt(s, fs.(*pstate)) },
+		Expr:  func(e ast.Expr, fs flow.State) { c.uses(e, fs.(*pstate), false) },
+		Merge: merge,
+		Info:  c.pass.TypesInfo,
+	})
+}
+
+func (c *checker) stmt(s ast.Stmt, st *pstate) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					c.assignOne(name, rhs, st)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && c.isPut(call) {
+			c.put(call, st, false)
+			return
+		}
+		c.uses(s.X, st, false)
+	case *ast.SendStmt:
+		c.uses(s.Chan, st, false)
+		c.uses(s.Value, st, false)
+		// Sending a pooled buffer transfers ownership to the receiver.
+		if obj := c.trackedIdent(s.Value, st); obj != nil {
+			cl := st.vars[obj]
+			if cl.st == owned {
+				cl.st = released
+				cl.pos = s.Arrow
+				cl.how = "sent on a channel (ownership transferred)"
+			}
+		}
+	case *ast.DeferStmt:
+		c.deferStmt(s, st)
+	case *ast.GoStmt:
+		c.goStmt(s, st)
+	case *ast.ReturnStmt:
+		// Returning a buffer hands ownership to the caller; other result
+		// expressions are ordinary uses.
+		for _, r := range s.Results {
+			if c.trackedIdent(r, st) == nil {
+				c.uses(r, st, false)
+			}
+		}
+	case *ast.IncDecStmt:
+		c.uses(s.X, st, false)
+	case *ast.RangeStmt:
+		c.uses(s.X, st, false)
+	}
+}
+
+func (c *checker) assign(s *ast.AssignStmt, st *pstate) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			c.assignOne(s.Lhs[i], s.Rhs[i], st)
+		}
+		return
+	}
+	// Tuple assignment from one multi-value expression: no tracked
+	// source shape produces multiple values, so everything assigned
+	// becomes untracked.
+	for _, r := range s.Rhs {
+		c.uses(r, st, false)
+	}
+	for _, l := range s.Lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			if obj := c.identObj(id); obj != nil {
+				delete(st.vars, obj)
+			}
+		} else {
+			c.uses(l, st, false)
+		}
+	}
+}
+
+// assignOne applies `lhs = rhs` (rhs may be nil for a plain var decl).
+func (c *checker) assignOne(lhs, rhs ast.Expr, st *pstate) {
+	id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+	if !isIdent {
+		// Storing into a field, index, or dereference moves the buffer
+		// into a structure this frame no longer owns.
+		c.uses(lhs, st, false)
+		if rhs != nil {
+			c.uses(rhs, st, true)
+		}
+		return
+	}
+	var obj types.Object
+	if id.Name != "_" {
+		obj = c.identObj(id)
+	}
+	if rhs == nil {
+		return
+	}
+	if nc := c.evalRHS(rhs, st); nc != nil {
+		if obj != nil {
+			st.vars[obj] = nc
+		}
+		return
+	}
+	c.uses(rhs, st, false)
+	if obj != nil {
+		delete(st.vars, obj)
+	}
+}
+
+// evalRHS resolves rhs to a tracked cell: a fresh bufpool.Get result, an
+// alias of a tracked variable, or a re-slice of one.  nil means the
+// value is not (or no longer) trackable.
+func (c *checker) evalRHS(rhs ast.Expr, st *pstate) *cell {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if c.isGet(e) {
+			for _, a := range e.Args {
+				c.uses(a, st, false)
+			}
+			return &cell{st: owned, fromGet: true}
+		}
+	case *ast.Ident:
+		if obj := c.identObj(e); obj != nil {
+			if cl, ok := st.vars[obj]; ok {
+				return cl // alias: share the cell on this path
+			}
+		}
+	case *ast.SliceExpr:
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				c.uses(idx, st, false)
+			}
+		}
+		base := c.evalRHS(e.X, st)
+		if base == nil {
+			c.uses(e.X, st, false)
+			return nil
+		}
+		if e.Low == nil || isZeroConst(c.pass, e.Low) {
+			return base // b[:n] keeps the slice base: same buffer
+		}
+		// b[k:]: usable memory, but Putting it would poison the pool's
+		// size-class index.
+		c.checkRead(e.X, base)
+		return &cell{st: resliced}
+	}
+	return nil
+}
+
+// uses walks an expression for reads of tracked buffers, reporting any
+// that happen after the buffer was (or may have been) released.
+// inComposite marks positions inside a composite literal, where a
+// buffer reference transfers ownership into the built value.
+func (c *checker) uses(e ast.Expr, st *pstate, inComposite bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.identObj(e)
+		if obj == nil {
+			return
+		}
+		cl, ok := st.vars[obj]
+		if !ok {
+			return
+		}
+		c.checkRead(e, cl)
+		if inComposite && cl.st == owned {
+			cl.st = untracked // ownership moved into the literal
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				c.uses(kv.Value, st, true)
+				continue
+			}
+			c.uses(elt, st, true)
+		}
+	case *ast.FuncLit:
+		// A closure capturing a tracked buffer may use or Put it at any
+		// later time: stop tracking the captured variables.
+		c.untrackCaptured(e, st)
+	case *ast.CallExpr:
+		if c.isPut(e) {
+			c.put(e, st, false)
+			return
+		}
+		c.uses(e.Fun, st, false)
+		for _, a := range e.Args {
+			c.uses(a, st, false)
+		}
+		c.applyCalleeTransfers(e, st, token.NoPos)
+	case *ast.ParenExpr:
+		c.uses(e.X, st, inComposite)
+	case *ast.UnaryExpr:
+		c.uses(e.X, st, inComposite)
+	case *ast.StarExpr:
+		c.uses(e.X, st, false)
+	case *ast.SelectorExpr:
+		c.uses(e.X, st, false)
+	case *ast.IndexExpr:
+		c.uses(e.X, st, false)
+		c.uses(e.Index, st, false)
+	case *ast.IndexListExpr:
+		c.uses(e.X, st, false)
+		for _, idx := range e.Indices {
+			c.uses(idx, st, false)
+		}
+	case *ast.SliceExpr:
+		c.uses(e.X, st, false)
+		c.uses(e.Low, st, false)
+		c.uses(e.High, st, false)
+		c.uses(e.Max, st, false)
+	case *ast.BinaryExpr:
+		c.uses(e.X, st, false)
+		c.uses(e.Y, st, false)
+	case *ast.KeyValueExpr:
+		c.uses(e.Key, st, false)
+		c.uses(e.Value, st, inComposite)
+	case *ast.TypeAssertExpr:
+		c.uses(e.X, st, false)
+	}
+}
+
+// checkRead reports a read of a buffer whose ownership already ended.
+func (c *checker) checkRead(at ast.Expr, cl *cell) {
+	switch cl.st {
+	case released:
+		c.reportf(at.Pos(), "use of pooled buffer after it was %s (at %s)",
+			howOrPut(cl), c.pos(cl.pos))
+	case maybeReleased:
+		c.reportf(at.Pos(), "pooled buffer may already have been %s on some path (at %s)",
+			howOrPut(cl), c.pos(cl.pos))
+	}
+}
+
+func howOrPut(cl *cell) string {
+	if cl.how != "" {
+		return cl.how
+	}
+	return "returned to the pool"
+}
+
+// put applies bufpool.Put(arg) semantics.  deferred marks a Put
+// registered by a defer statement, which runs at function exit.
+func (c *checker) put(call *ast.CallExpr, st *pstate, deferred bool) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if se, ok := arg.(*ast.SliceExpr); ok {
+		if se.Low != nil && !isZeroConst(c.pass, se.Low) {
+			if c.trackedIdent(se.X, st) != nil || isByteSlice(c.exprType(se.X)) {
+				c.reportf(call.Pos(),
+					"bufpool.Put of a re-sliced buffer (base shifted by %s): the pool keys size classes by the slice base; Put the original Get result",
+					render(se.Low))
+			}
+			return
+		}
+		arg = ast.Unparen(se.X) // Put(b[:n]) returns the same base
+	}
+	obj := c.trackedIdent(arg, st)
+	if obj == nil {
+		c.uses(arg, st, false)
+		return
+	}
+	cl := st.vars[obj]
+	switch cl.st {
+	case released:
+		c.reportf(call.Pos(), "double Put of pooled buffer (already %s at %s)",
+			howOrPut(cl), c.pos(cl.pos))
+	case maybeReleased:
+		c.reportf(call.Pos(), "pooled buffer may already have been %s on some path (at %s); this Put can double-free",
+			howOrPut(cl), c.pos(cl.pos))
+	case resliced:
+		c.reportf(call.Pos(),
+			"bufpool.Put of a re-sliced buffer: the pool keys size classes by the slice base; Put the original Get result")
+	case deferredPut:
+		if deferred {
+			cl.defers++
+			c.reportf(call.Pos(), "pooled buffer has %d deferred Puts registered; it will be double-freed at return", cl.defers)
+		} else {
+			c.reportf(call.Pos(), "Put of pooled buffer that a deferred Put (registered at %s) will free again at return",
+				c.pos(cl.pos))
+		}
+	case owned:
+		if deferred {
+			cl.st = deferredPut
+			cl.defers = 1
+		} else {
+			cl.st = released
+		}
+		cl.pos = call.Pos()
+		cl.how = ""
+	}
+}
+
+func (c *checker) deferStmt(s *ast.DeferStmt, st *pstate) {
+	if c.isPut(s.Call) {
+		c.put(s.Call, st, true)
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		c.untrackCaptured(lit, st)
+		for _, a := range s.Call.Args {
+			c.uses(a, st, false)
+		}
+		return
+	}
+	for _, a := range s.Call.Args {
+		c.uses(a, st, false)
+	}
+	// A deferred call into a PutsArg function frees its argument at
+	// function exit, like a deferred Put.
+	c.applyCalleeTransfers(s.Call, st, s.Pos())
+}
+
+func (c *checker) goStmt(s *ast.GoStmt, st *pstate) {
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		c.untrackCaptured(lit, st)
+		for _, a := range s.Call.Args {
+			c.uses(a, st, false)
+		}
+		return
+	}
+	callee := c.callee(s.Call)
+	puts := c.putsIndices(callee)
+	for i, a := range s.Call.Args {
+		obj := c.trackedIdent(a, st)
+		if obj == nil {
+			c.uses(a, st, false)
+			continue
+		}
+		cl := st.vars[obj]
+		c.checkRead(a, cl)
+		if cl.st != owned {
+			continue
+		}
+		if containsInt(puts, i) {
+			cl.st = released
+			cl.pos = s.Pos()
+			cl.how = "handed to a goroutine that Puts it (ownership transferred)"
+			continue
+		}
+		if !cl.fromGet {
+			continue // provenance unknown: the slice may not be pooled
+		}
+		name := "the called function"
+		if callee != nil {
+			name = callee.Name()
+		}
+		c.reportf(a.Pos(),
+			"pooled buffer escapes to a goroutine without ownership transfer: %s does not Put it; the buffer can be reused while the goroutine still reads it",
+			name)
+		cl.st = untracked
+	}
+}
+
+// applyCalleeTransfers marks tracked arguments of call as released when
+// the callee is known — locally or through a PutsArg fact — to Put
+// them.  transferPos overrides the recorded position (used for defers).
+func (c *checker) applyCalleeTransfers(call *ast.CallExpr, st *pstate, transferPos token.Pos) {
+	callee := c.callee(call)
+	puts := c.putsIndices(callee)
+	if len(puts) == 0 {
+		return
+	}
+	deferred := transferPos != token.NoPos
+	for _, i := range puts {
+		if i >= len(call.Args) {
+			continue
+		}
+		obj := c.trackedIdent(call.Args[i], st)
+		if obj == nil {
+			continue
+		}
+		cl := st.vars[obj]
+		if cl.st != owned {
+			continue
+		}
+		if deferred {
+			cl.st = deferredPut
+			cl.defers = 1
+			cl.pos = transferPos
+			cl.how = fmt.Sprintf("passed to deferred %s, which Puts it", callee.Name())
+		} else {
+			cl.st = released
+			cl.pos = call.Pos()
+			cl.how = fmt.Sprintf("passed to %s, which Puts it (ownership transferred)", callee.Name())
+		}
+	}
+}
+
+// untrackCaptured stops tracking every buffer variable referenced
+// inside lit: the closure may use or free it at any later time.
+func (c *checker) untrackCaptured(lit *ast.FuncLit, st *pstate) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := c.identObj(id); obj != nil {
+			if cl, ok := st.vars[obj]; ok {
+				cl.st = untracked
+			}
+		}
+		return true
+	})
+}
+
+// ---- PutsArg summaries ----
+
+// computeSummaries finds, by fixpoint over the package's functions,
+// which []byte parameters each function Puts (directly, or through
+// another PutsArg function), and exports the result as object facts.
+func (c *checker) computeSummaries() {
+	type fn struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
+	}
+	var fns []fn
+	for _, f := range c.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fn{obj, fd})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			idx := c.scanPuts(f.decl)
+			if len(idx) > len(c.summaries[f.obj]) {
+				c.summaries[f.obj] = idx
+				changed = true
+			}
+		}
+	}
+	for _, f := range fns {
+		if idx := c.summaries[f.obj]; len(idx) > 0 {
+			c.pass.ExportObjectFact(f.obj, &PutsArg{Params: idx})
+		}
+	}
+}
+
+// scanPuts returns the parameter indices of decl that reach a bufpool
+// Put, given the summaries computed so far.
+func (c *checker) scanPuts(decl *ast.FuncDecl) []int {
+	params := make(map[types.Object]int)
+	i := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := c.pass.TypesInfo.Defs[name]; obj != nil && isByteSlice(obj.Type()) {
+				params[obj] = i
+			}
+			i++
+		}
+	}
+	if len(params) == 0 {
+		return nil
+	}
+	found := make(map[int]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		paramIndex := func(e ast.Expr) (int, bool) {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			if !ok {
+				return 0, false
+			}
+			idx, ok := params[c.identObj(id)]
+			return idx, ok
+		}
+		if c.isPut(call) && len(call.Args) == 1 {
+			if idx, ok := paramIndex(call.Args[0]); ok {
+				found[idx] = true
+			}
+			return true
+		}
+		for _, pi := range c.putsIndices(c.callee(call)) {
+			if pi < len(call.Args) {
+				if idx, ok := paramIndex(call.Args[pi]); ok {
+					found[idx] = true
+				}
+			}
+		}
+		return true
+	})
+	out := make([]int, 0, len(found))
+	for idx := range found {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// putsIndices returns the parameter indices fn is known to Put, from
+// the local fixpoint or an imported fact.
+func (c *checker) putsIndices(fn *types.Func) []int {
+	if fn == nil {
+		return nil
+	}
+	if idx, ok := c.summaries[fn]; ok {
+		return idx
+	}
+	var fact PutsArg
+	if c.pass.ImportObjectFact(fn, &fact) {
+		return fact.Params
+	}
+	return nil
+}
+
+// ---- helpers ----
+
+func (c *checker) isGet(call *ast.CallExpr) bool { return c.isBufpool(call, "Get") }
+func (c *checker) isPut(call *ast.CallExpr) bool { return c.isBufpool(call, "Put") }
+
+func (c *checker) isBufpool(call *ast.CallExpr, name string) bool {
+	fn := c.callee(call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil &&
+		trimVariant(fn.Pkg().Path()) == bufpoolPath
+}
+
+// callee resolves the static callee of call, or nil.
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// trackedIdent returns the object of e when e is an identifier tracked
+// in st.
+func (c *checker) trackedIdent(e ast.Expr, st *pstate) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.identObj(id)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := st.vars[obj]; !ok {
+		return nil
+	}
+	return obj
+}
+
+func (c *checker) identObj(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+func (c *checker) exprType(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (c *checker) pos(p token.Pos) string {
+	pos := c.pass.Fset.Position(p)
+	return fmt.Sprintf("line %d", pos.Line)
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil && tv.Value.String() == "0"
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func render(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+func trimVariant(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

@@ -1,0 +1,121 @@
+// Package poolfix exercises poolcheck: bufpool ownership flow through
+// Get, Put, reslicing, goroutines and ownership transfers.
+package poolfix
+
+import (
+	"repro/internal/bufpool"
+)
+
+var sink []byte
+var ch = make(chan []byte, 1)
+
+// useAfterPut reads a buffer it already returned to the pool.
+func useAfterPut() byte {
+	b := bufpool.Get(64)
+	bufpool.Put(b)
+	return b[0] // want `use of pooled buffer after it was returned to the pool \(at line \d+\)`
+}
+
+// doublePut returns the same buffer twice.
+func doublePut() {
+	b := bufpool.Get(64)
+	bufpool.Put(b)
+	bufpool.Put(b) // want `double Put of pooled buffer \(already returned to the pool at line \d+\)`
+}
+
+// maybePut releases on one branch only, then uses the buffer.
+func maybePut(fail bool) byte {
+	b := bufpool.Get(64)
+	if fail {
+		bufpool.Put(b)
+	}
+	return b[0] // want `pooled buffer may already have been returned to the pool on some path \(at line \d+\)`
+}
+
+// putShifted Puts a reslice whose base moved: the pool would file the
+// buffer under the wrong size class.
+func putShifted() {
+	b := bufpool.Get(64)
+	bufpool.Put(b[8:]) // want `bufpool.Put of a re-sliced buffer \(base shifted by 8\): the pool keys size classes by the slice base; Put the original Get result`
+}
+
+// putResliced reassigns a shifted reslice before Put.
+func putResliced() {
+	b := bufpool.Get(64)
+	b = b[8:]
+	bufpool.Put(b) // want `bufpool.Put of a re-sliced buffer: the pool keys size classes by the slice base; Put the original Get result`
+}
+
+// goroutineEscape hands the buffer to a goroutine that never takes
+// ownership, then keeps using it.
+func goroutineEscape() byte {
+	b := bufpool.Get(64)
+	go leak(b) // want `pooled buffer escapes to a goroutine without ownership transfer: leak does not Put it; the buffer can be reused while the goroutine still reads it`
+	return 0
+}
+
+// leak reads its argument but never Puts it.
+func leak(b []byte) { sink = b }
+
+// putsParam Puts its parameter: poolcheck exports a PutsArg fact so
+// callers in other packages know ownership transfers here.
+func putsParam(b []byte) { // want putsParam:`putsArg\(0\)`
+	bufpool.Put(b)
+}
+
+// putsSecond Puts only its second parameter.
+func putsSecond(n int, b []byte) { // want putsSecond:`putsArg\(1\)`
+	_ = n
+	bufpool.Put(b)
+}
+
+// transferToPutter is clean: ownership moves into putsParam.
+func transferToPutter() {
+	b := bufpool.Get(64)
+	putsParam(b)
+}
+
+// goWithTransfer is clean: the goroutine's callee Puts the buffer.
+func goWithTransfer() {
+	b := bufpool.Get(64)
+	go putsParam(b)
+}
+
+// deferredPut is the idiomatic clean shape.
+func deferredPut() byte {
+	b := bufpool.Get(64)
+	defer bufpool.Put(b)
+	return b[0]
+}
+
+// putAfterDeferredPut frees a buffer a deferred Put will free again.
+func putAfterDeferredPut() {
+	b := bufpool.Get(64)
+	defer bufpool.Put(b)
+	bufpool.Put(b) // want `Put of pooled buffer that a deferred Put \(registered at line \d+\) will free again at return`
+}
+
+// sendTransfers is clean: a channel send hands the buffer away.
+func sendTransfers() {
+	b := bufpool.Get(64)
+	ch <- b
+}
+
+// useAfterSend touches the buffer after the receiver owns it.
+func useAfterSend() byte {
+	b := bufpool.Get(64)
+	ch <- b
+	return b[0] // want `use of pooled buffer after it was sent on a channel \(ownership transferred\) \(at line \d+\)`
+}
+
+// returnTransfers is clean: the caller inherits ownership.
+func returnTransfers() []byte {
+	return bufpool.Get(64)
+}
+
+// putPrefixUnwraps is clean: Put(b[:n]) with base intact resolves to the
+// original buffer.
+func putPrefixUnwraps() {
+	b := bufpool.Get(64)
+	bufpool.Put(b[:16])
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/inspect"
 )
 
 // Analyzer flags sentinel-error comparisons that should use errors.Is.
@@ -30,16 +31,18 @@ sentinels (fmt.Errorf with %w), so identity comparison misclassifies
 them; use errors.Is(err, pkg.ErrX) instead.  Switch statements over an
 error value are equality comparisons too and are flagged the same way.`,
 	IncludeTests: true,
+	Requires:     []*analysis.Analyzer{inspect.Analyzer},
 	Run:          run,
 }
 
-func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
+func run(pass *analysis.Pass) (any, error) {
+	in := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+	in.Preorder([]ast.Node{(*ast.BinaryExpr)(nil), (*ast.SwitchStmt)(nil)},
+		func(node ast.Node) {
+			switch n := node.(type) {
 			case *ast.BinaryExpr:
 				if n.Op != token.EQL && n.Op != token.NEQ {
-					return true
+					return
 				}
 				for _, side := range []ast.Expr{n.X, n.Y} {
 					if name, ok := sentinel(pass, side); ok {
@@ -51,7 +54,7 @@ func run(pass *analysis.Pass) error {
 				}
 			case *ast.SwitchStmt:
 				if n.Tag == nil {
-					return true
+					return
 				}
 				for _, stmt := range n.Body.List {
 					cc, ok := stmt.(*ast.CaseClause)
@@ -67,10 +70,8 @@ func run(pass *analysis.Pass) error {
 					}
 				}
 			}
-			return true
 		})
-	}
-	return nil
+	return nil, nil
 }
 
 // sentinel reports whether e denotes an exported package-level Err*

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/inspect"
 )
 
 // Analyzer validates literal field specs and registration call sites.
@@ -38,31 +39,28 @@ layouts, wherever they appear as compile-time constants.`,
 	// Codec tests build invalid schemas on purpose to probe Validate;
 	// the invariant is about production spec literals.
 	IncludeTests: false,
+	Requires:     []*analysis.Analyzer{inspect.Analyzer},
 	Run:          run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	c := &checker{pass: pass, bounds: make(map[*ast.CompositeLit]int64)}
-	for _, f := range pass.Files {
-		// First pass: remember the record size of every wire.Format
-		// literal, so its field list can be bounds-checked.
-		ast.Inspect(f, func(n ast.Node) bool {
-			if lit, ok := n.(*ast.CompositeLit); ok {
-				c.noteFormatBound(lit)
-			}
-			return true
-		})
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
+	in := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+	// First pass: remember the record size of every wire.Format literal,
+	// so its field list can be bounds-checked.
+	in.Preorder([]ast.Node{(*ast.CompositeLit)(nil)}, func(n ast.Node) {
+		c.noteFormatBound(n.(*ast.CompositeLit))
+	})
+	in.Preorder([]ast.Node{(*ast.CallExpr)(nil), (*ast.CompositeLit)(nil)},
+		func(node ast.Node) {
+			switch n := node.(type) {
 			case *ast.CallExpr:
 				c.checkCall(n)
 			case *ast.CompositeLit:
 				c.checkLit(n)
 			}
-			return true
 		})
-	}
-	return nil
+	return nil, nil
 }
 
 type checker struct {

@@ -44,7 +44,7 @@ tags on unexported fields, and templates RegisterStruct would reject.`,
 
 const supported = "pbio marshals int16/32/64, uint16/32/64, float32/64, string, nested structs, and arrays/slices of scalars"
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	c := &checker{
 		pass:    pass,
 		decls:   make(map[*types.TypeName]*ast.StructType),
@@ -82,7 +82,7 @@ func run(pass *analysis.Pass) error {
 		c.queue = c.queue[1:]
 		c.scanStruct(st)
 	}
-	return nil
+	return nil, nil
 }
 
 type checker struct {

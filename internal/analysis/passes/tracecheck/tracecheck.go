@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/inspect"
 )
 
 // Analyzer flags unbounded (constructed) trace/metric label values.
@@ -44,6 +45,7 @@ tracectx.Span literals key long-lived series; values built with
 fmt.Sprintf, strconv, or non-constant concatenation make the series set
 unbounded.  Draw labels from a fixed constant set instead.`,
 	IncludeTests: true,
+	Requires:     []*analysis.Analyzer{inspect.Analyzer},
 	Run:          run,
 }
 
@@ -52,19 +54,18 @@ const (
 	tracectxPath  = "repro/internal/telemetry/tracectx"
 )
 
-func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
+func run(pass *analysis.Pass) (any, error) {
+	in := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+	in.Preorder([]ast.Node{(*ast.CallExpr)(nil), (*ast.CompositeLit)(nil)},
+		func(node ast.Node) {
+			switch n := node.(type) {
 			case *ast.CallExpr:
 				checkWithCall(pass, n)
 			case *ast.CompositeLit:
 				checkSpanLit(pass, n)
 			}
-			return true
 		})
-	}
-	return nil
+	return nil, nil
 }
 
 // checkWithCall flags constructed arguments to the telemetry label-vector

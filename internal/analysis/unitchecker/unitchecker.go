@@ -17,6 +17,7 @@
 package unitchecker
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -31,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -69,6 +71,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 	}
 	printFlags := flag.Bool("flags", false, "print flags as JSON and exit (go vet protocol)")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON instead of text")
+	runOnly := flag.String("run", "", "comma-separated list of analyzers to run (default: all)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: %s [flags] vet.cfg\n\nAnalyzers:\n", filepath.Base(os.Args[0]))
@@ -86,13 +89,24 @@ func Main(analyzers ...*analysis.Analyzer) {
 			Bool  bool
 			Usage string
 		}
-		descr := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON output"}}
+		descr := []jsonFlag{
+			{Name: "json", Bool: true, Usage: "emit JSON output"},
+			{Name: "run", Bool: false, Usage: "comma-separated list of analyzers to run"},
+		}
 		data, err := json.Marshal(descr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		os.Stdout.Write(data)
 		os.Exit(0)
+	}
+	if *runOnly != "" {
+		selected, err := Select(analyzers, *runOnly)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		analyzers = selected
 	}
 	args := flag.Args()
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
@@ -104,6 +118,42 @@ func Main(analyzers ...*analysis.Analyzer) {
 		log.Fatal(err)
 	}
 	os.Exit(report(os.Stderr, diags, *jsonOut))
+}
+
+// Select resolves a comma-separated list of analyzer names against the
+// registry, preserving registry order.  An unknown name is an error
+// whose message lists the valid names, so a typo in `pbiovet -run=...`
+// fails loudly instead of silently checking nothing.
+func Select(analyzers []*analysis.Analyzer, names string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(analyzers))
+	known := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+		known = append(known, a.Name)
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if byName[name] == nil {
+			return nil, fmt.Errorf("pbiovet: unknown analyzer %q (valid analyzers: %s)",
+				name, strings.Join(known, ", "))
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("pbiovet: -run selected no analyzers (valid analyzers: %s)",
+			strings.Join(known, ", "))
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
 }
 
 // printVersion replicates the output format the go command's tool-ID
@@ -140,18 +190,34 @@ func run(cfgFile string, analyzers []*analysis.Analyzer) ([]diagnostic, error) {
 		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
 	}
 
-	// The go command requires the facts file to exist even though the
-	// pbiovet analyzers are fact-free; an empty file satisfies it and
-	// keeps vet's result caching working.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, err
+	// Decide whether this unit participates in fact flow.  Facts are
+	// only computed for this module's own packages: analyzing the whole
+	// transitive dependency graph (all of std) would be slow and buys
+	// nothing — the blocking behavior of standard-library functions is
+	// seeded by name in the analyzers instead.  Dependency units outside
+	// the module get an empty vetx file, which the go command requires
+	// to exist either way.
+	factful := factBearing(analyzers)
+	if cfg.VetxOnly && (len(factful) == 0 || !inMainModule(&cfg)) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				return nil, err
+			}
 		}
-	}
-	// A VetxOnly unit is a dependency analyzed only for facts the
-	// analyzers here never produce: nothing to do.
-	if cfg.VetxOnly {
 		return nil, nil
+	}
+
+	// Load the facts dependencies exported through their vetx files.
+	analysis.RegisterFactTypes(analyzers)
+	facts := analysis.NewFactSet()
+	for _, vetx := range sortedValues(cfg.PackageVetx) {
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue // no facts recorded for this dependency
+		}
+		if err := facts.Decode(bytes.NewReader(data)); err != nil {
+			return nil, fmt.Errorf("reading facts from %s: %w", vetx, err)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -188,16 +254,93 @@ func run(cfgFile string, analyzers []*analysis.Analyzer) ([]diagnostic, error) {
 		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
 
-	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
-	raw, err := analysis.Run(unit, analyzers)
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Facts: facts}
+	toRun := analyzers
+	if cfg.VetxOnly {
+		// A dependency unit: run only the fact-bearing analyzers, for
+		// their fact exports; their diagnostics are reported when the
+		// package itself is vetted.
+		toRun = factful
+	}
+	raw, err := analysis.Run(unit, toRun)
 	if err != nil {
 		return nil, err
+	}
+
+	// Publish this unit's accumulated facts (its own exports plus its
+	// dependencies', so they flow transitively) for importing packages.
+	if cfg.VetxOutput != "" {
+		var buf bytes.Buffer
+		if err := facts.Encode(&buf); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, buf.Bytes(), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
 	}
 	out := make([]diagnostic, len(raw))
 	for i, d := range raw {
 		out[i] = diagnostic{Diagnostic: d, position: fset.Position(d.Pos)}
 	}
 	return out, nil
+}
+
+// inMainModule reports whether the unit belongs to the module being
+// vetted, as opposed to the standard library (whose GOROOT/src tree
+// declares module "std"): the unit's import path must live under the
+// module path declared by the nearest go.mod above its source
+// directory.  Test-variant paths ("p [p.test]") count as their base
+// package.
+func inMainModule(cfg *Config) bool {
+	path, _, _ := strings.Cut(cfg.ImportPath, " [")
+	dir := cfg.Dir
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if mod, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					mod = strings.Trim(strings.TrimSpace(mod), `"`)
+					return path == mod || strings.HasPrefix(path, mod+"/")
+				}
+			}
+			return false
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir || dir == "" {
+			return false
+		}
+		dir = parent
+	}
+}
+
+// factBearing returns the analyzers that declare fact types — the ones
+// worth running over dependency (VetxOnly) units.
+func factBearing(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// sortedValues returns m's values ordered by key, for deterministic
+// fact-loading order.
+func sortedValues(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
 }
 
 // report prints diagnostics and returns the process exit code.

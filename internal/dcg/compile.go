@@ -66,6 +66,8 @@ func (p *Program) Code() []Instr { return p.code }
 // Convert runs the compiled routine: one wire record in src is converted
 // into the receiver's native layout in dst.  dst and src may alias only
 // when the plan is in-place safe.
+//
+//pbio:hotpath noalloc=0 per-record decode; pinned by pbio/alloc_test.go TestAllocsDCGDecode
 func (p *Program) Convert(dst, src []byte) error {
 	if len(src) < p.plan.Wire.Size {
 		return fmt.Errorf("dcg: source %d bytes, wire format needs %d", len(src), p.plan.Wire.Size)

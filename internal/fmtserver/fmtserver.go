@@ -385,6 +385,7 @@ func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 			}
 			c.counts.retries.Add(1)
 			c.trace.Load().Emit("fmtserver", "retry", fmt.Sprintf("attempt %d: %v", attempt+1, lastErr))
+			//pbiovet:allow lockcheck — c.mu serializes the one-request-at-a-time protocol on this connection; backing off while holding it just extends the current request's turn.
 			time.Sleep(c.backoff << (attempt - 1))
 			conn, err := c.redial()
 			if err != nil {
@@ -396,6 +397,7 @@ func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 			c.conn.Close()
 			c.conn = conn
 		}
+		//pbiovet:allow lockcheck — the request/response exchange is what c.mu serializes: a second caller must not interleave frames on the shared connection, so the I/O happens under the lock by design.
 		status, resp, err := c.do(op, payload)
 		if err == nil {
 			return status, resp, nil

@@ -116,13 +116,34 @@ func newFrameQueue(capacity int, policy QueuePolicy, onEvict func(outFrame)) *fr
 // push enqueues one frame, resolving a full queue by policy.  It takes
 // ownership of the frame's payload reference: on any outcome other than
 // a successful enqueue the reference is released before returning.
+// Under PolicyBlock a full queue makes push wait for space, so callers
+// must not hold any lock the popping consumer might need — the relay
+// calls it only outside the server lock.
 func (q *frameQueue) push(of outFrame) pushResult {
 	q.mu.Lock()
+	for q.n == len(q.buf) && !q.closed && q.policy == PolicyBlock {
+		q.notFull.Wait()
+	}
+	return q.pushLocked(of)
+}
+
+// pushNoWait is push for callers that must never wait — the relay's
+// non-blocking fan-out calls it with the server lock held.  A full
+// PolicyBlock queue resolves as overflow (the caller drops the
+// consumer) instead of waiting; that mix is only possible when the
+// consumer registered under PolicyBlock before SetQueue switched the
+// server to a non-blocking policy, and waiting here would stall every
+// producer on the server lock.
+func (q *frameQueue) pushNoWait(of outFrame) pushResult {
+	q.mu.Lock()
+	return q.pushLocked(of)
+}
+
+// pushLocked resolves a full queue by non-blocking policy and enqueues.
+// The caller holds mu; pushLocked releases it.
+func (q *frameQueue) pushLocked(of outFrame) pushResult {
 	for q.n == len(q.buf) && !q.closed {
 		switch q.policy {
-		case PolicyBlock:
-			q.notFull.Wait()
-			continue
 		case PolicyDropOldest:
 			if q.evictOldestDataLocked() {
 				continue
@@ -143,7 +164,7 @@ func (q *frameQueue) push(of outFrame) pushResult {
 			}
 			q.mu.Unlock()
 			return pushOK
-		default: // PolicyDisconnect
+		default: // PolicyDisconnect, or PolicyBlock without leave to wait
 			q.mu.Unlock()
 			of.owner.release()
 			return pushOverflow

@@ -729,6 +729,8 @@ func (s *Server) broadcastMeta(relayID uint32) {
 // oldest queued frame, block waits for space.  Blocking pushes happen
 // outside the server lock, so one stalled consumer delays its producer's
 // stream but never consumer registration, stats, or other control paths.
+//
+//pbio:hotpath noalloc=0 per-frame fan-out; the non-blocking path enqueues without allocating
 func (s *Server) broadcast(f transport.Frame, owner *sharedPayload, recs, traced int) {
 	if owner != nil {
 		// The broadcaster's own reference keeps the count positive until
@@ -744,6 +746,7 @@ func (s *Server) broadcast(f transport.Frame, owner *sharedPayload, recs, traced
 		// Snapshot the matched consumers and push outside the lock:
 		// PolicyBlock pushes can wait indefinitely on a slow consumer,
 		// and the lock must not wait with them.
+		//pbio:alloc-ok PolicyBlock trades one snapshot slice per frame for never waiting under the server lock
 		targets := make([]*consumer, 0, len(s.consumers))
 		for c := range s.consumers {
 			if isData && !c.wantsLocked(f.FormatID) {
@@ -761,6 +764,7 @@ func (s *Server) broadcast(f transport.Frame, owner *sharedPayload, recs, traced
 			if c.q.push(of) == pushOverflow {
 				// Only possible if this consumer was registered under a
 				// non-blocking policy before SetQueue changed it.
+				//pbio:alloc-ok grows only when a consumer is being evicted, which ends its steady state anyway
 				drop = append(drop, c)
 			}
 		}
@@ -782,7 +786,8 @@ func (s *Server) broadcast(f transport.Frame, owner *sharedPayload, recs, traced
 		if owner != nil {
 			owner.refs.Add(1)
 		}
-		if c.q.push(of) == pushOverflow {
+		if c.q.pushNoWait(of) == pushOverflow {
+			//pbio:alloc-ok grows only when a consumer is being evicted, which ends its steady state anyway
 			drop = append(drop, c)
 		}
 	}

@@ -117,6 +117,7 @@ func (u *Uplink) send(sub transport.Subscription) error {
 	if string(enc) == u.last {
 		return nil
 	}
+	//pbiovet:allow lockcheck — u.mu exists to serialize frame bytes on this connection; holding it across the write is the point, and the upstream peer never needs this lock to drain its side.
 	if err := transport.WriteFrame(u.conn, transport.Frame{Kind: transport.FrameSub, Payload: enc}); err != nil {
 		return err
 	}

@@ -398,6 +398,8 @@ func (t *Writer) ensureFormat(f *wire.Format) (uint32, error) {
 // the stream as-is.  (With SetBatching the record is copied once into
 // the pending batch; that copy is the price of amortizing the frame
 // header and syscall over a run of small records.)
+//
+//pbio:hotpath noalloc=0 steady-state send; pinned by pbio/alloc_test.go TestAllocsSteadyStateWrite
 func (t *Writer) WriteRecord(f *wire.Format, data []byte) error {
 	if len(data) != f.Size {
 		return fmt.Errorf("transport: record %d bytes, format %q is %d", len(data), f.Name, f.Size)
@@ -416,6 +418,8 @@ func (t *Writer) WriteRecord(f *wire.Format, data []byte) error {
 // coalesce appends the record to the pending batch, flushing first on a
 // format switch or when the record would not fit, and after on size or
 // age.
+//
+//pbio:hotpath noalloc=0 per-record batching step; t.batch reaches steady capacity and the append stops growing (pbio/alloc_test.go TestAllocsBatchedWrite)
 func (t *Writer) coalesce(f *wire.Format, id uint32, data []byte) error {
 	if t.batchN > 0 && (id != t.batchID || len(t.batch)+len(data) > t.batchMax) {
 		if err := t.flushPending(); err != nil {
@@ -452,6 +456,8 @@ func (t *Writer) Flush() error {
 
 // flushPending writes the coalescing buffer out as one frame: FrameBatch
 // for a run of two or more records, a plain data frame for one.
+//
+//pbio:hotpath noalloc=0 batch flush; reuses t.batch, t.vec and t.hdr across frames
 func (t *Writer) flushPending() error {
 	n := t.batchN
 	if n == 0 {
@@ -487,6 +493,8 @@ func (t *Writer) flushPending() error {
 // run of records (a relay draining a queue, a simulation emitting a
 // timestep) skip the coalescing copy entirely.  Any coalesced records
 // pending from WriteRecord are flushed first, preserving order.
+//
+//pbio:hotpath noalloc=0 vectored batch send; the iovec t.vec is reused, records go out in place
 func (t *Writer) WriteBatch(f *wire.Format, recs [][]byte) error {
 	if len(recs) == 0 {
 		return nil
@@ -539,6 +547,8 @@ func (t *Writer) WriteBatch(f *wire.Format, recs [][]byte) error {
 
 // emit stages one frame — header, optional checksum prefix, body — and
 // writes it vectored.
+//
+//pbio:hotpath noalloc=0 every outgoing frame passes through here
 func (t *Writer) emit(kind byte, id uint32, body []byte, what string) error {
 	t.vec = t.vec[:0]
 	if t.sums {
@@ -558,6 +568,8 @@ func (t *Writer) emit(kind byte, id uint32, body []byte, what string) error {
 // called on — it advances t.nb (and shrinks the consumed element
 // headers inside vec's backing array), but emit rebuilds both from
 // scratch each frame, so nothing allocates in steady state.
+//
+//pbio:hotpath noalloc=0 the one syscall per frame; t.nb reuses t.vec's backing array
 func (t *Writer) writeVec(kind byte, what string) error {
 	t.nb = net.Buffers(t.vec)
 	n, err := t.nb.WriteTo(t.w)

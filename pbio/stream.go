@@ -96,6 +96,8 @@ func (w *Writer) SetBatching(maxBytes int, maxDelay time.Duration) error {
 func (w *Writer) Flush() error { return w.tw.Flush() }
 
 // Write transmits one record.
+//
+//pbio:hotpath noalloc=0 steady-state send path; pinned by pbio/alloc_test.go (TestAllocsSteadyStateWrite, TestAllocsBatchedWrite)
 func (w *Writer) Write(rec *Record) error {
 	if rec.fmt.ctx != w.ctx {
 		return fmt.Errorf("pbio: record's format belongs to a different context")
