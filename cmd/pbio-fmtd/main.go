@@ -11,7 +11,9 @@
 //	ctx, _ := pbio.NewContext(pbio.WithFormatServer("127.0.0.1:7847"))
 //
 // With -metrics-addr the daemon serves /metrics (Prometheus text),
-// /debug/vars (JSON), /debug/trace and /debug/pprof/.  Client-side
+// /debug/vars (JSON), /debug/trace, /debug/pprof/, /healthz (liveness)
+// and /readyz (readiness: 503 unless the format listener answers a
+// probe dial).  Client-side
 // retry/redial storms (the fmtserver client retries invisibly with
 // backoff) surface here as conns_total racing ahead of the number of
 // deployed clients; -stats logs the same counters periodically.
@@ -50,6 +52,17 @@ func main() {
 		reg := telemetry.NewRegistry()
 		srv.SetTelemetry(reg)
 		tracer.ExportMetrics(reg)
+		reg.Handle("/healthz", telemetry.LiveHandler())
+		// Ready means the format port itself accepts connections, not
+		// just the metrics mux: probe it the way a client would dial.
+		reg.Handle("/readyz", telemetry.ReadyHandler(func() error {
+			c, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+			if err != nil {
+				return fmt.Errorf("format listener %s: %w", ln.Addr(), err)
+			}
+			c.Close()
+			return nil
+		}))
 		mln, err := telemetry.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatalf("pbio-fmtd: %v", err)

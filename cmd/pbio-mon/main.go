@@ -1,0 +1,108 @@
+// Command pbio-mon discovers and monitors a PBIO relay mesh.  Pointed
+// at any hop's -metrics-addr, it crawls /debug/mesh links in both
+// directions — uplink identities toward the root, downstream identities
+// toward the leaves — until the whole tree is mapped, then renders the
+// topology with per-hop and per-format accounting.
+//
+// Usage:
+//
+//	pbio-mon 127.0.0.1:9850                  # crawl once, print the tree
+//	pbio-mon -json 127.0.0.1:9850            # the same as one JSON document
+//	pbio-mon -watch 5s 127.0.0.1:9851        # re-crawl and print rates
+//	pbio-mon -watch 2s -count 10 ...         # bounded watch, for scripts
+//
+// Alert rules (deep queue, stalled consumer, drops, checksum failures,
+// unreachable hop) are evaluated on every crawl; if any fire, pbio-mon
+// prints them and exits 1, making it usable as a CI gate:
+//
+//	pbio-mon -queue-frac 0.5 127.0.0.1:9850 || echo "mesh unhealthy"
+//
+// Exit status: 0 healthy, 1 alerts fired, 2 usage or crawl error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/meshmon"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "print the crawled topology as JSON instead of text")
+	watch := flag.Duration("watch", 0, "re-crawl at this interval, printing scrape-to-scrape rates (0 = crawl once)")
+	count := flag.Int("count", 0, "with -watch: stop after this many re-crawls (0 = run until interrupted)")
+	queueFrac := flag.Float64("queue-frac", 0.8, "deep-queue alert threshold: consumer queue depth/capacity fraction")
+	noAlerts := flag.Bool("no-alerts", false, "skip alert evaluation (always exit 0 unless the crawl fails)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pbio-mon [flags] <hop mesh address (host:port of its -metrics-addr)>")
+		flag.PrintDefaults()
+		return 2
+	}
+	start := flag.Arg(0)
+	cfg := meshmon.AlertConfig{DeepQueueFrac: *queueFrac}
+
+	topo, err := meshmon.Crawl(start, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbio-mon: %v\n", err)
+		return 2
+	}
+	if err := render(topo, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "pbio-mon: %v\n", err)
+		return 2
+	}
+	failed := reportAlerts(topo, cfg, *noAlerts)
+
+	if *watch > 0 {
+		for i := 0; *count == 0 || i < *count; i++ {
+			time.Sleep(*watch)
+			cur, err := meshmon.Crawl(start, nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pbio-mon: %v\n", err)
+				return 2
+			}
+			fmt.Println()
+			if *jsonOut {
+				if err := cur.WriteJSON(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "pbio-mon: %v\n", err)
+					return 2
+				}
+			} else if err := meshmon.WriteRates(os.Stdout, meshmon.DiffTopologies(topo, cur)); err != nil {
+				fmt.Fprintf(os.Stderr, "pbio-mon: %v\n", err)
+				return 2
+			}
+			failed = reportAlerts(cur, cfg, *noAlerts) || failed
+			topo = cur
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// render prints one crawl in the selected form.
+func render(t *meshmon.Topology, jsonOut bool) error {
+	if jsonOut {
+		return t.WriteJSON(os.Stdout)
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// reportAlerts evaluates and prints alerts, reporting whether any fired.
+func reportAlerts(t *meshmon.Topology, cfg meshmon.AlertConfig, skip bool) bool {
+	if skip {
+		return false
+	}
+	alerts := t.Alerts(cfg)
+	for _, a := range alerts {
+		fmt.Fprintf(os.Stderr, "ALERT %s\n", a)
+	}
+	return len(alerts) > 0
+}

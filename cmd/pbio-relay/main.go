@@ -34,7 +34,11 @@
 // HTTP: /metrics (Prometheus text exposition of frame, byte and
 // checksum-failure counters plus queue-depth and drop gauges),
 // /debug/vars (the same as JSON), /debug/trace (recent wire-level trace
-// events) and /debug/pprof/ (net/http/pprof profiling).
+// events), /debug/pprof/ (net/http/pprof profiling), /debug/mesh (the
+// hop's mesh-topology document — what pbio-mon crawls), /healthz
+// (liveness) and /readyz (readiness: 503 until a configured -uplink is
+// attached).  -node-id names the hop; the identity rides the uplink
+// subscription handshake so neighbors — and crawlers — can map the tree.
 package main
 
 import (
@@ -72,6 +76,8 @@ func run() error {
 	subscribe := flag.String("subscribe", "", "comma-separated format names to subscribe the -uplink to (empty = auto: the live union of what this relay's own consumers want)")
 	queue := flag.Int("queue", 0, "per-consumer queue capacity in frames (0 = default 256)")
 	queuePolicy := flag.String("queue-policy", "disconnect", "full-queue policy: disconnect, drop-oldest or block")
+	nodeID := flag.String("node-id", "", "mesh node identity announced to uplink/downstream relays and served at /debug/mesh (empty = anonymous)")
+	stallWindow := flag.Duration("stall-window", 10*time.Second, "flag a consumer as stalled when its non-empty queue has not drained for this long (0 = disable)")
 	flag.Parse()
 
 	policy, err := relay.ParseQueuePolicy(*queuePolicy)
@@ -106,6 +112,7 @@ func run() error {
 	s.SetChecksums(*sums)
 	s.SetRebatching(*rebatch)
 	s.SetQueue(*queue, policy)
+	s.SetStallWindow(*stallWindow)
 	var tracer *tracectx.Tracer
 	if *traceRate > 0 {
 		// The relay never samples — it records spans for whatever trace
@@ -114,15 +121,31 @@ func run() error {
 		tracer = tracectx.New("pbio-relay", *traceRate, 0)
 		s.SetTracing(tracer)
 	}
+	meshAddr := ""
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		s.SetTelemetry(reg)
 		tracer.ExportMetrics(reg)
+		reg.Handle("/healthz", telemetry.LiveHandler())
+		// Ready means safe to attach consumers: a relay configured to
+		// feed from an uplink serves nothing useful until it's attached.
+		reg.Handle("/readyz", telemetry.ReadyHandler(func() error {
+			if *uplink != "" && s.Uplinks() == 0 {
+				return fmt.Errorf("uplink %s not attached", *uplink)
+			}
+			return nil
+		}))
 		mln, err := telemetry.Serve(*metricsAddr, reg)
 		if err != nil {
 			return err
 		}
+		meshAddr = mln.Addr().String()
 		fmt.Printf("pbio-relay: metrics on %s\n", mln.Addr())
+	}
+	if *nodeID != "" || meshAddr != "" {
+		// Before the uplink dials: the first subscription handshake must
+		// already carry the identity.
+		s.SetNodeInfo(*nodeID, meshAddr)
 	}
 	if *uplink != "" {
 		go runUplink(s, *uplink, static)
@@ -163,7 +186,9 @@ func runUplink(s *relay.Server, addr string, static *transport.Subscription) {
 		}
 		backoff = time.Second
 		log.Printf("pbio-relay: uplink attached to %s", addr)
-		if err := s.RunUplink(conn, static); err != nil {
+		// Label the uplink with the address we dialed, not the resolved
+		// remote — it's the name the operator knows the upstream by.
+		if err := s.RunUplinkTo(conn, static, addr); err != nil {
 			log.Printf("pbio-relay: uplink: %v", err)
 			return // relay closed; no point redialing
 		}

@@ -1,0 +1,74 @@
+package meshmon
+
+import "fmt"
+
+// AlertConfig tunes the built-in alert rules.  The zero value means
+// defaults (see DefaultAlertConfig).
+type AlertConfig struct {
+	// DeepQueueFrac fires the deep-queue rule when a consumer queue's
+	// depth/capacity reaches the fraction.  Default 0.8.
+	DeepQueueFrac float64
+}
+
+// DefaultAlertConfig returns the default thresholds.
+func DefaultAlertConfig() AlertConfig {
+	return AlertConfig{DeepQueueFrac: 0.8}
+}
+
+// Alert is one fired rule on one hop.
+type Alert struct {
+	Node   string `json:"node"` // display ID of the hop
+	Rule   string `json:"rule"`
+	Detail string `json:"detail"`
+}
+
+func (a Alert) String() string { return fmt.Sprintf("%s: %s: %s", a.Node, a.Rule, a.Detail) }
+
+// Alerts evaluates the built-in rules over every crawled hop:
+//
+//   - unreachable: a hop in the topology did not answer its scrape
+//   - deep-queue: a consumer queue is at least DeepQueueFrac full
+//   - stalled-consumer: the hop's stall detector flagged a consumer
+//   - drops: a hop has evicted frames (drop-oldest) or dropped
+//     consumers (disconnect policy)
+//   - checksum-failures: a hop has seen producer frames fail their CRC
+//
+// The drop and checksum rules fire on lifetime counters: they mean
+// "loss has happened since this relay started", which is exactly the
+// right sensitivity for a CI gate over a fresh mesh.  Long-running
+// meshes watch rates instead (pbio-mon -watch).
+func (t *Topology) Alerts(cfg AlertConfig) []Alert {
+	if cfg.DeepQueueFrac <= 0 {
+		cfg.DeepQueueFrac = DefaultAlertConfig().DeepQueueFrac
+	}
+	var alerts []Alert
+	for _, addr := range t.sortedAddrs() {
+		n := t.Nodes[addr]
+		id := n.ID()
+		if n.Err != "" {
+			alerts = append(alerts, Alert{Node: id, Rule: "unreachable", Detail: n.Err})
+			continue
+		}
+		for _, c := range n.Info.Consumers {
+			if c.QueueCap > 0 && float64(c.QueueDepth) >= cfg.DeepQueueFrac*float64(c.QueueCap) {
+				alerts = append(alerts, Alert{Node: id, Rule: "deep-queue",
+					Detail: fmt.Sprintf("consumer %s queue %d/%d", consumerLabel(c), c.QueueDepth, c.QueueCap)})
+			}
+			if c.Stalled {
+				alerts = append(alerts, Alert{Node: id, Rule: "stalled-consumer",
+					Detail: fmt.Sprintf("consumer %s: %d frames queued, no drain for %dms", consumerLabel(c), c.QueueDepth, c.LastDrainMS)})
+			}
+		}
+		st := n.Info.Stats
+		if st.QueueDroppedFrames > 0 || st.DroppedConsumers > 0 {
+			alerts = append(alerts, Alert{Node: id, Rule: "drops",
+				Detail: fmt.Sprintf("%d frames (%d records) evicted, %d consumers dropped",
+					st.QueueDroppedFrames, st.QueueDroppedRecords, st.DroppedConsumers)})
+		}
+		if st.ChecksumFailures > 0 {
+			alerts = append(alerts, Alert{Node: id, Rule: "checksum-failures",
+				Detail: fmt.Sprintf("%d producer frames failed CRC32-C", st.ChecksumFailures)})
+		}
+	}
+	return alerts
+}

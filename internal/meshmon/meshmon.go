@@ -1,0 +1,240 @@
+// Package meshmon discovers and aggregates a PBIO relay mesh through
+// the /debug/mesh endpoints the relays serve (see internal/relay's
+// MeshHandler): starting from any hop, it follows the uplink and
+// downstream identity links both directions until the whole tree is
+// mapped, then renders topology, per-hop and per-format accounting, and
+// evaluates alert rules over the result.  cmd/pbio-mon is the thin CLI
+// over this package.
+package meshmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/relay"
+)
+
+// maxCrawlNodes bounds a crawl: a mesh endpoint that (through bugs or
+// hostility) keeps announcing fresh downstream addresses cannot make
+// the crawler fetch forever.
+const maxCrawlNodes = 4096
+
+// Node is one crawled hop.
+type Node struct {
+	// Addr is the mesh (observability) address the node was fetched
+	// from — the crawl key, since node IDs are operator-assigned and
+	// only addresses are guaranteed distinct.
+	Addr string `json:"addr"`
+	// Err records a fetch failure; Info is zero in that case.  The
+	// node stays in the topology — an unreachable hop is a finding,
+	// not a reason to lose the rest of the tree.
+	Err  string         `json:"err,omitempty"`
+	Info relay.MeshInfo `json:"info"`
+}
+
+// ID returns the node's display identity: its announced node ID, or
+// its address when it never introduced itself.
+func (n *Node) ID() string {
+	if n.Info.Node.ID != "" {
+		return n.Info.Node.ID
+	}
+	return n.Addr
+}
+
+// Topology is one crawl's result.
+type Topology struct {
+	// Start is the normalized address the crawl began at.
+	Start string `json:"start"`
+	// Nodes is every hop reached, keyed by mesh address.
+	Nodes map[string]*Node `json:"nodes"`
+	// Roots are the hops with no uplinks — the tree tops (plural only
+	// when the crawl spans disjoint trees or a root was unreachable).
+	Roots []string `json:"roots"`
+	// CrawledAt stamps the scrape, for rate windows between crawls.
+	CrawledAt time.Time `json:"crawled_at"`
+	// Truncated is set when the node bound stopped the crawl early.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// normalizeAddr strips any scheme and path so "http://h:p/debug/mesh",
+// "h:p/" and "h:p" all key the same node.
+func normalizeAddr(addr string) string {
+	addr = strings.TrimPrefix(addr, "http://")
+	addr = strings.TrimPrefix(addr, "https://")
+	if i := strings.IndexByte(addr, '/'); i >= 0 {
+		addr = addr[:i]
+	}
+	return addr
+}
+
+// fetchMesh GETs one hop's /debug/mesh document.
+func fetchMesh(client *http.Client, addr string) (relay.MeshInfo, error) {
+	var info relay.MeshInfo
+	resp, err := client.Get("http://" + addr + "/debug/mesh")
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("GET /debug/mesh: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return info, fmt.Errorf("decoding /debug/mesh: %w", err)
+	}
+	return info, nil
+}
+
+// Crawl maps the mesh reachable from start (a host:port mesh address,
+// with or without an http:// prefix), following downstream identity
+// links toward the leaves and uplink identities toward the root.  Hops
+// that fail to answer are kept with their error.  client nil uses a
+// 5-second-timeout default.
+func Crawl(start string, client *http.Client) (*Topology, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	start = normalizeAddr(start)
+	if start == "" {
+		return nil, fmt.Errorf("meshmon: empty start address")
+	}
+	t := &Topology{
+		Start:     start,
+		Nodes:     make(map[string]*Node),
+		CrawledAt: time.Now(),
+	}
+	queue := []string{start}
+	for len(queue) > 0 {
+		addr := queue[0]
+		queue = queue[1:]
+		if _, seen := t.Nodes[addr]; seen {
+			continue
+		}
+		if len(t.Nodes) >= maxCrawlNodes {
+			t.Truncated = true
+			break
+		}
+		n := &Node{Addr: addr}
+		t.Nodes[addr] = n
+		info, err := fetchMesh(client, addr)
+		if err != nil {
+			n.Err = err.Error()
+			continue
+		}
+		n.Info = info
+		for _, d := range info.Downstream {
+			if a := normalizeAddr(d.MeshAddr); a != "" {
+				queue = append(queue, a)
+			}
+		}
+		for _, u := range info.Uplinks {
+			if a := normalizeAddr(u.MeshAddr); a != "" {
+				queue = append(queue, a)
+			}
+		}
+	}
+	if len(t.Nodes) == 1 && t.Nodes[start].Err != "" {
+		return nil, fmt.Errorf("meshmon: %s unreachable: %s", start, t.Nodes[start].Err)
+	}
+	t.Roots = t.findRoots()
+	return t, nil
+}
+
+// findRoots returns the addresses of hops with no uplinks, sorted.
+func (t *Topology) findRoots() []string {
+	var roots []string
+	for addr, n := range t.Nodes {
+		if n.Err == "" && len(n.Info.Uplinks) == 0 {
+			roots = append(roots, addr)
+		}
+	}
+	// Unreachable nodes that something downstream points at as an
+	// uplink are still tree tops for rendering purposes.
+	for addr, n := range t.Nodes {
+		if n.Err == "" {
+			continue
+		}
+		referenced := false
+		for _, m := range t.Nodes {
+			for _, d := range m.Info.Downstream {
+				if normalizeAddr(d.MeshAddr) == addr {
+					referenced = true
+				}
+			}
+		}
+		if !referenced {
+			roots = append(roots, addr)
+		}
+	}
+	sort.Strings(roots)
+	return roots
+}
+
+// children returns the addresses of a node's announced downstream hops,
+// sorted by the child's display ID.
+func (t *Topology) children(addr string) []string {
+	n := t.Nodes[addr]
+	if n == nil {
+		return nil
+	}
+	var out []string
+	for _, d := range n.Info.Downstream {
+		if a := normalizeAddr(d.MeshAddr); a != "" {
+			if _, ok := t.Nodes[a]; ok {
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return t.Nodes[out[i]].ID() < t.Nodes[out[j]].ID() })
+	return out
+}
+
+// sortedAddrs returns every crawled address ordered by display ID.
+func (t *Topology) sortedAddrs() []string {
+	out := make([]string, 0, len(t.Nodes))
+	for addr := range t.Nodes {
+		out = append(out, addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return t.Nodes[out[i]].ID() < t.Nodes[out[j]].ID() })
+	return out
+}
+
+// FormatTotals sums per-format accounting across every reachable hop,
+// sorted by format name.  Each hop counts its own ingest, so totals
+// across a tree intentionally count a record once per hop it crossed —
+// rates between hops are what reveal where loss happens.
+func (t *Topology) FormatTotals() []relay.MeshFormatInfo {
+	byName := make(map[string]*relay.MeshFormatInfo)
+	for _, n := range t.Nodes {
+		for _, f := range n.Info.Formats {
+			agg := byName[f.Name]
+			if agg == nil {
+				agg = &relay.MeshFormatInfo{Name: f.Name}
+				byName[f.Name] = agg
+			}
+			agg.Frames += f.Frames
+			agg.Records += f.Records
+			agg.Bytes += f.Bytes
+			agg.Queued += f.Queued
+			agg.DroppedFrames += f.DroppedFrames
+			agg.DroppedRecords += f.DroppedRecords
+		}
+	}
+	out := make([]relay.MeshFormatInfo, 0, len(byName))
+	for _, f := range byName {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteJSON writes the topology as one indented JSON document.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

@@ -1,0 +1,230 @@
+package meshmon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/relay"
+)
+
+// fakeHop serves a hand-built MeshInfo as /debug/mesh and returns its
+// host:port address.  The info is served by pointer so tests can mutate
+// it between crawls.
+func fakeHop(t *testing.T, info *relay.MeshInfo) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(info)
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// buildTree wires a root with two leaves via identity links and returns
+// the three addresses plus the MeshInfo pointers for mutation.
+func buildTree(t *testing.T) (rootAddr, leafA, leafB string, infos map[string]*relay.MeshInfo) {
+	t.Helper()
+	rootInfo := &relay.MeshInfo{Node: relay.MeshNodeInfo{ID: "root"}}
+	leafAInfo := &relay.MeshInfo{Node: relay.MeshNodeInfo{ID: "leaf-a"}}
+	leafBInfo := &relay.MeshInfo{Node: relay.MeshNodeInfo{ID: "leaf-b"}}
+	rootAddr = fakeHop(t, rootInfo)
+	leafA = fakeHop(t, leafAInfo)
+	leafB = fakeHop(t, leafBInfo)
+	rootInfo.Node.MeshAddr = rootAddr
+	leafAInfo.Node.MeshAddr = leafA
+	leafBInfo.Node.MeshAddr = leafB
+	rootInfo.Downstream = []relay.MeshNodeInfo{
+		{ID: "leaf-a", MeshAddr: leafA},
+		{ID: "leaf-b", MeshAddr: leafB},
+	}
+	for _, leaf := range []*relay.MeshInfo{leafAInfo, leafBInfo} {
+		leaf.Uplinks = []relay.MeshUplinkInfo{{Addr: "consumers:7851", NodeID: "root", MeshAddr: rootAddr, All: true}}
+	}
+	infos = map[string]*relay.MeshInfo{rootAddr: rootInfo, leafA: leafAInfo, leafB: leafBInfo}
+	return rootAddr, leafA, leafB, infos
+}
+
+// TestCrawlFromAnyHop: starting at a leaf must discover the root (via
+// the uplink identity) and the sibling (via the root's downstream
+// links) — the full tree from any entry point.
+func TestCrawlFromAnyHop(t *testing.T) {
+	rootAddr, leafA, leafB, _ := buildTree(t)
+	for _, start := range []string{rootAddr, leafA, leafB} {
+		topo, err := Crawl(start, nil)
+		if err != nil {
+			t.Fatalf("crawl from %s: %v", start, err)
+		}
+		if len(topo.Nodes) != 3 {
+			t.Errorf("crawl from %s found %d nodes, want 3", start, len(topo.Nodes))
+		}
+		if len(topo.Roots) != 1 || topo.Roots[0] != rootAddr {
+			t.Errorf("crawl from %s: roots = %v, want [%s]", start, topo.Roots, rootAddr)
+		}
+	}
+}
+
+// TestCrawlKeepsUnreachableHop: a dead leaf stays in the topology with
+// its error, and fires the unreachable alert.
+func TestCrawlKeepsUnreachableHop(t *testing.T) {
+	rootAddr, leafA, _, infos := buildTree(t)
+	// Point the root at a dead address for leaf-b.
+	infos[rootAddr].Downstream[1].MeshAddr = "127.0.0.1:1"
+	topo, err := Crawl(leafA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := topo.Nodes["127.0.0.1:1"]
+	if dead == nil || dead.Err == "" {
+		t.Fatalf("dead hop missing or errorless: %+v", dead)
+	}
+	alerts := topo.Alerts(AlertConfig{})
+	found := false
+	for _, a := range alerts {
+		if a.Rule == "unreachable" && a.Node == "127.0.0.1:1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no unreachable alert in %v", alerts)
+	}
+}
+
+// TestCrawlWhollyUnreachable: a dead start address is a hard error.
+func TestCrawlWhollyUnreachable(t *testing.T) {
+	if _, err := Crawl("127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond}); err == nil {
+		t.Fatal("crawl of a dead address succeeded")
+	}
+}
+
+// TestFormatTotalsAndAlerts: per-format aggregation sums across hops,
+// and the built-in rules fire on the right conditions.
+func TestFormatTotalsAndAlerts(t *testing.T) {
+	rootAddr, leafA, _, infos := buildTree(t)
+	infos[rootAddr].Formats = []relay.MeshFormatInfo{
+		{Name: "temps", Frames: 100, Records: 400, Bytes: 12800},
+	}
+	infos[leafA].Formats = []relay.MeshFormatInfo{
+		{Name: "temps", Frames: 90, Records: 360, Bytes: 11520, DroppedFrames: 10, DroppedRecords: 40},
+		{Name: "events", Frames: 5, Records: 5, Bytes: 100},
+	}
+	infos[leafA].Stats.QueueDroppedFrames = 10
+	infos[leafA].Stats.QueueDroppedRecords = 40
+	infos[rootAddr].Stats.ChecksumFailures = 2
+	infos[rootAddr].Consumers = []relay.MeshConsumerInfo{
+		{NodeID: "leaf-a", QueueDepth: 200, QueueCap: 256, Policy: "drop-oldest"}, // 78% — below 0.8
+		{NodeID: "leaf-b", QueueDepth: 250, QueueCap: 256, Policy: "drop-oldest", Stalled: true, LastDrainMS: 12000},
+	}
+
+	topo, err := Crawl(rootAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := topo.FormatTotals()
+	if len(totals) != 2 {
+		t.Fatalf("totals = %+v, want 2 formats", totals)
+	}
+	if temps := totals[1]; temps.Name != "temps" || temps.Frames != 190 || temps.Records != 760 || temps.DroppedFrames != 10 {
+		t.Errorf("temps totals = %+v", temps)
+	}
+
+	alerts := topo.Alerts(AlertConfig{DeepQueueFrac: 0.8})
+	rules := make(map[string]int)
+	for _, a := range alerts {
+		rules[a.Rule]++
+	}
+	if rules["deep-queue"] != 1 {
+		t.Errorf("deep-queue fired %d times, want 1 (only the 250/256 consumer): %v", rules["deep-queue"], alerts)
+	}
+	if rules["stalled-consumer"] != 1 || rules["drops"] != 1 || rules["checksum-failures"] != 1 {
+		t.Errorf("rules fired = %v", rules)
+	}
+
+	// A healthy mesh fires nothing.
+	infos[leafA].Stats.QueueDroppedFrames = 0
+	infos[leafA].Stats.QueueDroppedRecords = 0
+	infos[leafA].Formats[0].DroppedFrames = 0
+	infos[rootAddr].Stats.ChecksumFailures = 0
+	infos[rootAddr].Consumers = nil
+	topo, err = Crawl(rootAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alerts := topo.Alerts(AlertConfig{}); len(alerts) != 0 {
+		t.Errorf("healthy mesh fired %v", alerts)
+	}
+}
+
+// TestDiffTopologiesRates: counter deltas between crawls divide by the
+// crawl-timestamp window; hops new in the second crawl diff from zero.
+func TestDiffTopologiesRates(t *testing.T) {
+	rootAddr, _, _, infos := buildTree(t)
+	infos[rootAddr].Formats = []relay.MeshFormatInfo{{Name: "temps", Frames: 100, Records: 100}}
+	prev, err := Crawl(rootAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos[rootAddr].Formats = []relay.MeshFormatInfo{{Name: "temps", Frames: 150, Records: 150, DroppedFrames: 5}}
+	cur, err := Crawl(rootAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.CrawledAt = prev.CrawledAt.Add(10 * time.Second) // pin the window
+
+	rates := DiffTopologies(prev, cur)
+	var temps *FormatRate
+	for i := range rates {
+		if rates[i].Node == "root" && rates[i].Format == "temps" {
+			temps = &rates[i]
+		}
+	}
+	if temps == nil {
+		t.Fatalf("no root/temps rate in %+v", rates)
+	}
+	if temps.Frames != 5 || temps.Records != 5 || temps.Drops != 0.5 {
+		t.Errorf("temps rate = %+v, want 5 frames/s, 5 records/s, 0.5 drops/s", temps)
+	}
+	if got := DiffTopologies(prev, prev); got != nil {
+		t.Errorf("zero-window diff = %+v, want nil", got)
+	}
+}
+
+// TestRenderText smoke-tests the terminal rendering: tree shape, tables
+// and the unreachable marker all present.
+func TestRenderText(t *testing.T) {
+	rootAddr, _, _, infos := buildTree(t)
+	infos[rootAddr].Formats = []relay.MeshFormatInfo{{Name: "temps", Frames: 10, Records: 10, Bytes: 320}}
+	topo, err := Crawl(rootAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := topo.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"root (", "leaf-a (", "leaf-b (", "per-hop:", "per-format", "temps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Leaves are indented below the root.
+	if !strings.Contains(out, "\n  leaf-a (") {
+		t.Errorf("leaf-a not indented under root:\n%s", out)
+	}
+
+	var jb strings.Builder
+	if err := topo.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var back Topology
+	if err := json.Unmarshal([]byte(jb.String()), &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if len(back.Nodes) != 3 || back.Start != rootAddr {
+		t.Errorf("round-tripped topology = %d nodes, start %q", len(back.Nodes), back.Start)
+	}
+}

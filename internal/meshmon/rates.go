@@ -1,0 +1,76 @@
+package meshmon
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// FormatRate is one (hop, format) pair's activity between two crawls.
+type FormatRate struct {
+	Node    string  `json:"node"`
+	Format  string  `json:"format"`
+	Frames  float64 `json:"frames_per_sec"`
+	Records float64 `json:"records_per_sec"`
+	Bytes   float64 `json:"bytes_per_sec"`
+	Drops   float64 `json:"drops_per_sec"` // dropped frames/sec
+}
+
+// DiffTopologies computes per-hop per-format rates between two crawls
+// of the same mesh, using the crawls' own timestamps as the window.
+// Hops or formats present only in cur diff against zero (a restarted
+// relay reads as a burst — visible, not hidden); hops only in prev are
+// dropped.  A non-positive window yields nil.
+func DiffTopologies(prev, cur *Topology) []FormatRate {
+	if prev == nil || cur == nil {
+		return nil
+	}
+	window := cur.CrawledAt.Sub(prev.CrawledAt).Seconds()
+	if window <= 0 {
+		return nil
+	}
+	var out []FormatRate
+	for addr, n := range cur.Nodes {
+		if n.Err != "" {
+			continue
+		}
+		prevFormats := make(map[string]int64) // name -> dropped, via two maps below
+		prevFrames := make(map[string][3]int64)
+		if p := prev.Nodes[addr]; p != nil {
+			for _, f := range p.Info.Formats {
+				prevFrames[f.Name] = [3]int64{f.Frames, f.Records, f.Bytes}
+				prevFormats[f.Name] = f.DroppedFrames
+			}
+		}
+		for _, f := range n.Info.Formats {
+			pf := prevFrames[f.Name]
+			out = append(out, FormatRate{
+				Node:    n.ID(),
+				Format:  f.Name,
+				Frames:  float64(f.Frames-pf[0]) / window,
+				Records: float64(f.Records-pf[1]) / window,
+				Bytes:   float64(f.Bytes-pf[2]) / window,
+				Drops:   float64(f.DroppedFrames-prevFormats[f.Name]) / window,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Format < out[j].Format
+	})
+	return out
+}
+
+// WriteRates renders a rate table.
+func WriteRates(w io.Writer, rates []FormatRate) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "NODE\tFORMAT\tFRAMES/S\tRECORDS/S\tBYTES/S\tDROPS/S\n")
+	for _, r := range rates {
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%.0f\t%.1f\n",
+			r.Node, r.Format, r.Frames, r.Records, r.Bytes, r.Drops)
+	}
+	return tw.Flush()
+}

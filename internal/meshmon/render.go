@@ -1,0 +1,101 @@
+package meshmon
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/relay"
+)
+
+// consumerLabel names a consumer for display: its downstream node ID
+// when it announced one, else its remote address.
+func consumerLabel(c relay.MeshConsumerInfo) string {
+	if c.NodeID != "" {
+		return c.NodeID
+	}
+	if c.Remote != "" {
+		return c.Remote
+	}
+	return "(anonymous)"
+}
+
+// WriteText renders the topology for a terminal: the tree, a per-hop
+// table, and per-format totals.
+func (t *Topology) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "mesh: %d hops crawled from %s at %s\n\n",
+		len(t.Nodes), t.Start, t.CrawledAt.Format("15:04:05"))
+	if t.Truncated {
+		fmt.Fprintf(w, "WARNING: crawl truncated at %d nodes\n\n", maxCrawlNodes)
+	}
+
+	seen := make(map[string]bool)
+	for _, root := range t.Roots {
+		t.writeTree(w, root, "", seen)
+	}
+	// Disconnected or cyclic leftovers still get listed.
+	for _, addr := range t.sortedAddrs() {
+		if !seen[addr] {
+			t.writeTree(w, addr, "", seen)
+		}
+	}
+
+	fmt.Fprintf(w, "\nper-hop:\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "NODE\tFRAMES\tBYTES\tCONSUMERS\tQUEUED\tDROPPED\tSTALLED\tCKSUM-FAIL\n")
+	for _, addr := range t.sortedAddrs() {
+		n := t.Nodes[addr]
+		if n.Err != "" {
+			fmt.Fprintf(tw, "%s\tUNREACHABLE: %s\n", n.ID(), n.Err)
+			continue
+		}
+		queued, stalled := 0, 0
+		for _, c := range n.Info.Consumers {
+			queued += c.QueueDepth
+			if c.Stalled {
+				stalled++
+			}
+		}
+		st := n.Info.Stats
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			n.ID(), st.Frames, st.ForwardedBytes, len(n.Info.Consumers),
+			queued, st.QueueDroppedFrames, stalled, st.ChecksumFailures)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	totals := t.FormatTotals()
+	if len(totals) > 0 {
+		fmt.Fprintf(w, "\nper-format (summed across hops):\n")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "FORMAT\tFRAMES\tRECORDS\tBYTES\tQUEUED\tDROPPED-FRAMES\tDROPPED-RECORDS\n")
+		for _, f := range totals {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				f.Name, f.Frames, f.Records, f.Bytes, f.Queued, f.DroppedFrames, f.DroppedRecords)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTree prints one subtree, indenting by depth.
+func (t *Topology) writeTree(w io.Writer, addr, indent string, seen map[string]bool) {
+	if seen[addr] {
+		return
+	}
+	seen[addr] = true
+	n := t.Nodes[addr]
+	switch {
+	case n.Err != "":
+		fmt.Fprintf(w, "%s%s (%s)  UNREACHABLE\n", indent, n.ID(), addr)
+	default:
+		fmt.Fprintf(w, "%s%s (%s)  consumers=%d uplinks=%d\n",
+			indent, n.ID(), addr, len(n.Info.Consumers), len(n.Info.Uplinks))
+	}
+	for _, child := range t.children(addr) {
+		t.writeTree(w, child, indent+"  ", seen)
+	}
+}

@@ -24,11 +24,17 @@ import (
 type Hop struct {
 	// ID names the hop's position: "hop-<level>-<index>", level 0 being
 	// the root.  It is the tracer's proc, so spans recorded at this hop
-	// carry the hop ID as their process label.
+	// carry the hop ID as their process label — and, under
+	// Config.Observe, the relay's mesh node ID.
 	ID       string
 	Relay    *relay.Server
 	Registry *telemetry.Registry
 	Tracer   *tracectx.Tracer
+
+	// MeshAddr is the hop's live observability address (host:port of
+	// its /metrics + /debug/mesh listener), set only under
+	// Config.Observe.  This is what a crawler starts from.
+	MeshAddr string
 }
 
 // Config shapes a fan-out tree.
@@ -49,6 +55,13 @@ type Config struct {
 	// 4096).
 	TraceRate float64
 	TraceCap  int
+
+	// Observe serves every hop's observability surface (/metrics,
+	// /debug/mesh, ...) on its own loopback listener and gives the hop
+	// a mesh identity (node ID = hop ID, mesh address = the listener),
+	// so the tree is crawlable exactly like a deployed mesh.  Identity
+	// is assigned before uplinks attach, so every handshake carries it.
+	Observe bool
 }
 
 // Tree is a running in-process relay tree.
@@ -56,7 +69,8 @@ type Tree struct {
 	Levels [][]*Hop
 
 	mu        sync.Mutex
-	attached  []net.Conn // harness-side pipe ends we must close
+	attached  []net.Conn     // harness-side pipe ends we must close
+	listeners []net.Listener // per-hop observability listeners (Observe)
 	uplinksWG sync.WaitGroup
 	closed    bool
 }
@@ -92,6 +106,19 @@ func New(cfg Config) (*Tree, error) {
 				h.Relay.SetQueue(cfg.QueueCap, cfg.Policy)
 			}
 			h.Relay.SetTelemetry(h.Registry)
+			if cfg.Observe {
+				// After SetTelemetry (which mounts /debug/mesh on the
+				// registry) and before this hop's uplink attaches below
+				// its parent (the handshake must carry the identity).
+				ln, err := telemetry.Serve("127.0.0.1:0", h.Registry)
+				if err != nil {
+					m.Close()
+					return nil, fmt.Errorf("mesh: observability listener for %s: %w", h.ID, err)
+				}
+				m.listeners = append(m.listeners, ln)
+				h.MeshAddr = ln.Addr().String()
+				h.Relay.SetNodeInfo(h.ID, h.MeshAddr)
+			}
 			if cfg.TraceRate > 0 {
 				h.Tracer = tracectx.New(h.ID, cfg.TraceRate, traceCap)
 				h.Relay.SetTracing(h.Tracer)
@@ -105,10 +132,12 @@ func New(cfg Config) (*Tree, error) {
 					return nil, fmt.Errorf("mesh: parent of %s refused uplink", h.ID)
 				}
 				m.uplinksWG.Add(1)
-				go func(h *Hop, conn net.Conn) {
+				go func(h *Hop, conn net.Conn, parentID string) {
 					defer m.uplinksWG.Done()
-					h.Relay.RunUplink(conn, nil)
-				}(h, childEnd)
+					// Pipes have no useful RemoteAddr; label the uplink
+					// with the parent hop instead.
+					h.Relay.RunUplinkTo(conn, nil, "pipe:"+parentID)
+				}(h, childEnd, parent.ID)
 			}
 		}
 		m.Levels = append(m.Levels, hops)
@@ -171,7 +200,12 @@ func (m *Tree) Close() {
 	m.closed = true
 	attached := m.attached
 	m.attached = nil
+	listeners := m.listeners
+	m.listeners = nil
 	m.mu.Unlock()
+	for _, ln := range listeners {
+		ln.Close()
+	}
 	for _, c := range attached {
 		c.Close()
 	}

@@ -1,0 +1,136 @@
+package mesh
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/meshmon"
+	"repro/internal/relay"
+)
+
+// crawlClient returns an HTTP client with its own connection pool, torn
+// down with the test so keep-alive connections never outlive leakcheck.
+func crawlClient(t *testing.T) *http.Client {
+	t.Helper()
+	tr := &http.Transport{}
+	t.Cleanup(tr.CloseIdleConnections)
+	return &http.Client{Timeout: 5 * time.Second, Transport: tr}
+}
+
+// waitCrawl re-crawls from start until cond accepts the topology or the
+// deadline passes.  Identity handshakes settle asynchronously after the
+// tree comes up, so the first crawls of a fresh mesh may be partial.
+func waitCrawl(t *testing.T, client *http.Client, start, what string, cond func(*meshmon.Topology) bool) *meshmon.Topology {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		topo, err := meshmon.Crawl(start, client)
+		if err == nil && cond(topo) {
+			return topo
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				t.Fatalf("waiting for %s: crawl: %v", what, err)
+			}
+			t.Fatalf("timed out waiting for %s; last crawl found %d nodes", what, len(topo.Nodes))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// findFormat returns a crawled hop's accounting row for one format.
+func findFormat(n *meshmon.Node, name string) relay.MeshFormatInfo {
+	for _, f := range n.Info.Formats {
+		if f.Name == name {
+			return f
+		}
+	}
+	return relay.MeshFormatInfo{}
+}
+
+// TestMeshObserveCrawl stands up a 3-level tree under Config.Observe and
+// proves a crawler starting at ANY hop — root or leaf — rediscovers
+// exactly the constructed topology: every hop, every parent/child link,
+// and the hop IDs as node identities, all via live /debug/mesh scrapes.
+func TestMeshObserveCrawl(t *testing.T) {
+	leakcheck.Check(t)
+	m, err := New(Config{Shape: []int{1, 2, 4}, Observe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	hops := m.Hops()
+	for _, h := range hops {
+		if h.MeshAddr == "" {
+			t.Fatalf("%s has no mesh address under Observe", h.ID)
+		}
+	}
+	client := crawlClient(t)
+
+	// Complete means: every constructed hop reachable, and every child's
+	// uplink identity reply has landed (the crawl needs it to ascend).
+	fullTree := func(topo *meshmon.Topology) bool {
+		if len(topo.Nodes) != len(hops) {
+			return false
+		}
+		for _, h := range hops {
+			n := topo.Nodes[h.MeshAddr]
+			if n == nil || n.Err != "" {
+				return false
+			}
+		}
+		for level := 1; level < len(m.Levels); level++ {
+			for _, h := range m.Levels[level] {
+				ups := topo.Nodes[h.MeshAddr].Info.Uplinks
+				if len(ups) != 1 || ups[0].MeshAddr == "" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	root := m.Root()
+	topo := waitCrawl(t, client, root.MeshAddr, "full tree from the root", fullTree)
+	if len(topo.Roots) != 1 || topo.Roots[0] != root.MeshAddr {
+		t.Errorf("roots = %v, want [%s]", topo.Roots, root.MeshAddr)
+	}
+	for _, h := range hops {
+		if got := topo.Nodes[h.MeshAddr].ID(); got != h.ID {
+			t.Errorf("node at %s identifies as %q, want %q", h.MeshAddr, got, h.ID)
+		}
+	}
+	// Discovered links must match the constructed shape in both
+	// directions: each child's uplink names its parent, and each parent's
+	// downstream list names the child.
+	for level := 1; level < len(m.Levels); level++ {
+		n := len(m.Levels[level])
+		for i, h := range m.Levels[level] {
+			parent := m.Levels[level-1][i*len(m.Levels[level-1])/n]
+			up := topo.Nodes[h.MeshAddr].Info.Uplinks[0]
+			if up.NodeID != parent.ID || up.MeshAddr != parent.MeshAddr {
+				t.Errorf("%s uplinks to %q (%s), want %q (%s)",
+					h.ID, up.NodeID, up.MeshAddr, parent.ID, parent.MeshAddr)
+			}
+			found := false
+			for _, d := range topo.Nodes[parent.MeshAddr].Info.Downstream {
+				if d.ID == h.ID && d.MeshAddr == h.MeshAddr {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s missing from %s's downstream links", h.ID, parent.ID)
+			}
+		}
+	}
+
+	// The identical tree must be discoverable from the far corner: a
+	// leaf crawl ascends through uplink identities, then fans back out.
+	leaf := m.Leaves()[len(m.Leaves())-1]
+	topo = waitCrawl(t, client, leaf.MeshAddr, "full tree from a leaf", fullTree)
+	if len(topo.Roots) != 1 || topo.Roots[0] != root.MeshAddr {
+		t.Errorf("crawl from %s: roots = %v, want [%s]", leaf.ID, topo.Roots, root.MeshAddr)
+	}
+}

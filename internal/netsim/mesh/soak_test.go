@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/leakcheck"
+	"repro/internal/meshmon"
 	"repro/internal/relay"
 	"repro/internal/telemetry/tracectx"
 	"repro/internal/transport"
@@ -116,7 +117,7 @@ func TestMeshSoakBlockingZeroLoss(t *testing.T) {
 	if testing.Short() {
 		shape, consumers, records = []int{1, 2, 4}, 1000, 10
 	}
-	m, err := New(Config{Shape: shape, QueueCap: 64, Policy: relay.PolicyBlock})
+	m, err := New(Config{Shape: shape, QueueCap: 64, Policy: relay.PolicyBlock, Observe: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,6 +194,41 @@ func TestMeshSoakBlockingZeroLoss(t *testing.T) {
 				h.ID, st.QueueDroppedFrames, st.DroppedConsumers)
 		}
 	}
+
+	// The acceptance crawl: a monitor pointed at one LEAF of the soak
+	// tree must rediscover every hop, and the crawled per-format books
+	// must reconcile — each hop ingested every produced record exactly
+	// once, nothing dropped, nothing still queued.
+	hops := m.Hops()
+	client := crawlClient(t)
+	leaf := m.Leaves()[0]
+	topo := waitCrawl(t, client, leaf.MeshAddr, "crawled per-format accounting to settle",
+		func(topo *meshmon.Topology) bool {
+			if len(topo.Nodes) != len(hops) {
+				return false
+			}
+			for _, h := range hops {
+				n := topo.Nodes[h.MeshAddr]
+				if n == nil || n.Err != "" || findFormat(n, "tick").Records != int64(records) {
+					return false
+				}
+			}
+			return true
+		})
+	if len(topo.Roots) != 1 || topo.Roots[0] != m.Root().MeshAddr {
+		t.Errorf("crawl from %s: roots = %v, want [%s]", leaf.ID, topo.Roots, m.Root().MeshAddr)
+	}
+	for _, h := range hops {
+		tick := findFormat(topo.Nodes[h.MeshAddr], "tick")
+		if tick.DroppedFrames != 0 || tick.DroppedRecords != 0 || tick.Queued != 0 {
+			t.Errorf("%s: crawled tick accounting %+v; want zero drops and an empty queue", h.ID, tick)
+		}
+	}
+	// Aggregation counts a record once per hop it crossed.
+	totals := topo.FormatTotals()
+	if len(totals) != 1 || totals[0].Name != "tick" || totals[0].Records != int64(records*len(hops)) {
+		t.Errorf("format totals = %+v, want tick with %d records across %d hops", totals, records*len(hops), len(hops))
+	}
 }
 
 // TestMeshDropOldestExactAccounting floods a drop-oldest relay through a
@@ -207,7 +243,7 @@ func TestMeshDropOldestExactAccounting(t *testing.T) {
 	if testing.Short() {
 		total = 400
 	}
-	m, err := New(Config{Shape: []int{1}, QueueCap: 8, Policy: relay.PolicyDropOldest, TraceRate: 1})
+	m, err := New(Config{Shape: []int{1}, QueueCap: 8, Policy: relay.PolicyDropOldest, TraceRate: 1, Observe: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,6 +340,27 @@ func TestMeshDropOldestExactAccounting(t *testing.T) {
 	}
 	if st.DroppedConsumers != 0 {
 		t.Errorf("drop-oldest evicted %d consumers; policy must keep them connected", st.DroppedConsumers)
+	}
+
+	// The same books, read the way an operator would: crawl the hop's
+	// /debug/mesh and reconcile the per-format row against the tracer.
+	// (The final forward is counted just after the frame is queued, so
+	// the scrape may trail the sentinel read by an instant — poll.)
+	topo := waitCrawl(t, crawlClient(t), hop.MeshAddr, "crawled tick accounting to settle",
+		func(topo *meshmon.Topology) bool {
+			n := topo.Nodes[hop.MeshAddr]
+			return n != nil && n.Err == "" && findFormat(n, "tick").Records == int64(total)
+		})
+	tick := findFormat(topo.Nodes[hop.MeshAddr], "tick")
+	if got := int64(len(seqs)) + tick.DroppedRecords; got != int64(total) {
+		t.Errorf("crawled books: received %d + dropped %d = %d records, produced %d",
+			len(seqs), tick.DroppedRecords, got, total)
+	}
+	if tick.DroppedRecords != hop.Tracer.Lost() {
+		t.Errorf("crawled tick drops %d, tracer lost %d spans", tick.DroppedRecords, hop.Tracer.Lost())
+	}
+	if tick.Queued != 0 {
+		t.Errorf("crawled tick queue occupancy %d after drain, want 0", tick.Queued)
 	}
 }
 

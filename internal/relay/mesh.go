@@ -1,0 +1,350 @@
+package relay
+
+// Mesh-wide observability: node identity, per-format accounting, the
+// stall detector, and the /debug/mesh JSON endpoint.
+//
+// PR 6 made relays compose into trees; this file makes the tree
+// *visible*.  Every relay carries a stable node identity (SetNodeInfo)
+// that rides the subscription handshake in both directions — an uplink
+// announces its identity when it subscribes, the upstream replies with
+// its own — so each hop knows who sits above and below it and a crawler
+// (cmd/pbio-mon) can discover the whole tree starting from any hop.
+//
+// Accounting is per *format name*, the only identity that survives
+// renumbering across hops: forwarded frames/records/bytes, current
+// queue occupancy, and drop counters, all lock-free atomics resolved
+// once at meta-registration time so the broadcast hot path stays within
+// its zero-alloc budget.  Cardinality is bounded: past maxFormatStats
+// distinct names, accounting collapses into one overflow bucket —
+// a hostile producer can spam format names, but it cannot make the
+// accounting (or anything scraping it) grow without bound.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// maxFormatStats bounds per-format accounting cardinality.  Formats past
+// the bound share the overflow bucket.
+const maxFormatStats = 1024
+
+// overflowFormat names the shared bucket for formats past the bound.
+// The leading underscore keeps it out of any real format's namespace
+// (wire format names are application identifiers).
+const overflowFormat = "_overflow"
+
+// defaultStallWindow is the default stall-detector window (SetStallWindow).
+const defaultStallWindow = 10 * time.Second
+
+// formatStats is one format name's relay-side accounting.  All fields
+// are atomics: the broadcast path and the consumer queues update them
+// lock-free, the exporter and /debug/mesh read them at scrape time.
+// Forward counters count each frame once, however many consumers it
+// fans out to — the per-hop ingest measure a conservation check needs;
+// bytes follow the ForwardedBytes convention (payload size × consumers
+// enqueued).  A nil *formatStats (meta and control frames) no-ops.
+type formatStats struct {
+	name           string
+	frames         atomic.Int64
+	records        atomic.Int64
+	bytes          atomic.Int64
+	queued         atomic.Int64
+	droppedFrames  atomic.Int64
+	droppedRecords atomic.Int64
+}
+
+// noteForward counts one broadcast frame of this format.
+func (fs *formatStats) noteForward(recs, payloadBytes, consumers int) {
+	if fs == nil {
+		return
+	}
+	fs.frames.Add(1)
+	fs.records.Add(int64(recs))
+	fs.bytes.Add(int64(payloadBytes) * int64(consumers))
+}
+
+// queueAdd moves the format's live queue occupancy by n frames.
+func (fs *formatStats) queueAdd(n int64) {
+	if fs != nil {
+		fs.queued.Add(n)
+	}
+}
+
+// noteDrop counts one evicted (or never-admitted) frame and its records.
+func (fs *formatStats) noteDrop(recs int) {
+	if fs == nil {
+		return
+	}
+	fs.droppedFrames.Add(1)
+	fs.droppedRecords.Add(int64(recs))
+}
+
+// fstatsForLocked returns the accounting bucket for a format name,
+// creating it (and its labeled telemetry series, when telemetry is
+// attached) on first use.  Callers hold s.mu.
+func (s *Server) fstatsForLocked(name string) *formatStats {
+	if fs, ok := s.fstats[name]; ok {
+		return fs
+	}
+	if len(s.fstats) >= maxFormatStats {
+		if s.fstatsOverflow == nil {
+			s.fstatsOverflow = &formatStats{name: overflowFormat}
+			s.registerFormatTelemetryLocked(s.fstatsOverflow)
+		}
+		return s.fstatsOverflow
+	}
+	fs := &formatStats{name: name}
+	s.fstats[name] = fs
+	s.registerFormatTelemetryLocked(fs)
+	return fs
+}
+
+// registerFormatTelemetryLocked binds one format's accounting into the
+// labeled export-time-read families (no-ops until SetTelemetry has
+// created them; SetTelemetry back-fills formats seen earlier).  Callers
+// hold s.mu.
+func (s *Server) registerFormatTelemetryLocked(fs *formatStats) {
+	name := fs.name // bounded: the fstats map is capped at maxFormatStats
+	s.fvecs.frames.With(fs.frames.Load, name)
+	s.fvecs.records.With(fs.records.Load, name)
+	s.fvecs.bytes.With(fs.bytes.Load, name)
+	s.fvecs.droppedFrames.With(fs.droppedFrames.Load, name)
+	s.fvecs.droppedRecords.With(fs.droppedRecords.Load, name)
+	s.fvecs.queued.With(fs.queued.Load, name)
+}
+
+// SetNodeInfo gives the relay its stable mesh identity: id names the
+// node (hop) and meshAddr is the HTTP address where its observability
+// surface — /debug/mesh in particular — is served.  Both ride the
+// subscription handshake: uplinks announce them upstream, and the relay
+// replies with its own to identity-bearing subscribers, which is what
+// lets pbio-mon walk the tree in both directions from any hop.  Set it
+// before attaching uplinks so the first handshake already carries it.
+func (s *Server) SetNodeInfo(id, meshAddr string) {
+	s.mu.Lock()
+	s.nodeID = id
+	s.meshAddr = meshAddr
+	s.mu.Unlock()
+}
+
+// nodeInfo returns the relay's mesh identity.
+func (s *Server) nodeInfo() (id, meshAddr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodeID, s.meshAddr
+}
+
+// SetStallWindow configures the stall detector: a consumer whose queue
+// holds frames but has not drained one within the window is flagged as
+// stalled (per-consumer in /debug/mesh, in aggregate on the
+// pbio_relay_stalled_consumers gauge).  Zero disables detection; the
+// default is 10s.
+func (s *Server) SetStallWindow(d time.Duration) {
+	s.mu.Lock()
+	s.stallWindow = d
+	s.mu.Unlock()
+}
+
+// queueStats walks the consumer set once, computing the queue-depth sum,
+// the deepest queue, and the stalled-consumer count in a single pass —
+// one lock acquisition per scrape, where the depth and max gauges used
+// to take it twice.
+func (s *Server) queueStats() (sum, maxDepth, stalled int64) {
+	s.mu.Lock()
+	consumers := make([]*consumer, 0, len(s.consumers))
+	for c := range s.consumers {
+		consumers = append(consumers, c)
+	}
+	window := s.stallWindow
+	s.mu.Unlock()
+	now := time.Now()
+	for _, c := range consumers {
+		st := c.q.state()
+		d := int64(st.depth)
+		sum += d
+		if d > maxDepth {
+			maxDepth = d
+		}
+		if window > 0 && st.depth > 0 && now.Sub(st.lastDrain) > window {
+			stalled++
+		}
+	}
+	return sum, maxDepth, stalled
+}
+
+// StalledConsumers returns how many connected consumers the stall
+// detector currently flags.
+func (s *Server) StalledConsumers() int {
+	_, _, stalled := s.queueStats()
+	return int(stalled)
+}
+
+// MeshNodeInfo identifies one mesh node.
+type MeshNodeInfo struct {
+	ID       string `json:"id,omitempty"`
+	MeshAddr string `json:"mesh_addr,omitempty"`
+}
+
+// MeshUplinkInfo is one uplink connection's state.
+type MeshUplinkInfo struct {
+	// Addr is the dial target of the uplink connection (the upstream's
+	// consumer address); NodeID/MeshAddr are the upstream's announced
+	// identity, learned from its handshake reply.
+	Addr     string `json:"addr,omitempty"`
+	NodeID   string `json:"node_id,omitempty"`
+	MeshAddr string `json:"mesh_addr,omitempty"`
+	// All / Names mirror the last subscription sent upstream.
+	All   bool     `json:"all,omitempty"`
+	Names []string `json:"names,omitempty"`
+}
+
+// MeshConsumerInfo is one consumer connection's state: its subscription,
+// queue, drop accounting, and stall status.  NodeID/MeshAddr are set
+// when the consumer announced itself as a downstream relay.
+type MeshConsumerInfo struct {
+	Remote         string   `json:"remote,omitempty"`
+	NodeID         string   `json:"node_id,omitempty"`
+	MeshAddr       string   `json:"mesh_addr,omitempty"`
+	All            bool     `json:"all"`
+	Names          []string `json:"names,omitempty"`
+	QueueDepth     int      `json:"queue_depth"`
+	QueueCap       int      `json:"queue_cap"`
+	Policy         string   `json:"policy"`
+	DroppedFrames  int64    `json:"dropped_frames"`
+	DroppedRecords int64    `json:"dropped_records"`
+	// LastDrainMS is how long ago the queue last handed a frame to the
+	// consumer pump, in milliseconds (0 when it just drained).
+	LastDrainMS int64 `json:"last_drain_ms"`
+	Stalled     bool  `json:"stalled"`
+}
+
+// MeshFormatInfo is one format name's accounting at this hop.
+type MeshFormatInfo struct {
+	Name           string `json:"name"`
+	Frames         int64  `json:"frames"`
+	Records        int64  `json:"records"`
+	Bytes          int64  `json:"bytes"`
+	Queued         int64  `json:"queued"`
+	DroppedFrames  int64  `json:"dropped_frames"`
+	DroppedRecords int64  `json:"dropped_records"`
+}
+
+// MeshInfo is the /debug/mesh document: everything a crawler needs to
+// place this hop in the tree and account for its traffic.
+type MeshInfo struct {
+	Node          MeshNodeInfo       `json:"node"`
+	StallWindowMS int64              `json:"stall_window_ms"`
+	Uplinks       []MeshUplinkInfo   `json:"uplinks,omitempty"`
+	Consumers     []MeshConsumerInfo `json:"consumers,omitempty"`
+	// Downstream lists the consumers that announced node identity —
+	// the child relays a crawler should descend into.
+	Downstream []MeshNodeInfo   `json:"downstream,omitempty"`
+	Formats    []MeshFormatInfo `json:"formats,omitempty"`
+	Stats      Stats            `json:"stats"`
+}
+
+// MeshSnapshot captures the relay's mesh-observability state.  Pointers
+// are collected under the server lock, but per-queue and per-uplink
+// state is read after releasing it, so a scrape never holds s.mu while
+// touching another lock.
+func (s *Server) MeshSnapshot() MeshInfo {
+	type consumerRef struct {
+		c        *consumer
+		all      bool
+		names    []string
+		nodeID   string
+		meshAddr string
+	}
+	s.mu.Lock()
+	info := MeshInfo{
+		Node:          MeshNodeInfo{ID: s.nodeID, MeshAddr: s.meshAddr},
+		StallWindowMS: s.stallWindow.Milliseconds(),
+	}
+	window := s.stallWindow
+	refs := make([]consumerRef, 0, len(s.consumers))
+	for c := range s.consumers {
+		refs = append(refs, consumerRef{
+			c:        c,
+			all:      c.all,
+			names:    append([]string(nil), c.sub.Names...),
+			nodeID:   c.peerNodeID,
+			meshAddr: c.peerMeshAddr,
+		})
+	}
+	uplinks := make([]*Uplink, 0, len(s.uplinks))
+	for u := range s.uplinks {
+		uplinks = append(uplinks, u)
+	}
+	fstats := make([]*formatStats, 0, len(s.fstats)+1)
+	for _, fs := range s.fstats {
+		fstats = append(fstats, fs)
+	}
+	if s.fstatsOverflow != nil {
+		fstats = append(fstats, s.fstatsOverflow)
+	}
+	s.mu.Unlock()
+
+	now := time.Now()
+	for _, ref := range refs {
+		st := ref.c.q.state()
+		ci := MeshConsumerInfo{
+			NodeID:         ref.nodeID,
+			MeshAddr:       ref.meshAddr,
+			All:            ref.all,
+			Names:          ref.names,
+			QueueDepth:     st.depth,
+			QueueCap:       st.capacity,
+			Policy:         st.policy.String(),
+			DroppedFrames:  st.droppedFrames,
+			DroppedRecords: st.droppedRecords,
+			LastDrainMS:    now.Sub(st.lastDrain).Milliseconds(),
+			Stalled:        window > 0 && st.depth > 0 && now.Sub(st.lastDrain) > window,
+		}
+		if addr := ref.c.conn.RemoteAddr(); addr != nil {
+			ci.Remote = addr.String()
+		}
+		info.Consumers = append(info.Consumers, ci)
+		if ref.nodeID != "" || ref.meshAddr != "" {
+			info.Downstream = append(info.Downstream, MeshNodeInfo{ID: ref.nodeID, MeshAddr: ref.meshAddr})
+		}
+	}
+	for _, u := range uplinks {
+		info.Uplinks = append(info.Uplinks, u.info())
+	}
+	for _, fs := range fstats {
+		info.Formats = append(info.Formats, MeshFormatInfo{
+			Name:           fs.name,
+			Frames:         fs.frames.Load(),
+			Records:        fs.records.Load(),
+			Bytes:          fs.bytes.Load(),
+			Queued:         fs.queued.Load(),
+			DroppedFrames:  fs.droppedFrames.Load(),
+			DroppedRecords: fs.droppedRecords.Load(),
+		})
+	}
+	sort.Slice(info.Formats, func(i, j int) bool { return info.Formats[i].Name < info.Formats[j].Name })
+	sort.Slice(info.Consumers, func(i, j int) bool {
+		a, b := info.Consumers[i], info.Consumers[j]
+		if a.NodeID != b.NodeID {
+			return a.NodeID < b.NodeID
+		}
+		return a.Remote < b.Remote
+	})
+	sort.Slice(info.Downstream, func(i, j int) bool { return info.Downstream[i].ID < info.Downstream[j].ID })
+	info.Stats = s.Stats()
+	return info
+}
+
+// MeshHandler returns the /debug/mesh endpoint: the MeshSnapshot as one
+// JSON document.
+func (s *Server) MeshHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.MeshSnapshot())
+	})
+}

@@ -1,0 +1,269 @@
+package relay
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestMeshIdentityHandshake wires a child relay below a parent over a
+// pipe and checks both halves of the handshake: the parent learns the
+// child's identity from its subscription (and lists it as downstream),
+// the child learns the parent's from the reply.
+func TestMeshIdentityHandshake(t *testing.T) {
+	parent := NewServer()
+	child := NewServer()
+	parent.SetNodeInfo("root", "127.0.0.1:9850")
+	child.SetNodeInfo("leaf-0", "127.0.0.1:9851")
+	defer parent.Close()
+	defer child.Close()
+
+	a, b := net.Pipe()
+	if !parent.AddConsumerConn(a) {
+		t.Fatal("parent refused the consumer connection")
+	}
+	go child.RunUplinkTo(b, nil, "parent.example:7851")
+
+	waitFor(t, "parent to see the child's identity", func() bool {
+		info := parent.MeshSnapshot()
+		return len(info.Downstream) == 1 && info.Downstream[0].ID == "leaf-0"
+	})
+	info := parent.MeshSnapshot()
+	if got := info.Downstream[0].MeshAddr; got != "127.0.0.1:9851" {
+		t.Errorf("downstream mesh addr = %q, want the child's", got)
+	}
+	if len(info.Consumers) != 1 || info.Consumers[0].NodeID != "leaf-0" {
+		t.Errorf("consumers = %+v, want one with the child's node ID", info.Consumers)
+	}
+	if info.Node.ID != "root" {
+		t.Errorf("parent node ID = %q", info.Node.ID)
+	}
+
+	waitFor(t, "child to see the parent's identity", func() bool {
+		info := child.MeshSnapshot()
+		return len(info.Uplinks) == 1 && info.Uplinks[0].NodeID == "root"
+	})
+	up := child.MeshSnapshot().Uplinks[0]
+	if up.Addr != "parent.example:7851" {
+		t.Errorf("uplink addr = %q, want the dialed address", up.Addr)
+	}
+	if up.MeshAddr != "127.0.0.1:9850" {
+		t.Errorf("uplink mesh addr = %q, want the parent's", up.MeshAddr)
+	}
+	if !up.All {
+		t.Errorf("uplink subscription = %+v, want the all-default", up)
+	}
+}
+
+// stuckConsumerRelay builds a relay with one consumer that never reads
+// (its pump blocks on the first pipe write) and one pipe producer, and
+// publishes n records of the "sample" format through it.  The first
+// record goes out alone, and the helper waits for the consumer pump to
+// pop the meta frame (queue depth settles at 1: just that data frame)
+// before flooding the rest — so exactly the queue's capacity of data
+// frames ends up held and the eviction count is deterministic.
+func stuckConsumerRelay(t *testing.T, s *Server, n int) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c2.Close() })
+	if !s.AddConsumerConn(c1) {
+		t.Fatal("relay refused the consumer connection")
+	}
+
+	p1, p2 := net.Pipe()
+	s.AddProducerConn(p1)
+	ctx, f := producerCtx(t, "x86")
+	w := ctx.NewWriter(p2)
+	write := func(i int) {
+		rec := f.NewRecord()
+		rec.MustSetInt("seq", 0, int64(i))
+		rec.MustSetFloat("v", 0, float64(i)*0.5)
+		rec.MustSetString("tag", "pub")
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(0)
+	// Queue depth 1 with format occupancy 1 means exactly one *data*
+	// frame is queued — the meta frame has been popped and the pump is
+	// blocked writing it.
+	waitFor(t, "the pump to pop the meta frame", func() bool {
+		info := s.MeshSnapshot()
+		return len(info.Consumers) == 1 && info.Consumers[0].QueueDepth == 1 &&
+			len(info.Formats) == 1 && info.Formats[0].Queued == 1
+	})
+	for i := 1; i < n; i++ {
+		write(i)
+	}
+	p2.Close()
+
+	// The producer goroutine broadcasts asynchronously; settle before
+	// the caller asserts exact counts.
+	waitFor(t, "all frames to be accounted", func() bool {
+		info := s.MeshSnapshot()
+		return len(info.Formats) == 1 && info.Formats[0].Frames == int64(n)
+	})
+}
+
+// TestMeshPerFormatAccounting drives 20 records at a stuck consumer
+// whose 4-frame drop-oldest queue must evict 16, and checks that the
+// per-format accounting conserves: frames broadcast == queued + dropped.
+func TestMeshPerFormatAccounting(t *testing.T) {
+	s := NewServer()
+	s.SetQueue(4, PolicyDropOldest)
+	defer s.Close()
+	stuckConsumerRelay(t, s, 20)
+
+	fi := s.MeshSnapshot().Formats[0]
+	if fi.Name != "sample" {
+		t.Fatalf("format name = %q, want sample", fi.Name)
+	}
+	if fi.Frames != 20 || fi.Records != 20 {
+		t.Errorf("forwarded = %d frames / %d records, want 20/20", fi.Frames, fi.Records)
+	}
+	if fi.Bytes == 0 {
+		t.Errorf("forwarded bytes = 0, want > 0")
+	}
+	// Conservation: every broadcast frame is either still queued or was
+	// dropped (none were delivered — the consumer never read a byte).
+	if fi.Queued+fi.DroppedFrames != fi.Frames {
+		t.Errorf("conservation violated: %d queued + %d dropped != %d broadcast",
+			fi.Queued, fi.DroppedFrames, fi.Frames)
+	}
+	if fi.DroppedRecords != 16 {
+		t.Errorf("dropped records = %d, want 16", fi.DroppedRecords)
+	}
+
+	// The per-consumer view must agree with the per-format one.
+	ci := s.MeshSnapshot().Consumers[0]
+	if ci.DroppedFrames != 16 || ci.QueueDepth != 4 || ci.QueueCap != 4 {
+		t.Errorf("consumer view = %+v, want 16 dropped, depth 4/4", ci)
+	}
+	if ci.Policy != "drop-oldest" {
+		t.Errorf("consumer policy = %q", ci.Policy)
+	}
+}
+
+// TestStallDetectorAndGauges: a consumer holding undrained frames past
+// the stall window is flagged — in StalledConsumers, in /debug/mesh,
+// and on the stalled-consumers gauge, which must agree with the depth
+// gauges computed in the same single pass.
+func TestStallDetectorAndGauges(t *testing.T) {
+	s := NewServer()
+	s.SetQueue(4, PolicyDropOldest)
+	s.SetStallWindow(50 * time.Millisecond)
+	reg := telemetry.NewRegistry()
+	s.SetTelemetry(reg)
+	defer s.Close()
+	stuckConsumerRelay(t, s, 8)
+
+	waitFor(t, "the stall detector to flag the stuck consumer", func() bool {
+		return s.StalledConsumers() == 1
+	})
+	info := s.MeshSnapshot()
+	if len(info.Consumers) != 1 || !info.Consumers[0].Stalled {
+		t.Errorf("consumers = %+v, want one stalled", info.Consumers)
+	}
+	if info.StallWindowMS != 50 {
+		t.Errorf("stall window = %dms, want 50", info.StallWindowMS)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"pbio_relay_queue_depth_frames 4",
+		"pbio_relay_queue_depth_max_frames 4",
+		"pbio_relay_stalled_consumers 1",
+		`pbio_relay_format_forwarded_records_total{format="sample"} 8`,
+		`pbio_relay_format_dropped_frames_total{format="sample"} 4`,
+		`pbio_relay_format_queued_frames{format="sample"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMeshHandlerJSON: /debug/mesh serves the snapshot as JSON that
+// round-trips into MeshInfo — the contract the pbio-mon crawler relies
+// on.
+func TestMeshHandlerJSON(t *testing.T) {
+	s := NewServer()
+	s.SetNodeInfo("hop-0-0", "127.0.0.1:9850")
+	defer s.Close()
+	stuckConsumerRelay(t, s, 3)
+	waitFor(t, "frames to reach the consumer queue", func() bool {
+		return len(s.MeshSnapshot().Formats) == 1
+	})
+
+	srv := httptest.NewServer(s.MeshHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var info MeshInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decoding /debug/mesh: %v", err)
+	}
+	if info.Node.ID != "hop-0-0" || info.Node.MeshAddr != "127.0.0.1:9850" {
+		t.Errorf("node = %+v", info.Node)
+	}
+	if len(info.Formats) != 1 || info.Formats[0].Name != "sample" {
+		t.Errorf("formats = %+v", info.Formats)
+	}
+	if info.Stats.Frames == 0 {
+		t.Errorf("stats did not ride the snapshot: %+v", info.Stats)
+	}
+}
+
+// TestFormatStatsOverflowBucket: past the cardinality bound, accounting
+// collapses into the shared overflow bucket instead of growing without
+// limit.
+func TestFormatStatsOverflowBucket(t *testing.T) {
+	s := NewServer()
+	s.mu.Lock()
+	for i := 0; i < maxFormatStats; i++ {
+		s.fstatsForLocked(fmt.Sprintf("f%d", i))
+	}
+	over1 := s.fstatsForLocked("one-more")
+	over2 := s.fstatsForLocked("and-another")
+	known := s.fstatsForLocked("f7")
+	s.mu.Unlock()
+	if over1.name != overflowFormat || over1 != over2 {
+		t.Errorf("formats past the bound must share the %q bucket", overflowFormat)
+	}
+	if known.name != "f7" {
+		t.Errorf("existing format resolved to %q, want its own bucket", known.name)
+	}
+	info := s.MeshSnapshot()
+	if len(info.Formats) != maxFormatStats+1 {
+		t.Errorf("snapshot lists %d formats, want %d (bound + overflow)", len(info.Formats), maxFormatStats+1)
+	}
+}

@@ -3,6 +3,7 @@ package relay
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -93,6 +94,12 @@ type frameQueue struct {
 	droppedFrames  int64
 	droppedRecords int64
 
+	// lastDrain is when pop last handed a frame to the consumer pump
+	// (creation time until then) — the stall detector's signal: a queue
+	// holding frames whose lastDrain is older than the stall window has
+	// a consumer that stopped draining.
+	lastDrain time.Time
+
 	// onEvict, when set, observes every frame evicted by drop-oldest
 	// (called with mu held; must not re-enter the queue) — the relay
 	// uses it to count lost traced records on the tracer.
@@ -104,9 +111,10 @@ func newFrameQueue(capacity int, policy QueuePolicy, onEvict func(outFrame)) *fr
 		capacity = 1
 	}
 	q := &frameQueue{
-		buf:     make([]outFrame, capacity),
-		policy:  policy,
-		onEvict: onEvict,
+		buf:       make([]outFrame, capacity),
+		policy:    policy,
+		onEvict:   onEvict,
+		lastDrain: time.Now(),
 	}
 	q.notEmpty.L = &q.mu
 	q.notFull.L = &q.mu
@@ -177,16 +185,19 @@ func (q *frameQueue) pushLocked(of outFrame) pushResult {
 	}
 	q.buf[(q.head+q.n)%len(q.buf)] = of
 	q.n++
+	of.fstats.queueAdd(1)
 	q.notEmpty.Signal()
 	q.mu.Unlock()
 	return pushOK
 }
 
-// isMetaFrame reports whether a frame carries format meta-information —
-// the frames drop-oldest must preserve.
+// isMetaFrame reports whether a frame is in the never-evict class:
+// format meta-information (a consumer that missed meta can never decode
+// that format again) and subscription control frames (the mesh identity
+// handshake — one per downstream relay, so preserving them is bounded).
 func isMetaFrame(f transport.Frame) bool {
 	k := f.BaseKind()
-	return k == transport.FrameMeta || k == transport.FrameMetaRef
+	return k == transport.FrameMeta || k == transport.FrameMetaRef || k == transport.FrameSub
 }
 
 // evictOldestDataLocked removes and accounts the oldest queued data
@@ -206,6 +217,7 @@ func (q *frameQueue) evictOldestDataLocked() bool {
 		q.buf[q.head] = outFrame{}
 		q.head = (q.head + 1) % len(q.buf)
 		q.n--
+		of.fstats.queueAdd(-1)
 		q.droppedFrames++
 		q.droppedRecords += int64(of.recs)
 		// Releasing and accounting under mu is safe: neither the pool
@@ -247,6 +259,8 @@ func (q *frameQueue) pop() (of outFrame, ok bool) {
 	q.buf[q.head] = outFrame{}
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
+	of.fstats.queueAdd(-1)
+	q.lastDrain = time.Now()
 	q.notFull.Signal()
 	q.mu.Unlock()
 	return of, true
@@ -280,6 +294,31 @@ func (q *frameQueue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.n
+}
+
+// queueState is a point-in-time snapshot of one consumer queue, taken
+// in a single lock acquisition for /debug/mesh and the stall detector.
+type queueState struct {
+	depth          int
+	capacity       int // current ring size (grows only to preserve meta)
+	policy         QueuePolicy
+	droppedFrames  int64
+	droppedRecords int64
+	lastDrain      time.Time
+}
+
+// state snapshots the queue.
+func (q *frameQueue) state() queueState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return queueState{
+		depth:          q.n,
+		capacity:       len(q.buf),
+		policy:         q.policy,
+		droppedFrames:  q.droppedFrames,
+		droppedRecords: q.droppedRecords,
+		lastDrain:      q.lastDrain,
+	}
 }
 
 // dropped returns the eviction counters (frames, records).

@@ -87,6 +87,33 @@ type Server struct {
 
 	stats statCounters
 
+	// Mesh identity and observability (see mesh.go): nodeID / meshAddr
+	// are this relay's stable hop identity (SetNodeInfo), stallWindow
+	// the stall-detector bound (SetStallWindow).  fstats is per-format
+	// accounting keyed by format name — bounded at maxFormatStats, with
+	// fstatsOverflow catching the excess — and fvecs the labeled
+	// telemetry families the per-format atomics export through (their
+	// nil-safe With makes registration a no-op until SetTelemetry).
+	nodeID         string
+	meshAddr       string
+	stallWindow    time.Duration
+	fstats         map[string]*formatStats
+	fstatsOverflow *formatStats
+	fvecs          struct {
+		frames         *telemetry.CounterFuncVec
+		records        *telemetry.CounterFuncVec
+		bytes          *telemetry.CounterFuncVec
+		droppedFrames  *telemetry.CounterFuncVec
+		droppedRecords *telemetry.CounterFuncVec
+		queued         *telemetry.GaugeFuncVec
+	}
+
+	// scrapeMaxDepth / scrapeStalled carry the extra results of the
+	// single queue walk the depth-sum gauge runs per scrape to the two
+	// gauges exported after it (see SetTelemetry).
+	scrapeMaxDepth atomic.Int64
+	scrapeStalled  atomic.Int64
+
 	// trace, when set (SetTelemetry), receives relay trace events:
 	// resyncs, dropped producers and consumers.  Atomic so telemetry can
 	// be attached without synchronizing with serving goroutines.
@@ -215,6 +242,13 @@ type outFrame struct {
 	owner  *sharedPayload
 	recs   int
 	traced int
+
+	// fstats is the frame's format accounting bucket, resolved once at
+	// meta-registration time (nil for meta and control frames).  Riding
+	// the frame keeps queue-side accounting lock-ordering-free: the
+	// queue updates it under its own mutex without ever needing
+	// Server.mu to resolve a format name.
+	fstats *formatStats
 }
 
 // consumer is one subscriber connection.
@@ -228,6 +262,14 @@ type consumer struct {
 	sub  transport.Subscription
 	all  bool
 	want map[uint32]bool
+
+	// Downstream identity, guarded by Server.mu: set when the consumer's
+	// subscription announced it as a relay (mesh handshake).
+	// identitySent records that this relay's own identity reply has been
+	// queued, so re-subscriptions do not repeat it.
+	peerNodeID   string
+	peerMeshAddr string
+	identitySent bool
 
 	// counted guards the departure counters: exactly one of
 	// DroppedConsumers / Disconnects per consumer, no matter how the
@@ -264,8 +306,10 @@ func NewServer() *Server {
 		byName:      make(map[string][]uint32),
 		consumers:   make(map[*consumer]bool),
 		uplinks:     make(map[*Uplink]bool),
+		fstats:      make(map[string]*formatStats),
 		queueCap:    consumerQueue,
 		queuePolicy: PolicyDisconnect,
+		stallWindow: defaultStallWindow,
 	}
 }
 
@@ -396,6 +440,14 @@ func (s *Server) AddConsumerConn(conn net.Conn) bool {
 // too many corrupt frames — drop the connection, and every drop records
 // its cause in Stats.
 func (s *Server) serveProducer(conn net.Conn) {
+	s.serveProducerFrom(conn, nil)
+}
+
+// serveProducerFrom is serveProducer with the link's uplink, when the
+// "producer" is really an upstream relay (RunUplink): the one behavioral
+// difference is that subscription frames on the inbound direction are
+// the upstream's identity reply rather than a protocol violation.
+func (s *Server) serveProducerFrom(conn net.Conn, u *Uplink) {
 	defer conn.Close()
 	type binding struct {
 		relayID uint32
@@ -405,6 +457,9 @@ func (s *Server) serveProducer(conn net.Conn) {
 		traceOff int // -1: format carries no trace field
 		order    abi.Endian
 		name     string
+		// Per-format accounting bucket, resolved once here so the data
+		// path never looks it up again.
+		fstats *formatStats
 	}
 	local := make(map[uint32]binding) // producer's ID -> relay binding
 	br := bufio.NewReader(conn)
@@ -461,11 +516,11 @@ func (s *Server) serveProducer(conn net.Conn) {
 	// forward broadcasts verified record bytes verbatim on a pooled,
 	// refcounted payload (the producer's read buffer is reused next
 	// frame, so consumers need an owned copy — one copy shared by all).
-	forward := func(kind byte, relayID uint32, payload []byte, recs, traced int) {
+	forward := func(kind byte, relayID uint32, payload []byte, recs, traced int, fs *formatStats) {
 		cp := bufpool.Get(len(payload))
 		copy(cp, payload)
 		s.broadcast(transport.Frame{Kind: kind, FormatID: relayID, Payload: cp},
-			&sharedPayload{buf: cp}, recs, traced)
+			&sharedPayload{buf: cp}, recs, traced, fs)
 	}
 
 	// Re-batching state (SetRebatching): verified record bodies of one
@@ -476,6 +531,7 @@ func (s *Server) serveProducer(conn net.Conn) {
 	var (
 		rb        []byte
 		rbID      uint32
+		rbStats   *formatStats
 		rbRecords int
 		rbTraced  int
 	)
@@ -494,8 +550,8 @@ func (s *Server) serveProducer(conn net.Conn) {
 			payload = rb
 		}
 		s.broadcast(transport.Frame{Kind: kind, FormatID: rbID, Payload: payload},
-			&sharedPayload{buf: rb}, rbRecords, rbTraced)
-		rb, rbRecords, rbTraced = nil, 0, 0
+			&sharedPayload{buf: rb}, rbRecords, rbTraced, rbStats)
+		rb, rbStats, rbRecords, rbTraced = nil, nil, 0, 0
 	}
 	// Whatever is pending when the producer goes away — cleanly or not —
 	// was received intact and still belongs to the consumers.
@@ -511,7 +567,7 @@ func (s *Server) serveProducer(conn net.Conn) {
 			rb = bufpool.Get(sumPrefix + max(rebatchMax, len(body)))[:sumPrefix]
 		}
 		if rbRecords == 0 {
-			rbID = b.relayID
+			rbID, rbStats = b.relayID, b.fstats
 		}
 		rb = append(rb, body...)
 		rbRecords += len(body) / b.size
@@ -594,7 +650,7 @@ func (s *Server) serveProducer(conn net.Conn) {
 			// Keep consumer frame order identical to arrival order: the
 			// pending batch was received before this meta frame.
 			flushBatch()
-			relayID, added, err := s.registerFormat(format)
+			relayID, added, fs, err := s.registerFormat(format)
 			if err != nil {
 				s.noteBadProducer(err)
 				return
@@ -605,6 +661,7 @@ func (s *Server) serveProducer(conn net.Conn) {
 				traceOff: wire.TraceFieldOffset(format),
 				order:    format.Order,
 				name:     format.Name,
+				fstats:   fs,
 			}
 			if added {
 				s.broadcastMeta(relayID)
@@ -638,14 +695,29 @@ func (s *Server) serveProducer(conn net.Conn) {
 				// payload keeps any checksum prefix — the checksum covers
 				// the body only, so renumbering the header keeps it valid
 				// end-to-end.
-				forward(f.Kind, b.relayID, f.Payload, len(body)/b.size, traced)
+				forward(f.Kind, b.relayID, f.Payload, len(body)/b.size, traced, b.fstats)
 			}
 			noteSpans(tr, b, body, arrival)
+		case transport.FrameSub:
+			// On an uplink this is the upstream's identity reply (the
+			// other half of the mesh handshake); on a plain producer
+			// link FrameSub is a consumer-to-relay control frame and
+			// just as much a protocol violation as any other kind.
+			if u == nil {
+				s.noteBadProducer(fmt.Errorf("relay: unexpected subscription frame from producer"))
+				return
+			}
+			sub, err := transport.DecodeSubscription(body)
+			if err != nil {
+				if !skip(err) {
+					return
+				}
+				continue
+			}
+			u.setPeer(sub.NodeID, sub.MeshAddr)
 		default:
 			// Format-server references would need a resolver here;
-			// producers must use in-band meta with a relay.  (FrameSub
-			// is a consumer-to-relay control frame; on the producer
-			// direction it is just as much a protocol violation.)
+			// producers must use in-band meta with a relay.
 			s.noteBadProducer(fmt.Errorf("relay: unexpected frame kind %d from producer", f.Kind))
 			return
 		}
@@ -682,13 +754,14 @@ func (s *Server) noteBadProducer(cause error) {
 
 // registerFormat adds a format to the relay space, recording its meta
 // frame for replay and resolving which consumers' subscriptions cover
-// the new ID.
-func (s *Server) registerFormat(f *wire.Format) (uint32, bool, error) {
+// the new ID.  It also returns the format's accounting bucket (shared
+// by every relay ID carrying the name) for the caller's binding.
+func (s *Server) registerFormat(f *wire.Format) (uint32, bool, *formatStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id, added, err := s.formats.Register(f)
 	if err != nil {
-		return 0, false, err
+		return 0, false, nil, err
 	}
 	if added {
 		s.metaBytes[id] = wire.EncodeMeta(f)
@@ -703,7 +776,7 @@ func (s *Server) registerFormat(f *wire.Format) (uint32, bool, error) {
 			}
 		}
 	}
-	return id, added, nil
+	return id, added, s.fstatsForLocked(f.Name), nil
 }
 
 // broadcastMeta sends a newly-registered format's meta to current
@@ -712,7 +785,7 @@ func (s *Server) broadcastMeta(relayID uint32) {
 	s.mu.Lock()
 	f := s.metaFrame(relayID)
 	s.mu.Unlock()
-	s.broadcast(f, nil, 0, 0)
+	s.broadcast(f, nil, 0, 0, nil)
 }
 
 // broadcast enqueues a frame for every consumer whose subscription
@@ -731,14 +804,14 @@ func (s *Server) broadcastMeta(relayID uint32) {
 // stream but never consumer registration, stats, or other control paths.
 //
 //pbio:hotpath noalloc=0 per-frame fan-out; the non-blocking path enqueues without allocating
-func (s *Server) broadcast(f transport.Frame, owner *sharedPayload, recs, traced int) {
+func (s *Server) broadcast(f transport.Frame, owner *sharedPayload, recs, traced int, fstats *formatStats) {
 	if owner != nil {
 		// The broadcaster's own reference keeps the count positive until
 		// every enqueue attempt has resolved.
 		owner.refs.Add(1)
 	}
 	isData := f.BaseKind() == transport.FrameData || f.BaseKind() == transport.FrameBatch
-	of := outFrame{f: f, owner: owner, recs: recs, traced: traced}
+	of := outFrame{f: f, owner: owner, recs: recs, traced: traced, fstats: fstats}
 
 	s.mu.Lock()
 	s.stats.frames.Add(1)
@@ -756,6 +829,7 @@ func (s *Server) broadcast(f transport.Frame, owner *sharedPayload, recs, traced
 		}
 		s.stats.forwardedBytes.Add(int64(len(f.Payload)) * int64(len(targets)))
 		s.mu.Unlock()
+		fstats.noteForward(recs, len(f.Payload), len(targets))
 		var drop []*consumer
 		for _, c := range targets {
 			if owner != nil {
@@ -792,6 +866,7 @@ func (s *Server) broadcast(f transport.Frame, owner *sharedPayload, recs, traced
 		}
 	}
 	s.stats.forwardedBytes.Add(int64(len(f.Payload)) * int64(sent))
+	fstats.noteForward(recs, len(f.Payload), sent)
 	for _, c := range drop {
 		delete(s.consumers, c)
 		c.q.close()
@@ -854,6 +929,7 @@ func (s *Server) registerConsumer(conn net.Conn) (c *consumer, replay []transpor
 	c.q = newFrameQueue(s.queueCap, s.queuePolicy, func(of outFrame) {
 		s.stats.droppedFrames.Add(1)
 		s.stats.droppedRecords.Add(int64(of.recs))
+		of.fstats.noteDrop(of.recs)
 		if of.traced > 0 {
 			s.tracer.Load().NoteLostN(of.traced)
 		}
@@ -941,6 +1017,10 @@ func (s *Server) readConsumerControl(c *consumer) {
 
 // setSubscription applies a want-list to a consumer, resolving names to
 // relay format IDs, and propagates the change to any auto-mode uplinks.
+// A subscription carrying node identity marks the consumer as a
+// downstream relay and triggers the other half of the mesh handshake:
+// this relay's own identity, sent back once as a FrameSub riding the
+// consumer's queue (so it never interleaves with a pump write).
 func (s *Server) setSubscription(c *consumer, sub transport.Subscription) {
 	sub = sub.Canonical()
 	s.mu.Lock()
@@ -960,8 +1040,24 @@ func (s *Server) setSubscription(c *consumer, sub transport.Subscription) {
 			}
 		}
 	}
+	var reply *transport.Subscription
+	if sub.NodeID != "" || sub.MeshAddr != "" {
+		c.peerNodeID, c.peerMeshAddr = sub.NodeID, sub.MeshAddr
+		if !c.identitySent && (s.nodeID != "" || s.meshAddr != "") {
+			c.identitySent = true
+			reply = &transport.Subscription{All: true, NodeID: s.nodeID, MeshAddr: s.meshAddr}
+		}
+	}
 	s.stats.subUpdates.Add(1)
 	s.mu.Unlock()
+	if reply != nil {
+		if enc, err := transport.EncodeSubscription(*reply); err == nil {
+			// FrameSub is in the queue's never-evict class, so the reply
+			// survives drop-oldest; if the queue is closed or overflows
+			// the reply is simply lost along with the consumer.
+			c.q.push(outFrame{f: transport.Frame{Kind: transport.FrameSub, Payload: enc}})
+		}
+	}
 	s.emitTrace("subscription", "")
 	s.notifyUplinks()
 }
@@ -979,21 +1075,6 @@ func (s *Server) SubscribedConsumers() int {
 		}
 	}
 	return n
-}
-
-// queueDepths returns the sum and max of per-consumer queue depths, in
-// frames.
-func (s *Server) queueDepths() (sum, maxDepth int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for c := range s.consumers {
-		d := int64(c.q.depth())
-		sum += d
-		if d > maxDepth {
-			maxDepth = d
-		}
-	}
-	return sum, maxDepth
 }
 
 // Stats returns a snapshot of the relay's throughput and error-accounting
@@ -1049,8 +1130,43 @@ func (s *Server) SetTelemetry(r *telemetry.Registry) {
 	r.GaugeFunc("pbio_relay_formats", "Distinct formats the relay has seen.", func() int64 { return int64(s.Formats()) })
 	r.GaugeFunc("pbio_relay_consumers", "Currently connected consumers.", func() int64 { return int64(s.Consumers()) })
 	r.GaugeFunc("pbio_relay_subscribed_consumers", "Consumers with an explicit (non-all) subscription.", func() int64 { return int64(s.SubscribedConsumers()) })
-	r.GaugeFunc("pbio_relay_queue_depth_frames", "Sum of per-consumer queue depths, in frames.", func() int64 { sum, _ := s.queueDepths(); return sum })
-	r.GaugeFunc("pbio_relay_queue_depth_max_frames", "Deepest per-consumer queue, in frames.", func() int64 { _, m := s.queueDepths(); return m })
+	// One queue walk serves all three queue gauges: families export in
+	// registration order, so the depth-sum gauge (first) runs the walk
+	// and stashes the max and stalled counts for the two after it.  A
+	// caller reading the later gauges in isolation sees the values from
+	// the previous full scrape — fine for monitoring, and half the lock
+	// traffic of walking the consumer set once per gauge.
+	r.GaugeFunc("pbio_relay_queue_depth_frames", "Sum of per-consumer queue depths, in frames.", func() int64 {
+		sum, maxDepth, stalled := s.queueStats()
+		s.scrapeMaxDepth.Store(maxDepth)
+		s.scrapeStalled.Store(stalled)
+		return sum
+	})
+	r.GaugeFunc("pbio_relay_queue_depth_max_frames", "Deepest per-consumer queue, in frames.", s.scrapeMaxDepth.Load)
+	r.GaugeFunc("pbio_relay_stalled_consumers", "Consumers whose queue holds frames but has not drained one within the stall window.", s.scrapeStalled.Load)
+
+	// Per-format accounting rides labeled export-time-read families; the
+	// values live in the relay's own atomics (resolved per format at
+	// meta-registration), the registry reads them at scrape time.
+	// Formats registered before telemetry attached are back-filled here;
+	// later ones bind at creation.  Cardinality is bounded by
+	// maxFormatStats (see mesh.go).
+	s.mu.Lock()
+	s.fvecs.frames = r.CounterFuncVec("pbio_relay_format_forwarded_frames_total", "Frames broadcast, by format name.", "format")
+	s.fvecs.records = r.CounterFuncVec("pbio_relay_format_forwarded_records_total", "Records broadcast, by format name.", "format")
+	s.fvecs.bytes = r.CounterFuncVec("pbio_relay_format_forwarded_bytes_total", "Payload bytes forwarded (payload size x consumers enqueued), by format name.", "format")
+	s.fvecs.droppedFrames = r.CounterFuncVec("pbio_relay_format_dropped_frames_total", "Frames evicted from consumer queues by the drop-oldest policy, by format name.", "format")
+	s.fvecs.droppedRecords = r.CounterFuncVec("pbio_relay_format_dropped_records_total", "Records evicted from consumer queues by the drop-oldest policy, by format name.", "format")
+	s.fvecs.queued = r.GaugeFuncVec("pbio_relay_format_queued_frames", "Frames currently held across consumer queues, by format name.", "format")
+	for _, fs := range s.fstats {
+		s.registerFormatTelemetryLocked(fs)
+	}
+	if s.fstatsOverflow != nil {
+		s.registerFormatTelemetryLocked(s.fstatsOverflow)
+	}
+	s.mu.Unlock()
+
+	r.Handle("/debug/mesh", s.MeshHandler())
 }
 
 // Formats returns the number of distinct formats the relay has seen.

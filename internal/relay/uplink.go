@@ -24,11 +24,45 @@ type Uplink struct {
 	// it changes.
 	static *transport.Subscription
 
+	// addr labels the upstream in /debug/mesh: the address the caller
+	// dialed (RunUplinkTo), or the connection's RemoteAddr fallback.
+	addr string
+
 	mu   sync.Mutex
 	last string // canonical encoding last written upstream
 
+	// peerMu guards the observability snapshot — the upstream identity
+	// learned from its handshake reply and the last subscription sent —
+	// separately from mu, which is held across connection writes: a
+	// mesh scrape must never wait on a slow upstream socket.
+	peerMu    sync.Mutex
+	peerID    string
+	peerMesh  string
+	lastAll   bool
+	lastNames []string
+
 	kick chan struct{} // auto mode: union may have changed
 	done chan struct{} // closed when RunUplink unwinds
+}
+
+// setPeer records the upstream's identity (its handshake reply).
+func (u *Uplink) setPeer(id, meshAddr string) {
+	u.peerMu.Lock()
+	u.peerID, u.peerMesh = id, meshAddr
+	u.peerMu.Unlock()
+}
+
+// info snapshots the uplink for /debug/mesh.
+func (u *Uplink) info() MeshUplinkInfo {
+	u.peerMu.Lock()
+	defer u.peerMu.Unlock()
+	return MeshUplinkInfo{
+		Addr:     u.addr,
+		NodeID:   u.peerID,
+		MeshAddr: u.peerMesh,
+		All:      u.lastAll,
+		Names:    append([]string(nil), u.lastNames...),
+	}
 }
 
 // RunUplink attaches this relay below an upstream relay reachable on
@@ -38,10 +72,23 @@ type Uplink struct {
 // frames, until conn fails, the upstream closes, or this relay is
 // closed; the caller owns redial policy.
 func (s *Server) RunUplink(conn net.Conn, static *transport.Subscription) error {
+	addr := ""
+	if ra := conn.RemoteAddr(); ra != nil {
+		addr = ra.String()
+	}
+	return s.RunUplinkTo(conn, static, addr)
+}
+
+// RunUplinkTo is RunUplink with an explicit upstream address label for
+// /debug/mesh.  Callers that dialed know the address they dialed, which
+// is more useful to a mesh crawler than what RemoteAddr reports
+// (in-process pipes, for one, report no address at all).
+func (s *Server) RunUplinkTo(conn net.Conn, static *transport.Subscription, addr string) error {
 	u := &Uplink{
 		s:      s,
 		conn:   conn,
 		static: static,
+		addr:   addr,
 		kick:   make(chan struct{}, 1),
 		done:   make(chan struct{}),
 	}
@@ -75,9 +122,10 @@ func (s *Server) RunUplink(conn net.Conn, static *transport.Subscription) error 
 		go u.updater()
 	}
 
-	// The upstream is just a producer from here down: renumbered meta,
-	// verbatim or re-batched data, trace spans per hop.
-	s.serveProducer(conn)
+	// The upstream is just a producer from here down — renumbered meta,
+	// verbatim or re-batched data, trace spans per hop — plus the
+	// identity reply of the mesh handshake.
+	s.serveProducerFrom(conn, u)
 	return nil
 }
 
@@ -106,8 +154,12 @@ func (u *Uplink) updater() {
 
 // send writes a subscription upstream unless its canonical encoding
 // matches the last one sent.  Serialized by u.mu so the updater and the
-// initial send never interleave frame bytes.
+// initial send never interleave frame bytes.  Every subscription doubles
+// as the mesh identity handshake: this relay's node identity is stamped
+// on it, so the upstream learns who attached (and replies with its own).
 func (u *Uplink) send(sub transport.Subscription) error {
+	sub.NodeID, sub.MeshAddr = u.s.nodeInfo()
+	sub = sub.Canonical()
 	enc, err := transport.EncodeSubscription(sub)
 	if err != nil {
 		return err
@@ -122,5 +174,9 @@ func (u *Uplink) send(sub transport.Subscription) error {
 		return err
 	}
 	u.last = string(enc)
+	u.peerMu.Lock()
+	u.lastAll = sub.All
+	u.lastNames = append(u.lastNames[:0], sub.Names...)
+	u.peerMu.Unlock()
 	return nil
 }

@@ -1,0 +1,87 @@
+package telemetry
+
+// Snapshot differencing.
+//
+// Counters only ever go up, so one scrape is a lifetime total — useful
+// for conservation checks, useless for "what is happening right now".
+// Diff turns two successive Snapshot captures into per-series deltas
+// and per-second rates, which is how pbio-mon's -watch mode (and any
+// other periodic scraper) renders live throughput without the metrics
+// themselves having to track windows.
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// DiffSeries is one labeled series' movement between two snapshots.
+type DiffSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the series' current (newer) value; Delta is current minus
+	// previous.  A series absent from the previous snapshot diffs against
+	// zero — for counters that is exactly right (it was born at zero
+	// within the window).
+	Value int64 `json:"value"`
+	Delta int64 `json:"delta"`
+	// Rate is Delta per second over the window (0 for a zero window).
+	Rate float64 `json:"rate"`
+}
+
+// DiffMetric is one family's movement between two snapshots.
+type DiffMetric struct {
+	Name   string       `json:"name"`
+	Type   string       `json:"type"`
+	Series []DiffSeries `json:"series"`
+}
+
+// labelKey builds a stable identity for a series within its family.
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\x00')
+		b.WriteString(labels[k])
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// Diff computes per-series deltas and rates from two Snapshot captures
+// taken window apart (prev older, cur newer).  Series are matched by
+// family name and full label set; families or series present only in
+// prev are dropped (they no longer exist), ones present only in cur
+// diff against zero.  Histogram series diff on their observation count.
+func Diff(prev, cur []MetricSnapshot, window time.Duration) []DiffMetric {
+	prevBy := make(map[string]map[string]int64, len(prev))
+	for _, m := range prev {
+		series := make(map[string]int64, len(m.Series))
+		for _, s := range m.Series {
+			series[labelKey(s.Labels)] = s.Value
+		}
+		prevBy[m.Name] = series
+	}
+	secs := window.Seconds()
+	out := make([]DiffMetric, 0, len(cur))
+	for _, m := range cur {
+		dm := DiffMetric{Name: m.Name, Type: m.Type}
+		for _, s := range m.Series {
+			d := DiffSeries{Labels: s.Labels, Value: s.Value}
+			d.Delta = s.Value - prevBy[m.Name][labelKey(s.Labels)]
+			if secs > 0 {
+				d.Rate = float64(d.Delta) / secs
+			}
+			dm.Series = append(dm.Series, d)
+		}
+		out = append(out, dm)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDiffRates pins the scrape-to-scrape rate math: deltas are matched
+// per family and label set, rates divide by the window, series born
+// inside the window diff against zero.
+func TestDiffRates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames_total", "")
+	v := r.CounterVec("per_format_total", "", "format")
+	g := r.Gauge("depth", "")
+
+	c.Add(100)
+	v.With("temps").Add(10)
+	g.Set(7)
+	prev := r.Snapshot()
+
+	c.Add(50)
+	v.With("temps").Add(20)
+	v.With("events").Add(5) // born inside the window
+	g.Set(3)                // gauges can go down
+	cur := r.Snapshot()
+
+	diffs := Diff(prev, cur, 10*time.Second)
+	byName := make(map[string]DiffMetric)
+	for _, d := range diffs {
+		byName[d.Name] = d
+	}
+
+	if d := byName["frames_total"].Series[0]; d.Value != 150 || d.Delta != 50 || d.Rate != 5 {
+		t.Errorf("frames_total diff = %+v, want value 150, delta 50, rate 5", d)
+	}
+	if d := byName["depth"].Series[0]; d.Delta != -4 {
+		t.Errorf("depth delta = %d, want -4 (gauges move both ways)", d.Delta)
+	}
+	perFormat := make(map[string]DiffSeries)
+	for _, s := range byName["per_format_total"].Series {
+		perFormat[s.Labels["format"]] = s
+	}
+	if d := perFormat["temps"]; d.Delta != 20 || d.Rate != 2 {
+		t.Errorf("temps diff = %+v, want delta 20, rate 2", d)
+	}
+	if d := perFormat["events"]; d.Delta != 5 || d.Value != 5 {
+		t.Errorf("events (new series) diff = %+v, want delta == value == 5", d)
+	}
+}
+
+// TestDiffZeroWindow: a zero (or unknown) window yields deltas but no
+// rates, never a division by zero.
+func TestDiffZeroWindow(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(5)
+	snap := r.Snapshot()
+	diffs := Diff(nil, snap, 0)
+	if d := diffs[0].Series[0]; d.Delta != 5 || d.Rate != 0 {
+		t.Errorf("zero-window diff = %+v, want delta 5, rate 0", d)
+	}
+}
+
+// TestDiffHistogramCount: histogram series diff on observation count.
+func TestDiffHistogramCount(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_nanos", "")
+	h.Observe(100)
+	prev := r.Snapshot()
+	h.Observe(200)
+	h.Observe(300)
+	cur := r.Snapshot()
+	diffs := Diff(prev, cur, 2*time.Second)
+	if d := diffs[0].Series[0]; d.Delta != 2 || d.Rate != 1 {
+		t.Errorf("histogram diff = %+v, want delta 2 (observations), rate 1/s", d)
+	}
+}

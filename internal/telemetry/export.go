@@ -55,8 +55,24 @@ func writeSeries(w io.Writer, name, typ string, s SeriesSnapshot) error {
 	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, labelString(s.Labels, "", ""), h.Sum); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(s.Labels, "", ""), h.Count)
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(s.Labels, "", ""), h.Count); err != nil {
+		return err
+	}
+	// Quantile estimates ride the exposition as untyped <name>_quantile
+	// samples (summary syntax, separate sample name so typed-histogram
+	// scrapers stay happy).  Prometheus proper recomputes quantiles from
+	// the buckets; these are for humans, curl, and pbio-mon, which should
+	// not have to re-derive the rank walk the JSON export already does.
+	for _, q := range []struct {
+		q string
+		v float64
+	}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+		if _, err := fmt.Fprintf(w, "%s_quantile%s %g\n",
+			name, labelString(s.Labels, "quantile", q.q), q.v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // labelString renders {k="v",…} with keys sorted, optionally appending

@@ -37,6 +37,17 @@ func goldenRegistry() *Registry {
 
 	r.CounterFunc("pbio_resyncs_total", "Resyncs, read from the relay.", func() int64 { return 11 })
 	r.GaugeFunc("pbio_formats", "Known formats.", func() int64 { return 2 })
+
+	// Labeled export-time-read families — the shape the relay's
+	// per-format accounting exports (PR 8): values live in the relay's
+	// own atomics, the registry reads them at scrape time.
+	fv := r.CounterFuncVec("pbio_relay_format_forwarded_records_total",
+		"Records forwarded, by format name.", "format")
+	fv.With(func() int64 { return 1234 }, "temps")
+	fv.With(func() int64 { return 56 }, "events")
+	gv := r.GaugeFuncVec("pbio_relay_format_queued_frames",
+		"Frames currently queued, by format name.", "format")
+	gv.With(func() int64 { return 3 }, "temps")
 	return r
 }
 
@@ -85,8 +96,13 @@ func TestPrometheusHistogramCumulative(t *testing.T) {
 		`lat_nanos_bucket{le="+Inf"} 4`,
 		`lat_nanos_sum 1099511628276`, // 100+100+300 + 1<<40
 		`lat_nanos_count 4`,
+		// Quantile estimates ride as untyped <name>_quantile samples;
+		// values match the JSON export's rank-walk estimator.
+		`lat_nanos_quantile{quantile="0.5"} 128`,
+		`lat_nanos_quantile{quantile="0.9"}`,
+		`lat_nanos_quantile{quantile="0.99"}`,
 	} {
-		if !strings.Contains(out, want+"\n") {
+		if !strings.Contains(out, want+"\n") && !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
 		}
 	}
@@ -103,8 +119,8 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(doc.Metrics) != 6 {
-		t.Fatalf("decoded %d metric families, want 6", len(doc.Metrics))
+	if len(doc.Metrics) != 8 {
+		t.Fatalf("decoded %d metric families, want 8", len(doc.Metrics))
 	}
 }
 

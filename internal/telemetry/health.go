@@ -1,0 +1,45 @@
+package telemetry
+
+// Liveness and readiness endpoints.
+//
+// Both daemons serve these on their -metrics-addr listener, next to
+// /metrics: /healthz answers "is the process alive" (always yes if it
+// answers at all — the useful signal is the TCP connect succeeding),
+// /readyz answers "is it safe to route work here" by running the
+// daemon-specific checks the caller registered (listener up, uplink
+// connected, fmtserver reachable).  The split matches the usual
+// orchestration contract: liveness failures restart the process,
+// readiness failures just take it out of rotation.
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// LiveHandler returns the liveness endpoint: 200 "ok" unconditionally.
+func LiveHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// ReadyHandler returns the readiness endpoint: it runs every check in
+// order and answers 200 "ok" when all pass, or 503 with the first
+// failure's text when one does not.  Nil checks are skipped.
+func ReadyHandler(checks ...func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, check := range checks {
+			if check == nil {
+				continue
+			}
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "not ready: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+}

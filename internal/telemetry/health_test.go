@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func getStatus(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestLiveHandlerAlwaysOK(t *testing.T) {
+	code, body := getStatus(t, LiveHandler(), "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+}
+
+func TestReadyHandlerPassesAndFails(t *testing.T) {
+	var ready atomic.Bool
+	h := ReadyHandler(
+		nil, // nil checks are skipped
+		func() error {
+			if !ready.Load() {
+				return errors.New("uplink 10.0.0.1:7851 not connected")
+			}
+			return nil
+		},
+	)
+
+	code, body := getStatus(t, h, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while not ready = %d, want 503", code)
+	}
+	if !strings.Contains(body, "uplink 10.0.0.1:7851 not connected") {
+		t.Errorf("/readyz body %q lacks the failing check's cause", body)
+	}
+
+	ready.Store(true)
+	code, body = getStatus(t, h, "/readyz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/readyz once ready = %d %q, want 200 ok", code, body)
+	}
+}
+
+// TestReadyHandlerNoChecks: a readiness endpoint with no checks is
+// always ready (liveness-equivalent), never a panic.
+func TestReadyHandlerNoChecks(t *testing.T) {
+	code, _ := getStatus(t, ReadyHandler(), "/readyz")
+	if code != http.StatusOK {
+		t.Errorf("/readyz with no checks = %d, want 200", code)
+	}
+}

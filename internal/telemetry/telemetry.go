@@ -359,6 +359,56 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
 	f.mu.Unlock()
 }
 
+// CounterFuncVec is a labeled counter family whose series values are
+// read from functions at export time — the labeled form of CounterFunc,
+// for components that keep per-key atomic counters of their own (the
+// relay's per-format accounting, say) and must not double-count.
+type CounterFuncVec struct{ f *family }
+
+// CounterFuncVec returns the named labeled export-time-read counter
+// family.
+func (r *Registry) CounterFuncVec(name, help string, labelNames ...string) *CounterFuncVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterFuncVec{f: r.fam(name, help, kindCounterFunc, labelNames)}
+}
+
+// With binds fn as the series for the given label values (replacing any
+// previous binding).  Nil-safe on a nil vec.
+func (v *CounterFuncVec) With(fn func() int64, labelValues ...string) {
+	if v == nil {
+		return
+	}
+	c := v.f.getOrCreate(labelValues)
+	v.f.mu.Lock()
+	c.fn = fn
+	v.f.mu.Unlock()
+}
+
+// GaugeFuncVec is a labeled gauge family whose series values are read
+// from functions at export time.
+type GaugeFuncVec struct{ f *family }
+
+// GaugeFuncVec returns the named labeled export-time-read gauge family.
+func (r *Registry) GaugeFuncVec(name, help string, labelNames ...string) *GaugeFuncVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeFuncVec{f: r.fam(name, help, kindGaugeFunc, labelNames)}
+}
+
+// With binds fn as the series for the given label values.
+func (v *GaugeFuncVec) With(fn func() int64, labelValues ...string) {
+	if v == nil {
+		return
+	}
+	c := v.f.getOrCreate(labelValues)
+	v.f.mu.Lock()
+	c.fn = fn
+	v.f.mu.Unlock()
+}
+
 // CounterVec is a counter family with label dimensions.
 type CounterVec struct{ f *family }
 

@@ -38,6 +38,57 @@ func TestSubscriptionRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSubscriptionNodeIdentity covers the version-2 handshake: node
+// identity rides the frame, survives the round trip, and a plain
+// want-list stays byte-identical version 1.
+func TestSubscriptionNodeIdentity(t *testing.T) {
+	cases := []Subscription{
+		{All: true, NodeID: "relay-west-1", MeshAddr: "10.0.0.7:9850"},
+		{Names: []string{"temps", "events"}, NodeID: "leaf-3"},
+		{MeshAddr: "127.0.0.1:9851"},
+	}
+	for _, in := range cases {
+		enc, err := EncodeSubscription(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc[0] != subVersionNode {
+			t.Fatalf("identity-bearing subscription encoded as version %d", enc[0])
+		}
+		got, err := DecodeSubscription(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NodeID != in.NodeID || got.MeshAddr != in.MeshAddr {
+			t.Fatalf("identity round trip: %+v -> %+v", in, got)
+		}
+		want := in.Canonical()
+		if got.All != want.All || !reflect.DeepEqual(append([]string{}, got.Names...), append([]string{}, want.Names...)) {
+			t.Fatalf("want-list round trip: %+v -> %+v, want %+v", in, got, want)
+		}
+	}
+
+	// Plain want-lists must stay version 1, byte-compatible with pre-mesh
+	// peers.
+	plain, err := EncodeSubscription(Subscription{Names: []string{"tick"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0] != subVersion {
+		t.Fatalf("plain subscription encoded as version %d", plain[0])
+	}
+
+	// Over-long identity fields are an encode error, and a v2 frame with
+	// an empty identity is corruption on decode.
+	if _, err := EncodeSubscription(Subscription{NodeID: strings.Repeat("x", maxNodeInfoLen+1)}); err == nil {
+		t.Error("encode accepted an over-long node ID")
+	}
+	empty := []byte{subVersionNode, 0, 0, 0, 0, 0, 0, 0}
+	if _, err := DecodeSubscription(empty); !errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("v2 frame with empty identity decoded: %v", err)
+	}
+}
+
 func TestSubscriptionMatches(t *testing.T) {
 	all := Subscription{All: true}
 	some := Subscription{Names: []string{"a", "b"}}
@@ -131,6 +182,8 @@ func FuzzSubscriptionFrame(f *testing.F) {
 		{All: true},
 		{Names: []string{"tick"}},
 		{Names: []string{"a", "b", "c"}},
+		{All: true, NodeID: "hop-1-0", MeshAddr: "127.0.0.1:9850"},
+		{Names: []string{"tick"}, NodeID: "leaf"},
 	} {
 		enc, err := EncodeSubscription(s)
 		if err != nil {
@@ -174,7 +227,8 @@ func FuzzSubscriptionFrame(f *testing.F) {
 			t.Fatalf("re-decode: %v", err)
 		}
 		want := s.Canonical()
-		if s2.All != want.All || !reflect.DeepEqual(append([]string{}, s2.Names...), append([]string{}, want.Names...)) {
+		if s2.All != want.All || !reflect.DeepEqual(append([]string{}, s2.Names...), append([]string{}, want.Names...)) ||
+			s2.NodeID != want.NodeID || s2.MeshAddr != want.MeshAddr {
 			t.Fatalf("round trip drifted: %+v -> %+v", want, s2)
 		}
 	})
