@@ -10,6 +10,11 @@
 //	pbio-dump -formats [file] # show only the format descriptions
 //	pbio-dump -plan [file]    # show conversion plans + generated code
 //	pbio-dump -gen [file]     # generate a demo stream INTO file first
+//	pbio-dump -follow [file]  # keep reading as the stream grows (tail -f)
+//
+// Flight-recorder journals (format "pbio.flight.v1", as served at a
+// daemon's /debug/flight or dumped on SIGQUIT) print symbolically: one
+// line per event with the kind name instead of its raw enum value.
 package main
 
 import (
@@ -17,10 +22,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/abi"
 	"repro/internal/convert"
 	"repro/internal/dcg"
+	"repro/internal/flightrec"
 	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/pbio"
@@ -31,6 +38,7 @@ func main() {
 	plan := flag.Bool("plan", false, "show the conversion plan and generated code per format")
 	gen := flag.Bool("gen", false, "write a demo stream to the named file and exit")
 	arch := flag.String("arch", "sparc-v8", "architecture for -gen, and the local native arch for -plan")
+	follow := flag.Bool("follow", false, "do not stop at end of stream: poll for appended records (tail -f for PBIO)")
 	flag.Parse()
 
 	if *gen {
@@ -44,7 +52,7 @@ func main() {
 		return
 	}
 
-	in := os.Stdin
+	var in io.Reader = os.Stdin
 	if flag.NArg() == 1 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
@@ -59,8 +67,29 @@ func main() {
 		}
 		return
 	}
+	if *follow {
+		in = &tailReader{r: in, every: 200 * time.Millisecond}
+	}
 	if err := dump(in, *formatsOnly); err != nil {
 		fatal(err)
+	}
+}
+
+// tailReader turns end-of-file into "wait for more": -follow mode keeps
+// a dump attached to a journal another process is still appending to.
+// It never returns io.EOF, so the dump loop runs until interrupted.
+type tailReader struct {
+	r     io.Reader
+	every time.Duration
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.r.Read(p)
+		if n > 0 || err != io.EOF {
+			return n, err
+		}
+		time.Sleep(t.every)
 	}
 }
 
@@ -164,9 +193,33 @@ func printRecord(m *pbio.Message) {
 	if err != nil {
 		fatal(err)
 	}
+	if m.FormatName() == flightrec.FormatName && printFlight(rec) {
+		return
+	}
 	fmt.Printf("record %q:", m.FormatName())
 	printFields(rec, m.Fields())
 	fmt.Println()
+}
+
+// printFlight renders one flight-recorder event symbolically — kind
+// name, UTC timestamp, node and subject — instead of raw field dumps.
+// Returns false (caller falls back to the generic printer) if the
+// record is missing the core fields, e.g. an evolved future schema.
+func printFlight(rec *pbio.Record) bool {
+	ts, err1 := rec.Int("ts_nanos", 0)
+	kind, err2 := rec.Int("kind", 0)
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	node, _ := rec.String("node")
+	subject, _ := rec.String("subject")
+	trace, _ := rec.Int("trace", 0)
+	arg1, _ := rec.Int("arg1", 0)
+	arg2, _ := rec.Int("arg2", 0)
+	fmt.Printf("flight %s %s %s subject=%q trace=%#x arg1=%d arg2=%d\n",
+		time.Unix(0, ts).UTC().Format("2006-01-02 15:04:05.000000"),
+		node, flightrec.KindName(int32(kind)), subject, uint64(trace), arg1, arg2)
+	return true
 }
 
 func printFields(rec *pbio.Record, fields []pbio.FieldInfo) {

@@ -10,13 +10,15 @@
 //	# then, in applications:
 //	ctx, _ := pbio.NewContext(pbio.WithFormatServer("127.0.0.1:7847"))
 //
-// With -metrics-addr the daemon serves /metrics (Prometheus text),
-// /debug/vars (JSON), /debug/trace, /debug/pprof/, /healthz (liveness)
-// and /readyz (readiness: 503 unless the format listener answers a
-// probe dial).  Client-side
-// retry/redial storms (the fmtserver client retries invisibly with
-// backoff) surface here as conns_total racing ahead of the number of
-// deployed clients; -stats logs the same counters periodically.
+// With -metrics-addr the daemon serves /metrics (Prometheus text,
+// including pbio_go_* runtime families), /debug/vars (JSON),
+// /debug/trace, /debug/pprof/, /debug/flight (the flight-recorder
+// journal as a PBIO stream), /healthz (liveness) and /readyz
+// (readiness: 503 unless the format listener answers a probe dial).
+// Client-side retry/redial storms (the fmtserver client retries
+// invisibly with backoff) surface here as conns_total racing ahead of
+// the number of deployed clients; -stats logs the same counters
+// periodically.  SIGQUIT dumps the flight journal to -flight-dump.
 package main
 
 import (
@@ -26,8 +28,10 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/fmtserver"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/runtimebridge"
 	"repro/internal/telemetry/tracectx"
 )
 
@@ -36,6 +40,8 @@ func main() {
 	statsEvery := flag.Duration("stats", 0, "print server stats at this interval (0 = never)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address (empty = disabled)")
 	trace := flag.Bool("trace", false, "record a span per handled request, served at /debug/trace.json on -metrics-addr")
+	flightCap := flag.Int("flight", 4096, "flight recorder ring capacity in events (0 = disabled)")
+	flightDump := flag.String("flight-dump", "pbio-fmtd.flight.pbio", "write the flight journal here on SIGQUIT")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *listen)
@@ -48,10 +54,21 @@ func main() {
 		tracer = tracectx.New("pbio-fmtd", 1, 0)
 		srv.SetTracer(tracer)
 	}
+	var rec *flightrec.Recorder
+	if *flightCap > 0 {
+		rec = flightrec.New("pbio-fmtd", *flightCap)
+		srv.SetFlight(rec)
+		rec.DumpOnSignal(*flightDump)
+	}
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		srv.SetTelemetry(reg)
 		tracer.ExportMetrics(reg)
+		runtimebridge.Start(reg, 0)
+		if rec != nil {
+			rec.ExportMetrics(reg)
+			reg.Handle("/debug/flight", rec.Handler())
+		}
 		reg.Handle("/healthz", telemetry.LiveHandler())
 		// Ready means the format port itself accepts connections, not
 		// just the metrics mux: probe it the way a client would dial.

@@ -10,10 +10,17 @@
 //	pbio-mon -json 127.0.0.1:9850            # the same as one JSON document
 //	pbio-mon -watch 5s 127.0.0.1:9851        # re-crawl and print rates
 //	pbio-mon -watch 2s -count 10 ...         # bounded watch, for scripts
+//	pbio-mon -flight 127.0.0.1:9850          # merge every hop's flight journal
+//
+// -flight crawls the topology, fetches each hop's /debug/flight
+// journal, and renders the merged mesh-wide timeline sorted by event
+// time; trace IDs that appear in more than one hop's journal are
+// cross-linked in the xhop column.
 //
 // Alert rules (deep queue, stalled consumer, drops, checksum failures,
-// unreachable hop) are evaluated on every crawl; if any fire, pbio-mon
-// prints them and exits 1, making it usable as a CI gate:
+// unreachable hop, GC-pause p99, goroutine growth) are evaluated on
+// every crawl; if any fire, pbio-mon prints them and exits 1, making it
+// usable as a CI gate:
 //
 //	pbio-mon -queue-frac 0.5 127.0.0.1:9850 || echo "mesh unhealthy"
 //
@@ -21,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +46,10 @@ func run() int {
 	watch := flag.Duration("watch", 0, "re-crawl at this interval, printing scrape-to-scrape rates (0 = crawl once)")
 	count := flag.Int("count", 0, "with -watch: stop after this many re-crawls (0 = run until interrupted)")
 	queueFrac := flag.Float64("queue-frac", 0.8, "deep-queue alert threshold: consumer queue depth/capacity fraction")
+	gcPauseMax := flag.Duration("gc-pause-max", 100*time.Millisecond, "gc-pause alert threshold: a hop's GC pause p99 at or above this fires (negative = disabled)")
+	maxGoroutines := flag.Int64("max-goroutines", 10000, "goroutine-growth alert threshold: live goroutines on one hop (negative = disabled)")
 	noAlerts := flag.Bool("no-alerts", false, "skip alert evaluation (always exit 0 unless the crawl fails)")
+	flight := flag.Bool("flight", false, "fetch every hop's /debug/flight journal and print the merged mesh-wide event timeline")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pbio-mon [flags] <hop mesh address (host:port of its -metrics-addr)>")
@@ -46,7 +57,15 @@ func run() int {
 		return 2
 	}
 	start := flag.Arg(0)
-	cfg := meshmon.AlertConfig{DeepQueueFrac: *queueFrac}
+	cfg := meshmon.AlertConfig{
+		DeepQueueFrac: *queueFrac,
+		GCPauseP99Max: *gcPauseMax,
+		MaxGoroutines: *maxGoroutines,
+	}
+
+	if *flight {
+		return runFlight(start, *jsonOut)
+	}
 
 	topo, err := meshmon.Crawl(start, nil)
 	if err != nil {
@@ -83,6 +102,33 @@ func run() int {
 	}
 	if failed {
 		return 1
+	}
+	return 0
+}
+
+// runFlight crawls the mesh, fetches every hop's flight journal, and
+// prints the merged timeline (text table, or the per-hop journals as
+// JSON with -json).  Exit 2 only when the crawl itself fails;
+// individual hops with the recorder disabled render as comments.
+func runFlight(start string, jsonOut bool) int {
+	topo, err := meshmon.Crawl(start, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbio-mon: %v\n", err)
+		return 2
+	}
+	journals := topo.FetchFlight(nil)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(journals); err != nil {
+			fmt.Fprintf(os.Stderr, "pbio-mon: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	if err := meshmon.WriteFlight(os.Stdout, journals); err != nil {
+		fmt.Fprintf(os.Stderr, "pbio-mon: %v\n", err)
+		return 2
 	}
 	return 0
 }

@@ -32,13 +32,16 @@
 //
 // With -metrics-addr the relay serves its observability surface over
 // HTTP: /metrics (Prometheus text exposition of frame, byte and
-// checksum-failure counters plus queue-depth and drop gauges),
-// /debug/vars (the same as JSON), /debug/trace (recent wire-level trace
-// events), /debug/pprof/ (net/http/pprof profiling), /debug/mesh (the
-// hop's mesh-topology document — what pbio-mon crawls), /healthz
-// (liveness) and /readyz (readiness: 503 until a configured -uplink is
-// attached).  -node-id names the hop; the identity rides the uplink
-// subscription handshake so neighbors — and crawlers — can map the tree.
+// checksum-failure counters plus queue-depth and drop gauges and the
+// pbio_go_* runtime families), /debug/vars (the same as JSON),
+// /debug/trace (recent wire-level trace events), /debug/pprof/
+// (net/http/pprof profiling), /debug/mesh (the hop's mesh-topology
+// document — what pbio-mon crawls), /debug/flight (the flight-recorder
+// journal as a PBIO stream; see also SIGQUIT and -flight-dump),
+// /healthz (liveness) and /readyz (readiness: 503 until a configured
+// -uplink is attached).  -node-id names the hop; the identity rides the
+// uplink subscription handshake so neighbors — and crawlers — can map
+// the tree.
 package main
 
 import (
@@ -50,8 +53,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/relay"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/runtimebridge"
 	"repro/internal/telemetry/tracectx"
 	"repro/internal/transport"
 )
@@ -78,6 +83,8 @@ func run() error {
 	queuePolicy := flag.String("queue-policy", "disconnect", "full-queue policy: disconnect, drop-oldest or block")
 	nodeID := flag.String("node-id", "", "mesh node identity announced to uplink/downstream relays and served at /debug/mesh (empty = anonymous)")
 	stallWindow := flag.Duration("stall-window", 10*time.Second, "flag a consumer as stalled when its non-empty queue has not drained for this long (0 = disable)")
+	flightCap := flag.Int("flight", 4096, "flight recorder ring capacity in events (0 = disabled)")
+	flightDump := flag.String("flight-dump", "", "write the flight journal here on SIGQUIT (default <node-id or pbio-relay>.flight.pbio)")
 	flag.Parse()
 
 	policy, err := relay.ParseQueuePolicy(*queuePolicy)
@@ -121,11 +128,40 @@ func run() error {
 		tracer = tracectx.New("pbio-relay", *traceRate, 0)
 		s.SetTracing(tracer)
 	}
+	node := *nodeID
+	if node == "" {
+		node = "pbio-relay"
+	}
+	var rec *flightrec.Recorder
+	if *flightCap > 0 {
+		rec = flightrec.New(node, *flightCap)
+		s.SetFlight(rec)
+		dump := *flightDump
+		if dump == "" {
+			dump = node + ".flight.pbio"
+		}
+		rec.DumpOnSignal(dump)
+	}
 	meshAddr := ""
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		s.SetTelemetry(reg)
 		tracer.ExportMetrics(reg)
+		bridge := runtimebridge.Start(reg, 0)
+		s.SetRuntimeProbe(func() relay.MeshRuntimeInfo {
+			p := bridge.Snapshot()
+			return relay.MeshRuntimeInfo{
+				Goroutines:      p.Goroutines,
+				HeapBytes:       p.HeapBytes,
+				GCCycles:        p.GCCycles,
+				GCPauseP99:      p.GCPauseP99,
+				SchedLatencyP99: p.SchedLatencyP99,
+			}
+		})
+		if rec != nil {
+			rec.ExportMetrics(reg)
+			reg.Handle("/debug/flight", rec.Handler())
+		}
 		reg.Handle("/healthz", telemetry.LiveHandler())
 		// Ready means safe to attach consumers: a relay configured to
 		// feed from an uplink serves nothing useful until it's attached.
@@ -148,7 +184,7 @@ func run() error {
 		s.SetNodeInfo(*nodeID, meshAddr)
 	}
 	if *uplink != "" {
-		go runUplink(s, *uplink, static)
+		go runUplink(s, rec, *uplink, static)
 	}
 	if *statsEvery > 0 {
 		go func() {
@@ -173,11 +209,12 @@ func run() error {
 // runUplink keeps the relay attached below its upstream, redialing with
 // backoff whenever the link drops.  The subscription (static want-list
 // or live downstream union) is re-sent on every new connection.
-func runUplink(s *relay.Server, addr string, static *transport.Subscription) {
+func runUplink(s *relay.Server, rec *flightrec.Recorder, addr string, static *transport.Subscription) {
 	for backoff := time.Second; ; {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			log.Printf("pbio-relay: uplink dial %s: %v (retrying in %v)", addr, err, backoff)
+			rec.Emit(flightrec.KindUplinkRedial, addr, 0, backoff.Nanoseconds(), 0)
 			time.Sleep(backoff)
 			if backoff < 30*time.Second {
 				backoff *= 2

@@ -22,6 +22,18 @@ type Cache struct {
 	// and plan builds.  Set once before use (SetMetrics).
 	met  *Metrics
 	conv *convert.Metrics
+
+	// flight, when non-nil, journals each compilation as a discrete
+	// event (compiles are rare and expensive — exactly what a flight
+	// journal is for).  Set once before use (SetFlight).
+	flight FlightSink
+}
+
+// FlightSink receives compile events for the flight journal.  The
+// dependency is this one-method interface so dcg stays a leaf compiler
+// package; *flightrec.Recorder satisfies it.
+type FlightSink interface {
+	DCGCompile(format string, nanos int64)
 }
 
 // SetMetrics attaches telemetry for cache hits/misses and compile
@@ -31,6 +43,10 @@ func (c *Cache) SetMetrics(met *Metrics, conv *convert.Metrics) {
 	c.met = met
 	c.conv = conv
 }
+
+// SetFlight attaches a flight sink for compile events.  Call before the
+// cache is shared between goroutines.
+func (c *Cache) SetFlight(s FlightSink) { c.flight = s }
 
 type cacheKey struct {
 	wire, native string
@@ -62,15 +78,21 @@ func (c *Cache) Get(wireFmt, expected *wire.Format) (*Program, error) {
 		return nil, err
 	}
 	var start time.Time
-	if c.met != nil {
+	if c.met != nil || c.flight != nil {
 		start = time.Now()
 	}
 	prog, err = Compile(plan)
 	if err != nil {
 		return nil, err
 	}
-	if c.met != nil {
-		c.met.CompileNanos.Observe(time.Since(start).Nanoseconds())
+	if !start.IsZero() {
+		nanos := time.Since(start).Nanoseconds()
+		if c.met != nil {
+			c.met.CompileNanos.Observe(nanos)
+		}
+		if c.flight != nil {
+			c.flight.DCGCompile(wireFmt.Name, nanos)
+		}
 	}
 	c.mu.Lock()
 	// Another goroutine may have won the race; keep the first program so

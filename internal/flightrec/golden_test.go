@@ -1,0 +1,81 @@
+package flightrec_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/flightrec"
+	"repro/pbio"
+)
+
+// TestGoldenJournalPlainPBIORead proves the journal is an ordinary PBIO
+// stream: the committed golden file decodes with the unmodified generic
+// read path — a context with no flight-recorder knowledge, reflecting
+// over the stream's own meta-information — and yields the exact events
+// the recorder emitted.  This is the external half of the contract;
+// TestGoldenJournalStable (internal) pins the bytes.
+func TestGoldenJournalPlainPBIORead(t *testing.T) {
+	f, err := os.Open("testdata/journal_v1.pbio")
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run TestGoldenJournalStable -update)", err)
+	}
+	defer f.Close()
+
+	ctx, err := pbio.NewContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ctx.NewReader(f)
+
+	type ev struct {
+		ts      int64
+		kind    flightrec.Kind
+		subject string
+		trace   int64
+		a1, a2  int64
+	}
+	want := []ev{
+		{1_700_000_000_000_000_001, flightrec.KindConsumerJoin, "consumer-1", 0, 1, 0},
+		{1_700_000_000_000_000_002, flightrec.KindQueueEvict, "tick", 0x1234, 5, 2},
+		{1_700_000_000_000_000_003, flightrec.KindUplinkRedial, "127.0.0.1:7851", 0, 1_000_000_000, 0},
+	}
+	for i, w := range want {
+		msg, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if msg.FormatName() != flightrec.FormatName {
+			t.Fatalf("record %d carries format %q, want %q", i, msg.FormatName(), flightrec.FormatName)
+		}
+		specs := make([]pbio.FieldSpec, 0, len(msg.Fields()))
+		for _, fi := range msg.Fields() {
+			specs = append(specs, fi.Spec())
+		}
+		jf, err := ctx.Register(msg.FormatName(), specs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := msg.Decode(jf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		ts, _ := rec.Int("ts_nanos", 0)
+		kind, _ := rec.Int("kind", 0)
+		node, _ := rec.String("node")
+		subject, _ := rec.String("subject")
+		trace, _ := rec.Int("trace", 0)
+		a1, _ := rec.Int("arg1", 0)
+		a2, _ := rec.Int("arg2", 0)
+		if node != "golden-node" {
+			t.Errorf("record %d node = %q", i, node)
+		}
+		if ts != w.ts || flightrec.Kind(kind) != w.kind || subject != w.subject ||
+			trace != w.trace || a1 != w.a1 || a2 != w.a2 {
+			t.Errorf("record %d = ts=%d kind=%s subject=%q trace=%#x args=(%d,%d), want %+v",
+				i, ts, flightrec.Kind(kind), subject, trace, a1, a2, w)
+		}
+	}
+	if _, err := r.Read(); err == nil {
+		t.Error("golden journal has more than the three expected records")
+	}
+}

@@ -1,0 +1,76 @@
+package flightrec
+
+import "fmt"
+
+// Kind identifies one class of discrete event in the flight journal.
+// The numeric values are part of the journal's wire contract: they ride
+// in the record's kind field, so renumbering an existing kind is a
+// format-version bump (FormatName), not an edit here.  Appending new
+// kinds is free — old readers print the raw number, new readers the
+// name — which is exactly the evolvability the paper claims for
+// self-describing formats.
+type Kind int32
+
+const (
+	// KindNone is the zero value, never emitted.
+	KindNone Kind = iota
+
+	// Transport-level events.
+	KindConnOpen        // a wire connection came up (subject: peer role or address)
+	KindConnClose       // a wire connection went away
+	KindChecksumFailure // a frame's CRC32-C did not match its body
+	KindDeadlineTimeout // a read or write hit its configured deadline
+
+	// Relay events.
+	KindConsumerJoin     // a consumer registered (arg1: consumer count after)
+	KindConsumerLeave    // a consumer disconnected on its own
+	KindQueueEvict       // drop-oldest evicted a frame (arg1: records lost, arg2: traced records lost)
+	KindPolicyDisconnect // a slow consumer was dropped by queue policy
+	KindStallOnset       // a consumer queue stopped draining (arg1: queue depth)
+	KindStallClear       // a previously stalled queue drained again
+	KindUplinkAttach     // this relay attached below an upstream relay
+	KindUplinkRedial     // the uplink dial failed; retrying (arg1: backoff nanos)
+
+	// Format-server events.
+	KindFmtRegister // the format server accepted a format registration
+	KindFmtRetry    // a format-server round trip failed and is being retried (arg1: attempt)
+
+	// PBIO context events.
+	KindMetaRegister // a format was laid out and registered in a context (arg1: record size)
+	KindDCGCompile   // a conversion program was compiled (arg1: compile nanos)
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	KindNone:             "None",
+	KindConnOpen:         "ConnOpen",
+	KindConnClose:        "ConnClose",
+	KindChecksumFailure:  "ChecksumFailure",
+	KindDeadlineTimeout:  "DeadlineTimeout",
+	KindConsumerJoin:     "ConsumerJoin",
+	KindConsumerLeave:    "ConsumerLeave",
+	KindQueueEvict:       "QueueEvict",
+	KindPolicyDisconnect: "PolicyDisconnect",
+	KindStallOnset:       "StallOnset",
+	KindStallClear:       "StallClear",
+	KindUplinkAttach:     "UplinkAttach",
+	KindUplinkRedial:     "UplinkRedial",
+	KindFmtRegister:      "FmtRegister",
+	KindFmtRetry:         "FmtRetry",
+	KindMetaRegister:     "MetaRegister",
+	KindDCGCompile:       "DCGCompile",
+}
+
+// String returns the symbolic name of the kind, or "Kind(n)" for values
+// this build does not know (a journal written by a newer recorder).
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int32(k))
+}
+
+// KindName is the exported lookup used by pbio-dump to print journal
+// records symbolically without importing the recorder machinery.
+func KindName(n int32) string { return Kind(n).String() }

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracectx"
 	"repro/internal/wire"
@@ -84,6 +85,7 @@ type Server struct {
 	formats map[FormatID][]byte // ID -> canonical meta encoding
 	counts  serverCounters
 	tracer  atomic.Pointer[tracectx.Tracer]
+	flight  atomic.Pointer[flightrec.Recorder]
 }
 
 // NewServer returns an empty format server.
@@ -162,6 +164,7 @@ func (s *Server) handle(conn net.Conn, op byte, payload []byte) error {
 		s.formats[id] = canonical
 		s.mu.Unlock()
 		s.counts.registers.Add(1)
+		s.flight.Load().Emit(flightrec.KindFmtRegister, f.Name, 0, int64(id), 0)
 		var idBuf [8]byte
 		wire.PutBeUint64(idBuf[:], uint64(id))
 		return writeResp(conn, statusOK, idBuf[:])
@@ -226,6 +229,7 @@ type Client struct {
 	counts clientCounters
 	trace  atomic.Pointer[telemetry.TraceRing]
 	tracer atomic.Pointer[tracectx.Tracer]
+	flight atomic.Pointer[flightrec.Recorder]
 }
 
 // Retry defaults for Dial-built clients.
@@ -385,6 +389,7 @@ func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 			}
 			c.counts.retries.Add(1)
 			c.trace.Load().Emit("fmtserver", "retry", fmt.Sprintf("attempt %d: %v", attempt+1, lastErr))
+			c.flight.Load().Emit(flightrec.KindFmtRetry, opName(op), 0, int64(attempt+1), 0)
 			//pbiovet:allow lockcheck — c.mu serializes the one-request-at-a-time protocol on this connection; backing off while holding it just extends the current request's turn.
 			time.Sleep(c.backoff << (attempt - 1))
 			conn, err := c.redial()
@@ -394,6 +399,7 @@ func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 			}
 			c.counts.redials.Add(1)
 			c.trace.Load().Emit("fmtserver", "redial", "")
+			c.flight.Load().Emit(flightrec.KindConnOpen, "fmtserver redial", 0, 0, 0)
 			c.conn.Close()
 			c.conn = conn
 		}

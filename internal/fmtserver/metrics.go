@@ -3,6 +3,7 @@ package fmtserver
 import (
 	"sync/atomic"
 
+	"repro/internal/flightrec"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracectx"
 )
@@ -57,6 +58,22 @@ func (c *Client) SetTelemetry(r *telemetry.Registry) {
 func (c *Client) SetTracer(t *tracectx.Tracer) {
 	if t != nil {
 		c.tracer.Store(t)
+	}
+}
+
+// SetFlight journals the client's retry/redial events on a flight
+// recorder.  Nil-safe and a no-op when r is nil.
+func (c *Client) SetFlight(r *flightrec.Recorder) {
+	if r != nil {
+		c.flight.Store(r)
+	}
+}
+
+// SetFlight journals the server's format registrations on a flight
+// recorder.  Nil-safe and a no-op when r is nil.
+func (s *Server) SetFlight(r *flightrec.Recorder) {
+	if r != nil {
+		s.flight.Store(r)
 	}
 }
 

@@ -1,18 +1,36 @@
 package meshmon
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // AlertConfig tunes the built-in alert rules.  The zero value means
-// defaults (see DefaultAlertConfig).
+// defaults (see DefaultAlertConfig); set a runtime threshold negative
+// to disable that rule.
 type AlertConfig struct {
 	// DeepQueueFrac fires the deep-queue rule when a consumer queue's
 	// depth/capacity reaches the fraction.  Default 0.8.
 	DeepQueueFrac float64
+	// GCPauseP99Max fires the gc-pause rule when a hop reports a GC
+	// pause p99 at or above this bound.  Default 100ms; negative
+	// disables.  Hops without runtime info (older builds, bridge off)
+	// never fire.
+	GCPauseP99Max time.Duration
+	// MaxGoroutines fires the goroutine-growth rule when a hop reports
+	// at least this many live goroutines — a relay's goroutine count is
+	// a small multiple of its connection count, so thousands mean a
+	// leak, not load.  Default 10000; negative disables.
+	MaxGoroutines int64
 }
 
 // DefaultAlertConfig returns the default thresholds.
 func DefaultAlertConfig() AlertConfig {
-	return AlertConfig{DeepQueueFrac: 0.8}
+	return AlertConfig{
+		DeepQueueFrac: 0.8,
+		GCPauseP99Max: 100 * time.Millisecond,
+		MaxGoroutines: 10000,
+	}
 }
 
 // Alert is one fired rule on one hop.
@@ -32,14 +50,25 @@ func (a Alert) String() string { return fmt.Sprintf("%s: %s: %s", a.Node, a.Rule
 //   - drops: a hop has evicted frames (drop-oldest) or dropped
 //     consumers (disconnect policy)
 //   - checksum-failures: a hop has seen producer frames fail their CRC
+//   - gc-pause: a hop's runtime bridge reports a GC pause p99 at or
+//     above GCPauseP99Max
+//   - goroutine-growth: a hop reports MaxGoroutines or more live
+//     goroutines
 //
 // The drop and checksum rules fire on lifetime counters: they mean
 // "loss has happened since this relay started", which is exactly the
 // right sensitivity for a CI gate over a fresh mesh.  Long-running
 // meshes watch rates instead (pbio-mon -watch).
 func (t *Topology) Alerts(cfg AlertConfig) []Alert {
+	def := DefaultAlertConfig()
 	if cfg.DeepQueueFrac <= 0 {
-		cfg.DeepQueueFrac = DefaultAlertConfig().DeepQueueFrac
+		cfg.DeepQueueFrac = def.DeepQueueFrac
+	}
+	if cfg.GCPauseP99Max == 0 {
+		cfg.GCPauseP99Max = def.GCPauseP99Max
+	}
+	if cfg.MaxGoroutines == 0 {
+		cfg.MaxGoroutines = def.MaxGoroutines
 	}
 	var alerts []Alert
 	for _, addr := range t.sortedAddrs() {
@@ -68,6 +97,16 @@ func (t *Topology) Alerts(cfg AlertConfig) []Alert {
 		if st.ChecksumFailures > 0 {
 			alerts = append(alerts, Alert{Node: id, Rule: "checksum-failures",
 				Detail: fmt.Sprintf("%d producer frames failed CRC32-C", st.ChecksumFailures)})
+		}
+		if rt := n.Info.Runtime; rt != nil {
+			if cfg.GCPauseP99Max > 0 && rt.GCPauseP99 >= int64(cfg.GCPauseP99Max) {
+				alerts = append(alerts, Alert{Node: id, Rule: "gc-pause",
+					Detail: fmt.Sprintf("GC pause p99 %v (bound %v)", time.Duration(rt.GCPauseP99), cfg.GCPauseP99Max)})
+			}
+			if cfg.MaxGoroutines > 0 && rt.Goroutines >= cfg.MaxGoroutines {
+				alerts = append(alerts, Alert{Node: id, Rule: "goroutine-growth",
+					Detail: fmt.Sprintf("%d live goroutines (bound %d)", rt.Goroutines, cfg.MaxGoroutines)})
+			}
 		}
 	}
 	return alerts

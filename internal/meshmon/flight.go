@@ -1,0 +1,120 @@
+package meshmon
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/flightrec"
+)
+
+// HopJournal is one hop's fetched flight-recorder journal.
+type HopJournal struct {
+	Addr   string            `json:"addr"`
+	Node   string            `json:"node"`
+	Err    string            `json:"err,omitempty"`
+	Events []flightrec.Event `json:"events"`
+}
+
+// FetchFlight GETs /debug/flight from every reachable hop in the
+// topology and decodes the journals.  Hops whose fetch or decode fails
+// (including 404 from a daemon running with the recorder disabled) are
+// kept with their error, ordered like the topology's text rendering.
+// client nil uses a 5-second-timeout default.
+func (t *Topology) FetchFlight(client *http.Client) []HopJournal {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	var out []HopJournal
+	for _, addr := range t.sortedAddrs() {
+		n := t.Nodes[addr]
+		hj := HopJournal{Addr: addr, Node: n.ID()}
+		if n.Err != "" {
+			hj.Err = n.Err
+			out = append(out, hj)
+			continue
+		}
+		events, err := fetchJournal(client, addr)
+		hj.Events = events
+		if err != nil {
+			hj.Err = err.Error()
+		}
+		out = append(out, hj)
+	}
+	return out
+}
+
+// fetchJournal GETs and decodes one hop's /debug/flight stream.
+func fetchJournal(client *http.Client, addr string) ([]flightrec.Event, error) {
+	resp, err := client.Get("http://" + addr + "/debug/flight")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("flight recorder disabled")
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/flight: status %d", resp.StatusCode)
+	}
+	return flightrec.ReadJournal(resp.Body)
+}
+
+// MergeFlight interleaves every hop's journal into one timeline,
+// ordered by event timestamp (stable, so same-instant events keep
+// their per-hop emission order).  Events already carry their node
+// identity in the journal itself; the merge adds nothing but order.
+func MergeFlight(journals []HopJournal) []flightrec.Event {
+	var all []flightrec.Event
+	for _, hj := range journals {
+		all = append(all, hj.Events...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].TS < all[j].TS })
+	return all
+}
+
+// WriteFlight renders the merged multi-hop timeline as a table.  The
+// xhop column cross-links traces: a trace ID seen in more than one
+// hop's journal is annotated with how many hops it crossed, which is
+// how an eviction on a mid-tree relay is tied to the producer-side
+// span that originated the record.
+func WriteFlight(w io.Writer, journals []HopJournal) error {
+	for _, hj := range journals {
+		if hj.Err != "" {
+			fmt.Fprintf(w, "# %s (%s): %s\n", hj.Node, hj.Addr, hj.Err)
+		}
+	}
+	all := MergeFlight(journals)
+	if len(all) == 0 {
+		_, err := fmt.Fprintln(w, "no flight events recorded")
+		return err
+	}
+	traceHops := make(map[uint64]map[string]bool)
+	for _, e := range all {
+		if e.Trace == 0 {
+			continue
+		}
+		if traceHops[e.Trace] == nil {
+			traceHops[e.Trace] = make(map[string]bool)
+		}
+		traceHops[e.Trace][e.Node] = true
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TIME\tNODE\tEVENT\tSUBJECT\tARG1\tARG2\tTRACE\tXHOP")
+	for _, e := range all {
+		trace, xhop := "-", ""
+		if e.Trace != 0 {
+			trace = fmt.Sprintf("%#x", e.Trace)
+			if n := len(traceHops[e.Trace]); n > 1 {
+				xhop = fmt.Sprintf("x%d", n)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\t%s\n",
+			time.Unix(0, e.TS).UTC().Format("15:04:05.000000"),
+			e.Node, e.Kind, e.Subject, e.Arg1, e.Arg2, trace, xhop)
+	}
+	return tw.Flush()
+}

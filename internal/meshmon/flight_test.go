@@ -1,0 +1,151 @@
+package meshmon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/flightrec"
+	"repro/internal/relay"
+)
+
+// fakeFlightHop serves a MeshInfo at /debug/mesh and, when rec is
+// non-nil, its live journal at /debug/flight — the mux shape of a real
+// daemon, so FetchFlight's 404 handling is exercised by omission.
+func fakeFlightHop(t *testing.T, info *relay.MeshInfo, rec *flightrec.Recorder) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/mesh", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(info)
+	})
+	if rec != nil {
+		mux.Handle("/debug/flight", rec.Handler())
+	}
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestMergeFlightOrdersByTime(t *testing.T) {
+	a := HopJournal{Node: "a", Events: []flightrec.Event{
+		{TS: 30, Node: "a", Kind: flightrec.KindConnClose},
+		{TS: 10, Node: "a", Kind: flightrec.KindConnOpen},
+	}}
+	b := HopJournal{Node: "b", Events: []flightrec.Event{
+		{TS: 20, Node: "b", Kind: flightrec.KindConsumerJoin},
+	}}
+	merged := MergeFlight([]HopJournal{a, b})
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events, want 3", len(merged))
+	}
+	for i, want := range []int64{10, 20, 30} {
+		if merged[i].TS != want {
+			t.Errorf("merged[%d].TS = %d, want %d", i, merged[i].TS, want)
+		}
+	}
+}
+
+func TestWriteFlightCrossLinksTraces(t *testing.T) {
+	journals := []HopJournal{
+		{Node: "root", Events: []flightrec.Event{
+			{TS: 1, Node: "root", Kind: flightrec.KindConnOpen, Subject: "producer", Trace: 0xbeef},
+		}},
+		{Node: "leaf", Events: []flightrec.Event{
+			{TS: 2, Node: "leaf", Kind: flightrec.KindQueueEvict, Subject: "tick", Trace: 0xbeef, Arg1: 4},
+			{TS: 3, Node: "leaf", Kind: flightrec.KindStallOnset, Subject: "c1", Trace: 0x77},
+		}},
+		{Node: "dead", Err: "flight recorder disabled"},
+	}
+	var sb strings.Builder
+	if err := WriteFlight(&sb, journals); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"ConnOpen", "QueueEvict", "StallOnset", // symbolic kinds
+		"0xbeef", "x2", // the shared trace, cross-linked over 2 hops
+		"# dead", "flight recorder disabled", // the failed hop, as a comment
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered timeline lacks %q:\n%s", want, out)
+		}
+	}
+	// The single-hop trace must NOT be cross-linked.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "0x77") && strings.Contains(line, "x2") {
+			t.Errorf("single-hop trace cross-linked: %s", line)
+		}
+	}
+}
+
+func TestFetchFlight(t *testing.T) {
+	recRoot := flightrec.New("root", 64)
+	recRoot.Emit(flightrec.KindConsumerJoin, "leaf-a", 0, 1, 0)
+	recRoot.Emit(flightrec.KindQueueEvict, "tick", 0, 3, 0)
+
+	rootInfo := &relay.MeshInfo{Node: relay.MeshNodeInfo{ID: "root"}}
+	leafInfo := &relay.MeshInfo{Node: relay.MeshNodeInfo{ID: "leaf-a"}}
+	rootAddr := fakeFlightHop(t, rootInfo, recRoot)
+	leafAddr := fakeFlightHop(t, leafInfo, nil) // recorder disabled: 404
+	rootInfo.Node.MeshAddr = rootAddr
+	leafInfo.Node.MeshAddr = leafAddr
+	rootInfo.Downstream = []relay.MeshNodeInfo{{ID: "leaf-a", MeshAddr: leafAddr}}
+	leafInfo.Uplinks = []relay.MeshUplinkInfo{{Addr: "consumers:7851", NodeID: "root", MeshAddr: rootAddr, All: true}}
+
+	topo, err := Crawl(rootAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journals := topo.FetchFlight(nil)
+	if len(journals) != 2 {
+		t.Fatalf("fetched %d journals, want 2", len(journals))
+	}
+	byNode := make(map[string]HopJournal)
+	for _, hj := range journals {
+		byNode[hj.Node] = hj
+	}
+	root := byNode["root"]
+	if root.Err != "" || len(root.Events) != 2 {
+		t.Errorf("root journal: err=%q events=%d, want 2 events", root.Err, len(root.Events))
+	}
+	if len(root.Events) == 2 && (root.Events[0].Kind != flightrec.KindConsumerJoin || root.Events[1].Arg1 != 3) {
+		t.Errorf("root events = %v", root.Events)
+	}
+	leaf := byNode["leaf-a"]
+	if leaf.Err != "flight recorder disabled" || len(leaf.Events) != 0 {
+		t.Errorf("leaf journal: err=%q events=%d, want the disabled error", leaf.Err, len(leaf.Events))
+	}
+}
+
+func TestRuntimeAlerts(t *testing.T) {
+	rootAddr, leafA, _, infos := buildTree(t)
+	infos[rootAddr].Runtime = &relay.MeshRuntimeInfo{
+		Goroutines: 50, GCPauseP99: 250_000_000, // 250ms p99: way past the 100ms default
+	}
+	infos[leafA].Runtime = &relay.MeshRuntimeInfo{
+		Goroutines: 20000, GCPauseP99: 1_000_000, // goroutine explosion, healthy GC
+	}
+	topo, err := Crawl(rootAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := make(map[string]string)
+	for _, a := range topo.Alerts(AlertConfig{}) {
+		rules[a.Rule] = a.Node
+	}
+	if rules["gc-pause"] != "root" {
+		t.Errorf("gc-pause fired on %q, want root", rules["gc-pause"])
+	}
+	if rules["goroutine-growth"] != "leaf-a" {
+		t.Errorf("goroutine-growth fired on %q, want leaf-a", rules["goroutine-growth"])
+	}
+	// Negative thresholds disable the runtime rules entirely.
+	if alerts := topo.Alerts(AlertConfig{GCPauseP99Max: -1, MaxGoroutines: -1}); len(alerts) != 0 {
+		t.Errorf("disabled runtime rules still fired: %v", alerts)
+	}
+	// Hops without runtime info (leaf-b here) never fire runtime rules —
+	// implicitly covered: only root and leaf-a appear above.
+}

@@ -1,0 +1,68 @@
+package mesh
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/flightrec"
+)
+
+// journalEvents snapshots one hop's flight journal and decodes it back
+// through the PBIO stream path — every read exercises the
+// self-describing round trip, not just the in-memory ring.
+func journalEvents(t *testing.T, h *Hop) []flightrec.Event {
+	t.Helper()
+	if h.Flight == nil {
+		t.Fatalf("%s has no flight recorder", h.ID)
+	}
+	var buf bytes.Buffer
+	if _, err := h.Flight.WriteTo(&buf); err != nil {
+		t.Fatalf("%s: journal write: %v", h.ID, err)
+	}
+	events, err := flightrec.ReadJournal(&buf)
+	if err != nil {
+		t.Fatalf("%s: journal decode: %v", h.ID, err)
+	}
+	return events
+}
+
+// countKind tallies events of one kind: occurrences, sum of arg1, sum
+// of arg2.
+func countKind(events []flightrec.Event, k flightrec.Kind) (n, arg1, arg2 int64) {
+	for _, e := range events {
+		if e.Kind == k {
+			n++
+			arg1 += e.Arg1
+			arg2 += e.Arg2
+		}
+	}
+	return
+}
+
+// dumpFlightOnFailure registers a cleanup that, when the test failed
+// and $FLIGHT_DUMP_DIR is set, writes every hop's flight journal there
+// as <hop ID>.flight.pbio — the CI artifact for post-mortem reading
+// with pbio-dump.
+func dumpFlightOnFailure(t *testing.T, m *Tree) {
+	t.Cleanup(func() {
+		dir := os.Getenv("FLIGHT_DUMP_DIR")
+		if dir == "" || !t.Failed() {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("FLIGHT_DUMP_DIR: %v", err)
+			return
+		}
+		for _, h := range m.Hops() {
+			if h.Flight == nil {
+				continue
+			}
+			path := filepath.Join(dir, h.ID+".flight.pbio")
+			if err := h.Flight.DumpFile(path); err != nil {
+				t.Logf("FLIGHT_DUMP_DIR: %s: %v", h.ID, err)
+			}
+		}
+	})
+}

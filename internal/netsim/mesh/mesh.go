@@ -15,6 +15,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/flightrec"
 	"repro/internal/relay"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracectx"
@@ -30,6 +31,11 @@ type Hop struct {
 	Relay    *relay.Server
 	Registry *telemetry.Registry
 	Tracer   *tracectx.Tracer
+
+	// Flight is the hop's flight recorder (node = hop ID), set when
+	// Config.FlightCap > 0, and mounted at /debug/flight under
+	// Config.Observe.
+	Flight *flightrec.Recorder
 
 	// MeshAddr is the hop's live observability address (host:port of
 	// its /metrics + /debug/mesh listener), set only under
@@ -55,6 +61,11 @@ type Config struct {
 	// 4096).
 	TraceRate float64
 	TraceCap  int
+
+	// FlightCap, when positive, gives every hop a flight recorder with
+	// a ring of this many events (node = hop ID); under Observe the
+	// journal is also served at the hop's /debug/flight.
+	FlightCap int
 
 	// Observe serves every hop's observability surface (/metrics,
 	// /debug/mesh, ...) on its own loopback listener and gives the hop
@@ -106,6 +117,12 @@ func New(cfg Config) (*Tree, error) {
 				h.Relay.SetQueue(cfg.QueueCap, cfg.Policy)
 			}
 			h.Relay.SetTelemetry(h.Registry)
+			if cfg.FlightCap > 0 {
+				h.Flight = flightrec.New(h.ID, cfg.FlightCap)
+				h.Relay.SetFlight(h.Flight)
+				h.Flight.ExportMetrics(h.Registry)
+				h.Registry.Handle("/debug/flight", h.Flight.Handler())
+			}
 			if cfg.Observe {
 				// After SetTelemetry (which mounts /debug/mesh on the
 				// registry) and before this hop's uplink attaches below

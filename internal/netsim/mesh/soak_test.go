@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/leakcheck"
 	"repro/internal/meshmon"
 	"repro/internal/relay"
@@ -117,11 +118,12 @@ func TestMeshSoakBlockingZeroLoss(t *testing.T) {
 	if testing.Short() {
 		shape, consumers, records = []int{1, 2, 4}, 1000, 10
 	}
-	m, err := New(Config{Shape: shape, QueueCap: 64, Policy: relay.PolicyBlock, Observe: true})
+	m, err := New(Config{Shape: shape, QueueCap: 64, Policy: relay.PolicyBlock, Observe: true, FlightCap: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
+	dumpFlightOnFailure(t, m)
 
 	deadline := time.Now().Add(3 * time.Minute)
 	leaves := m.Leaves()
@@ -229,6 +231,76 @@ func TestMeshSoakBlockingZeroLoss(t *testing.T) {
 	if len(totals) != 1 || totals[0].Name != "tick" || totals[0].Records != int64(records*len(hops)) {
 		t.Errorf("format totals = %+v, want tick with %d records across %d hops", totals, records*len(hops), len(hops))
 	}
+
+	// Flight-journal conservation: zero loss means zero eviction and
+	// zero policy-disconnect events anywhere, and every consumer
+	// registration — harness consumers at the leaves plus one child
+	// uplink per non-root hop — left exactly one ConsumerJoin event.
+	var joins int64
+	for _, h := range m.Hops() {
+		if h.Flight.Dropped() != 0 {
+			t.Errorf("%s: flight ring overwrote %d events; conservation checks need a larger FlightCap", h.ID, h.Flight.Dropped())
+		}
+		events := journalEvents(t, h)
+		if n, _, _ := countKind(events, flightrec.KindQueueEvict); n != 0 {
+			t.Errorf("%s: %d QueueEvict events under blocking policy", h.ID, n)
+		}
+		if n, _, _ := countKind(events, flightrec.KindPolicyDisconnect); n != 0 {
+			t.Errorf("%s: %d PolicyDisconnect events under blocking policy", h.ID, n)
+		}
+		n, _, _ := countKind(events, flightrec.KindConsumerJoin)
+		joins += n
+	}
+	if want := int64(consumers + len(hops) - 1); joins != want {
+		t.Errorf("journals record %d ConsumerJoin events across the tree, want %d (%d consumers + %d uplinks)",
+			joins, want, consumers, len(hops)-1)
+	}
+
+	// The acceptance decode: the root's journal, fetched over live HTTP
+	// exactly as an operator would, must decode with the UNMODIFIED
+	// generic pbio read path — no flightrec import below this line.
+	resp, err := client.Get("http://" + m.Root().MeshAddr + "/debug/flight")
+	if err != nil {
+		t.Fatalf("GET /debug/flight: %v", err)
+	}
+	defer resp.Body.Close()
+	cctx, err := pbio.NewContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cctx.NewReader(resp.Body)
+	decoded := 0
+	for {
+		msg, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("pbio.Read on journal record %d: %v", decoded, err)
+		}
+		if msg.FormatName() != "pbio.flight.v1" {
+			t.Fatalf("journal carries format %q", msg.FormatName())
+		}
+		specs := make([]pbio.FieldSpec, 0, len(msg.Fields()))
+		for _, fi := range msg.Fields() {
+			specs = append(specs, fi.Spec())
+		}
+		jf, err := cctx.Register(msg.FormatName(), specs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := msg.Decode(jf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node, _ := rec.String("node"); node != m.Root().ID {
+			t.Fatalf("journal record %d names node %q, want %q", decoded, node, m.Root().ID)
+		}
+		decoded++
+	}
+	if decoded == 0 {
+		t.Error("root journal decoded to zero records via plain pbio.Read")
+	}
 }
 
 // TestMeshDropOldestExactAccounting floods a drop-oldest relay through a
@@ -243,11 +315,12 @@ func TestMeshDropOldestExactAccounting(t *testing.T) {
 	if testing.Short() {
 		total = 400
 	}
-	m, err := New(Config{Shape: []int{1}, QueueCap: 8, Policy: relay.PolicyDropOldest, TraceRate: 1, Observe: true})
+	m, err := New(Config{Shape: []int{1}, QueueCap: 8, Policy: relay.PolicyDropOldest, TraceRate: 1, Observe: true, FlightCap: 8192})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
+	dumpFlightOnFailure(t, m)
 	hop := m.Root()
 
 	conn := m.AttachConsumer(hop)
@@ -361,6 +434,28 @@ func TestMeshDropOldestExactAccounting(t *testing.T) {
 	}
 	if tick.Queued != 0 {
 		t.Errorf("crawled tick queue occupancy %d after drain, want 0", tick.Queued)
+	}
+
+	// Event conservation: the flight journal is a third, independent set
+	// of books, and all three must agree exactly — one QueueEvict event
+	// per evicted frame, arg1 summing to the evicted record count the
+	// crawler reports, arg2 summing to the tracer's lost spans.
+	if d := hop.Flight.Dropped(); d != 0 {
+		t.Fatalf("flight ring overwrote %d events; conservation checks need a larger FlightCap", d)
+	}
+	events := journalEvents(t, hop)
+	evictN, evictRecs, evictTraced := countKind(events, flightrec.KindQueueEvict)
+	if evictN != st.QueueDroppedFrames {
+		t.Errorf("journal has %d QueueEvict events, relay evicted %d frames", evictN, st.QueueDroppedFrames)
+	}
+	if evictRecs != tick.DroppedRecords {
+		t.Errorf("journal QueueEvict events sum to %d records, crawler reports %d dropped", evictRecs, tick.DroppedRecords)
+	}
+	if evictTraced != hop.Tracer.Lost() {
+		t.Errorf("journal QueueEvict events sum to %d traced records, tracer lost %d spans", evictTraced, hop.Tracer.Lost())
+	}
+	if n, _, _ := countKind(events, flightrec.KindPolicyDisconnect); n != 0 {
+		t.Errorf("journal has %d PolicyDisconnect events; drop-oldest must keep consumers", n)
 	}
 }
 

@@ -25,6 +25,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/flightrec"
 )
 
 // maxFormatStats bounds per-format accounting cardinality.  Formats past
@@ -80,6 +82,15 @@ func (fs *formatStats) noteDrop(recs int) {
 	}
 	fs.droppedFrames.Add(1)
 	fs.droppedRecords.Add(int64(recs))
+}
+
+// statName returns the bucket's format name ("" for nil — meta and
+// control frames have no bucket).
+func (fs *formatStats) statName() string {
+	if fs == nil {
+		return ""
+	}
+	return fs.name
 }
 
 // fstatsForLocked returns the accounting bucket for a format name,
@@ -168,8 +179,17 @@ func (s *Server) queueStats() (sum, maxDepth, stalled int64) {
 		if d > maxDepth {
 			maxDepth = d
 		}
+		// Stall detection is edge-triggered into the flight journal:
+		// the gauge says "stalled now", the journal says *when* it
+		// began and cleared.  The CAS arbitrates racing scrapes so each
+		// transition is journaled exactly once.
 		if window > 0 && st.depth > 0 && now.Sub(st.lastDrain) > window {
 			stalled++
+			if c.stalled.CompareAndSwap(false, true) {
+				s.flight.Load().Emit(flightrec.KindStallOnset, peerLabel(c.conn), 0, d, 0)
+			}
+		} else if c.stalled.CompareAndSwap(true, false) {
+			s.flight.Load().Emit(flightrec.KindStallClear, peerLabel(c.conn), 0, d, 0)
 		}
 	}
 	return sum, maxDepth, stalled
@@ -244,6 +264,29 @@ type MeshInfo struct {
 	Downstream []MeshNodeInfo   `json:"downstream,omitempty"`
 	Formats    []MeshFormatInfo `json:"formats,omitempty"`
 	Stats      Stats            `json:"stats"`
+	// Runtime, when the daemon wired a runtimebridge probe
+	// (SetRuntimeProbe), summarizes the Go runtime under this hop —
+	// GC-pause and scheduling-latency p99s, goroutine and heap gauges —
+	// so a mesh crawl sees VM health without a second fetch per node.
+	Runtime *MeshRuntimeInfo `json:"runtime,omitempty"`
+}
+
+// MeshRuntimeInfo is the runtime-health slice of /debug/mesh.
+type MeshRuntimeInfo struct {
+	Goroutines      int64 `json:"goroutines"`
+	HeapBytes       int64 `json:"heap_bytes"`
+	GCCycles        int64 `json:"gc_cycles"`
+	GCPauseP99      int64 `json:"gc_pause_p99_nanos"`
+	SchedLatencyP99 int64 `json:"sched_latency_p99_nanos"`
+}
+
+// SetRuntimeProbe attaches a runtime-health probe (normally a
+// runtimebridge.Bridge snapshot adapter) whose result is embedded in
+// every /debug/mesh document.
+func (s *Server) SetRuntimeProbe(fn func() MeshRuntimeInfo) {
+	s.mu.Lock()
+	s.runtimeProbe = fn
+	s.mu.Unlock()
 }
 
 // MeshSnapshot captures the relay's mesh-observability state.  Pointers
@@ -264,6 +307,7 @@ func (s *Server) MeshSnapshot() MeshInfo {
 		StallWindowMS: s.stallWindow.Milliseconds(),
 	}
 	window := s.stallWindow
+	probe := s.runtimeProbe
 	refs := make([]consumerRef, 0, len(s.consumers))
 	for c := range s.consumers {
 		refs = append(refs, consumerRef{
@@ -335,6 +379,10 @@ func (s *Server) MeshSnapshot() MeshInfo {
 	})
 	sort.Slice(info.Downstream, func(i, j int) bool { return info.Downstream[i].ID < info.Downstream[j].ID })
 	info.Stats = s.Stats()
+	if probe != nil {
+		rt := probe()
+		info.Runtime = &rt
+	}
 	return info
 }
 

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/abi"
 	"repro/internal/bufpool"
+	"repro/internal/flightrec"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracectx"
 	"repro/internal/transport"
@@ -97,6 +98,7 @@ type Server struct {
 	nodeID         string
 	meshAddr       string
 	stallWindow    time.Duration
+	runtimeProbe   func() MeshRuntimeInfo // SetRuntimeProbe; nil = no runtime section
 	fstats         map[string]*formatStats
 	fstatsOverflow *formatStats
 	fvecs          struct {
@@ -124,6 +126,21 @@ type Server struct {
 	// rewrites the frame — it reads the trailing trace field out of the
 	// record bytes it is forwarding verbatim.
 	tracer atomic.Pointer[tracectx.Tracer]
+
+	// flight, when set (SetFlight), journals the relay's discrete
+	// events: consumer join/leave, policy drops, queue evictions, stall
+	// transitions, uplink attachment.  Atomic like trace/tracer; a nil
+	// recorder is a valid no-op sink.
+	flight atomic.Pointer[flightrec.Recorder]
+}
+
+// SetFlight attaches a flight recorder.  All emission sites are off the
+// broadcast hot path (connection lifecycle, eviction callbacks, scrape
+// walks), so recording costs nothing per forwarded frame.
+func (s *Server) SetFlight(r *flightrec.Recorder) {
+	if r != nil {
+		s.flight.Store(r)
+	}
 }
 
 // emitTrace sends a relay trace event if telemetry is attached.
@@ -275,6 +292,11 @@ type consumer struct {
 	// DroppedConsumers / Disconnects per consumer, no matter how the
 	// drop path races the pump's own exit.
 	counted atomic.Bool
+
+	// stalled is the stall detector's edge memory: set while the
+	// consumer is flagged, CASed by racing scrape walks so each
+	// onset/clear transition reaches the flight journal exactly once.
+	stalled atomic.Bool
 }
 
 // wantsLocked reports whether the consumer's subscription covers a relay
@@ -449,6 +471,12 @@ func (s *Server) serveProducer(conn net.Conn) {
 // the upstream's identity reply rather than a protocol violation.
 func (s *Server) serveProducerFrom(conn net.Conn, u *Uplink) {
 	defer conn.Close()
+	role := "producer"
+	if u != nil {
+		role = "uplink"
+	}
+	s.flight.Load().Emit(flightrec.KindConnOpen, role, 0, 0, 0)
+	defer s.flight.Load().Emit(flightrec.KindConnClose, role, 0, 0, 0)
 	type binding struct {
 		relayID uint32
 		size    int
@@ -890,9 +918,11 @@ func (s *Server) noteConsumerGone(c *consumer, policyDrop bool, reason string) {
 	if policyDrop {
 		s.stats.droppedConsumers.Add(1)
 		s.emitTrace("consumer_dropped", reason)
+		s.flight.Load().Emit(flightrec.KindPolicyDisconnect, reason, 0, 0, 0)
 	} else {
 		s.stats.disconnects.Add(1)
 		s.emitTrace("consumer_disconnect", reason)
+		s.flight.Load().Emit(flightrec.KindConsumerLeave, reason, 0, 0, 0)
 	}
 }
 
@@ -933,6 +963,11 @@ func (s *Server) registerConsumer(conn net.Conn) (c *consumer, replay []transpor
 		if of.traced > 0 {
 			s.tracer.Load().NoteLostN(of.traced)
 		}
+		// One journal event per evicted frame: arg1 carries the records
+		// lost, arg2 the traced records among them, so a journal sums to
+		// exactly the crawler's drop accounting.  Emit never blocks or
+		// re-enters the queue, which the onEvict contract requires.
+		s.flight.Load().Emit(flightrec.KindQueueEvict, of.fstats.statName(), 0, int64(of.recs), int64(of.traced))
 	})
 	replay = make([]transport.Frame, 0, len(s.metaOrder))
 	for _, id := range s.metaOrder {
@@ -940,9 +975,19 @@ func (s *Server) registerConsumer(conn net.Conn) (c *consumer, replay []transpor
 	}
 	s.stats.metaReplays.Add(int64(len(replay)))
 	s.consumers[c] = true
+	n := len(s.consumers)
 	wtimeout = s.consumerTimeout
 	s.mu.Unlock()
+	s.flight.Load().Emit(flightrec.KindConsumerJoin, peerLabel(conn), 0, int64(n), 0)
 	return c, replay, wtimeout, true
+}
+
+// peerLabel names a connection's remote end for the flight journal.
+func peerLabel(conn net.Conn) string {
+	if addr := conn.RemoteAddr(); addr != nil {
+		return addr.String()
+	}
+	return ""
 }
 
 // pumpConsumer replays known formats, then streams queued frames until

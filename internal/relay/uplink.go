@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/flightrec"
 	"repro/internal/transport"
 )
 
@@ -118,6 +119,7 @@ func (s *Server) RunUplinkTo(conn net.Conn, static *transport.Subscription, addr
 	if err := u.send(initial); err != nil {
 		return fmt.Errorf("relay: uplink subscribe: %w", err)
 	}
+	s.flight.Load().Emit(flightrec.KindUplinkAttach, addr, 0, 0, 0)
 	if static == nil {
 		go u.updater()
 	}

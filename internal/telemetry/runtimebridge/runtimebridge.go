@@ -1,0 +1,228 @@
+// Package runtimebridge exports the Go runtime's own health — GC pause
+// and scheduler-latency distributions, heap and goroutine gauges —
+// into a telemetry registry as pbio_go_* Prometheus families.
+//
+// The daemons instrument everything about the wire path but were blind
+// to the runtime underneath it: a GC pause stalls a relay pump exactly
+// like a slow consumer, and a goroutine leak looks like load until it
+// is an OOM.  The bridge polls runtime/metrics (the stdlib's sampled
+// interface) on a fixed interval and folds the deltas into the
+// registry, so a /metrics scrape of a relay answers "is it the mesh or
+// the VM" without a sidecar exporter.
+package runtimebridge
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The runtime/metrics samples the bridge polls.
+const (
+	sampleGCPauses  = "/gc/pauses:seconds"
+	sampleSchedLat  = "/sched/latencies:seconds"
+	sampleGoroutine = "/sched/goroutines:goroutines"
+	sampleHeapBytes = "/memory/classes/heap/objects:bytes"
+	sampleGCCycles  = "/gc/cycles/total:gc-cycles"
+)
+
+// Bridge is a running runtime/metrics poller.  Stop it with Stop.
+type Bridge struct {
+	reg *telemetry.Registry
+
+	gcPauseNanos *telemetry.Histogram
+	schedNanos   *telemetry.Histogram
+	goroutines   *telemetry.Gauge
+	heapBytes    *telemetry.Gauge
+	gcCycles     *telemetry.Counter
+
+	samples []metrics.Sample
+
+	// prev* carry the last poll's cumulative distributions; each pass
+	// feeds only the delta into the registry histograms.
+	prevGC    []uint64
+	prevSched []uint64
+	prevCyc   uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start creates the pbio_go_* families on reg and begins polling every
+// interval (default 5s when every <= 0).  A nil registry returns a nil
+// Bridge, on which Stop and Probe are safe no-ops.
+func Start(reg *telemetry.Registry, every time.Duration) *Bridge {
+	if reg == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	b := &Bridge{
+		reg: reg,
+		gcPauseNanos: reg.Histogram("pbio_go_gc_pause_nanos",
+			"Distribution of stop-the-world GC pause durations, nanoseconds (bridged from runtime/metrics)."),
+		schedNanos: reg.Histogram("pbio_go_sched_latency_nanos",
+			"Distribution of goroutine scheduling latency, nanoseconds (bridged from runtime/metrics)."),
+		goroutines: reg.Gauge("pbio_go_goroutines",
+			"Live goroutines."),
+		heapBytes: reg.Gauge("pbio_go_heap_objects_bytes",
+			"Bytes of live heap objects."),
+		gcCycles: reg.Counter("pbio_go_gc_cycles_total",
+			"Completed GC cycles."),
+		samples: []metrics.Sample{
+			{Name: sampleGCPauses},
+			{Name: sampleSchedLat},
+			{Name: sampleGoroutine},
+			{Name: sampleHeapBytes},
+			{Name: sampleGCCycles},
+		},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	b.poll() // one synchronous pass so the families are live immediately
+	go func() {
+		defer close(b.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				b.poll()
+			case <-b.stop:
+				return
+			}
+		}
+	}()
+	return b
+}
+
+// Stop halts the poller after at most one in-flight pass.  Safe to call
+// more than once, and on a nil Bridge.
+func (b *Bridge) Stop() {
+	if b == nil {
+		return
+	}
+	select {
+	case <-b.stop:
+	default:
+		close(b.stop)
+	}
+	<-b.done
+}
+
+// poll reads one batch of samples and folds it into the registry.
+func (b *Bridge) poll() {
+	metrics.Read(b.samples)
+	for i := range b.samples {
+		s := &b.samples[i]
+		switch s.Name {
+		case sampleGCPauses:
+			b.prevGC = feedHistogram(b.gcPauseNanos, s, b.prevGC)
+		case sampleSchedLat:
+			b.prevSched = feedHistogram(b.schedNanos, s, b.prevSched)
+		case sampleGoroutine:
+			b.goroutines.Set(sampleInt(s))
+		case sampleHeapBytes:
+			b.heapBytes.Set(sampleInt(s))
+		case sampleGCCycles:
+			cyc := uint64(sampleInt(s))
+			if cyc > b.prevCyc {
+				b.gcCycles.Add(int64(cyc - b.prevCyc))
+			}
+			b.prevCyc = cyc
+		}
+	}
+}
+
+// sampleInt extracts a scalar sample as int64 (KindUint64 or
+// KindFloat64; bad kinds read as 0 so a runtime that drops a metric
+// degrades instead of panicking).
+func sampleInt(s *metrics.Sample) int64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return int64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return int64(s.Value.Float64())
+	}
+	return 0
+}
+
+// feedHistogram folds the delta between a cumulative runtime
+// Float64Histogram and its previous snapshot into h, observing each new
+// count at its bucket's midpoint converted from seconds to nanoseconds.
+// Returns the new snapshot of cumulative counts.
+func feedHistogram(h *telemetry.Histogram, s *metrics.Sample, prev []uint64) []uint64 {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return prev
+	}
+	rh := s.Value.Float64Histogram()
+	if rh == nil {
+		return prev
+	}
+	if len(prev) != len(rh.Counts) {
+		// First pass (or the runtime changed geometry): swallow the
+		// baseline without observing, so restarts do not replay history.
+		return append([]uint64(nil), rh.Counts...)
+	}
+	for i, c := range rh.Counts {
+		d := int64(c - prev[i])
+		if d <= 0 {
+			continue
+		}
+		h.ObserveN(bucketMidNanos(rh.Buckets, i), d)
+		prev[i] = c
+	}
+	copy(prev, rh.Counts)
+	return prev
+}
+
+// bucketMidNanos converts runtime bucket i's bounds (seconds) to a
+// representative nanosecond value: the midpoint, with open-ended edge
+// buckets represented by their finite bound.
+func bucketMidNanos(bounds []float64, i int) int64 {
+	lo, hi := bounds[i], bounds[i+1]
+	var sec float64
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, +1):
+		return 0
+	case math.IsInf(lo, -1):
+		sec = hi
+	case math.IsInf(hi, +1):
+		sec = lo
+	default:
+		sec = (lo + hi) / 2
+	}
+	n := sec * 1e9
+	if n < 0 || n > math.MaxInt64 {
+		return 0
+	}
+	return int64(n)
+}
+
+// Probe is a point-in-time summary of the runtime, shaped for embedding
+// in a relay's /debug/mesh document so mesh crawlers see runtime health
+// without a second fetch.
+type Probe struct {
+	Goroutines      int64 `json:"goroutines"`
+	HeapBytes       int64 `json:"heap_bytes"`
+	GCCycles        int64 `json:"gc_cycles"`
+	GCPauseP99      int64 `json:"gc_pause_p99_nanos"`
+	SchedLatencyP99 int64 `json:"sched_latency_p99_nanos"`
+}
+
+// Snapshot returns the bridge's current probe (zero value on nil).
+func (b *Bridge) Snapshot() Probe {
+	if b == nil {
+		return Probe{}
+	}
+	return Probe{
+		Goroutines:      b.goroutines.Value(),
+		HeapBytes:       b.heapBytes.Value(),
+		GCCycles:        b.gcCycles.Value(),
+		GCPauseP99:      int64(b.gcPauseNanos.Snapshot().P99),
+		SchedLatencyP99: int64(b.schedNanos.Snapshot().P99),
+	}
+}

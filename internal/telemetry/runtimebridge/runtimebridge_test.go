@@ -1,0 +1,99 @@
+package runtimebridge
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/telemetry"
+)
+
+func TestBridgeExportsFamilies(t *testing.T) {
+	leakcheck.Check(t)
+	reg := telemetry.NewRegistry()
+	b := Start(reg, time.Hour) // ticker never fires; Start's synchronous poll does the work
+	defer b.Stop()
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	page := buf.String()
+	for _, fam := range []string{
+		"pbio_go_gc_pause_nanos",
+		"pbio_go_sched_latency_nanos",
+		"pbio_go_goroutines",
+		"pbio_go_heap_objects_bytes",
+		"pbio_go_gc_cycles_total",
+	} {
+		if !strings.Contains(page, fam) {
+			t.Errorf("/metrics lacks %s", fam)
+		}
+	}
+	p := b.Snapshot()
+	if p.Goroutines <= 0 {
+		t.Errorf("probe reports %d goroutines", p.Goroutines)
+	}
+	if p.HeapBytes <= 0 {
+		t.Errorf("probe reports %d heap bytes", p.HeapBytes)
+	}
+}
+
+func TestBridgeObservesGCDeltas(t *testing.T) {
+	leakcheck.Check(t)
+	reg := telemetry.NewRegistry()
+	b := Start(reg, time.Hour)
+	defer b.Stop()
+	before := b.Snapshot().GCCycles
+	runtime.GC()
+	runtime.GC()
+	b.poll()
+	after := b.Snapshot()
+	if after.GCCycles < before+2 {
+		t.Errorf("gc cycles went %d -> %d across two forced GCs", before, after.GCCycles)
+	}
+	// Two full GCs must have fed pause observations into the histogram,
+	// so its p99 summary is a usable signal for /debug/mesh.
+	if after.GCPauseP99 <= 0 {
+		t.Errorf("GC pause p99 = %d after forced GCs", after.GCPauseP99)
+	}
+}
+
+func TestBridgeStopIdempotentAndNilSafe(t *testing.T) {
+	leakcheck.Check(t)
+	reg := telemetry.NewRegistry()
+	b := Start(reg, time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // let the ticker actually fire
+	b.Stop()
+	b.Stop()
+
+	var nilB *Bridge
+	nilB.Stop()
+	if p := nilB.Snapshot(); p != (Probe{}) {
+		t.Errorf("nil bridge probe = %+v", p)
+	}
+	if Start(nil, time.Second) != nil {
+		t.Error("Start(nil) returned a bridge")
+	}
+}
+
+func TestBucketMidNanos(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		bounds []float64
+		i      int
+		want   int64
+	}{
+		{[]float64{0, 2e-6}, 0, 1000},                 // midpoint of [0, 2µs)
+		{[]float64{math.Inf(-1), 1e-6, inf}, 0, 1000}, // open left edge: finite bound
+		{[]float64{math.Inf(-1), 1e-6, inf}, 1, 1000}, // open right edge: finite bound
+		{[]float64{math.Inf(-1), inf}, 0, 0},          // both open: no information
+	}
+	for _, c := range cases {
+		if got := bucketMidNanos(c.bounds, c.i); got != c.want {
+			t.Errorf("bucketMidNanos(%v, %d) = %d, want %d", c.bounds, c.i, got, c.want)
+		}
+	}
+}

@@ -124,6 +124,26 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[idx].Add(1)
 }
 
+// ObserveN records n observations of the same value in one shot — the
+// bulk form bridges feeding bucket deltas from an external histogram
+// (runtime/metrics) need.  No-op on a nil histogram or n <= 0.
+func (h *Histogram) ObserveN(v int64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(v * n)
+	idx := 0
+	if v > 1<<histMinShift {
+		idx = bits.Len64(uint64(v-1)) - histMinShift
+	}
+	if idx >= histBuckets {
+		h.inf.Add(n)
+		return
+	}
+	h.buckets[idx].Add(n)
+}
+
 // Count returns the number of observations (0 for nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -142,6 +162,10 @@ func (h *Histogram) Sum() int64 {
 
 // BucketBound returns the upper bound of bucket i.
 func BucketBound(i int) int64 { return 1 << (histMinShift + i) }
+
+// Snapshot captures the histogram for programmatic reads — quantile
+// estimates included.  Nil-safe (a zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
 
 // snapshotHist captures a consistent-enough view for export.  Buckets
 // are read individually; a concurrent Observe may appear in count/sum

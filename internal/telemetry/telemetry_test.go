@@ -141,6 +141,30 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}
 }
 
+func TestHistogramObserveN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_nanos", "")
+	h.ObserveN(100, 5)
+	h.ObserveN(100, 0)  // no-op
+	h.ObserveN(100, -3) // no-op
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 500 {
+		t.Fatalf("count=%d sum=%d, want 5/500", s.Count, s.Sum)
+	}
+	if s.Buckets[0] != 5 {
+		t.Errorf("bucket 0 = %d, want all 5 observations", s.Buckets[0])
+	}
+	// Batched and single observation must be indistinguishable.
+	h2 := r.Histogram("h2_nanos", "")
+	for i := 0; i < 5; i++ {
+		h2.Observe(100)
+	}
+	if a, b := h.Snapshot(), h2.Snapshot(); a.Count != b.Count || a.Sum != b.Sum || a.P99 != b.P99 {
+		t.Errorf("ObserveN(100,5) = %+v, 5×Observe(100) = %+v", a, b)
+	}
+	(*Histogram)(nil).ObserveN(1, 1) // nil-safe
+}
+
 // TestConcurrentIncrements exercises every metric type from many
 // goroutines at once; run with -race this is the package's data-race
 // test, and the final values prove no increment was lost.

@@ -41,6 +41,21 @@ type Metrics struct {
 	// Trace, when non-nil, receives wire-level trace events (formats
 	// learned, checksum failures, timeouts).
 	Trace *telemetry.TraceRing
+
+	// Flight, when non-nil, receives discrete wire faults for the
+	// flight journal.  Transport cannot import the recorder (it sits
+	// below it in the import graph), so the sink is the narrow
+	// interface; *flightrec.Recorder satisfies it, nil receiver
+	// included.
+	Flight FlightSink
+}
+
+// FlightSink receives the transport layer's journal-worthy events.
+// Implementations must tolerate concurrent calls; all calls happen on
+// error paths, never per-frame.
+type FlightSink interface {
+	ChecksumFailure(subject string)
+	DeadlineTimeout(subject string)
 }
 
 // nopMetrics is the shared disabled-telemetry instance: all handles nil,
@@ -54,21 +69,21 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 		return nopMetrics
 	}
 	return &Metrics{
-		FramesRead:       r.Counter("pbio_transport_frames_read_total", "Frames consumed from streams (data + meta)."),
-		FramesWritten:    r.Counter("pbio_transport_frames_written_total", "Frames emitted to streams (data + meta)."),
-		BytesRead:        r.Counter("pbio_transport_bytes_read_total", "Bytes consumed from streams, headers included."),
-		BytesWritten:     r.Counter("pbio_transport_bytes_written_total", "Bytes emitted to streams, headers included."),
-		MetaRead:         r.Counter("pbio_transport_meta_frames_read_total", "Meta and meta-reference frames consumed."),
-		MetaWritten:      r.Counter("pbio_transport_meta_frames_written_total", "Meta and meta-reference frames emitted."),
+		FramesRead:          r.Counter("pbio_transport_frames_read_total", "Frames consumed from streams (data + meta)."),
+		FramesWritten:       r.Counter("pbio_transport_frames_written_total", "Frames emitted to streams (data + meta)."),
+		BytesRead:           r.Counter("pbio_transport_bytes_read_total", "Bytes consumed from streams, headers included."),
+		BytesWritten:        r.Counter("pbio_transport_bytes_written_total", "Bytes emitted to streams, headers included."),
+		MetaRead:            r.Counter("pbio_transport_meta_frames_read_total", "Meta and meta-reference frames consumed."),
+		MetaWritten:         r.Counter("pbio_transport_meta_frames_written_total", "Meta and meta-reference frames emitted."),
 		BatchFramesRead:     r.Counter("pbio_transport_batch_frames_read_total", "Batch frames consumed from streams."),
 		BatchFramesWritten:  r.Counter("pbio_transport_batch_frames_written_total", "Batch frames emitted to streams."),
 		BatchRecordsRead:    r.Counter("pbio_transport_batched_records_read_total", "Records delivered from batch frames."),
 		BatchRecordsWritten: r.Counter("pbio_transport_batched_records_written_total", "Records coalesced into batch frames."),
 		BatchBytesRead:      r.Counter("pbio_transport_batch_bytes_read_total", "Record bytes consumed via batch frames, headers excluded."),
 		BatchBytesWritten:   r.Counter("pbio_transport_batch_bytes_written_total", "Record bytes emitted via batch frames, headers excluded."),
-		ChecksumFailures: r.Counter("pbio_transport_checksum_failures_total", "Frames whose CRC32-C did not match the body."),
-		DeadlineTimeouts: r.Counter("pbio_transport_deadline_timeouts_total", "Reads or writes that hit the configured deadline."),
-		Trace:            r.Trace(),
+		ChecksumFailures:    r.Counter("pbio_transport_checksum_failures_total", "Frames whose CRC32-C did not match the body."),
+		DeadlineTimeouts:    r.Counter("pbio_transport_deadline_timeouts_total", "Reads or writes that hit the configured deadline."),
+		Trace:               r.Trace(),
 	}
 }
 
@@ -91,5 +106,21 @@ func (m *Metrics) noteIOError(err error, what string) {
 	if isTimeout(err) {
 		m.DeadlineTimeouts.Inc()
 		m.Trace.Emit("transport", "deadline_timeout", what)
+		if m.Flight != nil {
+			m.Flight.DeadlineTimeout(what)
+		}
+	}
+}
+
+// noteChecksumFailure accounts a frame discarded for a CRC mismatch.
+// Nil-receiver-safe; error path only.
+func (m *Metrics) noteChecksumFailure(what string) {
+	if m == nil {
+		return
+	}
+	m.ChecksumFailures.Inc()
+	m.Trace.Emit("transport", "checksum_failure", what)
+	if m.Flight != nil {
+		m.Flight.ChecksumFailure(what)
 	}
 }

@@ -454,6 +454,17 @@ func (t *Writer) Flush() error {
 	return t.flushPending()
 }
 
+// WriteMeta transmits f's meta-information now, without a record, if
+// this stream has not carried it yet.  WriteRecord does this
+// automatically; WriteMeta exists for streams that must be
+// self-describing even when empty (a flight journal with no events is
+// still a decodable journal).
+func (t *Writer) WriteMeta(f *wire.Format) error {
+	t.armWrite()
+	_, err := t.ensureFormat(f)
+	return err
+}
+
 // flushPending writes the coalescing buffer out as one frame: FrameBatch
 // for a run of two or more records, a plain data frame for one.
 //
@@ -831,8 +842,7 @@ func (t *Reader) ReadMessageInto(m *Message) error {
 			var err error
 			if body, err = f.Body(); err != nil {
 				if m := t.m; m != nil {
-					m.ChecksumFailures.Inc()
-					m.Trace.Emit("transport", "checksum_failure", fmt.Sprintf("format %d kind %d", id, kind))
+					m.noteChecksumFailure(fmt.Sprintf("format %d kind %d", id, kind))
 				}
 				return err
 			}

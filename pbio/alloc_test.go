@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"repro/internal/flightrec"
 )
 
 // Allocation pins for the four wire-path hot loops.  These are hard
@@ -166,5 +168,47 @@ func TestAllocsDCGDecode(t *testing.T) {
 	})
 	if got > 0 {
 		t.Errorf("steady-state DCG decode costs %.1f allocs per record, want 0 (memoized program, caller-owned output)", got)
+	}
+}
+
+// TestAllocsFlightEmit pins the flight recorder's own hot path: Emit is
+// a mutex hold plus fixed-size byte stores into a preallocated slab, so
+// it must allocate nothing — that is what makes it legal inside evict
+// callbacks and connection handlers.
+func TestAllocsFlightEmit(t *testing.T) {
+	rec := flightrec.New("alloc-test", 64)
+	got := testing.AllocsPerRun(500, func() {
+		rec.Emit(flightrec.KindQueueEvict, "tick", 0xabc, 3, 1)
+	})
+	if got > 0 {
+		t.Errorf("Emit allocates %.1f per event, want 0", got)
+	}
+}
+
+// TestAllocsSteadyStateWriteWithFlight re-runs the steady-state write
+// pin with a flight recorder attached to the context: instrumentation
+// must not buy events with per-record allocations on the wire path.
+func TestAllocsSteadyStateWriteWithFlight(t *testing.T) {
+	rec := flightrec.New("alloc-test", 64)
+	ctx := ctxFor(t, "sparc-v8", WithFlightRecorder(rec))
+	f, err := ctx.Register("mixed", allocFields...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ctx.NewWriter(io.Discard)
+	r := f.NewRecord()
+	if err := w.Write(r); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 0 {
+		t.Errorf("steady-state Write with flight recorder allocates %.1f per record, want 0", got)
+	}
+	if rec.Seq() == 0 {
+		t.Error("context with a flight recorder journaled no events (expected MetaRegister at least)")
 	}
 }

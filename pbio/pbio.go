@@ -50,6 +50,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/convert"
 	"repro/internal/dcg"
+	"repro/internal/flightrec"
 	"repro/internal/fmtserver"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/tracectx"
@@ -219,6 +220,11 @@ type Context struct {
 	// receive.
 	tracer *tracectx.Tracer
 
+	// flight, when set (WithFlightRecorder), journals the context's
+	// discrete events — format registrations, DCG compiles, wire faults.
+	// Nil-safe: a nil recorder is a valid no-op sink.
+	flight *flightrec.Recorder
+
 	planMu sync.RWMutex
 	plans  map[[2]string]*convert.Plan
 }
@@ -309,6 +315,7 @@ func NewContext(opts ...Option) (*Context, error) {
 	if c.fmtsv != nil {
 		c.fmtsv.SetTelemetry(c.tel)
 		c.fmtsv.SetTracer(c.tracer)
+		c.fmtsv.SetFlight(c.flight)
 		c.registrarFn = func(f *wire.Format) (uint64, error) {
 			id, err := c.fmtsv.Register(f)
 			return uint64(id), err
@@ -334,6 +341,7 @@ func (c *Context) Register(name string, fields ...FieldSpec) (*Format, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.flight.Emit(flightrec.KindMetaRegister, wf.Name, 0, int64(wf.Size), 0)
 	return &Format{ctx: c, wf: wf, met: c.bindFormatMetrics(wf.Name)}, nil
 }
 

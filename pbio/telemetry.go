@@ -3,9 +3,27 @@ package pbio
 import (
 	"repro/internal/convert"
 	"repro/internal/dcg"
+	"repro/internal/flightrec"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
+
+// WithFlightRecorder attaches a flight recorder to the context: format
+// registrations, DCG compilations and transport faults (checksum
+// failures, deadline timeouts) on the context's streams are journaled
+// as discrete events.  All emission sites are cold — registration,
+// compilation, error paths — so the recorder costs the hot path
+// nothing; see internal/flightrec for the journal itself.
+func WithFlightRecorder(r *flightrec.Recorder) Option {
+	return func(c *Context) error {
+		c.flight = r
+		return nil
+	}
+}
+
+// FlightRecorder returns the context's flight recorder (nil when none
+// is attached).
+func (c *Context) FlightRecorder() *flightrec.Recorder { return c.flight }
 
 // WithTelemetry attaches a telemetry registry to the context.  Every
 // Writer, Reader, Format and conversion engine created from the context
@@ -54,11 +72,22 @@ type ctxMetrics struct {
 
 var nopCtxMetrics = &ctxMetrics{}
 
-// initTelemetry wires the context's engines to the registry.  Called
+// initTelemetry wires the context's engines to the registry — and the
+// flight recorder, which works with or without a registry.  Called
 // once from NewContext after options are applied.
 func (c *Context) initTelemetry() {
+	if c.flight != nil {
+		c.cache.SetFlight(c.flight)
+	}
 	if c.tel == nil {
 		c.met = nopCtxMetrics
+		if c.flight != nil {
+			// No registry, but transport faults must still reach the
+			// journal: give the streams a metric set that is empty
+			// except for the flight sink.  (Never mutate the shared
+			// no-op set.)
+			c.tmet = &transport.Metrics{Flight: c.flight}
+		}
 		return
 	}
 	if c.tracer != nil {
@@ -69,6 +98,12 @@ func (c *Context) initTelemetry() {
 	c.convMet = convert.NewMetrics(c.tel)
 	c.cache.SetMetrics(dcg.NewMetrics(c.tel), c.convMet)
 	c.tmet = transport.NewMetrics(c.tel)
+	if c.flight != nil {
+		// NewMetrics built a fresh set for this registry; attaching the
+		// sink here never touches the shared no-op set.
+		c.tmet.Flight = c.flight
+		c.flight.ExportMetrics(c.tel)
+	}
 	decodeNanos := c.tel.HistogramVec("pbio_decode_nanos",
 		"Latency of one record conversion on the receive path, nanoseconds.", "path")
 	c.met = &ctxMetrics{
