@@ -62,13 +62,14 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeMeta -fuzztime 20s ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzSubscriptionFrame -fuzztime 20s ./internal/transport/
 	$(GO) test -run xxx -fuzz FuzzReadJournal -fuzztime 20s ./internal/flightrec/
+	$(GO) test -run xxx -fuzz FuzzConvertBatch -fuzztime 20s ./internal/dcg/
 
 # bench runs the perf-trajectory benchmarks (pbio public API + DCG
 # engine) and stores them as a machine-readable artifact.  BENCHTIME
 # controls depth; bench-smoke is the CI-speed variant (one iteration per
 # benchmark: verifies the benchmarks run, produces no timing signal).
 BENCHTIME ?= 1s
-BENCHOUT  ?= BENCH_pr9.json
+BENCHOUT  ?= BENCH_pr10.json
 
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem -run xxx ./pbio/ ./internal/dcg/ \

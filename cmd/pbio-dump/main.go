@@ -216,9 +216,17 @@ func printFlight(rec *pbio.Record) bool {
 	trace, _ := rec.Int("trace", 0)
 	arg1, _ := rec.Int("arg1", 0)
 	arg2, _ := rec.Int("arg2", 0)
-	fmt.Printf("flight %s %s %s subject=%q trace=%#x arg1=%d arg2=%d\n",
+	fmt.Printf("flight %s %s %s subject=%q trace=%#x arg1=%d arg2=%d",
 		time.Unix(0, ts).UTC().Format("2006-01-02 15:04:05.000000"),
 		node, flightrec.KindName(int32(kind)), subject, uint64(trace), arg1, arg2)
+	if flightrec.Kind(kind) == flightrec.KindDCGBatchCompile {
+		// arg2 packs the fused shape; decode it so the journal shows
+		// what the batch fusion pass produced.
+		runs, words, steps := flightrec.UnpackBatchShape(arg2)
+		fmt.Printf(" (compile=%dns runs=%d fused_words=%d step_fallbacks=%d)",
+			arg1, runs, words, steps)
+	}
+	fmt.Println()
 	return true
 }
 

@@ -21,9 +21,12 @@ func batchRun(w io.Writer, batch int) error {
 	if batch < 2 {
 		return fmt.Errorf("-batch %d: need at least 2 records per batch", batch)
 	}
+	// Receiver-side conversion matrix first: what the fused batch
+	// programs buy per record, independent of framing.
+	bench.BatchConv().Fprint(w)
 	t := &bench.Table{
-		Title: fmt.Sprintf("Extension: batched vs per-record framing over TCP loopback (<= %d records/frame)", batch),
-		Note:  "homogeneous x86-64 exchange, zero-copy View receive; msgs/sec over a one-way stream",
+		Title:  fmt.Sprintf("Extension: batched vs per-record framing over TCP loopback (<= %d records/frame)", batch),
+		Note:   "homogeneous x86-64 exchange, zero-copy View receive; msgs/sec over a one-way stream",
 		Header: []string{"size", "records", "per-record msg/s", "batched msg/s", "speedup"},
 	}
 	for _, s := range bench.Sizes() {

@@ -1,0 +1,447 @@
+package dcg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/convert"
+)
+
+// batchKernel executes one batch run op over all n records of a batch.
+// dst and src are whole batch buffers; record strides and intra-record
+// offsets are baked into the closure.
+type batchKernel func(dst, src []byte, n int)
+
+// BatchProgram is a compiled conversion routine for runs of contiguous
+// fixed-stride records — the fused counterpart of Program.  Where a
+// Program re-dispatches its whole step list per record, a BatchProgram
+// runs each op over the entire batch before moving to the next: plan
+// lookup, program fetch and bounds checks happen once per batch, and
+// byte-swap runs execute word-at-a-time (bits.ReverseBytes64 on one or
+// more elements per load) instead of element-at-a-time.
+//
+// A BatchProgram is immutable and safe for concurrent use.  dst and src
+// must not overlap.
+type BatchProgram struct {
+	plan    *convert.Plan
+	ops     []BatchOp // fused batch instruction stream (for inspection)
+	kernels []batchKernel
+
+	srcStride int // wire record size
+	dstStride int // native record size
+	bulk      bool
+
+	steps int // ops executed via per-record steps (BStep)
+	words int // 64-bit word operations per record across all BSwapWide ops
+}
+
+// CompileBatch plans, emits, optimizes, fuses and lowers a batch
+// conversion program for the given plan.  The per-record stream is
+// optimized first (field→run coalescing), then FuseBatch widens swap
+// runs into word-wide loops; the move-only case compiles to a single
+// whole-batch copy.
+func CompileBatch(p *convert.Plan) (*BatchProgram, error) {
+	bp := &BatchProgram{
+		plan:      p,
+		srcStride: p.Wire.Size,
+		dstStride: p.Native.Size,
+	}
+	if p.NoOp {
+		bp.bulk = true
+		bp.ops = []BatchOp{{Kind: BBulkCopy}}
+		return bp, nil
+	}
+	code, err := Emit(p)
+	if err != nil {
+		return nil, err
+	}
+	opt := Optimize(code)
+	if masks, rest := buildRecordShuffle(opt, bp.dstStride, bp.srcStride); masks != nil {
+		bp.ops = append(bp.ops, BatchOp{Kind: BShuf, Masks: masks})
+		opt = rest
+	}
+	bp.ops = append(bp.ops, FuseBatch(opt)...)
+	bp.kernels = make([]batchKernel, 0, len(bp.ops))
+	for _, op := range bp.ops {
+		k, err := lowerBatch(op, bp.dstStride, bp.srcStride)
+		if err != nil {
+			return nil, err
+		}
+		bp.kernels = append(bp.kernels, k)
+		switch op.Kind {
+		case BStep:
+			bp.steps++
+		case BSwapWide:
+			bp.words += op.Words
+		case BShuf:
+			bp.words += len(op.Masks) / 8
+		}
+	}
+	return bp, nil
+}
+
+// buildRecordShuffle tries to compile the leading bytes of every record
+// into one whole-record byte-permutation program: a 16-byte PSHUFB
+// control mask per block, where in-place swaps become reversal lanes,
+// in-place moves identity lanes, and zero-fills (plus padding no
+// instruction covers) zero lanes.  One shuffle instruction then converts
+// 16 bytes regardless of how many fields or ops the block spans — no
+// per-op dispatch, no element loop, no scalar tail inside the region.
+// Ops the permutation cannot express — shifted moves from resize plans,
+// integer/float converts, nested calls, anything extending past the last
+// full block — come back in rest and lower through the regular kernels,
+// which run after the shuffle and overwrite its zero lanes.
+//
+// Zero lanes write zeros to padding the per-record program leaves
+// untouched; the two paths still agree byte-for-byte on a zeroed
+// destination, which is what the decode paths hand over (RecordBatch
+// buffers start zeroed and every decode rewrites the same region).
+func buildRecordShuffle(code []Instr, ds, ss int) (masks []byte, rest []Instr) {
+	if !shufAvailable() {
+		return nil, code
+	}
+	r := ds
+	if ss < r {
+		r = ss
+	}
+	r &^= 15
+	if r < 16 {
+		return nil, code
+	}
+	masks = make([]byte, r)
+	for i := range masks {
+		masks[i] = shufZeroLane
+	}
+	covered := 0
+	for _, in := range code {
+		sub, tail, hasTail := subsumeShuffle(masks, in, r)
+		covered += sub
+		if sub == 0 {
+			rest = append(rest, in)
+		} else if hasTail {
+			rest = append(rest, tail)
+		}
+	}
+	// A shuffle pass only pays for itself when it retires most of the
+	// region; convert- or step-dominated plans keep the kernel forms.
+	if covered*2 < r {
+		return nil, code
+	}
+	return masks, rest
+}
+
+// shufZeroLane is the PSHUFB control byte whose high bit writes a zero
+// into the destination lane.
+const shufZeroLane = 0x80
+
+// subsumeShuffle folds one instruction into the permutation masks and
+// returns the destination bytes it covered.  An op extending past the
+// shuffled region is split: the part below r becomes lanes, the tail
+// comes back as a residual instruction for the regular kernels.  Ops
+// the permutation cannot express at all — moves between offsets (Dst
+// != Src, so a lane would need to reach outside its block), converts,
+// calls — cover 0 bytes and stay whole.
+func subsumeShuffle(masks []byte, in Instr, r int) (covered int, tail Instr, hasTail bool) {
+	switch in.Op {
+	case IMovBlk:
+		if in.Dst != in.Src || in.Dst >= r {
+			return 0, tail, false
+		}
+		fit := in.Len
+		if in.Dst+fit > r {
+			fit = r - in.Dst
+			tail = Instr{Op: IMovBlk, Dst: in.Dst + fit, Src: in.Src + fit, Len: in.Len - fit}
+			hasTail = true
+		}
+		for b := in.Dst; b < in.Dst+fit; b++ {
+			masks[b] = byte(b & 15)
+		}
+		return fit, tail, hasTail
+	case IZero:
+		if in.Dst >= r {
+			return 0, tail, false
+		}
+		fit := in.Len
+		if in.Dst+fit > r {
+			fit = r - in.Dst
+			tail = Instr{Op: IZero, Dst: in.Dst + fit, Len: in.Len - fit}
+			hasTail = true
+		}
+		return fit, tail, hasTail // already zero lanes
+	case ISwap:
+		w := in.Width
+		if in.Dst != in.Src || in.Dst >= r {
+			return 0, tail, false
+		}
+		if w == 1 {
+			mv := Instr{Op: IMovBlk, Dst: in.Dst, Src: in.Src, Len: in.Count}
+			return subsumeShuffle(masks, mv, r)
+		}
+		fit := in.Count
+		if in.Dst+fit*w > r {
+			fit = (r - in.Dst) / w
+			if fit == 0 {
+				return 0, tail, false
+			}
+			tail = Instr{Op: ISwap, Dst: in.Dst + fit*w, Src: in.Src + fit*w,
+				Count: in.Count - fit, Width: w}
+			hasTail = true
+		}
+		// Every element must sit inside one 16-byte block for its lanes
+		// to reference source bytes PSHUFB can reach.  Natural alignment
+		// guarantees this for widths 2/4/8; check before writing lanes.
+		for e := 0; e < fit; e++ {
+			if base := in.Dst + e*w; base%16+w > 16 {
+				return 0, tail, false
+			}
+		}
+		for e := 0; e < fit; e++ {
+			base := in.Dst + e*w
+			for b := 0; b < w; b++ {
+				masks[base+b] = byte((base + w - 1 - b) & 15)
+			}
+		}
+		return fit * w, tail, hasTail
+	}
+	return 0, tail, false
+}
+
+// Plan returns the plan the program was compiled from.
+func (p *BatchProgram) Plan() *convert.Plan { return p.plan }
+
+// Ops returns the fused batch instruction stream (for tests, dumps and
+// flight-journal stats).
+func (p *BatchProgram) Ops() []BatchOp { return p.ops }
+
+// SrcStride returns the wire-record stride in bytes.
+func (p *BatchProgram) SrcStride() int { return p.srcStride }
+
+// DstStride returns the native-record stride in bytes.
+func (p *BatchProgram) DstStride() int { return p.dstStride }
+
+// Stats summarizes the compiled shape for telemetry: the number of batch
+// run ops, the 64-bit word operations per record fused out of swap runs,
+// and the ops that fell back to per-record steps (converts, nested
+// subroutine calls).
+func (p *BatchProgram) Stats() (runs, fusedWords, stepFallbacks int) {
+	return len(p.ops), p.words, p.steps
+}
+
+// ConvertBatch converts every record of a contiguous fixed-stride batch:
+// src holds n wire records back to back, dst receives n native records
+// back to back.  n is derived from len(src), which must be a positive
+// multiple of the wire record size — trailing partial input is rejected,
+// matching the transport's batch-frame validation.  dst and src must not
+// overlap.  It returns the number of records converted.
+//
+//pbio:hotpath noalloc=0 batch decode path; pinned by pbio/alloc_test.go TestAllocsBatchDecode
+func (p *BatchProgram) ConvertBatch(dst, src []byte) (int, error) {
+	ss, ds := p.srcStride, p.dstStride
+	if len(src) == 0 || len(src)%ss != 0 {
+		return 0, fmt.Errorf("dcg: batch source %d bytes is not a positive multiple of wire record size %d", len(src), ss)
+	}
+	n := len(src) / ss
+	if len(dst) < n*ds {
+		return 0, fmt.Errorf("dcg: batch destination %d bytes, %d records of %d bytes need %d", len(dst), n, ds, n*ds)
+	}
+	if p.bulk {
+		copy(dst[:n*ds], src[:n*ss])
+		return n, nil
+	}
+	for _, k := range p.kernels {
+		k(dst, src, n)
+	}
+	return n, nil
+}
+
+// lowerBatch compiles one batch run op into a kernel specialized with the
+// record strides and intra-record offsets.
+func lowerBatch(op BatchOp, ds, ss int) (batchKernel, error) {
+	in := op.In
+	switch op.Kind {
+	case BBulkCopy:
+		return func(dst, src []byte, n int) {
+			copy(dst[:n*ds], src[:n*ss])
+		}, nil
+
+	case BMove:
+		d, s, ln := in.Dst, in.Src, in.Len
+		return func(dst, src []byte, n int) {
+			for do, so := 0, 0; n > 0; n, do, so = n-1, do+ds, so+ss {
+				copy(dst[do+d:do+d+ln], src[so+s:so+s+ln])
+			}
+		}, nil
+
+	case BZero:
+		d, ln := in.Dst, in.Len
+		return func(dst, src []byte, n int) {
+			for do := 0; n > 0; n, do = n-1, do+ds {
+				b := dst[do+d : do+d+ln]
+				for i := range b {
+					b[i] = 0
+				}
+			}
+		}, nil
+
+	case BSwap:
+		return lowerBatchSwap(in, ds, ss)
+
+	case BSwapWide:
+		return lowerBatchSwapWide(op, ds, ss)
+
+	case BShuf:
+		return lowerBatchShuf(op, ds, ss)
+
+	case BStep:
+		st, err := lower(in)
+		if err != nil {
+			return nil, err
+		}
+		return func(dst, src []byte, n int) {
+			for do, so := 0, 0; n > 0; n, do, so = n-1, do+ds, so+ss {
+				st(dst[do:], src[so:])
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("dcg: cannot lower batch op %v", op.Kind)
+}
+
+// lowerBatchShuf compiles a whole-record shuffle: one PSHUFB per
+// 16-byte block per record, control masks shared by every record of the
+// batch.  This is the branchless limit of the batch engine — the only
+// per-record control flow is the block count.
+func lowerBatchShuf(op BatchOp, ds, ss int) (batchKernel, error) {
+	masks := op.Masks
+	if len(masks) == 0 || len(masks)%16 != 0 || len(masks) > ds || len(masks) > ss {
+		return nil, fmt.Errorf("dcg: shuffle masks %d bytes for strides %d/%d", len(masks), ds, ss)
+	}
+	m, ln, nblk := &masks[0], len(masks), len(masks)/16
+	return func(dst, src []byte, n int) {
+		for do, so := 0, 0; n > 0; n, do, so = n-1, do+ds, so+ss {
+			db, sb := dst[do:do+ln], src[so:so+ln]
+			shufBlocks(&db[0], &sb[0], m, nblk)
+		}
+	}, nil
+}
+
+// lowerBatchSwap is the residual element-at-a-time swap for runs too
+// short to fill a 64-bit word (at most one width-4 or three width-2
+// elements, or FuseBatch would have widened them).
+func lowerBatchSwap(in Instr, ds, ss int) (batchKernel, error) {
+	d, s, cnt := in.Dst, in.Src, in.Count
+	switch in.Width {
+	case 2:
+		return func(dst, src []byte, n int) {
+			for do, so := 0, 0; n > 0; n, do, so = n-1, do+ds, so+ss {
+				for i := 0; i < cnt; i++ {
+					v := binary.LittleEndian.Uint16(src[so+s+2*i:])
+					binary.LittleEndian.PutUint16(dst[do+d+2*i:], bits.ReverseBytes16(v))
+				}
+			}
+		}, nil
+	case 4:
+		return func(dst, src []byte, n int) {
+			for do, so := 0, 0; n > 0; n, do, so = n-1, do+ds, so+ss {
+				for i := 0; i < cnt; i++ {
+					v := binary.LittleEndian.Uint32(src[so+s+4*i:])
+					binary.LittleEndian.PutUint32(dst[do+d+4*i:], bits.ReverseBytes32(v))
+				}
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("dcg: batch swap width %d", in.Width)
+}
+
+// swap2Mask isolates the low byte of every 16-bit lane of a 64-bit word;
+// the SWAR swap shifts the two halves of each lane past each other.
+const swap2Mask = 0x00ff00ff00ff00ff
+
+// lowerBatchSwapWide compiles the word-wide swap forms.  Each run first
+// goes through swapBlock — a PSHUFB shuffle covering 16 bytes per
+// instruction where the CPU has it — and the scalar loops finish the
+// tail (or the whole run elsewhere).  Every scalar load and store below
+// is a binary.LittleEndian intrinsic — an unaligned 64-bit move on the
+// machines we run on — so each word is load, reverse (one BSWAP plus at
+// most a rotate or two shift-mask pairs), store.  The LittleEndian load
+// + byte-reversal + LittleEndian store composition is
+// direction-agnostic: reversing the bytes of each element converts
+// big-endian wire data to a little-endian native layout and vice versa.
+func lowerBatchSwapWide(op BatchOp, ds, ss int) (batchKernel, error) {
+	d, s := op.In.Dst, op.In.Src
+	words, rem := op.Words, op.Rem
+	switch op.In.Width {
+	case 8:
+		if words == 1 {
+			// A single element per record — typically the tail a shuffle
+			// region could not cover.  One load, reverse, store; paying a
+			// swapBlock call here would cost more than the swap.
+			return func(dst, src []byte, n int) {
+				for do, so := d, s; n > 0; n, do, so = n-1, do+ds, so+ss {
+					v := binary.LittleEndian.Uint64(src[so : so+8])
+					binary.LittleEndian.PutUint64(dst[do:do+8], bits.ReverseBytes64(v))
+				}
+			}, nil
+		}
+		// One element per word: the SIMD shuffle handles whole 16-byte
+		// blocks, ReverseBytes64 the tail.  The exact-length subslices let
+		// the compiler drop the per-word bounds checks in the scalar loop.
+		return func(dst, src []byte, n int) {
+			for do, so := d, s; n > 0; n, do, so = n-1, do+ds, so+ss {
+				db, sb := dst[do:do+8*words], src[so:so+8*words]
+				i := swapBlock(8, db, sb)
+				for ; i+8 <= len(sb); i += 8 {
+					v := binary.LittleEndian.Uint64(sb[i : i+8])
+					binary.LittleEndian.PutUint64(db[i:i+8], bits.ReverseBytes64(v))
+				}
+			}
+		}, nil
+	case 4:
+		// Two elements per word: ReverseBytes64 swaps every byte AND the
+		// element order; rotating by 32 puts the elements back, leaving
+		// each one byte-reversed in place.
+		simd := 8*words >= 16 // below one block swapBlock always declines
+		return func(dst, src []byte, n int) {
+			ln := 8*words + 4*rem
+			for do, so := d, s; n > 0; n, do, so = n-1, do+ds, so+ss {
+				db, sb := dst[do:do+ln], src[so:so+ln]
+				i := 0
+				if simd {
+					i = swapBlock(4, db[:8*words], sb[:8*words])
+				}
+				for ; i+8 <= 8*words; i += 8 {
+					v := bits.ReverseBytes64(binary.LittleEndian.Uint64(sb[i : i+8]))
+					binary.LittleEndian.PutUint64(db[i:i+8], bits.RotateLeft64(v, 32))
+				}
+				if rem != 0 {
+					v := binary.LittleEndian.Uint32(sb[i : i+4])
+					binary.LittleEndian.PutUint32(db[i:i+4], bits.ReverseBytes32(v))
+				}
+			}
+		}, nil
+	case 2:
+		// Four elements per word: a SWAR mask-and-shift reverses the two
+		// bytes within each 16-bit lane without disturbing lane order.
+		simd := 8*words >= 16
+		return func(dst, src []byte, n int) {
+			ln := 8*words + 2*rem
+			for do, so := d, s; n > 0; n, do, so = n-1, do+ds, so+ss {
+				db, sb := dst[do:do+ln], src[so:so+ln]
+				i := 0
+				if simd {
+					i = swapBlock(2, db[:8*words], sb[:8*words])
+				}
+				for ; i+8 <= 8*words; i += 8 {
+					v := binary.LittleEndian.Uint64(sb[i : i+8])
+					v = (v&swap2Mask)<<8 | (v>>8)&swap2Mask
+					binary.LittleEndian.PutUint64(db[i:i+8], v)
+				}
+				for ; i+2 <= len(sb); i += 2 {
+					v := binary.LittleEndian.Uint16(sb[i : i+2])
+					binary.LittleEndian.PutUint16(db[i:i+2], bits.ReverseBytes16(v))
+				}
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("dcg: batch wide swap width %d", op.In.Width)
+}

@@ -1,6 +1,7 @@
 package dcg
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/abi"
@@ -69,6 +70,84 @@ func BenchmarkConvertPairs(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// batchBenchSchema is a ~100-byte record, the paper's small-message
+// regime where per-record dispatch overhead dominates and batching has
+// the most to amortize.
+func batchBenchSchema() *wire.Schema {
+	return &wire.Schema{
+		Name: "tick",
+		Fields: []wire.FieldSpec{
+			{Name: "seq", Type: abi.Int, Count: 1},
+			{Name: "values", Type: abi.Double, Count: 11},
+		},
+	}
+}
+
+// BenchmarkConvertBatch measures the fused batch engine across the
+// conversion matrix (same-layout bulk copy, swap-dominated, mixed
+// move+swap) and batch sizes.  The loop advances b.N by the batch size,
+// so ns/op reads directly as ns/record; the n=1 and perRecord cases are
+// the dispatch-overhead baselines the larger batches amortize away.
+func BenchmarkConvertBatch(b *testing.B) {
+	pairs := []struct {
+		name     string
+		from, to abi.Arch
+	}{
+		{"same-layout/x86-64-to-x86-64", abi.X86x64, abi.X86x64},
+		{"swap-only/sparc-to-x86-64", abi.SparcV8, abi.X86x64},
+		{"mixed/sparcv9-64-to-x86", abi.SparcV9x64, abi.X86},
+	}
+	sizes := []int{1, 8, 64, 1024}
+	for _, pr := range pairs {
+		pr := pr
+		wf := wire.MustLayout(batchBenchSchema(), &pr.from)
+		nf := wire.MustLayout(batchBenchSchema(), &pr.to)
+		plan, err := convert.NewPlan(wf, nf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := Compile(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bp, err := CompileBatch(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(pr.name+"/perRecord", func(b *testing.B) {
+			src := native.New(wf)
+			native.FillDeterministic(src, 1)
+			dst := native.New(nf)
+			b.SetBytes(int64(nf.Size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := prog.Convert(dst.Buf, src.Buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, n := range sizes {
+			n := n
+			b.Run(fmt.Sprintf("%s/batch=%d", pr.name, n), func(b *testing.B) {
+				src := make([]byte, n*wf.Size)
+				for i := 0; i < n; i++ {
+					rec := native.New(wf)
+					native.FillDeterministic(rec, int64(i))
+					copy(src[i*wf.Size:], rec.Buf)
+				}
+				dst := make([]byte, n*nf.Size)
+				b.SetBytes(int64(nf.Size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i += n {
+					if _, err := bp.ConvertBatch(dst, src); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -106,6 +106,61 @@ func shiftInstrs(code []Instr, dstDelta, srcDelta int) []Instr {
 	return out
 }
 
+// FuseBatch lowers an optimized per-record instruction stream to batch
+// run ops, choosing the word-fused form for every swap run wide enough to
+// fill a 64-bit word:
+//
+//   - width-8 swaps are one bits.ReverseBytes64 per element already;
+//   - width-4 runs process element pairs per 64-bit word (ReverseBytes64
+//     plus a half-word rotate to restore element order);
+//   - width-2 runs process element quads per 64-bit word (a SWAR
+//     mask-and-shift that reverses bytes within each 16-bit lane);
+//   - width-1 swaps degenerate to moves, and moves/zeros pass through as
+//     per-record runs (the per-record stream already coalesced them);
+//   - converts and subroutine calls keep their per-record step (BStep).
+//
+// The input stream must already be optimized: FuseBatch widens elements
+// into words, Optimize widens fields into element runs, and the former
+// only pays off after the latter.
+func FuseBatch(code []Instr) []BatchOp {
+	ops := make([]BatchOp, 0, len(code))
+	for _, in := range code {
+		switch in.Op {
+		case IMovBlk:
+			ops = append(ops, BatchOp{Kind: BMove, In: in})
+		case IZero:
+			ops = append(ops, BatchOp{Kind: BZero, In: in})
+		case ISwap:
+			ops = append(ops, fuseSwap(in))
+		default:
+			ops = append(ops, BatchOp{Kind: BStep, In: in})
+		}
+	}
+	return ops
+}
+
+// fuseSwap picks the widest word shape a swap run supports.
+func fuseSwap(in Instr) BatchOp {
+	perWord := 0
+	switch in.Width {
+	case 8:
+		perWord = 1
+	case 4:
+		perWord = 2
+	case 2:
+		perWord = 4
+	case 1:
+		// Width-1 swap is a copy.
+		return BatchOp{Kind: BMove, In: Instr{Op: IMovBlk, Dst: in.Dst, Src: in.Src, Len: in.Count}}
+	default:
+		return BatchOp{Kind: BSwap, In: in} // rejected later by lowerSwap
+	}
+	if words := in.Count / perWord; words > 0 {
+		return BatchOp{Kind: BSwapWide, In: in, Words: words, Rem: in.Count % perWord}
+	}
+	return BatchOp{Kind: BSwap, In: in}
+}
+
 // Optimize applies peephole optimizations to an instruction stream and
 // returns the (possibly shorter) result.  This plays the role of the
 // paper's "runtime binary code optimization methods" (§5):

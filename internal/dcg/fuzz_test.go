@@ -1,0 +1,96 @@
+package dcg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/convert"
+	"repro/internal/wire"
+)
+
+// FuzzConvertBatch is the differential fuzz target for the fused batch
+// engine: for a fuzzer-chosen schema, architecture pair, batch size and
+// record payload, ConvertBatch over n contiguous records must be
+// byte-identical to n independent Program.Convert calls into a zeroed
+// buffer — both programs derive from the same optimized instruction
+// stream, so even padding bytes must match.  The fuzzer also drives the
+// stride contract: any source that is not a positive whole number of
+// records (a trailing partial record, or empty input) must be rejected,
+// and record images at arbitrary misaligned offsets within the batch
+// must convert exactly like aligned ones.
+func FuzzConvertBatch(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(1), uint8(3), uint8(0), []byte("seed"))
+	f.Add(int64(42), uint8(2), uint8(4), uint8(7), uint8(5), []byte{0xff, 0x00, 0x80, 0x7f})
+	f.Add(int64(20260808), uint8(1), uint8(3), uint8(64), uint8(1), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, fromIdx, toIdx, nRecs, chop uint8, raw []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		schema := wire.RandomSchema(rng, "r", 6, 2)
+		from := abi.All[int(fromIdx)%len(abi.All)]
+		to := abi.All[int(toIdx)%len(abi.All)]
+		wf, err := wire.Layout(schema, &from)
+		if err != nil {
+			t.Skip()
+		}
+		nf, err := wire.Layout(schema, &to)
+		if err != nil {
+			t.Skip()
+		}
+		plan, err := convert.NewPlan(wf, nf)
+		if err != nil {
+			t.Skip()
+		}
+		prog, err := Compile(plan)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		bp, err := CompileBatch(plan)
+		if err != nil {
+			t.Fatalf("compile batch: %v", err)
+		}
+
+		n := int(nRecs)%96 + 1
+		src := make([]byte, n*wf.Size)
+		for i := 0; i < len(src); i += len(raw) {
+			copy(src[i:], raw)
+			if len(raw) == 0 {
+				break
+			}
+		}
+
+		want := make([]byte, n*nf.Size)
+		for i := 0; i < n; i++ {
+			if err := prog.Convert(want[i*nf.Size:(i+1)*nf.Size], src[i*wf.Size:(i+1)*wf.Size]); err != nil {
+				t.Fatalf("record %d: per-record convert: %v", i, err)
+			}
+		}
+		got := make([]byte, n*nf.Size)
+		cnt, err := bp.ConvertBatch(got, src)
+		if err != nil {
+			t.Fatalf("batch convert: %v", err)
+		}
+		if cnt != n {
+			t.Fatalf("ConvertBatch converted %d of %d records", cnt, n)
+		}
+		if !bytes.Equal(got, want) {
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(got[i*nf.Size:(i+1)*nf.Size], want[i*nf.Size:(i+1)*nf.Size]) {
+					t.Fatalf("batch output differs from per-record output at record %d/%d (%s -> %s)\nbatch code:\n%s",
+						i, n, from.Name, to.Name, DisassembleBatch(bp.Ops()))
+				}
+			}
+		}
+
+		// Trailing partial input: chop 1..Size-1 bytes off the last record
+		// and the batch must be rejected, never silently truncated.
+		if cut := int(chop) % wf.Size; cut > 0 {
+			if _, err := bp.ConvertBatch(got, src[:len(src)-cut]); err == nil {
+				t.Fatalf("source with %d-byte trailing partial record accepted (stride %d)", wf.Size-cut, wf.Size)
+			}
+		}
+		if _, err := bp.ConvertBatch(got, nil); err == nil {
+			t.Fatal("empty source accepted")
+		}
+	})
+}

@@ -95,6 +95,102 @@ func (in Instr) String() string {
 	return fmt.Sprintf("?%d", in.Op)
 }
 
+// BatchOpKind classifies one stride-aware run instruction of a batch
+// program (CompileBatch).  A batch op executes its per-record work for
+// every record of a contiguous fixed-stride run, so the dispatch cost of
+// one op is amortized over the whole batch instead of paid per record.
+type BatchOpKind uint8
+
+const (
+	// BBulkCopy copies the entire batch payload — n contiguous records —
+	// with a single copy.  Emitted only for layout-identical plans.
+	BBulkCopy BatchOpKind = iota
+	// BMove copies In.Len bytes from In.Src to In.Dst in every record.
+	BMove
+	// BSwap byte-reverses In.Count elements of In.Width bytes per
+	// record, one element at a time — the residual form for runs too
+	// short to fill a 64-bit word.
+	BSwap
+	// BSwapWide byte-reverses In.Count elements of In.Width bytes per
+	// record word-at-a-time: Words 64-bit loads per record, each
+	// reversing 8/In.Width elements in place (bits.ReverseBytes64 plus a
+	// rotate or SWAR correction), then Rem trailing elements singly.
+	BSwapWide
+	// BZero clears In.Len bytes at In.Dst in every record.
+	BZero
+	// BStep runs the per-record compiled step for In once per record —
+	// the fallback for integer/float converts and nested-structure
+	// subroutine calls, which have no word-fused form.
+	BStep
+	// BShuf applies a precomputed byte-permutation program to the
+	// leading 16-byte blocks of every record: one PSHUFB control mask
+	// per block subsumes every in-place swap and move in the region —
+	// however many fields a block spans — with zero lanes for padding
+	// and zero-fills.  Built only on CPUs with the shuffle unit; the
+	// remaining ops lower through the regular kernels and run after it.
+	BShuf
+)
+
+var batchOpNames = [...]string{
+	BBulkCopy: "bulkcopy", BMove: "move", BSwap: "swap",
+	BSwapWide: "swapw", BZero: "zero", BStep: "step", BShuf: "shuf",
+}
+
+// String names the batch op kind.
+func (k BatchOpKind) String() string {
+	if int(k) < len(batchOpNames) {
+		return batchOpNames[k]
+	}
+	return fmt.Sprintf("bop(%d)", uint8(k))
+}
+
+// BatchOp is one stride-aware run instruction of a batch program: the
+// per-record instruction it was fused from plus the word-fusion shape
+// chosen for it.
+type BatchOp struct {
+	Kind BatchOpKind
+	In   Instr // the per-record instruction this run executes
+	// BSwapWide only: 64-bit words processed per record and trailing
+	// elements swapped singly.  Words*8/In.Width + Rem == In.Count.
+	Words int
+	Rem   int
+	// BShuf only: one 16-byte PSHUFB control mask per record block.
+	// Lane values < 16 select a source byte within the block; 0x80
+	// lanes write zero (padding and zero-fills).
+	Masks []byte
+}
+
+// String renders the batch op in a readable assembly-like form.
+func (op BatchOp) String() string {
+	switch op.Kind {
+	case BBulkCopy:
+		return "bulkcopy *n"
+	case BSwapWide:
+		return fmt.Sprintf("swapw%d  d+%d, s+%d, x%d (%d words + %d tail) *n",
+			op.In.Width, op.In.Dst, op.In.Src, op.In.Count, op.Words, op.Rem)
+	case BStep:
+		return fmt.Sprintf("step    {%s} *n", op.In.String())
+	case BShuf:
+		return fmt.Sprintf("shuf    d+0, s+0, %dB in %d blocks *n",
+			len(op.Masks), len(op.Masks)/16)
+	case BMove, BSwap, BZero:
+		return fmt.Sprintf("%-7s {%s} *n", op.Kind.String(), op.In.String())
+	}
+	return fmt.Sprintf("?%d", op.Kind)
+}
+
+// DisassembleBatch renders a batch instruction stream.
+func DisassembleBatch(ops []BatchOp) string {
+	var b strings.Builder
+	for i, op := range ops {
+		fmt.Fprintf(&b, "%3d: %s\n", i, op.String())
+		if op.Kind == BStep && op.In.Op == ICall {
+			disassemble(&b, op.In.Sub, "     ")
+		}
+	}
+	return b.String()
+}
+
 // Disassemble renders an instruction stream, indenting subroutine bodies.
 func Disassemble(code []Instr) string {
 	var b strings.Builder

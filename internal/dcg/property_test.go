@@ -99,6 +99,72 @@ func TestPropertyRandomSchemas(t *testing.T) {
 	}
 }
 
+// TestPropertyBatchAgainstInterp extends the random-schema property to
+// the fused batch engine: for random field layouts, random architecture
+// pairs and batch sizes spanning one record to well past any word-fusion
+// boundary, ConvertBatch must agree field-for-field with the interpreted
+// converter run record by record.
+func TestPropertyBatchAgainstInterp(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	sizes := []int{1, 2, 7, 64, 1024}
+	iters := 8 * len(sizes)
+	if testing.Short() {
+		iters = 2 * len(sizes)
+	}
+	for i := 0; i < iters; i++ {
+		n := sizes[i%len(sizes)]
+		schema := wire.RandomSchema(rng, "r", 8, 2)
+		from := abi.All[rng.Intn(len(abi.All))]
+		to := abi.All[rng.Intn(len(abi.All))]
+		wireSchema := schema
+		if rng.Intn(2) == 0 {
+			wireSchema = wire.MutateSchema(rng, schema)
+		}
+		wf, err := wire.Layout(wireSchema, &from)
+		if err != nil {
+			t.Fatalf("iter %d: layout wire: %v", i, err)
+		}
+		nf, err := wire.Layout(schema, &to)
+		if err != nil {
+			t.Fatalf("iter %d: layout native: %v", i, err)
+		}
+		plan, err := convert.NewPlan(wf, nf)
+		if err != nil {
+			t.Fatalf("iter %d: plan: %v", i, err)
+		}
+		bp, err := CompileBatch(plan)
+		if err != nil {
+			t.Fatalf("iter %d: compile batch: %v", i, err)
+		}
+
+		src := make([]byte, n*wf.Size)
+		want := make([]byte, n*nf.Size)
+		it := convert.NewInterp(plan)
+		for r := 0; r < n; r++ {
+			rec := native.New(wf)
+			native.FillDeterministic(rec, int64(i*1024+r))
+			copy(src[r*wf.Size:], rec.Buf)
+			if err := it.Convert(want[r*nf.Size:(r+1)*nf.Size], rec.Buf); err != nil {
+				t.Fatalf("iter %d: interp: %v", i, err)
+			}
+		}
+		got := make([]byte, n*nf.Size)
+		cnt, err := bp.ConvertBatch(got, src)
+		if err != nil {
+			t.Fatalf("iter %d: batch: %v", i, err)
+		}
+		if cnt != n {
+			t.Fatalf("iter %d: ConvertBatch converted %d of %d records", i, cnt, n)
+		}
+		for r := 0; r < n; r++ {
+			if diff := fieldBytesDiff(nf, got[r*nf.Size:(r+1)*nf.Size], want[r*nf.Size:(r+1)*nf.Size]); diff != "" {
+				t.Fatalf("iter %d: %s->%s: batch and interp disagree on record %d/%d field %s\nplan:\n%s\nbatch code:\n%s",
+					i, from.Name, to.Name, r, n, diff, plan, DisassembleBatch(bp.Ops()))
+			}
+		}
+	}
+}
+
 // fieldBytesDiff compares two record images of the same format over the
 // format's field byte ranges only, ignoring alignment padding (whose
 // content is undefined).  It returns the name of the first differing

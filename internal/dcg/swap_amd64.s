@@ -1,0 +1,92 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasSSSE3() bool
+TEXT ·cpuHasSSSE3(SB), NOSPLIT, $0-1
+	MOVL	$1, AX
+	XORL	CX, CX
+	CPUID
+	SHRL	$9, CX	// CPUID.1:ECX bit 9 = SSSE3 (PSHUFB)
+	ANDL	$1, CX
+	MOVB	CX, ret+0(FP)
+	RET
+
+// func swapPSHUFB(dst, src *byte, n int, mask *byte)
+//
+// Shuffles n bytes (n > 0, n%16 == 0) from src to dst, 16 at a time,
+// through the PSHUFB control mask.  The two-block unroll keeps a load,
+// a shuffle and a store in flight per cycle on anything Skylake-class.
+TEXT ·swapPSHUFB(SB), NOSPLIT, $0-32
+	MOVQ	dst+0(FP), DI
+	MOVQ	src+8(FP), SI
+	MOVQ	n+16(FP), CX
+	MOVQ	mask+24(FP), DX
+	MOVOU	(DX), X2
+
+loop32:
+	CMPQ	CX, $32
+	JB	loop16
+	MOVOU	(SI), X0
+	MOVOU	16(SI), X1
+	PSHUFB	X2, X0
+	PSHUFB	X2, X1
+	MOVOU	X0, (DI)
+	MOVOU	X1, 16(DI)
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	SUBQ	$32, CX
+	JMP	loop32
+
+loop16:
+	CMPQ	CX, $16
+	JB	done
+	MOVOU	(SI), X0
+	PSHUFB	X2, X0
+	MOVOU	X0, (DI)
+	ADDQ	$16, SI
+	ADDQ	$16, DI
+	SUBQ	$16, CX
+	JMP	loop16
+
+done:
+	RET
+
+// func shufBlocks(dst, src, masks *byte, n int)
+//
+// Applies n 16-byte PSHUFB control blocks from masks to n blocks of
+// src — a whole-record permutation program, one shuffle per block.
+// The two-block unroll overlaps the mask loads with the data loads.
+TEXT ·shufBlocks(SB), NOSPLIT, $0-32
+	MOVQ	dst+0(FP), DI
+	MOVQ	src+8(FP), SI
+	MOVQ	masks+16(FP), DX
+	MOVQ	n+24(FP), CX
+
+blk2:
+	CMPQ	CX, $2
+	JB	blk1
+	MOVOU	(SI), X0
+	MOVOU	16(SI), X1
+	MOVOU	(DX), X2
+	MOVOU	16(DX), X3
+	PSHUFB	X2, X0
+	PSHUFB	X3, X1
+	MOVOU	X0, (DI)
+	MOVOU	X1, 16(DI)
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	ADDQ	$32, DX
+	SUBQ	$2, CX
+	JMP	blk2
+
+blk1:
+	TESTQ	CX, CX
+	JZ	ret
+	MOVOU	(SI), X0
+	MOVOU	(DX), X2
+	PSHUFB	X2, X0
+	MOVOU	X0, (DI)
+
+ret:
+	RET

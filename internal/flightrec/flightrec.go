@@ -233,3 +233,39 @@ func (r *Recorder) DeadlineTimeout(subject string) { r.Emit(KindDeadlineTimeout,
 func (r *Recorder) DCGCompile(format string, nanos int64) {
 	r.Emit(KindDCGCompile, format, 0, nanos, 0)
 }
+
+// DCGBatchCompile records a batch conversion-program compilation: the
+// latency in arg1 and the fused shape — run-op count, word-wide swap ops
+// per record, per-record step fallbacks — packed into arg2 with
+// BatchShape.  Compiles are rare, so the shape rides in the journal
+// itself and pbio-dump can show what the fusion pass produced without
+// the program in hand.
+func (r *Recorder) DCGBatchCompile(format string, runs, fusedWords, stepFallbacks, nanos int64) {
+	r.Emit(KindDCGBatchCompile, format, 0, nanos, BatchShape(runs, fusedWords, stepFallbacks))
+}
+
+// batchShapeBits is the field width of each count in a packed batch
+// shape word; counts are clamped, never truncated mod 2^20, so a
+// saturated field reads as "at least".
+const batchShapeBits = 20
+
+// BatchShape packs a batch program's fused shape into one journal arg
+// word: three 20-bit fields, run-op count highest.
+func BatchShape(runs, fusedWords, stepFallbacks int64) int64 {
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		if max := int64(1)<<batchShapeBits - 1; v > max {
+			return max
+		}
+		return v
+	}
+	return clamp(runs)<<(2*batchShapeBits) | clamp(fusedWords)<<batchShapeBits | clamp(stepFallbacks)
+}
+
+// UnpackBatchShape splits a BatchShape word back into its counts.
+func UnpackBatchShape(v int64) (runs, fusedWords, stepFallbacks int64) {
+	const mask = int64(1)<<batchShapeBits - 1
+	return v >> (2 * batchShapeBits) & mask, v >> batchShapeBits & mask, v & mask
+}

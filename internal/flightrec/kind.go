@@ -36,8 +36,9 @@ const (
 	KindFmtRetry    // a format-server round trip failed and is being retried (arg1: attempt)
 
 	// PBIO context events.
-	KindMetaRegister // a format was laid out and registered in a context (arg1: record size)
-	KindDCGCompile   // a conversion program was compiled (arg1: compile nanos)
+	KindMetaRegister    // a format was laid out and registered in a context (arg1: record size)
+	KindDCGCompile      // a conversion program was compiled (arg1: compile nanos)
+	KindDCGBatchCompile // a batch conversion program was compiled (arg1: compile nanos; arg2: fused shape, see flightrec.BatchShape)
 
 	numKinds
 )
@@ -60,6 +61,7 @@ var kindNames = [...]string{
 	KindFmtRetry:         "FmtRetry",
 	KindMetaRegister:     "MetaRegister",
 	KindDCGCompile:       "DCGCompile",
+	KindDCGBatchCompile:  "DCGBatchCompile",
 }
 
 // String returns the symbolic name of the kind, or "Kind(n)" for values

@@ -11,6 +11,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
+	"repro/pbio"
 )
 
 // tickFormat is a small fixed-size format for batching tests.
@@ -197,6 +198,116 @@ func TestRelayForwardsProducerBatchVerbatim(t *testing.T) {
 	}
 	if got := res.met.BatchFramesRead.Value(); got != 1 {
 		t.Errorf("consumer saw %d batch frames, want 1 (verbatim forward)", got)
+	}
+}
+
+// TestRelayRebatchFusedDecode closes the loop on relay-originated
+// batches: a producer sends per-record frames, the relay coalesces them
+// into batch frames, and a heterogeneous pbio consumer decodes them with
+// DecodeBatch — so records that were never batched at the sender still
+// ride the fused DCG path after the relay.
+func TestRelayRebatchFusedDecode(t *testing.T) {
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		pln.Close()
+		t.Skipf("no loopback listener: %v", err)
+	}
+	s := NewServer()
+	s.SetRebatching(1 << 16)
+	go func() { _ = s.ServeProducers(pln) }()
+	go func() { _ = s.ServeConsumers(cln) }()
+	t.Cleanup(func() { pln.Close(); cln.Close(); s.Close() })
+
+	// Producer stream: per-record frames in a big-endian layout, staged
+	// into one segment so the relay's rebatch window sees the whole run.
+	const n = 16
+	f := wire.MustLayout(&wire.Schema{
+		Name: "tick",
+		Fields: []wire.FieldSpec{
+			{Name: "seq", Type: abi.Int, Count: 1},
+			{Name: "v", Type: abi.Double, Count: 1},
+		},
+	}, &abi.SparcV8)
+	stream, recs := stageStream(t, f, n, false)
+
+	type result struct {
+		batched int // records delivered from multi-record DecodeBatch calls
+		seqs    []int64
+		err     error
+	}
+	done := make(chan result, 1)
+	go func() {
+		var res result
+		defer func() { done <- res }()
+		conn, err := net.Dial("tcp", cln.Addr().String())
+		if err != nil {
+			res.err = err
+			return
+		}
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		ctx, err := pbio.NewContext(pbio.WithArch("x86-64"))
+		if err != nil {
+			res.err = err
+			return
+		}
+		rf, err := ctx.Register("tick", pbio.F("seq", pbio.Int), pbio.F("v", pbio.Double))
+		if err != nil {
+			res.err = err
+			return
+		}
+		r := ctx.NewReader(conn)
+		defer r.Close()
+		rb := rf.NewRecordBatch()
+		for len(res.seqs) < n {
+			m, err := r.Read()
+			if err != nil {
+				res.err = err
+				return
+			}
+			cnt, err := m.DecodeBatch(rf, rb)
+			if err != nil {
+				res.err = err
+				return
+			}
+			if cnt > 1 {
+				res.batched += cnt
+			}
+			for i := 0; i < cnt; i++ {
+				seq, _ := rb.View(i).Int("seq", 0)
+				res.seqs = append(res.seqs, seq)
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	conn, err := net.Dial("tcp", pln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(stream); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	for i, seq := range res.seqs {
+		want, _ := recs[i].Int("seq", 0)
+		if seq != want {
+			t.Errorf("record %d: seq=%d, want %d (conversion through relay batch)", i, seq, want)
+		}
+	}
+	// The relay merged at least part of the run, and those records came
+	// through multi-record fused decodes.
+	if res.batched == 0 {
+		t.Error("no records arrived via multi-record DecodeBatch; relay-originated batches missed the fused path")
 	}
 }
 

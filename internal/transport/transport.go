@@ -642,17 +642,33 @@ type Reader struct {
 	formats wire.Registry // embedded by value; zero value is ready
 	hdr     [frameHeaderSize]byte
 
+	// stampArrivals, when set (SetArrivalStamps), timestamps each
+	// delivered Message with its arrival wall-clock time.  Off by
+	// default so the untraced read path never calls time.Now.
+	stampArrivals bool
+
+	// closed marks the reader's pooled buffer as surrendered; further
+	// reads fail rather than touch recycled memory.
+	closed bool
+
 	// buf is the pooled receive buffer.  Obtained from bufpool on demand
 	// and returned by Close; a reader that is never Closed simply leaks
 	// its buffer to the GC.
 	buf []byte
 
-	// Batch-frame iteration state: the un-delivered tail of the current
-	// batch payload (aliases buf) and the format/ID/arrival it was read
-	// under.
-	pending        []byte
-	pendingFmt     *wire.Format
-	pendingID      uint32
+	// Batch-frame iteration state: the current batch frame's whole
+	// payload (aliases buf), the offset of the first un-delivered
+	// record, and the format/ID/arrival the frame was read under.  The
+	// un-delivered tail is batch[batchOff:]; keeping the full payload
+	// lets TakeBatch hand a batch consumer every remaining record in
+	// one contiguous slice — m.Data is capacity-capped at one record
+	// and cannot be re-extended over the tail — and storing an offset
+	// instead of a second slice keeps the Reader a size class smaller.
+	batch      []byte
+	pendingFmt *wire.Format
+	batchOff   int32 // frame payloads are capped at maxPayload (1<<28)
+	pendingID  uint32
+
 	pendingArrival time.Time
 
 	// timeout, when nonzero, bounds each frame read with a read deadline
@@ -672,15 +688,6 @@ type Reader struct {
 	// budget, which is what lets short-lived readers stay on the
 	// caller's stack.)
 	m *Metrics
-
-	// stampArrivals, when set (SetArrivalStamps), timestamps each
-	// delivered Message with its arrival wall-clock time.  Off by
-	// default so the untraced read path never calls time.Now.
-	stampArrivals bool
-
-	// closed marks the reader's pooled buffer as surrendered; further
-	// reads fail rather than touch recycled memory.
-	closed bool
 }
 
 // NewReader returns a Reader over r.
@@ -696,7 +703,7 @@ func NewReader(r io.Reader) *Reader {
 func (t *Reader) Reset(r io.Reader) {
 	t.r = r
 	t.formats.Reset()
-	t.pending, t.pendingFmt, t.pendingID = nil, nil, 0
+	t.batch, t.batchOff, t.pendingFmt, t.pendingID = nil, 0, nil, 0
 	t.pendingArrival = time.Time{}
 	t.closed = false
 }
@@ -712,7 +719,7 @@ func (t *Reader) Close() error {
 		return nil
 	}
 	t.closed = true
-	t.pending, t.pendingFmt = nil, nil
+	t.batch, t.batchOff, t.pendingFmt = nil, 0, nil
 	if t.buf != nil {
 		bufpool.Put(t.buf)
 		t.buf = nil
@@ -769,18 +776,47 @@ func (t *Reader) ReadMessage() (*Message, error) {
 // nextBatched delivers the next record of the current batch frame into m.
 func (t *Reader) nextBatched(m *Message, wireBytes int) {
 	f := t.pendingFmt
+	rec := t.batch[t.batchOff:]
 	*m = Message{
 		FormatID:  t.pendingID,
 		Format:    f,
-		Data:      t.pending[:f.Size:f.Size],
+		Data:      rec[:f.Size:f.Size],
 		WireBytes: wireBytes,
 		Batched:   true,
 		Arrival:   t.pendingArrival,
 	}
-	t.pending = t.pending[f.Size:]
-	if len(t.pending) == 0 {
-		t.pending, t.pendingFmt = nil, nil
+	t.batchOff += int32(f.Size)
+	if int(t.batchOff) == len(t.batch) {
+		t.batch, t.batchOff, t.pendingFmt = nil, 0, nil
 	}
+}
+
+// TakeBatch hands the caller the rest of the current batch frame in one
+// contiguous slice: the record already delivered as m plus every record
+// not yet delivered, back to back at the frame's fixed stride.  It
+// returns nil when m is not the current record of an in-progress batch
+// frame — not batched, the frame's last record, or a stale message —
+// and the caller then handles m singly.  After a non-nil return the
+// frame is consumed: the next ReadMessageInto reads the following frame.
+// Like m.Data, the returned slice aliases the receive buffer and is
+// valid only until the next read.
+//
+// This is the transport half of the fused decode path: one TakeBatch
+// plus one dcg.BatchProgram.ConvertBatch replaces per-record message
+// iteration and per-record program dispatch.
+func (t *Reader) TakeBatch(m *Message) []byte {
+	f := t.pendingFmt
+	if !m.Batched || f == nil || f != m.Format || t.batch == nil {
+		return nil
+	}
+	start := int(t.batchOff) - f.Size
+	if start < 0 || len(m.Data) != f.Size || &t.batch[start] != &m.Data[0] {
+		return nil
+	}
+	all := t.batch[start:]
+	t.batch, t.batchOff, t.pendingFmt = nil, 0, nil
+	t.pendingArrival = time.Time{}
+	return all
 }
 
 // ReadMessageInto fills m with the next data message, transparently
@@ -788,7 +824,7 @@ func (t *Reader) nextBatched(m *Message, wireBytes int) {
 // one record at a time.  All fields of m are overwritten.  It performs
 // no allocation in steady state (formats known, buffer warm).
 func (t *Reader) ReadMessageInto(m *Message) error {
-	if len(t.pending) > 0 {
+	if int(t.batchOff) < len(t.batch) {
 		t.nextBatched(m, 0)
 		return nil
 	}
@@ -909,7 +945,7 @@ func (t *Reader) ReadMessageInto(m *Message) error {
 				m.BatchRecordsRead.Add(int64(n / f.Size))
 				m.BatchBytesRead.Add(int64(n))
 			}
-			t.pending = body
+			t.batch, t.batchOff = body, 0
 			t.pendingFmt = f
 			t.pendingID = id
 			if t.stampArrivals {

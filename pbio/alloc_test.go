@@ -171,6 +171,64 @@ func TestAllocsDCGDecode(t *testing.T) {
 	}
 }
 
+// TestAllocsBatchDecode pins the fused batch decode path at zero
+// allocations per record: one Read plus one DecodeBatch consumes a whole
+// 64-record heterogeneous batch frame, reusing the RecordBatch buffer,
+// the reader's message, the memoized batch program and the pooled
+// receive buffer.
+func TestAllocsBatchDecode(t *testing.T) {
+	sctx := ctxFor(t, "sparc-v8")
+	sf, err := sctx.Register("tick", F("seq", Int), F("v", Double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	const batch = 64
+	recs := make([]*Record, batch)
+	for i := range recs {
+		recs[i] = sf.NewRecord()
+		recs[i].MustSetInt("seq", 0, int64(i))
+	}
+	if err := w.WriteBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	rctx := ctxFor(t, "x86")
+	rf, err := rctx.Register("tick", F("seq", Int), F("v", Double))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := rf.NewRecordBatch()
+	r := rctx.NewReader(&streamReader{raw: stream.Bytes()})
+	defer r.Close()
+	// Warm up: meta decode, batch-program compile + memo, RecordBatch
+	// buffer growth to frame size.
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.DecodeBatch(rf, rb); err != nil || n != batch {
+		t.Fatalf("warm-up DecodeBatch = %d, %v", n, err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := m.DecodeBatch(rf, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != batch {
+			t.Fatalf("DecodeBatch = %d, want %d", n, batch)
+		}
+	})
+	if got > 0 {
+		t.Errorf("steady-state batch decode costs %.1f allocs per frame (%d records), want 0", got, batch)
+	}
+}
+
 // TestAllocsFlightEmit pins the flight recorder's own hot path: Emit is
 // a mutex hold plus fixed-size byte stores into a preallocated slab, so
 // it must allocate nothing — that is what makes it legal inside evict

@@ -2,10 +2,12 @@ package pbio
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/telemetry/tracectx"
 )
 
@@ -197,6 +199,258 @@ func TestPhaseBatchSpansSizeFlush(t *testing.T) {
 	got = len(spansNamed(tr.Collector().Snapshot(), tracectx.PhaseBatch)) - base
 	if got != 3 {
 		t.Fatalf("after final flush: %d batch spans, want 3", got)
+	}
+}
+
+// stageTicks writes n distinct tick records as one batch frame from a
+// sparc-v8 (or given arch) sender and returns the raw stream.
+func stageTicks(t *testing.T, arch string, n int) []byte {
+	t.Helper()
+	sctx := ctxFor(t, arch)
+	f := batchFormat(t, sctx)
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	recs := make([]*Record, n)
+	for i := range recs {
+		recs[i] = f.NewRecord()
+		recs[i].MustSetInt("seq", 0, int64(i))
+		recs[i].MustSetFloat("v", 0, float64(i)*2.5)
+	}
+	if err := w.WriteBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	return stream.Bytes()
+}
+
+// checkTick asserts one decoded tick record carries its staged values.
+func checkTick(t *testing.T, rec *Record, i int) {
+	t.Helper()
+	if seq, _ := rec.Int("seq", 0); seq != int64(i) {
+		t.Errorf("record %d: seq=%d", i, seq)
+	}
+	if v, _ := rec.Float("v", 0); v != float64(i)*2.5 {
+		t.Errorf("record %d: v=%v", i, v)
+	}
+}
+
+// TestDecodeBatchRoundTrip drives the fused decode path end to end: a
+// heterogeneous batch frame decodes with ONE DecodeBatch call, the frame
+// is consumed, and per-record views carry the converted values.
+func TestDecodeBatchRoundTrip(t *testing.T) {
+	const n = 6
+	stream := stageTicks(t, "sparc-v8", n)
+	rctx := ctxFor(t, "x86")
+	rf := batchFormat(t, rctx)
+	r := rctx.NewReader(bytes.NewReader(stream))
+	defer r.Close()
+
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := rf.NewRecordBatch()
+	got, err := m.DecodeBatch(rf, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n || rb.Len() != n {
+		t.Fatalf("DecodeBatch = %d records (Len %d), want %d", got, rb.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		checkTick(t, rb.View(i), i)
+	}
+	// Owned copies survive the next decode; views do not.
+	owned := rb.Record(2)
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("after consuming the batch: Read err=%v, want EOF", err)
+	}
+	checkTick(t, owned, 2)
+}
+
+// TestDecodeBatchMidFrame checks the hybrid iteration: records decoded
+// singly first, then one DecodeBatch sweeping up the rest of the frame.
+func TestDecodeBatchMidFrame(t *testing.T) {
+	const n = 6
+	stream := stageTicks(t, "sparc-v8", n)
+	rctx := ctxFor(t, "x86")
+	rf := batchFormat(t, rctx)
+	r := rctx.NewReader(bytes.NewReader(stream))
+	defer r.Close()
+
+	for i := 0; i < 2; i++ {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := m.Decode(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTick(t, rec, i)
+	}
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := rf.NewRecordBatch()
+	got, err := m.DecodeBatch(rf, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n-2 {
+		t.Fatalf("mid-frame DecodeBatch = %d records, want %d", got, n-2)
+	}
+	for i := 0; i < got; i++ {
+		checkTick(t, rb.View(i), i+2)
+	}
+}
+
+// TestDecodeBatchSingleRecord pins the fallback: on an unbatched message
+// DecodeBatch decodes one record through the ordinary engine, so callers
+// can use it unconditionally on mixed streams.
+func TestDecodeBatchSingleRecord(t *testing.T) {
+	sctx := ctxFor(t, "sparc-v8")
+	f := batchFormat(t, sctx)
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	rec := f.NewRecord()
+	rec.MustSetInt("seq", 0, 0)
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	rctx := ctxFor(t, "x86")
+	rf := batchFormat(t, rctx)
+	r := rctx.NewReader(&stream)
+	defer r.Close()
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := rf.NewRecordBatch()
+	got, err := m.DecodeBatch(rf, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("DecodeBatch on unbatched message = %d, want 1", got)
+	}
+	checkTick(t, rb.View(0), 0)
+}
+
+// TestDecodeBatchInterpreted checks the Interpreted-mode batch loop
+// produces the same values as the fused engine.
+func TestDecodeBatchInterpreted(t *testing.T) {
+	const n = 5
+	stream := stageTicks(t, "sparc-v8", n)
+	rctx := ctxFor(t, "x86", WithConversion(Interpreted))
+	rf := batchFormat(t, rctx)
+	r := rctx.NewReader(bytes.NewReader(stream))
+	defer r.Close()
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := rf.NewRecordBatch()
+	got, err := m.DecodeBatch(rf, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("DecodeBatch = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		checkTick(t, rb.View(i), i)
+	}
+}
+
+// TestDecodeBatchHomogeneous pins the bulk-copy specialization through
+// the public API: a layout-identical batch decodes correctly (one copy
+// per frame inside the batch program).
+func TestDecodeBatchHomogeneous(t *testing.T) {
+	const n = 4
+	stream := stageTicks(t, "x86", n)
+	rctx := ctxFor(t, "x86")
+	rf := batchFormat(t, rctx)
+	r := rctx.NewReader(bytes.NewReader(stream))
+	defer r.Close()
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := rf.NewRecordBatch()
+	got, err := m.DecodeBatch(rf, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("DecodeBatch = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		checkTick(t, rb.View(i), i)
+	}
+}
+
+// TestDecodeBatchWrongFormat pins the format guard.
+func TestDecodeBatchWrongFormat(t *testing.T) {
+	stream := stageTicks(t, "sparc-v8", 2)
+	rctx := ctxFor(t, "x86")
+	rf := batchFormat(t, rctx)
+	other, err := rctx.Register("other", F("x", Int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rctx.NewReader(bytes.NewReader(stream))
+	defer r.Close()
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DecodeBatch(rf, other.NewRecordBatch()); err == nil {
+		t.Error("DecodeBatch accepted a batch of the wrong format")
+	}
+}
+
+// TestDecodeBatchFlightEvent checks that the first fused decode journals
+// a DCGBatchCompile event carrying the fused shape in its arg words.
+func TestDecodeBatchFlightEvent(t *testing.T) {
+	stream := stageTicks(t, "sparc-v8", 3)
+	fr := flightrec.New("batch-test", 64)
+	rctx := ctxFor(t, "x86", WithFlightRecorder(fr))
+	rf := batchFormat(t, rctx)
+	r := rctx.NewReader(bytes.NewReader(stream))
+	defer r.Close()
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DecodeBatch(rf, rf.NewRecordBatch()); err != nil {
+		t.Fatal(err)
+	}
+	var journal bytes.Buffer
+	if _, err := fr.WriteTo(&journal); err != nil {
+		t.Fatal(err)
+	}
+	events, err := flightrec.ReadJournal(&journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Kind != flightrec.KindDCGBatchCompile {
+			continue
+		}
+		found = true
+		runs, words, steps := flightrec.UnpackBatchShape(ev.Arg2)
+		if runs == 0 || words == 0 {
+			t.Errorf("batch compile event shape runs=%d fusedWords=%d, want both > 0", runs, words)
+		}
+		if steps != 0 {
+			t.Errorf("flat tick format needed %d step fallbacks", steps)
+		}
+	}
+	if !found {
+		t.Error("no DCGBatchCompile event in the flight journal")
 	}
 }
 

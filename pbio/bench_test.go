@@ -170,4 +170,169 @@ func benchWriteTCP(b *testing.B, batchRecords int) {
 // their msgs/sec (1e9 / ns_per_op) is the batching win at the paper's
 // smallest message size.
 func BenchmarkPerRecordWrite100B(b *testing.B) { benchWriteTCP(b, 0) }
-func BenchmarkBatchedWrite100B(b *testing.B)  { benchWriteTCP(b, 64) }
+func BenchmarkBatchedWrite100B(b *testing.B)   { benchWriteTCP(b, 64) }
+
+// benchTickFields is the ~100-byte record the batched-read benchmarks
+// share with benchWriteTCP.
+func benchTickFields() []FieldSpec {
+	return []FieldSpec{F("node", Int), F("timestamp", Double), Array("values", Double, 11)}
+}
+
+// benchTickStream renders one encoded stream — a meta frame plus either
+// one 64-record batch frame or 64 per-record frames — for replay through
+// a streamReader, so read benchmarks measure a steady state of data
+// frames without rebuilding writers.
+func benchTickStream(b *testing.B, sendArch string, batched bool) []byte {
+	b.Helper()
+	ctx, err := NewContext(WithArch(sendArch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := ctx.Register("tick", benchTickFields()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stream bytes.Buffer
+	w := ctx.NewWriter(&stream)
+	recs := make([]*Record, 64)
+	for i := range recs {
+		recs[i] = f.NewRecord()
+		recs[i].MustSetInt("node", 0, int64(i))
+	}
+	if batched {
+		if err := w.WriteBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return stream.Bytes()
+}
+
+// BenchmarkPerRecordReadDecode100B is the per-record DCG baseline: every
+// ~100-byte record pays its own framing read, plan lookup and Convert
+// dispatch.  BenchmarkBatchedReadDecode100B decodes the same records
+// from 64-record batch frames with one Read plus one fused ConvertBatch
+// per frame; its loop advances b.N by the records decoded, so both
+// benchmarks report ns per record and their ratio is the batch-decode
+// win.  BenchmarkBatchedViewHomogeneous100B is the zero-copy ceiling at
+// the same wire shape: homogeneous batch frames consumed record by
+// record through View.
+func BenchmarkPerRecordReadDecode100B(b *testing.B) {
+	raw := benchTickStream(b, "sparc-v8", false)
+	rctx, err := NewContext(WithArch("x86-64"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rf, err := rctx.Register("tick", benchTickFields()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rctx.NewReader(&streamReader{raw: raw})
+	defer r.Close()
+	out := rf.NewRecord()
+	b.SetBytes(int64(rf.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := r.Read()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.DecodeInto(rf, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerRecordDecodeFromBatch100B is the PR-5 status quo: batch
+// frames on the wire, but every record still decoded through its own
+// Read + DecodeInto dispatch.  The gap to BenchmarkBatchedReadDecode100B
+// is what the fused batch program buys on top of frame coalescing.
+func BenchmarkPerRecordDecodeFromBatch100B(b *testing.B) {
+	raw := benchTickStream(b, "sparc-v8", true)
+	rctx, err := NewContext(WithArch("x86-64"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rf, err := rctx.Register("tick", benchTickFields()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rctx.NewReader(&streamReader{raw: raw})
+	defer r.Close()
+	out := rf.NewRecord()
+	b.SetBytes(int64(rf.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := r.Read()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.DecodeInto(rf, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchedReadDecode100B(b *testing.B) {
+	raw := benchTickStream(b, "sparc-v8", true)
+	rctx, err := NewContext(WithArch("x86-64"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rf, err := rctx.Register("tick", benchTickFields()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rctx.NewReader(&streamReader{raw: raw})
+	defer r.Close()
+	rb := rf.NewRecordBatch()
+	b.SetBytes(int64(rf.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		m, err := r.Read()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := m.DecodeBatch(rf, rb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		i += n
+	}
+}
+
+func BenchmarkBatchedViewHomogeneous100B(b *testing.B) {
+	raw := benchTickStream(b, "x86-64", true)
+	rctx, err := NewContext(WithArch("x86-64"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rf, err := rctx.Register("tick", benchTickFields()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rctx.NewReader(&streamReader{raw: raw})
+	defer r.Close()
+	b.SetBytes(int64(rf.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := r.Read()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, ok, err := m.View(rf)
+		if err != nil || !ok {
+			b.Fatalf("View: %v %v", ok, err)
+		}
+		_ = rec
+	}
+}

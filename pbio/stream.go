@@ -170,10 +170,11 @@ type Reader struct {
 	// long runs of one format, and the shared meta cache makes wire
 	// format pointers stable across streams, so pointer equality hits
 	// nearly always and skips the conversion-cache lock and map.
-	memoWF   *wire.Format
-	memoNF   *wire.Format
-	memoProg *dcg.Program
-	memoPlan *convert.Plan
+	memoWF    *wire.Format
+	memoNF    *wire.Format
+	memoProg  *dcg.Program
+	memoPlan  *convert.Plan
+	memoBatch *dcg.BatchProgram
 }
 
 // NewReader returns a Reader over r.  Like NewWriter, the body stays
@@ -325,6 +326,9 @@ func (m *Message) program(nf *wire.Format) (*dcg.Program, error) {
 		return nil, err
 	}
 	if r := m.r; r != nil {
+		if r.memoWF != m.msg.Format || r.memoNF != nf {
+			r.memoBatch = nil
+		}
 		r.memoWF, r.memoNF, r.memoProg, r.memoPlan = m.msg.Format, nf, prog, nil
 	}
 	return prog, nil
@@ -340,6 +344,9 @@ func (m *Message) interpPlan(nf *wire.Format) (*convert.Plan, error) {
 		return nil, err
 	}
 	if r := m.r; r != nil {
+		if r.memoWF != m.msg.Format || r.memoNF != nf {
+			r.memoBatch = nil
+		}
 		r.memoWF, r.memoNF, r.memoPlan, r.memoProg = m.msg.Format, nf, plan, nil
 	}
 	return plan, nil

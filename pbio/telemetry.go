@@ -50,6 +50,7 @@ const (
 	pathZeroCopy = "zero_copy"
 	pathInterp   = "interp"
 	pathDCG      = "dcg"
+	pathDCGBatch = "dcg_batch"
 )
 
 // ctxMetrics is the pbio-level metric set.  The zero value is a valid
@@ -65,9 +66,13 @@ type ctxMetrics struct {
 	decodeNanos *telemetry.HistogramVec // labels: path
 
 	// Pre-resolved per-path histograms (With is a lock + map lookup;
-	// resolve once here, off the hot path).
-	interpNanos *telemetry.Histogram
-	dcgNanos    *telemetry.Histogram
+	// resolve once here, off the hot path).  dcgBatchNanos observes one
+	// latency per batch frame, not per record — the decodes counter
+	// still advances per record, so records/observation is the realized
+	// batch size.
+	interpNanos   *telemetry.Histogram
+	dcgNanos      *telemetry.Histogram
+	dcgBatchNanos *telemetry.Histogram
 }
 
 var nopCtxMetrics = &ctxMetrics{}
@@ -114,11 +119,13 @@ func (c *Context) initTelemetry() {
 			"Data messages received."),
 		decodes: c.tel.CounterVec("pbio_decodes_total",
 			"Records decoded, by expected format and conversion path "+
-				"(zero_copy, interp, dcg — the paper's three receive regimes).",
+				"(zero_copy, interp, dcg, dcg_batch — the paper's three "+
+				"receive regimes plus the fused batch path).",
 			"format", "path"),
-		decodeNanos: decodeNanos,
-		interpNanos: decodeNanos.With(pathInterp),
-		dcgNanos:    decodeNanos.With(pathDCG),
+		decodeNanos:   decodeNanos,
+		interpNanos:   decodeNanos.With(pathInterp),
+		dcgNanos:      decodeNanos.With(pathDCG),
+		dcgBatchNanos: decodeNanos.With(pathDCGBatch),
 	}
 }
 
@@ -130,6 +137,7 @@ type formatMetrics struct {
 	decZero   *telemetry.Counter
 	decInterp *telemetry.Counter
 	decDCG    *telemetry.Counter
+	decBatch  *telemetry.Counter
 }
 
 // bindFormatMetrics resolves the per-format counters for name.
@@ -142,5 +150,6 @@ func (c *Context) bindFormatMetrics(name string) formatMetrics {
 		decZero:   c.met.decodes.With(name, pathZeroCopy),
 		decInterp: c.met.decodes.With(name, pathInterp),
 		decDCG:    c.met.decodes.With(name, pathDCG),
+		decBatch:  c.met.decodes.With(name, pathDCGBatch),
 	}
 }

@@ -79,6 +79,107 @@ func runExchange(t *testing.T, reg *telemetry.Registry, sendArch, recvArch strin
 	}
 }
 
+// TestBatchDecodePathCounters covers the fourth receive regime: a fused
+// batch decode counts every record under the dcg_batch path, observes
+// one latency per frame, and the batch-program cache exports its own
+// pbio_dcg_batch_* compile/hit/miss families.
+func TestBatchDecodePathCounters(t *testing.T) {
+	const n = 12
+	reg := telemetry.NewRegistry()
+
+	sctx, err := pbio.NewContext(pbio.WithArch("sparc-v8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := sctx.Register("telem_rec", telemetryFields()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	w := sctx.NewWriter(&stream)
+	recs := make([]*pbio.Record, n)
+	for i := range recs {
+		recs[i] = sf.NewRecord()
+		recs[i].MustSetInt("node", 0, int64(i))
+	}
+	// Two frames, so the second decode exercises the memo/cache-hit path.
+	if err := w.WriteBatch(recs[:n/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(recs[n/2:]); err != nil {
+		t.Fatal(err)
+	}
+
+	rctx, err := pbio.NewContext(pbio.WithArch("x86-64"), pbio.WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := rctx.Register("telem_rec", telemetryFields()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rctx.NewReader(&stream)
+	defer r.Close()
+	rb := rf.NewRecordBatch()
+	for got := 0; got < n; {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt, err := m.DecodeBatch(rf, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cnt; i++ {
+			if v, _ := rb.View(i).Int("node", 0); v != int64(got+i) {
+				t.Fatalf("record %d: node = %d", got+i, v)
+			}
+		}
+		got += cnt
+	}
+
+	paths := decodesByPath(reg, "telem_rec")
+	if paths["dcg_batch"] != n {
+		t.Fatalf("paths = %v, want dcg_batch=%d", paths, n)
+	}
+	if paths["dcg"] != 0 || paths["interp"] != 0 {
+		t.Fatalf("fused decode leaked onto per-record paths: %v", paths)
+	}
+
+	families := make(map[string]int64)
+	var frameObs int64
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "pbio_dcg_batch_cache_hits_total", "pbio_dcg_batch_cache_misses_total":
+			for _, s := range m.Series {
+				families[m.Name] += s.Value
+			}
+		case "pbio_dcg_batch_compile_nanos":
+			for _, s := range m.Series {
+				families[m.Name] += s.Histogram.Count
+			}
+		case "pbio_decode_nanos":
+			for _, s := range m.Series {
+				if s.Labels["path"] == "dcg_batch" {
+					frameObs += s.Histogram.Count
+				}
+			}
+		}
+	}
+	// One compile (the miss); the second frame hits the reader memo, so
+	// the shared cache sees no more traffic.
+	if families["pbio_dcg_batch_cache_misses_total"] != 1 {
+		t.Errorf("batch cache misses = %d, want 1 (families: %v)", families["pbio_dcg_batch_cache_misses_total"], families)
+	}
+	if families["pbio_dcg_batch_compile_nanos"] != 1 {
+		t.Errorf("batch compiles observed = %d, want 1", families["pbio_dcg_batch_compile_nanos"])
+	}
+	// Latency is observed once per frame, not per record.
+	if frameObs != 2 {
+		t.Errorf("dcg_batch latency observations = %d, want 2 (one per frame)", frameObs)
+	}
+}
+
 // decodesByPath distills the pbio_decodes_total family for one format
 // out of a registry snapshot.
 func decodesByPath(reg *telemetry.Registry, format string) map[string]int64 {
